@@ -1,0 +1,113 @@
+// E10 — the Attiya–Censor termination tail (§1).
+//
+// Paper context: any f-failure-tolerant randomized binary consensus must
+// still be running after k(n-f) total steps with probability at least
+// 1/c^k, and the paper's protocol makes this bound asymptotically tight
+// for the probabilistic-write model (its total work is O(n), i.e. the
+// survival probability decays geometrically in k with constant base).
+//
+// Reproduced: the survival function of total work — P[total steps >= k·n]
+// for k = 1..12 — for the paper's stack.  The shape check: log2 of the
+// survival ratio between consecutive k stabilizes (geometric decay), and
+// the tail is non-zero for small k (a lower-bound artifact no protocol
+// can avoid).
+#include <memory>
+
+#include "common.h"
+#include "core/consensus/builder.h"
+#include "sim/adversaries/adversaries.h"
+
+namespace {
+
+using namespace modcon;
+using namespace modcon::bench;
+using sim::sim_env;
+
+analysis::sim_object_builder stack() {
+  return [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+  };
+}
+
+}  // namespace
+
+void failure_sweep() {
+  // The lower bound is stated for f-failure-tolerant protocols and
+  // k(n-f) total steps: crash f processes early and measure survival
+  // against multiples of the survivor count.
+  table t({"n", "f", "trials", "k", "P[total>=k*(n-f)]"});
+  const std::size_t n = 32;
+  for (std::size_t f : {0u, 8u, 16u, 24u}) {
+    const std::size_t trials = 800;
+    std::vector<std::uint64_t> totals;
+    for (std::uint64_t seed = 0; seed < trials; ++seed) {
+      sim::random_oblivious adv;
+      analysis::trial_options opts;
+      opts.seed = seed;
+      for (process_id p = 0; p < f; ++p)
+        opts.crashes.push_back({p, (seed + p) % 6});
+      auto res = analysis::run_object_trial(
+          stack(),
+          analysis::make_inputs(analysis::input_pattern::half_half, n, 2,
+                                seed),
+          adv, opts);
+      if (res.status != sim::run_status::step_limit)
+        totals.push_back(res.total_ops);
+    }
+    for (std::size_t k : {4u, 8u, 12u, 16u}) {
+      std::size_t surviving = 0;
+      for (auto tot : totals) surviving += tot >= k * (n - f);
+      t.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(f))
+          .cell(static_cast<std::uint64_t>(totals.size()))
+          .cell(static_cast<std::uint64_t>(k))
+          .cell(totals.empty()
+                    ? 0.0
+                    : static_cast<double>(surviving) / totals.size(),
+                4);
+    }
+  }
+  t.emit("E10b: survival vs k(n-f) under f early crashes", "e10_failures");
+}
+
+int main() {
+  print_header("E10: termination-tail shape (Attiya–Censor lower bound)",
+               "claims: P[still running after k·n total steps] decays "
+               "geometrically in k — the lower bound is tight here");
+  table t({"n", "trials", "k", "P[total>=k*n]", "decay_vs_prev"});
+  for (std::size_t n : {16u, 64u, 256u}) {
+    const std::size_t trials = trials_for(n, 120'000);
+    std::vector<std::uint64_t> totals;
+    for (std::uint64_t seed = 0; seed < trials; ++seed) {
+      sim::random_oblivious adv;
+      analysis::trial_options opts;
+      opts.seed = seed;
+      auto res = analysis::run_object_trial(
+          stack(),
+          analysis::make_inputs(analysis::input_pattern::half_half, n, 2,
+                                seed),
+          adv, opts);
+      if (res.completed()) totals.push_back(res.total_ops);
+    }
+    double prev = 1.0;
+    for (std::size_t k = 1; k <= 12; ++k) {
+      std::size_t surviving = 0;
+      for (auto tot : totals) surviving += tot >= k * n;
+      double p = totals.empty()
+                     ? 0.0
+                     : static_cast<double>(surviving) / totals.size();
+      t.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(totals.size()))
+          .cell(static_cast<std::uint64_t>(k))
+          .cell(p, 4)
+          .cell(prev > 0 && p > 0 ? p / prev : 0.0, 3);
+      prev = p;
+    }
+  }
+  t.emit("E10a: survival function of total work (geometric tail)",
+         "e10_tail");
+  failure_sweep();
+  return 0;
+}

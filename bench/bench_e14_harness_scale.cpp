@@ -1,0 +1,80 @@
+// E14 — harness validation: the simulator at laptop scale.
+//
+// Not a paper claim but a reproduction-credibility check: the
+// one-operation-per-step interleaving simulator must be fast enough that
+// every experiment's trial counts are honest, and the algorithms must
+// keep their shape at sizes far beyond the statistical sweeps (n in the
+// tens of thousands — coroutine frames and registers stay cheap).
+#include <chrono>
+#include <memory>
+
+#include "common.h"
+#include "core/consensus/builder.h"
+#include "sim/adversaries/adversaries.h"
+#include "util/bits.h"
+
+namespace {
+
+using namespace modcon;
+using namespace modcon::bench;
+using sim::sim_env;
+
+analysis::sim_object_builder conciliator() {
+  return [](address_space& mem, std::size_t) {
+    return std::make_unique<impatient_conciliator<sim_env>>(mem);
+  };
+}
+
+analysis::sim_object_builder consensus() {
+  return [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+  };
+}
+
+}  // namespace
+
+int main() {
+  print_header("E14: simulator scale & throughput",
+               "harness check: single executions at large n, with the "
+               "Theorem 7 shape intact");
+  table t({"object", "n", "total_ops", "indiv_max", "bound", "wall_ms",
+           "steps_per_sec"});
+  struct row {
+    const char* name;
+    analysis::sim_object_builder build;
+    bool conciliator_bound;
+  };
+  const row rows[] = {
+      {"conciliator", conciliator(), true},
+      {"binary-consensus", consensus(), false},
+  };
+  for (const auto& r : rows) {
+    for (std::size_t n : {1024u, 8192u, 65536u}) {
+      sim::random_oblivious adv;
+      analysis::trial_options opts;
+      opts.seed = 42;
+      auto inputs =
+          analysis::make_inputs(analysis::input_pattern::half_half, n, 2, 1);
+      auto t0 = std::chrono::steady_clock::now();
+      auto res = analysis::run_object_trial(r.build, inputs, adv, opts);
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      t.row()
+          .cell(r.name)
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(res.total_ops)
+          .cell(res.max_individual_ops)
+          .cell(r.conciliator_bound
+                    ? std::to_string(2 * lg_ceil(n) + 4)
+                    : std::string("-"))
+          .cell(ms, 1)
+          .cell(ms > 0 ? static_cast<double>(res.steps) / (ms / 1000.0)
+                       : 0.0,
+                0);
+    }
+  }
+  t.emit("E14: single large executions (includes world construction)",
+         "e14_scale");
+  return 0;
+}

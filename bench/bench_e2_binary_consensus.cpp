@@ -1,0 +1,59 @@
+// E2 — Binary consensus in the probabilistic-write model.
+//
+// Paper claims (§1, §4.1 + Theorem 7 + §6.2 choice 1): expected
+// individual work O(log n) and expected total work O(n) — the first
+// weak-adversary protocol with optimal total work, matching the
+// Attiya–Censor lower bound.
+//
+// Reproduced: n-sweep of the unbounded construction (impatient
+// conciliators + binary quorum ratifiers).  The normalized columns
+// indiv/lg n and total/n must stay bounded as n grows (shape check).
+#include <memory>
+
+#include "common.h"
+#include "core/consensus/builder.h"
+#include "sim/adversaries/adversaries.h"
+#include "util/bits.h"
+
+namespace {
+
+using namespace modcon;
+using namespace modcon::bench;
+using sim::sim_env;
+
+analysis::sim_object_builder stack() {
+  return [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+  };
+}
+
+}  // namespace
+
+int main() {
+  print_header("E2: binary consensus (unbounded construction)",
+               "claims: E[individual] = O(log n), E[total] = O(n); "
+               "normalized columns must stay bounded");
+  table t({"n", "trials", "indiv_mean", "indiv/lgn", "indiv_p99", "total_mean",
+           "total/n", "agree", "decided"});
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u,
+                        2048u, 4096u, 8192u}) {
+    std::size_t trials = trials_for(n, 60'000);
+    auto agg = run_trials(stack(), analysis::input_pattern::half_half, n, 2,
+                          [] { return std::make_unique<sim::random_oblivious>(); },
+                          trials);
+    double lgn = n > 1 ? static_cast<double>(lg_ceil(n)) : 1.0;
+    t.row()
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(trials))
+        .cell(agg.individual_ops.mean(), 2)
+        .cell(agg.individual_ops.mean() / lgn, 2)
+        .cell(agg.individual_samples.quantile(0.99), 0)
+        .cell(agg.total_ops.mean(), 1)
+        .cell(agg.total_ops.mean() / static_cast<double>(n), 2)
+        .cell(agg.agreement_rate(), 3)
+        .cell(static_cast<std::uint64_t>(agg.all_decided));
+  }
+  t.emit("E2: binary consensus cost (random scheduler, half/half inputs)",
+         "e2_binary");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// E7 — §4.2: consensus with ratifiers only.
+//
+// Paper claims: R = R₁; R₂; … solves consensus under restricted
+// schedulers — with binary constant-work ratifiers it is "essentially
+// equivalent to the lean-consensus protocol of [5]", terminating in
+// O(log n) individual work under a noisy scheduler; it also terminates
+// under priority-based scheduling [27] (where it is less efficient than
+// the 2-register/6-op protocol of [27]).  Under an unrestricted lockstep
+// scheduler it does not terminate — which is exactly why conciliators
+// exist.
+//
+// Reproduced: termination rate and individual work of the binary ladder
+// under noise levels and priority scheduling; lockstep non-termination;
+// indiv/lg n flatness across n under noise.
+#include <memory>
+
+#include "baseline/priority_consensus.h"
+#include "common.h"
+#include "core/consensus/builder.h"
+#include "sim/adversaries/adversaries.h"
+#include "util/bits.h"
+
+namespace {
+
+using namespace modcon;
+using namespace modcon::bench;
+using sim::sim_env;
+
+analysis::sim_object_builder ladder() {
+  return [](address_space& mem, std::size_t) {
+    return make_ratifier_only_consensus<sim_env>(mem, make_binary_quorums(),
+                                                 2'000'000);
+  };
+}
+
+void noise_sweep() {
+  table t({"sigma", "n", "trials", "terminated", "indiv_mean", "indiv/lgn",
+           "total_mean"});
+  for (double sigma : {0.25, 0.5, 1.0, 2.0}) {
+    for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+      const std::size_t trials = 60;
+      std::size_t done = 0;
+      running_stats indiv, total;
+      for (std::uint64_t seed = 0; seed < trials; ++seed) {
+        sim::noisy adv(sigma);
+        analysis::trial_options opts;
+        opts.seed = seed;
+        opts.max_steps = 400'000;
+        auto res = analysis::run_object_trial(
+            ladder(),
+            analysis::make_inputs(analysis::input_pattern::half_half, n, 2,
+                                  seed),
+            adv, opts);
+        if (!res.completed()) continue;
+        ++done;
+        indiv.add(static_cast<double>(res.max_individual_ops));
+        total.add(static_cast<double>(res.total_ops));
+      }
+      t.row()
+          .cell(sigma, 2)
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(trials))
+          .cell(static_cast<std::uint64_t>(done))
+          .cell(indiv.mean(), 1)
+          .cell(indiv.mean() / std::max(1u, lg_ceil(n)), 2)
+          .cell(total.mean(), 1);
+    }
+  }
+  t.emit("E7a: ratifier-only ladder under the noisy scheduler ([5] shape)",
+         "e7_noise");
+}
+
+void priority_and_lockstep() {
+  table t({"scheduler", "n", "trials", "terminated", "indiv_mean"});
+  for (std::size_t n : {2u, 8u, 32u}) {
+    {
+      const std::size_t trials = 40;
+      std::size_t done = 0;
+      running_stats indiv;
+      for (std::uint64_t seed = 0; seed < trials; ++seed) {
+        sim::priority_sched adv;
+        analysis::trial_options opts;
+        opts.seed = seed;
+        opts.max_steps = 400'000;
+        auto res = analysis::run_object_trial(
+            ladder(),
+            analysis::make_inputs(analysis::input_pattern::alternating, n, 2,
+                                  seed),
+            adv, opts);
+        if (!res.completed()) continue;
+        ++done;
+        indiv.add(static_cast<double>(res.max_individual_ops));
+      }
+      t.row()
+          .cell("priority")
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(trials))
+          .cell(static_cast<std::uint64_t>(done))
+          .cell(indiv.mean(), 1);
+    }
+    {
+      // The [27]-style one-register protocol under the same scheduler:
+      // two ops per process, the efficiency remark at the end of §4.2.
+      const std::size_t trials = 40;
+      std::size_t done = 0;
+      running_stats indiv;
+      for (std::uint64_t seed = 0; seed < trials; ++seed) {
+        sim::priority_sched adv;
+        analysis::trial_options opts;
+        opts.seed = seed;
+        auto build = [](address_space& mem, std::size_t) {
+          return std::make_unique<priority_consensus<sim_env>>(mem);
+        };
+        auto res = analysis::run_object_trial(
+            build,
+            analysis::make_inputs(analysis::input_pattern::alternating, n, 2,
+                                  seed),
+            adv, opts);
+        if (!res.completed()) continue;
+        ++done;
+        indiv.add(static_cast<double>(res.max_individual_ops));
+      }
+      t.row()
+          .cell("priority-1reg[27]")
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(trials))
+          .cell(static_cast<std::uint64_t>(done))
+          .cell(indiv.mean(), 1);
+    }
+    {
+      // Lockstep (round-robin): must hit the step limit on contended
+      // inputs.
+      sim::round_robin adv;
+      analysis::trial_options opts;
+      opts.max_steps = 50'000;
+      auto res = analysis::run_object_trial(
+          ladder(),
+          analysis::make_inputs(analysis::input_pattern::alternating, n, 2,
+                                1),
+          adv, opts);
+      t.row()
+          .cell("round-robin")
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(std::uint64_t{1})
+          .cell(static_cast<std::uint64_t>(res.completed() ? 1 : 0))
+          .cell(res.completed() ? "-" : "stalled (expected)");
+    }
+  }
+  t.emit("E7b: priority scheduling decides; lockstep stalls", "e7_priority");
+}
+
+}  // namespace
+
+int main() {
+  print_header("E7: consensus with ratifiers only (§4.2)",
+               "claims: terminates under noisy [5] and priority [27] "
+               "schedulers (O(log n) individual work under noise); stalls "
+               "under lockstep");
+  noise_sweep();
+  priority_and_lockstep();
+  return 0;
+}

@@ -1,0 +1,27 @@
+# Declares one binary per experiment (see DESIGN.md §4).  Included from
+# the top-level CMakeLists so the executables are the only files placed in
+# ${CMAKE_BINARY_DIR}/bench.
+set(MODCON_BENCH_DIR ${CMAKE_CURRENT_LIST_DIR})
+
+function(modcon_bench name)
+  add_executable(${name} ${MODCON_BENCH_DIR}/${name}.cpp)
+  target_link_libraries(${name} PRIVATE modcon)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+modcon_bench(bench_e1_conciliator)
+modcon_bench(bench_e2_binary_consensus)
+modcon_bench(bench_e3_mvalued_consensus)
+modcon_bench(bench_e4_ratifier_space)
+modcon_bench(bench_e5_adversary_ablation)
+modcon_bench(bench_e6_coin_conciliator)
+modcon_bench(bench_e7_ratifier_only)
+modcon_bench(bench_e8_fastpath_bounded)
+modcon_bench(bench_e9_baselines)
+modcon_bench(bench_e10_termination_tail)
+modcon_bench(bench_e11_rt_threads)
+modcon_bench(bench_e12_impatience_ablation)
+modcon_bench(bench_e13_exact_game)
+modcon_bench(bench_e14_harness_scale)
+target_link_libraries(bench_e11_rt_threads PRIVATE benchmark::benchmark)

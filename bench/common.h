@@ -1,0 +1,78 @@
+// Shared machinery for the experiment benches: aggregate many trials of a
+// deciding object under a scheduler family and summarize the paper's
+// metrics (agreement frequency with Wilson bounds, expected total work,
+// worst-case individual work).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "analysis/runner.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace modcon::bench {
+
+struct aggregate {
+  std::size_t trials = 0;
+  std::size_t completed = 0;
+  std::size_t agreed = 0;
+  std::size_t all_decided = 0;
+  running_stats total_ops;
+  running_stats individual_ops;
+  sample_set individual_samples;
+  running_stats steps;
+
+  double agreement_rate() const {
+    return trials ? static_cast<double>(agreed) / trials : 0.0;
+  }
+  proportion_ci agreement_ci() const {
+    return wilson_interval(agreed, trials);
+  }
+};
+
+using adversary_factory = std::function<std::unique_ptr<sim::adversary>()>;
+
+// Runs `trials` executions with seeds seed0..seed0+trials-1.
+inline aggregate run_trials(const analysis::sim_object_builder& build,
+                            analysis::input_pattern pattern, std::size_t n,
+                            std::uint64_t m, const adversary_factory& mk_adv,
+                            std::size_t trials, std::uint64_t seed0 = 1,
+                            std::uint64_t max_steps = 50'000'000) {
+  aggregate agg;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::uint64_t seed = seed0 + t;
+    auto adv = mk_adv();
+    auto inputs = analysis::make_inputs(pattern, n, m, seed);
+    analysis::trial_options opts;
+    opts.seed = seed;
+    opts.max_steps = max_steps;
+    auto res = analysis::run_object_trial(build, inputs, *adv, opts);
+    ++agg.trials;
+    if (!res.completed()) continue;
+    ++agg.completed;
+    agg.agreed += res.agreement();
+    agg.all_decided += analysis::all_decided(res.outputs);
+    agg.total_ops.add(static_cast<double>(res.total_ops));
+    agg.individual_ops.add(static_cast<double>(res.max_individual_ops));
+    agg.individual_samples.add(static_cast<double>(res.max_individual_ops));
+    agg.steps.add(static_cast<double>(res.steps));
+  }
+  return agg;
+}
+
+// Trial budget that shrinks with n so sweeps stay laptop-friendly.
+inline std::size_t trials_for(std::size_t n, std::size_t budget = 400'000) {
+  std::size_t t = budget / (n ? n : 1);
+  if (t < 40) t = 40;
+  if (t > 3000) t = 3000;
+  return t;
+}
+
+inline void print_header(const std::string& title, const std::string& claim) {
+  std::cout << "\n##### " << title << " #####\n" << claim << "\n";
+}
+
+}  // namespace modcon::bench

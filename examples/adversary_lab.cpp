@@ -1,0 +1,104 @@
+// Adversary lab: watch a conciliator execution unfold, step by step,
+// under schedulers of different strengths.
+//
+// Prints the full operation trace of one small execution per scheduler
+// (who moved, what they did, whether a probabilistic write landed), then
+// a quick agreement-frequency comparison — a miniature of experiment E5
+// meant for poking at interactively.
+#include <iostream>
+
+#include "analysis/runner.h"
+#include "core/conciliator/impatient.h"
+#include "sim/adversaries/adversaries.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace modcon;
+using sim::sim_env;
+
+void show_trace(const char* title, sim::adversary& adv,
+                std::uint64_t seed) {
+  std::cout << "\n--- " << title << " (seed " << seed << ") ---\n";
+  sim::world_options wopts;
+  wopts.trace_enabled = true;
+  sim::sim_world world(3, adv, seed, wopts);
+  impatient_conciliator<sim_env> conciliator(world);
+  const value_t inputs[3] = {10, 20, 20};
+  for (process_id p = 0; p < 3; ++p) {
+    world.spawn([&conciliator, v = inputs[p]](sim_env& env) {
+      return invoke_encoded(conciliator, env, v);
+    });
+  }
+  world.run(1000);
+  world.execution_trace().dump(std::cout);
+  std::cout << "outputs: ";
+  for (process_id p = 0; p < 3; ++p) {
+    decided d = decode_decided(*world.output_of(p));
+    std::cout << "p" << p << "->" << d.value << " ";
+  }
+  std::cout << "\n";
+}
+
+double agreement_frequency(const analysis::sim_object_builder& build,
+                           const std::function<std::unique_ptr<sim::adversary>()>& mk,
+                           std::size_t trials) {
+  std::size_t agreed = 0;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    auto adv = mk();
+    analysis::trial_options opts;
+    opts.seed = seed;
+    auto res = analysis::run_object_trial(
+        build,
+        analysis::make_inputs(analysis::input_pattern::half_half, 16, 2,
+                              seed),
+        *adv, opts);
+    agreed += res.completed() && res.agreement();
+  }
+  return static_cast<double>(agreed) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "impatient first-mover conciliator, 3 processes, inputs "
+               "{10, 20, 20}\n(⊥-reads keep a process writing; a 'missed' "
+               "write is a probabilistic write whose coin came up tails)\n";
+
+  {
+    sim::round_robin adv;
+    show_trace("round-robin scheduler", adv, 7);
+  }
+  {
+    sim::fixed_order adv(sim::fixed_order::mode::sequential);
+    show_trace("sequential scheduler (solo run wins instantly)", adv, 7);
+  }
+  {
+    sim::greedy_overwrite adv(0);
+    show_trace("greedy-overwrite attacker (location-oblivious)", adv, 7);
+  }
+
+  std::cout << "\nagreement frequency over 400 executions (n = 16):\n";
+  auto build = [](modcon::address_space& mem, std::size_t) {
+    return std::make_unique<impatient_conciliator<sim_env>>(mem);
+  };
+  struct row {
+    const char* name;
+    std::function<std::unique_ptr<sim::adversary>()> mk;
+  };
+  const row rows[] = {
+      {"random scheduler  ",
+       [] { return std::make_unique<sim::random_oblivious>(); }},
+      {"greedy-overwrite  ",
+       [] { return std::make_unique<sim::greedy_overwrite>(0); }},
+      {"omniscient splitter (cheats: sees coins)",
+       [] { return std::make_unique<sim::omniscient_splitter>(0); }},
+  };
+  for (const auto& r : rows) {
+    std::cout << "  " << r.name << "  "
+              << agreement_frequency(build, r.mk, 400) << "\n";
+  }
+  std::cout << "\nTheorem 7 floor for in-model schedulers: 0.0553. The "
+               "omniscient row shows why the model restriction matters.\n";
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full reproduction driver: build, test, run every experiment, and leave
+# test_output.txt / bench_output.txt in the repository root (the files
+# EXPERIMENTS.md refers to).  Set MODCON_CSV_DIR to also collect every
+# table as CSV.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $b" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt, bench_output.txt"

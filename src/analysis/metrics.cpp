@@ -1,0 +1,40 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+
+namespace modcon::analysis {
+
+bool check_validity(const std::vector<decided>& outputs,
+                    const std::vector<value_t>& inputs) {
+  return std::all_of(outputs.begin(), outputs.end(), [&](const decided& d) {
+    return std::find(inputs.begin(), inputs.end(), d.value) != inputs.end();
+  });
+}
+
+bool check_coherence(const std::vector<decided>& outputs) {
+  for (const decided& d : outputs) {
+    if (!d.decide) continue;
+    for (const decided& e : outputs)
+      if (e.value != d.value) return false;
+  }
+  return true;
+}
+
+bool check_agreement(const std::vector<decided>& outputs) {
+  return std::all_of(outputs.begin(), outputs.end(), [&](const decided& d) {
+    return d.value == outputs.front().value;
+  });
+}
+
+bool check_acceptance(const std::vector<decided>& outputs, value_t v) {
+  return std::all_of(outputs.begin(), outputs.end(), [&](const decided& d) {
+    return d.decide && d.value == v;
+  });
+}
+
+bool all_decided(const std::vector<decided>& outputs) {
+  return std::all_of(outputs.begin(), outputs.end(),
+                     [](const decided& d) { return d.decide; });
+}
+
+}  // namespace modcon::analysis

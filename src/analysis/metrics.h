@@ -1,0 +1,32 @@
+// Property predicates over the outputs of a one-shot deciding object,
+// matching the definitions of §3 exactly.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace modcon::analysis {
+
+// Validity: every output value equals some process's input value.
+// Outputs of crashed processes are absent from `outputs` (pass only the
+// survivors').
+bool check_validity(const std::vector<decided>& outputs,
+                    const std::vector<value_t>& inputs);
+
+// Coherence: if any process outputs (1, v), then no process outputs
+// (d, v') with v' != v.
+bool check_coherence(const std::vector<decided>& outputs);
+
+// Agreement (as measured for probabilistic agreement): all output values
+// equal.  Vacuously true for the empty set.
+bool check_agreement(const std::vector<decided>& outputs);
+
+// Acceptance (ratifier): if all inputs equal v, all outputs are (1, v).
+// Callers assert this only on unanimous-input executions.
+bool check_acceptance(const std::vector<decided>& outputs, value_t v);
+
+// All processes decided (consensus termination with decision bits).
+bool all_decided(const std::vector<decided>& outputs);
+
+}  // namespace modcon::analysis

@@ -1,0 +1,81 @@
+#include "analysis/runner.h"
+
+#include "util/rng.h"
+
+namespace modcon::analysis {
+
+trial_result run_object_trial(const sim_object_builder& build,
+                              const std::vector<value_t>& inputs,
+                              sim::adversary& adv,
+                              const trial_options& opts) {
+  const std::size_t n = inputs.size();
+  sim::world_options wopts;
+  wopts.trace_enabled = opts.trace;
+  sim::sim_world world(n, adv, opts.seed, wopts);
+
+  auto obj = build(world, n);
+
+  for (process_id pid = 0; pid < n; ++pid) {
+    world.spawn([&obj, v = inputs[pid]](sim::sim_env& env) {
+      return invoke_encoded(*obj, env, v);
+    });
+  }
+  for (const crash_spec& c : opts.crashes)
+    world.crash_after(c.pid, c.after_ops);
+
+  trial_result res;
+  res.status = world.run(opts.max_steps).status;
+  for (process_id pid = 0; pid < n; ++pid) {
+    if (auto out = world.output_of(pid)) {
+      res.outputs.push_back(decode_decided(*out));
+      res.halted_pids.push_back(pid);
+    }
+  }
+  res.total_ops = world.total_ops();
+  res.max_individual_ops = world.max_individual_ops();
+  res.steps = world.steps();
+  res.registers = world.allocated();
+  if (opts.inspect) opts.inspect(world);
+  return res;
+}
+
+std::vector<value_t> make_inputs(input_pattern pattern, std::size_t n,
+                                 std::uint64_t m, std::uint64_t seed) {
+  MODCON_CHECK(m >= 1);
+  std::vector<value_t> inputs(n);
+  rng r(seed ^ 0x1217f0a5e0a5e0aULL);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (pattern) {
+      case input_pattern::unanimous:
+        inputs[i] = 0;
+        break;
+      case input_pattern::half_half:
+        inputs[i] = (i < n / 2 ? 0 : 1) % m;
+        break;
+      case input_pattern::alternating:
+        inputs[i] = i % m;
+        break;
+      case input_pattern::random_m:
+        inputs[i] = r.below(m);
+        break;
+      case input_pattern::distinct:
+        MODCON_CHECK_MSG(m >= n, "distinct inputs need m >= n");
+        inputs[i] = i;
+        break;
+    }
+  }
+  return inputs;
+}
+
+const char* to_string(input_pattern p) {
+  switch (p) {
+    case input_pattern::unanimous: return "unanimous";
+    case input_pattern::half_half: return "half-half";
+    case input_pattern::alternating: return "alternating";
+    case input_pattern::random_m: return "random";
+    case input_pattern::distinct: return "distinct";
+  }
+  return "?";
+}
+
+}  // namespace modcon::analysis

@@ -1,0 +1,81 @@
+// Trial driver: builds a world, instantiates one deciding object, runs
+// every process through it under a chosen adversary, and reports outputs
+// plus the paper's two cost measures.
+//
+// This is the workhorse of both the test suites and the experiment
+// benches: a "trial" is one execution; experiments aggregate many trials
+// over seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "core/deciding.h"
+#include "sim/adversary.h"
+#include "sim/world.h"
+
+namespace modcon::analysis {
+
+using sim_object_builder =
+    std::function<std::unique_ptr<deciding_object<sim::sim_env>>(
+        address_space& mem, std::size_t n)>;
+
+struct crash_spec {
+  process_id pid;
+  std::uint64_t after_ops;
+};
+
+struct trial_options {
+  std::uint64_t seed = 1;
+  std::uint64_t max_steps = 50'000'000;
+  bool trace = false;
+  std::vector<crash_spec> crashes;
+  // Called after the run with the finished world, for metrics the
+  // summary below does not carry (register write counts, traces, ...).
+  std::function<void(const sim::sim_world&)> inspect;
+};
+
+struct trial_result {
+  sim::run_status status = sim::run_status::all_halted;
+  // One entry per process that halted (crashed processes excluded);
+  // parallel to `halted_pids`.
+  std::vector<decided> outputs;
+  std::vector<process_id> halted_pids;
+  std::uint64_t total_ops = 0;
+  std::uint64_t max_individual_ops = 0;
+  std::uint64_t steps = 0;
+  std::uint32_t registers = 0;
+
+  bool completed() const { return status == sim::run_status::all_halted; }
+  bool agreement() const { return check_agreement(outputs); }
+  bool coherent() const { return check_coherence(outputs); }
+  bool valid(const std::vector<value_t>& inputs) const {
+    return check_validity(outputs, inputs);
+  }
+};
+
+// Runs one execution: every process invokes the object built by `build`
+// exactly once with its input.  inputs.size() == n.
+trial_result run_object_trial(const sim_object_builder& build,
+                              const std::vector<value_t>& inputs,
+                              sim::adversary& adv,
+                              const trial_options& opts = {});
+
+// Input workload patterns used across experiments.
+enum class input_pattern {
+  unanimous,     // all v = 0
+  half_half,     // first half 0, second half 1 (mod m)
+  alternating,   // pid % m
+  random_m,      // uniform over [0, m)
+  distinct,      // pid (all different; requires m >= n)
+};
+
+std::vector<value_t> make_inputs(input_pattern pattern, std::size_t n,
+                                 std::uint64_t m, std::uint64_t seed);
+
+const char* to_string(input_pattern p);
+
+}  // namespace modcon::analysis

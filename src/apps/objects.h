@@ -1,0 +1,82 @@
+// Small sequential objects for the universal construction, plus
+// test-and-set built directly on one consensus instance.
+//
+// Sequential objects encode operations and results as words; they are
+// deterministic, so replicas that apply the same log agree on every
+// result (the linearizability argument of [22]).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "core/deciding.h"
+#include "exec/environment.h"
+#include "util/assertx.h"
+
+namespace modcon::apps {
+
+// A counter: op = amount to add; result = value after the addition.
+struct seq_counter {
+  word value = 0;
+  word apply(word op) {
+    value += op;
+    return value;
+  }
+};
+
+// A bounded-value CAS register: op packs (expected, desired) in 20-bit
+// halves; result = 1 on success, 0 on failure.
+struct seq_cas_register {
+  word value = 0;
+  static word make_op(word expected, word desired) {
+    MODCON_CHECK(expected < (word{1} << 20) && desired < (word{1} << 20));
+    return (expected << 20) | desired;
+  }
+  word apply(word op) {
+    word expected = op >> 20;
+    word desired = op & ((word{1} << 20) - 1);
+    if (value != expected) return 0;
+    value = desired;
+    return 1;
+  }
+};
+
+// A FIFO queue of small values: op 0 = dequeue (result = front or kBot
+// when empty), op v+1 = enqueue v (result = new size).
+struct seq_queue {
+  std::deque<word> items;
+  word apply(word op) {
+    if (op == 0) {
+      if (items.empty()) return kBot;
+      word front = items.front();
+      items.pop_front();
+      return front;
+    }
+    items.push_back(op - 1);
+    return items.size();
+  }
+};
+
+// Test-and-set from one consensus instance: everyone proposes their own
+// pid; the unique process whose pid wins gets 1 (the "winner"), all
+// others get 0.  One-shot, wait-free, works for any number of processes —
+// the textbook demonstration that consensus number ∞ buys every other
+// object.
+template <typename Env>
+class test_and_set {
+ public:
+  explicit test_and_set(std::unique_ptr<deciding_object<Env>> consensus)
+      : consensus_(std::move(consensus)) {}
+
+  // Returns 1 for exactly one caller, 0 for everyone else.
+  proc<word> set(Env& env) {
+    decided d = co_await consensus_->invoke(env, env.pid());
+    MODCON_CHECK_MSG(d.decide, "consensus did not decide");
+    co_return d.value == env.pid() ? 1 : 0;
+  }
+
+ private:
+  std::unique_ptr<deciding_object<Env>> consensus_;
+};
+
+}  // namespace modcon::apps

@@ -1,0 +1,108 @@
+// Universal construction: a wait-free linearizable replica of ANY
+// sequential object, built from a chain of consensus instances
+// (Herlihy's universality of consensus [22] — the reason consensus is
+// the object worth optimizing in the first place).
+//
+// Operations are values: each process proposes its pending operation for
+// log slot 0, 1, 2, …; slot i's consensus instance picks one operation,
+// every replica applies the winners in slot order to its local copy, and
+// a process keeps proposing its own operation for successive slots until
+// it wins one.  This is the self-propose variant: linearizable always,
+// lock-free in general, and wait-free whenever the workload is bounded
+// (each lost slot is somebody else's completed operation, so with every
+// process performing finitely many operations nobody loses forever).
+// Herlihy's fully wait-free version adds an announce/helping layer; the
+// simpler variant keeps the demonstration close to the textbook while
+// exercising exactly the consensus API the paper provides.
+//
+// The sequential object supplies:
+//   result_t apply(op_t)    — mutate state, return the answer
+// with op_t and result_t encodable in a word.
+//
+// This is deliberately a *library* component built only on the paper's
+// consensus API: it demonstrates that the modcon stack really is a
+// drop-in consensus object.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/consensus/unbounded.h"
+#include "core/deciding.h"
+#include "exec/address_space.h"
+#include "exec/environment.h"
+#include "util/assertx.h"
+
+namespace modcon::apps {
+
+// A log of consensus instances, created lazily, shared by all replicas.
+template <typename Env>
+class consensus_log {
+ public:
+  consensus_log(address_space& mem, object_factory<Env> make_consensus)
+      : mem_(&mem), make_(std::move(make_consensus)) {}
+
+  deciding_object<Env>* slot(std::size_t i) {
+    std::scoped_lock lk(mu_);
+    while (slots_.size() <= i) slots_.push_back(make_());
+    return slots_[i].get();
+  }
+
+  std::size_t slots_built() const {
+    std::scoped_lock lk(mu_);
+    return slots_.size();
+  }
+
+ private:
+  address_space* mem_;
+  object_factory<Env> make_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<deciding_object<Env>>> slots_;
+};
+
+// One process's handle on the replicated object.  Sequential state lives
+// per handle (each process replays the agreed log into its own copy).
+template <typename Env, typename Sequential>
+class universal_object {
+ public:
+  universal_object(consensus_log<Env>& log, Sequential initial = {})
+      : log_(&log), state_(std::move(initial)) {}
+
+  // Executes `op` on the replicated object; returns its result computed
+  // against the agreed linearization.  Each process must finish one
+  // perform() before starting the next.
+  proc<word> perform(Env& env, word op) {
+    // Tag our proposal with our pid so we can recognize the win; the
+    // payload travels in the low bits.
+    const word mine = pack(env.pid(), op);
+    for (;;) {
+      decided d = co_await log_->slot(next_slot_)->invoke(env, mine);
+      MODCON_CHECK_MSG(d.decide, "consensus slot did not decide");
+      ++next_slot_;
+      auto [winner_pid, winner_op] = unpack(d.value);
+      word result = state_.apply(winner_op);
+      if (winner_pid == env.pid()) co_return result;
+      // Someone else's operation took this slot; ours is still pending.
+    }
+  }
+
+  // Read-only access to this replica's state (valid between operations).
+  const Sequential& local_state() const { return state_; }
+  std::size_t log_position() const { return next_slot_; }
+
+ private:
+  static word pack(process_id pid, word op) {
+    MODCON_CHECK_MSG(op < (word{1} << 40), "operation too large to pack");
+    return (static_cast<word>(pid) << 40) | op;
+  }
+  static std::pair<process_id, word> unpack(word w) {
+    return {static_cast<process_id>(w >> 40), w & ((word{1} << 40) - 1)};
+  }
+
+  consensus_log<Env>* log_;
+  Sequential state_;
+  std::size_t next_slot_ = 0;
+};
+
+}  // namespace modcon::apps

@@ -1,0 +1,138 @@
+// Chor–Israeli–Li-style racing consensus [20] for the probabilistic-write
+// model — the classic protocol family the paper's framework generalizes,
+// used here both as a baseline (E9) and as the bounded-space fallback K
+// required by Theorem 5.
+//
+// Shared data: n single-writer registers, reg[p] = (round, value),
+// initially ⊥.  Each process publishes (1, input) and then loops:
+//
+//   1. collect all n registers (n individual reads);
+//   2. DECIDE its value v if no conflicting entry is anywhere near it:
+//      every register with a value != v has round <= my round - 2, and
+//      (while my round < 3) no register is still ⊥ — an unstarted
+//      process will publish at round 1, so ⊥ counts as a potential
+//      round-1 conflict until my round is at least 3;
+//   3. if strictly behind the maximum round: try to ADOPT the maximum
+//      entry — a probabilistic write of (max_round, max_value) to its
+//      own register with probability 1/2, then a read of its own
+//      register;
+//   4. otherwise (at the front): try to ADVANCE — a probabilistic write
+//      of (round+1, value) with probability 1/(2n), then a read of its
+//      own register.
+//
+// Safety sketch.  Per-register rounds are strictly monotone (publish
+// ⊥→1, adopt goes to a strictly larger round, advance is +1), so the
+// global maximum round never decreases.  Suppose p decides v at round r.
+// At p's collect every conflicting entry sat at round <= r-2, strictly
+// below the top.  A process can only attempt an advance away from round
+// x after a collect in which x was still the maximum, so the only
+// conflicting writes still in flight land at <= r-1 and cannot take the
+// top; after they land, every later collect by their owners sees a
+// strictly higher top and forces adoption.  Hence no conflicting value
+// ever reaches the top again, every other process adopts v before it
+// could decide (a conflicting decider would need the v-top itself to
+// trail its own round by 2 — impossible while it holds a conflicting
+// value below the top), and coherence/agreement follow.  The ⊥ guard
+// covers the one entry type that enters at a fixed low round.
+//
+// Liveness.  Both adoption and advancement are probabilistic writes whose
+// coins the adversary cannot observe (this is exactly the
+// probabilistic-write assumption; with deterministic adoption a lockstep
+// scheduler could keep two camps tied forever).  Once some advance
+// succeeds, the chasing pack adopts the leader's value within a constant
+// expected number of its own cycles, after which every process's decide
+// test passes.
+//
+// Space: n registers, bounded.  Work: Θ(n) per cycle (the collect), a
+// constant expected number of cycles after contention resolves — the
+// Θ(n)-individual-work shape whose improvement to O(log n) is the
+// paper's headline (E9).
+#pragma once
+
+#include <string>
+
+#include "core/deciding.h"
+#include "exec/address_space.h"
+#include "exec/environment.h"
+#include "util/assertx.h"
+#include "util/prob.h"
+
+namespace modcon {
+
+template <typename Env>
+class cil_consensus final : public deciding_object<Env> {
+ public:
+  cil_consensus(address_space& mem, std::size_t n)
+      : n_(static_cast<std::uint32_t>(n)),
+        base_(mem.alloc_block(n_, kBot)) {}
+
+  proc<decided> invoke(Env& env, value_t input) override {
+    MODCON_CHECK_MSG(env.n() == n_, "protocol sized for a different n");
+    MODCON_CHECK_MSG(input < (word{1} << 32), "value too large to pack");
+    const process_id me = env.pid();
+    const prob advance_p(1, 2 * static_cast<std::uint64_t>(n_));
+    const prob adopt_p(1, 2);
+
+    std::uint32_t round = 1;
+    value_t value = input;
+    co_await env.write(base_ + me, pack(round, value));
+
+    for (;;) {
+      // Collect.
+      std::uint32_t max_round = 0;
+      value_t max_value = kBot;
+      bool blocked = false;
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        word w = co_await env.read(base_ + i);
+        if (w == kBot) {
+          // An unstarted process will publish at round 1.
+          if (round < 3) blocked = true;
+          continue;
+        }
+        auto [r, v] = unpack(w);
+        if (r > max_round) {
+          max_round = r;
+          max_value = v;
+        }
+        if (v != value && r + 2 > round) blocked = true;
+      }
+
+      if (!blocked) co_return decided{true, value};
+
+      if (round < max_round) {
+        // Behind: follow the leader, behind a coin the adversary cannot
+        // see (a deterministic catch-up would let a lockstep scheduler
+        // pin the race forever).
+        co_await env.prob_write(base_ + me, pack(max_round, max_value),
+                                adopt_p);
+      } else {
+        // At the front: try to pull ahead.
+        co_await env.prob_write(base_ + me, pack(round + 1, value),
+                                advance_p);
+      }
+      auto [r, v] = unpack(co_await env.read(base_ + me));
+      round = r;
+      value = v;
+    }
+  }
+
+  proc<value_t> decide(Env& env, value_t input) {
+    decided d = co_await invoke(env, input);
+    co_return d.value;
+  }
+
+  std::string name() const override { return "cil-racing-consensus"; }
+
+ private:
+  static word pack(std::uint32_t round, value_t value) {
+    return (static_cast<word>(round) << 32) | value;
+  }
+  static std::pair<std::uint32_t, value_t> unpack(word w) {
+    return {static_cast<std::uint32_t>(w >> 32), w & 0xffffffffULL};
+  }
+
+  std::uint32_t n_;
+  reg_id base_;
+};
+
+}  // namespace modcon

@@ -1,0 +1,45 @@
+// One-register consensus for the priority-scheduling model (§4.2's
+// pointer to Ramamurthy–Moir–Anderson [27], simplified).
+//
+// Under priority-based scheduling the highest-priority process with a
+// pending operation always runs, so processes execute effectively one
+// after another.  Then a single register suffices: look, adopt if
+// somebody already wrote, otherwise write yourself.  Two operations per
+// process, one register — compare the ratifier-only ladder's O(log m)
+// per round (E7).  ([27]'s actual protocol spends 2 registers and 6
+// operations to handle a more general priority model; this is the
+// textbook special case.)
+//
+// OUTSIDE the priority model this is not consensus at all: two processes
+// can interleave read-⊥/write and decide different values.  The
+// exhaustive explorer demonstrates the violation (see baseline_test),
+// which is precisely why the paper's framework pays for ratifiers and
+// conciliators under weaker schedulers.
+#pragma once
+
+#include "core/deciding.h"
+#include "exec/address_space.h"
+#include "exec/environment.h"
+
+namespace modcon {
+
+template <typename Env>
+class priority_consensus final : public deciding_object<Env> {
+ public:
+  explicit priority_consensus(address_space& mem) : r_(mem.alloc(kBot)) {}
+
+  proc<decided> invoke(Env& env, value_t v) override {
+    MODCON_CHECK_MSG(v < kBot, "⊥ is not a valid input");
+    word u = co_await env.read(r_);
+    if (u != kBot) co_return decided{true, u};
+    co_await env.write(r_, v);
+    co_return decided{true, v};
+  }
+
+  std::string name() const override { return "priority-consensus"; }
+
+ private:
+  reg_id r_;
+};
+
+}  // namespace modcon

@@ -1,0 +1,151 @@
+#include "check/conciliator_game.h"
+
+#include <map>
+#include <vector>
+
+#include "util/assertx.h"
+
+namespace modcon::check {
+
+namespace {
+
+// Abstract per-process phase inside the conciliator loop.
+enum phase : std::uint8_t { reading = 0, writing = 1 };
+
+// Game state: register content (0 = ⊥, 1 = value A, 2 = value B), which
+// output values have already been returned, and a census of active
+// processes by (input, k, phase).  Processes with the same summary are
+// exchangeable, so the census is the canonical form.
+struct state {
+  std::uint8_t reg = 0;
+  bool out_a = false;
+  bool out_b = false;
+  // counts[input][k][phase], flattened.
+  std::vector<std::uint8_t> counts;
+};
+
+class solver {
+ public:
+  solver(std::size_t n, unsigned k_sat, impatience_schedule schedule)
+      : n_(n), k_sat_(k_sat), schedule_(schedule) {
+    probs_.reserve(k_sat + 1);
+    for (unsigned k = 0; k <= k_sat; ++k) {
+      prob p = schedule_.probability(k, n);
+      probs_.push_back(p.value());
+    }
+  }
+
+  std::size_t cell(unsigned input, unsigned k, unsigned ph) const {
+    return ((input * (k_sat_ + 1)) + k) * 2 + ph;
+  }
+  std::size_t cells() const { return 2 * (k_sat_ + 1) * 2; }
+
+  double value(state& s) {
+    if (s.out_a && s.out_b) return 0.0;  // disagreement already locked in
+
+    bool any_active = false;
+    for (auto c : s.counts) any_active |= c > 0;
+    if (!any_active) return 1.0;  // everyone agreed
+
+    auto key = encode(s);
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    double best = 2.0;  // adversary minimizes
+    for (unsigned input = 0; input < 2; ++input) {
+      for (unsigned k = 0; k <= k_sat_; ++k) {
+        for (unsigned ph = 0; ph < 2; ++ph) {
+          std::size_t c = cell(input, k, ph);
+          if (s.counts[c] == 0) continue;
+          double v = step(s, input, k, ph);
+          if (v < best) best = v;
+        }
+      }
+    }
+    MODCON_CHECK_MSG(best <= 1.0, "no runnable process in a live state");
+    memo_.emplace(std::move(key), best);
+    return best;
+  }
+
+  std::size_t states() const { return memo_.size(); }
+
+ private:
+  // Executes the pending operation of one process from the given census
+  // cell and returns the resulting game value.
+  double step(state& s, unsigned input, unsigned k, unsigned ph) {
+    std::size_t c = cell(input, k, ph);
+    if (ph == reading) {
+      if (s.reg == 0) {
+        // Read ⊥: the process now holds a pending probabilistic write.
+        state t = s;
+        --t.counts[c];
+        ++t.counts[cell(input, k, writing)];
+        return value(t);
+      }
+      // Read a value: the process returns it.
+      state t = s;
+      --t.counts[c];
+      (t.reg == 1 ? t.out_a : t.out_b) = true;
+      return value(t);
+    }
+    // Pending probabilistic write: chance node.
+    unsigned k_next = k < k_sat_ ? k + 1 : k_sat_;
+    double q = probs_[k];
+    state succ = s;
+    --succ.counts[c];
+    ++succ.counts[cell(input, k_next, reading)];
+    succ.reg = static_cast<std::uint8_t>(1 + input);
+    double v_succ = value(succ);
+    if (q >= 1.0) return v_succ;
+    state fail = s;
+    --fail.counts[c];
+    ++fail.counts[cell(input, k_next, reading)];
+    double v_fail = value(fail);
+    return q * v_succ + (1.0 - q) * v_fail;
+  }
+
+  std::vector<std::uint8_t> encode(const state& s) const {
+    std::vector<std::uint8_t> key;
+    key.reserve(s.counts.size() + 1);
+    key.push_back(static_cast<std::uint8_t>(s.reg | (s.out_a ? 4 : 0) |
+                                            (s.out_b ? 8 : 0)));
+    key.insert(key.end(), s.counts.begin(), s.counts.end());
+    return key;
+  }
+
+  std::size_t n_;
+  unsigned k_sat_;
+  impatience_schedule schedule_;
+  std::vector<double> probs_;
+  std::map<std::vector<std::uint8_t>, double> memo_;
+};
+
+}  // namespace
+
+game_stats exact_worst_case_agreement(std::size_t n_a, std::size_t n_b,
+                                      impatience_schedule schedule) {
+  const std::size_t n = n_a + n_b;
+  MODCON_CHECK_MSG(n >= 1, "need at least one process");
+  MODCON_CHECK_MSG(n_a <= 200 && n_b <= 200, "census counts are bytes");
+
+  // Find the saturation point; require one (growth factor > 1).
+  unsigned k_sat = 0;
+  while (!schedule.probability(k_sat, n).certain()) {
+    ++k_sat;
+    MODCON_CHECK_MSG(k_sat <= 4096,
+                     "schedule never saturates (growth factor must be > 1)");
+  }
+
+  solver sol(n, k_sat, schedule);
+  state init;
+  init.counts.assign(sol.cells(), 0);
+  init.counts[sol.cell(0, 0, reading)] =
+      static_cast<std::uint8_t>(n_a);
+  init.counts[sol.cell(1, 0, reading)] =
+      static_cast<std::uint8_t>(n_b);
+  game_stats stats;
+  stats.value = sol.value(init);
+  stats.states = sol.states();
+  return stats;
+}
+
+}  // namespace modcon::check

@@ -1,0 +1,50 @@
+// Exact worst-case agreement probability of the first-mover conciliator.
+//
+// Theorem 7 lower-bounds the agreement probability by
+// (1 − e^{-1/4})/4 ≈ 0.0553 against every location-oblivious adversary.
+// Sampling attackers (E1/E5) can only show particular strategies fail to
+// beat the bound; this module *solves the scheduling game exactly*.
+//
+// The conciliator's execution is an expectiminimax game:
+//   * adversary nodes: pick which pending operation executes next,
+//     minimizing the probability that all outputs agree.  The adversary
+//     observes everything an in-model adversary may: register contents,
+//     pending operation kinds and values, per-process histories — but
+//     NOT the outcome of a probabilistic write before it executes
+//     (coins resolve at execution, the defining restriction of the
+//     probabilistic-write model);
+//   * chance nodes: an executing probabilistic write succeeds with its
+//     scheduled probability min(g^k/n, 1).
+//
+// Because a process's whole future depends only on (input value, number
+// of misses k, read-vs-write phase) and the register only ever holds ⊥
+// or one of the two input values, the game has a small canonical state
+// space (processes with identical summaries are exchangeable), and the
+// saturating schedule (g > 1) makes it acyclic: memoized DFS computes
+// the exact value.  Binary inputs only — which is the hard case; with
+// more distinct values agreement is strictly harder for the adversary to
+// preserve, not easier to break (any split serves it).
+//
+// The value returned is the adversary's best effort: Theorem 7 asserts
+// it is >= 0.0553 for the doubling schedule, and conciliator_game_test
+// verifies exactly that (plus the E13 bench tabulates it across n and
+// growth factors).
+#pragma once
+
+#include <cstddef>
+
+#include "core/conciliator/impatient.h"
+
+namespace modcon::check {
+
+struct game_stats {
+  double value = 0.0;        // exact min-adversary agreement probability
+  std::size_t states = 0;    // distinct canonical states memoized
+};
+
+// n_a processes hold value A, n_b hold value B (n = n_a + n_b >= 1).
+// Requires a schedule that eventually saturates (growth factor > 1).
+game_stats exact_worst_case_agreement(std::size_t n_a, std::size_t n_b,
+                                      impatience_schedule schedule = {});
+
+}  // namespace modcon::check

@@ -1,0 +1,210 @@
+#include "check/explorer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/world.h"
+#include "util/assertx.h"
+
+namespace modcon::check {
+
+namespace {
+
+// A choice is a pid (scheduling) or 0/1 (coin); which one is determined
+// by replay position, so a flat vector suffices.
+using choice_seq = std::vector<std::uint32_t>;
+
+enum class overflow_kind { none, schedule, coin };
+
+struct replay_outcome {
+  bool complete = false;                  // all processes halted
+  overflow_kind overflow = overflow_kind::none;
+  std::vector<std::uint32_t> options;     // branches at the first gap
+  std::vector<decided> outputs;           // valid when complete
+};
+
+// Adversary that consumes scheduling choices from the shared cursor.
+class replay_adversary final : public sim::adversary {
+ public:
+  replay_adversary(const choice_seq& choices, std::size_t& cursor,
+                   replay_outcome& out)
+      : choices_(choices), cursor_(cursor), out_(out) {}
+
+  sim::adversary_power power() const override {
+    return sim::adversary_power::oblivious;
+  }
+  std::string name() const override { return "replay"; }
+  void reset(std::size_t, std::uint64_t) override {}
+
+  process_id pick(const sim::sched_view& view) override {
+    if (out_.overflow != overflow_kind::none)
+      return view.runnable().front();  // draining; result is discarded
+    if (cursor_ < choices_.size()) {
+      process_id p = choices_[cursor_++];
+      MODCON_CHECK_MSG(view.is_runnable(p),
+                       "replayed schedule picked a non-runnable process");
+      return p;
+    }
+    out_.overflow = overflow_kind::schedule;
+    auto r = view.runnable();
+    out_.options.assign(r.begin(), r.end());
+    std::sort(out_.options.begin(), out_.options.end());
+    return r.front();
+  }
+
+ private:
+  const choice_seq& choices_;
+  std::size_t& cursor_;
+  replay_outcome& out_;
+};
+
+replay_outcome replay(const analysis::sim_object_builder& build,
+                      const std::vector<value_t>& inputs,
+                      const choice_seq& choices, bool branch_coins,
+                      std::size_t max_choices) {
+  replay_outcome out;
+  std::size_t cursor = 0;
+  replay_adversary adv(choices, cursor, out);
+
+  sim::world_options wopts;
+  if (branch_coins) {
+    wopts.coin_override = [&](process_id, const prob&) -> bool {
+      if (out.overflow != overflow_kind::none) return false;  // draining
+      if (cursor < choices.size()) return choices[cursor++] != 0;
+      out.overflow = overflow_kind::coin;
+      out.options = {0, 1};
+      return false;
+    };
+  }
+
+  const std::size_t n = inputs.size();
+  sim::sim_world world(n, adv, /*seed=*/12345, std::move(wopts));
+  auto obj = build(world, n);
+  for (process_id pid = 0; pid < n; ++pid) {
+    world.spawn([&obj, v = inputs[pid]](sim::sim_env& env) {
+      return invoke_encoded(*obj, env, v);
+    });
+  }
+
+  // Step one operation at a time so a choice gap stops the replay at the
+  // right spot (the gap may be detected while posting the next op).
+  std::size_t step_budget = max_choices + 16;
+  while (out.overflow == overflow_kind::none && step_budget-- > 0) {
+    auto r = world.run(1);
+    if (r.status == sim::run_status::all_halted) {
+      out.complete = true;
+      break;
+    }
+    MODCON_CHECK_MSG(r.status != sim::run_status::no_runnable,
+                     "explorer does not inject crashes");
+  }
+  if (out.complete) {
+    MODCON_CHECK_MSG(cursor == choices.size(),
+                     "execution finished without consuming every choice");
+    for (process_id pid = 0; pid < n; ++pid)
+      out.outputs.push_back(decode_decided(*world.output_of(pid)));
+  } else if (out.overflow == overflow_kind::none) {
+    // Ran out of step budget without a gap: treat as truncation.
+    out.overflow = overflow_kind::schedule;
+    out.options.clear();
+  }
+  return out;
+}
+
+std::string format_choices(const choice_seq& c) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i) os << " ";
+    os << c[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+explore_report explore_all(const analysis::sim_object_builder& build,
+                           const std::vector<value_t>& inputs,
+                           const property_checker& check,
+                           const explore_options& opts) {
+  explore_report report;
+  std::vector<choice_seq> stack;
+  stack.push_back({});
+
+  std::uint64_t nodes = 0;
+  while (!stack.empty()) {
+    if (report.executions >= opts.max_executions ||
+        ++nodes > opts.max_nodes)
+      return report;
+    choice_seq choices = std::move(stack.back());
+    stack.pop_back();
+
+    replay_outcome out =
+        replay(build, inputs, choices, opts.branch_coins, opts.max_choices);
+
+    if (out.complete) {
+      ++report.executions;
+      if (auto err = check(out.outputs, inputs)) {
+        ++report.violations;
+        if (report.first_violation.empty())
+          report.first_violation =
+              *err + " on choices " + format_choices(choices);
+      }
+      continue;
+    }
+    if (choices.size() >= opts.max_choices || out.options.empty()) {
+      ++report.truncated;
+      continue;
+    }
+    // Push branches in reverse so exploration visits them in order.
+    for (auto it = out.options.rbegin(); it != out.options.rend(); ++it) {
+      choices.push_back(*it);
+      stack.push_back(choices);
+      choices.pop_back();
+    }
+  }
+  report.exhausted = true;
+  return report;
+}
+
+property_checker weak_consensus_checker() {
+  return [](const std::vector<decided>& outputs,
+            const std::vector<value_t>& inputs)
+             -> std::optional<std::string> {
+    if (!analysis::check_validity(outputs, inputs))
+      return "validity violated";
+    if (!analysis::check_coherence(outputs)) return "coherence violated";
+    return std::nullopt;
+  };
+}
+
+property_checker ratifier_checker() {
+  return [base = weak_consensus_checker()](
+             const std::vector<decided>& outputs,
+             const std::vector<value_t>& inputs)
+             -> std::optional<std::string> {
+    if (auto err = base(outputs, inputs)) return err;
+    bool unanimous = std::all_of(
+        inputs.begin(), inputs.end(),
+        [&](value_t v) { return v == inputs.front(); });
+    if (unanimous &&
+        !analysis::check_acceptance(outputs, inputs.front()))
+      return "acceptance violated";
+    return std::nullopt;
+  };
+}
+
+property_checker consensus_checker() {
+  return [base = weak_consensus_checker()](
+             const std::vector<decided>& outputs,
+             const std::vector<value_t>& inputs)
+             -> std::optional<std::string> {
+    if (auto err = base(outputs, inputs)) return err;
+    if (!analysis::all_decided(outputs)) return "a process did not decide";
+    if (!analysis::check_agreement(outputs)) return "agreement violated";
+    return std::nullopt;
+  };
+}
+
+}  // namespace modcon::check

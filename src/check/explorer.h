@@ -1,0 +1,67 @@
+// Exhaustive execution explorer: replay-based DFS over every adversary
+// choice (and, optionally, every local-coin outcome) of a small system.
+//
+// The paper's correctness properties quantify over all adversaries; for
+// small n we can check them against literally every execution instead of
+// a random sample.  An execution is identified by its choice sequence: a
+// pid whenever the scheduler picks, a bit whenever a non-trivial
+// probabilistic write needs its coin.  The explorer replays prefixes
+// (rebuilding a fresh world and object each time — objects are one-shot),
+// discovers the options at the first unspecified choice, and backtracks.
+//
+// Deterministic objects (e.g. the ratifier) have finitely many
+// executions; coin-branching objects may not (a fixed-probability
+// conciliator can miss forever), so a depth cap turns unbounded suffixes
+// into counted "truncated" paths rather than non-termination.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/runner.h"
+#include "core/types.h"
+
+namespace modcon::check {
+
+struct explore_options {
+  std::uint64_t max_executions = 5'000'000;
+  // Total replay budget (tree nodes, complete or not).  Guards against
+  // mostly-truncated trees, where max_executions alone would never bind.
+  std::uint64_t max_nodes = 2'000'000;
+  std::size_t max_choices = 256;  // depth cap per execution
+  bool branch_coins = true;       // enumerate coin outcomes too
+};
+
+struct explore_report {
+  std::uint64_t executions = 0;  // complete executions checked
+  std::uint64_t truncated = 0;   // paths cut off by max_choices
+  std::uint64_t violations = 0;
+  std::string first_violation;   // description + offending choice sequence
+  bool exhausted = false;        // finished within max_executions
+
+  bool ok() const { return violations == 0; }
+};
+
+// Returns an error description if the outputs violate the property.
+using property_checker = std::function<std::optional<std::string>(
+    const std::vector<decided>& outputs,
+    const std::vector<value_t>& inputs)>;
+
+explore_report explore_all(const analysis::sim_object_builder& build,
+                           const std::vector<value_t>& inputs,
+                           const property_checker& check,
+                           const explore_options& opts = {});
+
+// --- canned property checkers (§3 definitions) ---
+
+// Validity + coherence: every weak consensus object must pass.
+property_checker weak_consensus_checker();
+// Weak consensus + acceptance (only meaningful on unanimous inputs).
+property_checker ratifier_checker();
+// Weak consensus + everyone decides + agreement: full consensus.
+property_checker consensus_checker();
+
+}  // namespace modcon::check

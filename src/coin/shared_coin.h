@@ -1,0 +1,30 @@
+// Weak shared coins (§5.1, after Aspnes–Herlihy [9]).
+//
+// A weak shared coin is a one-shot protocol in which each process decides
+// a bit, and for some agreement parameter δ > 0 both Pr[all decide 0] and
+// Pr[all decide 1] are at least δ against any adversary in the model.
+// Note the two ways this differs from a conciliator (§5.1): it is
+// *stronger* in being unpredictable (either outcome has probability >= δ)
+// and *weaker* in ignoring validity (the outputs need not relate to any
+// input).  Theorem 6 turns any weak shared coin into a binary conciliator.
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+#include "exec/proc.h"
+
+namespace modcon {
+
+template <typename Env>
+class shared_coin {
+ public:
+  virtual ~shared_coin() = default;
+
+  // Each process calls this at most once; returns 0 or 1.
+  virtual proc<value_t> toss(Env& env) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace modcon

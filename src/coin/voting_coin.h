@@ -1,0 +1,75 @@
+// Voting-based weak shared coin in the style of Aspnes–Herlihy [9].
+//
+// Each process repeatedly flips a fair local coin and adds the ±1 vote to
+// its own tally register (n single-writer registers, so no register is
+// ever contended).  Every `period` votes it collects all n tallies (n
+// individual reads — no snapshot assumption) and decides sign(total) once
+// |total| exceeds threshold_factor · n.
+//
+// The random walk of the total vote needs Θ((threshold_factor · n)²)
+// votes to escape the threshold, and the adversary can hide at most
+// (period - 1) · n unwritten votes plus n - 1 pending writes — a vanishing
+// fraction of the threshold — so both outcomes retain constant
+// probability against even an adaptive adversary.  Total work is
+// Θ(n²·threshold_factor²·(1 + n/period)); this coin is the expensive
+// classic the probabilistic-write conciliator of Theorem 7 sidesteps.
+#pragma once
+
+#include <cstdint>
+
+#include "coin/shared_coin.h"
+#include "exec/address_space.h"
+#include "exec/environment.h"
+#include "util/assertx.h"
+
+namespace modcon {
+
+template <typename Env>
+class voting_coin final : public shared_coin<Env> {
+ public:
+  voting_coin(address_space& mem, std::size_t n, unsigned threshold_factor = 4,
+              unsigned period = 2)
+      : n_(n),
+        threshold_(static_cast<std::int64_t>(threshold_factor) *
+                   static_cast<std::int64_t>(n)),
+        period_(period),
+        base_(mem.alloc_block(static_cast<std::uint32_t>(n), encode(0))) {
+    MODCON_CHECK(threshold_factor >= 1 && period >= 1);
+  }
+
+  proc<value_t> toss(Env& env) override {
+    MODCON_CHECK_MSG(env.n() == n_, "coin sized for a different n");
+    std::int64_t mine = 0;
+    for (;;) {
+      for (unsigned i = 0; i < period_; ++i) {
+        mine += env.coin() ? 1 : -1;
+        co_await env.write(base_ + env.pid(), encode(mine));
+      }
+      std::int64_t total = 0;
+      for (std::uint32_t i = 0; i < n_; ++i)
+        total += decode(co_await env.read(base_ + i));
+      if (total >= threshold_) co_return 1;
+      if (total <= -threshold_) co_return 0;
+    }
+  }
+
+  std::string name() const override { return "voting-coin"; }
+
+ private:
+  // Zigzag encoding of a signed tally into a register word.
+  static word encode(std::int64_t v) {
+    return (static_cast<word>(v) << 1) ^
+           static_cast<word>(v >> 63);
+  }
+  static std::int64_t decode(word w) {
+    return static_cast<std::int64_t>(w >> 1) ^
+           -static_cast<std::int64_t>(w & 1);
+  }
+
+  std::size_t n_;
+  std::int64_t threshold_;
+  unsigned period_;
+  reg_id base_;
+};
+
+}  // namespace modcon

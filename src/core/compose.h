@@ -1,0 +1,71 @@
+// Sequential composition of deciding objects (Procedure Composition, §3.2).
+//
+// (X; Y): run X; if it decides, return its output immediately (Y is
+// skipped — the "exception mechanism" of the paper); otherwise feed X's
+// value to Y.  Composition preserves validity (Lemma 1), termination
+// (Lemma 2) and — when every later object is also valid — coherence
+// (Lemma 3), so composing weak consensus objects yields a weak consensus
+// object (Corollary 4).  Composition is associative, so `sequence` keeps
+// a flat list.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/deciding.h"
+
+namespace modcon {
+
+template <typename Env>
+class sequence final : public deciding_object<Env> {
+ public:
+  using object_ptr = std::unique_ptr<deciding_object<Env>>;
+
+  sequence() = default;
+  explicit sequence(std::vector<object_ptr> parts)
+      : parts_(std::move(parts)) {}
+
+  sequence& append(object_ptr obj) {
+    parts_.push_back(std::move(obj));
+    return *this;
+  }
+
+  std::size_t size() const { return parts_.size(); }
+  deciding_object<Env>& part(std::size_t i) { return *parts_[i]; }
+
+  proc<decided> invoke(Env& env, value_t input) override {
+    decided d{false, input};
+    for (const auto& obj : parts_) {
+      d = co_await obj->invoke(env, d.value);
+      if (d.decide) break;
+    }
+    co_return d;
+  }
+
+  std::string name() const override {
+    std::string s = "(";
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      if (i) s += "; ";
+      s += parts_[i]->name();
+    }
+    return s + ")";
+  }
+
+ private:
+  std::vector<object_ptr> parts_;
+};
+
+// (X; Y) for exactly two objects.
+template <typename Env>
+std::unique_ptr<sequence<Env>> compose(
+    std::unique_ptr<deciding_object<Env>> x,
+    std::unique_ptr<deciding_object<Env>> y) {
+  auto s = std::make_unique<sequence<Env>>();
+  s->append(std::move(x));
+  s->append(std::move(y));
+  return s;
+}
+
+}  // namespace modcon

@@ -1,0 +1,51 @@
+// Conciliator from a weak shared coin (Procedure CoinConciliator,
+// Theorem 6).
+//
+// Binary registers r0, r1 enforce validity on top of the coin: a process
+// with input v marks r_v, then checks r_{1-v}.  If nobody with the other
+// input has shown up it returns its own value — and, by the argument in
+// the proof of Theorem 6, any process that skips the coin this way
+// returns the unique first-marked value, while every process with the
+// other input is forced into the coin.  Otherwise it returns the shared
+// coin's toss.  Agreement probability is at least the coin's δ; the cost
+// is the coin's cost plus two register operations.  Binary values only.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "coin/shared_coin.h"
+#include "core/deciding.h"
+#include "exec/address_space.h"
+#include "exec/environment.h"
+
+namespace modcon {
+
+template <typename Env>
+class coin_conciliator final : public deciding_object<Env> {
+ public:
+  coin_conciliator(address_space& mem, std::unique_ptr<shared_coin<Env>> coin)
+      : r0_(mem.alloc(0)), r1_(mem.alloc(0)), coin_(std::move(coin)) {}
+
+  proc<decided> invoke(Env& env, value_t v) override {
+    MODCON_CHECK_MSG(v <= 1, "coin conciliator is binary");
+    co_await env.write(v == 0 ? r0_ : r1_, 1);
+    word other = co_await env.read(v == 0 ? r1_ : r0_);
+    if (other != 0) {
+      value_t tossed = co_await coin_->toss(env);
+      co_return decided{false, tossed};
+    }
+    co_return decided{false, v};
+  }
+
+  std::string name() const override {
+    return "coin-conciliator[" + coin_->name() + "]";
+  }
+
+ private:
+  reg_id r0_;
+  reg_id r1_;
+  std::unique_ptr<shared_coin<Env>> coin_;
+};
+
+}  // namespace modcon

@@ -1,0 +1,49 @@
+// Fixed-probability first-mover conciliator — the Chor–Israeli–Li-style
+// baseline (§5.2: "previous protocols in this model have used a constant
+// Θ(1/n) probability for each write").
+//
+// Identical to the impatient conciliator except the write probability is
+// fixed at c/n forever.  Expected total work and expected individual work
+// are both Θ(n): a single process running alone needs ~n/c attempts to get
+// its value to stick.  This is the shape the impatient schedule improves
+// to O(log n) individual work (experiment E9).
+#pragma once
+
+#include "core/deciding.h"
+#include "exec/address_space.h"
+#include "exec/environment.h"
+#include "util/prob.h"
+
+namespace modcon {
+
+template <typename Env>
+class fixed_probability_conciliator final : public deciding_object<Env> {
+ public:
+  // Write probability is num / (den_per_n * n); the classic choice is
+  // 1/(2n).
+  explicit fixed_probability_conciliator(address_space& mem,
+                                         std::uint64_t num = 1,
+                                         std::uint64_t den_per_n = 2)
+      : r_(mem.alloc(kBot)), num_(num), den_per_n_(den_per_n) {}
+
+  proc<decided> invoke(Env& env, value_t v) override {
+    MODCON_CHECK_MSG(v < kBot, "⊥ is not a valid input");
+    const prob p(num_, den_per_n_ * static_cast<std::uint64_t>(env.n()));
+    for (;;) {
+      word u = co_await env.read(r_);
+      if (u != kBot) co_return decided{false, u};
+      co_await env.prob_write(r_, v, p);
+    }
+  }
+
+  std::string name() const override { return "fixed-prob-first-mover"; }
+
+  reg_id register_id() const { return r_; }
+
+ private:
+  reg_id r_;
+  std::uint64_t num_;
+  std::uint64_t den_per_n_;
+};
+
+}  // namespace modcon

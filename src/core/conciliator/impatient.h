@@ -1,0 +1,130 @@
+// The impatient first-mover conciliator (Procedure
+// ImpatientFirstMoverConciliator, Theorem 7).
+//
+// One multiwriter register r, initially ⊥.  A process with input v loops:
+// read r; if nonempty, return (0, r) — first mover wins; otherwise attempt
+// a probabilistic write of v with probability min(2^k/n, 1), where k
+// counts its own attempts so far (the process grows impatient, doubling
+// its probability each time, by analogy with the increasing weighted
+// votes of [7, 8, 10]).
+//
+// Guarantees (Theorem 7), for ANY number of distinct input values and any
+// location-oblivious adversary:
+//   individual work <= 2 lg n + O(1)       (deterministic worst case)
+//   expected total work <= 6n
+//   agreement probability >= (1 - e^{-1/4})/4 ≈ 0.0553
+// Validity: only input values are ever written.  Coherence: vacuous (the
+// decision bit is always 0).
+#pragma once
+
+#include "core/deciding.h"
+#include "exec/address_space.h"
+#include "exec/environment.h"
+#include "util/prob.h"
+
+namespace modcon {
+
+// Impatience schedules for the ablation study (E12).  The paper's
+// schedule multiplies the write probability by 2 after every miss;
+// `numer/denom` generalizes the growth factor g = numer/denom >= 1:
+// attempt k writes with probability min(g^k / n, 1).  g = 1 degenerates
+// to the fixed-probability CIL-style baseline.
+struct impatience_schedule {
+  std::uint32_t numer = 2;
+  std::uint32_t denom = 1;
+
+  // min(g^k / n, 1) = min(numer^k / (denom^k * n), 1), exact up to a
+  // shared right-shift renormalization once the 128-bit intermediates
+  // would overflow (far beyond any probability the algorithms can tell
+  // apart from its neighbour).
+  prob probability(unsigned k, std::uint64_t n) const {
+    unsigned __int128 num = 1;
+    unsigned __int128 den = n;
+    for (unsigned i = 0; i < k; ++i) {
+      num *= numer;
+      den *= denom;
+      if (num >= den) return prob::always();
+      while (den >= (static_cast<unsigned __int128>(1) << 96) ||
+             num >= (static_cast<unsigned __int128>(1) << 96)) {
+        num >>= 32;
+        den >>= 32;
+        if (num == 0) num = 1;
+      }
+    }
+    if (num >= den) return prob::always();
+    while (den > ~std::uint64_t{0}) {
+      num >>= 16;
+      den >>= 16;
+      if (num == 0) num = 1;
+    }
+    return prob(static_cast<std::uint64_t>(num),
+                static_cast<std::uint64_t>(den));
+  }
+
+  bool is_doubling() const { return numer == 2 * denom; }
+};
+
+template <typename Env>
+class impatient_conciliator final : public deciding_object<Env> {
+ public:
+  // `detect_success` opts into the footnote-to-Theorem-7 model extension
+  // (a process learns whether its probabilistic write applied and can
+  // return immediately, saving two operations); the default is the
+  // paper's plain probabilistic-write model.
+  explicit impatient_conciliator(address_space& mem,
+                                 impatience_schedule schedule = {},
+                                 bool detect_success = false)
+      : r_(mem.alloc(kBot)),
+        schedule_(schedule),
+        detect_success_(detect_success) {
+    MODCON_CHECK_MSG(schedule.denom >= 1 && schedule.numer >= schedule.denom,
+                     "growth factor must be >= 1");
+  }
+
+  proc<decided> invoke(Env& env, value_t v) override {
+    MODCON_CHECK_MSG(v < kBot, "⊥ is not a valid input");
+    const auto n = static_cast<std::uint64_t>(env.n());
+    unsigned k = 0;
+    for (;;) {
+      word u = co_await env.read(r_);
+      if (u != kBot) co_return decided{false, u};
+      prob p = schedule_.probability(k, n);
+      if (detect_success_) {
+        bool applied = co_await env.prob_write_detect(r_, v, p);
+        if (applied) co_return decided{false, v};
+      } else {
+        co_await env.prob_write(r_, v, p);
+      }
+      ++k;
+    }
+  }
+
+  std::string name() const override { return "impatient-first-mover"; }
+
+  // Theorem 7's agreement-probability lower bound.
+  static constexpr double agreement_bound() {
+    return 0.25 * (1.0 - 0.77880078307140486825);  // (1 - e^{-1/4}) / 4
+  }
+
+  // Deterministic individual-work bound: lg n + 2 reads, lg n + 1 writes.
+  static std::uint64_t individual_work_bound(std::uint64_t n);
+
+  reg_id register_id() const { return r_; }
+
+ private:
+  reg_id r_;
+  impatience_schedule schedule_;
+  bool detect_success_;
+};
+
+template <typename Env>
+std::uint64_t impatient_conciliator<Env>::individual_work_bound(
+    std::uint64_t n) {
+  // After ceil(lg n) misses the write probability reaches 1, so a process
+  // performs at most ceil(lg n) + 1 writes and ceil(lg n) + 2 reads.
+  std::uint64_t lg = 0;
+  while ((std::uint64_t{1} << lg) < n) ++lg;
+  return 2 * lg + 3;
+}
+
+}  // namespace modcon

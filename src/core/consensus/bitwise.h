@@ -1,0 +1,90 @@
+// m-valued consensus by bitwise reduction to binary consensus — the
+// classic comparator for the paper's native m-valued stack (E3).
+//
+// Processes agree on the decision one bit at a time, most significant
+// first: round i runs a binary consensus instance on bit i of each
+// process's current candidate.  If a process loses a bit round it must
+// repair its candidate to one that matches the agreed prefix; validity
+// demands the repaired candidate be some process's actual input, so
+// inputs are published in an announce array and the repair scans it for
+// a prefix-consistent value.
+//
+// Such a value always exists: the winning bit was proposed by a process
+// whose candidate already matched the agreed prefix (induction), and
+// that candidate sits in the announce array — every candidate is either
+// an original input (announced before any bit round) or was itself
+// copied out of the array.
+//
+// Cost: ⌈lg m⌉ bit rounds, each a binary consensus (O(log n) expected
+// individual work with the paper's stack) plus an O(n) repair scan in
+// the worst case — O((n + log n) · log m) individual work versus the
+// native stack's O(log n + log m).  This gap is exactly why the paper
+// builds an m-valued ratifier instead of reducing to bits.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/consensus/unbounded.h"
+#include "core/deciding.h"
+#include "exec/address_space.h"
+#include "exec/environment.h"
+#include "util/bits.h"
+
+namespace modcon {
+
+template <typename Env>
+class bitwise_consensus final : public deciding_object<Env> {
+ public:
+  // `make_binary` builds one binary consensus object per bit round.
+  bitwise_consensus(address_space& mem, std::size_t n, std::uint64_t m,
+                    const object_factory<Env>& make_binary)
+      : n_(static_cast<std::uint32_t>(n)),
+        m_(m),
+        bits_(m <= 2 ? 1 : ceil_log2(m)),
+        announce_(mem.alloc_block(n_, kBot)) {
+    rounds_.reserve(bits_);
+    for (unsigned i = 0; i < bits_; ++i) rounds_.push_back(make_binary());
+  }
+
+  proc<decided> invoke(Env& env, value_t v) override {
+    MODCON_CHECK_MSG(v < m_, "input outside Σ");
+    co_await env.write(announce_ + env.pid(), v);
+
+    value_t candidate = v;
+    value_t agreed = 0;
+    for (unsigned i = bits_; i-- > 0;) {
+      value_t my_bit = (candidate >> i) & 1;
+      decided d = co_await rounds_[bits_ - 1 - i]->invoke(env, my_bit);
+      MODCON_CHECK_MSG(d.decide, "bit round did not decide");
+      agreed |= d.value << i;
+      if (d.value != my_bit) {
+        // Repair: adopt an announced value consistent with the agreed
+        // prefix (bits i and above).
+        candidate = co_await repair(env, agreed, i);
+      }
+    }
+    co_return decided{true, candidate};
+  }
+
+  std::string name() const override { return "bitwise-consensus"; }
+
+ private:
+  proc<value_t> repair(Env& env, value_t agreed, unsigned low_bit) {
+    for (std::uint32_t j = 0; j < n_; ++j) {
+      word a = co_await env.read(announce_ + j);
+      if (a == kBot) continue;
+      if ((a >> low_bit) == (agreed >> low_bit)) co_return a;
+    }
+    MODCON_CHECK_MSG(false, "no announced value matches the agreed prefix");
+    co_return 0;
+  }
+
+  std::uint32_t n_;
+  std::uint64_t m_;
+  unsigned bits_;
+  reg_id announce_;
+  std::vector<std::unique_ptr<deciding_object<Env>>> rounds_;
+};
+
+}  // namespace modcon

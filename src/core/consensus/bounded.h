@@ -1,0 +1,77 @@
+// Bounded-space consensus (Theorem 5):
+//
+//     B = (R₋₁; R₀; C₁; R₁; …; C_k; R_k; K)
+//
+// where K is any bounded-space consensus protocol.  B decides because K
+// does if nothing earlier has; expected cost is
+// O((1/δ)(T(R) + T(C)) + (1-δ)^k · T(K)), so with constant δ and
+// polynomial T(K), k = O(log n) already hides K's cost inside the
+// conciliator/ratifier budget.  All k rounds are materialized eagerly —
+// that is the point: space is fixed up front.
+//
+// Our fallback K is the Chor–Israeli–Li-style racing consensus
+// (src/baseline/cil_consensus.h), which is bounded-space in the
+// probabilistic-write model; any deciding object that always decides can
+// be substituted.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/compose.h"
+#include "core/consensus/unbounded.h"
+#include "core/deciding.h"
+
+namespace modcon {
+
+template <typename Env>
+class bounded_consensus final : public deciding_object<Env> {
+ public:
+  // `rounds` is k; `fallback` must decide on every invocation.
+  bounded_consensus(const object_factory<Env>& make_ratifier,
+                    const object_factory<Env>& make_conciliator,
+                    std::size_t rounds,
+                    std::unique_ptr<deciding_object<Env>> fallback)
+      : rounds_(rounds), fallback_(std::move(fallback)) {
+    prefix_.append(make_ratifier());  // R₋₁
+    prefix_.append(make_ratifier());  // R₀
+    for (std::size_t i = 0; i < rounds; ++i) {
+      prefix_.append(make_conciliator());  // C_{i+1}
+      prefix_.append(make_ratifier());     // R_{i+1}
+    }
+  }
+
+  proc<decided> invoke(Env& env, value_t input) override {
+    decided d = co_await prefix_.invoke(env, input);
+    if (!d.decide) {
+      fallback_entries_.fetch_add(1, std::memory_order_relaxed);
+      d = co_await fallback_->invoke(env, d.value);
+      MODCON_CHECK_MSG(d.decide, "fallback K failed to decide");
+    }
+    co_return d;
+  }
+
+  proc<value_t> decide(Env& env, value_t input) {
+    decided d = co_await invoke(env, input);
+    co_return d.value;
+  }
+
+  std::string name() const override { return "bounded-consensus"; }
+
+  std::size_t rounds() const { return rounds_; }
+  // How many invocations fell through to K; the measured analogue of the
+  // (1-δ)^k term.
+  std::uint64_t fallback_entries() const {
+    return fallback_entries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t rounds_;
+  sequence<Env> prefix_;
+  std::unique_ptr<deciding_object<Env>> fallback_;
+  std::atomic<std::uint64_t> fallback_entries_{0};
+};
+
+}  // namespace modcon

@@ -1,0 +1,69 @@
+// Consensus from ratifiers only (§4.2): R = R₁; R₂; …
+//
+// With no conciliators there is no randomized escape hatch, so progress
+// relies on scheduling restrictions: under the noisy scheduler of [5] the
+// accumulated timing noise eventually pushes some process through a
+// ratifier alone (for binary ratifiers this is essentially the
+// lean-consensus protocol, terminating in O(log n) individual work), and
+// under priority scheduling [27] the highest-priority process trivially
+// runs alone.  Under an unrestricted adversary this protocol can run
+// forever; `max_rounds` bounds the ladder so a hostile schedule surfaces
+// as an error instead of unbounded allocation.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/consensus/unbounded.h"
+#include "core/deciding.h"
+
+namespace modcon {
+
+template <typename Env>
+class ratifier_only_consensus final : public deciding_object<Env> {
+ public:
+  ratifier_only_consensus(object_factory<Env> make_ratifier,
+                          std::size_t max_rounds = 100000)
+      : make_ratifier_(std::move(make_ratifier)), max_rounds_(max_rounds) {}
+
+  proc<decided> invoke(Env& env, value_t input) override {
+    decided d{false, input};
+    std::size_t i = 0;
+    while (!d.decide) {
+      MODCON_CHECK_MSG(i < max_rounds_,
+                       "ratifier-only ladder exceeded " << max_rounds_
+                           << " rounds; the scheduler is too adversarial");
+      d = co_await part(i)->invoke(env, d.value);
+      ++i;
+    }
+    co_return d;
+  }
+
+  proc<value_t> decide(Env& env, value_t input) {
+    decided d = co_await invoke(env, input);
+    co_return d.value;
+  }
+
+  std::string name() const override { return "ratifier-only-consensus"; }
+
+  std::size_t parts_built() const {
+    std::scoped_lock lk(mu_);
+    return parts_.size();
+  }
+
+ private:
+  deciding_object<Env>* part(std::size_t i) {
+    std::scoped_lock lk(mu_);
+    while (parts_.size() <= i) parts_.push_back(make_ratifier_());
+    return parts_[i].get();
+  }
+
+  object_factory<Env> make_ratifier_;
+  std::size_t max_rounds_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<deciding_object<Env>>> parts_;
+};
+
+}  // namespace modcon

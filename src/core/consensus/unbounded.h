@@ -1,0 +1,93 @@
+// Consensus from an alternating sequence of ratifiers and conciliators
+// (§4.1, unbounded construction):
+//
+//     U = R₋₁; R₀; C₁; R₁; C₂; R₂; …
+//
+// The initial R₋₁; R₀ prefix is the fast path (credited by the paper to
+// Azza Abouzeid): a process that finishes R₋₁ before any process with a
+// different input arrives cannot distinguish the execution from a
+// unanimous one, so acceptance forces it to decide, and coherence then
+// drags every other process to the same value through R₀.  In a contended
+// execution, each conciliator produces agreement with probability δ and
+// the following ratifier converts agreement into decisions, so the
+// expected number of (C; R) rounds is at most 1/δ and
+// E[T(U)] <= 2 T(R) + (1/δ)(T(C) + T(R)).
+//
+// The sequence is materialized lazily: round i's objects (and their
+// registers) are allocated the first time any process reaches round i.
+// Space is unbounded in the worst case — see bounded.h for Theorem 5's
+// truncation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/deciding.h"
+
+namespace modcon {
+
+template <typename Env>
+using object_factory =
+    std::function<std::unique_ptr<deciding_object<Env>>()>;
+
+template <typename Env>
+class unbounded_consensus final : public deciding_object<Env> {
+ public:
+  // Both factories are invoked lazily, under a lock, in round order.
+  unbounded_consensus(object_factory<Env> make_ratifier,
+                      object_factory<Env> make_conciliator)
+      : make_ratifier_(std::move(make_ratifier)),
+        make_conciliator_(std::move(make_conciliator)) {}
+
+  // Consensus: always returns (1, v).  Termination holds with
+  // probability 1 because some conciliator eventually produces agreement
+  // and the next ratifier then forces every process to decide.
+  proc<decided> invoke(Env& env, value_t input) override {
+    decided d{false, input};
+    std::size_t i = 0;
+    while (!d.decide) {
+      d = co_await part(i)->invoke(env, d.value);
+      ++i;
+    }
+    co_return d;
+  }
+
+  // Convenience wrapper returning the bare decision value.
+  proc<value_t> decide(Env& env, value_t input) {
+    decided d = co_await invoke(env, input);
+    co_return d.value;
+  }
+
+  std::string name() const override { return "unbounded-consensus"; }
+
+  // Number of objects materialized so far: 2 + 2 * (conciliator rounds
+  // reached).  An expected-cost probe for E2/E8.
+  std::size_t parts_built() const {
+    std::scoped_lock lk(mu_);
+    return parts_.size();
+  }
+
+ private:
+  deciding_object<Env>* part(std::size_t i) {
+    std::scoped_lock lk(mu_);
+    while (parts_.size() <= i) {
+      std::size_t next = parts_.size();
+      // Schedule: R₋₁, R₀, then alternating C_j, R_j.
+      if (next < 2 || next % 2 == 1)
+        parts_.push_back(make_ratifier_());
+      else
+        parts_.push_back(make_conciliator_());
+    }
+    return parts_[i].get();
+  }
+
+  object_factory<Env> make_ratifier_;
+  object_factory<Env> make_conciliator_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<deciding_object<Env>>> parts_;
+};
+
+}  // namespace modcon

@@ -1,0 +1,50 @@
+// The deciding-object interface (§3).
+//
+// A deciding object is a one-shot shared-memory object: each process
+// invokes it at most once, with a value in Σ, and receives a pair
+// (decision bit, value).  All the paper's object classes — weak consensus
+// objects, conciliators, ratifiers, and consensus itself — share this
+// interface and differ only in which properties they guarantee:
+//
+//   validity       every output value is some process's input value
+//   termination    every invocation completes with probability 1
+//   coherence      if some process gets (1, v), nobody gets (d, v') v'≠v
+//   probabilistic agreement (conciliator): all outputs equal w.p. >= δ
+//   acceptance     (ratifier): all inputs v  ⇒  all outputs (1, v)
+//
+// Objects are shared: one instance serves all n processes, each calling
+// invoke() from its own coroutine.  Implementations keep their mutable
+// per-invocation state in coroutine locals; the object itself only owns
+// register ids (allocated at construction from an address_space).
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+#include "exec/proc.h"
+
+namespace modcon {
+
+template <typename Env>
+class deciding_object {
+ public:
+  virtual ~deciding_object() = default;
+
+  // Each process calls this at most once.  `input` must be < kBot.
+  virtual proc<decided> invoke(Env& env, value_t input) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Invokes `obj` and packs the result into a word — the standard top-level
+// process program.  A plain coroutine function (parameters are copied
+// into the frame), so callers can safely wrap it in short-lived factory
+// lambdas; a capturing *coroutine* lambda would leave its captures behind
+// when the closure object dies (CppCoreGuidelines CP.51).
+template <typename Env>
+proc<word> invoke_encoded(deciding_object<Env>& obj, Env& env, value_t v) {
+  decided d = co_await obj.invoke(env, v);
+  co_return encode_decided(d);
+}
+
+}  // namespace modcon

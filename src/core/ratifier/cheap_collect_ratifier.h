@@ -1,0 +1,56 @@
+// Ratifier for the cheap-collect model (§6.2 choice 4).
+//
+// In a model where reading an array of n single-writer registers costs
+// O(1) (a "cheap collect"), write quorums of size 1 suffice: each process
+// announces its value in its own register and detects conflicts with a
+// single collect.  Individual work drops to 4 operations for any m.  The
+// paper flags this model as unrealistic; it exists to bound what
+// cheap-collect lower bounds could hope to show.  Only the simulator
+// charges collect as one operation; the real-thread backend performs n
+// reads (and this class documents that the 4-op bound is model-specific).
+#pragma once
+
+#include "core/deciding.h"
+#include "exec/address_space.h"
+#include "exec/environment.h"
+
+namespace modcon {
+
+template <typename Env>
+class cheap_collect_ratifier final : public deciding_object<Env> {
+ public:
+  cheap_collect_ratifier(address_space& mem, std::size_t n)
+      : n_(static_cast<std::uint32_t>(n)),
+        announce_(mem.alloc_block(n_, kBot)),
+        proposal_(mem.alloc(kBot)) {}
+
+  proc<decided> invoke(Env& env, value_t v) override {
+    MODCON_CHECK_MSG(v < kBot, "⊥ is not a valid input");
+    MODCON_CHECK_MSG(env.n() == n_, "ratifier sized for a different n");
+    co_await env.write(announce_ + env.pid(), v);
+
+    word u = co_await env.read(proposal_);
+    value_t preference;
+    if (u != kBot) {
+      preference = u;
+    } else {
+      preference = v;
+      co_await env.write(proposal_, preference);
+    }
+
+    auto announced = co_await env.collect(announce_, n_);
+    for (word a : announced) {
+      if (a != kBot && a != preference) co_return decided{false, preference};
+    }
+    co_return decided{true, preference};
+  }
+
+  std::string name() const override { return "ratifier[cheap-collect]"; }
+
+ private:
+  std::uint32_t n_;
+  reg_id announce_;
+  reg_id proposal_;
+};
+
+}  // namespace modcon

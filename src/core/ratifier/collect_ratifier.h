@@ -1,0 +1,62 @@
+// Announce-array ratifier: the cheap-collect construction of §6.2
+// (choice 4) priced honestly, with the collect realized as n individual
+// reads.
+//
+// Write quorums of size 1 (each process announces in its own register)
+// and read quorums of size n (scan everyone).  Correct by exactly the
+// Theorem 8 argument — W_v = {own register} intersects R_v' for every
+// v' != v because the scan reads every register.  Supports any m with
+// n + 1 registers, at the price of n + 3 individual work: the natural
+// foil for the O(log m) quorum schemes in experiment E4, and the closest
+// relative of classic adopt-commit objects (commit ↔ decision bit 1,
+// adopt ↔ 0).
+#pragma once
+
+#include "core/deciding.h"
+#include "exec/address_space.h"
+#include "exec/environment.h"
+
+namespace modcon {
+
+template <typename Env>
+class collect_ratifier final : public deciding_object<Env> {
+ public:
+  collect_ratifier(address_space& mem, std::size_t n)
+      : n_(static_cast<std::uint32_t>(n)),
+        announce_(mem.alloc_block(n_, kBot)),
+        proposal_(mem.alloc(kBot)) {}
+
+  proc<decided> invoke(Env& env, value_t v) override {
+    MODCON_CHECK_MSG(v < kBot, "⊥ is not a valid input");
+    MODCON_CHECK_MSG(env.n() == n_, "ratifier sized for a different n");
+    co_await env.write(announce_ + env.pid(), v);
+
+    word u = co_await env.read(proposal_);
+    value_t preference;
+    if (u != kBot) {
+      preference = u;
+    } else {
+      preference = v;
+      co_await env.write(proposal_, preference);
+    }
+
+    // Read quorum: every announce register, one read at a time.
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      word a = co_await env.read(announce_ + i);
+      if (a != kBot && a != preference) co_return decided{false, preference};
+    }
+    co_return decided{true, preference};
+  }
+
+  std::string name() const override { return "ratifier[collect]"; }
+
+  // n reads + announce + proposal read (+ proposal write).
+  std::uint64_t individual_work_bound() const { return n_ + 3; }
+
+ private:
+  std::uint32_t n_;
+  reg_id announce_;
+  reg_id proposal_;
+};
+
+}  // namespace modcon

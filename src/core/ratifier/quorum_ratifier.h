@@ -1,0 +1,82 @@
+// The deterministic quorum ratifier (Procedure Ratifier, Theorem 8).
+//
+// Shared data: a pool of binary announce registers (layout given by a
+// quorum_system) and a proposal register, initially ⊥.  A process with
+// input v:
+//   1. announces v by setting every register in its write quorum W_v;
+//   2. reads proposal; adopts it as its preference if nonempty, otherwise
+//      proposes its own value by writing it there;
+//   3. reads its preference's read quorum R_pref: if any register is set,
+//      a conflicting value has been announced — return (0, preference);
+//      otherwise return (1, preference).
+//
+// Correct (validity, termination, coherence, acceptance) whenever
+// W_v ∩ R_v' = ∅ ⇔ v = v' (Theorem 8).  Cost: |W| + |R| + 2 operations,
+// pool + 1 registers — e.g. 4 ops / 3 registers for binary (§6.2),
+// lg m + O(log log m) for the Bollobás scheme (Theorem 10).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "core/deciding.h"
+#include "exec/address_space.h"
+#include "exec/environment.h"
+#include "quorum/quorum_system.h"
+
+namespace modcon {
+
+template <typename Env>
+class quorum_ratifier final : public deciding_object<Env> {
+ public:
+  quorum_ratifier(address_space& mem,
+                  std::shared_ptr<const quorum_system> qs)
+      : qs_(std::move(qs)),
+        base_(mem.alloc_block(qs_->pool_size(), 0)),
+        proposal_(mem.alloc(kBot)) {}
+
+  proc<decided> invoke(Env& env, value_t v) override {
+    MODCON_CHECK_MSG(v < qs_->max_values(),
+                     "input " << v << " outside Σ (m=" << qs_->max_values()
+                              << ")");
+    // Announce v.
+    for (std::uint32_t i : qs_->write_quorum(v))
+      co_await env.write(base_ + i, 1);
+
+    // Propose or adopt.
+    word u = co_await env.read(proposal_);
+    value_t preference;
+    if (u != kBot) {
+      preference = u;
+    } else {
+      preference = v;
+      co_await env.write(proposal_, preference);
+    }
+
+    // Ratify only if no conflicting value has been announced.
+    for (std::uint32_t i : qs_->read_quorum(preference)) {
+      if (co_await env.read(base_ + i) != 0)
+        co_return decided{false, preference};
+    }
+    co_return decided{true, preference};
+  }
+
+  std::string name() const override {
+    return "ratifier[" + qs_->name() + "]";
+  }
+
+  const quorum_system& quorums() const { return *qs_; }
+
+  // Worst-case per-process operations: |W| + |R| + 2.
+  std::uint64_t individual_work_bound() const {
+    return std::uint64_t{qs_->max_write_quorum()} + qs_->max_read_quorum() +
+           2;
+  }
+
+ private:
+  std::shared_ptr<const quorum_system> qs_;
+  reg_id base_;
+  reg_id proposal_;
+};
+
+}  // namespace modcon

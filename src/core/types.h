@@ -1,0 +1,35 @@
+// Core types of the conciliator/ratifier framework (§3).
+#pragma once
+
+#include "exec/types.h"
+#include "util/assertx.h"
+
+namespace modcon {
+
+// Consensus values.  Values live in Σ = [0, m) for some m; kBot encodes ⊥.
+using value_t = word;
+
+// A deciding object's annotated output: (1, v) = decide v now,
+// (0, v) = carry v to the next object in the composition (§3).
+struct decided {
+  bool decide;
+  value_t value;
+
+  friend bool operator==(const decided&, const decided&) = default;
+};
+
+// Top-level process programs return a single machine word; these helpers
+// pack a `decided` into one so tests can observe decision bits end-to-end.
+// Values must stay below 2^62 (plenty: the benches go up to m = 2^24).
+inline constexpr word kDecideBit = word{1} << 62;
+
+inline word encode_decided(decided d) {
+  MODCON_CHECK_MSG(d.value < kDecideBit, "value too large to encode");
+  return (d.decide ? kDecideBit : 0) | d.value;
+}
+
+inline decided decode_decided(word w) {
+  return decided{(w & kDecideBit) != 0, w & (kDecideBit - 1)};
+}
+
+}  // namespace modcon

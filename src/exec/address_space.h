@@ -1,0 +1,34 @@
+// Register allocation interface.
+//
+// Deciding objects own atomic registers.  They allocate them from an
+// address space at construction (and, for the lazily-extended unbounded
+// construction of §4.1, during execution).  Both backends implement this:
+// the simulator's register file and the real-thread arena guarantee that
+// already-allocated registers keep their identity and address across
+// later allocations.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/types.h"
+
+namespace modcon {
+
+class address_space {
+ public:
+  virtual ~address_space() = default;
+
+  // Allocates one multiwriter register with the given initial value.
+  virtual reg_id alloc(word init) = 0;
+
+  // Allocates `count` consecutively-numbered registers, all initialized to
+  // `init`; returns the first id.  Consecutive numbering is what makes a
+  // cheap `collect` over an announce array expressible.
+  virtual reg_id alloc_block(std::uint32_t count, word init) = 0;
+
+  // Number of registers allocated so far (used by the space-complexity
+  // experiments, E4).
+  virtual std::uint32_t allocated() const = 0;
+};
+
+}  // namespace modcon

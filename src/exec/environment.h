@@ -1,0 +1,42 @@
+// The Environment concept: what a process can do.
+//
+// Algorithms are coroutine templates over an Environment E.  Shared-memory
+// operations are awaitables; local coin flips and identity queries are
+// plain calls (local computation is free in the paper's cost model, §2).
+//
+// Required operations:
+//   co_await e.read(r)                -> word
+//   co_await e.write(r, v)            -> void      (an ordinary write)
+//   co_await e.prob_write(r, v, p)    -> void      (takes effect with
+//       probability p; costs one operation either way, and the process
+//       does NOT learn whether it succeeded — footnote to Theorem 7)
+//   co_await e.collect(first, count)  -> std::vector<word>   (cheap-collect
+//       model extension only; one operation in the sim backend)
+//   e.flip(bound)   uniform draw in [0, bound) from the process's local coin
+//   e.coin()        fair local coin
+//   e.pid(), e.n()  identity and system size
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "exec/types.h"
+#include "util/prob.h"
+
+namespace modcon {
+
+template <typename E>
+concept Environment = requires(E& e, reg_id r, word v, prob p,
+                               std::uint64_t bound, std::uint32_t count) {
+  e.read(r);
+  e.write(r, v);
+  e.prob_write(r, v, p);
+  e.prob_write_detect(r, v, p);
+  e.collect(r, count);
+  { e.flip(bound) } -> std::convertible_to<std::uint64_t>;
+  { e.coin() } -> std::convertible_to<bool>;
+  { e.pid() } -> std::convertible_to<process_id>;
+  { e.n() } -> std::convertible_to<std::size_t>;
+};
+
+}  // namespace modcon

@@ -1,0 +1,134 @@
+// `proc<T>` — the coroutine type in which all shared-memory algorithms in
+// modcon are written.
+//
+// A process's program is a coroutine that performs shared-memory
+// operations by `co_await`ing awaitables produced by an Environment (see
+// exec/environment.h).  Under the simulator each such await parks the
+// process until the adversary schedules its pending operation — exactly
+// the one-operation-per-step interleaving semantics of the paper's model.
+// Under the real-thread backend the awaitables complete immediately
+// against std::atomic registers, so the same coroutine runs straight
+// through on its own thread.
+//
+// `proc` supports nesting (`co_await child_proc`) with symmetric transfer,
+// so composite objects (Procedure Composition, §3.2) are ordinary
+// coroutines invoking their parts' coroutines.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "util/assertx.h"
+
+namespace modcon {
+
+template <typename T>
+class [[nodiscard]] proc {
+  static_assert(!std::is_void_v<T>, "proc<void> is not used in modcon");
+
+ public:
+  struct promise_type;
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::optional<T> result;
+    std::exception_ptr error;
+
+    proc get_return_object() {
+      return proc(handle_type::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct final_awaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(handle_type h) noexcept {
+        // Resume whoever awaited us; a top-level proc returns control to
+        // its driver (the simulator world or the inline runner).
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    final_awaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) { result = std::move(v); }
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  proc() = default;
+  explicit proc(handle_type h) : h_(h) {}
+  proc(proc&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  proc& operator=(proc&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  proc(const proc&) = delete;
+  proc& operator=(const proc&) = delete;
+  ~proc() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+
+  // --- awaiting a child proc from a parent coroutine ---
+  struct child_awaiter {
+    handle_type h;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> parent) noexcept {
+      h.promise().continuation = parent;
+      return h;  // symmetric transfer: start the child now
+    }
+    T await_resume() {
+      auto& p = h.promise();
+      if (p.error) std::rethrow_exception(p.error);
+      MODCON_CHECK_MSG(p.result.has_value(), "proc finished without a value");
+      return std::move(*p.result);
+    }
+  };
+  child_awaiter operator co_await() && noexcept { return child_awaiter{h_}; }
+
+  // --- driver interface ---
+  // Resume from the initial suspend point (or from wherever the process's
+  // innermost awaitable left off — drivers resume inner handles directly).
+  void start() {
+    MODCON_CHECK(h_ && !h_.done());
+    h_.resume();
+  }
+  bool done() const { return h_ && h_.done(); }
+  bool failed() const { return done() && h_.promise().error != nullptr; }
+
+  // Extracts the result after completion, rethrowing any stored exception.
+  T take_result() {
+    MODCON_CHECK_MSG(done(), "take_result before completion");
+    auto& p = h_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+    MODCON_CHECK_MSG(p.result.has_value(), "proc finished without a value");
+    return std::move(*p.result);
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  handle_type h_ = nullptr;
+};
+
+// Runs a proc whose awaitables never actually suspend (the real-thread
+// backend) to completion on the calling thread.
+template <typename T>
+T run_inline(proc<T> p) {
+  p.start();
+  MODCON_CHECK_MSG(p.done(),
+                   "run_inline used with a suspending environment");
+  return p.take_result();
+}
+
+}  // namespace modcon

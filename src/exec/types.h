@@ -1,0 +1,44 @@
+// Shared-memory model types common to both execution backends.
+//
+// The model (paper §2): n asynchronous processes communicate through
+// multiwriter atomic registers; an execution is a sequence of operations
+// chosen by an adversary.  Registers hold a single machine word; consensus
+// values and the paper's ⊥ are encoded into words by the algorithms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace modcon {
+
+using word = std::uint64_t;
+using reg_id = std::uint32_t;
+using process_id = std::uint32_t;
+
+// The null value ⊥.  Consensus values are required to be < kBot.
+inline constexpr word kBot = std::numeric_limits<word>::max();
+
+inline constexpr reg_id kInvalidReg = std::numeric_limits<reg_id>::max();
+inline constexpr process_id kInvalidProcess =
+    std::numeric_limits<process_id>::max();
+
+// Operation kinds as the adversary can possibly see them.  A probabilistic
+// write is reported as `write`: in the location-oblivious justification of
+// §2.1 it *is* an ordinary write whose target is either the real location
+// or a dummy, so no in-model adversary can tell the two apart.  `collect`
+// exists only in the cheap-collect model extension of §6.2 (choice 4).
+enum class op_kind : std::uint8_t { read, write, collect };
+
+const char* to_string(op_kind k);
+
+inline const char* to_string(op_kind k) {
+  switch (k) {
+    case op_kind::read: return "read";
+    case op_kind::write: return "write";
+    case op_kind::collect: return "collect";
+  }
+  return "?";
+}
+
+}  // namespace modcon

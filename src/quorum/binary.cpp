@@ -1,0 +1,36 @@
+// Binary quorum system (§6.2 choice 1): registers r0, r1 with
+// W_v = {r_v} and R_v = {r_{1-v}}.  With the proposal register this gives
+// a 3-register, at-most-4-operation binary ratifier.
+#include "quorum/quorum_system.h"
+
+#include "util/assertx.h"
+
+namespace modcon {
+
+namespace {
+
+class binary_quorums final : public quorum_system {
+ public:
+  std::string name() const override { return "binary"; }
+  std::uint64_t max_values() const override { return 2; }
+  std::uint32_t pool_size() const override { return 2; }
+
+  std::vector<std::uint32_t> write_quorum(word v) const override {
+    MODCON_CHECK_MSG(v < 2, "binary quorums support values {0,1}");
+    return {static_cast<std::uint32_t>(v)};
+  }
+  std::vector<std::uint32_t> read_quorum(word v) const override {
+    MODCON_CHECK_MSG(v < 2, "binary quorums support values {0,1}");
+    return {static_cast<std::uint32_t>(1 - v)};
+  }
+  std::uint32_t max_write_quorum() const override { return 1; }
+  std::uint32_t max_read_quorum() const override { return 1; }
+};
+
+}  // namespace
+
+std::shared_ptr<const quorum_system> make_binary_quorums() {
+  return std::make_shared<binary_quorums>();
+}
+
+}  // namespace modcon

@@ -1,0 +1,57 @@
+// Bit-vector quorum system (§6.2 choice 3): registers r_{i,j} for
+// i < ⌈lg m⌉, j ∈ {0,1}; writing v as a bit vector, W_v = {r_{i,v_i}} and
+// R_v is its complement {r_{i,1-v_i}}.  Slightly more space than the
+// Bollobás scheme (2⌈lg m⌉ + 1 registers for the ratifier) but trivially
+// computable quorums.
+#include "quorum/quorum_system.h"
+
+#include "util/assertx.h"
+#include "util/bits.h"
+
+namespace modcon {
+
+namespace {
+
+class bitvector_quorums final : public quorum_system {
+ public:
+  explicit bitvector_quorums(std::uint64_t m)
+      : m_(m), bits_(m <= 2 ? 1 : ceil_log2(m)) {}
+
+  std::string name() const override { return "bitvector"; }
+  std::uint64_t max_values() const override { return m_; }
+  std::uint32_t pool_size() const override { return 2 * bits_; }
+
+  std::vector<std::uint32_t> write_quorum(word v) const override {
+    MODCON_CHECK_MSG(v < m_, "value " << v << " out of range (m=" << m_
+                                      << ")");
+    std::vector<std::uint32_t> w;
+    w.reserve(bits_);
+    for (unsigned i = 0; i < bits_; ++i)
+      w.push_back(2 * i + static_cast<std::uint32_t>((v >> i) & 1));
+    return w;
+  }
+  std::vector<std::uint32_t> read_quorum(word v) const override {
+    MODCON_CHECK_MSG(v < m_, "value " << v << " out of range (m=" << m_
+                                      << ")");
+    std::vector<std::uint32_t> r;
+    r.reserve(bits_);
+    for (unsigned i = 0; i < bits_; ++i)
+      r.push_back(2 * i + static_cast<std::uint32_t>(1 - ((v >> i) & 1)));
+    return r;
+  }
+  std::uint32_t max_write_quorum() const override { return bits_; }
+  std::uint32_t max_read_quorum() const override { return bits_; }
+
+ private:
+  std::uint64_t m_;
+  unsigned bits_;
+};
+
+}  // namespace
+
+std::shared_ptr<const quorum_system> make_bitvector_quorums(std::uint64_t m) {
+  MODCON_CHECK_MSG(m >= 1, "need at least one value");
+  return std::make_shared<bitvector_quorums>(m);
+}
+
+}  // namespace modcon

@@ -1,0 +1,59 @@
+// Bollobás-optimal quorum system (§6.2 choice 2): a pool of k registers
+// with k minimal such that C(k, ⌊k/2⌋) >= m; value v gets the v-th
+// ⌊k/2⌋-subset (in lexicographic order) as its write quorum and the
+// complement as its read quorum.  Distinct equal-size sets are never
+// subsets of one another, so W_v ∩ R_v' = ∅ iff v = v'.  Theorem 9
+// (Bollobás) shows no scheme does better for a given |W| + |R| budget.
+#include "quorum/quorum_system.h"
+
+#include "util/assertx.h"
+#include "util/binomial.h"
+
+namespace modcon {
+
+namespace {
+
+class bollobas_quorums final : public quorum_system {
+ public:
+  explicit bollobas_quorums(std::uint64_t m)
+      : m_(m), k_(min_pool_for(m)), w_size_(k_ / 2) {}
+
+  std::string name() const override { return "bollobas"; }
+  std::uint64_t max_values() const override { return m_; }
+  std::uint32_t pool_size() const override { return k_; }
+
+  std::vector<std::uint32_t> write_quorum(word v) const override {
+    MODCON_CHECK_MSG(v < m_, "value " << v << " out of range (m=" << m_
+                                      << ")");
+    return unrank_subset(k_, w_size_, v);
+  }
+  std::vector<std::uint32_t> read_quorum(word v) const override {
+    auto w = write_quorum(v);
+    std::vector<std::uint32_t> r;
+    r.reserve(k_ - w.size());
+    std::size_t j = 0;
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      if (j < w.size() && w[j] == i)
+        ++j;
+      else
+        r.push_back(i);
+    }
+    return r;
+  }
+  std::uint32_t max_write_quorum() const override { return w_size_; }
+  std::uint32_t max_read_quorum() const override { return k_ - w_size_; }
+
+ private:
+  std::uint64_t m_;
+  unsigned k_;
+  unsigned w_size_;
+};
+
+}  // namespace
+
+std::shared_ptr<const quorum_system> make_bollobas_quorums(std::uint64_t m) {
+  MODCON_CHECK_MSG(m >= 1, "need at least one value");
+  return std::make_shared<bollobas_quorums>(m);
+}
+
+}  // namespace modcon

@@ -1,0 +1,64 @@
+// Quorum systems for the deterministic ratifier (§6).
+//
+// A quorum system assigns to every value v < m a write quorum W_v and a
+// read quorum R_v over a pool of k announce registers.  Theorem 8 proves
+// the ratifier correct exactly when
+//
+//     W_v ∩ R_v' = ∅  ⇔  v = v'.
+//
+// The implementations below are the §6.2 menu:
+//   binary_quorums      m = 2, 2 registers, |W| = |R| = 1
+//   bollobas_quorums    k minimal with C(k,⌊k/2⌋) >= m — space-optimal by
+//                       Bollobás's theorem (Theorem 9)
+//   bitvector_quorums   2⌈lg m⌉ registers — simpler, near-optimal
+// (The cheap-collect choice is not a quorum system over registers; it is
+// implemented directly as core/ratifier/cheap_collect_ratifier.h.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/types.h"
+
+namespace modcon {
+
+class quorum_system {
+ public:
+  virtual ~quorum_system() = default;
+
+  virtual std::string name() const = 0;
+
+  // Number of distinct values supported.
+  virtual std::uint64_t max_values() const = 0;
+
+  // Number of announce registers (the ratifier adds one proposal register).
+  virtual std::uint32_t pool_size() const = 0;
+
+  // Indices into the pool; strictly increasing.
+  virtual std::vector<std::uint32_t> write_quorum(word v) const = 0;
+  virtual std::vector<std::uint32_t> read_quorum(word v) const = 0;
+
+  // Worst-case quorum sizes (the ratifier's work bound is
+  // max|W| + max|R| + 2).
+  virtual std::uint32_t max_write_quorum() const = 0;
+  virtual std::uint32_t max_read_quorum() const = 0;
+};
+
+std::shared_ptr<const quorum_system> make_binary_quorums();
+std::shared_ptr<const quorum_system> make_bollobas_quorums(std::uint64_t m);
+std::shared_ptr<const quorum_system> make_bitvector_quorums(std::uint64_t m);
+
+// Explicit-table quorum system: W_v and R_v given verbatim, one pair per
+// value.  No correctness precondition is enforced — this is the vehicle
+// for fuzzing Theorem 8's condition in both directions (a correct random
+// family must yield a correct ratifier; a broken one must yield a
+// ratifier the exhaustive explorer can refute).  Quorums must be
+// nonempty, sorted, and inside [0, pool).
+std::shared_ptr<const quorum_system> make_table_quorums(
+    std::uint32_t pool,
+    std::vector<std::vector<std::uint32_t>> write_quorums,
+    std::vector<std::vector<std::uint32_t>> read_quorums);
+
+}  // namespace modcon

@@ -1,0 +1,70 @@
+// Explicit-table quorum system (see quorum_system.h).
+#include <algorithm>
+
+#include "quorum/quorum_system.h"
+#include "util/assertx.h"
+
+namespace modcon {
+
+namespace {
+
+class table_quorums final : public quorum_system {
+ public:
+  table_quorums(std::uint32_t pool,
+                std::vector<std::vector<std::uint32_t>> writes,
+                std::vector<std::vector<std::uint32_t>> reads)
+      : pool_(pool), writes_(std::move(writes)), reads_(std::move(reads)) {
+    MODCON_CHECK_MSG(writes_.size() == reads_.size(),
+                     "one write and one read quorum per value");
+    MODCON_CHECK_MSG(!writes_.empty(), "need at least one value");
+    auto validate = [&](const std::vector<std::uint32_t>& q) {
+      MODCON_CHECK_MSG(!q.empty(), "empty quorum");
+      MODCON_CHECK_MSG(std::is_sorted(q.begin(), q.end()) &&
+                           std::adjacent_find(q.begin(), q.end()) == q.end(),
+                       "quorums must be strictly increasing");
+      MODCON_CHECK_MSG(q.back() < pool_, "quorum element outside the pool");
+    };
+    for (const auto& q : writes_) validate(q);
+    for (const auto& q : reads_) validate(q);
+  }
+
+  std::string name() const override { return "table"; }
+  std::uint64_t max_values() const override { return writes_.size(); }
+  std::uint32_t pool_size() const override { return pool_; }
+
+  std::vector<std::uint32_t> write_quorum(word v) const override {
+    MODCON_CHECK_MSG(v < writes_.size(), "value out of range");
+    return writes_[v];
+  }
+  std::vector<std::uint32_t> read_quorum(word v) const override {
+    MODCON_CHECK_MSG(v < reads_.size(), "value out of range");
+    return reads_[v];
+  }
+
+  std::uint32_t max_write_quorum() const override {
+    std::size_t m = 0;
+    for (const auto& q : writes_) m = std::max(m, q.size());
+    return static_cast<std::uint32_t>(m);
+  }
+  std::uint32_t max_read_quorum() const override {
+    std::size_t m = 0;
+    for (const auto& q : reads_) m = std::max(m, q.size());
+    return static_cast<std::uint32_t>(m);
+  }
+
+ private:
+  std::uint32_t pool_;
+  std::vector<std::vector<std::uint32_t>> writes_;
+  std::vector<std::vector<std::uint32_t>> reads_;
+};
+
+}  // namespace
+
+std::shared_ptr<const quorum_system> make_table_quorums(
+    std::uint32_t pool, std::vector<std::vector<std::uint32_t>> write_quorums,
+    std::vector<std::vector<std::uint32_t>> read_quorums) {
+  return std::make_shared<table_quorums>(pool, std::move(write_quorums),
+                                         std::move(read_quorums));
+}
+
+}  // namespace modcon

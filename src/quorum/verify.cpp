@@ -1,0 +1,62 @@
+#include "quorum/verify.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/binomial.h"
+
+namespace modcon {
+
+std::string quorum_violation::describe() const {
+  std::ostringstream os;
+  os << "W_" << v << " ∩ R_" << v_prime
+     << (intersects ? " ≠ ∅ but v ≠ v'" : " = ∅ but v = v'");
+  return os.str();
+}
+
+namespace {
+bool intersects(const std::vector<std::uint32_t>& a,
+                const std::vector<std::uint32_t>& b) {
+  // Both sorted ascending.
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j])
+      ++i;
+    else
+      ++j;
+  }
+  return false;
+}
+}  // namespace
+
+std::optional<quorum_violation> check_ratifier_condition(
+    const quorum_system& qs, std::uint64_t limit) {
+  limit = std::min(limit, qs.max_values());
+  std::vector<std::vector<std::uint32_t>> writes(limit), reads(limit);
+  for (std::uint64_t v = 0; v < limit; ++v) {
+    writes[v] = qs.write_quorum(v);
+    reads[v] = qs.read_quorum(v);
+  }
+  for (std::uint64_t v = 0; v < limit; ++v) {
+    for (std::uint64_t u = 0; u < limit; ++u) {
+      bool meet = intersects(writes[v], reads[u]);
+      if (meet == (v == u))
+        return quorum_violation{v, u, meet};
+    }
+  }
+  return std::nullopt;
+}
+
+double bollobas_sum(const quorum_system& qs, std::uint64_t limit) {
+  limit = std::min(limit, qs.max_values());
+  double sum = 0.0;
+  for (std::uint64_t v = 0; v < limit; ++v) {
+    auto a = qs.write_quorum(v).size();
+    auto b = qs.read_quorum(v).size();
+    sum += 1.0 / static_cast<double>(binomial(a + b, a));
+  }
+  return sum;
+}
+
+}  // namespace modcon

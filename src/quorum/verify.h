@@ -1,0 +1,35 @@
+// Verification helpers for quorum systems.
+//
+// `check_ratifier_condition` tests the Theorem 8 correctness condition
+// (W_v ∩ R_v' = ∅ ⇔ v = v') pairwise over a value range.
+// `bollobas_sum` evaluates the left-hand side of the Bollobás inequality
+// (Theorem 9): Σ_i C(a_i + b_i, a_i)^{-1} ≤ 1 for any family with
+// A_i ∩ B_j = ∅ iff i = j — the tool the paper uses to show the
+// C(k,⌊k/2⌋) scheme is space-optimal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "quorum/quorum_system.h"
+
+namespace modcon {
+
+struct quorum_violation {
+  word v;
+  word v_prime;
+  bool intersects;  // observed W_v ∩ R_v' ≠ ∅
+  std::string describe() const;
+};
+
+// Checks all ordered pairs (v, v') with v, v' < limit (capped at
+// max_values()).  Returns the first violation, or nullopt if none.
+std::optional<quorum_violation> check_ratifier_condition(
+    const quorum_system& qs, std::uint64_t limit);
+
+// Σ_{v < limit} 1 / C(|W_v| + |R_v|, |W_v|).  Theorem 9 guarantees this
+// is ≤ 1 for any correct system; the Bollobás scheme drives it to ~1.
+double bollobas_sum(const quorum_system& qs, std::uint64_t limit);
+
+}  // namespace modcon

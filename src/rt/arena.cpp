@@ -1,0 +1,52 @@
+#include "rt/arena.h"
+
+#include "util/assertx.h"
+
+namespace modcon::rt {
+
+arena::~arena() {
+  for (auto& slot : chunks_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+reg_id arena::alloc(word init) { return alloc_block(1, init); }
+
+reg_id arena::alloc_block(std::uint32_t count, word init) {
+  MODCON_CHECK(count > 0);
+  std::scoped_lock lk(mu_);
+  std::uint32_t first = count_.load(std::memory_order_relaxed);
+  MODCON_CHECK_MSG(first + count >= first &&
+                       first + count <= kChunkSize * kMaxChunks,
+                   "arena exhausted");
+  // Materialize every chunk the block touches and initialize its words
+  // before publishing the new count.
+  for (std::uint32_t r = first; r < first + count; ++r) {
+    std::uint32_t ci = r / kChunkSize;
+    chunk* c = chunks_[ci].load(std::memory_order_acquire);
+    if (c == nullptr) {
+      c = new chunk();
+      for (auto& w : *c) w.store(0, std::memory_order_relaxed);
+      chunks_[ci].store(c, std::memory_order_release);
+    }
+    (*c)[r % kChunkSize].store(init, std::memory_order_relaxed);
+  }
+  count_.store(first + count, std::memory_order_release);
+  return first;
+}
+
+std::atomic<word>& arena::at(reg_id r) {
+  MODCON_CHECK_MSG(r < count_.load(std::memory_order_acquire),
+                   "access to unallocated register " << r);
+  chunk* c = chunks_[r / kChunkSize].load(std::memory_order_acquire);
+  return (*c)[r % kChunkSize];
+}
+
+const std::atomic<word>& arena::at(reg_id r) const {
+  MODCON_CHECK_MSG(r < count_.load(std::memory_order_acquire),
+                   "access to unallocated register " << r);
+  const chunk* c = chunks_[r / kChunkSize].load(std::memory_order_acquire);
+  return (*c)[r % kChunkSize];
+}
+
+}  // namespace modcon::rt

@@ -1,0 +1,51 @@
+// Real-thread register arena: stable-address std::atomic<word> storage.
+//
+// The unbounded construction allocates new objects (and registers) while
+// other threads are mid-protocol, so register addresses must never move.
+// Storage is chunked: a fixed table of atomically-published chunk
+// pointers, each chunk a fixed array of atomic words.  Allocation takes a
+// mutex; access is lock-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exec/address_space.h"
+#include "exec/types.h"
+
+namespace modcon::rt {
+
+class arena final : public address_space {
+ public:
+  arena() = default;
+  ~arena() override;
+
+  arena(const arena&) = delete;
+  arena& operator=(const arena&) = delete;
+
+  reg_id alloc(word init) override;
+  reg_id alloc_block(std::uint32_t count, word init) override;
+  std::uint32_t allocated() const override {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  // Atomic register access; r must have been allocated.
+  std::atomic<word>& at(reg_id r);
+  const std::atomic<word>& at(reg_id r) const;
+
+  static constexpr std::uint32_t kChunkSize = 4096;
+  static constexpr std::uint32_t kMaxChunks = 4096;  // 16M registers
+
+ private:
+  using chunk = std::array<std::atomic<word>, kChunkSize>;
+
+  std::mutex mu_;
+  std::array<std::atomic<chunk*>, kMaxChunks> chunks_{};
+  std::atomic<std::uint32_t> count_{0};
+};
+
+}  // namespace modcon::rt

@@ -1,0 +1,134 @@
+// Real-thread Environment: the same coroutine algorithms, executed by n
+// OS threads against std::atomic registers.
+//
+// Awaitables complete immediately (await_ready() == true): there is no
+// scheduler to park for — the hardware and the OS interleave the threads.
+// A probabilistic write flips the process's local coin and conditionally
+// stores; since no observer can correlate the store's timing with the
+// coin, this matches the §2.1 dummy-location reading of the model as well
+// as real hardware can.  Operation counts are kept in plain per-env
+// fields (each env is used by exactly one thread) and aggregated after
+// the run.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "exec/environment.h"
+#include "exec/types.h"
+#include "rt/arena.h"
+#include "util/prob.h"
+#include "util/rng.h"
+
+namespace modcon::rt {
+
+class rt_env {
+ public:
+  // chaos > 0 injects a scheduling perturbation (std::this_thread::yield)
+  // before roughly one in `chaos` operations, from a coin stream separate
+  // from the algorithm's local coins.  On few-core machines OS threads
+  // otherwise run long quanta back to back, hiding interleavings; chaos
+  // mode recovers adversarial-ish schedules for stress tests.
+  rt_env(arena& mem, process_id pid, std::size_t n, rng r,
+         std::uint32_t chaos = 0)
+      : mem_(&mem),
+        pid_(pid),
+        n_(n),
+        rng_(r),
+        chaos_(chaos),
+        chaos_rng_(r.split(0xc4a05)) {}
+
+  struct read_awaiter {
+    word result;
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    word await_resume() const noexcept { return result; }
+  };
+
+  struct void_awaiter {
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() const noexcept {}
+  };
+
+  struct collect_awaiter {
+    std::vector<word> result;
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    std::vector<word> await_resume() noexcept { return std::move(result); }
+  };
+
+  read_awaiter read(reg_id r) {
+    perturb();
+    ++ops_;
+    return read_awaiter{mem_->at(r).load(std::memory_order_seq_cst)};
+  }
+
+  void_awaiter write(reg_id r, word v) {
+    perturb();
+    ++ops_;
+    mem_->at(r).store(v, std::memory_order_seq_cst);
+    return {};
+  }
+
+  void_awaiter prob_write(reg_id r, word v, prob p) {
+    perturb();
+    ++ops_;
+    if (p.sample(rng_)) mem_->at(r).store(v, std::memory_order_seq_cst);
+    return {};
+  }
+
+  struct bool_awaiter {
+    bool result;
+    bool await_ready() const noexcept { return true; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    bool await_resume() const noexcept { return result; }
+  };
+
+  // Success-detecting probabilistic write (footnote to Theorem 7).
+  bool_awaiter prob_write_detect(reg_id r, word v, prob p) {
+    perturb();
+    ++ops_;
+    bool ok = p.sample(rng_);
+    if (ok) mem_->at(r).store(v, std::memory_order_seq_cst);
+    return bool_awaiter{ok};
+  }
+
+  // No cheap-collect assumption on real hardware: n individual reads,
+  // charged as n operations (the sim backend charges 1; see §6.2).
+  collect_awaiter collect(reg_id first, std::uint32_t count) {
+    ops_ += count;
+    collect_awaiter a;
+    a.result.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+      a.result[i] = mem_->at(first + i).load(std::memory_order_seq_cst);
+    return a;
+  }
+
+  std::uint64_t flip(std::uint64_t bound) { return rng_.below(bound); }
+  bool coin() { return rng_.flip(); }
+  rng& local_rng() { return rng_; }
+
+  process_id pid() const { return pid_; }
+  std::size_t n() const { return n_; }
+  std::uint64_t ops() const { return ops_; }
+
+ private:
+  void perturb() {
+    if (chaos_ != 0 && chaos_rng_.below(chaos_) == 0)
+      std::this_thread::yield();
+  }
+
+  arena* mem_;
+  process_id pid_;
+  std::size_t n_;
+  rng rng_;
+  std::uint32_t chaos_;
+  rng chaos_rng_;
+  std::uint64_t ops_ = 0;
+};
+
+static_assert(Environment<rt_env>);
+
+}  // namespace modcon::rt

@@ -1,0 +1,67 @@
+// Drives n coroutine programs on n real threads.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "exec/proc.h"
+#include "rt/env.h"
+#include "util/assertx.h"
+#include "util/rng.h"
+
+namespace modcon::rt {
+
+struct rt_result {
+  std::vector<word> outputs;           // per process
+  std::vector<std::uint64_t> op_counts;
+  std::uint64_t total_ops = 0;
+  std::uint64_t max_individual_ops = 0;
+};
+
+// Spawns one thread per process; each builds its program via
+// `make_program(env)` and runs it to completion.  Any process exception
+// is rethrown on the caller's thread after all threads join.  `chaos`
+// (see rt_env) injects random yields for interleaving stress.
+inline rt_result run_threads(
+    arena& mem, std::size_t n, std::uint64_t seed,
+    const std::function<proc<word>(rt_env&)>& make_program,
+    std::uint32_t chaos = 0) {
+  MODCON_CHECK(n >= 1);
+  std::vector<rt_env> envs;
+  envs.reserve(n);
+  for (process_id pid = 0; pid < n; ++pid) {
+    rng stream(splitmix64(seed) ^ (0x9e3779b97f4a7c15ULL * (pid + 1)));
+    envs.emplace_back(mem, pid, n, stream, chaos);
+  }
+
+  rt_result res;
+  res.outputs.assign(n, 0);
+  res.op_counts.assign(n, 0);
+  std::vector<std::exception_ptr> errors(n);
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(n);
+    for (process_id pid = 0; pid < n; ++pid) {
+      threads.emplace_back([&, pid] {
+        try {
+          res.outputs[pid] = run_inline(make_program(envs[pid]));
+        } catch (...) {
+          errors[pid] = std::current_exception();
+        }
+      });
+    }
+  }
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  for (process_id pid = 0; pid < n; ++pid) {
+    res.op_counts[pid] = envs[pid].ops();
+    res.total_ops += envs[pid].ops();
+    res.max_individual_ops =
+        std::max(res.max_individual_ops, envs[pid].ops());
+  }
+  return res;
+}
+
+}  // namespace modcon::rt

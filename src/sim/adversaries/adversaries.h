@@ -1,0 +1,14 @@
+// Umbrella header: every scheduler in the portfolio.
+#pragma once
+
+#include "sim/adversaries/fixed_order.h"
+#include "sim/adversaries/greedy_overwrite.h"
+#include "sim/adversaries/lockstep.h"
+#include "sim/adversaries/noisy.h"
+#include "sim/adversaries/omniscient.h"
+#include "sim/adversaries/priority.h"
+#include "sim/adversaries/quantum.h"
+#include "sim/adversaries/random_oblivious.h"
+#include "sim/adversaries/round_robin.h"
+#include "sim/adversaries/scripted.h"
+#include "sim/adversaries/stockpiler.h"

@@ -1,0 +1,35 @@
+#include "sim/adversaries/fixed_order.h"
+
+#include <numeric>
+
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+void fixed_order::reset(std::size_t n, std::uint64_t /*seed*/) {
+  if (perm_.empty()) {
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), process_id{0});
+  }
+  MODCON_CHECK_MSG(perm_.size() == n, "permutation size != n");
+  cursor_ = 0;
+}
+
+process_id fixed_order::pick(const sched_view& view) {
+  MODCON_CHECK(!view.runnable().empty());
+  if (mode_ == mode::sequential) {
+    // Stick with the current process until it leaves the runnable set.
+    while (!view.is_runnable(perm_[cursor_])) {
+      cursor_ = (cursor_ + 1) % perm_.size();
+    }
+    return perm_[cursor_];
+  }
+  for (std::size_t tries = 0; tries < perm_.size(); ++tries) {
+    process_id candidate = perm_[cursor_];
+    cursor_ = (cursor_ + 1) % perm_.size();
+    if (view.is_runnable(candidate)) return candidate;
+  }
+  return view.runnable().front();
+}
+
+}  // namespace modcon::sim

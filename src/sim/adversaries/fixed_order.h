@@ -1,0 +1,42 @@
+// Fixed-permutation oblivious schedulers.
+//
+// `interleaved` cycles through a fixed permutation of the pids (a general
+// oblivious adversary: "schedules processes in a fixed order", §2.1).
+//
+// `sequential` runs the first process of the permutation until it halts,
+// then the next, and so on — the schedule that exercises the fast path of
+// §4.1 ("some process finishes R₋₁ before any process with a different
+// input arrives").
+#pragma once
+
+#include <vector>
+
+#include "sim/adversary.h"
+
+namespace modcon::sim {
+
+class fixed_order final : public adversary {
+ public:
+  enum class mode { interleaved, sequential };
+
+  // An empty permutation means identity (0, 1, ..., n-1).
+  explicit fixed_order(mode m, std::vector<process_id> permutation = {})
+      : mode_(m), perm_(std::move(permutation)) {}
+
+  adversary_power power() const override {
+    return adversary_power::oblivious;
+  }
+  std::string name() const override {
+    return mode_ == mode::interleaved ? "fixed-interleaved"
+                                      : "fixed-sequential";
+  }
+  void reset(std::size_t n, std::uint64_t seed) override;
+  process_id pick(const sched_view& view) override;
+
+ private:
+  mode mode_;
+  std::vector<process_id> perm_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace modcon::sim

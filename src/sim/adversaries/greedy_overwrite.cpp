@@ -1,0 +1,70 @@
+#include "sim/adversaries/greedy_overwrite.h"
+
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+void greedy_overwrite::reset(std::size_t n, std::uint64_t /*seed*/) {
+  learned_inputs_.assign(n, kBot);
+}
+
+process_id greedy_overwrite::pick(const sched_view& view) {
+  auto runnable = view.runnable();
+  MODCON_CHECK(!runnable.empty());
+
+  // Learn inputs from the values of pending writes (visible to a
+  // location-oblivious adversary).
+  for (process_id p : runnable) {
+    if (learned_inputs_[p] == kBot && view.kind_of(p) == op_kind::write)
+      learned_inputs_[p] = view.value_of(p);
+  }
+
+  const word cur = view.memory(target_);
+
+  if (cur == kBot) {
+    // Phase 1: build the stockpile, then release writes one at a time.
+    process_id best_write = kInvalidProcess;
+    std::uint64_t best_ops = 0;
+    for (process_id p : runnable) {
+      if (view.kind_of(p) != op_kind::write) return p;  // advance reads
+      std::uint64_t ops = view.ops_done(p);
+      bool better = best_write == kInvalidProcess ||
+                    (impatient_first_ ? ops > best_ops : ops < best_ops);
+      if (better) {
+        best_write = p;
+        best_ops = ops;
+      }
+    }
+    return best_write;
+  }
+
+  // Phase 2: lock the landed value into outputs — run every process whose
+  // input matches the register (their writes are harmless, their reads
+  // retire them).  Processes whose input we never learned are harmless
+  // too: their read returns cur.
+  for (process_id p : runnable) {
+    word input = learned_inputs_[p];
+    if (input == cur || (input == kBot && view.kind_of(p) != op_kind::write))
+      return p;
+  }
+
+  // Phase 3: fire conflicting stockpiled writes, most impatient first.
+  process_id best_write = kInvalidProcess;
+  std::uint64_t best_ops = 0;
+  for (process_id p : runnable) {
+    if (view.kind_of(p) != op_kind::write) continue;
+    std::uint64_t ops = view.ops_done(p);
+    if (best_write == kInvalidProcess || ops > best_ops) {
+      best_write = p;
+      best_ops = ops;
+    }
+  }
+  if (best_write != kInvalidProcess) return best_write;
+
+  // Only conflicting readers remain and every flip attempt missed: they
+  // retire on the winning value (the agreement case the theorem's bound
+  // concedes).
+  return runnable.front();
+}
+
+}  // namespace modcon::sim

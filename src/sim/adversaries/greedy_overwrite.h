@@ -1,0 +1,58 @@
+// Location-oblivious attacker for first-mover conciliators (Theorem 7).
+//
+// The adversary watches the conciliator's register.  It cannot see where
+// pending writes go or how their coins will land, but it CAN see the
+// values of pending writes (§2.1), so it learns each process's input the
+// first time that process holds a pending write.  The attack:
+//
+//   1. while the register is ⊥: advance reads so every process holds a
+//      pending probabilistic write (the stockpile), then release writes
+//      one at a time until one lands;
+//   2. once a value v has landed: run every process whose input equals v
+//      to completion — they read v and return it, locking v into some
+//      outputs;
+//   3. then release the stockpiled writes of differently-valued
+//      processes, most impatient (highest success probability) first; if
+//      any lands, the register flips and step 2's logic walks the
+//      remaining processes to return the flipped value — disagreement.
+//
+// This is the worst case the proof of Theorem 7 charges for: agreement
+// survives only if none of the stockpiled conflicting writes lands,
+// which the Σp_i <= 3/4 argument bounds below by a constant.  Naive
+// flush-writes-then-reads schedules (what a round-robin scheduler does)
+// produce unanimity instead — everyone reads whatever landed last — so
+// without steps 2-3 an "attacker" is no stronger than round-robin.
+#pragma once
+
+#include <vector>
+
+#include "sim/adversary.h"
+
+namespace modcon::sim {
+
+class greedy_overwrite final : public adversary {
+ public:
+  // `target` is the conciliator's register id.  `release_impatient_first`
+  // picks which stockpiled write to fire while the register is still ⊥:
+  // true fires the most impatient (greedy variant), false the least
+  // impatient, holding the high-probability writes in reserve for the
+  // overwrite phase (the "stockpiler" variant, see stockpiler.h).
+  explicit greedy_overwrite(reg_id target, bool release_impatient_first = true)
+      : target_(target), impatient_first_(release_impatient_first) {}
+
+  adversary_power power() const override {
+    return adversary_power::location_oblivious;
+  }
+  std::string name() const override {
+    return impatient_first_ ? "greedy-overwrite" : "stockpiler";
+  }
+  void reset(std::size_t n, std::uint64_t seed) override;
+  process_id pick(const sched_view& view) override;
+
+ private:
+  reg_id target_;
+  bool impatient_first_;
+  std::vector<word> learned_inputs_;
+};
+
+}  // namespace modcon::sim

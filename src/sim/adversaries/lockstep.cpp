@@ -1,0 +1,22 @@
+#include "sim/adversaries/lockstep.h"
+
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+process_id lockstep::pick(const sched_view& view) {
+  auto runnable = view.runnable();
+  MODCON_CHECK(!runnable.empty());
+  process_id best = runnable.front();
+  std::uint64_t best_ops = view.ops_done(best);
+  for (process_id p : runnable) {
+    std::uint64_t ops = view.ops_done(p);
+    if (ops < best_ops || (ops == best_ops && p < best)) {
+      best = p;
+      best_ops = ops;
+    }
+  }
+  return best;
+}
+
+}  // namespace modcon::sim

@@ -1,0 +1,24 @@
+// Lockstep scheduler: always runs a process with the fewest operations
+// executed so far (ties by pid).  This is the purest anti-progress
+// oblivious strategy — it keeps every process maximally synchronized,
+// which is the worst case for protocols that rely on somebody pulling
+// ahead (ratifier-only ladders stall forever; racing protocols live or
+// die by their hidden coins).  Round-robin approximates it only while
+// all programs have identical operation counts.
+#pragma once
+
+#include "sim/adversary.h"
+
+namespace modcon::sim {
+
+class lockstep final : public adversary {
+ public:
+  adversary_power power() const override {
+    return adversary_power::oblivious;
+  }
+  std::string name() const override { return "lockstep"; }
+  void reset(std::size_t, std::uint64_t) override {}
+  process_id pick(const sched_view& view) override;
+};
+
+}  // namespace modcon::sim

@@ -1,0 +1,35 @@
+#include "sim/adversaries/noisy.h"
+
+#include <cmath>
+
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+void noisy::reset(std::size_t n, std::uint64_t seed) {
+  rng_ = rng(seed ^ 0x7015e7015e7015e0ULL);
+  next_time_.assign(n, 0.0);
+  for (auto& t : next_time_) t = next_interval();
+}
+
+double noisy::next_interval() {
+  // Box–Muller; one draw per call is plenty here.
+  double u1 = rng_.uniform01();
+  double u2 = rng_.uniform01();
+  if (u1 <= 0.0) u1 = 1e-300;
+  double gauss = std::sqrt(-2.0 * std::log(u1)) *
+                 std::cos(2.0 * 3.14159265358979323846 * u2);
+  return std::exp(sigma_ * gauss);
+}
+
+process_id noisy::pick(const sched_view& view) {
+  auto runnable = view.runnable();
+  MODCON_CHECK(!runnable.empty());
+  process_id best = runnable.front();
+  for (process_id p : runnable)
+    if (next_time_[p] < next_time_[best]) best = p;
+  next_time_[best] += next_interval();
+  return best;
+}
+
+}  // namespace modcon::sim

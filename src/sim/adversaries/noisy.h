@@ -1,0 +1,43 @@
+// The noisy scheduler of Aspnes's "Fast deterministic consensus in a
+// noisy environment" [5], used by §4.2: the adversary fixes the timing of
+// every process's steps in advance, but each inter-step interval is
+// perturbed by random noise the adversary does not control.  The
+// cumulative noise eventually pushes some process well ahead of the
+// others, which is what makes the ratifier-only ladder R₁; R₂; …
+// terminate.
+//
+// Each process p takes its next step at time t_p, initially jittered;
+// after each step, t_p increases by a log-normal interval
+// exp(sigma · N(0,1)).  sigma = 0 degenerates to (deterministic)
+// round-robin; larger sigma separates the processes faster.
+#pragma once
+
+#include <vector>
+
+#include "sim/adversary.h"
+#include "util/rng.h"
+
+namespace modcon::sim {
+
+class noisy final : public adversary {
+ public:
+  explicit noisy(double sigma) : sigma_(sigma) {}
+
+  adversary_power power() const override {
+    return adversary_power::oblivious;
+  }
+  std::string name() const override { return "noisy"; }
+  void reset(std::size_t n, std::uint64_t seed) override;
+  process_id pick(const sched_view& view) override;
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double next_interval();
+
+  double sigma_;
+  rng rng_;
+  std::vector<double> next_time_;
+};
+
+}  // namespace modcon::sim

@@ -1,0 +1,130 @@
+#include "sim/adversaries/omniscient.h"
+
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+void omniscient_splitter::reset(std::size_t /*n*/, std::uint64_t /*seed*/) {
+  phase_ = phase::stockpile;
+  driving_ = kInvalidProcess;
+  locked_value_ = kBot;
+}
+
+// The attack in phases (see header):
+//   stockpile   cur == ⊥: advance reads and burn known-failing writes
+//               until two known-successful writes with distinct values
+//               are pending, then release one (its owner becomes the
+//               victim).
+//   drive       run the victim alone: its next operation is a read of
+//               its own landed value, so it halts returning it.
+//   split       flip the register to a different value (a pending
+//               success with value != cur), then walk one more process
+//               through a cur-preserving write and its read, so it halts
+//               with the flipped value — disagreement is then locked in.
+process_id omniscient_splitter::pick(const sched_view& view) {
+  auto runnable = view.runnable();
+  MODCON_CHECK(!runnable.empty());
+
+  if (driving_ != kInvalidProcess) {
+    if (view.is_runnable(driving_)) return driving_;
+    driving_ = kInvalidProcess;  // it halted; move on
+    if (phase_ == phase::drive) phase_ = phase::split;
+    else if (phase_ == phase::finish) phase_ = phase::done;
+  }
+
+  const word cur = view.memory(target_);
+
+  // Classify pending operations.
+  process_id any_read = kInvalidProcess;
+  process_id succ_a = kInvalidProcess;       // a pending successful write
+  process_id succ_b = kInvalidProcess;       // one with a different value
+  process_id failing = kInvalidProcess;      // a write that will miss
+  process_id succ_diff_cur = kInvalidProcess;
+  process_id succ_same_cur = kInvalidProcess;
+  for (process_id p : runnable) {
+    if (view.kind_of(p) != op_kind::write) {
+      if (any_read == kInvalidProcess) any_read = p;
+      continue;
+    }
+    if (view.reg_of(p) != target_) continue;
+    if (!view.coin_of(p)) {
+      if (failing == kInvalidProcess) failing = p;
+      continue;
+    }
+    word v = view.value_of(p);
+    if (succ_a == kInvalidProcess) {
+      succ_a = p;
+    } else if (succ_b == kInvalidProcess && v != view.value_of(succ_a)) {
+      succ_b = p;
+    }
+    if (v != cur && succ_diff_cur == kInvalidProcess) succ_diff_cur = p;
+    if (v == cur && succ_same_cur == kInvalidProcess) succ_same_cur = p;
+  }
+
+  switch (phase_) {
+    case phase::stockpile: {
+      if (cur != kBot) {
+        // A value landed without our blessing (e.g. an unexpected
+        // schedule shape): lock in the current value by driving any
+        // reader to completion, then split.
+        phase_ = phase::split;
+        return pick(view);
+      }
+      if (succ_a != kInvalidProcess && succ_b != kInvalidProcess) {
+        // Two distinct-value successes in hand: fire one; its owner's
+        // next operation is a read of its own value, making it the
+        // victim.
+        locked_value_ = view.value_of(succ_a);
+        driving_ = succ_a;
+        phase_ = phase::drive;
+        return succ_a;
+      }
+      if (any_read != kInvalidProcess) return any_read;  // grow the pile
+      if (failing != kInvalidProcess) return failing;    // free move
+      if (succ_a != kInvalidProcess) {
+        // Only same-valued successes pending; no split is possible this
+        // round — release one and keep trying after it lands.
+        locked_value_ = view.value_of(succ_a);
+        driving_ = succ_a;
+        phase_ = phase::drive;
+        return succ_a;
+      }
+      return runnable.front();
+    }
+
+    case phase::drive:
+      return driving_ != kInvalidProcess ? driving_ : runnable.front();
+
+    case phase::split: {
+      if (locked_value_ == kBot) locked_value_ = cur;
+      if (cur == locked_value_ || cur == kBot) {
+        // Flip the register away from the victim's value.
+        if (succ_diff_cur != kInvalidProcess) return succ_diff_cur;
+        if (failing != kInvalidProcess) return failing;
+        if (any_read != kInvalidProcess) return any_read;
+        return runnable.front();
+      }
+      // Register differs from the victim's output: walk one process to a
+      // halt on the current value without disturbing the register.
+      if (any_read != kInvalidProcess) {
+        driving_ = any_read;
+        phase_ = phase::finish;
+        return any_read;
+      }
+      if (failing != kInvalidProcess) return failing;
+      if (succ_same_cur != kInvalidProcess) return succ_same_cur;
+      // Only value-flipping successes remain; forced to release one.
+      if (succ_a != kInvalidProcess) return succ_a;
+      return runnable.front();
+    }
+
+    case phase::finish:
+      return driving_ != kInvalidProcess ? driving_ : runnable.front();
+
+    case phase::done:
+      return runnable.front();
+  }
+  return runnable.front();
+}
+
+}  // namespace modcon::sim

@@ -1,0 +1,44 @@
+// Out-of-model adversary that can see the outcome of the local coin
+// attached to every pending probabilistic write (experiment E5).
+//
+// No adversary in the paper's models has this power — a location-oblivious
+// adversary "cannot choose whether to allow the write operation based on
+// the outcome of the coin-flip" (§2.1).  With it, the first-mover
+// conciliator can be driven to near-certain disagreement:
+//
+//   1. stockpile pending writes, then release one that is known to
+//      succeed (the "victim"'s value v lands in the register);
+//   2. run the victim alone: it reads v and returns v;
+//   3. release a stockpiled write known to succeed with a value != v;
+//   4. let everyone else read: they return the new value.
+//
+// Measuring agreement probability under this adversary (it collapses)
+// next to the in-model attackers (it stays above δ) demonstrates that
+// Theorem 7 genuinely needs the model restriction.
+#pragma once
+
+#include "sim/adversary.h"
+
+namespace modcon::sim {
+
+class omniscient_splitter final : public adversary {
+ public:
+  explicit omniscient_splitter(reg_id target) : target_(target) {}
+
+  adversary_power power() const override {
+    return adversary_power::omniscient;
+  }
+  std::string name() const override { return "omniscient-splitter"; }
+  void reset(std::size_t n, std::uint64_t seed) override;
+  process_id pick(const sched_view& view) override;
+
+ private:
+  enum class phase { stockpile, drive, split, finish, done };
+
+  reg_id target_;
+  phase phase_ = phase::stockpile;
+  process_id driving_ = kInvalidProcess;
+  word locked_value_ = kBot;
+};
+
+}  // namespace modcon::sim

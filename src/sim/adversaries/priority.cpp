@@ -1,0 +1,24 @@
+#include "sim/adversaries/priority.h"
+
+#include <numeric>
+
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+void priority_sched::reset(std::size_t n, std::uint64_t /*seed*/) {
+  if (order_.empty()) {
+    order_.resize(n);
+    std::iota(order_.begin(), order_.end(), process_id{0});
+  }
+  MODCON_CHECK_MSG(order_.size() == n, "priority order size != n");
+}
+
+process_id priority_sched::pick(const sched_view& view) {
+  MODCON_CHECK(!view.runnable().empty());
+  for (process_id p : order_)
+    if (view.is_runnable(p)) return p;
+  return view.runnable().front();  // unreachable
+}
+
+}  // namespace modcon::sim

@@ -1,0 +1,31 @@
+// Priority-based scheduling as in Ramamurthy–Moir–Anderson [27], used by
+// §4.2: each process has a fixed unique priority, and every step is taken
+// by the highest-priority process that has a pending operation.  Under
+// this scheduler the highest-priority live process runs alone until it
+// halts, so the ratifier-only ladder decides.
+#pragma once
+
+#include <vector>
+
+#include "sim/adversary.h"
+
+namespace modcon::sim {
+
+class priority_sched final : public adversary {
+ public:
+  // `order` lists pids from highest to lowest priority; empty = pid order.
+  explicit priority_sched(std::vector<process_id> order = {})
+      : order_(std::move(order)) {}
+
+  adversary_power power() const override {
+    return adversary_power::oblivious;
+  }
+  std::string name() const override { return "priority"; }
+  void reset(std::size_t n, std::uint64_t seed) override;
+  process_id pick(const sched_view& view) override;
+
+ private:
+  std::vector<process_id> order_;
+};
+
+}  // namespace modcon::sim

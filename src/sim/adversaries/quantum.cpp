@@ -1,0 +1,28 @@
+#include "sim/adversaries/quantum.h"
+
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+void quantum_sched::reset(std::size_t n, std::uint64_t /*seed*/) {
+  MODCON_CHECK(quantum_ >= 1);
+  n_ = n;
+  current_ = 0;
+  used_ = 0;
+}
+
+process_id quantum_sched::pick(const sched_view& view) {
+  MODCON_CHECK(!view.runnable().empty());
+  if (used_ >= quantum_ || !view.is_runnable(current_)) {
+    used_ = 0;
+    for (std::size_t tries = 0; tries < n_; ++tries) {
+      current_ = static_cast<process_id>((current_ + 1) % n_);
+      if (view.is_runnable(current_)) break;
+    }
+  }
+  MODCON_CHECK(view.is_runnable(current_));
+  ++used_;
+  return current_;
+}
+
+}  // namespace modcon::sim

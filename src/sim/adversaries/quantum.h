@@ -1,0 +1,30 @@
+// Quantum-based scheduling (Anderson–Jain–Ott / Anderson–Moir, cited in
+// §2.1): round-robin where each scheduled process runs for a quantum of q
+// consecutive operations before the scheduler rotates.  q = 1 is plain
+// round-robin; larger quanta give solo bursts that, like the priority
+// scheduler, let the fast-path prefix of §4.1 decide early.
+#pragma once
+
+#include "sim/adversary.h"
+
+namespace modcon::sim {
+
+class quantum_sched final : public adversary {
+ public:
+  explicit quantum_sched(std::uint32_t quantum) : quantum_(quantum) {}
+
+  adversary_power power() const override {
+    return adversary_power::oblivious;
+  }
+  std::string name() const override { return "quantum"; }
+  void reset(std::size_t n, std::uint64_t seed) override;
+  process_id pick(const sched_view& view) override;
+
+ private:
+  std::uint32_t quantum_;
+  std::size_t n_ = 0;
+  process_id current_ = 0;
+  std::uint32_t used_ = 0;
+};
+
+}  // namespace modcon::sim

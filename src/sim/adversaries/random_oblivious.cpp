@@ -1,0 +1,19 @@
+#include "sim/adversaries/random_oblivious.h"
+
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+void random_oblivious::reset(std::size_t /*n*/, std::uint64_t seed) {
+  // Derive a stream distinct from every process stream (which are seeded
+  // from splitmix64(seed) ^ f(pid)).
+  rng_ = rng(seed ^ 0xadadadadadadadadULL);
+}
+
+process_id random_oblivious::pick(const sched_view& view) {
+  auto runnable = view.runnable();
+  MODCON_CHECK(!runnable.empty());
+  return runnable[rng_.below(runnable.size())];
+}
+
+}  // namespace modcon::sim

@@ -1,0 +1,25 @@
+// Uniform-random oblivious scheduler.  Each step it picks a uniformly
+// random runnable process using its own seed stream, which is independent
+// of every process's local coin.  This is the "neutral" scheduler used for
+// expected-work measurements.
+#pragma once
+
+#include "sim/adversary.h"
+#include "util/rng.h"
+
+namespace modcon::sim {
+
+class random_oblivious final : public adversary {
+ public:
+  adversary_power power() const override {
+    return adversary_power::oblivious;
+  }
+  std::string name() const override { return "random"; }
+  void reset(std::size_t n, std::uint64_t seed) override;
+  process_id pick(const sched_view& view) override;
+
+ private:
+  rng rng_;
+};
+
+}  // namespace modcon::sim

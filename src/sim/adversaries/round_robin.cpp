@@ -1,0 +1,22 @@
+#include "sim/adversaries/round_robin.h"
+
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+void round_robin::reset(std::size_t n, std::uint64_t /*seed*/) {
+  n_ = n;
+  cursor_ = 0;
+}
+
+process_id round_robin::pick(const sched_view& view) {
+  MODCON_CHECK(!view.runnable().empty());
+  for (std::size_t tries = 0; tries < n_; ++tries) {
+    process_id candidate = cursor_;
+    cursor_ = static_cast<process_id>((cursor_ + 1) % n_);
+    if (view.is_runnable(candidate)) return candidate;
+  }
+  return view.runnable().front();  // unreachable if runnable ⊆ [0, n)
+}
+
+}  // namespace modcon::sim

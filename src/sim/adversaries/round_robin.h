@@ -1,0 +1,24 @@
+// Round-robin scheduler: the canonical oblivious adversary.  Processes
+// take steps in cyclic pid order; halted/crashed processes are skipped
+// (their slots in the a-priori schedule are dropped, as in the model).
+#pragma once
+
+#include "sim/adversary.h"
+
+namespace modcon::sim {
+
+class round_robin final : public adversary {
+ public:
+  adversary_power power() const override {
+    return adversary_power::oblivious;
+  }
+  std::string name() const override { return "round-robin"; }
+  void reset(std::size_t n, std::uint64_t seed) override;
+  process_id pick(const sched_view& view) override;
+
+ private:
+  std::size_t n_ = 0;
+  process_id cursor_ = 0;
+};
+
+}  // namespace modcon::sim

@@ -1,0 +1,50 @@
+// Scripted scheduler: replays an explicit pid sequence.
+//
+// This is the replay vehicle of the exhaustive explorer (src/check): a
+// schedule prefix is a vector of pids; the explorer re-executes the world
+// with successive prefixes to enumerate every interleaving.  After the
+// script is exhausted it falls back to lowest-runnable-pid, which the
+// explorer uses to complete executions deterministically.
+#pragma once
+
+#include <vector>
+
+#include "sim/adversary.h"
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+class scripted final : public adversary {
+ public:
+  explicit scripted(std::vector<process_id> script)
+      : script_(std::move(script)) {}
+
+  adversary_power power() const override {
+    // Replay needs no information at all; oblivious is the honest label.
+    return adversary_power::oblivious;
+  }
+  std::string name() const override { return "scripted"; }
+  void reset(std::size_t /*n*/, std::uint64_t /*seed*/) override {
+    cursor_ = 0;
+  }
+  process_id pick(const sched_view& view) override {
+    if (cursor_ < script_.size()) {
+      process_id p = script_[cursor_++];
+      MODCON_CHECK_MSG(view.is_runnable(p),
+                       "scripted schedule names a non-runnable process");
+      return p;
+    }
+    ++past_script_;
+    return view.runnable().front();
+  }
+
+  // How many picks happened beyond the scripted prefix.
+  std::uint64_t picks_past_script() const { return past_script_; }
+
+ private:
+  std::vector<process_id> script_;
+  std::size_t cursor_ = 0;
+  std::uint64_t past_script_ = 0;
+};
+
+}  // namespace modcon::sim

@@ -1,0 +1,28 @@
+// The "stockpiler" variant of the greedy overwrite attack: while no value
+// has landed it fires the *least* impatient pending write, keeping the
+// high-probability writes of impatient processes in reserve for the
+// moment a winner appears.  See greedy_overwrite.h for the mechanics.
+#pragma once
+
+#include "sim/adversaries/greedy_overwrite.h"
+
+namespace modcon::sim {
+
+class stockpiler final : public adversary {
+ public:
+  explicit stockpiler(reg_id target) : inner_(target, false) {}
+
+  adversary_power power() const override { return inner_.power(); }
+  std::string name() const override { return inner_.name(); }
+  void reset(std::size_t n, std::uint64_t seed) override {
+    inner_.reset(n, seed);
+  }
+  process_id pick(const sched_view& view) override {
+    return inner_.pick(view);
+  }
+
+ private:
+  greedy_overwrite inner_;
+};
+
+}  // namespace modcon::sim

@@ -1,0 +1,130 @@
+// Adversary schedulers and the information they are allowed to see.
+//
+// The paper models the scheduler as a function from partial executions to
+// process ids, with *weak* adversaries restricted to equivalence classes
+// of executions (§2.1).  We realize those restrictions capability-by-
+// capability: each adversary declares a power level, the world hands it a
+// `sched_view` gated to that power, and any attempt to read information
+// beyond the declared power throws — so an adversary implementation
+// cannot accidentally cheat.
+//
+// Power levels and their capabilities (paper §2.1):
+//
+//   oblivious            sees only the execution length and who is still
+//                        runnable (scheduling a halted process is a no-op
+//                        in the model, so this is a harmless convenience)
+//   value_oblivious      + operation kinds and *all* locations, but not
+//                        values or register contents
+//   location_oblivious   + values and register contents, but NOT the
+//                        locations of pending writes (this is what makes
+//                        probabilistic writes possible: a probabilistic
+//                        write is a write to the real target or a dummy)
+//   adaptive             everything about the past and pending operations
+//                        (the strong adversary)
+//   omniscient           + the outcome of the local coin attached to each
+//                        pending probabilistic write.  This is OUTSIDE
+//                        every model in the paper; it exists to show the
+//                        model restriction is necessary (experiment E5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "exec/types.h"
+
+namespace modcon::sim {
+
+class sim_world;
+struct posted_op;  // defined in sim/world.h
+
+enum class adversary_power : std::uint8_t {
+  oblivious,
+  value_oblivious,
+  location_oblivious,
+  adaptive,
+  omniscient,
+};
+
+const char* to_string(adversary_power p);
+
+struct adversary_caps {
+  bool kinds = false;            // pending operation kinds
+  bool read_locations = false;   // location of pending reads/collects
+  bool write_locations = false;  // location of pending writes
+  bool values = false;           // values of pending writes
+  bool memory = false;           // register contents
+  bool coins = false;            // pre-drawn probabilistic-write outcomes
+};
+
+constexpr adversary_caps caps_for(adversary_power p) {
+  switch (p) {
+    case adversary_power::oblivious:
+      return {};
+    case adversary_power::value_oblivious:
+      return {.kinds = true, .read_locations = true, .write_locations = true};
+    case adversary_power::location_oblivious:
+      return {.kinds = true, .read_locations = true, .values = true,
+              .memory = true};
+    case adversary_power::adaptive:
+      return {.kinds = true, .read_locations = true, .write_locations = true,
+              .values = true, .memory = true};
+    case adversary_power::omniscient:
+      return {.kinds = true, .read_locations = true, .write_locations = true,
+              .values = true, .memory = true, .coins = true};
+  }
+  return {};
+}
+
+// A capability-gated window onto the world, built fresh for each pick.
+class sched_view {
+ public:
+  std::uint64_t step() const;
+  std::size_t n() const;
+
+  // Processes that are alive and have a pending operation; the adversary
+  // must return one of these.
+  std::span<const process_id> runnable() const;
+  bool is_runnable(process_id p) const;  // O(1)
+
+  // Number of shared-memory operations `p` has executed so far.  This is
+  // a function of the adversary's own past choices, so all powers get it.
+  std::uint64_t ops_done(process_id p) const;
+
+  // --- gated accessors; throw invariant_error beyond the power level ---
+  op_kind kind_of(process_id p) const;   // kinds
+  reg_id reg_of(process_id p) const;     // read_locations / write_locations
+  word value_of(process_id p) const;     // values (pending writes only)
+  word memory(reg_id r) const;           // memory
+  bool coin_of(process_id p) const;      // coins (pending prob writes)
+
+  // True when reg_of(p) may be called for p's pending operation under this
+  // power (reads are locatable from value_oblivious up; writes only if the
+  // power sees write locations).
+  bool location_visible(process_id p) const;
+
+  adversary_power power() const { return power_; }
+
+ private:
+  friend class sim_world;
+  sched_view(const sim_world& w, adversary_power p) : w_(&w), power_(p) {}
+  const posted_op& pending_of(process_id p) const;
+  const sim_world* w_;
+  adversary_power power_;
+};
+
+class adversary {
+ public:
+  virtual ~adversary() = default;
+
+  virtual adversary_power power() const = 0;
+  virtual std::string name() const = 0;
+
+  // Called once by the world before an execution starts.
+  virtual void reset(std::size_t n, std::uint64_t seed) = 0;
+
+  // Must return an element of view.runnable().
+  virtual process_id pick(const sched_view& view) = 0;
+};
+
+}  // namespace modcon::sim

@@ -1,0 +1,44 @@
+#include "sim/register_file.h"
+
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+reg_id register_file::alloc(word init) {
+  values_.push_back(init);
+  initial_.push_back(init);
+  write_counts_.push_back(0);
+  return static_cast<reg_id>(values_.size() - 1);
+}
+
+reg_id register_file::alloc_block(std::uint32_t count, word init) {
+  MODCON_CHECK(count > 0);
+  reg_id first = static_cast<reg_id>(values_.size());
+  values_.resize(values_.size() + count, init);
+  initial_.resize(initial_.size() + count, init);
+  write_counts_.resize(write_counts_.size() + count, 0);
+  return first;
+}
+
+std::uint64_t register_file::writes_applied(reg_id r) const {
+  MODCON_CHECK_MSG(r < write_counts_.size(), "unallocated register " << r);
+  return write_counts_[r];
+}
+
+word register_file::read(reg_id r) const {
+  MODCON_CHECK_MSG(r < values_.size(), "read of unallocated register " << r);
+  return values_[r];
+}
+
+void register_file::write(reg_id r, word v) {
+  MODCON_CHECK_MSG(r < values_.size(), "write of unallocated register " << r);
+  values_[r] = v;
+  ++write_counts_[r];
+}
+
+void register_file::reset() {
+  values_ = initial_;
+  write_counts_.assign(write_counts_.size(), 0);
+}
+
+}  // namespace modcon::sim

@@ -1,0 +1,43 @@
+// The simulated multiwriter-register memory.
+//
+// Registers are atomic by construction here: the simulator executes one
+// operation at a time, so every read returns the last value written —
+// exactly the model of §2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/types.h"
+
+namespace modcon::sim {
+
+class register_file {
+ public:
+  reg_id alloc(word init);
+  reg_id alloc_block(std::uint32_t count, word init);
+
+  word read(reg_id r) const;
+  void write(reg_id r, word v);
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(values_.size());
+  }
+
+  // Number of writes applied to r so far (missed probabilistic writes
+  // excluded).  The Theorem 7 analysis is a statement about this count
+  // on the conciliator's register — "with constant probability only one
+  // write occurs" — so the E1 bench reads it directly.
+  std::uint64_t writes_applied(reg_id r) const;
+
+  // Restores every register to its initial value (fresh execution of the
+  // same object graph; used by the replay-based explorer).
+  void reset();
+
+ private:
+  std::vector<word> values_;
+  std::vector<word> initial_;
+  std::vector<std::uint64_t> write_counts_;
+};
+
+}  // namespace modcon::sim

@@ -1,0 +1,29 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace modcon::sim {
+
+std::ostream& operator<<(std::ostream& os, const trace_event& e) {
+  os << "#" << e.step << " p" << e.pid << " " << to_string(e.kind) << " r"
+     << e.reg;
+  if (e.kind != op_kind::read) {
+    if (e.value == kBot)
+      os << " := ⊥";
+    else
+      os << " := " << e.value;
+    if (!e.applied) os << " (missed)";
+  } else {
+    if (e.value == kBot)
+      os << " -> ⊥";
+    else
+      os << " -> " << e.value;
+  }
+  return os;
+}
+
+void trace::dump(std::ostream& os) const {
+  for (const auto& e : events_) os << e << "\n";
+}
+
+}  // namespace modcon::sim

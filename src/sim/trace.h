@@ -1,0 +1,47 @@
+// Execution traces.
+//
+// When enabled, the world records every executed operation.  Traces back
+// the exhaustive explorer (which needs to reconstruct the schedule it just
+// ran), debugging, and a handful of white-box tests that assert *which*
+// operations an algorithm performed, not just its outputs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "exec/types.h"
+
+namespace modcon::sim {
+
+struct trace_event {
+  std::uint64_t step;
+  process_id pid;
+  op_kind kind;
+  reg_id reg;        // first register for collects
+  word value;        // value written, or value returned by a read
+  bool applied;      // false only for a probabilistic write that missed
+};
+
+class trace {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(const trace_event& e) {
+    if (enabled_) events_.push_back(e);
+  }
+
+  const std::vector<trace_event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  void dump(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<trace_event> events_;
+};
+
+std::ostream& operator<<(std::ostream& os, const trace_event& e);
+
+}  // namespace modcon::sim

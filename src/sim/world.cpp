@@ -1,0 +1,331 @@
+#include "sim/world.h"
+
+#include <algorithm>
+
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+// ---------------------------------------------------------------------
+// sim_env awaiters
+// ---------------------------------------------------------------------
+
+void sim_env::read_awaiter::await_suspend(std::coroutine_handle<> h) {
+  posted_op op;
+  op.kind = op_kind::read;
+  op.reg = r;
+  op.read_slot = &result;
+  op.k = h;
+  e->w_->post(e->pid_, op);
+}
+
+void sim_env::write_awaiter::await_suspend(std::coroutine_handle<> h) {
+  posted_op op;
+  op.kind = op_kind::write;
+  op.reg = r;
+  op.value = v;
+  op.probabilistic = !p.certain();
+  op.coin_prob = p;
+  // The coin is drawn from the process's own local coin, up front, so the
+  // (out-of-model) omniscient adversary can inspect it.  In-model
+  // adversaries cannot see it; drawing now vs. at execution time changes
+  // nothing for them.
+  op.coin_success = e->w_->sample_coin(e->pid_, p, e->rng_);
+  op.k = h;
+  e->w_->post(e->pid_, op);
+}
+
+void sim_env::detect_write_awaiter::await_suspend(std::coroutine_handle<> h) {
+  posted_op op;
+  op.kind = op_kind::write;
+  op.reg = r;
+  op.value = v;
+  op.probabilistic = !p.certain();
+  op.coin_prob = p;
+  op.coin_success = e->w_->sample_coin(e->pid_, p, e->rng_);
+  op.read_slot = &result;  // receives 1 if the write applied
+  op.k = h;
+  e->w_->post(e->pid_, op);
+}
+
+void sim_env::collect_awaiter::await_suspend(std::coroutine_handle<> h) {
+  posted_op op;
+  op.kind = op_kind::collect;
+  op.reg = first;
+  op.count = count;
+  op.collect_slot = &result;
+  op.k = h;
+  e->w_->post(e->pid_, op);
+}
+
+std::size_t sim_env::n() const { return w_->n(); }
+
+// ---------------------------------------------------------------------
+// sched_view
+// ---------------------------------------------------------------------
+
+namespace {
+const char* power_names[] = {"oblivious", "value-oblivious",
+                             "location-oblivious", "adaptive", "omniscient"};
+}
+
+const char* to_string(adversary_power p) {
+  return power_names[static_cast<int>(p)];
+}
+
+std::uint64_t sched_view::step() const { return w_->steps(); }
+std::size_t sched_view::n() const { return w_->n(); }
+
+std::span<const process_id> sched_view::runnable() const {
+  return {w_->runnable_.data(), w_->runnable_.size()};
+}
+
+bool sched_view::is_runnable(process_id p) const {
+  return p < w_->runnable_index_.size() &&
+         w_->runnable_index_[p] != UINT32_MAX;
+}
+
+std::uint64_t sched_view::ops_done(process_id p) const {
+  return w_->ops_of(p);
+}
+
+op_kind sched_view::kind_of(process_id p) const {
+  MODCON_CHECK_MSG(caps_for(power_).kinds,
+                   to_string(power_) << " adversary may not see op kinds");
+  return pending_of(p).kind;
+}
+
+bool sched_view::location_visible(process_id p) const {
+  const auto caps = caps_for(power_);
+  if (!caps.kinds) return false;
+  const auto& op = pending_of(p);
+  return op.kind == op_kind::write ? caps.write_locations
+                                   : caps.read_locations;
+}
+
+reg_id sched_view::reg_of(process_id p) const {
+  const auto caps = caps_for(power_);
+  const auto& op = pending_of(p);
+  const bool allowed = op.kind == op_kind::write ? caps.write_locations
+                                                 : caps.read_locations;
+  MODCON_CHECK_MSG(allowed, to_string(power_)
+                                << " adversary may not see the location of a "
+                                << to_string(op.kind));
+  return op.reg;
+}
+
+word sched_view::value_of(process_id p) const {
+  MODCON_CHECK_MSG(caps_for(power_).values,
+                   to_string(power_) << " adversary may not see values");
+  const auto& op = pending_of(p);
+  MODCON_CHECK_MSG(op.kind == op_kind::write,
+                   "only pending writes carry a value");
+  return op.value;
+}
+
+word sched_view::memory(reg_id r) const {
+  MODCON_CHECK_MSG(caps_for(power_).memory,
+                   to_string(power_) << " adversary may not read memory");
+  return w_->regs_.read(r);
+}
+
+bool sched_view::coin_of(process_id p) const {
+  MODCON_CHECK_MSG(caps_for(power_).coins,
+                   to_string(power_)
+                       << " adversary may not see local-coin outcomes");
+  // With a coin override installed the pre-drawn value is a placeholder
+  // (the real decision happens at execution time), so an omniscient view
+  // would be lying.  The two features are mutually exclusive.
+  MODCON_CHECK_MSG(!w_->coin_override_,
+                   "coin_of is unavailable while a coin override is set");
+  return pending_of(p).coin_success;
+}
+
+const posted_op& sched_view::pending_of(process_id p) const {
+  MODCON_CHECK_MSG(p < w_->pcbs_.size(), "bad pid in adversary view access");
+  const auto& pcb = *w_->pcbs_[p];
+  MODCON_CHECK_MSG(pcb.has_op, "process " << p << " has no pending op");
+  return pcb.op;
+}
+
+// ---------------------------------------------------------------------
+// sim_world
+// ---------------------------------------------------------------------
+
+sim_world::sim_world(std::size_t n, adversary& adv, std::uint64_t seed,
+                     world_options opts)
+    : n_(n), adv_(adv), seed_(seed),
+      coin_override_(std::move(opts.coin_override)) {
+  MODCON_CHECK_MSG(n >= 1, "need at least one process");
+  pcbs_.reserve(n);
+  runnable_index_.assign(n, UINT32_MAX);
+  trace_.enable(opts.trace_enabled);
+  adv_.reset(n, seed);
+}
+
+sim_world::~sim_world() = default;
+
+process_id sim_world::spawn(
+    const std::function<proc<word>(sim_env&)>& main) {
+  MODCON_CHECK_MSG(pcbs_.size() < n_, "spawned more than n processes");
+  auto pid = static_cast<process_id>(pcbs_.size());
+  rng stream(splitmix64(seed_) ^ (0x9e3779b97f4a7c15ULL * (pid + 1)));
+  pcbs_.push_back(std::make_unique<pcb>(this, pid, stream));
+  pcb& p = *pcbs_.back();
+  p.program = main(p.env);
+  p.program.start();  // run free local computation to the first shared op
+  after_resume(pid);
+  if (!p.halted && !p.crashed) {
+    runnable_index_[pid] = static_cast<std::uint32_t>(runnable_.size());
+    runnable_.push_back(pid);
+  }
+  return pid;
+}
+
+void sim_world::crash_after(process_id pid, std::uint64_t after_ops) {
+  MODCON_CHECK(pid < pcbs_.size());
+  pcb& p = *pcbs_[pid];
+  p.crash_planned = true;
+  p.crash_threshold = after_ops;
+  if (!p.halted && !p.crashed && p.ops >= after_ops) {
+    p.crashed = true;
+    remove_runnable(pid);
+  }
+}
+
+bool sim_world::sample_coin(process_id /*pid*/, const prob& p, rng& local) {
+  if (p.certain()) return true;
+  if (p.impossible()) return false;
+  // With an override installed the pre-drawn value is a placeholder; the
+  // real decision happens in execute().
+  if (coin_override_) return false;
+  return p.sample(local);
+}
+
+void sim_world::post(process_id pid, posted_op op) {
+  pcb& p = *pcbs_[pid];
+  MODCON_CHECK_MSG(!p.has_op, "process posted two operations at once");
+  p.op = op;
+  p.has_op = true;
+}
+
+void sim_world::remove_runnable(process_id pid) {
+  std::uint32_t slot = runnable_index_[pid];
+  if (slot == UINT32_MAX) return;
+  process_id last = runnable_.back();
+  runnable_[slot] = last;
+  runnable_index_[last] = slot;
+  runnable_.pop_back();
+  runnable_index_[pid] = UINT32_MAX;
+}
+
+void sim_world::execute(process_id pid) {
+  pcb& p = *pcbs_[pid];
+  MODCON_CHECK_MSG(p.has_op && !p.halted && !p.crashed,
+                   "adversary picked a non-runnable process");
+  posted_op op = p.op;
+  p.has_op = false;
+
+  // Overridden coins are resolved at execution time (see world_options).
+  if (op.probabilistic && coin_override_)
+    op.coin_success = coin_override_(pid, op.coin_prob);
+
+  trace_event ev{step_, pid, op.kind, op.reg, op.value, true};
+  switch (op.kind) {
+    case op_kind::read:
+      *op.read_slot = regs_.read(op.reg);
+      ev.value = *op.read_slot;
+      break;
+    case op_kind::write:
+      if (op.coin_success)
+        regs_.write(op.reg, op.value);
+      else
+        ev.applied = false;
+      // Detecting writes report their outcome through the result slot.
+      if (op.read_slot != nullptr)
+        *op.read_slot = op.coin_success ? 1 : 0;
+      break;
+    case op_kind::collect: {
+      op.collect_slot->resize(op.count);
+      for (std::uint32_t i = 0; i < op.count; ++i)
+        (*op.collect_slot)[i] = regs_.read(op.reg + i);
+      break;
+    }
+  }
+  trace_.record(ev);
+
+  ++p.ops;
+  ++total_ops_;
+  ++step_;
+
+  op.k.resume();
+  after_resume(pid);
+
+  if (!p.halted && p.crash_planned && p.ops >= p.crash_threshold) {
+    p.crashed = true;
+    remove_runnable(pid);
+  }
+}
+
+void sim_world::after_resume(process_id pid) {
+  pcb& p = *pcbs_[pid];
+  if (p.has_op) return;  // suspended on its next operation
+  MODCON_CHECK_MSG(p.program.done(),
+                   "process suspended without posting an operation");
+  p.halted = true;
+  remove_runnable(pid);
+  p.output = p.program.take_result();  // rethrows process exceptions
+}
+
+run_result sim_world::run(std::uint64_t max_steps) {
+  MODCON_CHECK_MSG(pcbs_.size() == n_,
+                   "run() before all n processes were spawned");
+  std::uint64_t budget = max_steps;
+  while (budget-- > 0) {
+    if (runnable_.empty()) {
+      bool all = std::all_of(pcbs_.begin(), pcbs_.end(),
+                             [](const auto& p) { return p->halted; });
+      return {all ? run_status::all_halted : run_status::no_runnable, step_};
+    }
+    sched_view view(*this, adv_.power());
+    process_id pid = adv_.pick(view);
+    MODCON_CHECK_MSG(pid < pcbs_.size() && runnable_index_[pid] != UINT32_MAX,
+                     "adversary " << adv_.name()
+                                  << " picked non-runnable process " << pid);
+    execute(pid);
+  }
+  if (runnable_.empty()) {
+    bool all = std::all_of(pcbs_.begin(), pcbs_.end(),
+                           [](const auto& p) { return p->halted; });
+    return {all ? run_status::all_halted : run_status::no_runnable, step_};
+  }
+  return {run_status::step_limit, step_};
+}
+
+bool sim_world::halted(process_id pid) const {
+  MODCON_CHECK(pid < pcbs_.size());
+  return pcbs_[pid]->halted;
+}
+
+bool sim_world::crashed(process_id pid) const {
+  MODCON_CHECK(pid < pcbs_.size());
+  return pcbs_[pid]->crashed;
+}
+
+std::optional<word> sim_world::output_of(process_id pid) const {
+  MODCON_CHECK(pid < pcbs_.size());
+  return pcbs_[pid]->output;
+}
+
+std::uint64_t sim_world::ops_of(process_id pid) const {
+  MODCON_CHECK(pid < pcbs_.size());
+  return pcbs_[pid]->ops;
+}
+
+std::uint64_t sim_world::max_individual_ops() const {
+  std::uint64_t m = 0;
+  for (const auto& p : pcbs_) m = std::max(m, p->ops);
+  return m;
+}
+
+}  // namespace modcon::sim

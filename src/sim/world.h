@@ -1,0 +1,248 @@
+// The simulated world: n coroutine processes, a register file, and an
+// adversary that picks which pending operation executes next.
+//
+// This is a direct implementation of the paper's model (§2): an execution
+// is built by repeatedly applying one pending operation, chosen by the
+// adversary from the processes that have not halted.  Local computation
+// (including local coin flips) is free; every shared-memory operation —
+// including a probabilistic write that misses — costs one unit, charged
+// to both the total-work and the per-process (individual-work) counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "exec/address_space.h"
+#include "exec/environment.h"
+#include "exec/proc.h"
+#include "exec/types.h"
+#include "sim/adversary.h"
+#include "sim/register_file.h"
+#include "sim/trace.h"
+#include "util/prob.h"
+#include "util/rng.h"
+
+namespace modcon::sim {
+
+class sim_world;
+
+// ---------------------------------------------------------------------
+// sim_env: a process's handle onto the world.  Shared-memory operations
+// return awaitables that park the coroutine until the adversary schedules
+// the pending operation.
+// ---------------------------------------------------------------------
+class sim_env {
+ public:
+  struct read_awaiter {
+    sim_env* e;
+    reg_id r;
+    word result = 0;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    word await_resume() const noexcept { return result; }
+  };
+
+  struct write_awaiter {
+    sim_env* e;
+    reg_id r;
+    word v;
+    prob p;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  // A probabilistic write whose caller learns whether it applied — the
+  // model extension in the footnote to Theorem 7 ("if we can detect
+  // success, the individual work bound can be reduced").  Still one
+  // operation; still invisible to in-model adversaries beforehand.
+  struct detect_write_awaiter {
+    sim_env* e;
+    reg_id r;
+    word v;
+    prob p;
+    word result = 0;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    bool await_resume() const noexcept { return result != 0; }
+  };
+
+  struct collect_awaiter {
+    sim_env* e;
+    reg_id first;
+    std::uint32_t count;
+    std::vector<word> result;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    std::vector<word> await_resume() noexcept { return std::move(result); }
+  };
+
+  read_awaiter read(reg_id r) { return read_awaiter{this, r}; }
+  write_awaiter write(reg_id r, word v) {
+    return write_awaiter{this, r, v, prob::always()};
+  }
+  write_awaiter prob_write(reg_id r, word v, prob p) {
+    return write_awaiter{this, r, v, p};
+  }
+  detect_write_awaiter prob_write_detect(reg_id r, word v, prob p) {
+    return detect_write_awaiter{this, r, v, p};
+  }
+  collect_awaiter collect(reg_id first, std::uint32_t count) {
+    return collect_awaiter{this, first, count, {}};
+  }
+
+  // Local coin: uniform in [0, bound).  Free in the cost model.
+  std::uint64_t flip(std::uint64_t bound) { return rng_.below(bound); }
+  bool coin() { return rng_.flip(); }
+  rng& local_rng() { return rng_; }
+
+  process_id pid() const { return pid_; }
+  std::size_t n() const;
+
+ private:
+  friend class sim_world;
+  sim_env(sim_world* w, process_id pid, rng r)
+      : w_(w), pid_(pid), rng_(r) {}
+  sim_world* w_;
+  process_id pid_;
+  rng rng_;
+};
+
+// ---------------------------------------------------------------------
+// sim_world
+// ---------------------------------------------------------------------
+enum class run_status : std::uint8_t {
+  all_halted,   // every process returned
+  step_limit,   // max_steps executions applied without quiescence
+  no_runnable,  // live processes exist but all are crashed
+};
+
+struct run_result {
+  run_status status;
+  std::uint64_t steps;
+  bool ok() const { return status == run_status::all_halted; }
+};
+
+struct world_options {
+  bool trace_enabled = false;
+  // When set, decides the outcome of every *non-trivial* probabilistic
+  // write (0 < p < 1) instead of the process's local coin.  The
+  // exhaustive explorer and the exact game evaluator use this to
+  // enumerate coin outcomes; it is not part of the model.  Unlike the
+  // normal pre-drawn coin, an overridden coin is consulted when the
+  // write *executes*: this puts the coin branch after every scheduling
+  // decision that could not have observed it, which is exactly the
+  // information structure an in-model adversary faces (see
+  // check/minimax.h).
+  std::function<bool(process_id, const prob&)> coin_override;
+};
+
+// A process's pending shared-memory operation, as parked by an awaiter.
+struct posted_op {
+  op_kind kind = op_kind::read;
+  reg_id reg = kInvalidReg;
+  word value = 0;
+  std::uint32_t count = 0;  // collect width
+  bool probabilistic = false;
+  bool coin_success = true;  // pre-drawn from the process's local coin
+  prob coin_prob = prob::always();
+  word* read_slot = nullptr;
+  std::vector<word>* collect_slot = nullptr;
+  std::coroutine_handle<> k;
+};
+
+class sim_world final : public address_space {
+ public:
+  // `adv` must outlive the world.
+  sim_world(std::size_t n, adversary& adv, std::uint64_t seed,
+            world_options opts = {});
+  ~sim_world() override;
+
+  sim_world(const sim_world&) = delete;
+  sim_world& operator=(const sim_world&) = delete;
+
+  // --- address_space ---
+  reg_id alloc(word init) override { return regs_.alloc(init); }
+  reg_id alloc_block(std::uint32_t count, word init) override {
+    return regs_.alloc_block(count, init);
+  }
+  std::uint32_t allocated() const override { return regs_.size(); }
+
+  // --- process setup ---
+  // Creates the next process (pids are assigned 0..n-1 in spawn order) and
+  // immediately runs it up to its first shared-memory operation; local
+  // computation is free and unordered with respect to other processes.
+  process_id spawn(const std::function<proc<word>(sim_env&)>& main);
+
+  // Schedules process `pid` to crash permanently once it has executed
+  // `after_ops` shared-memory operations (0 = before its first one).
+  void crash_after(process_id pid, std::uint64_t after_ops);
+
+  // --- execution ---
+  // Applies pending operations, adversary-chosen, until all processes
+  // halt or `max_steps` operations have been applied.
+  run_result run(std::uint64_t max_steps);
+
+  // --- results & metrics ---
+  std::size_t n() const { return n_; }
+  bool halted(process_id pid) const;
+  bool crashed(process_id pid) const;
+  // The return value of process pid's program; empty if it has not halted.
+  std::optional<word> output_of(process_id pid) const;
+  std::uint64_t ops_of(process_id pid) const;
+  std::uint64_t total_ops() const { return total_ops_; }
+  std::uint64_t max_individual_ops() const;
+  std::uint64_t steps() const { return step_; }
+
+  // Test access to memory and the trace.
+  word peek(reg_id r) const { return regs_.read(r); }
+  std::uint64_t writes_applied(reg_id r) const {
+    return regs_.writes_applied(r);
+  }
+  const trace& execution_trace() const { return trace_; }
+  trace& execution_trace() { return trace_; }
+
+ private:
+  friend class sim_env;
+  friend class sched_view;
+
+  struct pcb {
+    explicit pcb(sim_world* w, process_id pid, rng r)
+        : env(w, pid, r) {}
+    sim_env env;
+    proc<word> program;
+    posted_op op;
+    bool has_op = false;
+    bool halted = false;
+    bool crashed = false;
+    std::uint64_t ops = 0;
+    std::uint64_t crash_threshold = 0;
+    bool crash_planned = false;
+    std::optional<word> output;
+  };
+
+  void post(process_id pid, posted_op op);
+  bool sample_coin(process_id pid, const prob& p, rng& local);
+  void execute(process_id pid);
+  void after_resume(process_id pid);
+  void remove_runnable(process_id pid);
+
+  std::size_t n_;
+  adversary& adv_;
+  std::uint64_t seed_;
+  std::function<bool(process_id, const prob&)> coin_override_;
+  register_file regs_;
+  std::vector<std::unique_ptr<pcb>> pcbs_;
+  std::vector<process_id> runnable_;
+  std::vector<std::uint32_t> runnable_index_;  // pid -> slot in runnable_
+  std::uint64_t step_ = 0;
+  std::uint64_t total_ops_ = 0;
+  trace trace_;
+};
+
+static_assert(Environment<sim_env>);
+
+}  // namespace modcon::sim

@@ -1,0 +1,48 @@
+// Checked runtime assertions that stay on in release builds.
+//
+// The simulator and the consensus objects use these to enforce model
+// invariants (e.g. "a register id must have been allocated before use").
+// Violations indicate a programming error, never an expected runtime
+// condition, so they throw `modcon::invariant_error` which the test harness
+// treats as a hard failure.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace modcon {
+
+class invariant_error : public std::logic_error {
+ public:
+  explicit invariant_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MODCON_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace modcon
+
+#define MODCON_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::modcon::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define MODCON_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream os_;                                           \
+      os_ << msg;                                                       \
+      ::modcon::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                     os_.str());                        \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,68 @@
+#include "util/binomial.h"
+
+#include <limits>
+
+#include "util/assertx.h"
+
+namespace modcon {
+
+namespace {
+constexpr std::uint64_t kSat = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t r) {
+  if (r > n) return 0;
+  if (r > n - r) r = n - r;
+  unsigned __int128 acc = 1;
+  for (std::uint64_t i = 1; i <= r; ++i) {
+    acc = acc * (n - r + i) / i;  // exact: product of i consecutive ints
+    if (acc > kSat) return kSat;
+  }
+  return static_cast<std::uint64_t>(acc);
+}
+
+unsigned min_pool_for(std::uint64_t m) {
+  MODCON_CHECK_MSG(m >= 1, "need at least one value");
+  for (unsigned k = 1;; ++k) {
+    if (binomial(k, k / 2) >= m) return k;
+  }
+}
+
+std::vector<std::uint32_t> unrank_subset(unsigned pool, unsigned size,
+                                         std::uint64_t rank) {
+  MODCON_CHECK_MSG(rank < binomial(pool, size), "rank out of range");
+  std::vector<std::uint32_t> out;
+  out.reserve(size);
+  std::uint32_t next = 0;
+  unsigned remaining = size;
+  while (remaining > 0) {
+    // Number of subsets that start with `next` among those still possible.
+    std::uint64_t with_next = binomial(pool - next - 1, remaining - 1);
+    if (rank < with_next) {
+      out.push_back(next);
+      --remaining;
+    } else {
+      rank -= with_next;
+    }
+    ++next;
+    MODCON_CHECK_MSG(next <= pool, "unrank ran past the pool");
+  }
+  return out;
+}
+
+std::uint64_t rank_subset(unsigned pool,
+                          const std::vector<std::uint32_t>& subset) {
+  std::uint64_t rank = 0;
+  std::uint32_t prev = 0;
+  unsigned remaining = static_cast<unsigned>(subset.size());
+  for (std::uint32_t e : subset) {
+    MODCON_CHECK_MSG(e < pool, "element outside the pool");
+    for (std::uint32_t skipped = prev; skipped < e; ++skipped)
+      rank += binomial(pool - skipped - 1, remaining - 1);
+    prev = e + 1;
+    --remaining;
+  }
+  return rank;
+}
+
+}  // namespace modcon

@@ -1,0 +1,31 @@
+// Binomial coefficients and combinatorial (un)ranking.
+//
+// The Bollobás-optimal ratifier of §6.2 encodes each value v < m as the
+// v-th ⌊k/2⌋-element subset of a pool of k registers, where k is the
+// smallest integer with C(k, ⌊k/2⌋) >= m.  These helpers provide the
+// saturating coefficients, the minimal pool size, and the standard
+// combinadic unranking that realizes the encoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace modcon {
+
+// C(n, r), saturating at UINT64_MAX on overflow.
+std::uint64_t binomial(std::uint64_t n, std::uint64_t r);
+
+// Smallest k such that C(k, floor(k/2)) >= m (m >= 1).  This is the
+// register-pool size of the Bollobás scheme: k = lg m + Theta(log log m).
+unsigned min_pool_for(std::uint64_t m);
+
+// Unranks `rank` (0-based, rank < C(pool, size)) into the rank-th
+// `size`-element subset of {0, ..., pool-1} in lexicographic order.
+std::vector<std::uint32_t> unrank_subset(unsigned pool, unsigned size,
+                                         std::uint64_t rank);
+
+// Inverse of unrank_subset; `subset` must be strictly increasing.
+std::uint64_t rank_subset(unsigned pool,
+                          const std::vector<std::uint32_t>& subset);
+
+}  // namespace modcon

@@ -1,0 +1,37 @@
+// Small integer helpers used throughout the work-bound arithmetic.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/assertx.h"
+
+namespace modcon {
+
+// floor(log2(x)) for x >= 1.
+constexpr unsigned floor_log2(std::uint64_t x) {
+  return 63u - static_cast<unsigned>(std::countl_zero(x | 1));
+}
+
+// ceil(log2(x)) for x >= 1; ceil_log2(1) == 0.
+constexpr unsigned ceil_log2(std::uint64_t x) {
+  unsigned f = floor_log2(x);
+  return ((std::uint64_t{1} << f) == x) ? f : f + 1;
+}
+
+// The paper writes "lg n" for the base-2 logarithm; the individual-work
+// bound of Theorem 7 uses ceil(lg n).
+constexpr unsigned lg_ceil(std::uint64_t x) { return ceil_log2(x); }
+
+constexpr bool is_power_of_two(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+// Saturating left shift: min(2^k, cap).
+constexpr std::uint64_t pow2_saturating(unsigned k, std::uint64_t cap) {
+  if (k >= 64) return cap;
+  std::uint64_t v = std::uint64_t{1} << k;
+  return v < cap ? v : cap;
+}
+
+}  // namespace modcon

@@ -1,0 +1,59 @@
+// Exact rational probabilities for probabilistic writes.
+//
+// The probabilistic-write model attaches a success probability to a write
+// operation.  The algorithms in the paper only ever use rationals of the
+// form min(2^k / n, 1) or c / n, so we represent probabilities exactly as
+// num/den pairs and flip them with an unbiased bounded draw — no floating
+// point enters the semantics of an execution.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assertx.h"
+#include "util/rng.h"
+
+namespace modcon {
+
+class prob {
+ public:
+  // Probability num/den, clamped to at most 1.  den must be nonzero.
+  constexpr prob(std::uint64_t num, std::uint64_t den)
+      : num_(num < den ? num : den), den_(den) {
+    if (den == 0) num_ = den_ = 1;  // defensively treat 0/0 as certainty
+  }
+
+  static constexpr prob always() { return prob(1, 1); }
+  static constexpr prob never() { return prob(0, 1); }
+
+  // min(2^k / n, 1): the impatience schedule of Theorem 7.
+  static constexpr prob pow2_over(unsigned k, std::uint64_t n) {
+    if (k >= 64) return always();
+    return prob(std::uint64_t{1} << k, n);
+  }
+
+  constexpr std::uint64_t num() const { return num_; }
+  constexpr std::uint64_t den() const { return den_; }
+  constexpr bool certain() const { return num_ == den_; }
+  constexpr bool impossible() const { return num_ == 0; }
+  double value() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  bool sample(rng& r) const {
+    if (certain()) return true;
+    if (impossible()) return false;
+    return r.bernoulli(num_, den_);
+  }
+
+  friend constexpr bool operator==(const prob& a, const prob& b) {
+    // Compare as exact rationals (cross-multiplied in 128 bits).
+    return static_cast<unsigned __int128>(a.num_) * b.den_ ==
+           static_cast<unsigned __int128>(b.num_) * a.den_;
+  }
+
+ private:
+  std::uint64_t num_;
+  std::uint64_t den_;
+};
+
+}  // namespace modcon

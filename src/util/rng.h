@@ -1,0 +1,103 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every source of randomness in modcon — each process's local coin, the
+// adversary's tie-breaking, workload generation — draws from its own
+// `rng` stream derived from a single experiment seed via `split`.  This
+// makes every execution exactly replayable from (seed, adversary, n, m),
+// and it keeps the processes' local coins independent of the adversary's
+// randomness, as the model requires (local coins are "not predictable by
+// the adversary but also not visible to other processes", §2).
+//
+// The generator is xoshiro256** seeded through splitmix64, the combination
+// recommended by the xoshiro authors.  Bounded draws use Lemire's unbiased
+// rejection method so Bernoulli(p) coins with rational p are exact.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace modcon {
+
+// splitmix64 step; used for seeding and for stream splitting.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  // Derives an independent child stream.  Children with distinct tags (or
+  // obtained from successive calls with the same tag) do not collide with
+  // the parent in practice: the child is reseeded through splitmix64 from
+  // a fresh 64-bit draw mixed with the tag.
+  rng split(std::uint64_t tag) {
+    std::uint64_t mix = next() ^ (tag * 0x9e3779b97f4a7c15ULL);
+    return rng(mix);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <random> adaptors).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+  // Unbiased draw in [0, bound); bound must be nonzero.  Lemire's method.
+  std::uint64_t below(std::uint64_t bound) {
+    std::uint64_t x = next();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<unsigned __int128>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Exact Bernoulli with rational probability num/den (num <= den, den > 0).
+  bool bernoulli(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+  // Fair coin.
+  bool flip() { return (next() >> 63) != 0; }
+
+  // Uniform double in [0, 1); used only by workload generators (never by
+  // the algorithms themselves, which flip exact rational coins).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace modcon

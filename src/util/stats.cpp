@@ -1,0 +1,74 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assertx.h"
+
+namespace modcon {
+
+void running_stats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double running_stats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double running_stats::stddev() const { return std::sqrt(variance()); }
+
+double running_stats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void sample_set::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double sample_set::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double sample_set::quantile(double q) const {
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank with ceil(q * n), 1-indexed.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(xs_.size())));
+  if (rank == 0) rank = 1;
+  return xs_[rank - 1];
+}
+
+proportion_ci wilson_interval(std::size_t successes, std::size_t trials,
+                              double z) {
+  MODCON_CHECK_MSG(successes <= trials, "more successes than trials");
+  if (trials == 0) return {0.0, 0.0, 1.0};
+  double n = static_cast<double>(trials);
+  double p = static_cast<double>(successes) / n;
+  double z2 = z * z;
+  double denom = 1.0 + z2 / n;
+  double center = (p + z2 / (2.0 * n)) / denom;
+  double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {p, std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+}  // namespace modcon

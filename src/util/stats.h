@@ -1,0 +1,64 @@
+// Statistics for the experiment harness: streaming moments, exact
+// quantiles over retained samples, and Wilson score intervals for the
+// probabilistic-agreement measurements (Theorem 7's δ bound is checked
+// against the lower end of a Wilson interval, not a point estimate).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace modcon {
+
+// Welford's streaming mean/variance plus min/max.
+class running_stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  // Half-width of a normal-approximation 95% confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Retains all samples; supports exact order statistics.
+class sample_set {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  // q in [0,1]; nearest-rank quantile.  Empty set returns 0.
+  double quantile(double q) const;
+  double max() const { return quantile(1.0); }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+// Wilson score interval for a binomial proportion at ~95% confidence
+// (z = 1.96).  Returns [lo, hi].
+struct proportion_ci {
+  double estimate;
+  double lo;
+  double hi;
+};
+proportion_ci wilson_interval(std::size_t successes, std::size_t trials,
+                              double z = 1.96);
+
+}  // namespace modcon

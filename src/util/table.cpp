@@ -1,0 +1,89 @@
+#include "util/table.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/assertx.h"
+
+namespace modcon {
+
+table::table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MODCON_CHECK(!headers_.empty());
+}
+
+table& table::row() {
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+table& table::cell(const std::string& v) {
+  MODCON_CHECK_MSG(!cells_.empty(), "cell() before row()");
+  MODCON_CHECK_MSG(cells_.back().size() < headers_.size(),
+                   "too many cells in row");
+  cells_.back().push_back(v);
+  return *this;
+}
+
+table& table::cell(const char* v) { return cell(std::string(v)); }
+
+table& table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+table& table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+table& table::cell(int v) { return cell(std::to_string(v)); }
+table& table::cell(unsigned v) { return cell(std::to_string(v)); }
+
+table& table::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return cell(os.str());
+}
+
+void table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& r : cells_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  os << "\n== " << title << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string();
+      os << "  " << std::setw(static_cast<int>(width[c])) << v;
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& r : cells_) emit_row(r);
+}
+
+void table::write_csv(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ",";
+      os << r[c];
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  for (const auto& r : cells_) emit_row(r);
+}
+
+void table::emit(const std::string& title, const std::string& slug) const {
+  print(std::cout, title);
+  std::cout.flush();
+  if (const char* dir = std::getenv("MODCON_CSV_DIR")) {
+    std::ofstream f(std::string(dir) + "/" + slug + ".csv");
+    if (f) write_csv(f);
+  }
+}
+
+}  // namespace modcon

@@ -1,0 +1,47 @@
+// Aligned-column table printing for the experiment benches.
+//
+// Every bench binary prints its results as one of these tables (the
+// "rows/series the paper reports"), and optionally mirrors them as CSV to
+// a file given by the MODCON_CSV_DIR environment variable so results can
+// be post-processed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace modcon {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  // Begin a new row; subsequent cell() calls fill it left to right.
+  table& row();
+  table& cell(const std::string& v);
+  table& cell(const char* v);
+  table& cell(std::uint64_t v);
+  table& cell(std::int64_t v);
+  table& cell(int v);
+  table& cell(unsigned v);
+  table& cell(double v, int precision = 3);
+
+  std::size_t rows() const { return cells_.size(); }
+
+  // Renders with aligned columns, a header rule, and `title` above.
+  void print(std::ostream& os, const std::string& title) const;
+
+  // Writes RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void write_csv(std::ostream& os) const;
+
+  // Convenience: print to stdout and, if MODCON_CSV_DIR is set, also write
+  // <dir>/<slug>.csv.
+  void emit(const std::string& title, const std::string& slug) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace modcon

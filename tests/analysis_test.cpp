@@ -1,0 +1,77 @@
+// The §3 property predicates and the workload generator.
+#include "analysis/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/runner.h"
+
+namespace modcon::analysis {
+namespace {
+
+TEST(Metrics, ValidityChecksMembership) {
+  std::vector<value_t> inputs{1, 2, 3};
+  EXPECT_TRUE(check_validity({{false, 1}, {true, 3}}, inputs));
+  EXPECT_FALSE(check_validity({{false, 4}}, inputs));
+  EXPECT_TRUE(check_validity({}, inputs));  // vacuous
+}
+
+TEST(Metrics, CoherenceDefinition) {
+  // No decision bit: always coherent, even with mixed values.
+  EXPECT_TRUE(check_coherence({{false, 1}, {false, 2}}));
+  // A decider pins every value, decided or not.
+  EXPECT_TRUE(check_coherence({{true, 5}, {false, 5}, {true, 5}}));
+  EXPECT_FALSE(check_coherence({{true, 5}, {false, 6}}));
+  EXPECT_FALSE(check_coherence({{false, 6}, {true, 5}}));
+  EXPECT_FALSE(check_coherence({{true, 5}, {true, 6}}));
+  EXPECT_TRUE(check_coherence({}));
+}
+
+TEST(Metrics, AgreementIgnoresDecisionBits) {
+  EXPECT_TRUE(check_agreement({{false, 2}, {true, 2}}));
+  EXPECT_FALSE(check_agreement({{false, 2}, {false, 3}}));
+  EXPECT_TRUE(check_agreement({}));
+}
+
+TEST(Metrics, AcceptanceNeedsDecisionAndValue) {
+  EXPECT_TRUE(check_acceptance({{true, 4}, {true, 4}}, 4));
+  EXPECT_FALSE(check_acceptance({{true, 4}, {false, 4}}, 4));
+  EXPECT_FALSE(check_acceptance({{true, 5}}, 4));
+}
+
+TEST(Metrics, AllDecided) {
+  EXPECT_TRUE(all_decided({{true, 1}, {true, 2}}));
+  EXPECT_FALSE(all_decided({{true, 1}, {false, 1}}));
+  EXPECT_TRUE(all_decided({}));
+}
+
+TEST(Workload, PatternsMatchTheirDefinitions) {
+  auto unanimous = make_inputs(input_pattern::unanimous, 5, 3, 1);
+  for (value_t v : unanimous) EXPECT_EQ(v, 0u);
+
+  auto half = make_inputs(input_pattern::half_half, 6, 2, 1);
+  EXPECT_EQ(std::count(half.begin(), half.end(), 0u), 3);
+  EXPECT_EQ(std::count(half.begin(), half.end(), 1u), 3);
+
+  auto alt = make_inputs(input_pattern::alternating, 6, 3, 1);
+  for (std::size_t i = 0; i < alt.size(); ++i) EXPECT_EQ(alt[i], i % 3);
+
+  auto dist = make_inputs(input_pattern::distinct, 4, 4, 1);
+  EXPECT_EQ(std::set<value_t>(dist.begin(), dist.end()).size(), 4u);
+
+  auto rnd = make_inputs(input_pattern::random_m, 200, 5, 1);
+  for (value_t v : rnd) EXPECT_LT(v, 5u);
+  // Same seed reproduces, different seed varies.
+  EXPECT_EQ(rnd, make_inputs(input_pattern::random_m, 200, 5, 1));
+  EXPECT_NE(rnd, make_inputs(input_pattern::random_m, 200, 5, 2));
+}
+
+TEST(Workload, DistinctRequiresEnoughValues) {
+  EXPECT_THROW(make_inputs(input_pattern::distinct, 5, 4, 1),
+               invariant_error);
+}
+
+}  // namespace
+}  // namespace modcon::analysis

@@ -1,0 +1,182 @@
+// Baselines: the Chor–Israeli–Li-style racing consensus (also Theorem 5's
+// fallback K) and its cost shape versus the paper's stack.
+#include "baseline/cil_consensus.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/runner.h"
+#include "core/consensus/builder.h"
+#include "sim/adversaries/adversaries.h"
+#include "util/stats.h"
+
+namespace modcon {
+namespace {
+
+using analysis::input_pattern;
+using analysis::make_inputs;
+using analysis::run_object_trial;
+using analysis::trial_options;
+using sim::sim_env;
+
+// gtest parameterized-test names must be alphanumeric.
+std::string sanitize(std::string s) {
+  for (char& ch : s)
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  return s;
+}
+
+analysis::sim_object_builder cil_builder() {
+  return [](address_space& mem, std::size_t n) {
+    return std::make_unique<cil_consensus<sim_env>>(mem, n);
+  };
+}
+
+struct cil_case {
+  std::size_t n;
+  input_pattern pattern;
+};
+
+class CilProperty : public ::testing::TestWithParam<cil_case> {};
+
+TEST_P(CilProperty, ConsensusPropertiesHold) {
+  auto c = GetParam();
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    sim::random_oblivious adv;
+    auto inputs = make_inputs(c.pattern, c.n, 2, seed);
+    trial_options opts;
+    opts.seed = seed;
+    opts.max_steps = 5'000'000;
+    auto res = run_object_trial(cil_builder(), inputs, adv, opts);
+    ASSERT_TRUE(res.completed()) << "n=" << c.n << " seed=" << seed;
+    EXPECT_TRUE(analysis::all_decided(res.outputs));
+    EXPECT_TRUE(res.agreement()) << "n=" << c.n << " seed=" << seed;
+    EXPECT_TRUE(res.valid(inputs));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Races, CilProperty,
+    ::testing::Values(cil_case{1, input_pattern::unanimous},
+                      cil_case{2, input_pattern::half_half},
+                      cil_case{3, input_pattern::alternating},
+                      cil_case{6, input_pattern::half_half},
+                      cil_case{6, input_pattern::unanimous},
+                      cil_case{12, input_pattern::alternating}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_" +
+             sanitize(to_string(info.param.pattern));
+    });
+
+TEST(CilConsensus, MValuedWorksToo) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    sim::random_oblivious adv;
+    auto inputs = make_inputs(input_pattern::random_m, 5, 40, seed);
+    trial_options opts;
+    opts.seed = seed;
+    opts.max_steps = 5'000'000;
+    auto res = run_object_trial(cil_builder(), inputs, adv, opts);
+    ASSERT_TRUE(res.completed());
+    EXPECT_TRUE(res.agreement());
+    EXPECT_TRUE(res.valid(inputs));
+  }
+}
+
+TEST(CilConsensus, BoundedSpace) {
+  // n registers, regardless of how long the race runs.
+  sim::random_oblivious adv;
+  auto inputs = make_inputs(input_pattern::half_half, 6, 2, 1);
+  auto res = run_object_trial(cil_builder(), inputs, adv);
+  ASSERT_TRUE(res.completed());
+  EXPECT_EQ(res.registers, 6u);
+}
+
+TEST(CilConsensus, SurvivesLockstepScheduling) {
+  // Round-robin is the lockstep schedule; hidden coins must still break
+  // the tie (this is the point of probabilistic writes in CIL).
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    sim::round_robin adv;
+    trial_options opts;
+    opts.seed = seed;
+    opts.max_steps = 5'000'000;
+    auto res = run_object_trial(cil_builder(), {0, 1}, adv, opts);
+    ASSERT_TRUE(res.completed()) << "seed " << seed;
+    EXPECT_TRUE(res.agreement());
+  }
+}
+
+TEST(CilConsensus, WaitFreeUnderCrashes) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    sim::random_oblivious adv;
+    trial_options opts;
+    opts.seed = seed;
+    opts.max_steps = 5'000'000;
+    opts.crashes = {{0, 2}, {1, 5}};
+    auto inputs = make_inputs(input_pattern::alternating, 5, 2, seed);
+    auto res = run_object_trial(cil_builder(), inputs, adv, opts);
+    EXPECT_EQ(res.status, sim::run_status::no_runnable);
+    EXPECT_TRUE(res.coherent());
+    EXPECT_TRUE(res.valid(inputs));
+    for (const auto& d : res.outputs) EXPECT_TRUE(d.decide);
+  }
+}
+
+TEST(CilConsensus, IndividualWorkIsSuperlogarithmic) {
+  // The baseline's per-process cost grows like Θ(n) per round times the
+  // race length; the paper's stack stays polylog.  Compare medians on a
+  // contended workload (the E9 shape in miniature).
+  auto qs = make_binary_quorums();
+  for (std::size_t n : {8u, 24u}) {
+    sample_set cil_work, stack_work;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+      trial_options opts;
+      opts.seed = seed;
+      opts.max_steps = 20'000'000;
+      auto inputs = make_inputs(input_pattern::half_half, n, 2, seed);
+      {
+        sim::random_oblivious adv;
+        auto res = run_object_trial(cil_builder(), inputs, adv, opts);
+        ASSERT_TRUE(res.completed());
+        cil_work.add(static_cast<double>(res.max_individual_ops));
+      }
+      {
+        sim::random_oblivious adv;
+        auto builder = [&qs](address_space& mem, std::size_t) {
+          return make_impatient_consensus<sim_env>(mem, qs);
+        };
+        auto res = run_object_trial(builder, inputs, adv, opts);
+        ASSERT_TRUE(res.completed());
+        stack_work.add(static_cast<double>(res.max_individual_ops));
+      }
+    }
+    EXPECT_GT(cil_work.quantile(0.5), stack_work.quantile(0.5))
+        << "n=" << n;
+  }
+}
+
+TEST(LeanConsensus, RatifierLadderWithBinaryQuorumsUnderNoise) {
+  // §4.2: "R is essentially equivalent to the lean-consensus protocol of
+  // [5]" — binary ratifier ladder + noisy scheduler.
+  auto qs = make_binary_quorums();
+  std::size_t done = 0;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    sim::noisy adv(1.0);
+    auto build = [&](address_space& mem, std::size_t) {
+      return make_ratifier_only_consensus<sim_env>(mem, qs, 50000);
+    };
+    auto inputs = make_inputs(input_pattern::half_half, 6, 2, seed);
+    trial_options opts;
+    opts.seed = seed;
+    opts.max_steps = 150'000;
+    auto res = run_object_trial(build, inputs, adv, opts);
+    if (!res.completed()) continue;
+    ++done;
+    EXPECT_TRUE(res.agreement());
+    EXPECT_TRUE(res.valid(inputs));
+  }
+  EXPECT_GE(done, 22u);
+}
+
+}  // namespace
+}  // namespace modcon

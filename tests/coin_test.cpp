@@ -1,0 +1,179 @@
+// Weak shared coins and the Theorem 6 coin conciliator.
+#include "coin/voting_coin.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/runner.h"
+#include "core/conciliator/coin_conciliator.h"
+#include "sim/adversaries/adversaries.h"
+#include "util/stats.h"
+
+namespace modcon {
+namespace {
+
+using analysis::input_pattern;
+using analysis::make_inputs;
+using analysis::run_object_trial;
+using analysis::trial_options;
+using sim::sim_env;
+
+// Adapter: run a bare coin as if it were a deciding object so the trial
+// runner can drive it (output value = toss, decision bit 0).
+class coin_as_object final : public deciding_object<sim_env> {
+ public:
+  explicit coin_as_object(std::unique_ptr<shared_coin<sim_env>> coin)
+      : coin_(std::move(coin)) {}
+  proc<decided> invoke(sim_env& env, value_t) override {
+    value_t b = co_await coin_->toss(env);
+    co_return decided{false, b};
+  }
+  std::string name() const override { return coin_->name(); }
+
+ private:
+  std::unique_ptr<shared_coin<sim_env>> coin_;
+};
+
+analysis::sim_object_builder coin_builder() {
+  return [](address_space& mem, std::size_t n) {
+    return std::make_unique<coin_as_object>(
+        std::make_unique<voting_coin<sim_env>>(mem, n));
+  };
+}
+
+analysis::sim_object_builder coin_conciliator_builder() {
+  return [](address_space& mem, std::size_t n) {
+    return std::make_unique<coin_conciliator<sim_env>>(
+        mem, std::make_unique<voting_coin<sim_env>>(mem, n));
+  };
+}
+
+TEST(VotingCoin, ReturnsBits) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    sim::random_oblivious adv;
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(coin_builder(),
+                                make_inputs(input_pattern::unanimous, 3, 2,
+                                            seed),
+                                adv, opts);
+    ASSERT_TRUE(res.completed());
+    for (const decided& d : res.outputs) EXPECT_LE(d.value, 1u);
+  }
+}
+
+TEST(VotingCoin, BothOutcomesOccur) {
+  int ones = 0, total = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    sim::random_oblivious adv;
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(coin_builder(),
+                                make_inputs(input_pattern::unanimous, 2, 2,
+                                            seed),
+                                adv, opts);
+    ASSERT_TRUE(res.completed());
+    if (!res.agreement()) continue;
+    ++total;
+    ones += res.outputs[0].value;
+  }
+  // Both 0-agreement and 1-agreement happen with constant probability.
+  EXPECT_GT(ones, total / 10);
+  EXPECT_LT(ones, total - total / 10);
+}
+
+TEST(VotingCoin, AgreementIsFrequent) {
+  std::size_t agreed = 0;
+  constexpr std::size_t kTrials = 150;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    sim::random_oblivious adv;
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(coin_builder(),
+                                make_inputs(input_pattern::unanimous, 4, 2,
+                                            seed),
+                                adv, opts);
+    ASSERT_TRUE(res.completed());
+    agreed += res.agreement();
+  }
+  // With threshold 4n and period 2 the hidden-vote slack is small; most
+  // executions agree.
+  EXPECT_GT(wilson_interval(agreed, kTrials).lo, 0.5);
+}
+
+TEST(VotingCoin, SoloProcessTerminatesQuickly) {
+  sim::round_robin adv;
+  auto res = run_object_trial(coin_builder(), {0}, adv);
+  ASSERT_TRUE(res.completed());
+  // One process must still reach the threshold by itself: a ±1 random
+  // walk to 4 needs a few dozen votes, each vote 1 write (+ collects).
+  EXPECT_LT(res.total_ops, 10000u);
+}
+
+TEST(CoinConciliator, ValidityWithUnanimousInputsSkipsTheCoin) {
+  // Theorem 6 proof: if all inputs are v nobody writes r_{1-v}, so all
+  // processes return v without tossing — and in O(1) work.
+  for (value_t v : {value_t{0}, value_t{1}}) {
+    sim::random_oblivious adv;
+    std::vector<value_t> inputs(5, v);
+    auto res = run_object_trial(coin_conciliator_builder(), inputs, adv);
+    ASSERT_TRUE(res.completed());
+    for (const decided& d : res.outputs) {
+      EXPECT_FALSE(d.decide);
+      EXPECT_EQ(d.value, v);
+    }
+    EXPECT_LE(res.max_individual_ops, 2u);
+  }
+}
+
+TEST(CoinConciliator, ValidityWithMixedInputs) {
+  // With both inputs present any toss outcome is someone's input, so
+  // validity always holds.
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    sim::random_oblivious adv;
+    auto inputs = make_inputs(input_pattern::half_half, 4, 2, seed);
+    trial_options opts;
+    opts.seed = seed;
+    auto res =
+        run_object_trial(coin_conciliator_builder(), inputs, adv, opts);
+    ASSERT_TRUE(res.completed());
+    EXPECT_TRUE(res.valid(inputs));
+    for (const decided& d : res.outputs) EXPECT_FALSE(d.decide);
+  }
+}
+
+TEST(CoinConciliator, ProbabilisticAgreementAtLeastCoinDelta) {
+  std::size_t agreed = 0;
+  constexpr std::size_t kTrials = 200;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    sim::random_oblivious adv;
+    auto inputs = make_inputs(input_pattern::half_half, 4, 2, seed);
+    trial_options opts;
+    opts.seed = seed;
+    auto res =
+        run_object_trial(coin_conciliator_builder(), inputs, adv, opts);
+    ASSERT_TRUE(res.completed());
+    agreed += res.agreement();
+  }
+  EXPECT_GT(wilson_interval(agreed, kTrials).lo, 0.3);
+}
+
+TEST(CoinConciliator, BinaryOnly) {
+  sim::round_robin adv;
+  EXPECT_THROW(run_object_trial(coin_conciliator_builder(), {2}, adv),
+               invariant_error);
+}
+
+TEST(CoinConciliator, AddsTwoOperationsOnTopOfTheCoin) {
+  // A process that enters the coin pays coin cost + 2; one that skips it
+  // pays exactly 2.
+  sim::fixed_order adv(sim::fixed_order::mode::sequential);
+  auto res = run_object_trial(coin_conciliator_builder(), {0, 1}, adv);
+  ASSERT_TRUE(res.completed());
+  // p0 ran alone: write + read = 2 ops, skipped the coin.
+  EXPECT_EQ(res.outputs[0], (decided{false, 0}));
+}
+
+}  // namespace
+}  // namespace modcon

@@ -1,0 +1,251 @@
+// Composition (§3.2): Procedure Composition semantics, Lemmas 1-3,
+// Corollary 4, associativity, and the paper's scramble/unscramble remark
+// showing the converse of Lemma 1 fails.
+#include "core/compose.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/runner.h"
+#include "core/conciliator/impatient.h"
+#include "core/ratifier/quorum_ratifier.h"
+#include "sim/adversaries/adversaries.h"
+
+namespace modcon {
+namespace {
+
+using analysis::input_pattern;
+using analysis::make_inputs;
+using analysis::run_object_trial;
+using analysis::trial_options;
+using sim::sim_env;
+
+// --- synthetic deciding objects (no shared memory needed) ---
+
+// Copies its input to its output with decision bit 0: the trivially weak
+// consensus object the paper mentions after the coherence definition.
+class identity_object final : public deciding_object<sim_env> {
+ public:
+  proc<decided> invoke(sim_env&, value_t v) override {
+    co_return decided{false, v};
+  }
+  std::string name() const override { return "identity"; }
+};
+
+// Applies a fixed permutation (XOR mask) to its input.  Violates
+// validity, never decides.
+class scramble_object final : public deciding_object<sim_env> {
+ public:
+  explicit scramble_object(value_t mask) : mask_(mask) {}
+  proc<decided> invoke(sim_env&, value_t v) override {
+    co_return decided{false, v ^ mask_};
+  }
+  std::string name() const override { return "scramble"; }
+
+ private:
+  value_t mask_;
+};
+
+// Decides its input immediately.
+class instant_decider final : public deciding_object<sim_env> {
+ public:
+  proc<decided> invoke(sim_env&, value_t v) override {
+    co_return decided{true, v};
+  }
+  std::string name() const override { return "instant"; }
+};
+
+// Decides a constant, ignoring its input (violates validity; used to
+// prove the later object is skipped after a decision).
+class constant_decider final : public deciding_object<sim_env> {
+ public:
+  explicit constant_decider(value_t v) : v_(v) {}
+  proc<decided> invoke(sim_env&, value_t) override {
+    co_return decided{true, v_};
+  }
+  std::string name() const override { return "constant"; }
+
+ private:
+  value_t v_;
+};
+
+// Counts invocations (via shared memory so it is observable).
+class counting_object final : public deciding_object<sim_env> {
+ public:
+  explicit counting_object(address_space& mem, bool decide)
+      : r_(mem.alloc(0)), decide_(decide) {}
+  proc<decided> invoke(sim_env& env, value_t v) override {
+    word c = co_await env.read(r_);
+    co_await env.write(r_, c + 1);
+    co_return decided{decide_, v};
+  }
+  std::string name() const override { return "counting"; }
+  reg_id reg() const { return r_; }
+
+ private:
+  reg_id r_;
+  bool decide_;
+};
+
+TEST(Composition, FeedsValueThroughWhenNoDecision) {
+  sim::round_robin adv;
+  auto build = [](address_space&, std::size_t) {
+    auto s = std::make_unique<sequence<sim_env>>();
+    s->append(std::make_unique<scramble_object>(0b101));
+    s->append(std::make_unique<scramble_object>(0b011));
+    return s;
+  };
+  auto res = run_object_trial(build, {0b000}, adv);
+  ASSERT_TRUE(res.completed());
+  EXPECT_EQ(res.outputs[0], (decided{false, 0b110}));
+}
+
+TEST(Composition, DecisionShortCircuitsLaterObjects) {
+  sim::round_robin adv;
+  // X decides; Y would scramble — but must be skipped entirely.
+  auto build = [](address_space& mem, std::size_t) {
+    auto s = std::make_unique<sequence<sim_env>>();
+    s->append(std::make_unique<instant_decider>());
+    auto counter = std::make_unique<counting_object>(mem, false);
+    s->append(std::move(counter));
+    return s;
+  };
+  auto res = run_object_trial(build, {5, 5}, adv);
+  ASSERT_TRUE(res.completed());
+  for (const auto& d : res.outputs) EXPECT_EQ(d, (decided{true, 5}));
+  EXPECT_EQ(res.total_ops, 0u);  // the counting object never ran
+}
+
+TEST(Composition, DecisionBitSurvivesComposition) {
+  sim::round_robin adv;
+  auto build = [](address_space&, std::size_t) {
+    auto s = std::make_unique<sequence<sim_env>>();
+    s->append(std::make_unique<identity_object>());
+    s->append(std::make_unique<instant_decider>());
+    return s;
+  };
+  auto res = run_object_trial(build, {3}, adv);
+  EXPECT_EQ(res.outputs[0], (decided{true, 3}));
+}
+
+TEST(Composition, AssociativityObservedOnOutputs) {
+  // ((X; Y); Z) behaves exactly like (X; (Y; Z)).
+  sim::round_robin adv;
+  auto left = [](address_space&, std::size_t)
+      -> std::unique_ptr<deciding_object<sim_env>> {
+    auto xy = compose<sim_env>(std::make_unique<scramble_object>(1),
+                               std::make_unique<scramble_object>(2));
+    return compose<sim_env>(std::move(xy),
+                            std::make_unique<scramble_object>(4));
+  };
+  auto right = [](address_space&, std::size_t)
+      -> std::unique_ptr<deciding_object<sim_env>> {
+    auto yz = compose<sim_env>(std::make_unique<scramble_object>(2),
+                               std::make_unique<scramble_object>(4));
+    return compose<sim_env>(std::make_unique<scramble_object>(1),
+                            std::move(yz));
+  };
+  for (value_t v : {value_t{0}, value_t{3}, value_t{9}}) {
+    auto a = run_object_trial(left, {v}, adv);
+    auto b = run_object_trial(right, {v}, adv);
+    EXPECT_EQ(a.outputs[0], b.outputs[0]) << "input " << v;
+  }
+}
+
+TEST(Composition, ScrambleUnscrambleShowsConverseOfLemma1Fails) {
+  // The paper: composition may be valid even when the parts are not —
+  // the first scrambles (invalid), the second unscrambles.
+  sim::round_robin adv;
+  auto build = [](address_space&, std::size_t) {
+    auto s = std::make_unique<sequence<sim_env>>();
+    s->append(std::make_unique<scramble_object>(0xff));
+    s->append(std::make_unique<scramble_object>(0xff));
+    return s;
+  };
+  auto inputs = make_inputs(input_pattern::alternating, 4, 4, 1);
+  auto res = run_object_trial(build, inputs, adv);
+  ASSERT_TRUE(res.completed());
+  EXPECT_TRUE(res.valid(inputs));  // composite is valid...
+  // ...even though the first part alone is not:
+  auto scramble_only = [](address_space&, std::size_t) {
+    auto s = std::make_unique<sequence<sim_env>>();
+    s->append(std::make_unique<scramble_object>(0xff));
+    return s;
+  };
+  auto res2 = run_object_trial(scramble_only, inputs, adv);
+  EXPECT_FALSE(res2.valid(inputs));
+}
+
+TEST(Composition, Lemma1ValidityPreserved) {
+  // Composition of two valid weak consensus objects stays valid (here:
+  // ratifier; conciliator — both valid — over many random schedules).
+  auto qs = make_binary_quorums();
+  for (std::uint64_t seed = 0; seed < 80; ++seed) {
+    sim::random_oblivious adv;
+    auto build = [&qs](address_space& mem, std::size_t) {
+      auto s = std::make_unique<sequence<sim_env>>();
+      s->append(std::make_unique<quorum_ratifier<sim_env>>(mem, qs));
+      s->append(std::make_unique<impatient_conciliator<sim_env>>(mem));
+      return s;
+    };
+    auto inputs = make_inputs(input_pattern::half_half, 5, 2, seed);
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(build, inputs, adv, opts);
+    ASSERT_TRUE(res.completed());
+    EXPECT_TRUE(res.valid(inputs)) << "seed " << seed;
+  }
+}
+
+TEST(Composition, Lemma3CoherencePreserved) {
+  // (X; Y) with X, Y ratifiers (coherent + valid) must be coherent on
+  // every random schedule.
+  auto qs = make_bollobas_quorums(4);
+  for (std::uint64_t seed = 0; seed < 80; ++seed) {
+    sim::random_oblivious adv;
+    auto build = [&qs](address_space& mem, std::size_t) {
+      auto s = std::make_unique<sequence<sim_env>>();
+      s->append(std::make_unique<quorum_ratifier<sim_env>>(mem, qs));
+      s->append(std::make_unique<quorum_ratifier<sim_env>>(mem, qs));
+      return s;
+    };
+    auto inputs = make_inputs(input_pattern::random_m, 5, 4, seed);
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(build, inputs, adv, opts);
+    ASSERT_TRUE(res.completed());
+    EXPECT_TRUE(res.coherent()) << "seed " << seed;
+  }
+}
+
+TEST(Composition, EmptySequenceIsIdentity) {
+  sim::round_robin adv;
+  auto build = [](address_space&, std::size_t) {
+    return std::make_unique<sequence<sim_env>>();
+  };
+  auto res = run_object_trial(build, {4}, adv);
+  EXPECT_EQ(res.outputs[0], (decided{false, 4}));
+}
+
+TEST(Composition, NameListsParts) {
+  sequence<sim_env> s;
+  s.append(std::make_unique<identity_object>());
+  s.append(std::make_unique<instant_decider>());
+  EXPECT_EQ(s.name(), "(identity; instant)");
+}
+
+TEST(Composition, ConstantDeciderMakesLaterPartsUnreachable) {
+  sim::round_robin adv;
+  auto build = [](address_space&, std::size_t) {
+    auto s = std::make_unique<sequence<sim_env>>();
+    s->append(std::make_unique<constant_decider>(9));
+    s->append(std::make_unique<scramble_object>(0xf));
+    return s;
+  };
+  auto res = run_object_trial(build, {1, 2}, adv);
+  for (const auto& d : res.outputs) EXPECT_EQ(d, (decided{true, 9}));
+}
+
+}  // namespace
+}  // namespace modcon

@@ -1,0 +1,266 @@
+// Conciliators: Theorem 7's work bounds and probabilistic agreement, the
+// fixed-probability baseline, validity and coherence as weak consensus
+// objects.
+#include "core/conciliator/impatient.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/runner.h"
+#include "core/conciliator/fixed_probability.h"
+#include "sim/adversaries/adversaries.h"
+#include "util/bits.h"
+#include "util/stats.h"
+
+namespace modcon {
+namespace {
+
+using analysis::input_pattern;
+using analysis::make_inputs;
+using analysis::run_object_trial;
+using analysis::trial_options;
+using sim::sim_env;
+
+analysis::sim_object_builder impatient_builder() {
+  return [](address_space& mem, std::size_t) {
+    return std::make_unique<impatient_conciliator<sim_env>>(mem);
+  };
+}
+
+analysis::sim_object_builder fixed_builder() {
+  return [](address_space& mem, std::size_t) {
+    return std::make_unique<fixed_probability_conciliator<sim_env>>(mem);
+  };
+}
+
+TEST(ImpatientConciliator, SoloProcessKeepsItsValue) {
+  sim::round_robin adv;
+  auto res = run_object_trial(impatient_builder(), {7}, adv);
+  ASSERT_TRUE(res.completed());
+  EXPECT_EQ(res.outputs[0], (decided{false, 7}));
+}
+
+TEST(ImpatientConciliator, NeverDecides) {
+  // Coherence is satisfied vacuously: the decision bit is always 0.
+  sim::random_oblivious adv;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(impatient_builder(),
+                                make_inputs(input_pattern::alternating, 5,
+                                            5, seed),
+                                adv, opts);
+    ASSERT_TRUE(res.completed());
+    for (const decided& d : res.outputs) EXPECT_FALSE(d.decide);
+  }
+}
+
+TEST(ImpatientConciliator, ValidityOverManySeeds) {
+  sim::random_oblivious adv;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    auto inputs = make_inputs(input_pattern::random_m, 6, 4, seed);
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(impatient_builder(), inputs, adv, opts);
+    ASSERT_TRUE(res.completed());
+    EXPECT_TRUE(res.valid(inputs)) << "seed " << seed;
+  }
+}
+
+TEST(ImpatientConciliator, SupportsArbitrarilyManyValues) {
+  // §5.2: unlike shared-coin conciliators, first-mover works for any m.
+  sim::random_oblivious adv;
+  auto inputs = make_inputs(input_pattern::distinct, 16, 16, 1);
+  auto res = run_object_trial(impatient_builder(), inputs, adv);
+  ASSERT_TRUE(res.completed());
+  EXPECT_TRUE(res.valid(inputs));
+}
+
+TEST(ImpatientConciliator, IndividualWorkBoundIsDeterministic) {
+  // <= 2 lg n + O(1) for every schedule and every coin outcome: after
+  // ceil(lg n) misses the write probability is 1.
+  for (std::size_t n : {2u, 3u, 8u, 17u, 64u, 256u}) {
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      sim::random_oblivious adv;
+      auto inputs = make_inputs(input_pattern::alternating, n, 2, seed);
+      trial_options opts;
+      opts.seed = seed;
+      auto res = run_object_trial(impatient_builder(), inputs, adv, opts);
+      ASSERT_TRUE(res.completed());
+      EXPECT_LE(res.max_individual_ops,
+                impatient_conciliator<sim_env>::individual_work_bound(n))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ImpatientConciliator, IndividualWorkBoundUnderAttack) {
+  // The bound is worst-case, so it must also hold under the greedy
+  // location-oblivious attacker.
+  for (std::size_t n : {4u, 16u, 64u}) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      sim::greedy_overwrite adv(/*target=*/0);
+      auto inputs = make_inputs(input_pattern::half_half, n, 2, seed);
+      trial_options opts;
+      opts.seed = seed;
+      auto res = run_object_trial(impatient_builder(), inputs, adv, opts);
+      ASSERT_TRUE(res.completed());
+      EXPECT_LE(res.max_individual_ops,
+                impatient_conciliator<sim_env>::individual_work_bound(n));
+    }
+  }
+}
+
+TEST(ImpatientConciliator, ExpectedTotalWorkIsLinear) {
+  // Theorem 7: expected total work <= 6n.
+  for (std::size_t n : {8u, 32u, 128u}) {
+    running_stats total;
+    for (std::uint64_t seed = 0; seed < 300; ++seed) {
+      sim::random_oblivious adv;
+      auto inputs = make_inputs(input_pattern::half_half, n, 2, seed);
+      trial_options opts;
+      opts.seed = seed;
+      auto res = run_object_trial(impatient_builder(), inputs, adv, opts);
+      ASSERT_TRUE(res.completed());
+      total.add(static_cast<double>(res.total_ops));
+    }
+    EXPECT_LE(total.mean(), 6.0 * static_cast<double>(n)) << "n=" << n;
+  }
+}
+
+TEST(ImpatientConciliator, AgreementProbabilityMeetsTheorem7Bound) {
+  // Against the neutral scheduler and against the dedicated attackers,
+  // empirical agreement must stay above δ = (1 - e^{-1/4})/4 ≈ 0.0553.
+  // We compare the Wilson lower bound of the measured proportion.
+  const double kDelta = impatient_conciliator<sim_env>::agreement_bound();
+  ASSERT_NEAR(kDelta, 0.0553, 0.0001);
+  constexpr std::size_t kTrials = 1200;
+  const std::size_t n = 24;
+
+  auto measure = [&](auto&& make_adv) {
+    std::size_t agreed = 0;
+    for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+      auto adv = make_adv();
+      auto inputs = make_inputs(input_pattern::alternating, n, 2, seed);
+      trial_options opts;
+      opts.seed = seed;
+      auto res = run_object_trial(impatient_builder(), inputs, adv, opts);
+      if (!res.completed()) continue;
+      agreed += res.agreement();
+    }
+    return wilson_interval(agreed, kTrials);
+  };
+
+  auto neutral = measure([] { return sim::random_oblivious(); });
+  EXPECT_GT(neutral.lo, kDelta) << "neutral scheduler";
+
+  auto greedy = measure([] { return sim::greedy_overwrite(0); });
+  EXPECT_GT(greedy.lo, kDelta) << "greedy overwrite attacker";
+
+  auto stock = measure([] { return sim::stockpiler(0); });
+  EXPECT_GT(stock.lo, kDelta) << "stockpiler attacker";
+}
+
+TEST(ImpatientConciliator, OmniscientAdversaryBreaksAgreement) {
+  // Out-of-model ablation (E5): with coin visibility the agreement
+  // probability collapses far below δ — evidence that our in-model
+  // attackers' failure to break the bound is not for lack of teeth.
+  constexpr std::size_t kTrials = 600;
+  const std::size_t n = 24;
+  std::size_t agreed = 0;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    sim::omniscient_splitter adv(0);
+    auto inputs = make_inputs(input_pattern::alternating, n, 2, seed);
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(impatient_builder(), inputs, adv, opts);
+    ASSERT_TRUE(res.completed());
+    agreed += res.agreement();
+  }
+  auto ci = wilson_interval(agreed, kTrials);
+  EXPECT_LT(ci.hi, 0.05) << "omniscient splitter should crush agreement";
+}
+
+TEST(ImpatientConciliator, WaitFreeUnderCrashes) {
+  // Survivors finish regardless of how many others crash mid-protocol.
+  sim::random_oblivious adv;
+  trial_options opts;
+  opts.crashes = {{0, 1}, {1, 2}, {2, 0}};
+  auto inputs = make_inputs(input_pattern::alternating, 6, 3, 3);
+  auto res = run_object_trial(impatient_builder(), inputs, adv, opts);
+  EXPECT_EQ(res.status, sim::run_status::no_runnable);
+  EXPECT_EQ(res.outputs.size(), 3u);  // the three survivors
+  EXPECT_TRUE(res.valid(inputs));
+}
+
+TEST(FixedProbabilityConciliator, ValidityAndNoDecision) {
+  sim::random_oblivious adv;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    auto inputs = make_inputs(input_pattern::random_m, 5, 3, seed);
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(fixed_builder(), inputs, adv, opts);
+    ASSERT_TRUE(res.completed());
+    EXPECT_TRUE(res.valid(inputs));
+    for (const decided& d : res.outputs) EXPECT_FALSE(d.decide);
+  }
+}
+
+TEST(FixedProbabilityConciliator, IndividualWorkGrowsLinearly) {
+  // The baseline's solo individual work is Θ(n) (expected 4n ops at
+  // p = 1/(2n)) versus the impatient conciliator's O(log n): the gap the
+  // paper's protocol closes (E9).
+  for (std::size_t n : {8u, 64u}) {
+    running_stats solo_fixed, solo_impatient;
+    for (std::uint64_t seed = 0; seed < 60; ++seed) {
+      trial_options opts;
+      opts.seed = seed;
+      {
+        sim::fixed_order adv(sim::fixed_order::mode::sequential);
+        auto res = run_object_trial(
+            fixed_builder(), make_inputs(input_pattern::unanimous, n, 2, 0),
+            adv, opts);
+        ASSERT_TRUE(res.completed());
+        solo_fixed.add(static_cast<double>(res.max_individual_ops));
+      }
+      {
+        sim::fixed_order adv(sim::fixed_order::mode::sequential);
+        auto res = run_object_trial(
+            impatient_builder(),
+            make_inputs(input_pattern::unanimous, n, 2, 0), adv, opts);
+        ASSERT_TRUE(res.completed());
+        solo_impatient.add(static_cast<double>(res.max_individual_ops));
+      }
+    }
+    EXPECT_GT(solo_fixed.mean(), solo_impatient.mean()) << "n=" << n;
+    if (n >= 64)
+      EXPECT_GT(solo_fixed.mean(),
+                static_cast<double>(n));  // Θ(n) vs 2 lg n + O(1)
+  }
+}
+
+TEST(FixedProbabilityConciliator, AgreementStaysConstant) {
+  const std::size_t n = 16;
+  std::size_t agreed = 0;
+  constexpr std::size_t kTrials = 500;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    sim::random_oblivious adv;
+    auto inputs = make_inputs(input_pattern::half_half, n, 2, seed);
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(fixed_builder(), inputs, adv, opts);
+    ASSERT_TRUE(res.completed());
+    agreed += res.agreement();
+  }
+  EXPECT_GT(wilson_interval(agreed, kTrials).lo, 0.05);
+}
+
+TEST(ImpatientConciliator, RejectsBotInput) {
+  sim::round_robin adv;
+  EXPECT_THROW(run_object_trial(impatient_builder(), {kBot}, adv),
+               invariant_error);
+}
+
+}  // namespace
+}  // namespace modcon

@@ -1,0 +1,181 @@
+// Wait-freedom under crash storms: every object's guarantees must hold
+// for the survivors no matter how many processes crash, when they crash,
+// or which scheduler runs — the model tolerates up to n-1 crash failures
+// (§1).  Crash timings are drawn per seed so the sweep covers crashes
+// before the first operation, mid-announce, mid-quorum-scan, and
+// post-decision.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "analysis/runner.h"
+#include "core/modcon.h"
+#include "sim/adversaries/adversaries.h"
+#include "util/rng.h"
+
+namespace modcon {
+namespace {
+
+using analysis::input_pattern;
+using analysis::make_inputs;
+using analysis::run_object_trial;
+using analysis::trial_options;
+using sim::sim_env;
+
+enum class kind {
+  conciliator_k,
+  binary_ratifier_k,
+  bollobas_ratifier_k,
+  collect_ratifier_k,
+  consensus_k,
+  bounded_consensus_k,
+  cil_k,
+};
+
+analysis::sim_object_builder builder_for(kind k) {
+  switch (k) {
+    case kind::conciliator_k:
+      return [](address_space& mem, std::size_t) {
+        return std::make_unique<impatient_conciliator<sim_env>>(mem);
+      };
+    case kind::binary_ratifier_k:
+      return [](address_space& mem, std::size_t) {
+        return std::make_unique<quorum_ratifier<sim_env>>(
+            mem, make_binary_quorums());
+      };
+    case kind::bollobas_ratifier_k:
+      return [](address_space& mem, std::size_t) {
+        return std::make_unique<quorum_ratifier<sim_env>>(
+            mem, make_bollobas_quorums(6));
+      };
+    case kind::collect_ratifier_k:
+      return [](address_space& mem, std::size_t n) {
+        return std::make_unique<collect_ratifier<sim_env>>(mem, n);
+      };
+    case kind::consensus_k:
+      return [](address_space& mem, std::size_t) {
+        return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+      };
+    case kind::bounded_consensus_k:
+      return [](address_space& mem, std::size_t n) {
+        return make_bounded_impatient_consensus<sim_env>(
+            mem, make_binary_quorums(), n);
+      };
+    case kind::cil_k:
+      return [](address_space& mem, std::size_t n) {
+        return std::make_unique<cil_consensus<sim_env>>(mem, n);
+      };
+  }
+  MODCON_CHECK(false);
+  return {};
+}
+
+const char* name_of(kind k) {
+  switch (k) {
+    case kind::conciliator_k: return "conciliator";
+    case kind::binary_ratifier_k: return "binratifier";
+    case kind::bollobas_ratifier_k: return "bolratifier";
+    case kind::collect_ratifier_k: return "colratifier";
+    case kind::consensus_k: return "consensus";
+    case kind::bounded_consensus_k: return "bounded";
+    case kind::cil_k: return "cil";
+  }
+  return "?";
+}
+
+bool values_must_decide(kind k) {
+  return k == kind::consensus_k || k == kind::bounded_consensus_k ||
+         k == kind::cil_k;
+}
+
+std::uint64_t m_of(kind k) {
+  return k == kind::bollobas_ratifier_k || k == kind::collect_ratifier_k
+             ? 6
+             : 2;
+}
+
+struct crash_case {
+  kind object;
+  std::size_t n;
+  std::size_t crash_count;
+};
+
+class CrashStorm : public ::testing::TestWithParam<crash_case> {};
+
+TEST_P(CrashStorm, SurvivorsKeepTheContract) {
+  const auto c = GetParam();
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    rng pick(seed * 977 + 13);
+    sim::random_oblivious adv;
+    trial_options opts;
+    opts.seed = seed;
+    opts.max_steps = 5'000'000;
+    // Crash `crash_count` distinct random pids at random small op counts.
+    std::vector<process_id> victims;
+    while (victims.size() < c.crash_count) {
+      auto v = static_cast<process_id>(pick.below(c.n));
+      if (std::find(victims.begin(), victims.end(), v) == victims.end())
+        victims.push_back(v);
+    }
+    for (auto v : victims) opts.crashes.push_back({v, pick.below(12)});
+
+    auto inputs = make_inputs(input_pattern::random_m, c.n, m_of(c.object),
+                              seed);
+    auto res = run_object_trial(builder_for(c.object), inputs, adv, opts);
+
+    // Survivors must have halted (wait-freedom): status is no_runnable
+    // (some processes crashed) and the halted set = n - crash_count...
+    // unless a victim finished before its crash point, which is fine too.
+    ASSERT_NE(res.status, sim::run_status::step_limit)
+        << name_of(c.object) << " seed " << seed;
+    EXPECT_GE(res.outputs.size(), c.n - c.crash_count);
+    EXPECT_TRUE(res.coherent()) << name_of(c.object) << " seed " << seed;
+    EXPECT_TRUE(res.valid(inputs)) << name_of(c.object) << " seed " << seed;
+    if (values_must_decide(c.object)) {
+      for (const auto& d : res.outputs) EXPECT_TRUE(d.decide);
+      EXPECT_TRUE(res.agreement()) << name_of(c.object) << " seed " << seed;
+    }
+  }
+}
+
+std::vector<crash_case> crash_cases() {
+  std::vector<crash_case> cases;
+  for (kind k : {kind::conciliator_k, kind::binary_ratifier_k,
+                 kind::bollobas_ratifier_k, kind::collect_ratifier_k,
+                 kind::consensus_k, kind::bounded_consensus_k, kind::cil_k}) {
+    cases.push_back({k, 6, 1});
+    cases.push_back({k, 6, 3});
+    cases.push_back({k, 6, 5});  // n-1 crashes: lone survivor
+    cases.push_back({k, 12, 6});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, CrashStorm, ::testing::ValuesIn(crash_cases()),
+    [](const auto& info) {
+      return std::string(name_of(info.param.object)) + "_n" +
+             std::to_string(info.param.n) + "_c" +
+             std::to_string(info.param.crash_count);
+    });
+
+TEST(CrashStorm, UnanimousAcceptanceSurvivesCrashes) {
+  // Ratifier acceptance among survivors when all inputs agree.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    sim::random_oblivious adv;
+    trial_options opts;
+    opts.seed = seed;
+    opts.crashes = {{1, seed % 4}, {4, (seed + 2) % 4}};
+    std::vector<value_t> inputs(6, 3);
+    auto build = [](address_space& mem, std::size_t) {
+      return std::make_unique<quorum_ratifier<sim_env>>(
+          mem, make_bollobas_quorums(6));
+    };
+    auto res = run_object_trial(build, inputs, adv, opts);
+    for (const auto& d : res.outputs) EXPECT_EQ(d, (decided{true, 3}));
+  }
+}
+
+}  // namespace
+}  // namespace modcon

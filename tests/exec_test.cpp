@@ -1,0 +1,112 @@
+// The execution-model layer: proc<T> lifecycle, nesting, exceptions,
+// result plumbing, and the decided-word encoding.
+#include "exec/proc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/types.h"
+#include "util/assertx.h"
+
+namespace modcon {
+namespace {
+
+proc<word> returns_value(word v) { co_return v; }
+
+proc<word> adds(word a, word b) {
+  word x = co_await returns_value(a);
+  word y = co_await returns_value(b);
+  co_return x + y;
+}
+
+proc<word> deep(int depth) {
+  if (depth == 0) co_return 1;
+  word below = co_await deep(depth - 1);
+  co_return below + 1;
+}
+
+proc<word> throws_deep(int depth) {
+  if (depth == 0) MODCON_CHECK_MSG(false, "boom at the bottom");
+  word below = co_await throws_deep(depth - 1);
+  co_return below;
+}
+
+proc<word> catches_child() {
+  try {
+    co_await throws_deep(3);
+  } catch (const invariant_error&) {
+    co_return 42;  // child exceptions are catchable mid-coroutine
+  }
+  co_return 0;
+}
+
+TEST(Proc, RunInlineReturnsValue) {
+  EXPECT_EQ(run_inline(returns_value(7)), 7u);
+}
+
+TEST(Proc, NestedAwaitsCompose) {
+  EXPECT_EQ(run_inline(adds(3, 4)), 7u);
+}
+
+TEST(Proc, DeepRecursionOfCoroutines) {
+  EXPECT_EQ(run_inline(deep(200)), 201u);
+}
+
+TEST(Proc, ChildExceptionPropagatesThroughChain) {
+  EXPECT_THROW(run_inline(throws_deep(5)), invariant_error);
+}
+
+TEST(Proc, ChildExceptionIsCatchableInParent) {
+  EXPECT_EQ(run_inline(catches_child()), 42u);
+}
+
+TEST(Proc, MoveTransfersOwnership) {
+  proc<word> a = returns_value(9);
+  proc<word> b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  b.start();
+  EXPECT_TRUE(b.done());
+  EXPECT_EQ(b.take_result(), 9u);
+}
+
+TEST(Proc, MoveAssignDestroysPrevious) {
+  proc<word> a = returns_value(1);
+  a = returns_value(2);  // first frame must be destroyed, no leak (ASAN)
+  EXPECT_EQ(run_inline(std::move(a)), 2u);
+}
+
+TEST(Proc, TakeResultBeforeCompletionThrows) {
+  proc<word> p = returns_value(3);
+  EXPECT_THROW(p.take_result(), invariant_error);
+  p.start();
+  EXPECT_EQ(p.take_result(), 3u);
+}
+
+TEST(Proc, FailedFlagSet) {
+  proc<word> p = throws_deep(1);
+  p.start();
+  EXPECT_TRUE(p.done());
+  EXPECT_TRUE(p.failed());
+  EXPECT_THROW(p.take_result(), invariant_error);
+}
+
+TEST(Proc, DestroySuspendedFrameIsClean) {
+  // A proc destroyed without ever being started must free its frame.
+  { proc<word> p = deep(50); }
+  SUCCEED();
+}
+
+TEST(DecidedEncoding, RoundTrips) {
+  for (decided d : {decided{false, 0}, decided{true, 0},
+                    decided{false, 123456}, decided{true, kDecideBit - 1}}) {
+    EXPECT_EQ(decode_decided(encode_decided(d)), d);
+  }
+}
+
+TEST(DecidedEncoding, RejectsOversizedValues) {
+  EXPECT_THROW(encode_decided(decided{false, kDecideBit}), invariant_error);
+  EXPECT_THROW(encode_decided(decided{true, kBot}), invariant_error);
+}
+
+}  // namespace
+}  // namespace modcon

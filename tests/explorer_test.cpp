@@ -1,0 +1,194 @@
+// Exhaustive checking of small systems: every interleaving (and coin
+// outcome) of the paper's objects for n = 2, 3.
+#include "check/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/cil_consensus.h"
+#include "core/compose.h"
+#include "core/conciliator/impatient.h"
+#include "core/consensus/builder.h"
+#include "core/ratifier/cheap_collect_ratifier.h"
+#include "core/ratifier/quorum_ratifier.h"
+#include "sim/world.h"
+
+namespace modcon::check {
+namespace {
+
+using sim::sim_env;
+
+analysis::sim_object_builder ratifier_builder(
+    std::shared_ptr<const quorum_system> qs) {
+  return [qs](address_space& mem, std::size_t) {
+    return std::make_unique<quorum_ratifier<sim_env>>(mem, qs);
+  };
+}
+
+TEST(Explorer, BinaryRatifierAllSchedulesTwoProcesses) {
+  auto qs = make_binary_quorums();
+  for (auto inputs : std::vector<std::vector<value_t>>{
+           {0, 0}, {0, 1}, {1, 0}, {1, 1}}) {
+    auto report =
+        explore_all(ratifier_builder(qs), inputs, ratifier_checker());
+    EXPECT_TRUE(report.ok()) << report.first_violation;
+    EXPECT_TRUE(report.exhausted);
+    EXPECT_EQ(report.truncated, 0u);
+    // Each process does 3 or 4 ops; dozens of interleavings, all checked.
+    EXPECT_GE(report.executions, 20u);
+  }
+}
+
+TEST(Explorer, BinaryRatifierAllSchedulesThreeProcesses) {
+  auto qs = make_binary_quorums();
+  for (auto inputs : std::vector<std::vector<value_t>>{
+           {0, 0, 1}, {0, 1, 0}, {1, 1, 1}, {1, 0, 1}}) {
+    auto report =
+        explore_all(ratifier_builder(qs), inputs, ratifier_checker());
+    EXPECT_TRUE(report.ok()) << report.first_violation;
+    EXPECT_TRUE(report.exhausted);
+    EXPECT_GT(report.executions, 1000u);
+  }
+}
+
+TEST(Explorer, BollobasRatifierAllSchedules) {
+  auto qs = make_bollobas_quorums(4);
+  auto report = explore_all(ratifier_builder(qs), {0, 3}, ratifier_checker());
+  EXPECT_TRUE(report.ok()) << report.first_violation;
+  EXPECT_TRUE(report.exhausted);
+}
+
+TEST(Explorer, CheapCollectRatifierAllSchedules) {
+  auto build = [](address_space& mem, std::size_t n) {
+    return std::make_unique<cheap_collect_ratifier<sim_env>>(mem, n);
+  };
+  for (auto inputs : std::vector<std::vector<value_t>>{{0, 1}, {2, 2}}) {
+    auto report = explore_all(build, inputs, ratifier_checker());
+    EXPECT_TRUE(report.ok()) << report.first_violation;
+    EXPECT_TRUE(report.exhausted);
+  }
+}
+
+TEST(Explorer, ImpatientConciliatorAllSchedulesAndCoins) {
+  // n = 2: the only non-trivial coin is the k = 0 write (p = 1/2); the
+  // k = 1 write has probability 1.  Fully enumerable.
+  auto build = [](address_space& mem, std::size_t) {
+    return std::make_unique<impatient_conciliator<sim_env>>(mem);
+  };
+  for (auto inputs : std::vector<std::vector<value_t>>{{0, 1}, {5, 5}}) {
+    auto report = explore_all(build, inputs, weak_consensus_checker());
+    EXPECT_TRUE(report.ok()) << report.first_violation;
+    EXPECT_TRUE(report.exhausted);
+    EXPECT_EQ(report.truncated, 0u);
+    EXPECT_GT(report.executions, 10u);
+  }
+}
+
+TEST(Explorer, ConciliatorThenRatifierComposition) {
+  // (C; R): every schedule and coin outcome must preserve validity and
+  // coherence (Corollary 4 in executable form).
+  auto qs = make_binary_quorums();
+  auto build = [qs](address_space& mem, std::size_t)
+      -> std::unique_ptr<deciding_object<sim_env>> {
+    auto s = std::make_unique<sequence<sim_env>>();
+    s->append(std::make_unique<impatient_conciliator<sim_env>>(mem));
+    s->append(std::make_unique<quorum_ratifier<sim_env>>(mem, qs));
+    return s;
+  };
+  auto report = explore_all(build, {0, 1}, weak_consensus_checker());
+  EXPECT_TRUE(report.ok()) << report.first_violation;
+  EXPECT_TRUE(report.exhausted);
+}
+
+TEST(Explorer, FullConsensusStackSmall) {
+  // R₋₁; R₀; C₁; R₁; … for n = 2 with coin branching.  All complete
+  // executions must satisfy full consensus; paths where every coin keeps
+  // missing are truncated by the depth cap (they are measure-zero).
+  auto qs = make_binary_quorums();
+  auto build = [qs](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, qs);
+  };
+  explore_options opts;
+  opts.max_choices = 60;
+  opts.max_executions = 150000;
+  opts.max_nodes = 600000;
+  auto report = explore_all(build, {0, 1}, consensus_checker(), opts);
+  EXPECT_EQ(report.violations, 0u) << report.first_violation;
+  EXPECT_GT(report.executions, 100u);
+}
+
+TEST(Explorer, CilConsensusSmall) {
+  auto build = [](address_space& mem, std::size_t n) {
+    return std::make_unique<cil_consensus<sim_env>>(mem, n);
+  };
+  explore_options opts;
+  opts.max_choices = 44;
+  opts.max_executions = 150000;
+  opts.max_nodes = 600000;
+  auto report = explore_all(build, {0, 1}, consensus_checker(), opts);
+  EXPECT_EQ(report.violations, 0u) << report.first_violation;
+  EXPECT_GT(report.executions, 50u);
+}
+
+TEST(Explorer, DetectsABrokenObject) {
+  // Sanity check that the explorer can actually find violations: an
+  // object that decides its own input unconditionally breaks coherence.
+  struct broken final : deciding_object<sim_env> {
+    reg_id r;
+    explicit broken(address_space& mem) : r(mem.alloc(0)) {}
+    proc<decided> invoke(sim_env& env, value_t v) override {
+      co_await env.write(r, v);  // one shared op so schedules interleave
+      co_return decided{true, v};
+    }
+    std::string name() const override { return "broken"; }
+  };
+  auto build = [](address_space& mem, std::size_t) {
+    return std::make_unique<broken>(mem);
+  };
+  auto report = explore_all(build, {0, 1}, weak_consensus_checker());
+  EXPECT_GT(report.violations, 0u);
+  EXPECT_NE(report.first_violation.find("coherence"), std::string::npos);
+}
+
+TEST(Explorer, DetectsValidityViolation) {
+  struct invalid final : deciding_object<sim_env> {
+    reg_id r;
+    explicit invalid(address_space& mem) : r(mem.alloc(0)) {}
+    proc<decided> invoke(sim_env& env, value_t v) override {
+      co_await env.read(r);
+      co_return decided{false, v + 100};
+    }
+    std::string name() const override { return "invalid"; }
+  };
+  auto build = [](address_space& mem, std::size_t) {
+    return std::make_unique<invalid>(mem);
+  };
+  auto report = explore_all(build, {0, 1}, weak_consensus_checker());
+  EXPECT_GT(report.violations, 0u);
+  EXPECT_NE(report.first_violation.find("validity"), std::string::npos);
+}
+
+TEST(Explorer, ExecutionCountMatchesInterleavingFormula) {
+  // Two processes doing exactly 2 deterministic ops each: C(4,2) = 6
+  // interleavings.
+  struct two_ops final : deciding_object<sim_env> {
+    reg_id r;
+    explicit two_ops(address_space& mem) : r(mem.alloc(0)) {}
+    proc<decided> invoke(sim_env& env, value_t v) override {
+      co_await env.write(r, v);
+      co_await env.read(r);
+      co_return decided{false, v};
+    }
+    std::string name() const override { return "two-ops"; }
+  };
+  auto build = [](address_space& mem, std::size_t) {
+    return std::make_unique<two_ops>(mem);
+  };
+  auto report = explore_all(build, {0, 0}, weak_consensus_checker());
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_EQ(report.executions, 6u);
+}
+
+}  // namespace
+}  // namespace modcon::check

@@ -1,0 +1,221 @@
+// Fuzzing the framework's load-bearing conditions.
+//
+// 1. Theorem 8, both directions: a RANDOM quorum family satisfying
+//    W_v ∩ R_v' = ∅ ⇔ v = v' must yield a ratifier the exhaustive
+//    explorer certifies; SABOTAGING one pair (making W_v invisible to
+//    R_v') must yield a ratifier the explorer refutes — coherence breaks
+//    on the double-proposal race.
+// 2. Corollary 4: RANDOM compositions of weak consensus objects stay
+//    weak consensus objects, over random schedules and seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "analysis/runner.h"
+#include "check/explorer.h"
+#include "core/modcon.h"
+#include "quorum/verify.h"
+#include "sim/adversaries/adversaries.h"
+#include "util/rng.h"
+
+namespace modcon {
+namespace {
+
+using analysis::input_pattern;
+using analysis::make_inputs;
+using analysis::run_object_trial;
+using analysis::trial_options;
+using sim::sim_env;
+
+// --- random quorum families ---
+
+std::vector<std::uint32_t> complement(std::uint32_t pool,
+                                      const std::vector<std::uint32_t>& s) {
+  std::vector<std::uint32_t> out;
+  std::size_t j = 0;
+  for (std::uint32_t i = 0; i < pool; ++i) {
+    if (j < s.size() && s[j] == i)
+      ++j;
+    else
+      out.push_back(i);
+  }
+  return out;
+}
+
+bool subset_of(const std::vector<std::uint32_t>& a,
+               const std::vector<std::uint32_t>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+// Random antichain of m distinct subsets of [0, pool): with R_v taken as
+// the complement of W_v, incomparability is exactly the Theorem 8
+// condition.
+std::vector<std::vector<std::uint32_t>> random_antichain(rng& r,
+                                                         std::uint32_t pool,
+                                                         std::size_t m) {
+  std::vector<std::vector<std::uint32_t>> family;
+  int attempts = 0;
+  while (family.size() < m) {
+    MODCON_CHECK_MSG(++attempts < 10000, "antichain sampling stuck");
+    std::vector<std::uint32_t> s;
+    for (std::uint32_t i = 0; i < pool; ++i)
+      if (r.flip()) s.push_back(i);
+    if (s.empty() || s.size() == pool) continue;
+    bool comparable = false;
+    for (const auto& t : family)
+      comparable |= subset_of(s, t) || subset_of(t, s);
+    if (!comparable) family.push_back(std::move(s));
+  }
+  return family;
+}
+
+analysis::sim_object_builder ratifier_builder(
+    std::shared_ptr<const quorum_system> qs) {
+  return [qs](address_space& mem, std::size_t) {
+    return std::make_unique<quorum_ratifier<sim_env>>(mem, qs);
+  };
+}
+
+TEST(QuorumFuzz, RandomCorrectFamiliesYieldCorrectRatifiers) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    rng r(seed * 31 + 7);
+    const std::uint32_t pool = 5;
+    const std::size_t m = 3;
+    auto writes = random_antichain(r, pool, m);
+    std::vector<std::vector<std::uint32_t>> reads;
+    for (const auto& w : writes) reads.push_back(complement(pool, w));
+    auto qs = make_table_quorums(pool, writes, reads);
+
+    ASSERT_FALSE(check_ratifier_condition(*qs, m).has_value())
+        << "seed " << seed;
+
+    // Exhaustively verify the ratifier on every value pair, n = 2.
+    for (value_t a = 0; a < m; ++a) {
+      for (value_t b = 0; b < m; ++b) {
+        auto report = check::explore_all(ratifier_builder(qs), {a, b},
+                                         check::ratifier_checker());
+        EXPECT_TRUE(report.ok())
+            << "seed " << seed << " inputs {" << a << "," << b
+            << "}: " << report.first_violation;
+        EXPECT_TRUE(report.exhausted);
+      }
+    }
+  }
+}
+
+TEST(QuorumFuzz, SabotagedFamiliesAreDetectedAndRefuted) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    rng r(seed * 77 + 3);
+    const std::uint32_t pool = 5;
+    const std::size_t m = 3;
+    auto writes = random_antichain(r, pool, m);
+    std::vector<std::vector<std::uint32_t>> reads;
+    for (const auto& w : writes) reads.push_back(complement(pool, w));
+
+    // Sabotage: make W_v invisible to R_{v'} for one pair v != v'.
+    value_t v = r.below(m);
+    value_t vp = (v + 1 + r.below(m - 1)) % m;
+    std::vector<std::uint32_t> pruned;
+    for (std::uint32_t e : reads[vp])
+      if (!std::binary_search(writes[v].begin(), writes[v].end(), e))
+        pruned.push_back(e);
+    if (pruned.empty()) continue;  // cannot sabotage this family; skip
+    reads[vp] = pruned;
+    auto qs = make_table_quorums(pool, writes, reads);
+
+    // The static checker flags it...
+    auto violation = check_ratifier_condition(*qs, m);
+    ASSERT_TRUE(violation.has_value()) << "seed " << seed;
+
+    // ...and the explorer finds a real execution violating coherence
+    // (the double-proposal race) with exactly that value pair.
+    auto report = check::explore_all(ratifier_builder(qs), {v, vp},
+                                     check::ratifier_checker());
+    EXPECT_GT(report.violations, 0u)
+        << "seed " << seed << " pair {" << v << "," << vp << "}";
+    EXPECT_NE(report.first_violation.find("coherence"), std::string::npos)
+        << report.first_violation;
+  }
+}
+
+// --- composition fuzz (Corollary 4) ---
+
+std::unique_ptr<deciding_object<sim_env>> random_part(rng& r,
+                                                      address_space& mem,
+                                                      std::uint64_t m) {
+  switch (r.below(4)) {
+    case 0:
+      return std::make_unique<quorum_ratifier<sim_env>>(
+          mem, make_bollobas_quorums(m));
+    case 1:
+      return std::make_unique<quorum_ratifier<sim_env>>(
+          mem, make_bitvector_quorums(m));
+    case 2:
+      return std::make_unique<impatient_conciliator<sim_env>>(mem);
+    default:
+      return std::make_unique<fixed_probability_conciliator<sim_env>>(mem);
+  }
+}
+
+TEST(CompositionFuzz, RandomSequencesRemainWeakConsensusObjects) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    rng r(seed * 1337 + 11);
+    const std::uint64_t m = 4;
+    const std::size_t parts = 1 + r.below(4);
+    const std::size_t n = 2 + r.below(5);
+
+    auto build = [&r, m, parts](address_space& mem, std::size_t)
+        -> std::unique_ptr<deciding_object<sim_env>> {
+      auto s = std::make_unique<sequence<sim_env>>();
+      for (std::size_t i = 0; i < parts; ++i)
+        s->append(random_part(r, mem, m));
+      return s;
+    };
+
+    sim::random_oblivious adv;
+    auto inputs = make_inputs(input_pattern::random_m, n, m, seed);
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(build, inputs, adv, opts);
+    ASSERT_TRUE(res.completed()) << "seed " << seed;
+    EXPECT_TRUE(res.valid(inputs)) << "seed " << seed;   // Lemma 1
+    EXPECT_TRUE(res.coherent()) << "seed " << seed;      // Lemma 3
+  }
+}
+
+TEST(CompositionFuzz, RandomSequencesExhaustivelyForTwoProcesses) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    rng r(seed * 513 + 29);
+    const std::size_t parts = 1 + r.below(3);
+    // Pre-draw the structure: the explorer rebuilds the object for every
+    // replay, and every replay must see the identical object graph.
+    std::vector<bool> is_ratifier;
+    for (std::size_t i = 0; i < parts; ++i) is_ratifier.push_back(r.flip());
+    auto build = [is_ratifier](address_space& mem, std::size_t)
+        -> std::unique_ptr<deciding_object<sim_env>> {
+      auto s = std::make_unique<sequence<sim_env>>();
+      for (bool ratifier : is_ratifier) {
+        // Small parts keep the tree enumerable: binary ratifier
+        // (deterministic) or impatient conciliator (one coin/process).
+        if (ratifier)
+          s->append(std::make_unique<quorum_ratifier<sim_env>>(
+              mem, make_binary_quorums()));
+        else
+          s->append(std::make_unique<impatient_conciliator<sim_env>>(mem));
+      }
+      return s;
+    };
+    check::explore_options opts;
+    opts.max_choices = 48;
+    opts.max_executions = 200000;
+    opts.max_nodes = 600000;
+    auto report = check::explore_all(build, {0, 1},
+                                     check::weak_consensus_checker(), opts);
+    EXPECT_EQ(report.violations, 0u)
+        << "seed " << seed << ": " << report.first_violation;
+  }
+}
+
+}  // namespace
+}  // namespace modcon

@@ -1,0 +1,176 @@
+// Quorum systems: the Theorem 8 condition, sizes, and Theorem 9's
+// (Bollobás) optimality accounting.
+#include "quorum/quorum_system.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "quorum/verify.h"
+#include "util/binomial.h"
+#include "util/bits.h"
+
+namespace modcon {
+namespace {
+
+TEST(BinaryQuorums, ExactLayout) {
+  auto qs = make_binary_quorums();
+  EXPECT_EQ(qs->max_values(), 2u);
+  EXPECT_EQ(qs->pool_size(), 2u);
+  EXPECT_EQ(qs->write_quorum(0), std::vector<std::uint32_t>{0});
+  EXPECT_EQ(qs->read_quorum(0), std::vector<std::uint32_t>{1});
+  EXPECT_EQ(qs->write_quorum(1), std::vector<std::uint32_t>{1});
+  EXPECT_EQ(qs->read_quorum(1), std::vector<std::uint32_t>{0});
+}
+
+TEST(BinaryQuorums, RatifierWorkBoundIsFourOps) {
+  auto qs = make_binary_quorums();
+  // |W| + |R| + 2 = 4 operations; pool + proposal = 3 registers (§6.2).
+  EXPECT_EQ(qs->max_write_quorum() + qs->max_read_quorum() + 2, 4u);
+  EXPECT_EQ(qs->pool_size() + 1, 3u);
+}
+
+TEST(BinaryQuorums, RejectsOutOfRange) {
+  auto qs = make_binary_quorums();
+  EXPECT_THROW(qs->write_quorum(2), invariant_error);
+  EXPECT_THROW(qs->read_quorum(5), invariant_error);
+}
+
+// --- shared property suite over all systems and many m ---
+
+struct quorum_case {
+  const char* kind;
+  std::uint64_t m;
+};
+
+std::shared_ptr<const quorum_system> build(const quorum_case& c) {
+  if (std::string(c.kind) == "binary") return make_binary_quorums();
+  if (std::string(c.kind) == "bollobas") return make_bollobas_quorums(c.m);
+  return make_bitvector_quorums(c.m);
+}
+
+class QuorumProperty : public ::testing::TestWithParam<quorum_case> {};
+
+TEST_P(QuorumProperty, Theorem8ConditionHolds) {
+  auto qs = build(GetParam());
+  auto violation = check_ratifier_condition(*qs, /*limit=*/512);
+  EXPECT_FALSE(violation.has_value())
+      << qs->name() << " m=" << qs->max_values() << ": "
+      << violation->describe();
+}
+
+TEST_P(QuorumProperty, QuorumsStayInsidePoolAndSorted) {
+  auto qs = build(GetParam());
+  std::uint64_t limit = std::min<std::uint64_t>(qs->max_values(), 300);
+  for (std::uint64_t v = 0; v < limit; ++v) {
+    for (auto quorum : {qs->write_quorum(v), qs->read_quorum(v)}) {
+      EXPECT_FALSE(quorum.empty());
+      for (std::size_t i = 0; i + 1 < quorum.size(); ++i)
+        EXPECT_LT(quorum[i], quorum[i + 1]);
+      EXPECT_LT(quorum.back(), qs->pool_size());
+    }
+  }
+}
+
+TEST_P(QuorumProperty, SizesMatchDeclaredMaxima) {
+  auto qs = build(GetParam());
+  std::uint64_t limit = std::min<std::uint64_t>(qs->max_values(), 300);
+  for (std::uint64_t v = 0; v < limit; ++v) {
+    EXPECT_LE(qs->write_quorum(v).size(), qs->max_write_quorum());
+    EXPECT_LE(qs->read_quorum(v).size(), qs->max_read_quorum());
+  }
+}
+
+TEST_P(QuorumProperty, BollobasInequalityHolds) {
+  // Theorem 9: any family with A_i ∩ B_j = ∅ iff i = j satisfies
+  // Σ C(a_i + b_i, a_i)^{-1} <= 1.
+  auto qs = build(GetParam());
+  EXPECT_LE(bollobas_sum(*qs, /*limit=*/2000), 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, QuorumProperty,
+    ::testing::Values(
+        quorum_case{"binary", 2}, quorum_case{"bollobas", 2},
+        quorum_case{"bollobas", 3}, quorum_case{"bollobas", 4},
+        quorum_case{"bollobas", 7}, quorum_case{"bollobas", 16},
+        quorum_case{"bollobas", 100}, quorum_case{"bollobas", 257},
+        quorum_case{"bollobas", 1u << 16}, quorum_case{"bitvector", 2},
+        quorum_case{"bitvector", 3}, quorum_case{"bitvector", 5},
+        quorum_case{"bitvector", 16}, quorum_case{"bitvector", 100},
+        quorum_case{"bitvector", 1u << 16}),
+    [](const auto& info) {
+      return std::string(info.param.kind) + "_m" +
+             std::to_string(info.param.m);
+    });
+
+TEST(BollobasQuorums, PoolSizeIsLgPlusThetaLogLog) {
+  for (unsigned bits = 1; bits <= 24; ++bits) {
+    std::uint64_t m = 1ull << bits;
+    auto qs = make_bollobas_quorums(m);
+    EXPECT_GE(qs->pool_size(), bits);
+    EXPECT_LE(qs->pool_size(), bits + 2 * ceil_log2(bits + 1) + 3);
+  }
+}
+
+TEST(BollobasQuorums, BeatsOrMatchesBitvectorSpace) {
+  for (std::uint64_t m : {4ull, 16ull, 256ull, 65536ull, 1ull << 20}) {
+    auto bol = make_bollobas_quorums(m);
+    auto bv = make_bitvector_quorums(m);
+    EXPECT_LE(bol->pool_size(), bv->pool_size()) << "m=" << m;
+  }
+}
+
+TEST(BollobasQuorums, ReadQuorumIsComplementOfWriteQuorum) {
+  auto qs = make_bollobas_quorums(20);
+  for (word v = 0; v < 20; ++v) {
+    auto w = qs->write_quorum(v);
+    auto r = qs->read_quorum(v);
+    EXPECT_EQ(w.size() + r.size(), qs->pool_size());
+    std::vector<bool> seen(qs->pool_size(), false);
+    for (auto i : w) seen[i] = true;
+    for (auto i : r) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+    for (bool b : seen) EXPECT_TRUE(b);
+  }
+}
+
+TEST(BollobasQuorums, DistinctValuesGetDistinctQuorums) {
+  auto qs = make_bollobas_quorums(1000);
+  std::set<std::vector<std::uint32_t>> quorums;
+  for (word v = 0; v < 1000; ++v) quorums.insert(qs->write_quorum(v));
+  EXPECT_EQ(quorums.size(), 1000u);
+}
+
+TEST(BitvectorQuorums, SpaceIsTwiceLgM) {
+  for (unsigned bits = 1; bits <= 24; ++bits) {
+    std::uint64_t m = 1ull << bits;
+    auto qs = make_bitvector_quorums(m);
+    EXPECT_EQ(qs->pool_size(), 2 * bits);
+    // Ratifier register count 2*lg m + 1 and work <= 2*lg m + 2 (§6.2).
+    EXPECT_EQ(qs->max_write_quorum() + qs->max_read_quorum() + 2,
+              2 * bits + 2);
+  }
+}
+
+TEST(BitvectorQuorums, HandlesNonPowerOfTwoM) {
+  auto qs = make_bitvector_quorums(5);
+  EXPECT_EQ(qs->pool_size(), 2 * 3u);
+  auto violation = check_ratifier_condition(*qs, 5);
+  EXPECT_FALSE(violation.has_value());
+}
+
+TEST(BollobasQuorums, MinimalityOfPool) {
+  // A pool one smaller cannot host m pairwise-incomparable ⌊k/2⌋-sets.
+  for (std::uint64_t m : {3ull, 10ull, 100ull, 4000ull}) {
+    auto qs = make_bollobas_quorums(m);
+    unsigned k = qs->pool_size();
+    EXPECT_LT(binomial(k - 1, (k - 1) / 2), m);
+  }
+}
+
+}  // namespace
+}  // namespace modcon

@@ -1,0 +1,246 @@
+// The quorum ratifier (Theorem 8): acceptance, coherence, validity,
+// work/space bounds, across all quorum systems, schedulers, and crash
+// patterns; plus the cheap-collect variant.
+#include "core/ratifier/quorum_ratifier.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/runner.h"
+#include "core/ratifier/cheap_collect_ratifier.h"
+#include "sim/adversaries/adversaries.h"
+
+namespace modcon {
+namespace {
+
+using analysis::input_pattern;
+using analysis::make_inputs;
+using analysis::run_object_trial;
+using analysis::trial_options;
+using sim::sim_env;
+
+analysis::sim_object_builder ratifier_builder(
+    std::shared_ptr<const quorum_system> qs) {
+  return [qs](address_space& mem, std::size_t) {
+    return std::make_unique<quorum_ratifier<sim_env>>(mem, qs);
+  };
+}
+
+analysis::sim_object_builder cheap_collect_builder() {
+  return [](address_space& mem, std::size_t n) {
+    return std::make_unique<cheap_collect_ratifier<sim_env>>(mem, n);
+  };
+}
+
+struct ratifier_case {
+  const char* kind;
+  std::uint64_t m;
+  std::size_t n;
+};
+
+std::shared_ptr<const quorum_system> system_for(const ratifier_case& c) {
+  if (std::string(c.kind) == "binary") return make_binary_quorums();
+  if (std::string(c.kind) == "bollobas") return make_bollobas_quorums(c.m);
+  return make_bitvector_quorums(c.m);
+}
+
+class RatifierProperty : public ::testing::TestWithParam<ratifier_case> {};
+
+TEST_P(RatifierProperty, AcceptanceOnUnanimousInputs) {
+  auto c = GetParam();
+  auto qs = system_for(c);
+  for (value_t v : {value_t{0}, c.m - 1}) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      sim::random_oblivious adv;
+      std::vector<value_t> inputs(c.n, v);
+      trial_options opts;
+      opts.seed = seed;
+      auto res = run_object_trial(ratifier_builder(qs), inputs, adv, opts);
+      ASSERT_TRUE(res.completed());
+      EXPECT_TRUE(analysis::check_acceptance(res.outputs, v))
+          << c.kind << " m=" << c.m << " n=" << c.n << " v=" << v;
+    }
+  }
+}
+
+TEST_P(RatifierProperty, CoherenceAndValidityOnMixedInputs) {
+  auto c = GetParam();
+  auto qs = system_for(c);
+  for (auto pattern : {input_pattern::half_half, input_pattern::alternating,
+                       input_pattern::random_m}) {
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+      sim::random_oblivious adv;
+      auto inputs = make_inputs(pattern, c.n, c.m, seed);
+      trial_options opts;
+      opts.seed = seed;
+      auto res = run_object_trial(ratifier_builder(qs), inputs, adv, opts);
+      ASSERT_TRUE(res.completed());
+      EXPECT_TRUE(res.coherent()) << c.kind << " seed=" << seed;
+      EXPECT_TRUE(res.valid(inputs)) << c.kind << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(RatifierProperty, WorkAndSpaceMatchTheorem) {
+  auto c = GetParam();
+  auto qs = system_for(c);
+  sim::round_robin adv;
+  auto inputs = make_inputs(input_pattern::alternating, c.n, c.m, 1);
+  auto res = run_object_trial(ratifier_builder(qs), inputs, adv);
+  ASSERT_TRUE(res.completed());
+  // Registers: pool + proposal.
+  EXPECT_EQ(res.registers, qs->pool_size() + 1);
+  // Individual work: |W| + |R| + 2 (the object's own declared bound).
+  sim::round_robin scratch_adv;
+  sim::sim_world scratch(1, scratch_adv, 1);
+  quorum_ratifier<sim_env> probe(scratch, qs);
+  EXPECT_EQ(probe.individual_work_bound(),
+            qs->max_write_quorum() + qs->max_read_quorum() + 2u);
+  EXPECT_LE(res.max_individual_ops, probe.individual_work_bound());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRatifiers, RatifierProperty,
+    ::testing::Values(
+        ratifier_case{"binary", 2, 2}, ratifier_case{"binary", 2, 3},
+        ratifier_case{"binary", 2, 8}, ratifier_case{"binary", 2, 33},
+        ratifier_case{"bollobas", 2, 4}, ratifier_case{"bollobas", 5, 5},
+        ratifier_case{"bollobas", 16, 8}, ratifier_case{"bollobas", 100, 12},
+        ratifier_case{"bitvector", 2, 4}, ratifier_case{"bitvector", 5, 5},
+        ratifier_case{"bitvector", 16, 8},
+        ratifier_case{"bitvector", 100, 12}),
+    [](const auto& info) {
+      return std::string(info.param.kind) + "_m" +
+             std::to_string(info.param.m) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(QuorumRatifier, SoloProcessDecidesItsOwnValue) {
+  // Acceptance from the solo process's perspective: it cannot
+  // distinguish running alone from unanimity, so it must decide (the
+  // fast-path argument of §4.1).
+  auto qs = make_bollobas_quorums(10);
+  sim::round_robin adv;
+  auto res = run_object_trial(ratifier_builder(qs), {7}, adv);
+  ASSERT_TRUE(res.completed());
+  EXPECT_EQ(res.outputs[0], (decided{true, 7}));
+}
+
+TEST(QuorumRatifier, FirstFinisherForcesFollowersToItsValue) {
+  // Sequential schedule: p0 runs to completion first and decides; by
+  // coherence everyone else must then output p0's value.
+  auto qs = make_binary_quorums();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    sim::fixed_order adv(sim::fixed_order::mode::sequential);
+    auto inputs = make_inputs(input_pattern::alternating, 6, 2, seed);
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(ratifier_builder(qs), inputs, adv, opts);
+    ASSERT_TRUE(res.completed());
+    EXPECT_TRUE(res.outputs[0].decide);
+    for (const decided& d : res.outputs)
+      EXPECT_EQ(d.value, res.outputs[0].value);
+  }
+}
+
+TEST(QuorumRatifier, MixedInputsUnderContentionDoNotAllDecide) {
+  // Round-robin on a half/half split: both values get announced before
+  // anyone reaches the read quorum, so nobody may decide — but everyone
+  // must converge on the proposal.
+  auto qs = make_binary_quorums();
+  sim::round_robin adv;
+  auto inputs = make_inputs(input_pattern::half_half, 4, 2, 1);
+  auto res = run_object_trial(ratifier_builder(qs), inputs, adv);
+  ASSERT_TRUE(res.completed());
+  for (const decided& d : res.outputs) EXPECT_FALSE(d.decide);
+  EXPECT_TRUE(res.coherent());
+}
+
+TEST(QuorumRatifier, CoherenceUnderCrashes) {
+  auto qs = make_bollobas_quorums(4);
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    sim::random_oblivious adv;
+    auto inputs = make_inputs(input_pattern::random_m, 6, 4, seed);
+    trial_options opts;
+    opts.seed = seed;
+    opts.crashes = {{static_cast<process_id>(seed % 6), seed % 4},
+                    {static_cast<process_id>((seed + 3) % 6), seed % 3}};
+    auto res = run_object_trial(ratifier_builder(qs), inputs, adv, opts);
+    EXPECT_TRUE(res.coherent()) << "seed " << seed;
+    EXPECT_TRUE(res.valid(inputs)) << "seed " << seed;
+  }
+}
+
+TEST(QuorumRatifier, RejectsValueOutsideSigma) {
+  auto qs = make_binary_quorums();
+  sim::round_robin adv;
+  EXPECT_THROW(run_object_trial(ratifier_builder(qs), {2}, adv),
+               invariant_error);
+}
+
+TEST(QuorumRatifier, BinaryUsesThreeRegistersAndFourOps) {
+  // §6.2 choice 1 exactly.
+  auto qs = make_binary_quorums();
+  sim::round_robin adv;
+  auto res = run_object_trial(ratifier_builder(qs), {0, 1}, adv);
+  ASSERT_TRUE(res.completed());
+  EXPECT_EQ(res.registers, 3u);
+  EXPECT_LE(res.max_individual_ops, 4u);
+}
+
+TEST(CheapCollectRatifier, FourOperationsForAnyM) {
+  // §6.2 choice 4: individual work 4 even with many values, in the
+  // cheap-collect cost model.
+  sim::random_oblivious adv;
+  auto inputs = make_inputs(input_pattern::distinct, 12, 12, 1);
+  auto res = run_object_trial(cheap_collect_builder(), inputs, adv);
+  ASSERT_TRUE(res.completed());
+  EXPECT_LE(res.max_individual_ops, 4u);
+  EXPECT_TRUE(res.coherent());
+  EXPECT_TRUE(res.valid(inputs));
+}
+
+TEST(CheapCollectRatifier, AcceptanceAndCoherence) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    sim::random_oblivious adv;
+    trial_options opts;
+    opts.seed = seed;
+    {
+      std::vector<value_t> inputs(5, 9);
+      auto res =
+          run_object_trial(cheap_collect_builder(), inputs, adv, opts);
+      ASSERT_TRUE(res.completed());
+      EXPECT_TRUE(analysis::check_acceptance(res.outputs, 9));
+    }
+    {
+      auto inputs = make_inputs(input_pattern::random_m, 5, 100, seed);
+      auto res =
+          run_object_trial(cheap_collect_builder(), inputs, adv, opts);
+      ASSERT_TRUE(res.completed());
+      EXPECT_TRUE(res.coherent());
+      EXPECT_TRUE(res.valid(inputs));
+    }
+  }
+}
+
+TEST(QuorumRatifier, DecisionImpliesOwnInput) {
+  // The proof of Theorem 8 notes a process can only return (1, v) for its
+  // own input v.
+  auto qs = make_bollobas_quorums(8);
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    sim::random_oblivious adv;
+    auto inputs = make_inputs(input_pattern::random_m, 5, 8, seed);
+    trial_options opts;
+    opts.seed = seed;
+    auto res = run_object_trial(ratifier_builder(qs), inputs, adv, opts);
+    ASSERT_TRUE(res.completed());
+    for (std::size_t i = 0; i < res.outputs.size(); ++i) {
+      if (res.outputs[i].decide)
+        EXPECT_EQ(res.outputs[i].value, inputs[res.halted_pids[i]]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace modcon

@@ -1,0 +1,224 @@
+// Real-thread backend: the same coroutine algorithms on std::atomic
+// registers with genuine parallelism.
+#include "rt/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "analysis/metrics.h"
+#include "core/modcon.h"
+#include "rt/env.h"
+
+namespace modcon::rt {
+namespace {
+
+proc<word> write_then_read(rt_env& env, reg_id r, word v) {
+  co_await env.write(r, v);
+  co_return co_await env.read(r);
+}
+
+TEST(Arena, AllocatesStableInitializedRegisters) {
+  arena a;
+  reg_id x = a.alloc(5);
+  reg_id y = a.alloc_block(10, kBot);
+  EXPECT_EQ(a.at(x).load(), 5u);
+  for (reg_id i = 0; i < 10; ++i) EXPECT_EQ(a.at(y + i).load(), kBot);
+  auto* before = &a.at(x);
+  // Force several chunks worth of allocation; x must not move.
+  for (int i = 0; i < 3; ++i) a.alloc_block(arena::kChunkSize, 0);
+  EXPECT_EQ(&a.at(x), before);
+  EXPECT_EQ(a.at(x).load(), 5u);
+  EXPECT_EQ(a.allocated(), 11u + 3 * arena::kChunkSize);
+}
+
+TEST(Arena, RejectsUnallocatedAccess) {
+  arena a;
+  a.alloc(0);
+  EXPECT_THROW(a.at(1), invariant_error);
+}
+
+TEST(RtRunner, SingleThreadRoundTrip) {
+  arena mem;
+  reg_id r = mem.alloc(kBot);
+  auto res = run_threads(mem, 1, 1, [r](rt_env& env) {
+    return write_then_read(env, r, 99);
+  });
+  EXPECT_EQ(res.outputs[0], 99u);
+  EXPECT_EQ(res.total_ops, 2u);
+}
+
+TEST(RtRunner, OpCountsPerThread) {
+  arena mem;
+  reg_id r = mem.alloc(kBot);
+  auto res = run_threads(mem, 4, 1, [r](rt_env& env) {
+    return write_then_read(env, r, env.pid());
+  });
+  for (auto c : res.op_counts) EXPECT_EQ(c, 2u);
+  EXPECT_EQ(res.total_ops, 8u);
+  EXPECT_EQ(res.max_individual_ops, 2u);
+}
+
+// Shared fixture logic: run a consensus stack on real threads and check
+// agreement + validity.
+void run_rt_consensus(std::size_t n, std::size_t trials) {
+  auto qs = make_binary_quorums();
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    arena mem;
+    auto consensus = make_impatient_consensus<rt_env>(mem, qs);
+    auto res = run_threads(mem, n, seed, [&](rt_env& env) {
+      return invoke_encoded(*consensus, env, env.pid() % 2);
+    });
+    std::set<word> values;
+    std::vector<decided> outs;
+    for (word w : res.outputs) {
+      decided d = decode_decided(w);
+      EXPECT_TRUE(d.decide);
+      values.insert(d.value);
+      outs.push_back(d);
+    }
+    EXPECT_EQ(values.size(), 1u) << "disagreement at seed " << seed;
+    EXPECT_LE(*values.begin(), 1u);  // validity: inputs were {0, 1}
+  }
+}
+
+TEST(RtConsensus, TwoThreadsAgree) { run_rt_consensus(2, 40); }
+TEST(RtConsensus, FourThreadsAgree) { run_rt_consensus(4, 25); }
+TEST(RtConsensus, EightThreadsAgree) { run_rt_consensus(8, 10); }
+
+TEST(RtConsensus, MValuedOnRealThreads) {
+  auto qs = make_bollobas_quorums(16);
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    arena mem;
+    auto consensus = make_impatient_consensus<rt_env>(mem, qs);
+    auto res = run_threads(mem, 6, seed, [&](rt_env& env) {
+      return invoke_encoded(*consensus, env, (env.pid() * 3) % 16);
+    });
+    std::set<word> values;
+    for (word w : res.outputs) {
+      decided d = decode_decided(w);
+      EXPECT_TRUE(d.decide);
+      values.insert(d.value);
+    }
+    EXPECT_EQ(values.size(), 1u);
+  }
+}
+
+TEST(RtConsensus, BoundedStackOnRealThreads) {
+  auto qs = make_binary_quorums();
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    arena mem;
+    auto consensus =
+        make_bounded_impatient_consensus<rt_env>(mem, qs, /*n=*/4);
+    auto res = run_threads(mem, 4, seed, [&](rt_env& env) {
+      return invoke_encoded(*consensus, env, env.pid() % 2);
+    });
+    std::set<word> values;
+    for (word w : res.outputs) values.insert(decode_decided(w).value);
+    EXPECT_EQ(values.size(), 1u);
+  }
+}
+
+TEST(RtConsensus, CilBaselineOnRealThreads) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    arena mem;
+    cil_consensus<rt_env> cil(mem, 4);
+    auto res = run_threads(mem, 4, seed, [&](rt_env& env) {
+      return invoke_encoded(cil, env, env.pid() % 2);
+    });
+    std::set<word> values;
+    for (word w : res.outputs) {
+      decided d = decode_decided(w);
+      EXPECT_TRUE(d.decide);
+      values.insert(d.value);
+    }
+    EXPECT_EQ(values.size(), 1u);
+  }
+}
+
+TEST(RtConsensus, IndividualWorkStaysLogarithmicish) {
+  // Not a tight bound on real hardware, but the conciliator's
+  // deterministic 2 lg n + O(1) cap per invocation must hold; whole-stack
+  // per-process work should stay far below the Θ(n) baseline shape.
+  auto qs = make_binary_quorums();
+  const std::size_t n = 8;
+  arena mem;
+  auto consensus = make_impatient_consensus<rt_env>(mem, qs);
+  auto res = run_threads(mem, n, 7, [&](rt_env& env) {
+    return invoke_encoded(*consensus, env, env.pid() % 2);
+  });
+  EXPECT_LT(res.max_individual_ops, 40 * (1 + lg_ceil(n)));
+}
+
+TEST(RtConsensus, ChaosModeStillAgrees) {
+  // Yield-injection forces far more interleavings than free-running
+  // threads on a small machine; agreement and validity must survive all
+  // of them.
+  auto qs = make_binary_quorums();
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    arena mem;
+    auto consensus = make_impatient_consensus<rt_env>(mem, qs);
+    auto res = run_threads(
+        mem, 4, seed,
+        [&](rt_env& env) {
+          return invoke_encoded(*consensus, env, env.pid() % 2);
+        },
+        /*chaos=*/3);
+    std::set<word> values;
+    for (word w : res.outputs) {
+      decided d = decode_decided(w);
+      EXPECT_TRUE(d.decide);
+      values.insert(d.value);
+    }
+    EXPECT_EQ(values.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(RtConsensus, ChaosCollectRatifierStack) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    arena mem;
+    const std::size_t n = 4;
+    unbounded_consensus<rt_env> consensus(
+        [&mem, n]() -> std::unique_ptr<deciding_object<rt_env>> {
+          return std::make_unique<collect_ratifier<rt_env>>(mem, n);
+        },
+        impatient_factory<rt_env>(mem));
+    auto res = run_threads(
+        mem, n, seed,
+        [&](rt_env& env) {
+          return invoke_encoded(consensus, env, env.pid() % 3);
+        },
+        /*chaos=*/2);
+    std::set<word> values;
+    for (word w : res.outputs) values.insert(decode_decided(w).value);
+    EXPECT_EQ(values.size(), 1u) << "seed " << seed;
+    EXPECT_LE(*values.begin(), 2u);
+  }
+}
+
+TEST(RtEnv, ProbWriteObeysProbabilityOnThreads) {
+  arena mem;
+  reg_id base = mem.alloc_block(2000, kBot);
+  auto res = run_threads(mem, 2, 3, [base](rt_env& env) -> proc<word> {
+    struct helper {
+      static proc<word> go(rt_env& e, reg_id b) {
+        word hits = 0;
+        for (int i = 0; i < 1000; ++i) {
+          reg_id r = b + 1000 * e.pid() + i;
+          co_await e.prob_write(r, 1, prob(1, 4));
+          if (co_await e.read(r) == 1) ++hits;
+        }
+        co_return hits;
+      }
+    };
+    return helper::go(env, base);
+  });
+  for (word hits : res.outputs) {
+    EXPECT_GT(hits, 180u);
+    EXPECT_LT(hits, 330u);
+  }
+}
+
+}  // namespace
+}  // namespace modcon::rt

@@ -1,0 +1,294 @@
+// Behaviour of the scheduler portfolio and the capability gating of
+// sched_view (an adversary cannot read beyond its declared power).
+#include "sim/adversaries/adversaries.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/world.h"
+#include "util/assertx.h"
+
+namespace modcon::sim {
+namespace {
+
+proc<word> reads(sim_env& env, reg_id r, int count) {
+  word last = 0;
+  for (int i = 0; i < count; ++i) last = co_await env.read(r);
+  co_return last;
+}
+
+proc<word> writes(sim_env& env, reg_id r, word v, int count) {
+  for (int i = 0; i < count; ++i) co_await env.write(r, v);
+  co_return v;
+}
+
+// A probing adversary that tries to read beyond its power level.
+class probe_adversary final : public adversary {
+ public:
+  enum class probe { kind, reg_of_write, value, memory, coin };
+  probe_adversary(adversary_power power, probe what)
+      : power_(power), what_(what) {}
+
+  adversary_power power() const override { return power_; }
+  std::string name() const override { return "probe"; }
+  void reset(std::size_t, std::uint64_t) override {}
+
+  process_id pick(const sched_view& view) override {
+    process_id p = view.runnable().front();
+    switch (what_) {
+      case probe::kind: (void)view.kind_of(p); break;
+      case probe::reg_of_write:
+        if (view.kind_of(p) == op_kind::write) (void)view.reg_of(p);
+        break;
+      case probe::value:
+        if (view.kind_of(p) == op_kind::write) (void)view.value_of(p);
+        break;
+      case probe::memory: (void)view.memory(0); break;
+      case probe::coin:
+        if (view.kind_of(p) == op_kind::write) (void)view.coin_of(p);
+        break;
+    }
+    return p;
+  }
+
+ private:
+  adversary_power power_;
+  probe what_;
+};
+
+void run_with(adversary& adv, bool probabilistic = false) {
+  sim_world w(2, adv, 1);
+  reg_id r = w.alloc(0);
+  if (probabilistic) {
+    w.spawn([r](sim_env& e) -> proc<word> {
+      struct helper {
+        static proc<word> go(sim_env& env, reg_id reg) {
+          co_await env.prob_write(reg, 1, prob(1, 2));
+          co_return 0;
+        }
+      };
+      return helper::go(e, r);
+    });
+  } else {
+    w.spawn([r](sim_env& e) { return writes(e, r, 1, 3); });
+  }
+  w.spawn([r](sim_env& e) { return reads(e, r, 3); });
+  w.run(100);
+}
+
+TEST(AdversaryCaps, ObliviousCannotSeeKinds) {
+  probe_adversary adv(adversary_power::oblivious,
+                      probe_adversary::probe::kind);
+  EXPECT_THROW(run_with(adv), invariant_error);
+}
+
+TEST(AdversaryCaps, ValueObliviousSeesKindsAndLocationsButNotValues) {
+  probe_adversary see_kind(adversary_power::value_oblivious,
+                           probe_adversary::probe::kind);
+  EXPECT_NO_THROW(run_with(see_kind));
+  probe_adversary see_reg(adversary_power::value_oblivious,
+                          probe_adversary::probe::reg_of_write);
+  EXPECT_NO_THROW(run_with(see_reg));
+  probe_adversary see_value(adversary_power::value_oblivious,
+                            probe_adversary::probe::value);
+  EXPECT_THROW(run_with(see_value), invariant_error);
+  probe_adversary see_mem(adversary_power::value_oblivious,
+                          probe_adversary::probe::memory);
+  EXPECT_THROW(run_with(see_mem), invariant_error);
+}
+
+TEST(AdversaryCaps, LocationObliviousSeesValuesNotWriteLocations) {
+  probe_adversary see_value(adversary_power::location_oblivious,
+                            probe_adversary::probe::value);
+  EXPECT_NO_THROW(run_with(see_value));
+  probe_adversary see_mem(adversary_power::location_oblivious,
+                          probe_adversary::probe::memory);
+  EXPECT_NO_THROW(run_with(see_mem));
+  probe_adversary see_reg(adversary_power::location_oblivious,
+                          probe_adversary::probe::reg_of_write);
+  EXPECT_THROW(run_with(see_reg), invariant_error);
+}
+
+TEST(AdversaryCaps, NobodyBelowOmniscientSeesCoins) {
+  for (auto p : {adversary_power::oblivious, adversary_power::value_oblivious,
+                 adversary_power::location_oblivious,
+                 adversary_power::adaptive}) {
+    probe_adversary adv(p, probe_adversary::probe::coin);
+    if (p == adversary_power::oblivious) {
+      EXPECT_THROW(run_with(adv, true), invariant_error);
+    } else {
+      EXPECT_THROW(run_with(adv, true), invariant_error)
+          << to_string(p);
+    }
+  }
+  probe_adversary omni(adversary_power::omniscient,
+                       probe_adversary::probe::coin);
+  EXPECT_NO_THROW(run_with(omni, true));
+}
+
+TEST(RoundRobin, CyclesThroughProcesses) {
+  round_robin adv;
+  world_options opts;
+  opts.trace_enabled = true;
+  sim_world w(3, adv, 1, opts);
+  reg_id r = w.alloc(0);
+  for (int i = 0; i < 3; ++i)
+    w.spawn([r](sim_env& e) { return reads(e, r, 2); });
+  w.run(100);
+  const auto& ev = w.execution_trace().events();
+  ASSERT_EQ(ev.size(), 6u);
+  EXPECT_EQ(ev[0].pid, 0u);
+  EXPECT_EQ(ev[1].pid, 1u);
+  EXPECT_EQ(ev[2].pid, 2u);
+  EXPECT_EQ(ev[3].pid, 0u);
+}
+
+TEST(RoundRobin, SkipsHaltedProcesses) {
+  round_robin adv;
+  world_options opts;
+  opts.trace_enabled = true;
+  sim_world w(2, adv, 1, opts);
+  reg_id r = w.alloc(0);
+  w.spawn([r](sim_env& e) { return reads(e, r, 1); });
+  w.spawn([r](sim_env& e) { return reads(e, r, 3); });
+  auto res = w.run(100);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(w.ops_of(1), 3u);
+}
+
+TEST(FixedOrder, SequentialRunsProcessesToCompletion) {
+  fixed_order adv(fixed_order::mode::sequential, {1, 0});
+  world_options opts;
+  opts.trace_enabled = true;
+  sim_world w(2, adv, 1, opts);
+  reg_id r = w.alloc(0);
+  for (int i = 0; i < 2; ++i)
+    w.spawn([r](sim_env& e) { return reads(e, r, 3); });
+  w.run(100);
+  const auto& ev = w.execution_trace().events();
+  ASSERT_EQ(ev.size(), 6u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(ev[i].pid, 1u);
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(ev[i].pid, 0u);
+}
+
+TEST(Priority, HighestPriorityRunsAlone) {
+  priority_sched adv({2, 0, 1});
+  world_options opts;
+  opts.trace_enabled = true;
+  sim_world w(3, adv, 1, opts);
+  reg_id r = w.alloc(0);
+  for (int i = 0; i < 3; ++i)
+    w.spawn([r](sim_env& e) { return reads(e, r, 2); });
+  w.run(100);
+  const auto& ev = w.execution_trace().events();
+  ASSERT_EQ(ev.size(), 6u);
+  EXPECT_EQ(ev[0].pid, 2u);
+  EXPECT_EQ(ev[1].pid, 2u);
+  EXPECT_EQ(ev[2].pid, 0u);
+  EXPECT_EQ(ev[3].pid, 0u);
+  EXPECT_EQ(ev[4].pid, 1u);
+}
+
+TEST(Quantum, GivesEachProcessBursts) {
+  quantum_sched adv(2);
+  world_options opts;
+  opts.trace_enabled = true;
+  sim_world w(2, adv, 1, opts);
+  reg_id r = w.alloc(0);
+  for (int i = 0; i < 2; ++i)
+    w.spawn([r](sim_env& e) { return reads(e, r, 4); });
+  w.run(100);
+  const auto& ev = w.execution_trace().events();
+  ASSERT_EQ(ev.size(), 8u);
+  // Bursts of 2.
+  EXPECT_EQ(ev[0].pid, ev[1].pid);
+  EXPECT_NE(ev[1].pid, ev[2].pid);
+  EXPECT_EQ(ev[2].pid, ev[3].pid);
+}
+
+TEST(Noisy, ZeroSigmaIsFair) {
+  noisy adv(0.0);
+  sim_world w(2, adv, 42);
+  reg_id r = w.alloc(0);
+  for (int i = 0; i < 2; ++i)
+    w.spawn([r](sim_env& e) { return reads(e, r, 50); });
+  auto res = w.run(1000);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(w.ops_of(0), 50u);
+  EXPECT_EQ(w.ops_of(1), 50u);
+}
+
+TEST(Noisy, LargeSigmaSeparatesProcesses) {
+  // With heavy noise, after 60 steps the op counts should be skewed in at
+  // least some executions.
+  bool skewed = false;
+  for (int t = 0; t < 20 && !skewed; ++t) {
+    noisy adv(1.5);
+    sim_world w(2, adv, 100 + t);
+    reg_id r = w.alloc(0);
+    for (int i = 0; i < 2; ++i)
+      w.spawn([r](sim_env& e) { return reads(e, r, 1000); });
+    w.run(60);
+    auto a = w.ops_of(0), b = w.ops_of(1);
+    skewed = (a > 2 * b) || (b > 2 * a);
+  }
+  EXPECT_TRUE(skewed);
+}
+
+TEST(RandomOblivious, IsIndependentOfProcessCoins) {
+  // Same seed, same adversary decisions regardless of what processes do
+  // with their local coins (they share no stream).
+  auto pids_with = [](bool use_coins) {
+    random_oblivious adv;
+    world_options opts;
+    opts.trace_enabled = true;
+    sim_world w(3, adv, 9, opts);
+    reg_id r = w.alloc(kBot);
+    for (int i = 0; i < 3; ++i) {
+      if (use_coins) {
+        w.spawn([r](sim_env& e) -> proc<word> {
+          struct helper {
+            static proc<word> go(sim_env& env, reg_id reg) {
+              for (int j = 0; j < 4; ++j)
+                co_await env.prob_write(reg, 1, prob(1, 3));
+              co_return 0;
+            }
+          };
+          return helper::go(e, r);
+        });
+      } else {
+        w.spawn([r](sim_env& e) { return reads(e, r, 4); });
+      }
+    }
+    w.run(100);
+    std::vector<process_id> pids;
+    for (const auto& ev : w.execution_trace().events())
+      pids.push_back(ev.pid);
+    return pids;
+  };
+  EXPECT_EQ(pids_with(true), pids_with(false));
+}
+
+TEST(Scripted, FallbackAfterScriptEnds) {
+  scripted adv({1});
+  sim_world w(2, adv, 1);
+  reg_id r = w.alloc(0);
+  for (int i = 0; i < 2; ++i)
+    w.spawn([r](sim_env& e) { return reads(e, r, 2); });
+  auto res = w.run(100);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(adv.picks_past_script(), 3u);
+}
+
+TEST(Scripted, RejectsNonRunnablePick) {
+  scripted adv({0, 0, 0});  // process 0 halts after 2 ops
+  sim_world w(2, adv, 1);
+  reg_id r = w.alloc(0);
+  for (int i = 0; i < 2; ++i)
+    w.spawn([r](sim_env& e) { return reads(e, r, 2); });
+  EXPECT_THROW(w.run(100), invariant_error);
+}
+
+}  // namespace
+}  // namespace modcon::sim

@@ -1,0 +1,99 @@
+#include "util/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+
+namespace modcon {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 5), 252u);
+  EXPECT_EQ(binomial(5, 6), 0u);
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (unsigned n = 1; n < 40; ++n)
+    for (unsigned r = 1; r <= n; ++r)
+      EXPECT_EQ(binomial(n, r), binomial(n - 1, r - 1) + binomial(n - 1, r))
+          << n << " choose " << r;
+}
+
+TEST(Binomial, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(binomial(200, 100), UINT64_MAX);
+  EXPECT_EQ(binomial(64, 32), 1832624140942590534ull);  // still exact
+}
+
+TEST(MinPool, MatchesDefinition) {
+  for (std::uint64_t m : {1ull, 2ull, 3ull, 6ull, 7ull, 20ull, 21ull,
+                          1000ull, 1ull << 20}) {
+    unsigned k = min_pool_for(m);
+    EXPECT_GE(binomial(k, k / 2), m);
+    if (k > 1) EXPECT_LT(binomial(k - 1, (k - 1) / 2), m);
+  }
+}
+
+TEST(MinPool, GrowsLikeLgPlusLogLog) {
+  // k = lg m + Theta(log log m): check k - lg m is small and slowly
+  // growing.
+  for (unsigned bits = 2; bits <= 40; bits += 2) {
+    std::uint64_t m = 1ull << bits;
+    unsigned k = min_pool_for(m);
+    EXPECT_GE(k, bits);
+    EXPECT_LE(k, bits + 2 * ceil_log2(bits) + 3) << "m = 2^" << bits;
+  }
+}
+
+TEST(Unrank, EnumeratesAllSubsetsInOrder) {
+  const unsigned pool = 6, size = 3;
+  const std::uint64_t total = binomial(pool, size);
+  std::vector<std::uint32_t> prev;
+  for (std::uint64_t rank = 0; rank < total; ++rank) {
+    auto s = unrank_subset(pool, size, rank);
+    ASSERT_EQ(s.size(), size);
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) EXPECT_LT(s[i], s[i + 1]);
+    for (auto e : s) EXPECT_LT(e, pool);
+    if (rank > 0) EXPECT_LT(prev, s) << "lexicographic order broken";
+    prev = s;
+  }
+}
+
+TEST(Unrank, RoundTripsWithRank) {
+  for (unsigned pool : {4u, 7u, 12u}) {
+    for (unsigned size = 1; size <= pool; ++size) {
+      std::uint64_t total = binomial(pool, size);
+      for (std::uint64_t rank = 0; rank < total; ++rank) {
+        auto s = unrank_subset(pool, size, rank);
+        EXPECT_EQ(rank_subset(pool, s), rank);
+      }
+    }
+  }
+}
+
+TEST(Unrank, RejectsOutOfRange) {
+  EXPECT_THROW(unrank_subset(4, 2, binomial(4, 2)), invariant_error);
+}
+
+TEST(Bits, Log2Helpers) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(65));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_EQ(pow2_saturating(3, 100), 8u);
+  EXPECT_EQ(pow2_saturating(10, 100), 100u);
+  EXPECT_EQ(pow2_saturating(80, 100), 100u);
+}
+
+}  // namespace
+}  // namespace modcon

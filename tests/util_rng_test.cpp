@@ -1,0 +1,125 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/prob.h"
+
+namespace modcon {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  rng parent(7);
+  rng child = parent.split(1);
+  rng parent2(7);
+  rng child2 = parent2.split(1);
+  // Same derivation is reproducible...
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child.next(), child2.next());
+  // ...and different tags give different streams.
+  rng parent3(7);
+  rng other = parent3.split(2);
+  rng child3 = rng(7).split(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += other.next() == child3.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  rng r(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                              (1ull << 40) + 17}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  rng r(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, BernoulliMatchesRationalProbability) {
+  rng r(5);
+  constexpr int kDraws = 100000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += r.bernoulli(3, 16);
+  double p = static_cast<double>(hits) / kDraws;
+  EXPECT_NEAR(p, 3.0 / 16.0, 0.01);
+}
+
+TEST(Rng, FairCoinIsFair) {
+  rng r(9);
+  int heads = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) heads += r.flip();
+  EXPECT_NEAR(static_cast<double>(heads) / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, Uniform01InRange) {
+  rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prob, ClampsToOne) {
+  prob p(10, 4);
+  EXPECT_TRUE(p.certain());
+  EXPECT_EQ(p.num(), p.den());
+}
+
+TEST(Prob, Pow2OverMatchesImpatienceSchedule) {
+  // min(2^k / n, 1) for n = 8.
+  EXPECT_EQ(prob::pow2_over(0, 8), prob(1, 8));
+  EXPECT_EQ(prob::pow2_over(1, 8), prob(1, 4));
+  EXPECT_EQ(prob::pow2_over(2, 8), prob(1, 2));
+  EXPECT_EQ(prob::pow2_over(3, 8), prob(1, 1));
+  EXPECT_TRUE(prob::pow2_over(3, 8).certain());
+  EXPECT_TRUE(prob::pow2_over(64, 8).certain());
+  EXPECT_TRUE(prob::pow2_over(70, 1000).certain());
+}
+
+TEST(Prob, SampleRespectsCertainAndImpossible) {
+  rng r(1);
+  EXPECT_TRUE(prob::always().sample(r));
+  EXPECT_FALSE(prob::never().sample(r));
+}
+
+TEST(Prob, SampleFrequencyMatches) {
+  rng r(21);
+  prob p(1, 8);
+  int hits = 0;
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) hits += p.sample(r);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.125, 0.01);
+}
+
+TEST(Prob, EqualityIsRational) {
+  EXPECT_EQ(prob(1, 2), prob(2, 4));
+  EXPECT_FALSE(prob(1, 2) == prob(1, 3));
+}
+
+}  // namespace
+}  // namespace modcon

@@ -1,0 +1,92 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace modcon {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  running_stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // sample variance (n-1)
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  running_stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  running_stats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(SampleSet, Quantiles) {
+  sample_set s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, QuantileAfterLateAdd) {
+  sample_set s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 10.0);
+  s.add(1.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+}
+
+TEST(SampleSet, Empty) {
+  sample_set s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Wilson, CentersOnEstimate) {
+  auto ci = wilson_interval(500, 1000);
+  EXPECT_DOUBLE_EQ(ci.estimate, 0.5);
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+  EXPECT_NEAR(ci.hi - ci.lo, 2 * 1.96 * 0.5 / std::sqrt(1000.0), 0.005);
+}
+
+TEST(Wilson, ExtremesStayInUnitInterval) {
+  auto zero = wilson_interval(0, 50);
+  EXPECT_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  auto one = wilson_interval(50, 50);
+  EXPECT_EQ(one.hi, 1.0);
+  EXPECT_LT(one.lo, 1.0);
+}
+
+TEST(Wilson, NoTrials) {
+  auto ci = wilson_interval(0, 0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 1.0);
+}
+
+TEST(Wilson, NarrowsWithSamples) {
+  auto small = wilson_interval(5, 10);
+  auto large = wilson_interval(5000, 10000);
+  EXPECT_GT(small.hi - small.lo, large.hi - large.lo);
+}
+
+}  // namespace
+}  // namespace modcon

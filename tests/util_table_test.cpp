@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/assertx.h"
+
+namespace modcon {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  table t({"n", "work"});
+  t.row().cell(std::uint64_t{8}).cell(12.5, 1);
+  t.row().cell(std::uint64_t{1024}).cell(3.0, 1);
+  std::ostringstream os;
+  t.print(os, "demo");
+  std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("1024"), std::string::npos);
+  EXPECT_NE(s.find("12.5"), std::string::npos);
+  EXPECT_NE(s.find("n"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  table t({"a", "b"});
+  t.row().cell(1).cell(2);
+  t.row().cell("x").cell(0.5, 2);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\nx,0.50\n");
+}
+
+TEST(Table, RejectsTooManyCells) {
+  table t({"only"});
+  t.row().cell(1);
+  EXPECT_THROW(t.cell(2), invariant_error);
+}
+
+TEST(Table, RejectsCellBeforeRow) {
+  table t({"a"});
+  EXPECT_THROW(t.cell(1), invariant_error);
+}
+
+TEST(Table, CountsRows) {
+  table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.row().cell(1);
+  t.row().cell(2);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, EmitWritesCsvWhenDirConfigured) {
+  table t({"x", "y"});
+  t.row().cell(7).cell(8);
+  ::setenv("MODCON_CSV_DIR", ::testing::TempDir().c_str(), 1);
+  testing::internal::CaptureStdout();
+  t.emit("csv check", "table_emit_check");
+  std::string printed = testing::internal::GetCapturedStdout();
+  ::unsetenv("MODCON_CSV_DIR");
+  EXPECT_NE(printed.find("csv check"), std::string::npos);
+  std::ifstream f(::testing::TempDir() + "/table_emit_check.csv");
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "x,y\n7,8\n");
+}
+
+}  // namespace
+}  // namespace modcon
