@@ -10,7 +10,9 @@
 // for k = 1..12 — for the paper's stack.  The shape check: log2 of the
 // survival ratio between consecutive k stabilizes (geometric decay), and
 // the tail is non-zero for small k (a lower-bound artifact no protocol
-// can avoid).
+// can avoid).  Survival functions are computed from per-trial records
+// (keep_records); crashed processes are identified via
+// trial_result::crashed_pids rather than inferred from halted_pids.
 #include <memory>
 
 #include "common.h"
@@ -29,67 +31,26 @@ analysis::sim_object_builder stack() {
   };
 }
 
-}  // namespace
-
-void failure_sweep() {
-  // The lower bound is stated for f-failure-tolerant protocols and
-  // k(n-f) total steps: crash f processes early and measure survival
-  // against multiples of the survivor count.
-  table t({"n", "f", "trials", "k", "P[total>=k*(n-f)]"});
-  const std::size_t n = 32;
-  for (std::size_t f : {0u, 8u, 16u, 24u}) {
-    const std::size_t trials = 800;
-    std::vector<std::uint64_t> totals;
-    for (std::uint64_t seed = 0; seed < trials; ++seed) {
-      sim::random_oblivious adv;
-      analysis::trial_options opts;
-      opts.seed = seed;
-      for (process_id p = 0; p < f; ++p)
-        opts.crashes.push_back({p, (seed + p) % 6});
-      auto res = analysis::run_object_trial(
-          stack(),
-          analysis::make_inputs(analysis::input_pattern::half_half, n, 2,
-                                seed),
-          adv, opts);
-      if (res.status != sim::run_status::step_limit)
-        totals.push_back(res.total_ops);
-    }
-    for (std::size_t k : {4u, 8u, 12u, 16u}) {
-      std::size_t surviving = 0;
-      for (auto tot : totals) surviving += tot >= k * (n - f);
-      t.row()
-          .cell(static_cast<std::uint64_t>(n))
-          .cell(static_cast<std::uint64_t>(f))
-          .cell(static_cast<std::uint64_t>(totals.size()))
-          .cell(static_cast<std::uint64_t>(k))
-          .cell(totals.empty()
-                    ? 0.0
-                    : static_cast<double>(surviving) / totals.size(),
-                4);
-    }
+void tail_table(bench_harness& h) {
+  const std::vector<std::size_t> ns = {16, 64, 256};
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
+    grid.push_back({
+        .label = "e10_tail/n=" + std::to_string(n),
+        .build = stack(),
+        .n = n,
+        .trials = h.trials(trials_for(n, 120'000)),
+        .keep_records = true,
+    });
   }
-  t.emit("E10b: survival vs k(n-f) under f early crashes", "e10_failures");
-}
+  auto summaries = h.run_grid(std::move(grid));
 
-int main() {
-  print_header("E10: termination-tail shape (Attiya–Censor lower bound)",
-               "claims: P[still running after k·n total steps] decays "
-               "geometrically in k — the lower bound is tight here");
   table t({"n", "trials", "k", "P[total>=k*n]", "decay_vs_prev"});
-  for (std::size_t n : {16u, 64u, 256u}) {
-    const std::size_t trials = trials_for(n, 120'000);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const std::size_t n = ns[i];
     std::vector<std::uint64_t> totals;
-    for (std::uint64_t seed = 0; seed < trials; ++seed) {
-      sim::random_oblivious adv;
-      analysis::trial_options opts;
-      opts.seed = seed;
-      auto res = analysis::run_object_trial(
-          stack(),
-          analysis::make_inputs(analysis::input_pattern::half_half, n, 2,
-                                seed),
-          adv, opts);
-      if (res.completed()) totals.push_back(res.total_ops);
-    }
+    for (const auto& rec : summaries[i].records)
+      if (rec.result.completed()) totals.push_back(rec.result.total_ops);
     double prev = 1.0;
     for (std::size_t k = 1; k <= 12; ++k) {
       std::size_t surviving = 0;
@@ -106,8 +67,73 @@ int main() {
       prev = p;
     }
   }
-  t.emit("E10a: survival function of total work (geometric tail)",
+  h.emit(t, "E10a: survival function of total work (geometric tail)",
          "e10_tail");
-  failure_sweep();
-  return 0;
+}
+
+void failure_sweep(bench_harness& h) {
+  // The lower bound is stated for f-failure-tolerant protocols and
+  // k(n-f) total steps: crash f processes early and measure survival
+  // against multiples of the survivor count.  Each trial gets its own
+  // seed-dependent crash schedule via faults_for.
+  const std::size_t n = 32;
+  const std::vector<std::size_t> fs = {0, 8, 16, 24};
+  std::vector<trial_grid> grid;
+  for (std::size_t f : fs) {
+    grid.push_back({
+        .label = "e10_failures/f=" + std::to_string(f),
+        .build = stack(),
+        .n = n,
+        .trials = h.trials(800),
+        .faults_for =
+            [f](std::size_t, std::uint64_t seed) {
+              analysis::fault_plan plan;
+              for (process_id p = 0; p < f; ++p)
+                plan.crash(p, (seed + p) % 6);
+              return plan;
+            },
+        .keep_records = true,
+    });
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"n", "f", "crashed_mean", "trials", "k", "P[total>=k*(n-f)]"});
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    const std::size_t f = fs[i];
+    const auto& s = summaries[i];
+    std::vector<std::uint64_t> totals;
+    for (const auto& rec : s.records)
+      if (rec.result.status != sim::run_status::step_limit)
+        totals.push_back(rec.result.total_ops);
+    double crashed_mean =
+        s.trials == 0 ? 0.0
+                      : static_cast<double>(s.crashed_processes) / s.trials;
+    for (std::size_t k : {4u, 8u, 12u, 16u}) {
+      std::size_t surviving = 0;
+      for (auto tot : totals) surviving += tot >= k * (n - f);
+      t.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(f))
+          .cell(crashed_mean, 1)
+          .cell(static_cast<std::uint64_t>(totals.size()))
+          .cell(static_cast<std::uint64_t>(k))
+          .cell(totals.empty()
+                    ? 0.0
+                    : static_cast<double>(surviving) / totals.size(),
+                4);
+    }
+  }
+  h.emit(t, "E10b: survival vs k(n-f) under f early crashes", "e10_failures");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_harness h("e10_termination_tail", argc, argv);
+  print_header("E10: termination-tail shape (Attiya–Censor lower bound)",
+               "claims: P[still running after k·n total steps] decays "
+               "geometrically in k — the lower bound is tight here");
+  tail_table(h);
+  failure_sweep(h);
+  return h.finish();
 }

@@ -5,61 +5,58 @@
 // consensus stacks on OS threads over std::atomic registers, check
 // agreement/validity on every trial, report operation counts (same order
 // of magnitude as the sim) and wall-clock throughput via
-// google-benchmark.
+// google-benchmark.  Leftover CLI args (after --threads/--seeds/--json)
+// are forwarded to benchmark::Initialize.
 #include <benchmark/benchmark.h>
 
-#include <iostream>
 #include <memory>
-#include <set>
 
+#include "common.h"
 #include "core/modcon.h"
 #include "rt/runner.h"
-#include "util/table.h"
 
 namespace {
 
 using namespace modcon;
-using rt::arena;
+using namespace modcon::bench;
 using rt::rt_env;
-using rt::run_threads;
 
-std::uint64_t g_seed = 1;
-
-void consensus_once(std::size_t n, bool bounded, std::uint64_t seed,
-                    std::uint64_t* total_ops, std::uint64_t* max_ops) {
-  arena mem;
-  std::unique_ptr<deciding_object<rt_env>> obj;
-  if (bounded)
-    obj = make_bounded_impatient_consensus<rt_env>(mem, make_binary_quorums(),
+// One builder definition serves both backends; E11 instantiates it for
+// rt_env (the sim benches use the same factories with sim_env).
+template <typename Env>
+analysis::object_builder<Env> stack(bool bounded) {
+  return [bounded](address_space& mem, std::size_t n)
+             -> std::unique_ptr<deciding_object<Env>> {
+    if (bounded)
+      return make_bounded_impatient_consensus<Env>(mem, make_binary_quorums(),
                                                    n);
-  else
-    obj = make_impatient_consensus<rt_env>(mem, make_binary_quorums());
-  auto res = run_threads(mem, n, seed, [&](rt_env& env) {
-    return invoke_encoded(*obj, env, env.pid() % 2);
-  });
-  std::set<word> values;
-  for (word w : res.outputs) {
-    decided d = decode_decided(w);
-    if (!d.decide) throw invariant_error("rt process did not decide");
-    values.insert(d.value);
-  }
-  if (values.size() != 1) throw invariant_error("rt disagreement!");
-  if (*values.begin() > 1) throw invariant_error("rt validity violation!");
-  if (total_ops) *total_ops = res.total_ops;
-  if (max_ops) *max_ops = res.max_individual_ops;
+    return make_impatient_consensus<Env>(mem, make_binary_quorums());
+  };
 }
 
-void summary_table() {
+analysis::trial_result consensus_once(std::size_t n, bool bounded,
+                                      std::uint64_t seed) {
+  auto inputs =
+      analysis::make_inputs(analysis::input_pattern::alternating, n, 2, seed);
+  auto res = analysis::run_rt_object_trial(stack<rt_env>(bounded), inputs,
+                                           {.seed = seed});
+  for (const decided& d : res.outputs)
+    if (!d.decide) throw invariant_error("rt process did not decide");
+  if (!res.agreement()) throw invariant_error("rt disagreement!");
+  if (!res.valid(inputs)) throw invariant_error("rt validity violation!");
+  return res;
+}
+
+void summary_table(bench_harness& h) {
   table t({"n", "trials", "agree_violations", "total_ops_mean",
            "indiv_ops_mean"});
   for (std::size_t n : {2u, 4u, 8u, 16u}) {
-    const std::size_t trials = 60;
+    const std::size_t trials = h.trials(60);
     double total_sum = 0, max_sum = 0;
     for (std::uint64_t seed = 0; seed < trials; ++seed) {
-      std::uint64_t tot = 0, mx = 0;
-      consensus_once(n, false, seed, &tot, &mx);  // throws on violation
-      total_sum += static_cast<double>(tot);
-      max_sum += static_cast<double>(mx);
+      auto res = consensus_once(n, false, seed);  // throws on violation
+      total_sum += static_cast<double>(res.total_ops);
+      max_sum += static_cast<double>(res.max_individual_ops);
     }
     t.row()
         .cell(static_cast<std::uint64_t>(n))
@@ -68,14 +65,16 @@ void summary_table() {
         .cell(total_sum / trials, 1)
         .cell(max_sum / trials, 1);
   }
-  t.emit("E11: real-thread consensus — correctness and operation counts",
+  h.emit(t, "E11: real-thread consensus — correctness and operation counts",
          "e11_rt");
 }
+
+std::uint64_t g_seed = 1;
 
 void bm_consensus(benchmark::State& state) {
   std::size_t n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    consensus_once(n, false, g_seed++, nullptr, nullptr);
+    consensus_once(n, false, g_seed++);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -85,7 +84,7 @@ BENCHMARK(bm_consensus)->Arg(2)->Arg(4)->Arg(8)->Unit(
 void bm_bounded_consensus(benchmark::State& state) {
   std::size_t n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    consensus_once(n, true, g_seed++, nullptr, nullptr);
+    consensus_once(n, true, g_seed++);
   }
 }
 BENCHMARK(bm_bounded_consensus)->Arg(4)->Unit(benchmark::kMicrosecond);
@@ -93,10 +92,15 @@ BENCHMARK(bm_bounded_consensus)->Arg(4)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::cout << "\n##### E11: real-thread backend validation #####\n";
-  summary_table();
+  // The harness consumes --threads/--seeds/--json and compacts argv;
+  // whatever remains (e.g. --benchmark_filter=...) goes to gbench.
+  bench_harness h("e11_rt_threads", argc, argv);
+  print_header("E11: real-thread backend validation",
+               "same coroutine objects, std::atomic registers, OS "
+               "scheduling; agreement/validity asserted per trial");
+  summary_table(h);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return h.finish();
 }

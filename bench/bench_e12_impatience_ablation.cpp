@@ -37,12 +37,11 @@ analysis::sim_object_builder with_growth(impatience_schedule g) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_harness h("e12_impatience_ablation", argc, argv);
   print_header("E12: impatience-growth ablation on the Theorem 7 conciliator",
                "claims implied by the paper's choice g = 2: individual work "
                "~ 2 log_g n, agreement under attack degrades with g");
-  table t({"g", "n", "trials", "indiv_max", "total_mean", "agree_random",
-           "agree_stockpiler"});
   struct growth {
     const char* label;
     impatience_schedule schedule;
@@ -51,26 +50,50 @@ int main() {
       {"1 (fixed)", {1, 1}}, {"1.5", {3, 2}}, {"2 (paper)", {2, 1}},
       {"4", {4, 1}},         {"8", {8, 1}},
   };
-  for (std::size_t n : {8u, 32u, 128u}) {
+  const std::vector<std::size_t> ns = {8, 32, 128};
+
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
     for (const auto& g : growths) {
-      std::size_t trials = trials_for(n, 40'000);
-      auto neutral = run_trials(
-          with_growth(g.schedule), analysis::input_pattern::half_half, n, 2,
-          [] { return std::make_unique<sim::random_oblivious>(); }, trials);
-      auto attacked = run_trials(
-          with_growth(g.schedule), analysis::input_pattern::half_half, n, 2,
-          [] { return std::make_unique<sim::stockpiler>(0); }, trials);
+      const std::size_t trials = h.trials(trials_for(n, 40'000));
+      grid.push_back({
+          .label = std::string("e12_ablation/neutral/g=") + g.label +
+                   "/n=" + std::to_string(n),
+          .build = with_growth(g.schedule),
+          .n = n,
+          .trials = trials,
+      });
+      grid.push_back({
+          .label = std::string("e12_ablation/stockpiler/g=") + g.label +
+                   "/n=" + std::to_string(n),
+          .build = with_growth(g.schedule),
+          .make_adversary =
+              [] { return std::make_unique<sim::stockpiler>(0); },
+          .n = n,
+          .trials = trials,
+      });
+    }
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"g", "n", "trials", "indiv_max", "total_mean", "agree_random",
+           "agree_stockpiler"});
+  std::size_t i = 0;
+  for (std::size_t n : ns) {
+    for (const auto& g : growths) {
+      const auto& neutral = summaries[i++];
+      const auto& attacked = summaries[i++];
       t.row()
           .cell(g.label)
           .cell(static_cast<std::uint64_t>(n))
-          .cell(static_cast<std::uint64_t>(trials))
-          .cell(neutral.individual_ops.max(), 0)
-          .cell(neutral.total_ops.mean(), 1)
+          .cell(static_cast<std::uint64_t>(neutral.trials))
+          .cell(neutral.max_individual_ops.max, 0)
+          .cell(neutral.total_ops.mean, 1)
           .cell(neutral.agreement_rate(), 3)
           .cell(attacked.agreement_rate(), 3);
     }
   }
-  t.emit("E12: growth-factor sweep (work vs agreement trade-off)",
+  h.emit(t, "E12: growth-factor sweep (work vs agreement trade-off)",
          "e12_ablation");
-  return 0;
+  return h.finish();
 }

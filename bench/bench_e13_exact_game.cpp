@@ -8,6 +8,9 @@
 // quantifies over).  The value must sit above δ = (1 − e^{-1/4})/4 for
 // every input split; the gap to the sampled attackers (E5) shows how
 // close the hand-written strategies come to optimal play.
+//
+// No trials here — the game is solved exactly — but the harness still
+// provides the shared CLI and JSON artifact emission.
 #include "check/conciliator_game.h"
 
 #include "common.h"
@@ -19,7 +22,8 @@ using namespace modcon::bench;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_harness h("e13_exact_game", argc, argv);
   print_header("E13: exact worst-case agreement (expectiminimax)",
                "claim (Theorem 7): >= 0.0553 against every in-model "
                "adversary; here solved exactly, not sampled");
@@ -40,7 +44,7 @@ int main() {
         if (a == n / 2 && a == 1) break;  // avoid duplicate row for n = 2
       }
     }
-    t.emit("E13a: exact value of the conciliation game (doubling schedule)",
+    h.emit(t, "E13a: exact value of the conciliation game (doubling schedule)",
            "e13_exact");
   }
   {
@@ -57,7 +61,8 @@ int main() {
           .cell(check::exact_worst_case_agreement(2, 2, g.s).value, 4)
           .cell(check::exact_worst_case_agreement(3, 3, g.s).value, 4);
     }
-    t.emit("E13b: exact worst-case agreement vs growth factor", "e13_growth");
+    h.emit(t, "E13b: exact worst-case agreement vs growth factor",
+           "e13_growth");
   }
-  return 0;
+  return h.finish();
 }

@@ -5,7 +5,7 @@
 // every experiment's trial counts are honest, and the algorithms must
 // keep their shape at sizes far beyond the statistical sweeps (n in the
 // tens of thousands — coroutine frames and registers stay cheap).
-#include <chrono>
+// Per-execution wall time comes from the engine's trial records.
 #include <memory>
 
 #include "common.h"
@@ -33,12 +33,11 @@ analysis::sim_object_builder consensus() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_harness h("e14_harness_scale", argc, argv);
   print_header("E14: simulator scale & throughput",
                "harness check: single executions at large n, with the "
                "Theorem 7 shape intact");
-  table t({"object", "n", "total_ops", "indiv_max", "bound", "wall_ms",
-           "steps_per_sec"});
   struct row {
     const char* name;
     analysis::sim_object_builder build;
@@ -48,33 +47,46 @@ int main() {
       {"conciliator", conciliator(), true},
       {"binary-consensus", consensus(), false},
   };
+  const std::vector<std::size_t> ns = {1024, 8192, 65536};
+
+  std::vector<trial_grid> grid;
   for (const auto& r : rows) {
-    for (std::size_t n : {1024u, 8192u, 65536u}) {
-      sim::random_oblivious adv;
-      analysis::trial_options opts;
-      opts.seed = 42;
-      auto inputs =
-          analysis::make_inputs(analysis::input_pattern::half_half, n, 2, 1);
-      auto t0 = std::chrono::steady_clock::now();
-      auto res = analysis::run_object_trial(r.build, inputs, adv, opts);
-      double ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
+    for (std::size_t n : ns) {
+      grid.push_back({
+          .label = std::string("e14_scale/") + r.name +
+                   "/n=" + std::to_string(n),
+          .build = r.build,
+          .n = n,
+          .trials = 1,
+          .base_seed = 42,
+          .keep_records = true,
+      });
+    }
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"object", "n", "total_ops", "indiv_max", "bound", "wall_ms",
+           "steps_per_sec"});
+  std::size_t i = 0;
+  for (const auto& r : rows) {
+    for (std::size_t n : ns) {
+      const auto& s = summaries[i++];
+      const auto& rec = s.records.at(0);
+      double ms = rec.wall_ms;
       t.row()
           .cell(r.name)
           .cell(static_cast<std::uint64_t>(n))
-          .cell(res.total_ops)
-          .cell(res.max_individual_ops)
-          .cell(r.conciliator_bound
-                    ? std::to_string(2 * lg_ceil(n) + 4)
-                    : std::string("-"))
+          .cell(rec.result.total_ops)
+          .cell(rec.result.max_individual_ops)
+          .cell(r.conciliator_bound ? std::to_string(2 * lg_ceil(n) + 4)
+                                    : std::string("-"))
           .cell(ms, 1)
-          .cell(ms > 0 ? static_cast<double>(res.steps) / (ms / 1000.0)
+          .cell(ms > 0 ? static_cast<double>(rec.result.steps) / (ms / 1000.0)
                        : 0.0,
                 0);
     }
   }
-  t.emit("E14: single large executions (includes world construction)",
+  h.emit(t, "E14: single large executions (includes world construction)",
          "e14_scale");
-  return 0;
+  return h.finish();
 }

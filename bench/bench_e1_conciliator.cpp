@@ -29,175 +29,225 @@ analysis::sim_object_builder impatient() {
   };
 }
 
-void work_table() {
+void work_table(bench_harness& h) {
+  const std::vector<std::size_t> ns = {2,   4,    8,    16,   32,   64,
+                                       128, 256,  512,  1024, 2048, 4096};
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
+    grid.push_back({
+        .label = "e1_work/n=" + std::to_string(n),
+        .build = impatient(),
+        .n = n,
+        .trials = h.trials(trials_for(n, 120'000)),
+    });
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
   table t({"n", "trials", "indiv_max", "bound_2lgn+4", "total_mean",
            "total/n", "bound_6n"});
-  for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u,
-                        2048u, 4096u}) {
-    std::size_t trials = trials_for(n, 120'000);
-    auto agg = run_trials(impatient(), analysis::input_pattern::half_half,
-                          n, 2, [] { return std::make_unique<sim::random_oblivious>(); },
-                          trials);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    std::size_t n = ns[i];
+    const auto& s = summaries[i];
     t.row()
         .cell(static_cast<std::uint64_t>(n))
-        .cell(static_cast<std::uint64_t>(trials))
-        .cell(agg.individual_ops.max(), 0)
+        .cell(static_cast<std::uint64_t>(s.trials))
+        .cell(s.max_individual_ops.max, 0)
         .cell(static_cast<std::uint64_t>(2 * lg_ceil(n) + 4))
-        .cell(agg.total_ops.mean(), 1)
-        .cell(agg.total_ops.mean() / static_cast<double>(n), 2)
+        .cell(s.total_ops.mean, 1)
+        .cell(s.total_ops.mean / static_cast<double>(n), 2)
         .cell(static_cast<std::uint64_t>(6 * n));
   }
-  t.emit("E1a: conciliator work vs Theorem 7 bounds (random scheduler)",
+  h.emit(t, "E1a: conciliator work vs Theorem 7 bounds (random scheduler)",
          "e1_work");
 }
 
-void agreement_table() {
+void agreement_table(bench_harness& h) {
   constexpr double kDelta = 0.0553;
+  struct row_case {
+    const char* name;
+    adversary_factory make;
+  };
+  const row_case cases[] = {
+      {"random", random_scheduler()},
+      {"round-robin", [] { return std::make_unique<sim::round_robin>(); }},
+      {"greedy-overwrite",
+       [] { return std::make_unique<sim::greedy_overwrite>(0); }},
+      {"stockpiler", [] { return std::make_unique<sim::stockpiler>(0); }},
+  };
+  std::vector<trial_grid> grid;
+  for (std::size_t n : {4u, 16u, 64u, 256u}) {
+    for (const auto& c : cases) {
+      grid.push_back({
+          .label = std::string("e1_agreement/") + c.name +
+                   "/n=" + std::to_string(n),
+          .build = impatient(),
+          .make_adversary = c.make,
+          .n = n,
+          .trials = h.trials(trials_for(n, 60'000)),
+      });
+    }
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
   table t({"n", "adversary", "trials", "agree", "wilson_lo", "delta",
            "holds"});
+  std::size_t i = 0;
   for (std::size_t n : {4u, 16u, 64u, 256u}) {
-    struct row_case {
-      const char* name;
-      adversary_factory make;
-    };
-    const row_case cases[] = {
-        {"random", [] { return std::make_unique<sim::random_oblivious>(); }},
-        {"round-robin", [] { return std::make_unique<sim::round_robin>(); }},
-        {"greedy-overwrite",
-         [] { return std::make_unique<sim::greedy_overwrite>(0); }},
-        {"stockpiler", [] { return std::make_unique<sim::stockpiler>(0); }},
-    };
     for (const auto& c : cases) {
-      std::size_t trials = trials_for(n, 60'000);
-      auto agg = run_trials(impatient(), analysis::input_pattern::half_half,
-                            n, 2, c.make, trials);
-      auto ci = agg.agreement_ci();
+      const auto& s = summaries[i++];
+      auto ci = s.agreement_ci();
       t.row()
           .cell(static_cast<std::uint64_t>(n))
           .cell(c.name)
-          .cell(static_cast<std::uint64_t>(trials))
+          .cell(static_cast<std::uint64_t>(s.trials))
           .cell(ci.estimate, 3)
           .cell(ci.lo, 3)
           .cell(kDelta, 4)
           .cell(ci.lo >= kDelta ? "yes" : "NO");
     }
   }
-  t.emit("E1b: conciliator agreement probability vs delta = (1-e^-1/4)/4",
+  h.emit(t, "E1b: conciliator agreement probability vs delta = (1-e^-1/4)/4",
          "e1_agreement");
 }
 
-void only_one_write_table() {
+void only_one_write_table(bench_harness& h) {
   // The engine of the Theorem 7 proof: with probability at least
   // (1 - e^{-1/4}) · (1/4), exactly ONE write lands in the register.
-  // Measure the write-count distribution directly.
+  // Measure the write-count distribution via a probe and compute the
+  // joint statistics from the retained per-trial records.
+  const std::vector<std::size_t> ns = {8, 32, 128, 512};
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
+    grid.push_back({
+        .label = "e1_one_write/n=" + std::to_string(n),
+        .build = impatient(),
+        .n = n,
+        .trials = h.trials(trials_for(n, 60'000)),
+        .probes = {{"writes", [](const sim::sim_world& w,
+                                 const deciding_object<sim_env>&) {
+                      return static_cast<double>(w.writes_applied(0));
+                    }}},
+        .keep_records = true,
+    });
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
   table t({"n", "trials", "P[writes==1]", "bound", "mean_writes",
            "agree_when_1w"});
-  for (std::size_t n : {8u, 32u, 128u, 512u}) {
-    std::size_t trials = trials_for(n, 60'000);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const auto& s = summaries[i];
     std::size_t one_write = 0, one_write_agree = 0;
-    double writes_sum = 0;
-    for (std::uint64_t seed = 0; seed < trials; ++seed) {
-      sim::random_oblivious adv;
-      analysis::trial_options opts;
-      opts.seed = seed;
-      std::uint64_t writes = 0;
-      opts.inspect = [&writes](const sim::sim_world& w) {
-        writes = w.writes_applied(0);
-      };
-      auto res = analysis::run_object_trial(
-          impatient(),
-          analysis::make_inputs(analysis::input_pattern::half_half, n, 2,
-                                seed),
-          adv, opts);
-      if (!res.completed()) continue;
-      writes_sum += static_cast<double>(writes);
-      if (writes == 1) {
+    for (const auto& rec : s.records) {
+      if (!rec.result.completed()) continue;
+      if (rec.probes[0] == 1.0) {
         ++one_write;
-        one_write_agree += res.agreement();
+        one_write_agree += rec.result.agreement();
       }
     }
     t.row()
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(static_cast<std::uint64_t>(trials))
-        .cell(static_cast<double>(one_write) / trials, 3)
+        .cell(static_cast<std::uint64_t>(ns[i]))
+        .cell(static_cast<std::uint64_t>(s.trials))
+        .cell(static_cast<double>(one_write) / s.trials, 3)
         .cell(0.0553, 4)
-        .cell(writes_sum / trials, 2)
+        .cell(s.find_probe("writes")->mean, 2)
         .cell(one_write ? static_cast<double>(one_write_agree) / one_write
                         : 0.0,
               3);
   }
-  t.emit("E1d: P[exactly one successful write] — the Theorem 7 engine",
+  h.emit(t, "E1d: P[exactly one successful write] — the Theorem 7 engine",
          "e1_one_write");
 }
 
-void multivalue_table() {
+void multivalue_table(bench_harness& h) {
   // §5.2: the conciliator works "for arbitrarily many values" — the cost
   // does not depend on m.
-  table t({"m", "n", "indiv_max", "total_mean", "agree"});
+  const std::vector<std::uint64_t> ms = {2, 8, 64, 1024, 1ull << 20};
   const std::size_t n = 64;
-  for (std::uint64_t m : {2ull, 8ull, 64ull, 1024ull, 1ull << 20}) {
-    auto agg = run_trials(impatient(), analysis::input_pattern::random_m, n,
-                          m, [] { return std::make_unique<sim::random_oblivious>(); },
-                          600);
-    t.row()
-        .cell(m)
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(agg.individual_ops.max(), 0)
-        .cell(agg.total_ops.mean(), 1)
-        .cell(agg.agreement_rate(), 3);
+  std::vector<trial_grid> grid;
+  for (std::uint64_t m : ms) {
+    grid.push_back({
+        .label = "e1_multivalue/m=" + std::to_string(m),
+        .build = impatient(),
+        .pattern = analysis::input_pattern::random_m,
+        .n = n,
+        .m = m,
+        .trials = h.trials(600),
+    });
   }
-  t.emit("E1c: conciliator cost is independent of the value-set size m",
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"m", "n", "indiv_max", "total_mean", "agree"});
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const auto& s = summaries[i];
+    t.row()
+        .cell(ms[i])
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(s.max_individual_ops.max, 0)
+        .cell(s.total_ops.mean, 1)
+        .cell(s.agreement_rate(), 3);
+  }
+  h.emit(t, "E1c: conciliator cost is independent of the value-set size m",
          "e1_multivalue");
 }
 
-void detection_table() {
+void detection_table(bench_harness& h) {
   // Footnote to Theorem 7: if a process can detect that its
   // probabilistic write succeeded, it can return immediately, shaving a
   // constant off the individual work.  Solo (sequential) runs make the
   // saving visible.
-  table t({"n", "plain_solo_ops", "detecting_solo_ops", "saved"});
-  for (std::size_t n : {8u, 64u, 512u}) {
-    running_stats plain, detecting;
-    for (std::uint64_t seed = 0; seed < 300; ++seed) {
-      analysis::trial_options opts;
-      opts.seed = seed;
-      auto inputs =
-          analysis::make_inputs(analysis::input_pattern::unanimous, n, 2, 0);
-      {
-        sim::fixed_order adv(sim::fixed_order::mode::sequential);
-        auto res = analysis::run_object_trial(impatient(), inputs, adv, opts);
-        plain.add(static_cast<double>(res.max_individual_ops));
-      }
-      {
-        sim::fixed_order adv(sim::fixed_order::mode::sequential);
-        auto build = [](address_space& mem, std::size_t) {
-          return std::make_unique<impatient_conciliator<sim_env>>(
-              mem, impatience_schedule{}, /*detect_success=*/true);
-        };
-        auto res = analysis::run_object_trial(build, inputs, adv, opts);
-        detecting.add(static_cast<double>(res.max_individual_ops));
-      }
-    }
-    t.row()
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(plain.mean(), 2)
-        .cell(detecting.mean(), 2)
-        .cell(plain.mean() - detecting.mean(), 2);
+  auto sequential = [] {
+    return std::make_unique<sim::fixed_order>(
+        sim::fixed_order::mode::sequential);
+  };
+  auto detecting = [](address_space& mem, std::size_t)
+      -> std::unique_ptr<deciding_object<sim_env>> {
+    return std::make_unique<impatient_conciliator<sim_env>>(
+        mem, impatience_schedule{}, /*detect_success=*/true);
+  };
+  const std::vector<std::size_t> ns = {8, 64, 512};
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
+    trial_grid plain{
+        .label = "e1_detection/plain/n=" + std::to_string(n),
+        .build = impatient(),
+        .make_adversary = sequential,
+        .pattern = analysis::input_pattern::unanimous,
+        .n = n,
+        .trials = h.trials(300),
+    };
+    trial_grid detect = plain;
+    detect.label = "e1_detection/detecting/n=" + std::to_string(n);
+    detect.build = detecting;
+    grid.push_back(std::move(plain));
+    grid.push_back(std::move(detect));
   }
-  t.emit("E1e: success detection saves a constant (Theorem 7 footnote)",
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"n", "plain_solo_ops", "detecting_solo_ops", "saved"});
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    double plain = summaries[2 * i].max_individual_ops.mean;
+    double detect = summaries[2 * i + 1].max_individual_ops.mean;
+    t.row()
+        .cell(static_cast<std::uint64_t>(ns[i]))
+        .cell(plain, 2)
+        .cell(detect, 2)
+        .cell(plain - detect, 2);
+  }
+  h.emit(t, "E1e: success detection saves a constant (Theorem 7 footnote)",
          "e1_detection");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_harness h("e1_conciliator", argc, argv);
   print_header("E1: ImpatientFirstMoverConciliator (Theorem 7)",
                "claims: indiv <= 2 lg n + 4; E[total] <= 6n; "
                "agreement >= 0.0553 vs any location-oblivious adversary");
-  work_table();
-  agreement_table();
-  only_one_write_table();
-  multivalue_table();
-  detection_table();
-  return 0;
+  work_table(h);
+  agreement_table(h);
+  only_one_write_table(h);
+  multivalue_table(h);
+  detection_table(h);
+  return h.finish();
 }

@@ -29,31 +29,42 @@ analysis::sim_object_builder stack() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_harness h("e2_binary_consensus", argc, argv);
   print_header("E2: binary consensus (unbounded construction)",
                "claims: E[individual] = O(log n), E[total] = O(n); "
                "normalized columns must stay bounded");
+  const std::vector<std::size_t> ns = {2,   4,    8,    16,   32,  64,  128,
+                                       256, 512, 1024, 2048, 4096, 8192};
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
+    grid.push_back({
+        .label = "e2_binary/n=" + std::to_string(n),
+        .build = stack(),
+        .n = n,
+        .trials = h.trials(trials_for(n, 60'000)),
+    });
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
   table t({"n", "trials", "indiv_mean", "indiv/lgn", "indiv_p99", "total_mean",
            "total/n", "agree", "decided"});
-  for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u,
-                        2048u, 4096u, 8192u}) {
-    std::size_t trials = trials_for(n, 60'000);
-    auto agg = run_trials(stack(), analysis::input_pattern::half_half, n, 2,
-                          [] { return std::make_unique<sim::random_oblivious>(); },
-                          trials);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    std::size_t n = ns[i];
+    const auto& s = summaries[i];
     double lgn = n > 1 ? static_cast<double>(lg_ceil(n)) : 1.0;
     t.row()
         .cell(static_cast<std::uint64_t>(n))
-        .cell(static_cast<std::uint64_t>(trials))
-        .cell(agg.individual_ops.mean(), 2)
-        .cell(agg.individual_ops.mean() / lgn, 2)
-        .cell(agg.individual_samples.quantile(0.99), 0)
-        .cell(agg.total_ops.mean(), 1)
-        .cell(agg.total_ops.mean() / static_cast<double>(n), 2)
-        .cell(agg.agreement_rate(), 3)
-        .cell(static_cast<std::uint64_t>(agg.all_decided));
+        .cell(static_cast<std::uint64_t>(s.trials))
+        .cell(s.max_individual_ops.mean, 2)
+        .cell(s.max_individual_ops.mean / lgn, 2)
+        .cell(s.max_individual_ops.p99, 0)
+        .cell(s.total_ops.mean, 1)
+        .cell(s.total_ops.mean / static_cast<double>(n), 2)
+        .cell(s.agreement_rate(), 3)
+        .cell(static_cast<std::uint64_t>(s.all_decided));
   }
-  t.emit("E2: binary consensus cost (random scheduler, half/half inputs)",
+  h.emit(t, "E2: binary consensus cost (random scheduler, half/half inputs)",
          "e2_binary");
-  return 0;
+  return h.finish();
 }

@@ -26,31 +26,6 @@ analysis::sim_object_builder stack(std::uint64_t m) {
   };
 }
 
-void m_sweep() {
-  table t({"m", "n", "trials", "indiv_mean", "indiv/(lgn+lgm)", "total_mean",
-           "total/(n*lgm)", "agree"});
-  const std::size_t n = 64;
-  for (std::uint64_t m : {2ull, 4ull, 16ull, 256ull, 4096ull, 65536ull,
-                          1ull << 20}) {
-    std::size_t trials = 400;
-    auto agg = run_trials(stack(m), analysis::input_pattern::random_m, n, m,
-                          [] { return std::make_unique<sim::random_oblivious>(); },
-                          trials);
-    double lgm = std::max(1u, ceil_log2(m));
-    double lgn = lg_ceil(n);
-    t.row()
-        .cell(m)
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(static_cast<std::uint64_t>(trials))
-        .cell(agg.individual_ops.mean(), 2)
-        .cell(agg.individual_ops.mean() / (lgn + lgm), 2)
-        .cell(agg.total_ops.mean(), 1)
-        .cell(agg.total_ops.mean() / (static_cast<double>(n) * lgm), 3)
-        .cell(agg.agreement_rate(), 3);
-  }
-  t.emit("E3a: m-valued consensus, m-sweep at n = 64", "e3_m_sweep");
-}
-
 analysis::sim_object_builder bitwise(std::uint64_t m) {
   return [m](address_space& mem, std::size_t n) {
     return std::make_unique<bitwise_consensus<sim_env>>(
@@ -61,68 +36,132 @@ analysis::sim_object_builder bitwise(std::uint64_t m) {
   };
 }
 
-void reduction_comparison() {
+void m_sweep(bench_harness& h) {
+  const std::vector<std::uint64_t> ms = {2,    4,     16,       256,
+                                         4096, 65536, 1ull << 20};
+  const std::size_t n = 64;
+  std::vector<trial_grid> grid;
+  for (std::uint64_t m : ms) {
+    grid.push_back({
+        .label = "e3_m_sweep/m=" + std::to_string(m),
+        .build = stack(m),
+        .pattern = analysis::input_pattern::random_m,
+        .n = n,
+        .m = m,
+        .trials = h.trials(400),
+    });
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"m", "n", "trials", "indiv_mean", "indiv/(lgn+lgm)", "total_mean",
+           "total/(n*lgm)", "agree"});
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const auto& s = summaries[i];
+    double lgm = std::max(1u, ceil_log2(ms[i]));
+    double lgn = lg_ceil(n);
+    t.row()
+        .cell(ms[i])
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(s.trials))
+        .cell(s.max_individual_ops.mean, 2)
+        .cell(s.max_individual_ops.mean / (lgn + lgm), 2)
+        .cell(s.total_ops.mean, 1)
+        .cell(s.total_ops.mean / (static_cast<double>(n) * lgm), 3)
+        .cell(s.agreement_rate(), 3);
+  }
+  h.emit(t, "E3a: m-valued consensus, m-sweep at n = 64", "e3_m_sweep");
+}
+
+void n_sweep(bench_harness& h) {
+  const std::vector<std::size_t> ns = {4, 16, 64, 256, 1024};
+  const std::uint64_t m = 256;
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
+    grid.push_back({
+        .label = "e3_n_sweep/n=" + std::to_string(n),
+        .build = stack(m),
+        .pattern = analysis::input_pattern::random_m,
+        .n = n,
+        .m = m,
+        .trials = h.trials(trials_for(n, 40'000)),
+    });
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"n", "m", "trials", "indiv_mean", "total_mean", "total/(n*lgm)",
+           "agree"});
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const auto& s = summaries[i];
+    double lgm = ceil_log2(m);
+    t.row()
+        .cell(static_cast<std::uint64_t>(ns[i]))
+        .cell(m)
+        .cell(static_cast<std::uint64_t>(s.trials))
+        .cell(s.max_individual_ops.mean, 2)
+        .cell(s.total_ops.mean, 1)
+        .cell(s.total_ops.mean / (static_cast<double>(ns[i]) * lgm), 3)
+        .cell(s.agreement_rate(), 3);
+  }
+  h.emit(t, "E3b: m-valued consensus, n-sweep at m = 256", "e3_n_sweep");
+}
+
+void reduction_comparison(bench_harness& h) {
   // The classic alternative: reduce to ⌈lg m⌉ rounds of binary consensus.
   // Its repair scans cost O(n) per lost round, so the native m-valued
   // ratifier wins on individual work — the motivation for §6.
-  table t({"m", "n", "protocol", "indiv_mean", "total_mean", "agree"});
+  const std::vector<std::uint64_t> ms = {4, 64, 1024};
   const std::size_t n = 32;
-  for (std::uint64_t m : {4ull, 64ull, 1024ull}) {
-    struct proto {
-      const char* name;
-      analysis::sim_object_builder build;
-    };
-    const proto protos[] = {
-        {"native-bollobas", stack(m)},
-        {"bitwise-reduction", bitwise(m)},
-    };
+  struct proto {
+    const char* name;
+    std::function<analysis::sim_object_builder(std::uint64_t)> make;
+  };
+  const proto protos[] = {
+      {"native-bollobas", [](std::uint64_t m) { return stack(m); }},
+      {"bitwise-reduction", [](std::uint64_t m) { return bitwise(m); }},
+  };
+  std::vector<trial_grid> grid;
+  for (std::uint64_t m : ms) {
     for (const auto& p : protos) {
-      auto agg = run_trials(p.build, analysis::input_pattern::random_m, n,
-                            m, [] { return std::make_unique<sim::random_oblivious>(); },
-                            300);
+      grid.push_back({
+          .label = std::string("e3_reduction/") + p.name +
+                   "/m=" + std::to_string(m),
+          .build = p.make(m),
+          .pattern = analysis::input_pattern::random_m,
+          .n = n,
+          .m = m,
+          .trials = h.trials(300),
+      });
+    }
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"m", "n", "protocol", "indiv_mean", "total_mean", "agree"});
+  std::size_t i = 0;
+  for (std::uint64_t m : ms) {
+    for (const auto& p : protos) {
+      const auto& s = summaries[i++];
       t.row()
           .cell(m)
           .cell(static_cast<std::uint64_t>(n))
           .cell(p.name)
-          .cell(agg.individual_ops.mean(), 2)
-          .cell(agg.total_ops.mean(), 1)
-          .cell(agg.agreement_rate(), 3);
+          .cell(s.max_individual_ops.mean, 2)
+          .cell(s.total_ops.mean, 1)
+          .cell(s.agreement_rate(), 3);
     }
   }
-  t.emit("E3c: native m-valued stack vs bitwise reduction to binary",
+  h.emit(t, "E3c: native m-valued stack vs bitwise reduction to binary",
          "e3_reduction");
-}
-
-void n_sweep() {
-  table t({"n", "m", "trials", "indiv_mean", "total_mean", "total/(n*lgm)",
-           "agree"});
-  const std::uint64_t m = 256;
-  for (std::size_t n : {4u, 16u, 64u, 256u, 1024u}) {
-    std::size_t trials = trials_for(n, 40'000);
-    auto agg = run_trials(stack(m), analysis::input_pattern::random_m, n, m,
-                          [] { return std::make_unique<sim::random_oblivious>(); },
-                          trials);
-    double lgm = ceil_log2(m);
-    t.row()
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(m)
-        .cell(static_cast<std::uint64_t>(trials))
-        .cell(agg.individual_ops.mean(), 2)
-        .cell(agg.total_ops.mean(), 1)
-        .cell(agg.total_ops.mean() / (static_cast<double>(n) * lgm), 3)
-        .cell(agg.agreement_rate(), 3);
-  }
-  t.emit("E3b: m-valued consensus, n-sweep at m = 256", "e3_n_sweep");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_harness h("e3_mvalued_consensus", argc, argv);
   print_header("E3: m-valued consensus",
                "claims: E[total] = O(n log m), E[individual] = "
                "O(log n + log m); the ratifier dominates for large m");
-  m_sweep();
-  n_sweep();
-  reduction_comparison();
-  return 0;
+  m_sweep(h);
+  n_sweep(h);
+  reduction_comparison(h);
+  return h.finish();
 }

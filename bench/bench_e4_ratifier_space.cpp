@@ -12,6 +12,7 @@
 // Reproduced: register/work table over an m-sweep, measured on real
 // executions, plus the Bollobás-sum accounting (Σ 1/C(a+b,a) <= 1, with
 // the optimal scheme near 1).
+#include <cstdio>
 #include <memory>
 
 #include "common.h"
@@ -35,9 +36,17 @@ analysis::sim_object_builder ratifier(std::shared_ptr<const quorum_system> qs) {
   };
 }
 
-void space_work_table() {
-  table t({"m", "scheme", "registers", "lg m", "indiv_max_measured",
-           "work_bound", "bollobas_sum"});
+void space_work_table(bench_harness& h) {
+  struct cell_info {
+    std::uint64_t m;
+    std::string scheme;
+    std::uint64_t registers;
+    std::string work_bound;
+    std::string bollobas;
+  };
+  std::vector<cell_info> infos;
+  std::vector<trial_grid> grid;
+  const std::size_t n = 16;
   for (std::uint64_t m : {2ull, 4ull, 16ull, 256ull, 4096ull, 65536ull,
                           1ull << 20, 1ull << 24}) {
     struct scheme {
@@ -49,58 +58,75 @@ void space_work_table() {
     schemes.push_back({"bollobas", make_bollobas_quorums(m)});
     schemes.push_back({"bitvector", make_bitvector_quorums(m)});
     for (auto& s : schemes) {
-      const std::size_t n = 16;
-      auto agg = run_trials(ratifier(s.qs),
-                            analysis::input_pattern::random_m, n, m,
-                            [] { return std::make_unique<sim::random_oblivious>(); },
-                            300);
-      t.row()
-          .cell(m)
-          .cell(s.name)
-          .cell(static_cast<std::uint64_t>(s.qs->pool_size() + 1))
-          .cell(static_cast<std::uint64_t>(std::max(1u, ceil_log2(m))))
-          .cell(agg.individual_ops.max(), 0)
-          .cell(static_cast<std::uint64_t>(s.qs->max_write_quorum() +
-                                           s.qs->max_read_quorum() + 2))
-          .cell(bollobas_sum(*s.qs, 4096), 4);
+      infos.push_back(
+          {m, s.name, s.qs->pool_size() + 1,
+           std::to_string(s.qs->max_write_quorum() + s.qs->max_read_quorum() +
+                          2),
+           [&] {
+             char buf[32];
+             std::snprintf(buf, sizeof buf, "%.4f",
+                           bollobas_sum(*s.qs, 4096));
+             return std::string(buf);
+           }()});
+      grid.push_back({
+          .label = "e4_space/" + std::string(s.name) + "/m=" +
+                   std::to_string(m),
+          .build = ratifier(s.qs),
+          .pattern = analysis::input_pattern::random_m,
+          .n = n,
+          .m = m,
+          .trials = h.trials(300),
+      });
     }
     // Cheap-collect: 4 ops regardless of m, in its own cost model.
-    const std::size_t n = 16;
-    auto cc = [](address_space& mem, std::size_t nn) {
-      return std::make_unique<cheap_collect_ratifier<sim_env>>(mem, nn);
-    };
-    auto agg = run_trials(cc, analysis::input_pattern::random_m, n, m,
-                          [] { return std::make_unique<sim::random_oblivious>(); },
-                          300);
-    t.row()
-        .cell(m)
-        .cell("cheap-collect")
-        .cell(static_cast<std::uint64_t>(n + 1))
-        .cell(static_cast<std::uint64_t>(std::max(1u, ceil_log2(m))))
-        .cell(agg.individual_ops.max(), 0)
-        .cell(std::uint64_t{4})
-        .cell("-");
+    infos.push_back({m, "cheap-collect", n + 1, "4", "-"});
+    grid.push_back({
+        .label = "e4_space/cheap-collect/m=" + std::to_string(m),
+        .build = [](address_space& mem, std::size_t nn)
+            -> std::unique_ptr<deciding_object<sim_env>> {
+          return std::make_unique<cheap_collect_ratifier<sim_env>>(mem, nn);
+        },
+        .pattern = analysis::input_pattern::random_m,
+        .n = n,
+        .m = m,
+        .trials = h.trials(300),
+    });
     // Announce-array ratifier: the same construction with the collect
     // priced as n reads — what cheap-collect really costs on registers.
-    auto ar = [](address_space& mem, std::size_t nn) {
-      return std::make_unique<collect_ratifier<sim_env>>(mem, nn);
-    };
-    auto agg2 = run_trials(ar, analysis::input_pattern::random_m, n, m,
-                           [] { return std::make_unique<sim::random_oblivious>(); },
-                           300);
-    t.row()
-        .cell(m)
-        .cell("announce-array")
-        .cell(static_cast<std::uint64_t>(n + 1))
-        .cell(static_cast<std::uint64_t>(std::max(1u, ceil_log2(m))))
-        .cell(agg2.individual_ops.max(), 0)
-        .cell(static_cast<std::uint64_t>(n + 3))
-        .cell("-");
+    infos.push_back({m, "announce-array", n + 1, std::to_string(n + 3), "-"});
+    grid.push_back({
+        .label = "e4_space/announce-array/m=" + std::to_string(m),
+        .build = [](address_space& mem, std::size_t nn)
+            -> std::unique_ptr<deciding_object<sim_env>> {
+          return std::make_unique<collect_ratifier<sim_env>>(mem, nn);
+        },
+        .pattern = analysis::input_pattern::random_m,
+        .n = n,
+        .m = m,
+        .trials = h.trials(300),
+    });
   }
-  t.emit("E4a: ratifier space and work per scheme (§6.2 menu)", "e4_space");
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"m", "scheme", "registers", "lg m", "indiv_max_measured",
+           "work_bound", "bollobas_sum"});
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    const auto& info = infos[i];
+    const auto& s = summaries[i];
+    t.row()
+        .cell(info.m)
+        .cell(info.scheme)
+        .cell(info.registers)
+        .cell(static_cast<std::uint64_t>(std::max(1u, ceil_log2(info.m))))
+        .cell(s.max_individual_ops.max, 0)
+        .cell(info.work_bound)
+        .cell(info.bollobas);
+  }
+  h.emit(t, "E4a: ratifier space and work per scheme (§6.2 menu)",
+         "e4_space");
 }
 
-void optimality_table() {
+void optimality_table(bench_harness& h) {
   // k(m) for the Bollobás scheme against lg m: the excess is Θ(log log m)
   // (Theorem 10), and one register fewer is impossible (Theorem 9).
   table t({"m", "k_bollobas", "lg m", "excess", "2*lg m (bitvector)",
@@ -117,17 +143,18 @@ void optimality_table() {
         .cell(static_cast<std::uint64_t>(2 * bits))
         .cell(binomial(k - 1, (k - 1) / 2) < m ? "yes" : "NO");
   }
-  t.emit("E4b: Bollobás pool size k = lg m + Θ(log log m), minimality",
+  h.emit(t, "E4b: Bollobás pool size k = lg m + Θ(log log m), minimality",
          "e4_optimality");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_harness h("e4_ratifier_space", argc, argv);
   print_header("E4: deterministic m-valued ratifier (§6.2, Theorems 8-10)",
                "claims: binary = 3 regs / 4 ops; Bollobás = lg m + "
                "Θ(log log m); bit-vector = 2 lg m + 1; cheap-collect = 4 ops");
-  space_work_table();
-  optimality_table();
-  return 0;
+  space_work_table(h);
+  optimality_table(h);
+  return h.finish();
 }

@@ -27,14 +27,13 @@ analysis::sim_object_builder impatient() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_harness h("e5_adversary_ablation", argc, argv);
   print_header("E5: adversary-strength ablation on the conciliator",
                "claims: agreement >= 0.0553 for every in-model scheduler; "
                "collapses once the adversary can see local coins "
                "(out-of-model)");
   constexpr double kDelta = 0.0553;
-  table t({"adversary", "power", "in_model", "n", "trials", "agree",
-           "wilson_lo", "above_delta"});
   struct row_case {
     const char* name;
     const char* power;
@@ -44,8 +43,7 @@ int main() {
   const row_case cases[] = {
       {"round-robin", "oblivious", true,
        [] { return std::make_unique<sim::round_robin>(); }},
-      {"random", "oblivious", true,
-       [] { return std::make_unique<sim::random_oblivious>(); }},
+      {"random", "oblivious", true, random_scheduler()},
       {"sequential", "oblivious", true,
        [] {
          return std::make_unique<sim::fixed_order>(
@@ -64,26 +62,43 @@ int main() {
       {"omniscient-splitter", "omniscient", false,
        [] { return std::make_unique<sim::omniscient_splitter>(0); }},
   };
-  for (std::size_t n : {8u, 32u, 128u}) {
+  const std::vector<std::size_t> ns = {8, 32, 128};
+
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
     for (const auto& c : cases) {
-      std::size_t trials = trials_for(n, 40'000);
-      auto agg =
-          run_trials(impatient(), analysis::input_pattern::half_half, n, 2,
-                     c.make, trials);
-      auto ci = agg.agreement_ci();
+      grid.push_back({
+          .label = std::string("e5_ablation/") + c.name +
+                   "/n=" + std::to_string(n),
+          .build = impatient(),
+          .make_adversary = c.make,
+          .n = n,
+          .trials = h.trials(trials_for(n, 40'000)),
+      });
+    }
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"adversary", "power", "in_model", "n", "trials", "agree",
+           "wilson_lo", "above_delta"});
+  std::size_t i = 0;
+  for (std::size_t n : ns) {
+    for (const auto& c : cases) {
+      const auto& s = summaries[i++];
+      auto ci = s.agreement_ci();
       t.row()
           .cell(c.name)
           .cell(c.power)
           .cell(c.in_model ? "yes" : "no")
           .cell(static_cast<std::uint64_t>(n))
-          .cell(static_cast<std::uint64_t>(trials))
+          .cell(static_cast<std::uint64_t>(s.trials))
           .cell(ci.estimate, 3)
           .cell(ci.lo, 3)
           .cell(c.in_model ? (ci.lo >= kDelta ? "yes" : "NO")
                            : (ci.hi < kDelta ? "collapsed" : "survived?"));
     }
   }
-  t.emit("E5: conciliator agreement under the scheduler portfolio",
+  h.emit(t, "E5: conciliator agreement under the scheduler portfolio",
          "e5_ablation");
-  return 0;
+  return h.finish();
 }

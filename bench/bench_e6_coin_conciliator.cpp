@@ -67,107 +67,153 @@ analysis::sim_object_builder firstmover_conciliator() {
   };
 }
 
-}  // namespace
+void coin_vs_impatient(bench_harness& h) {
+  const std::vector<std::size_t> ns = {2, 4, 8, 16, 32};
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
+    const std::size_t trials = h.trials(n <= 8 ? 400 : 150);
+    grid.push_back({
+        .label = "e6_coin/coin-only/n=" + std::to_string(n),
+        .build = coin_only(),
+        .pattern = analysis::input_pattern::unanimous,
+        .n = n,
+        .trials = trials,
+        .keep_records = true,
+    });
+    grid.push_back({
+        .label = "e6_coin/conciliator/n=" + std::to_string(n),
+        .build = conciliator(),
+        .n = n,
+        .trials = trials,
+    });
+    grid.push_back({
+        .label = "e6_coin/impatient/n=" + std::to_string(n),
+        .build = impatient(),
+        .n = n,
+        .trials = trials,
+    });
+  }
+  auto summaries = h.run_grid(std::move(grid));
 
-int main() {
-  print_header("E6: CoinConciliator from the voting shared coin (Theorem 6)",
-               "claims: conciliator agreement >= coin delta; overhead = 2 "
-               "registers + 2 ops; coin cost dominates");
   table t({"n", "trials", "coin_delta_min_side", "conc_agree", "holds",
            "coin_total_ops", "conc_total_ops", "impatient_total_ops"});
-  for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
-    const std::size_t trials = n <= 8 ? 400 : 150;
-
-    // Coin alone: measure min(Pr[all 0], Pr[all 1]).
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const auto& coin = summaries[3 * i];
+    const auto& conc = summaries[3 * i + 1];
+    const auto& imp = summaries[3 * i + 2];
+    // Coin alone: min(Pr[all 0], Pr[all 1]) from the per-trial records.
     std::size_t all0 = 0, all1 = 0;
-    running_stats coin_ops;
-    for (std::uint64_t seed = 0; seed < trials; ++seed) {
-      sim::random_oblivious adv;
-      analysis::trial_options opts;
-      opts.seed = seed;
-      auto res = analysis::run_object_trial(
-          coin_only(),
-          analysis::make_inputs(analysis::input_pattern::unanimous, n, 2,
-                                seed),
-          adv, opts);
-      if (!res.completed()) continue;
-      coin_ops.add(static_cast<double>(res.total_ops));
+    for (const auto& rec : coin.records) {
+      if (!rec.result.completed()) continue;
       bool a0 = true, a1 = true;
-      for (const auto& d : res.outputs) {
+      for (const auto& d : rec.result.outputs) {
         a0 &= d.value == 0;
         a1 &= d.value == 1;
       }
       all0 += a0;
       all1 += a1;
     }
-    double delta = std::min(all0, all1) / static_cast<double>(trials);
-
-    auto conc = run_trials(conciliator(), analysis::input_pattern::half_half,
-                           n, 2, [] { return std::make_unique<sim::random_oblivious>(); },
-                           trials);
-    auto imp = run_trials(impatient(), analysis::input_pattern::half_half, n,
-                          2, [] { return std::make_unique<sim::random_oblivious>(); },
-                          trials);
+    double delta =
+        std::min(all0, all1) / static_cast<double>(coin.trials);
     t.row()
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(static_cast<std::uint64_t>(trials))
+        .cell(static_cast<std::uint64_t>(ns[i]))
+        .cell(static_cast<std::uint64_t>(coin.trials))
         .cell(delta, 3)
         .cell(conc.agreement_rate(), 3)
         .cell(conc.agreement_rate() >= delta - 0.08 ? "yes" : "NO")
-        .cell(coin_ops.mean(), 0)
-        .cell(conc.total_ops.mean(), 0)
-        .cell(imp.total_ops.mean(), 0);
+        .cell(coin.total_ops.mean, 0)
+        .cell(conc.total_ops.mean, 0)
+        .cell(imp.total_ops.mean, 0);
   }
-  t.emit("E6a: coin-based vs probabilistic-write conciliators", "e6_coin");
+  h.emit(t, "E6a: coin-based vs probabilistic-write conciliators", "e6_coin");
+}
 
+void firstmover_table(bench_harness& h) {
   // A second coin: the 3-op first-mover coin.  It is not unpredictable
   // against a location-oblivious adversary (it sees the flips in
   // flight), but CoinConciliator never needed unpredictability — only
   // agreement probability — so it still conciliates, at a fraction of
   // the voting coin's cost.
-  table t2({"n", "trials", "agree", "total_ops_mean"});
-  for (std::size_t n : {2u, 8u, 32u, 128u}) {
-    const std::size_t trials = 600;
-    auto agg = run_trials(firstmover_conciliator(),
-                          analysis::input_pattern::half_half, n, 2,
-                          [] { return std::make_unique<sim::random_oblivious>(); },
-                          trials);
-    t2.row()
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(static_cast<std::uint64_t>(trials))
-        .cell(agg.agreement_rate(), 3)
-        .cell(agg.total_ops.mean(), 1);
+  const std::vector<std::size_t> ns = {2, 8, 32, 128};
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
+    grid.push_back({
+        .label = "e6_firstmover/n=" + std::to_string(n),
+        .build = firstmover_conciliator(),
+        .n = n,
+        .trials = h.trials(600),
+    });
   }
-  t2.emit("E6b: conciliator from the 3-op first-mover coin", "e6_firstmover");
+  auto summaries = h.run_grid(std::move(grid));
 
+  table t({"n", "trials", "agree", "total_ops_mean"});
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const auto& s = summaries[i];
+    t.row()
+        .cell(static_cast<std::uint64_t>(ns[i]))
+        .cell(static_cast<std::uint64_t>(s.trials))
+        .cell(s.agreement_rate(), 3)
+        .cell(s.total_ops.mean, 1);
+  }
+  h.emit(t, "E6b: conciliator from the 3-op first-mover coin",
+         "e6_firstmover");
+}
+
+void voting_ablation(bench_harness& h) {
   // Ablation of the voting coin's two knobs: the decision threshold
   // (T·n total votes) trades cost (Θ(T²n²) votes) for agreement margin;
   // the collect period trades per-vote overhead (n reads per collect)
   // for staleness (hidden votes ~ period·n erode the margin).
-  table t3({"threshold_T", "period", "n", "trials", "agree",
-            "total_ops_mean"});
-  for (unsigned threshold : {1u, 2u, 4u, 8u}) {
-    for (unsigned period : {1u, 2u, 8u}) {
-      const std::size_t n = 8;
-      const std::size_t trials = 200;
-      auto cb = [threshold, period](address_space& mem, std::size_t nn)
-          -> std::unique_ptr<deciding_object<sim_env>> {
-        return std::make_unique<coin_conciliator<sim_env>>(
-            mem, std::make_unique<voting_coin<sim_env>>(mem, nn, threshold,
-                                                        period));
-      };
-      auto agg = run_trials(cb, analysis::input_pattern::half_half, n, 2,
-                            [] { return std::make_unique<sim::random_oblivious>(); },
-                            trials);
-      t3.row()
+  const std::vector<unsigned> thresholds = {1, 2, 4, 8};
+  const std::vector<unsigned> periods = {1, 2, 8};
+  const std::size_t n = 8;
+  std::vector<trial_grid> grid;
+  for (unsigned threshold : thresholds) {
+    for (unsigned period : periods) {
+      grid.push_back({
+          .label = "e6_voting/T=" + std::to_string(threshold) +
+                   "/period=" + std::to_string(period),
+          .build = [threshold, period](address_space& mem, std::size_t nn)
+              -> std::unique_ptr<deciding_object<sim_env>> {
+            return std::make_unique<coin_conciliator<sim_env>>(
+                mem, std::make_unique<voting_coin<sim_env>>(
+                         mem, nn, threshold, period));
+          },
+          .n = n,
+          .trials = h.trials(200),
+      });
+    }
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"threshold_T", "period", "n", "trials", "agree",
+           "total_ops_mean"});
+  std::size_t i = 0;
+  for (unsigned threshold : thresholds) {
+    for (unsigned period : periods) {
+      const auto& s = summaries[i++];
+      t.row()
           .cell(static_cast<std::uint64_t>(threshold))
           .cell(static_cast<std::uint64_t>(period))
           .cell(static_cast<std::uint64_t>(n))
-          .cell(static_cast<std::uint64_t>(trials))
-          .cell(agg.agreement_rate(), 3)
-          .cell(agg.total_ops.mean(), 0);
+          .cell(static_cast<std::uint64_t>(s.trials))
+          .cell(s.agreement_rate(), 3)
+          .cell(s.total_ops.mean, 0);
     }
   }
-  t3.emit("E6c: voting-coin threshold/period ablation", "e6_voting_ablation");
-  return 0;
+  h.emit(t, "E6c: voting-coin threshold/period ablation",
+         "e6_voting_ablation");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_harness h("e6_coin_conciliator", argc, argv);
+  print_header("E6: CoinConciliator from the voting shared coin (Theorem 6)",
+               "claims: conciliator agreement >= coin delta; overhead = 2 "
+               "registers + 2 ops; coin cost dominates");
+  coin_vs_impatient(h);
+  firstmover_table(h);
+  voting_ablation(h);
+  return h.finish();
 }

@@ -33,130 +33,127 @@ analysis::sim_object_builder ladder() {
   };
 }
 
-void noise_sweep() {
+void noise_sweep(bench_harness& h) {
+  const std::vector<double> sigmas = {0.25, 0.5, 1.0, 2.0};
+  const std::vector<std::size_t> ns = {2, 4, 8, 16, 32};
+  std::vector<trial_grid> grid;
+  for (double sigma : sigmas) {
+    for (std::size_t n : ns) {
+      grid.push_back({
+          .label = "e7_noise/sigma=" + std::to_string(sigma) +
+                   "/n=" + std::to_string(n),
+          .build = ladder(),
+          .make_adversary =
+              [sigma] { return std::make_unique<sim::noisy>(sigma); },
+          .n = n,
+          .trials = h.trials(60),
+          .limits = {.max_steps = 400'000},
+      });
+    }
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
   table t({"sigma", "n", "trials", "terminated", "indiv_mean", "indiv/lgn",
            "total_mean"});
-  for (double sigma : {0.25, 0.5, 1.0, 2.0}) {
-    for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
-      const std::size_t trials = 60;
-      std::size_t done = 0;
-      running_stats indiv, total;
-      for (std::uint64_t seed = 0; seed < trials; ++seed) {
-        sim::noisy adv(sigma);
-        analysis::trial_options opts;
-        opts.seed = seed;
-        opts.max_steps = 400'000;
-        auto res = analysis::run_object_trial(
-            ladder(),
-            analysis::make_inputs(analysis::input_pattern::half_half, n, 2,
-                                  seed),
-            adv, opts);
-        if (!res.completed()) continue;
-        ++done;
-        indiv.add(static_cast<double>(res.max_individual_ops));
-        total.add(static_cast<double>(res.total_ops));
-      }
+  std::size_t i = 0;
+  for (double sigma : sigmas) {
+    for (std::size_t n : ns) {
+      const auto& s = summaries[i++];
       t.row()
           .cell(sigma, 2)
           .cell(static_cast<std::uint64_t>(n))
-          .cell(static_cast<std::uint64_t>(trials))
-          .cell(static_cast<std::uint64_t>(done))
-          .cell(indiv.mean(), 1)
-          .cell(indiv.mean() / std::max(1u, lg_ceil(n)), 2)
-          .cell(total.mean(), 1);
+          .cell(static_cast<std::uint64_t>(s.trials))
+          .cell(static_cast<std::uint64_t>(s.completed))
+          .cell(s.max_individual_ops.mean, 1)
+          .cell(s.max_individual_ops.mean / std::max(1u, lg_ceil(n)), 2)
+          .cell(s.total_ops.mean, 1);
     }
   }
-  t.emit("E7a: ratifier-only ladder under the noisy scheduler ([5] shape)",
+  h.emit(t, "E7a: ratifier-only ladder under the noisy scheduler ([5] shape)",
          "e7_noise");
 }
 
-void priority_and_lockstep() {
-  table t({"scheduler", "n", "trials", "terminated", "indiv_mean"});
-  for (std::size_t n : {2u, 8u, 32u}) {
-    {
-      const std::size_t trials = 40;
-      std::size_t done = 0;
-      running_stats indiv;
-      for (std::uint64_t seed = 0; seed < trials; ++seed) {
-        sim::priority_sched adv;
-        analysis::trial_options opts;
-        opts.seed = seed;
-        opts.max_steps = 400'000;
-        auto res = analysis::run_object_trial(
-            ladder(),
-            analysis::make_inputs(analysis::input_pattern::alternating, n, 2,
-                                  seed),
-            adv, opts);
-        if (!res.completed()) continue;
-        ++done;
-        indiv.add(static_cast<double>(res.max_individual_ops));
-      }
-      t.row()
-          .cell("priority")
-          .cell(static_cast<std::uint64_t>(n))
-          .cell(static_cast<std::uint64_t>(trials))
-          .cell(static_cast<std::uint64_t>(done))
-          .cell(indiv.mean(), 1);
-    }
-    {
-      // The [27]-style one-register protocol under the same scheduler:
-      // two ops per process, the efficiency remark at the end of §4.2.
-      const std::size_t trials = 40;
-      std::size_t done = 0;
-      running_stats indiv;
-      for (std::uint64_t seed = 0; seed < trials; ++seed) {
-        sim::priority_sched adv;
-        analysis::trial_options opts;
-        opts.seed = seed;
-        auto build = [](address_space& mem, std::size_t) {
+void priority_and_lockstep(bench_harness& h) {
+  const std::vector<std::size_t> ns = {2, 8, 32};
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
+    grid.push_back({
+        .label = "e7_priority/ladder/n=" + std::to_string(n),
+        .build = ladder(),
+        .make_adversary =
+            [] { return std::make_unique<sim::priority_sched>(); },
+        .pattern = analysis::input_pattern::alternating,
+        .n = n,
+        .trials = h.trials(40),
+        .limits = {.max_steps = 400'000},
+    });
+    // The [27]-style one-register protocol under the same scheduler:
+    // two ops per process, the efficiency remark at the end of §4.2.
+    grid.push_back({
+        .label = "e7_priority/1reg/n=" + std::to_string(n),
+        .build = [](address_space& mem, std::size_t)
+            -> std::unique_ptr<deciding_object<sim_env>> {
           return std::make_unique<priority_consensus<sim_env>>(mem);
-        };
-        auto res = analysis::run_object_trial(
-            build,
-            analysis::make_inputs(analysis::input_pattern::alternating, n, 2,
-                                  seed),
-            adv, opts);
-        if (!res.completed()) continue;
-        ++done;
-        indiv.add(static_cast<double>(res.max_individual_ops));
-      }
-      t.row()
-          .cell("priority-1reg[27]")
-          .cell(static_cast<std::uint64_t>(n))
-          .cell(static_cast<std::uint64_t>(trials))
-          .cell(static_cast<std::uint64_t>(done))
-          .cell(indiv.mean(), 1);
-    }
-    {
-      // Lockstep (round-robin): must hit the step limit on contended
-      // inputs.
-      sim::round_robin adv;
-      analysis::trial_options opts;
-      opts.max_steps = 50'000;
-      auto res = analysis::run_object_trial(
-          ladder(),
-          analysis::make_inputs(analysis::input_pattern::alternating, n, 2,
-                                1),
-          adv, opts);
-      t.row()
-          .cell("round-robin")
-          .cell(static_cast<std::uint64_t>(n))
-          .cell(std::uint64_t{1})
-          .cell(static_cast<std::uint64_t>(res.completed() ? 1 : 0))
-          .cell(res.completed() ? "-" : "stalled (expected)");
-    }
+        },
+        .make_adversary =
+            [] { return std::make_unique<sim::priority_sched>(); },
+        .pattern = analysis::input_pattern::alternating,
+        .n = n,
+        .trials = h.trials(40),
+    });
+    // Lockstep (round-robin): must hit the step limit on contended
+    // inputs.
+    grid.push_back({
+        .label = "e7_lockstep/n=" + std::to_string(n),
+        .build = ladder(),
+        .make_adversary =
+            [] { return std::make_unique<sim::round_robin>(); },
+        .pattern = analysis::input_pattern::alternating,
+        .n = n,
+        .trials = 1,
+        .limits = {.max_steps = 50'000},
+    });
   }
-  t.emit("E7b: priority scheduling decides; lockstep stalls", "e7_priority");
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"scheduler", "n", "trials", "terminated", "indiv_mean"});
+  std::size_t i = 0;
+  for (std::size_t n : ns) {
+    const auto& ladder_s = summaries[i++];
+    const auto& onereg = summaries[i++];
+    const auto& lockstep = summaries[i++];
+    t.row()
+        .cell("priority")
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(ladder_s.trials))
+        .cell(static_cast<std::uint64_t>(ladder_s.completed))
+        .cell(ladder_s.max_individual_ops.mean, 1);
+    t.row()
+        .cell("priority-1reg[27]")
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(onereg.trials))
+        .cell(static_cast<std::uint64_t>(onereg.completed))
+        .cell(onereg.max_individual_ops.mean, 1);
+    t.row()
+        .cell("round-robin")
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(lockstep.trials))
+        .cell(static_cast<std::uint64_t>(lockstep.completed))
+        .cell(lockstep.completed ? "-" : "stalled (expected)");
+  }
+  h.emit(t, "E7b: priority scheduling decides; lockstep stalls",
+         "e7_priority");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_harness h("e7_ratifier_only", argc, argv);
   print_header("E7: consensus with ratifiers only (§4.2)",
                "claims: terminates under noisy [5] and priority [27] "
                "schedulers (O(log n) individual work under noise); stalls "
                "under lockstep");
-  noise_sweep();
-  priority_and_lockstep();
-  return 0;
+  noise_sweep(h);
+  priority_and_lockstep(h);
+  return h.finish();
 }

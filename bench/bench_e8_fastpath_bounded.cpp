@@ -10,7 +10,9 @@
 // Reproduced: (a) conciliator rounds used with/without contention and the
 // fast path's work on solo starts; (b) fallback entry frequency as a
 // function of k, against the (1-δ)^k geometric envelope; (c) bounded vs
-// unbounded cost.
+// unbounded cost.  Protocol-internal counters (parts_built,
+// fallback_entries) are read through engine probes instead of observer
+// wrappers.
 #include <cmath>
 #include <memory>
 
@@ -25,9 +27,46 @@ using namespace modcon;
 using namespace modcon::bench;
 using sim::sim_env;
 
-void fastpath_table() {
-  table t({"start", "n", "trials", "mean_conciliator_rounds", "indiv_mean",
-           "agree"});
+// Conciliator rounds actually entered: the unbounded stack builds parts
+// R₋₁, R₀ up front and then (C; R) pairs on demand, so rounds =
+// (parts_built - 2) / 2.
+analysis::probe conciliator_rounds_probe() {
+  return {"conciliator_rounds",
+          [](const sim::sim_world&, const deciding_object<sim_env>& obj) {
+            const auto* u =
+                dynamic_cast<const unbounded_consensus<sim_env>*>(&obj);
+            if (u == nullptr) return 0.0;
+            std::size_t parts = u->parts_built();
+            return parts > 2 ? (static_cast<double>(parts) - 2.0) / 2.0 : 0.0;
+          }};
+}
+
+analysis::probe fallback_probe() {
+  return {"fallback",
+          [](const sim::sim_world&, const deciding_object<sim_env>& obj) {
+            const auto* b =
+                dynamic_cast<const bounded_consensus<sim_env>*>(&obj);
+            return (b != nullptr && b->fallback_entries() > 0) ? 1.0 : 0.0;
+          }};
+}
+
+analysis::sim_object_builder unbounded() {
+  return [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+  };
+}
+
+analysis::sim_object_builder bounded(std::size_t k) {
+  return [k](address_space& mem, std::size_t nn)
+             -> std::unique_ptr<deciding_object<sim_env>> {
+    return std::make_unique<bounded_consensus<sim_env>>(
+        ratifier_factory<sim_env>(mem, make_binary_quorums()),
+        impatient_factory<sim_env>(mem), k,
+        std::make_unique<cil_consensus<sim_env>>(mem, nn));
+  };
+}
+
+void fastpath_table(bench_harness& h) {
   const std::size_t n = 16;
   struct start_case {
     const char* name;
@@ -42,124 +81,106 @@ void fastpath_table() {
       {"contended (random sched)", analysis::input_pattern::half_half,
        false},
   };
+  std::vector<trial_grid> grid;
   for (const auto& c : cases) {
-    const std::size_t trials = 300;
-    running_stats rounds, indiv;
-    std::size_t agreed = 0;
-    for (std::uint64_t seed = 0; seed < trials; ++seed) {
-      std::unique_ptr<sim::adversary> adv;
-      if (c.sequential)
-        adv = std::make_unique<sim::fixed_order>(
-            sim::fixed_order::mode::sequential);
-      else
-        adv = std::make_unique<sim::random_oblivious>();
-      std::size_t parts = 0;
-      auto build = [&parts](address_space& mem, std::size_t)
-          -> std::unique_ptr<deciding_object<sim_env>> {
-        struct observer final : deciding_object<sim_env> {
-          std::unique_ptr<unbounded_consensus<sim_env>> inner;
-          std::size_t* parts;
-          proc<decided> invoke(sim_env& env, value_t v) override {
-            decided d = co_await inner->invoke(env, v);
-            *parts = inner->parts_built();
-            co_return d;
-          }
-          std::string name() const override { return "observer"; }
-        };
-        auto o = std::make_unique<observer>();
-        o->inner =
-            make_impatient_consensus<sim_env>(mem, make_binary_quorums());
-        o->parts = &parts;
-        return o;
-      };
-      analysis::trial_options opts;
-      opts.seed = seed;
-      auto res = analysis::run_object_trial(
-          build, analysis::make_inputs(c.pattern, n, 2, seed), *adv, opts);
-      if (!res.completed()) continue;
-      agreed += res.agreement();
-      rounds.add(parts > 2 ? (static_cast<double>(parts) - 2.0) / 2.0 : 0.0);
-      indiv.add(static_cast<double>(res.max_individual_ops));
-    }
-    t.row()
-        .cell(c.name)
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(static_cast<std::uint64_t>(trials))
-        .cell(rounds.mean(), 2)
-        .cell(indiv.mean(), 2)
-        .cell(static_cast<double>(agreed) / trials, 3);
+    grid.push_back({
+        .label = std::string("e8_fastpath/") + c.name,
+        .build = unbounded(),
+        .make_adversary =
+            c.sequential
+                ? adversary_factory([] {
+                    return std::make_unique<sim::fixed_order>(
+                        sim::fixed_order::mode::sequential);
+                  })
+                : adversary_factory(),
+        .pattern = c.pattern,
+        .n = n,
+        .trials = h.trials(300),
+        .probes = {conciliator_rounds_probe()},
+    });
   }
-  t.emit("E8a: the R₋₁; R₀ fast path avoids conciliators when starts agree",
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"start", "n", "trials", "mean_conciliator_rounds", "indiv_mean",
+           "agree"});
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const auto& s = summaries[i];
+    const auto* rounds = s.find_probe("conciliator_rounds");
+    t.row()
+        .cell(cases[i].name)
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(s.trials))
+        .cell(rounds != nullptr ? rounds->mean : 0.0, 2)
+        .cell(s.max_individual_ops.mean, 2)
+        .cell(s.agreement_rate(), 3);
+  }
+  h.emit(t, "E8a: the R₋₁; R₀ fast path avoids conciliators when starts agree",
          "e8_fastpath");
 }
 
-void bounded_table() {
-  table t({"k", "n", "trials", "fallback_rate", "geometric_(1-delta)^k",
-           "indiv_mean", "agree"});
+void bounded_table(bench_harness& h) {
   const std::size_t n = 8;
   constexpr double kDelta = 0.0553;  // worst-case envelope
-  for (std::size_t k : {0u, 1u, 2u, 4u, 8u, 16u}) {
-    const std::size_t trials = 400;
-    std::size_t fallbacks = 0, agreed = 0;
-    running_stats indiv;
-    for (std::uint64_t seed = 0; seed < trials; ++seed) {
-      sim::random_oblivious adv;
-      std::uint64_t entries = 0;
-      auto build = [&entries, k](address_space& mem, std::size_t nn)
-          -> std::unique_ptr<deciding_object<sim_env>> {
-        struct observer final : deciding_object<sim_env> {
-          std::unique_ptr<bounded_consensus<sim_env>> inner;
-          std::uint64_t* entries;
-          proc<decided> invoke(sim_env& env, value_t v) override {
-            decided d = co_await inner->invoke(env, v);
-            *entries = inner->fallback_entries();
-            co_return d;
-          }
-          std::string name() const override { return "observer"; }
-        };
-        auto o = std::make_unique<observer>();
-        o->inner = std::make_unique<bounded_consensus<sim_env>>(
-            ratifier_factory<sim_env>(mem, make_binary_quorums()),
-            impatient_factory<sim_env>(mem), k,
-            std::make_unique<cil_consensus<sim_env>>(mem, nn));
-        o->entries = &entries;
-        return o;
-      };
-      analysis::trial_options opts;
-      opts.seed = seed;
-      opts.max_steps = 10'000'000;
-      auto res = analysis::run_object_trial(
-          build,
-          analysis::make_inputs(analysis::input_pattern::half_half, n, 2,
-                                seed),
-          *(&adv), opts);
-      if (!res.completed()) continue;
-      fallbacks += entries > 0;
-      agreed += res.agreement();
-      indiv.add(static_cast<double>(res.max_individual_ops));
-    }
-    double geometric = std::pow(1.0 - kDelta, static_cast<double>(k));
-    t.row()
-        .cell(static_cast<std::uint64_t>(k))
-        .cell(static_cast<std::uint64_t>(n))
-        .cell(static_cast<std::uint64_t>(trials))
-        .cell(static_cast<double>(fallbacks) / trials, 3)
-        .cell(geometric, 3)
-        .cell(indiv.mean(), 2)
-        .cell(static_cast<double>(agreed) / trials, 3);
+  const std::vector<std::size_t> ks = {0, 1, 2, 4, 8, 16};
+  std::vector<trial_grid> grid;
+  for (std::size_t k : ks) {
+    grid.push_back({
+        .label = "e8_bounded/k=" + std::to_string(k),
+        .build = bounded(k),
+        .pattern = analysis::input_pattern::half_half,
+        .n = n,
+        .trials = h.trials(400),
+        .limits = {.max_steps = 10'000'000},
+        .probes = {fallback_probe()},
+    });
   }
-  t.emit("E8b: bounded construction — fallback rate decays geometrically in k",
+  // Reference: the unbounded stack on the same workload.
+  grid.push_back({
+      .label = "e8_bounded/unbounded",
+      .build = unbounded(),
+      .pattern = analysis::input_pattern::half_half,
+      .n = n,
+      .trials = h.trials(400),
+  });
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"k", "n", "trials", "fallback_rate", "geometric_(1-delta)^k",
+           "indiv_mean", "agree"});
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const auto& s = summaries[i];
+    const auto* fb = s.find_probe("fallback");
+    double geometric = std::pow(1.0 - kDelta, static_cast<double>(ks[i]));
+    t.row()
+        .cell(static_cast<std::uint64_t>(ks[i]))
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(s.trials))
+        .cell(fb != nullptr ? fb->mean : 0.0, 3)
+        .cell(geometric, 3)
+        .cell(s.max_individual_ops.mean, 2)
+        .cell(s.agreement_rate(), 3);
+  }
+  const auto& u = summaries[ks.size()];
+  t.row()
+      .cell("unbounded")
+      .cell(static_cast<std::uint64_t>(n))
+      .cell(static_cast<std::uint64_t>(u.trials))
+      .cell("-")
+      .cell("-")
+      .cell(u.max_individual_ops.mean, 2)
+      .cell(u.agreement_rate(), 3);
+  h.emit(t, "E8b: bounded construction — fallback rate decays geometrically in k",
          "e8_bounded");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_harness h("e8_fastpath_bounded", argc, argv);
   print_header("E8: fast path (§4.1) and bounded construction (Theorem 5)",
                "claims: agreeing starts decide in the R₋₁;R₀ prefix; "
                "fallback probability <= (1-δ)^k; bounded cost ≈ unbounded "
                "cost for k = O(log n)");
-  fastpath_table();
-  bounded_table();
-  return 0;
+  fastpath_table(h);
+  bounded_table(h);
+  return h.finish();
 }

@@ -46,7 +46,64 @@ analysis::sim_object_builder cil() {
   };
 }
 
-void solo_table() {
+struct proto {
+  const char* name;
+  analysis::sim_object_builder build;
+  std::size_t n_cap;  // the Θ(n²⁺)-total baselines get too slow beyond
+};
+
+void sweep_table(bench_harness& h) {
+  const proto protos[] = {
+      {"impatient-stack", impatient_stack(), 256},
+      {"fixedprob-stack", fixed_prob_stack(), 128},
+      {"cil-racing", cil(), 64},
+  };
+  const std::vector<std::size_t> ns = {2, 4, 8, 16, 32, 64, 128, 256};
+
+  struct cell_info {
+    std::size_t n;
+    const char* name;
+  };
+  std::vector<cell_info> infos;
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
+    for (const auto& p : protos) {
+      if (n > p.n_cap) continue;
+      infos.push_back({n, p.name});
+      grid.push_back({
+          .label = std::string("e9_baselines/") + p.name +
+                   "/n=" + std::to_string(n),
+          .build = p.build,
+          .n = n,
+          .trials = h.trials(trials_for(n, 8'000)),
+          .base_seed = 1,
+          .limits = {.max_steps = 200'000'000},
+      });
+    }
+  }
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"n", "protocol", "trials", "indiv_mean", "indiv/lgn", "indiv/n",
+           "total_mean", "total/n"});
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    const auto& s = summaries[i];
+    double n = static_cast<double>(infos[i].n);
+    double lgn = std::max(1u, lg_ceil(infos[i].n));
+    t.row()
+        .cell(static_cast<std::uint64_t>(infos[i].n))
+        .cell(infos[i].name)
+        .cell(static_cast<std::uint64_t>(s.trials))
+        .cell(s.max_individual_ops.mean, 1)
+        .cell(s.max_individual_ops.mean / lgn, 2)
+        .cell(s.max_individual_ops.mean / n, 3)
+        .cell(s.total_ops.mean, 1)
+        .cell(s.total_ops.mean / n, 2);
+  }
+  h.emit(t, "E9a: individual/total work under a random scheduler",
+         "e9_baselines");
+}
+
+void solo_table(bench_harness& h) {
   // The individual-work separation is starkest for a process running
   // alone (sequential scheduler): the impatient conciliator escalates to
   // probability 1 within lg n attempts, while a fixed Θ(1/n) probability
@@ -54,12 +111,6 @@ void solo_table() {
   // collects.  The full stack would hide this behind the §4.1 fast path
   // (a solo run decides in R₋₁ without touching a conciliator), so this
   // table measures the conciliators bare.
-  table t({"n", "protocol", "solo_indiv_mean", "solo/lgn", "solo/n"});
-  struct proto {
-    const char* name;
-    analysis::sim_object_builder build;
-    std::size_t n_cap;
-  };
   const proto protos[] = {
       {"impatient-conciliator",
        [](address_space& mem, std::size_t)
@@ -76,77 +127,59 @@ void solo_table() {
        1024},
       {"cil-racing", cil(), 128},
   };
-  for (std::size_t n : {4u, 16u, 64u, 256u, 1024u}) {
+  const std::vector<std::size_t> ns = {4, 16, 64, 256, 1024};
+
+  struct cell_info {
+    std::size_t n;
+    const char* name;
+  };
+  std::vector<cell_info> infos;
+  std::vector<trial_grid> grid;
+  for (std::size_t n : ns) {
     for (const auto& p : protos) {
       if (n > p.n_cap) continue;
-      const std::size_t trials = 60;
-      running_stats indiv;
-      for (std::uint64_t seed = 0; seed < trials; ++seed) {
-        sim::fixed_order adv(sim::fixed_order::mode::sequential);
-        analysis::trial_options opts;
-        opts.seed = seed;
-        opts.max_steps = 200'000'000;
-        auto res = analysis::run_object_trial(
-            p.build,
-            analysis::make_inputs(analysis::input_pattern::half_half, n, 2,
-                                  seed),
-            adv, opts);
-        if (!res.completed()) continue;
-        // The first (solo) process's work is the maximum by construction.
-        indiv.add(static_cast<double>(res.max_individual_ops));
-      }
-      double lgn = std::max(1u, lg_ceil(n));
-      t.row()
-          .cell(static_cast<std::uint64_t>(n))
-          .cell(p.name)
-          .cell(indiv.mean(), 1)
-          .cell(indiv.mean() / lgn, 2)
-          .cell(indiv.mean() / static_cast<double>(n), 3);
+      infos.push_back({n, p.name});
+      grid.push_back({
+          .label = std::string("e9_solo/") + p.name +
+                   "/n=" + std::to_string(n),
+          .build = p.build,
+          .make_adversary =
+              [] {
+                return std::make_unique<sim::fixed_order>(
+                    sim::fixed_order::mode::sequential);
+              },
+          .n = n,
+          .trials = h.trials(60),
+          .limits = {.max_steps = 200'000'000},
+      });
     }
   }
-  t.emit("E9b: solo-run individual work — O(log n) vs Θ(n)", "e9_solo");
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"n", "protocol", "solo_indiv_mean", "solo/lgn", "solo/n"});
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    const auto& s = summaries[i];
+    double lgn = std::max(1u, lg_ceil(infos[i].n));
+    // The first (solo) process's work is the maximum by construction.
+    t.row()
+        .cell(static_cast<std::uint64_t>(infos[i].n))
+        .cell(infos[i].name)
+        .cell(s.max_individual_ops.mean, 1)
+        .cell(s.max_individual_ops.mean / lgn, 2)
+        .cell(s.max_individual_ops.mean / static_cast<double>(infos[i].n),
+              3);
+  }
+  h.emit(t, "E9b: solo-run individual work — O(log n) vs Θ(n)", "e9_solo");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_harness h("e9_baselines", argc, argv);
   print_header("E9: baselines — impatient stack vs CIL-style protocols",
                "claims: O(log n) vs Θ(n) individual work; O(n) total work; "
                "crossover at small n");
-  table t({"n", "protocol", "trials", "indiv_mean", "indiv/lgn", "indiv/n",
-           "total_mean", "total/n"});
-  struct proto {
-    const char* name;
-    analysis::sim_object_builder build;
-    std::size_t n_cap;  // the Θ(n²⁺)-total baselines get too slow beyond
-  };
-  const proto protos[] = {
-      {"impatient-stack", impatient_stack(), 256},
-      {"fixedprob-stack", fixed_prob_stack(), 128},
-      {"cil-racing", cil(), 64},
-  };
-  for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
-    for (const auto& p : protos) {
-      if (n > p.n_cap) continue;
-      std::size_t trials = trials_for(n, 8'000);
-      auto agg = run_trials(p.build, analysis::input_pattern::half_half, n,
-                            2, [] { return std::make_unique<sim::random_oblivious>(); },
-                            trials, /*seed0=*/1,
-                            /*max_steps=*/200'000'000);
-      double lgn = std::max(1u, lg_ceil(n));
-      t.row()
-          .cell(static_cast<std::uint64_t>(n))
-          .cell(p.name)
-          .cell(static_cast<std::uint64_t>(trials))
-          .cell(agg.individual_ops.mean(), 1)
-          .cell(agg.individual_ops.mean() / lgn, 2)
-          .cell(agg.individual_ops.mean() / static_cast<double>(n), 3)
-          .cell(agg.total_ops.mean(), 1)
-          .cell(agg.total_ops.mean() / static_cast<double>(n), 2);
-    }
-  }
-  t.emit("E9a: individual/total work under a random scheduler",
-         "e9_baselines");
-  solo_table();
-  return 0;
+  sweep_table(h);
+  solo_table(h);
+  return h.finish();
 }

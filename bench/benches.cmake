@@ -25,3 +25,28 @@ modcon_bench(bench_e12_impatience_ablation)
 modcon_bench(bench_e13_exact_game)
 modcon_bench(bench_e14_harness_scale)
 target_link_libraries(bench_e11_rt_threads PRIVATE benchmark::benchmark)
+
+# Smoke tests: every bench runs end-to-end (tiny trial counts, 2 worker
+# threads, JSON artifact exercised) under `ctest -L bench-smoke`.
+function(modcon_bench_smoke name)
+  add_test(NAME smoke_${name}
+    COMMAND ${name} --seeds 2 --threads 2
+            --json ${CMAKE_BINARY_DIR}/bench/SMOKE_${name}.json ${ARGN})
+  set_tests_properties(smoke_${name} PROPERTIES LABELS bench-smoke)
+endfunction()
+
+modcon_bench_smoke(bench_e1_conciliator)
+modcon_bench_smoke(bench_e2_binary_consensus)
+modcon_bench_smoke(bench_e3_mvalued_consensus)
+modcon_bench_smoke(bench_e4_ratifier_space)
+modcon_bench_smoke(bench_e5_adversary_ablation)
+modcon_bench_smoke(bench_e6_coin_conciliator)
+modcon_bench_smoke(bench_e7_ratifier_only)
+modcon_bench_smoke(bench_e8_fastpath_bounded)
+modcon_bench_smoke(bench_e9_baselines)
+modcon_bench_smoke(bench_e10_termination_tail)
+# Skip the throughput loops; the summary table still runs.
+modcon_bench_smoke(bench_e11_rt_threads --benchmark_filter=NONE)
+modcon_bench_smoke(bench_e12_impatience_ablation)
+modcon_bench_smoke(bench_e13_exact_game)
+modcon_bench_smoke(bench_e14_harness_scale)

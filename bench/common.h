@@ -1,66 +1,170 @@
-// Shared machinery for the experiment benches: aggregate many trials of a
-// deciding object under a scheduler family and summarize the paper's
-// metrics (agreement frequency with Wilson bounds, expected total work,
-// worst-case individual work).
+// Shared machinery for the experiment benches.
+//
+// Every bench is a declarative grid of trial cells fed to the parallel
+// experiment engine (analysis/experiment.h) through a `bench_harness`,
+// which layers on the common command line:
+//
+//   --threads N   worker threads for the trial pool (default: hardware);
+//                 results are byte-identical for every N
+//   --seeds N     override every cell's trial count (smoke runs, sweeps)
+//   --json PATH   write the versioned BENCH_*.json artifact
+//
+// plus the report plumbing: every summary and every printed table is
+// recorded and serialized when --json is given.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "analysis/runner.h"
+#include "analysis/experiment.h"
+#include "sim/adversaries/adversaries.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace modcon::bench {
 
-struct aggregate {
-  std::size_t trials = 0;
-  std::size_t completed = 0;
-  std::size_t agreed = 0;
-  std::size_t all_decided = 0;
-  running_stats total_ops;
-  running_stats individual_ops;
-  sample_set individual_samples;
-  running_stats steps;
+using analysis::adversary_factory;
+using analysis::trial_grid;
 
-  double agreement_rate() const {
-    return trials ? static_cast<double>(agreed) / trials : 0.0;
-  }
-  proportion_ci agreement_ci() const {
-    return wilson_interval(agreed, trials);
+struct cli_options {
+  std::size_t threads = 0;  // 0 = one worker per hardware thread
+  std::size_t seeds = 0;    // 0 = keep each cell's default trial count
+  std::string json_path;
+
+  // Consumes recognized flags from argc/argv (compacting the array) so
+  // leftovers can be forwarded, e.g. to google-benchmark.  Exits on
+  // --help or malformed usage.
+  static cli_options parse(int& argc, char** argv) {
+    cli_options cli;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto next_value = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc) {
+          std::cerr << flag << " requires a value\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--threads") {
+        cli.threads = std::strtoull(next_value("--threads").c_str(), nullptr, 10);
+      } else if (arg == "--seeds") {
+        cli.seeds = std::strtoull(next_value("--seeds").c_str(), nullptr, 10);
+      } else if (arg == "--json") {
+        cli.json_path = next_value("--json");
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "usage: bench [--threads N] [--seeds N] [--json PATH]\n"
+                  << "  --threads N  trial-pool workers (default: hardware; "
+                     "results identical for every N)\n"
+                  << "  --seeds N    override per-cell trial counts\n"
+                  << "  --json PATH  write the BENCH_*.json artifact "
+                     "(schema modcon-bench v1)\n";
+        std::exit(0);
+      } else {
+        argv[out++] = argv[i];  // not ours; keep for the bench
+      }
+    }
+    argc = out;
+    return cli;
   }
 };
 
-using adversary_factory = std::function<std::unique_ptr<sim::adversary>()>;
-
-// Runs `trials` executions with seeds seed0..seed0+trials-1.
-inline aggregate run_trials(const analysis::sim_object_builder& build,
-                            analysis::input_pattern pattern, std::size_t n,
-                            std::uint64_t m, const adversary_factory& mk_adv,
-                            std::size_t trials, std::uint64_t seed0 = 1,
-                            std::uint64_t max_steps = 50'000'000) {
-  aggregate agg;
-  for (std::size_t t = 0; t < trials; ++t) {
-    std::uint64_t seed = seed0 + t;
-    auto adv = mk_adv();
-    auto inputs = analysis::make_inputs(pattern, n, m, seed);
-    analysis::trial_options opts;
-    opts.seed = seed;
-    opts.max_steps = max_steps;
-    auto res = analysis::run_object_trial(build, inputs, *adv, opts);
-    ++agg.trials;
-    if (!res.completed()) continue;
-    ++agg.completed;
-    agg.agreed += res.agreement();
-    agg.all_decided += analysis::all_decided(res.outputs);
-    agg.total_ops.add(static_cast<double>(res.total_ops));
-    agg.individual_ops.add(static_cast<double>(res.max_individual_ops));
-    agg.individual_samples.add(static_cast<double>(res.max_individual_ops));
-    agg.steps.add(static_cast<double>(res.steps));
+// Runs cells, collects summaries and tables, writes the JSON artifact.
+class bench_harness {
+ public:
+  bench_harness(std::string name, int& argc, char** argv)
+      : name_(std::move(name)),
+        cli_(cli_options::parse(argc, argv)),
+        report_(analysis::make_report_skeleton(name_)) {
+    report_["threads_requested"] = analysis::json(cli_.threads);
+    report_["seeds_override"] = analysis::json(cli_.seeds);
   }
-  return agg;
+
+  const cli_options& cli() const { return cli_; }
+
+  // --seeds override with a per-cell default.
+  std::size_t trials(std::size_t default_count) const {
+    return cli_.seeds ? cli_.seeds : default_count;
+  }
+
+  analysis::experiment_options engine_options() const {
+    return {.threads = cli_.threads};
+  }
+
+  // Runs one cell through the engine, applying the CLI overrides, and
+  // records its summary in the report.
+  analysis::summary_stats run(trial_grid cell) {
+    if (cli_.seeds) cell.trials = cli_.seeds;
+    auto s = analysis::run_experiment(cell, engine_options());
+    record(s);
+    return s;
+  }
+
+  // Runs several cells through one shared pool.
+  std::vector<analysis::summary_stats> run_grid(std::vector<trial_grid> grid) {
+    if (cli_.seeds)
+      for (auto& cell : grid) cell.trials = cli_.seeds;
+    auto out = analysis::run_experiment_grid(grid, engine_options());
+    for (const auto& s : out) record(s);
+    return out;
+  }
+
+  // Prints the table (and the MODCON_CSV_DIR mirror) and records it.
+  void emit(const table& t, const std::string& title,
+            const std::string& slug) {
+    t.emit(title, slug);
+    analysis::json jt = analysis::json::object();
+    jt["title"] = analysis::json(title);
+    jt["slug"] = analysis::json(slug);
+    analysis::json headers = analysis::json::array();
+    for (const auto& h : t.headers()) headers.push_back(analysis::json(h));
+    jt["headers"] = std::move(headers);
+    analysis::json rows = analysis::json::array();
+    for (const auto& row : t.data()) {
+      analysis::json jr = analysis::json::array();
+      for (const auto& c : row) jr.push_back(analysis::json(c));
+      rows.push_back(std::move(jr));
+    }
+    jt["rows"] = std::move(rows);
+    report_["tables"].push_back(std::move(jt));
+  }
+
+  // Writes the artifact if --json was given.  Returns the process exit
+  // code so main can `return harness.finish();`.
+  int finish() {
+    if (cli_.json_path.empty()) return 0;
+    std::ofstream out(cli_.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << cli_.json_path << "\n";
+      return 1;
+    }
+    out << report_.dump(2) << "\n";
+    std::cout << "wrote " << cli_.json_path << "\n";
+    return out ? 0 : 1;
+  }
+
+  analysis::json& report() { return report_; }
+
+ private:
+  void record(const analysis::summary_stats& s) {
+    report_["experiments"].push_back(analysis::to_json(s));
+  }
+
+  std::string name_;
+  cli_options cli_;
+  analysis::json report_;
+};
+
+// Factory helpers for the adversaries every bench sweeps.
+inline adversary_factory random_scheduler() {
+  return [] { return std::make_unique<sim::random_oblivious>(); };
 }
 
 // Trial budget that shrinks with n so sweeps stay laptop-friendly.

@@ -33,7 +33,7 @@ int main() {
   analysis::trial_options opts;
   opts.seed = 42;
   for (process_id p = 0; p < 6; ++p)
-    opts.crashes.push_back({p, 3 + p});
+    opts.faults.crashes.push_back({p, 3 + p});
 
   sim::random_oblivious adv;
   auto res = analysis::run_object_trial(build, inputs, adv, opts);

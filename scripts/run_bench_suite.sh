@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs every experiment bench through the parallel trial engine and
+# collects the versioned JSON artifacts (schema modcon-bench v1) under
+# artifacts/.  Knobs:
+#
+#   SEEDS=N    per-cell trial count override (default 100)
+#   THREADS=N  trial-pool workers (default: hardware; results identical)
+#   BUILD=DIR  build directory (default build)
+#   OUT=DIR    artifact directory (default artifacts)
+#
+# Example: SEEDS=1000 THREADS=8 scripts/run_bench_suite.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${SEEDS:-100}"
+THREADS="${THREADS:-0}"
+BUILD="${BUILD:-build}"
+OUT="${OUT:-artifacts}"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "no $BUILD/bench — run: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT"
+
+for b in "$BUILD"/bench/bench_e*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  extra=()
+  # E11 embeds google-benchmark; keep the suite fast by running only the
+  # engine-driven summary table.
+  [ "$name" = "bench_e11_rt_threads" ] && extra=(--benchmark_filter=NONE)
+  echo "### $name (seeds=$SEEDS threads=$THREADS)"
+  "$b" --seeds "$SEEDS" --threads "$THREADS" \
+       --json "$OUT/BENCH_${name#bench_}.json" "${extra[@]}"
+done
+
+echo "artifacts in $OUT/:"
+ls -l "$OUT"

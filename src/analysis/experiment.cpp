@@ -1,0 +1,283 @@
+#include "analysis/experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "sim/adversaries/adversaries.h"
+#include "util/assertx.h"
+
+namespace modcon::analysis {
+
+namespace {
+
+// Nearest-rank quantile over a sorted sample (matches util/stats.h's
+// sample_set convention).
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+trial_record run_one_trial(const trial_grid& cell, std::uint64_t index) {
+  trial_record rec;
+  rec.trial_index = index;
+  rec.seed = derive_trial_seed(cell.base_seed, index);
+
+  auto adv = cell.make_adversary
+                 ? cell.make_adversary()
+                 : std::make_unique<sim::random_oblivious>();
+  auto inputs = make_inputs(cell.pattern, cell.n, cell.m, rec.seed);
+
+  trial_options opts;
+  opts.seed = rec.seed;
+  opts.limits = cell.limits;
+  opts.faults =
+      cell.faults_for ? cell.faults_for(index, rec.seed) : cell.faults;
+  if (!cell.probes.empty()) {
+    rec.probes.resize(cell.probes.size(), 0.0);
+    opts.inspect_object = [&cell, &rec](
+                              const sim::sim_world& w,
+                              const deciding_object<sim::sim_env>& obj) {
+      for (std::size_t i = 0; i < cell.probes.size(); ++i)
+        rec.probes[i] = cell.probes[i].eval(w, obj);
+    };
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  rec.result = run_object_trial(cell.build, inputs, *adv, opts);
+  rec.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  rec.valid = rec.result.valid(inputs);
+  return rec;
+}
+
+// Serial, trial-ordered reduction of one cell's records — identical for
+// every thread count by construction.
+summary_stats reduce(const trial_grid& cell,
+                     std::vector<trial_record> records) {
+  summary_stats s;
+  s.label = cell.label;
+  s.n = cell.n;
+  s.m = cell.m;
+  s.pattern = cell.pattern;
+  s.base_seed = cell.base_seed;
+  s.trials = records.size();
+
+  std::vector<double> total, indiv, steps;
+  std::vector<std::vector<double>> probe_samples(cell.probes.size());
+  for (const trial_record& r : records) {
+    s.wall_ms += r.wall_ms;
+    s.crashed_processes += r.result.crashed_pids.size();
+    // "Completed" = terminal: every process halted or crashed.  Runs with
+    // crash faults end as no_runnable, and the survivors' outputs are
+    // exactly what fault experiments measure; only step_limit runs carry
+    // no usable cost/agreement data.
+    if (r.result.status == sim::run_status::step_limit) continue;
+    ++s.completed;
+    s.agreed += r.result.agreement();
+    s.coherent += r.result.coherent();
+    s.valid += r.valid;
+    s.all_decided += all_decided(r.result.outputs);
+    total.push_back(static_cast<double>(r.result.total_ops));
+    indiv.push_back(static_cast<double>(r.result.max_individual_ops));
+    steps.push_back(static_cast<double>(r.result.steps));
+    for (std::size_t i = 0; i < r.probes.size(); ++i)
+      probe_samples[i].push_back(r.probes[i]);
+  }
+  s.total_ops = dist_summary::of(std::move(total));
+  s.max_individual_ops = dist_summary::of(std::move(indiv));
+  s.steps = dist_summary::of(std::move(steps));
+  for (std::size_t i = 0; i < cell.probes.size(); ++i)
+    s.probes.emplace_back(cell.probes[i].name,
+                          dist_summary::of(std::move(probe_samples[i])));
+  if (cell.keep_records) s.records = std::move(records);
+  return s;
+}
+
+}  // namespace
+
+dist_summary dist_summary::of(std::vector<double> xs) {
+  dist_summary d;
+  d.count = xs.size();
+  if (xs.empty()) return d;
+  std::sort(xs.begin(), xs.end());
+  d.min = xs.front();
+  d.max = xs.back();
+  d.p50 = quantile_sorted(xs, 0.50);
+  d.p90 = quantile_sorted(xs, 0.90);
+  d.p99 = quantile_sorted(xs, 0.99);
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  d.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double m2 = 0.0;
+    for (double x : xs) m2 += (x - d.mean) * (x - d.mean);
+    d.stddev = std::sqrt(m2 / static_cast<double>(xs.size() - 1));
+  }
+  return d;
+}
+
+const dist_summary* summary_stats::find_probe(const std::string& name) const {
+  for (const auto& [k, v] : probes)
+    if (k == name) return &v;
+  return nullptr;
+}
+
+summary_stats run_experiment(const trial_grid& cell,
+                             const experiment_options& opts) {
+  std::vector<trial_grid> grid;
+  grid.push_back(cell);
+  return run_experiment_grid(grid, opts).front();
+}
+
+std::vector<summary_stats> run_experiment_grid(
+    const std::vector<trial_grid>& grid, const experiment_options& opts) {
+  // Flatten the grid into (cell, trial) tasks with preassigned result
+  // slots; workers race only on the task cursor, never on results.
+  struct task {
+    std::size_t cell;
+    std::uint64_t trial;
+  };
+  std::vector<task> tasks;
+  std::vector<std::vector<trial_record>> records(grid.size());
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    MODCON_CHECK_MSG(grid[c].build != nullptr,
+                     "trial_grid cell needs a builder");
+    records[c].resize(grid[c].trials);
+    for (std::uint64_t t = 0; t < grid[c].trials; ++t)
+      tasks.push_back({c, t});
+  }
+
+  std::size_t workers = opts.threads
+                            ? opts.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, std::max<std::size_t>(1, tasks.size()));
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(workers);
+  auto worker = [&](std::size_t wid) {
+    try {
+      while (!failed.load(std::memory_order_relaxed)) {
+        std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) break;
+        const task& tk = tasks[i];
+        records[tk.cell][tk.trial] = run_one_trial(grid[tk.cell], tk.trial);
+      }
+    } catch (...) {
+      errors[wid] = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  if (workers <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+      pool.emplace_back(worker, w);
+  }
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  std::vector<summary_stats> out;
+  out.reserve(grid.size());
+  for (std::size_t c = 0; c < grid.size(); ++c)
+    out.push_back(reduce(grid[c], std::move(records[c])));
+  return out;
+}
+
+json to_json(const dist_summary& d) {
+  json j = json::object();
+  j["count"] = json(d.count);
+  j["mean"] = json(d.mean);
+  j["stddev"] = json(d.stddev);
+  j["min"] = json(d.min);
+  j["max"] = json(d.max);
+  j["p50"] = json(d.p50);
+  j["p90"] = json(d.p90);
+  j["p99"] = json(d.p99);
+  return j;
+}
+
+json to_json(const summary_stats& s, bool include_records) {
+  json j = json::object();
+  j["label"] = json(s.label);
+
+  json cfg = json::object();
+  cfg["n"] = json(s.n);
+  cfg["m"] = json(s.m);
+  cfg["pattern"] = json(to_string(s.pattern));
+  cfg["base_seed"] = json(s.base_seed);
+  cfg["trials"] = json(s.trials);
+  j["config"] = std::move(cfg);
+
+  json counts = json::object();
+  counts["trials"] = json(s.trials);
+  counts["completed"] = json(s.completed);
+  counts["agreed"] = json(s.agreed);
+  counts["coherent"] = json(s.coherent);
+  counts["valid"] = json(s.valid);
+  counts["all_decided"] = json(s.all_decided);
+  counts["crashed_processes"] = json(s.crashed_processes);
+  j["counts"] = std::move(counts);
+
+  json rates = json::object();
+  rates["completion"] = json(s.completion_rate());
+  rates["agreement"] = json(s.agreement_rate());
+  rates["validity"] = json(s.validity_rate());
+  rates["decision"] = json(s.decision_rate());
+  auto ci = s.agreement_ci();
+  rates["agreement_wilson_lo"] = json(ci.lo);
+  rates["agreement_wilson_hi"] = json(ci.hi);
+  j["rates"] = std::move(rates);
+
+  j["total_ops"] = to_json(s.total_ops);
+  j["max_individual_ops"] = to_json(s.max_individual_ops);
+  j["steps"] = to_json(s.steps);
+
+  if (!s.probes.empty()) {
+    json probes = json::object();
+    for (const auto& [name, dist] : s.probes) probes[name] = to_json(dist);
+    j["probes"] = std::move(probes);
+  }
+
+  j["wall_ms"] = json(s.wall_ms);
+
+  if (include_records && !s.records.empty()) {
+    json recs = json::array();
+    for (const trial_record& r : s.records) {
+      json rec = json::object();
+      rec["trial"] = json(r.trial_index);
+      rec["seed"] = json(r.seed);
+      rec["completed"] = json(r.result.completed());
+      rec["total_ops"] = json(r.result.total_ops);
+      rec["max_individual_ops"] = json(r.result.max_individual_ops);
+      rec["steps"] = json(r.result.steps);
+      recs.push_back(std::move(rec));
+    }
+    j["trials"] = std::move(recs);
+  }
+  return j;
+}
+
+json make_report_skeleton(const std::string& bench_name) {
+  json j = json::object();
+  j["schema"] = json(kExperimentSchemaName);
+  j["schema_version"] = json(kExperimentSchemaVersion);
+  j["bench"] = json(bench_name);
+  j["experiments"] = json::array();
+  j["tables"] = json::array();
+  return j;
+}
+
+}  // namespace modcon::analysis

@@ -1,0 +1,181 @@
+// Batch trial engine: fans a grid of (builder × adversary × input-pattern
+// × seed-range) cells out over a thread pool and aggregates per-cell
+// summary statistics.
+//
+// Every experiment in the paper is "aggregate many trials over seeds" —
+// expected-cost distributions over adversary strategies (Theorem 7's 6n
+// envelope, the Attiya–Censor tail, ...).  This engine makes that the
+// first-class unit of measurement:
+//
+//   * deterministic — trial t of a cell always runs with seed
+//     splitmix64(base_seed ^ t), and records are aggregated in trial
+//     order after all workers finish, so `threads = 1` and `threads = N`
+//     produce byte-identical per-trial results and summaries;
+//   * parallel — trials are independent executions over private worlds;
+//     workers pull (cell, trial) tasks from a shared atomic cursor;
+//   * machine-readable — summaries serialize to versioned JSON
+//     (analysis/json_writer.h) consumable as BENCH_*.json artifacts.
+//
+// Thread-safety contract for cell definitions: `build`, `make_adversary`,
+// `faults_for`, and every probe may be called concurrently from worker
+// threads and must not share mutable state (capture by value, allocate
+// per call).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/json_writer.h"
+#include "analysis/runner.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace modcon::analysis {
+
+// JSON schema version stamped into every serialized summary/report.
+inline constexpr int kExperimentSchemaVersion = 1;
+inline constexpr const char* kExperimentSchemaName = "modcon-bench";
+
+// Deterministic per-trial seed: SplitMix64 of base_seed ^ trial_index.
+// Identical for serial and parallel runs by construction.
+inline std::uint64_t derive_trial_seed(std::uint64_t base_seed,
+                                       std::uint64_t trial_index) {
+  std::uint64_t state = base_seed ^ trial_index;
+  return splitmix64(state);
+}
+
+using adversary_factory = std::function<std::unique_ptr<sim::adversary>()>;
+
+// A named per-trial measurement evaluated while the trial's world and
+// object are still alive (register write counts, protocol-internal
+// counters, ...).  Aggregated into a distribution over completed trials.
+struct probe {
+  std::string name;
+  std::function<double(const sim::sim_world&,
+                       const deciding_object<sim::sim_env>&)>
+      eval;
+};
+
+// One cell of an experiment grid: a builder, a scheduler family, an input
+// workload, and a seed range.  Designated-initializer friendly; only
+// `build` is mandatory (the default adversary is the neutral random
+// scheduler).
+struct trial_grid {
+  std::string label;
+  sim_object_builder build;
+  adversary_factory make_adversary;  // null = sim::random_oblivious
+  input_pattern pattern = input_pattern::half_half;
+  std::size_t n = 2;
+  std::uint64_t m = 2;
+  std::size_t trials = 100;
+  std::uint64_t base_seed = 1;
+  run_limits limits;
+  // Static fault plan applied to every trial; `faults_for`, when set,
+  // derives a per-trial plan instead (E10's seed-dependent crashes).
+  fault_plan faults;
+  std::function<fault_plan(std::uint64_t trial_index, std::uint64_t seed)>
+      faults_for;
+  std::vector<probe> probes;
+  // Retain per-trial records in the summary (needed for custom joint
+  // statistics and the determinism tests; costs memory).
+  bool keep_records = false;
+};
+
+// Everything measured about one trial.  Fields other than wall_ms are
+// deterministic functions of (cell definition, trial index).
+struct trial_record {
+  std::uint64_t trial_index = 0;
+  std::uint64_t seed = 0;
+  trial_result result;
+  bool valid = false;  // check_validity against this trial's inputs
+  std::vector<double> probes;  // parallel to trial_grid::probes
+  double wall_ms = 0.0;        // measurement only; excluded from determinism
+};
+
+// Distribution summary over completed trials: the moments and order
+// statistics every experiment table reports.
+struct dist_summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  static dist_summary of(std::vector<double> xs);
+};
+
+// Aggregated result of one grid cell.
+struct summary_stats {
+  std::string label;
+  // Cell configuration echo (for the JSON artifact).
+  std::size_t n = 0;
+  std::uint64_t m = 0;
+  input_pattern pattern = input_pattern::half_half;
+  std::uint64_t base_seed = 0;
+
+  std::size_t trials = 0;
+  std::size_t completed = 0;    // terminal: halted or crashed, not step_limit
+  std::size_t agreed = 0;       // completed && all outputs equal
+  std::size_t coherent = 0;     // completed && coherence holds
+  std::size_t valid = 0;        // completed && validity holds
+  std::size_t all_decided = 0;  // completed && every output has decide=1
+  std::size_t crashed_processes = 0;  // sum of |crashed_pids| over trials
+
+  dist_summary total_ops;
+  dist_summary max_individual_ops;
+  dist_summary steps;
+  std::vector<std::pair<std::string, dist_summary>> probes;
+
+  double wall_ms = 0.0;  // summed trial wall time (not deterministic)
+
+  // Retained iff trial_grid::keep_records.
+  std::vector<trial_record> records;
+
+  double completion_rate() const {
+    return trials ? static_cast<double>(completed) / trials : 0.0;
+  }
+  double agreement_rate() const {
+    return trials ? static_cast<double>(agreed) / trials : 0.0;
+  }
+  double validity_rate() const {
+    return trials ? static_cast<double>(valid) / trials : 0.0;
+  }
+  double decision_rate() const {
+    return trials ? static_cast<double>(all_decided) / trials : 0.0;
+  }
+  proportion_ci agreement_ci() const {
+    return wilson_interval(agreed, trials);
+  }
+  const dist_summary* find_probe(const std::string& name) const;
+};
+
+struct experiment_options {
+  // 0 = one worker per hardware thread.  Results are identical for every
+  // value; only wall-clock changes.
+  std::size_t threads = 0;
+};
+
+// Runs one cell.
+summary_stats run_experiment(const trial_grid& cell,
+                             const experiment_options& opts = {});
+
+// Runs a whole grid through one shared pool: all trials of all cells are
+// scheduled together, so short cells do not serialize behind long ones.
+std::vector<summary_stats> run_experiment_grid(
+    const std::vector<trial_grid>& grid, const experiment_options& opts = {});
+
+// --- JSON serialization (schema "modcon-bench", version 1) -------------
+json to_json(const dist_summary& d);
+json to_json(const summary_stats& s, bool include_records = false);
+
+// Root document for a BENCH_*.json artifact: schema header plus empty
+// "experiments" and "tables" arrays for the caller to fill.
+json make_report_skeleton(const std::string& bench_name);
+
+}  // namespace modcon::analysis

@@ -1,0 +1,393 @@
+#include "analysis/json_writer.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace modcon::analysis {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw json_error(what); }
+
+// Shortest representation that round-trips a double exactly; integral
+// values gain a ".0" suffix so they re-parse as doubles.
+std::string format_double(double v) {
+  if (!std::isfinite(v)) fail("json: NaN/Inf not representable");
+  std::array<char, 32> buf;
+  auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  if (ec != std::errc{}) fail("json: double format failure");
+  std::string s(buf.data(), end);
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  return s;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+class parser {
+ public:
+  explicit parser(std::string_view text) : text_(text) {}
+
+  json run() {
+    json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("json parse: trailing characters");
+    return v;
+  }
+
+ private:
+  char peek() {
+    if (pos_ >= text_.size()) fail("json parse: unexpected end of input");
+    return text_[pos_];
+  }
+  char get() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (get() != c)
+      fail(std::string("json parse: expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  json value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return json(string());
+      case 't':
+        if (consume_literal("true")) return json(true);
+        fail("json parse: bad literal");
+      case 'f':
+        if (consume_literal("false")) return json(false);
+        fail("json parse: bad literal");
+      case 'n':
+        if (consume_literal("null")) return json();
+        fail("json parse: bad literal");
+      default: return number();
+    }
+  }
+
+  json object() {
+    expect('{');
+    json obj = json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      obj[key] = value();
+      skip_ws();
+      char c = get();
+      if (c == '}') return obj;
+      if (c != ',') fail("json parse: expected ',' or '}'");
+    }
+  }
+
+  json array() {
+    expect('[');
+    json arr = json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(value());
+      skip_ws();
+      char c = get();
+      if (c == ']') return arr;
+      if (c != ',') fail("json parse: expected ',' or ']'");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = get();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      char e = get();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = get();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("json parse: bad \\u escape");
+          }
+          // Only the control-character escapes we emit; anything else in
+          // the BMP encodes as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: fail("json parse: bad escape");
+      }
+    }
+  }
+
+  json number() {
+    std::size_t start = pos_;
+    bool negative = false;
+    if (peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("json parse: bad number");
+    if (is_double) {
+      double d = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+      if (ec != std::errc{} || p != tok.data() + tok.size())
+        fail("json parse: bad number");
+      return json(d);
+    }
+    if (negative) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec != std::errc{} || p != tok.data() + tok.size())
+        fail("json parse: bad number");
+      return json(v);
+    }
+    std::uint64_t v = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc{} || p != tok.data() + tok.size())
+      fail("json parse: bad number");
+    return json(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json::as_bool() const {
+  if (kind_ != kind::bool_t) fail("json: not a bool");
+  return bool_;
+}
+
+std::int64_t json::as_int() const {
+  if (kind_ == kind::int_t) return int_;
+  if (kind_ == kind::uint_t) return static_cast<std::int64_t>(uint_);
+  fail("json: not an integer");
+}
+
+std::uint64_t json::as_uint() const {
+  if (kind_ == kind::uint_t) return uint_;
+  if (kind_ == kind::int_t && int_ >= 0)
+    return static_cast<std::uint64_t>(int_);
+  fail("json: not an unsigned integer");
+}
+
+double json::as_double() const {
+  switch (kind_) {
+    case kind::double_t: return double_;
+    case kind::int_t: return static_cast<double>(int_);
+    case kind::uint_t: return static_cast<double>(uint_);
+    default: fail("json: not a number");
+  }
+}
+
+const std::string& json::as_string() const {
+  if (kind_ != kind::string_t) fail("json: not a string");
+  return string_;
+}
+
+void json::push_back(json v) {
+  if (kind_ == kind::null_t) kind_ = kind::array_t;
+  if (kind_ != kind::array_t) fail("json: push_back on non-array");
+  array_.push_back(std::move(v));
+}
+
+std::size_t json::size() const {
+  if (kind_ == kind::array_t) return array_.size();
+  if (kind_ == kind::object_t) return object_.size();
+  fail("json: size() on non-container");
+}
+
+const json& json::at(std::size_t i) const {
+  if (kind_ != kind::array_t) fail("json: at() on non-array");
+  if (i >= array_.size()) fail("json: index out of range");
+  return array_[i];
+}
+
+json& json::operator[](std::string_view key) {
+  if (kind_ == kind::null_t) kind_ = kind::object_t;
+  if (kind_ != kind::object_t) fail("json: operator[] on non-object");
+  for (auto& [k, v] : object_)
+    if (k == key) return v;
+  object_.emplace_back(std::string(key), json());
+  return object_.back().second;
+}
+
+const json* json::find(std::string_view key) const {
+  if (kind_ != kind::object_t) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, json>>& json::members() const {
+  if (kind_ != kind::object_t) fail("json: members() on non-object");
+  return object_;
+}
+
+void json::dump_to(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case kind::null_t: out += "null"; break;
+    case kind::bool_t: out += bool_ ? "true" : "false"; break;
+    case kind::int_t: out += std::to_string(int_); break;
+    case kind::uint_t: out += std::to_string(uint_); break;
+    case kind::double_t: out += format_double(double_); break;
+    case kind::string_t: append_escaped(out, string_); break;
+    case kind::array_t: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case kind::object_t: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        append_escaped(out, object_[i].first);
+        out += indent < 0 ? ":" : ": ";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+json json::parse(std::string_view text) { return parser(text).run(); }
+
+bool json::operator==(const json& other) const {
+  if (is_number() && other.is_number()) {
+    // int 3 == uint 3 == double 3.0; exact doubles round-trip, so
+    // comparing through double is safe for our magnitudes except huge
+    // integers, which compare kind-exactly first.
+    if (kind_ == other.kind_) {
+      switch (kind_) {
+        case kind::int_t: return int_ == other.int_;
+        case kind::uint_t: return uint_ == other.uint_;
+        default: return double_ == other.double_;
+      }
+    }
+    return as_double() == other.as_double();
+  }
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case kind::null_t: return true;
+    case kind::bool_t: return bool_ == other.bool_;
+    case kind::string_t: return string_ == other.string_;
+    case kind::array_t: return array_ == other.array_;
+    case kind::object_t: return object_ == other.object_;
+    default: return false;  // unreachable
+  }
+}
+
+}  // namespace modcon::analysis

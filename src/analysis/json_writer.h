@@ -1,0 +1,118 @@
+// Minimal JSON document model for the experiment engine: build, serialize,
+// and parse without external dependencies.
+//
+// Design constraints, in order:
+//   * deterministic output — object members keep insertion order, numbers
+//     format identically across runs and thread counts (the bench JSON
+//     artifacts are diffed byte-for-byte between --threads 1 and N);
+//   * round-trippable — parse(dump(v)) reproduces v, so summaries can be
+//     reloaded by tooling and by tests;
+//   * small — only what BENCH_*.json needs (null/bool/integers/doubles/
+//     strings/arrays/objects; no comments, no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace modcon::analysis {
+
+class json_error : public std::exception {
+ public:
+  explicit json_error(std::string msg) : msg_(std::move(msg)) {}
+  const char* what() const noexcept override { return msg_.c_str(); }
+
+ private:
+  std::string msg_;
+};
+
+class json {
+ public:
+  enum class kind : std::uint8_t {
+    null_t,
+    bool_t,
+    int_t,     // signed 64-bit
+    uint_t,    // unsigned 64-bit (kept distinct so large counters survive)
+    double_t,
+    string_t,
+    array_t,
+    object_t,
+  };
+
+  json() = default;  // null
+  json(std::nullptr_t) {}
+  json(bool b) : kind_(kind::bool_t), bool_(b) {}
+  json(int v) : kind_(kind::int_t), int_(v) {}
+  json(long v) : kind_(kind::int_t), int_(v) {}
+  json(long long v) : kind_(kind::int_t), int_(v) {}
+  json(unsigned v) : kind_(kind::uint_t), uint_(v) {}
+  json(unsigned long v) : kind_(kind::uint_t), uint_(v) {}
+  json(unsigned long long v) : kind_(kind::uint_t), uint_(v) {}
+  json(double v) : kind_(kind::double_t), double_(v) {}
+  json(const char* s) : kind_(kind::string_t), string_(s) {}
+  json(std::string s) : kind_(kind::string_t), string_(std::move(s)) {}
+
+  static json array() {
+    json j;
+    j.kind_ = kind::array_t;
+    return j;
+  }
+  static json object() {
+    json j;
+    j.kind_ = kind::object_t;
+    return j;
+  }
+
+  kind type() const { return kind_; }
+  bool is_null() const { return kind_ == kind::null_t; }
+  bool is_object() const { return kind_ == kind::object_t; }
+  bool is_array() const { return kind_ == kind::array_t; }
+  bool is_number() const {
+    return kind_ == kind::int_t || kind_ == kind::uint_t ||
+           kind_ == kind::double_t;
+  }
+  bool is_string() const { return kind_ == kind::string_t; }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  double as_double() const;  // any numeric kind
+  const std::string& as_string() const;
+
+  // Array access.
+  void push_back(json v);
+  std::size_t size() const;  // array or object element count
+  const json& at(std::size_t i) const;
+
+  // Object access.  operator[] inserts a null member if absent (build
+  // path); find() is the lookup that does not mutate.
+  json& operator[](std::string_view key);
+  const json* find(std::string_view key) const;
+  const std::vector<std::pair<std::string, json>>& members() const;
+
+  // Serialization.  indent < 0 emits compact one-line JSON.
+  std::string dump(int indent = 2) const;
+
+  // Strict parser (throws json_error on malformed input or trailing
+  // garbage).  Numbers with '.', 'e', or 'E' parse as doubles; other
+  // numbers parse as int_t/uint_t.
+  static json parse(std::string_view text);
+
+  bool operator==(const json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  kind kind_ = kind::null_t;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<json> array_;
+  std::vector<std::pair<std::string, json>> object_;
+};
+
+}  // namespace modcon::analysis

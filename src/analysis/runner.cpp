@@ -20,15 +20,17 @@ trial_result run_object_trial(const sim_object_builder& build,
       return invoke_encoded(*obj, env, v);
     });
   }
-  for (const crash_spec& c : opts.crashes)
+  for (const crash_spec& c : opts.faults.crashes)
     world.crash_after(c.pid, c.after_ops);
 
   trial_result res;
-  res.status = world.run(opts.max_steps).status;
+  res.status = world.run(opts.limits.max_steps).status;
   for (process_id pid = 0; pid < n; ++pid) {
     if (auto out = world.output_of(pid)) {
       res.outputs.push_back(decode_decided(*out));
       res.halted_pids.push_back(pid);
+    } else if (world.crashed(pid)) {
+      res.crashed_pids.push_back(pid);
     }
   }
   res.total_ops = world.total_ops();
@@ -36,6 +38,37 @@ trial_result run_object_trial(const sim_object_builder& build,
   res.steps = world.steps();
   res.registers = world.allocated();
   if (opts.inspect) opts.inspect(world);
+  if (opts.inspect_object) opts.inspect_object(world, *obj);
+  return res;
+}
+
+trial_result run_rt_object_trial(const rt_object_builder& build,
+                                 const std::vector<value_t>& inputs,
+                                 const rt_trial_options& opts) {
+  const std::size_t n = inputs.size();
+  rt::arena mem;
+  auto obj = build(mem, n);
+
+  // The inputs vector outlives the threads, so the program lambda may
+  // capture it by pointer (invoke_encoded copies the value into the
+  // coroutine frame before the lambda dies — CP.51).
+  auto rres = rt::run_threads(
+      mem, n, opts.seed,
+      [&obj, &inputs](rt::rt_env& env) {
+        return invoke_encoded(*obj, env, inputs[env.pid()]);
+      },
+      opts.chaos);
+
+  trial_result res;
+  res.status = sim::run_status::all_halted;
+  for (process_id pid = 0; pid < n; ++pid) {
+    res.outputs.push_back(decode_decided(rres.outputs[pid]));
+    res.halted_pids.push_back(pid);
+  }
+  res.total_ops = rres.total_ops;
+  res.max_individual_ops = rres.max_individual_ops;
+  res.steps = rres.total_ops;
+  res.registers = mem.allocated();
   return res;
 }
 

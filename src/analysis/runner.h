@@ -4,7 +4,14 @@
 //
 // This is the workhorse of both the test suites and the experiment
 // benches: a "trial" is one execution; experiments aggregate many trials
-// over seeds.
+// over seeds (see analysis/experiment.h for the batch engine).
+//
+// The same trial vocabulary covers both backends: an `object_builder<Env>`
+// constructs one deciding object from an address space, for any
+// Environment — `sim::sim_env` trials run under an explicit adversary via
+// run_object_trial, `rt::rt_env` trials run on real threads via
+// run_rt_object_trial.  One builder definition (a template lambda or a
+// templated factory) serves both.
 #pragma once
 
 #include <cstdint>
@@ -14,28 +21,63 @@
 
 #include "analysis/metrics.h"
 #include "core/deciding.h"
+#include "rt/env.h"
+#include "rt/runner.h"
 #include "sim/adversary.h"
 #include "sim/world.h"
 
 namespace modcon::analysis {
 
-using sim_object_builder =
-    std::function<std::unique_ptr<deciding_object<sim::sim_env>>(
-        address_space& mem, std::size_t n)>;
+// Constructs the (single, shared) deciding object for one trial.  Called
+// once per trial with the trial's address space and process count; must
+// be safe to call concurrently from the experiment engine's worker
+// threads (capture only immutable state).
+template <typename Env>
+using object_builder =
+    std::function<std::unique_ptr<deciding_object<Env>>(address_space& mem,
+                                                        std::size_t n)>;
+
+// Backend-specific aliases.  `sim_object_builder` predates the unified
+// template and is kept for source compatibility.
+using sim_object_builder = object_builder<sim::sim_env>;
+using rt_object_builder = object_builder<rt::rt_env>;
 
 struct crash_spec {
   process_id pid;
   std::uint64_t after_ops;
 };
 
+// Execution budget for one trial (designated-initializer friendly:
+// `.limits = {.max_steps = 400'000}`).
+struct run_limits {
+  std::uint64_t max_steps = 50'000'000;
+};
+
+// Crash-fault injection plan for one trial.
+struct fault_plan {
+  std::vector<crash_spec> crashes;
+
+  fault_plan& crash(process_id pid, std::uint64_t after_ops) {
+    crashes.push_back({pid, after_ops});
+    return *this;
+  }
+  bool empty() const { return crashes.empty(); }
+};
+
 struct trial_options {
   std::uint64_t seed = 1;
-  std::uint64_t max_steps = 50'000'000;
+  run_limits limits;
+  fault_plan faults;
   bool trace = false;
-  std::vector<crash_spec> crashes;
   // Called after the run with the finished world, for metrics the
   // summary below does not carry (register write counts, traces, ...).
   std::function<void(const sim::sim_world&)> inspect;
+  // Like `inspect`, but also handed the deciding object, so callers can
+  // read protocol-internal counters (fallback entries, rounds built, ...)
+  // without wrapping the object in an observer.
+  std::function<void(const sim::sim_world&,
+                     const deciding_object<sim::sim_env>&)>
+      inspect_object;
 };
 
 struct trial_result {
@@ -44,6 +86,11 @@ struct trial_result {
   // parallel to `halted_pids`.
   std::vector<decided> outputs;
   std::vector<process_id> halted_pids;
+  // Processes removed by the fault plan before they could halt.  A pid
+  // appears in exactly one of halted_pids / crashed_pids unless the run
+  // hit its step limit, in which case it may appear in neither ("still
+  // running").
+  std::vector<process_id> crashed_pids;
   std::uint64_t total_ops = 0;
   std::uint64_t max_individual_ops = 0;
   std::uint64_t steps = 0;
@@ -63,6 +110,23 @@ trial_result run_object_trial(const sim_object_builder& build,
                               const std::vector<value_t>& inputs,
                               sim::adversary& adv,
                               const trial_options& opts = {});
+
+// Real-thread trial options.  There is no adversary (the OS schedules)
+// and no fault plan (threads cannot be crashed mid-run); `chaos` injects
+// random yields for interleaving stress (see rt::rt_env).
+struct rt_trial_options {
+  std::uint64_t seed = 1;
+  std::uint32_t chaos = 0;
+};
+
+// Runs one real-thread execution of the object built by `build` over a
+// fresh arena: process pid gets input inputs[pid].  The result uses the
+// same shape as the simulated trial: status is always all_halted (the
+// run blocks until every thread returns), every pid is in halted_pids,
+// and `steps` equals total_ops (one operation per step, no scheduler).
+trial_result run_rt_object_trial(const rt_object_builder& build,
+                                 const std::vector<value_t>& inputs,
+                                 const rt_trial_options& opts = {});
 
 // Input workload patterns used across experiments.
 enum class input_pattern {

@@ -28,6 +28,8 @@ class table {
   table& cell(double v, int precision = 3);
 
   std::size_t rows() const { return cells_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return cells_; }
 
   // Renders with aligned columns, a header rule, and `title` above.
   void print(std::ostream& os, const std::string& title) const;

@@ -47,7 +47,7 @@ TEST_P(CilProperty, ConsensusPropertiesHold) {
     auto inputs = make_inputs(c.pattern, c.n, 2, seed);
     trial_options opts;
     opts.seed = seed;
-    opts.max_steps = 5'000'000;
+    opts.limits.max_steps = 5'000'000;
     auto res = run_object_trial(cil_builder(), inputs, adv, opts);
     ASSERT_TRUE(res.completed()) << "n=" << c.n << " seed=" << seed;
     EXPECT_TRUE(analysis::all_decided(res.outputs));
@@ -75,7 +75,7 @@ TEST(CilConsensus, MValuedWorksToo) {
     auto inputs = make_inputs(input_pattern::random_m, 5, 40, seed);
     trial_options opts;
     opts.seed = seed;
-    opts.max_steps = 5'000'000;
+    opts.limits.max_steps = 5'000'000;
     auto res = run_object_trial(cil_builder(), inputs, adv, opts);
     ASSERT_TRUE(res.completed());
     EXPECT_TRUE(res.agreement());
@@ -99,7 +99,7 @@ TEST(CilConsensus, SurvivesLockstepScheduling) {
     sim::round_robin adv;
     trial_options opts;
     opts.seed = seed;
-    opts.max_steps = 5'000'000;
+    opts.limits.max_steps = 5'000'000;
     auto res = run_object_trial(cil_builder(), {0, 1}, adv, opts);
     ASSERT_TRUE(res.completed()) << "seed " << seed;
     EXPECT_TRUE(res.agreement());
@@ -111,8 +111,8 @@ TEST(CilConsensus, WaitFreeUnderCrashes) {
     sim::random_oblivious adv;
     trial_options opts;
     opts.seed = seed;
-    opts.max_steps = 5'000'000;
-    opts.crashes = {{0, 2}, {1, 5}};
+    opts.limits.max_steps = 5'000'000;
+    opts.faults.crashes = {{0, 2}, {1, 5}};
     auto inputs = make_inputs(input_pattern::alternating, 5, 2, seed);
     auto res = run_object_trial(cil_builder(), inputs, adv, opts);
     EXPECT_EQ(res.status, sim::run_status::no_runnable);
@@ -132,7 +132,7 @@ TEST(CilConsensus, IndividualWorkIsSuperlogarithmic) {
     for (std::uint64_t seed = 0; seed < 40; ++seed) {
       trial_options opts;
       opts.seed = seed;
-      opts.max_steps = 20'000'000;
+      opts.limits.max_steps = 20'000'000;
       auto inputs = make_inputs(input_pattern::half_half, n, 2, seed);
       {
         sim::random_oblivious adv;
@@ -168,7 +168,7 @@ TEST(LeanConsensus, RatifierLadderWithBinaryQuorumsUnderNoise) {
     auto inputs = make_inputs(input_pattern::half_half, 6, 2, seed);
     trial_options opts;
     opts.seed = seed;
-    opts.max_steps = 150'000;
+    opts.limits.max_steps = 150'000;
     auto res = run_object_trial(build, inputs, adv, opts);
     if (!res.completed()) continue;
     ++done;

@@ -186,7 +186,7 @@ TEST(ImpatientConciliator, WaitFreeUnderCrashes) {
   // Survivors finish regardless of how many others crash mid-protocol.
   sim::random_oblivious adv;
   trial_options opts;
-  opts.crashes = {{0, 1}, {1, 2}, {2, 0}};
+  opts.faults.crashes = {{0, 1}, {1, 2}, {2, 0}};
   auto inputs = make_inputs(input_pattern::alternating, 6, 3, 3);
   auto res = run_object_trial(impatient_builder(), inputs, adv, opts);
   EXPECT_EQ(res.status, sim::run_status::no_runnable);

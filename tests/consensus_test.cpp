@@ -263,7 +263,7 @@ TEST(RatifierOnlyConsensus, DecidesUnderNoisyScheduling) {
     auto inputs = make_inputs(input_pattern::half_half, 4, 2, seed);
     trial_options opts;
     opts.seed = seed;
-    opts.max_steps = 200'000;  // well below the ladder's round cap
+    opts.limits.max_steps = 200'000;  // well below the ladder's round cap
     auto res = run_object_trial(build, inputs, adv, opts);
     if (!res.completed()) continue;
     ++done;
@@ -283,7 +283,7 @@ TEST(RatifierOnlyConsensus, LockstepSchedulerStallsIt) {
     return make_ratifier_only_consensus<sim_env>(mem, qs, 1000000);
   };
   trial_options opts;
-  opts.max_steps = 20000;
+  opts.limits.max_steps = 20000;
   auto res = run_object_trial(build, {0, 1}, adv, opts);
   EXPECT_EQ(res.status, sim::run_status::step_limit);
 }
@@ -317,7 +317,7 @@ TEST(Consensus, WaitFreedomUnderMassiveCrashes) {
     trial_options opts;
     opts.seed = seed;
     for (process_id p = 0; p < 5; ++p)
-      if (p != 2) opts.crashes.push_back({p, seed % 5});
+      if (p != 2) opts.faults.crashes.push_back({p, seed % 5});
     auto inputs = make_inputs(input_pattern::alternating, 6, 2, seed);
     auto res = run_object_trial(unbounded_builder(qs), inputs, adv, opts);
     EXPECT_EQ(res.status, sim::run_status::no_runnable);

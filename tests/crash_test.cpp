@@ -110,7 +110,7 @@ TEST_P(CrashStorm, SurvivorsKeepTheContract) {
     sim::random_oblivious adv;
     trial_options opts;
     opts.seed = seed;
-    opts.max_steps = 5'000'000;
+    opts.limits.max_steps = 5'000'000;
     // Crash `crash_count` distinct random pids at random small op counts.
     std::vector<process_id> victims;
     while (victims.size() < c.crash_count) {
@@ -118,7 +118,7 @@ TEST_P(CrashStorm, SurvivorsKeepTheContract) {
       if (std::find(victims.begin(), victims.end(), v) == victims.end())
         victims.push_back(v);
     }
-    for (auto v : victims) opts.crashes.push_back({v, pick.below(12)});
+    for (auto v : victims) opts.faults.crashes.push_back({v, pick.below(12)});
 
     auto inputs = make_inputs(input_pattern::random_m, c.n, m_of(c.object),
                               seed);
@@ -166,7 +166,7 @@ TEST(CrashStorm, UnanimousAcceptanceSurvivesCrashes) {
     sim::random_oblivious adv;
     trial_options opts;
     opts.seed = seed;
-    opts.crashes = {{1, seed % 4}, {4, (seed + 2) % 4}};
+    opts.faults.crashes = {{1, seed % 4}, {4, (seed + 2) % 4}};
     std::vector<value_t> inputs(6, 3);
     auto build = [](address_space& mem, std::size_t) {
       return std::make_unique<quorum_ratifier<sim_env>>(

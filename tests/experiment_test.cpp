@@ -1,0 +1,288 @@
+// The batch experiment engine (analysis/experiment.h): deterministic
+// parallelism, summary math, and the JSON artifact layer.
+#include "analysis/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/json_writer.h"
+#include "core/conciliator/impatient.h"
+#include "core/consensus/builder.h"
+#include "sim/adversaries/adversaries.h"
+
+namespace modcon::analysis {
+namespace {
+
+using sim::sim_env;
+
+sim_object_builder consensus_builder() {
+  return [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+  };
+}
+
+sim_object_builder conciliator_builder() {
+  return [](address_space& mem, std::size_t) {
+    return std::make_unique<impatient_conciliator<sim_env>>(mem);
+  };
+}
+
+trial_grid small_grid_cell(std::string label, std::uint64_t base_seed) {
+  return {
+      .label = std::move(label),
+      .build = consensus_builder(),
+      .n = 4,
+      .trials = 24,
+      .base_seed = base_seed,
+      .keep_records = true,
+  };
+}
+
+// --- seed derivation ----------------------------------------------------
+
+TEST(DeriveTrialSeed, DeterministicAndWellMixed) {
+  EXPECT_EQ(derive_trial_seed(1, 0), derive_trial_seed(1, 0));
+  // Distinct trials get distinct seeds (SplitMix64 is a bijection of the
+  // xored state, so collisions would need base ^ i == base ^ j).
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t t = 0; t < 64; ++t)
+    seeds.push_back(derive_trial_seed(42, t));
+  for (std::size_t i = 0; i < seeds.size(); ++i)
+    for (std::size_t j = i + 1; j < seeds.size(); ++j)
+      EXPECT_NE(seeds[i], seeds[j]);
+  // Nearby bases decorrelate.
+  EXPECT_NE(derive_trial_seed(1, 0), derive_trial_seed(2, 0));
+  EXPECT_NE(derive_trial_seed(1, 1), derive_trial_seed(2, 0));
+}
+
+// --- parallel determinism ----------------------------------------------
+
+void expect_identical(const summary_stats& a, const summary_stats& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t t = 0; t < a.records.size(); ++t) {
+    const auto& ra = a.records[t];
+    const auto& rb = b.records[t];
+    EXPECT_EQ(ra.trial_index, rb.trial_index);
+    EXPECT_EQ(ra.seed, rb.seed);
+    EXPECT_EQ(ra.result.status, rb.result.status);
+    EXPECT_EQ(ra.result.total_ops, rb.result.total_ops);
+    EXPECT_EQ(ra.result.max_individual_ops, rb.result.max_individual_ops);
+    EXPECT_EQ(ra.result.steps, rb.result.steps);
+    EXPECT_EQ(ra.result.halted_pids, rb.result.halted_pids);
+    EXPECT_EQ(ra.result.crashed_pids, rb.result.crashed_pids);
+    ASSERT_EQ(ra.result.outputs.size(), rb.result.outputs.size());
+    for (std::size_t i = 0; i < ra.result.outputs.size(); ++i) {
+      EXPECT_EQ(ra.result.outputs[i].decide, rb.result.outputs[i].decide);
+      EXPECT_EQ(ra.result.outputs[i].value, rb.result.outputs[i].value);
+    }
+    EXPECT_EQ(ra.probes, rb.probes);
+  }
+  // Summaries are a deterministic function of the records, so the whole
+  // JSON document must match byte-for-byte once the (intentionally
+  // non-deterministic) wall-clock field is pinned.
+  summary_stats sa = a, sb = b;
+  sa.wall_ms = sb.wall_ms = 0.0;
+  for (auto& r : sa.records) r.wall_ms = 0.0;
+  for (auto& r : sb.records) r.wall_ms = 0.0;
+  EXPECT_EQ(to_json(sa, true).dump(2), to_json(sb, true).dump(2));
+}
+
+TEST(ExperimentEngine, ParallelMatchesSerialByteForByte) {
+  std::vector<trial_grid> grid;
+  grid.push_back(small_grid_cell("det/a", 7));
+  grid.push_back(small_grid_cell("det/b", 1234567));
+  grid[1].pattern = input_pattern::alternating;
+
+  auto serial = run_experiment_grid(grid, {.threads = 1});
+  auto par4 = run_experiment_grid(grid, {.threads = 4});
+  auto par3 = run_experiment_grid(grid, {.threads = 3});
+  ASSERT_EQ(serial.size(), 2u);
+  ASSERT_EQ(par4.size(), 2u);
+  for (std::size_t c = 0; c < serial.size(); ++c) {
+    expect_identical(serial[c], par4[c]);
+    expect_identical(serial[c], par3[c]);
+  }
+}
+
+TEST(ExperimentEngine, ProbesAndFaultsAreDeterministicInParallel) {
+  trial_grid cell{
+      .label = "det/faults",
+      .build = consensus_builder(),
+      .n = 6,
+      .trials = 16,
+      .base_seed = 99,
+      .faults_for =
+          [](std::uint64_t, std::uint64_t seed) {
+            fault_plan plan;
+            plan.crash(0, seed % 4);
+            return plan;
+          },
+      .probes = {{"registers",
+                  [](const sim::sim_world& w,
+                     const deciding_object<sim_env>&) {
+                    return static_cast<double>(w.allocated());
+                  }}},
+      .keep_records = true,
+  };
+  auto serial = run_experiment(cell, {.threads = 1});
+  auto parallel = run_experiment(cell, {.threads = 4});
+  expect_identical(serial, parallel);
+  // The probe actually ran and was aggregated.
+  const dist_summary* d = parallel.find_probe("registers");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count, parallel.completed);
+  EXPECT_GT(d->min, 0.0);
+}
+
+TEST(ExperimentEngine, CrashedPidsReported) {
+  trial_grid cell{
+      .label = "crash",
+      .build = consensus_builder(),
+      .n = 4,
+      .trials = 8,
+      .faults = fault_plan{}.crash(1, 0).crash(2, 1),
+      .keep_records = true,
+  };
+  auto s = run_experiment(cell, {.threads = 2});
+  EXPECT_EQ(s.crashed_processes, 2 * s.trials);
+  // Crash runs terminate as no_runnable; the engine still counts them as
+  // completed (survivor outputs are the measurement).
+  EXPECT_EQ(s.completed, s.trials);
+  for (const auto& rec : s.records) {
+    EXPECT_EQ(rec.result.status, sim::run_status::no_runnable);
+    EXPECT_EQ(rec.result.crashed_pids,
+              (std::vector<process_id>{1, 2}));
+    for (process_id p : rec.result.halted_pids) {
+      EXPECT_NE(p, 1u);
+      EXPECT_NE(p, 2u);
+    }
+    EXPECT_EQ(rec.result.halted_pids.size(), 2u);
+  }
+}
+
+TEST(ExperimentEngine, SummaryCountsConsistent) {
+  auto s = run_experiment(
+      {
+          .label = "counts",
+          .build = conciliator_builder(),
+          .n = 8,
+          .trials = 50,
+      },
+      {.threads = 2});
+  EXPECT_EQ(s.trials, 50u);
+  EXPECT_EQ(s.completed, 50u);  // conciliators always halt
+  EXPECT_LE(s.agreed, s.completed);
+  EXPECT_EQ(s.valid, s.completed);  // conciliator outputs are inputs
+  EXPECT_EQ(s.total_ops.count, s.completed);
+  EXPECT_GE(s.agreement_rate(), 0.0553);  // Theorem 7 floor, generously met
+  EXPECT_GT(s.total_ops.mean, 0.0);
+  EXPECT_LE(s.total_ops.min, s.total_ops.p50);
+  EXPECT_LE(s.total_ops.p50, s.total_ops.p90);
+  EXPECT_LE(s.total_ops.p90, s.total_ops.p99);
+  EXPECT_LE(s.total_ops.p99, s.total_ops.max);
+}
+
+// --- percentile / moment math ------------------------------------------
+
+TEST(DistSummary, NearestRankPercentilesOnKnownDistribution) {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(i);  // 1..100, reversed
+  auto d = dist_summary::of(xs);
+  EXPECT_EQ(d.count, 100u);
+  EXPECT_DOUBLE_EQ(d.min, 1.0);
+  EXPECT_DOUBLE_EQ(d.max, 100.0);
+  EXPECT_DOUBLE_EQ(d.p50, 50.0);  // nearest-rank: ceil(0.5*100) = 50th
+  EXPECT_DOUBLE_EQ(d.p90, 90.0);
+  EXPECT_DOUBLE_EQ(d.p99, 99.0);
+  EXPECT_DOUBLE_EQ(d.mean, 50.5);
+  // Sample stddev of 1..100 is sqrt(842.5) = 29.0115...
+  EXPECT_NEAR(d.stddev, 29.0115, 1e-3);
+}
+
+TEST(DistSummary, SmallSamples) {
+  auto empty = dist_summary::of({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev, 0.0);
+
+  auto one = dist_summary::of({7.0});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.p50, 7.0);
+  EXPECT_DOUBLE_EQ(one.p99, 7.0);
+
+  auto two = dist_summary::of({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(two.mean, 2.0);
+  EXPECT_DOUBLE_EQ(two.p50, 1.0);  // nearest-rank: ceil(0.5*2) = 1st
+  EXPECT_DOUBLE_EQ(two.max, 3.0);
+  EXPECT_NEAR(two.stddev, std::sqrt(2.0), 1e-12);
+}
+
+// --- JSON ---------------------------------------------------------------
+
+TEST(JsonWriter, RoundTripsDocuments) {
+  json doc = json::object();
+  doc["name"] = json("modcon \"quoted\" \\ slash \n tab\t");
+  doc["i"] = json(-42);
+  doc["u"] = json(std::uint64_t{18446744073709551615ull});
+  doc["f"] = json(0.0553);
+  doc["yes"] = json(true);
+  doc["null"] = json();
+  json arr = json::array();
+  for (int i = 0; i < 4; ++i) arr.push_back(json(i * 1.5));
+  doc["xs"] = std::move(arr);
+
+  json parsed = json::parse(doc.dump(2));
+  EXPECT_EQ(parsed, doc);
+  // Compact and indented forms parse to the same document.
+  EXPECT_EQ(json::parse(doc.dump(-1)), doc);
+  // Serialization is deterministic (insertion-ordered members).
+  EXPECT_EQ(doc.dump(2), json::parse(doc.dump(2)).dump(2));
+}
+
+TEST(JsonWriter, ParsesEscapesAndRejectsGarbage) {
+  EXPECT_EQ(json::parse(R"("aA\n")").as_string(), "aA\n");
+  EXPECT_EQ(json::parse("[1, 2.5, -3]").at(2).as_int(), -3);
+  EXPECT_THROW(json::parse("{\"a\": }"), json_error);
+  EXPECT_THROW(json::parse("[1, 2"), json_error);
+  EXPECT_THROW(json::parse("true false"), json_error);
+  EXPECT_THROW(json::parse(""), json_error);
+}
+
+TEST(JsonWriter, DoublesSurviveShortestRoundTrip) {
+  for (double x : {0.1, 1.0 / 3.0, 6.02e23, -1.5e-9, 29.011491975882016}) {
+    json parsed = json::parse(json(x).dump(-1));
+    EXPECT_DOUBLE_EQ(parsed.as_double(), x);
+  }
+  // Integral doubles keep a decimal point so type round-trips as double.
+  EXPECT_EQ(json(2.0).dump(-1), "2.0");
+}
+
+TEST(ExperimentJson, SummarySerializesWithSchemaFields) {
+  auto s = run_experiment(small_grid_cell("json/cell", 5), {.threads = 2});
+  json j = to_json(s, /*include_records=*/true);
+  EXPECT_EQ(j["label"].as_string(), "json/cell");
+  EXPECT_EQ(j["config"]["n"].as_uint(), 4u);
+  EXPECT_EQ(j["counts"]["trials"].as_uint(), 24u);
+  EXPECT_EQ(j["trials"].size(), 24u);
+  EXPECT_EQ(j["total_ops"]["count"].as_uint(),
+            static_cast<std::uint64_t>(s.completed));
+
+  // Round-trips through text.
+  json back = json::parse(j.dump(2));
+  EXPECT_EQ(back, j);
+
+  json report = make_report_skeleton("unit");
+  EXPECT_EQ(report["schema"].as_string(), kExperimentSchemaName);
+  EXPECT_EQ(report["schema_version"].as_int(), kExperimentSchemaVersion);
+  report["experiments"].push_back(std::move(j));
+  EXPECT_EQ(json::parse(report.dump(2)), report);
+}
+
+}  // namespace
+}  // namespace modcon::analysis

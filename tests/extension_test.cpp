@@ -393,7 +393,7 @@ TEST(Lockstep, StallsRatifierOnlyButNotTheFullStack) {
       return make_ratifier_only_consensus<sim_env>(mem, qs, 1000000);
     };
     trial_options opts;
-    opts.max_steps = 20000;
+    opts.limits.max_steps = 20000;
     auto res = run_object_trial(build, {0, 1}, adv, opts);
     EXPECT_EQ(res.status, sim::run_status::step_limit);
   }
@@ -403,7 +403,7 @@ TEST(Lockstep, StallsRatifierOnlyButNotTheFullStack) {
       return make_impatient_consensus<sim_env>(mem, qs);
     };
     trial_options opts;
-    opts.max_steps = 1'000'000;
+    opts.limits.max_steps = 1'000'000;
     auto res = run_object_trial(build, {0, 1}, adv, opts);
     ASSERT_TRUE(res.completed());
     EXPECT_TRUE(res.agreement());
@@ -418,7 +418,7 @@ TEST(Lockstep, CilStillTerminates) {
     };
     trial_options opts;
     opts.seed = seed;
-    opts.max_steps = 5'000'000;
+    opts.limits.max_steps = 5'000'000;
     auto res = run_object_trial(build, {0, 1, 0, 1}, adv, opts);
     ASSERT_TRUE(res.completed()) << "seed " << seed;
     EXPECT_TRUE(res.agreement());

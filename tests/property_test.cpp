@@ -168,7 +168,7 @@ TEST_P(ObjectContract, HoldsOverSeedsAndPatterns) {
       auto inputs = make_inputs(pattern, c.n, c.m, seed);
       trial_options opts;
       opts.seed = seed;
-      opts.max_steps = 5'000'000;
+      opts.limits.max_steps = 5'000'000;
       auto res =
           run_object_trial(builder_for(c.object, c.m), inputs, *adv, opts);
       ASSERT_TRUE(res.completed())

@@ -164,7 +164,7 @@ TEST(QuorumRatifier, CoherenceUnderCrashes) {
     auto inputs = make_inputs(input_pattern::random_m, 6, 4, seed);
     trial_options opts;
     opts.seed = seed;
-    opts.crashes = {{static_cast<process_id>(seed % 6), seed % 4},
+    opts.faults.crashes = {{static_cast<process_id>(seed % 6), seed % 4},
                     {static_cast<process_id>((seed + 3) % 6), seed % 3}};
     auto res = run_object_trial(ratifier_builder(qs), inputs, adv, opts);
     EXPECT_TRUE(res.coherent()) << "seed " << seed;

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "analysis/metrics.h"
+#include "analysis/runner.h"
 #include "core/modcon.h"
 #include "rt/env.h"
 
@@ -60,26 +61,29 @@ TEST(RtRunner, OpCountsPerThread) {
   EXPECT_EQ(res.max_individual_ops, 2u);
 }
 
+// The unified builder vocabulary (analysis::object_builder<Env>) works
+// for the real-thread backend exactly as for the simulator: the same
+// factory expression, instantiated at rt_env.
+analysis::rt_object_builder impatient_builder() {
+  return [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<rt_env>(mem, make_binary_quorums());
+  };
+}
+
 // Shared fixture logic: run a consensus stack on real threads and check
 // agreement + validity.
 void run_rt_consensus(std::size_t n, std::size_t trials) {
-  auto qs = make_binary_quorums();
   for (std::uint64_t seed = 0; seed < trials; ++seed) {
-    arena mem;
-    auto consensus = make_impatient_consensus<rt_env>(mem, qs);
-    auto res = run_threads(mem, n, seed, [&](rt_env& env) {
-      return invoke_encoded(*consensus, env, env.pid() % 2);
-    });
-    std::set<word> values;
-    std::vector<decided> outs;
-    for (word w : res.outputs) {
-      decided d = decode_decided(w);
-      EXPECT_TRUE(d.decide);
-      values.insert(d.value);
-      outs.push_back(d);
-    }
-    EXPECT_EQ(values.size(), 1u) << "disagreement at seed " << seed;
-    EXPECT_LE(*values.begin(), 1u);  // validity: inputs were {0, 1}
+    auto inputs = analysis::make_inputs(analysis::input_pattern::alternating,
+                                        n, 2, seed);
+    auto res = analysis::run_rt_object_trial(impatient_builder(), inputs,
+                                             {.seed = seed});
+    ASSERT_TRUE(res.completed());
+    for (const decided& d : res.outputs) EXPECT_TRUE(d.decide);
+    EXPECT_TRUE(res.agreement()) << "disagreement at seed " << seed;
+    EXPECT_TRUE(res.valid(inputs));
+    EXPECT_EQ(res.outputs.size(), n);
+    EXPECT_EQ(res.steps, res.total_ops);
   }
 }
 
@@ -88,52 +92,44 @@ TEST(RtConsensus, FourThreadsAgree) { run_rt_consensus(4, 25); }
 TEST(RtConsensus, EightThreadsAgree) { run_rt_consensus(8, 10); }
 
 TEST(RtConsensus, MValuedOnRealThreads) {
-  auto qs = make_bollobas_quorums(16);
+  analysis::rt_object_builder build = [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<rt_env>(mem, make_bollobas_quorums(16));
+  };
   for (std::uint64_t seed = 0; seed < 15; ++seed) {
-    arena mem;
-    auto consensus = make_impatient_consensus<rt_env>(mem, qs);
-    auto res = run_threads(mem, 6, seed, [&](rt_env& env) {
-      return invoke_encoded(*consensus, env, (env.pid() * 3) % 16);
-    });
-    std::set<word> values;
-    for (word w : res.outputs) {
-      decided d = decode_decided(w);
-      EXPECT_TRUE(d.decide);
-      values.insert(d.value);
-    }
-    EXPECT_EQ(values.size(), 1u);
+    std::vector<value_t> inputs;
+    for (std::size_t pid = 0; pid < 6; ++pid)
+      inputs.push_back((pid * 3) % 16);
+    auto res = analysis::run_rt_object_trial(build, inputs, {.seed = seed});
+    for (const decided& d : res.outputs) EXPECT_TRUE(d.decide);
+    EXPECT_TRUE(res.agreement());
+    EXPECT_TRUE(res.valid(inputs));
   }
 }
 
 TEST(RtConsensus, BoundedStackOnRealThreads) {
-  auto qs = make_binary_quorums();
+  analysis::rt_object_builder build = [](address_space& mem, std::size_t n) {
+    return make_bounded_impatient_consensus<rt_env>(mem,
+                                                    make_binary_quorums(), n);
+  };
   for (std::uint64_t seed = 0; seed < 15; ++seed) {
-    arena mem;
-    auto consensus =
-        make_bounded_impatient_consensus<rt_env>(mem, qs, /*n=*/4);
-    auto res = run_threads(mem, 4, seed, [&](rt_env& env) {
-      return invoke_encoded(*consensus, env, env.pid() % 2);
-    });
-    std::set<word> values;
-    for (word w : res.outputs) values.insert(decode_decided(w).value);
-    EXPECT_EQ(values.size(), 1u);
+    auto inputs =
+        analysis::make_inputs(analysis::input_pattern::alternating, 4, 2, seed);
+    auto res = analysis::run_rt_object_trial(build, inputs, {.seed = seed});
+    EXPECT_TRUE(res.agreement());
   }
 }
 
 TEST(RtConsensus, CilBaselineOnRealThreads) {
+  analysis::rt_object_builder build = [](address_space& mem, std::size_t n)
+      -> std::unique_ptr<deciding_object<rt_env>> {
+    return std::make_unique<cil_consensus<rt_env>>(mem, n);
+  };
   for (std::uint64_t seed = 0; seed < 15; ++seed) {
-    arena mem;
-    cil_consensus<rt_env> cil(mem, 4);
-    auto res = run_threads(mem, 4, seed, [&](rt_env& env) {
-      return invoke_encoded(cil, env, env.pid() % 2);
-    });
-    std::set<word> values;
-    for (word w : res.outputs) {
-      decided d = decode_decided(w);
-      EXPECT_TRUE(d.decide);
-      values.insert(d.value);
-    }
-    EXPECT_EQ(values.size(), 1u);
+    auto inputs =
+        analysis::make_inputs(analysis::input_pattern::alternating, 4, 2, seed);
+    auto res = analysis::run_rt_object_trial(build, inputs, {.seed = seed});
+    for (const decided& d : res.outputs) EXPECT_TRUE(d.decide);
+    EXPECT_TRUE(res.agreement());
   }
 }
 
@@ -155,23 +151,13 @@ TEST(RtConsensus, ChaosModeStillAgrees) {
   // Yield-injection forces far more interleavings than free-running
   // threads on a small machine; agreement and validity must survive all
   // of them.
-  auto qs = make_binary_quorums();
   for (std::uint64_t seed = 0; seed < 30; ++seed) {
-    arena mem;
-    auto consensus = make_impatient_consensus<rt_env>(mem, qs);
-    auto res = run_threads(
-        mem, 4, seed,
-        [&](rt_env& env) {
-          return invoke_encoded(*consensus, env, env.pid() % 2);
-        },
-        /*chaos=*/3);
-    std::set<word> values;
-    for (word w : res.outputs) {
-      decided d = decode_decided(w);
-      EXPECT_TRUE(d.decide);
-      values.insert(d.value);
-    }
-    EXPECT_EQ(values.size(), 1u) << "seed " << seed;
+    auto inputs =
+        analysis::make_inputs(analysis::input_pattern::alternating, 4, 2, seed);
+    auto res = analysis::run_rt_object_trial(impatient_builder(), inputs,
+                                             {.seed = seed, .chaos = 3});
+    for (const decided& d : res.outputs) EXPECT_TRUE(d.decide);
+    EXPECT_TRUE(res.agreement()) << "seed " << seed;
   }
 }
 
