@@ -24,6 +24,7 @@ modcon_bench(bench_e11_rt_threads)
 modcon_bench(bench_e12_impatience_ablation)
 modcon_bench(bench_e13_exact_game)
 modcon_bench(bench_e14_harness_scale)
+modcon_bench(bench_e15_fault_matrix)
 target_link_libraries(bench_e11_rt_threads PRIVATE benchmark::benchmark)
 
 # Smoke tests: every bench runs end-to-end (tiny trial counts, 2 worker
@@ -50,3 +51,4 @@ modcon_bench_smoke(bench_e11_rt_threads --benchmark_filter=NONE)
 modcon_bench_smoke(bench_e12_impatience_ablation)
 modcon_bench_smoke(bench_e13_exact_game)
 modcon_bench_smoke(bench_e14_harness_scale)
+modcon_bench_smoke(bench_e15_fault_matrix)

@@ -65,7 +65,7 @@ struct cli_options {
                      "results identical for every N)\n"
                   << "  --seeds N    override per-cell trial counts\n"
                   << "  --json PATH  write the BENCH_*.json artifact "
-                     "(schema modcon-bench v1)\n";
+                     "(schema modcon-bench v2)\n";
         std::exit(0);
       } else {
         argv[out++] = argv[i];  // not ours; keep for the bench

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs every experiment bench through the parallel trial engine and
-# collects the versioned JSON artifacts (schema modcon-bench v1) under
-# artifacts/.  Knobs:
+# collects the versioned JSON artifacts (schema modcon-bench v2) under
+# artifacts/.  The bench_e* glob picks up every registered bench,
+# including E15's fault matrix (crash-restart / regular-register / rt
+# watchdog sweeps).  Knobs:
 #
 #   SEEDS=N    per-cell trial count override (default 100)
 #   THREADS=N  trial-pool workers (default: hardware; results identical)

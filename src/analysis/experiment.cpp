@@ -70,22 +70,34 @@ summary_stats reduce(const trial_grid& cell,
   s.pattern = cell.pattern;
   s.base_seed = cell.base_seed;
   s.trials = records.size();
+  s.fault_profile =
+      cell.faults_for ? std::string("per-trial") : to_string(cell.faults);
 
   std::vector<double> total, indiv, steps;
   std::vector<std::vector<double>> probe_samples(cell.probes.size());
   for (const trial_record& r : records) {
     s.wall_ms += r.wall_ms;
     s.crashed_processes += r.result.crashed_pids.size();
+    s.restarted_processes += r.result.restarted_pids.size();
+    s.restarts += r.result.restarts;
+    s.stale_reads += r.result.stale_reads;
+    s.omitted_writes += r.result.omitted_writes;
     // "Completed" = terminal: every process halted or crashed.  Runs with
     // crash faults end as no_runnable, and the survivors' outputs are
-    // exactly what fault experiments measure; only step_limit runs carry
-    // no usable cost/agreement data.
+    // exactly what fault experiments measure; step_limit runs carry no
+    // usable cost/agreement data, and timed_out runs (rt watchdog aborts)
+    // are counted separately — a hung trial must not poison the
+    // distributions of the trials that did finish.
+    if (r.result.timed_out()) {
+      ++s.timed_out;
+      continue;
+    }
     if (r.result.status == sim::run_status::step_limit) continue;
     ++s.completed;
     s.agreed += r.result.agreement();
     s.coherent += r.result.coherent();
     s.valid += r.valid;
-    s.all_decided += all_decided(r.result.outputs);
+    s.all_decided += all_decided(r.result.all_outputs());
     total.push_back(static_cast<double>(r.result.total_ops));
     indiv.push_back(static_cast<double>(r.result.max_individual_ops));
     steps.push_back(static_cast<double>(r.result.steps));
@@ -199,6 +211,14 @@ std::vector<summary_stats> run_experiment_grid(
 json to_json(const dist_summary& d) {
   json j = json::object();
   j["count"] = json(d.count);
+  if (d.count == 0) {
+    // No samples: every statistic is undefined.  Emit explicit nulls so a
+    // degenerate cell (all trials hung or hit the step limit) still
+    // serializes as valid JSON.
+    for (const char* k : {"mean", "stddev", "min", "max", "p50", "p90", "p99"})
+      j[k] = json();
+    return j;
+  }
   j["mean"] = json(d.mean);
   j["stddev"] = json(d.stddev);
   j["min"] = json(d.min);
@@ -219,6 +239,7 @@ json to_json(const summary_stats& s, bool include_records) {
   cfg["pattern"] = json(to_string(s.pattern));
   cfg["base_seed"] = json(s.base_seed);
   cfg["trials"] = json(s.trials);
+  cfg["faults"] = json(s.fault_profile.empty() ? "none" : s.fault_profile);
   j["config"] = std::move(cfg);
 
   json counts = json::object();
@@ -228,7 +249,12 @@ json to_json(const summary_stats& s, bool include_records) {
   counts["coherent"] = json(s.coherent);
   counts["valid"] = json(s.valid);
   counts["all_decided"] = json(s.all_decided);
+  counts["timed_out"] = json(s.timed_out);
   counts["crashed_processes"] = json(s.crashed_processes);
+  counts["restarted_processes"] = json(s.restarted_processes);
+  counts["restarts"] = json(s.restarts);
+  counts["stale_reads"] = json(s.stale_reads);
+  counts["omitted_writes"] = json(s.omitted_writes);
   j["counts"] = std::move(counts);
 
   json rates = json::object();

@@ -36,7 +36,10 @@
 namespace modcon::analysis {
 
 // JSON schema version stamped into every serialized summary/report.
-inline constexpr int kExperimentSchemaVersion = 1;
+// v2 added fault-injection accounting: counts.timed_out,
+// counts.restarted_processes, counts.restarts, counts.stale_reads,
+// counts.omitted_writes, and config.faults (see EXPERIMENTS.md).
+inline constexpr int kExperimentSchemaVersion = 2;
 inline constexpr const char* kExperimentSchemaName = "modcon-bench";
 
 // Deterministic per-trial seed: SplitMix64 of base_seed ^ trial_index.
@@ -120,12 +123,22 @@ struct summary_stats {
   std::uint64_t base_seed = 0;
 
   std::size_t trials = 0;
-  std::size_t completed = 0;    // terminal: halted or crashed, not step_limit
+  // Terminal: halted or crashed — not step_limit, not timed_out.
+  std::size_t completed = 0;
   std::size_t agreed = 0;       // completed && all outputs equal
   std::size_t coherent = 0;     // completed && coherence holds
   std::size_t valid = 0;        // completed && validity holds
   std::size_t all_decided = 0;  // completed && every output has decide=1
+  std::size_t timed_out = 0;    // rt watchdog aborts (hung trials)
   std::size_t crashed_processes = 0;  // sum of |crashed_pids| over trials
+  // Fault-injection accounting, summed over all trials.
+  std::size_t restarted_processes = 0;  // sum of |restarted_pids|
+  std::uint64_t restarts = 0;
+  std::uint64_t stale_reads = 0;
+  std::uint64_t omitted_writes = 0;
+  // Echo of the cell's fault plan ("none", a to_string(fault_plan), or
+  // "per-trial" when faults_for derives plans per trial).
+  std::string fault_profile;
 
   dist_summary total_ops;
   dist_summary max_individual_ops;
@@ -170,7 +183,9 @@ summary_stats run_experiment(const trial_grid& cell,
 std::vector<summary_stats> run_experiment_grid(
     const std::vector<trial_grid>& grid, const experiment_options& opts = {});
 
-// --- JSON serialization (schema "modcon-bench", version 1) -------------
+// --- JSON serialization (schema "modcon-bench", version 2) -------------
+// A dist_summary over zero samples serializes its moments and order
+// statistics as null (JSON has no NaN/Inf).
 json to_json(const dist_summary& d);
 json to_json(const summary_stats& s, bool include_records = false);
 

@@ -320,7 +320,16 @@ void json::dump_to(std::string& out, int indent, int depth) const {
     case kind::bool_t: out += bool_ ? "true" : "false"; break;
     case kind::int_t: out += std::to_string(int_); break;
     case kind::uint_t: out += std::to_string(uint_); break;
-    case kind::double_t: out += format_double(double_); break;
+    case kind::double_t:
+      // JSON has no NaN/Inf tokens; degenerate statistics (e.g. a mean
+      // over zero completed trials) serialize as null rather than
+      // producing an unparseable document.
+      if (!std::isfinite(double_)) {
+        out += "null";
+        break;
+      }
+      out += format_double(double_);
+      break;
     case kind::string_t: append_escaped(out, string_); break;
     case kind::array_t: {
       if (array_.empty()) {

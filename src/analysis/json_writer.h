@@ -8,7 +8,9 @@
 //   * round-trippable — parse(dump(v)) reproduces v, so summaries can be
 //     reloaded by tooling and by tests;
 //   * small — only what BENCH_*.json needs (null/bool/integers/doubles/
-//     strings/arrays/objects; no comments, no NaN/Inf).
+//     strings/arrays/objects; no comments).  JSON has no NaN/Inf tokens,
+//     so non-finite doubles serialize as null (degenerate summaries must
+//     still produce parseable documents).
 #pragma once
 
 #include <cstdint>

@@ -9,8 +9,10 @@
 namespace modcon::analysis {
 
 // Validity: every output value equals some process's input value.
-// Outputs of crashed processes are absent from `outputs` (pass only the
-// survivors').
+// Pass every decided value that escaped into the execution: the
+// survivors' outputs plus any decided-then-crashed values
+// (trial_result::all_outputs()); pids that crashed before deciding
+// contribute nothing.
 bool check_validity(const std::vector<decided>& outputs,
                     const std::vector<value_t>& inputs);
 

@@ -1,8 +1,42 @@
 #include "analysis/runner.h"
 
+#include <algorithm>
+#include <sstream>
+
 #include "util/rng.h"
 
 namespace modcon::analysis {
+
+std::string to_string(const fault_plan& plan) {
+  if (plan.empty()) return "none";
+  std::ostringstream os;
+  const char* sep = "";
+  for (const auto& c : plan.crashes) {
+    os << sep << "crash(" << c.pid << "@" << c.after_ops << ")";
+    sep = " ";
+  }
+  for (const auto& r : plan.restarts) {
+    os << sep << "restart(" << r.pid << "@" << r.after_ops << ")";
+    sep = " ";
+  }
+  for (const auto& s : plan.stalls) {
+    os << sep << "stall(" << s.pid << "@" << s.after_ops;
+    if (s.resume_after_ms != 0) os << "+" << s.resume_after_ms << "ms";
+    os << ")";
+    sep = " ";
+  }
+  if (plan.registers.regular) {
+    os << sep << "regular(1/" << plan.registers.stale_denominator << ")";
+    sep = " ";
+  }
+  if (plan.registers.omit_denominator != 0 &&
+      plan.registers.omit_budget != 0) {
+    os << sep << "omit(1/" << plan.registers.omit_denominator << "x"
+       << plan.registers.omit_budget << ")";
+    sep = " ";
+  }
+  return os.str();
+}
 
 trial_result run_object_trial(const sim_object_builder& build,
                               const std::vector<value_t>& inputs,
@@ -11,6 +45,7 @@ trial_result run_object_trial(const sim_object_builder& build,
   const std::size_t n = inputs.size();
   sim::world_options wopts;
   wopts.trace_enabled = opts.trace;
+  wopts.register_faults = opts.faults.registers;
   sim::sim_world world(n, adv, opts.seed, wopts);
 
   auto obj = build(world, n);
@@ -22,17 +57,31 @@ trial_result run_object_trial(const sim_object_builder& build,
   }
   for (const crash_spec& c : opts.faults.crashes)
     world.crash_after(c.pid, c.after_ops);
+  for (const restart_spec& r : opts.faults.restarts)
+    world.restart_after(r.pid, r.after_ops);
+  // A stalled process never takes another step; in an asynchronous model
+  // with no fairness assumption that is observationally a crash.
+  for (const stall_spec& s : opts.faults.stalls)
+    world.crash_after(s.pid, s.after_ops);
 
   trial_result res;
   res.status = world.run(opts.limits.max_steps).status;
   for (process_id pid = 0; pid < n; ++pid) {
-    if (auto out = world.output_of(pid)) {
+    auto out = world.output_of(pid);
+    if (world.crashed(pid)) {
+      // Crashed wins the pid partition; a decided-then-crashed value
+      // still feeds the checks via crashed_outputs.
+      res.crashed_pids.push_back(pid);
+      if (out) res.crashed_outputs.push_back(decode_decided(*out));
+    } else if (out) {
       res.outputs.push_back(decode_decided(*out));
       res.halted_pids.push_back(pid);
-    } else if (world.crashed(pid)) {
-      res.crashed_pids.push_back(pid);
     }
+    if (world.restarts_of(pid) > 0) res.restarted_pids.push_back(pid);
   }
+  res.restarts = world.total_restarts();
+  res.stale_reads = world.stale_reads();
+  res.omitted_writes = world.omitted_writes();
   res.total_ops = world.total_ops();
   res.max_individual_ops = world.max_individual_ops();
   res.steps = world.steps();
@@ -49,22 +98,55 @@ trial_result run_rt_object_trial(const rt_object_builder& build,
   rt::arena mem;
   auto obj = build(mem, n);
 
+  rt::rt_run_options ropts;
+  ropts.chaos = opts.chaos;
+  ropts.watchdog_ms = opts.watchdog_ms;
+  for (const crash_spec& c : opts.faults.crashes)
+    ropts.faults.push_back(
+        {c.pid, c.after_ops, rt::fault_action::crash, 0});
+  for (const restart_spec& r : opts.faults.restarts)
+    ropts.faults.push_back(
+        {r.pid, r.after_ops, rt::fault_action::restart, 0});
+  for (const stall_spec& s : opts.faults.stalls)
+    ropts.faults.push_back(
+        {s.pid, s.after_ops, rt::fault_action::stall, s.resume_after_ms});
+  // Register faults are ignored here: rt registers are real atomics.
+
   // The inputs vector outlives the threads, so the program lambda may
   // capture it by pointer (invoke_encoded copies the value into the
   // coroutine frame before the lambda dies — CP.51).
-  auto rres = rt::run_threads(
+  auto rres = rt::run_threads_opts(
       mem, n, opts.seed,
       [&obj, &inputs](rt::rt_env& env) {
         return invoke_encoded(*obj, env, inputs[env.pid()]);
       },
-      opts.chaos);
+      ropts);
 
   trial_result res;
-  res.status = sim::run_status::all_halted;
+  bool any_crashed = false;
   for (process_id pid = 0; pid < n; ++pid) {
-    res.outputs.push_back(decode_decided(rres.outputs[pid]));
-    res.halted_pids.push_back(pid);
+    switch (rres.outcomes[pid]) {
+      case rt::rt_outcome::halted:
+        res.outputs.push_back(decode_decided(rres.outputs[pid]));
+        res.halted_pids.push_back(pid);
+        break;
+      case rt::rt_outcome::crashed:
+        res.crashed_pids.push_back(pid);
+        any_crashed = true;
+        break;
+      case rt::rt_outcome::timed_out:
+      case rt::rt_outcome::running:
+        break;  // still running when aborted: in neither partition
+    }
+    if (rres.restarts[pid] > 0) res.restarted_pids.push_back(pid);
+    res.restarts += rres.restarts[pid];
   }
+  if (rres.timed_out)
+    res.status = sim::run_status::timed_out;
+  else if (any_crashed)
+    res.status = sim::run_status::no_runnable;
+  else
+    res.status = sim::run_status::all_halted;
   res.total_ops = rres.total_ops;
   res.max_individual_ops = rres.max_individual_ops;
   res.steps = rres.total_ops;

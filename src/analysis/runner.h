@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/metrics.h"
@@ -47,22 +48,76 @@ struct crash_spec {
   std::uint64_t after_ops;
 };
 
+// Crash-restart: the process loses its local state after `after_ops`
+// operations and re-runs its program from the start with its original
+// input; shared registers persist.
+struct restart_spec {
+  process_id pid;
+  std::uint64_t after_ops;
+};
+
+// Stall: the process stops taking steps after `after_ops` operations.
+// On the rt backend it parks the OS thread, resuming after
+// `resume_after_ms` (0 = never — a hung trial for the watchdog to
+// reclaim).  On the sim backend a stalled process is indistinguishable
+// from a crashed one (the model is asynchronous: no fairness, no
+// clocks), so stalls map to crashes there.
+struct stall_spec {
+  process_id pid;
+  std::uint64_t after_ops;
+  std::uint32_t resume_after_ms = 0;
+};
+
 // Execution budget for one trial (designated-initializer friendly:
 // `.limits = {.max_steps = 400'000}`).
 struct run_limits {
   std::uint64_t max_steps = 50'000'000;
 };
 
-// Crash-fault injection plan for one trial.
+// Fault-injection plan for one trial: crash-stop, crash-restart, and
+// stall process faults plus register-level faults (stale reads / write
+// omission; sim backend only — rt registers are real hardware).  All
+// injected randomness derives from the trial seed, so any failure
+// reproduces exactly from (seed, fault_plan).
 struct fault_plan {
   std::vector<crash_spec> crashes;
+  std::vector<restart_spec> restarts;
+  std::vector<stall_spec> stalls;
+  sim::register_fault_config registers;
 
   fault_plan& crash(process_id pid, std::uint64_t after_ops) {
     crashes.push_back({pid, after_ops});
     return *this;
   }
-  bool empty() const { return crashes.empty(); }
+  fault_plan& restart(process_id pid, std::uint64_t after_ops) {
+    restarts.push_back({pid, after_ops});
+    return *this;
+  }
+  fault_plan& stall(process_id pid, std::uint64_t after_ops,
+                    std::uint32_t resume_after_ms = 0) {
+    stalls.push_back({pid, after_ops, resume_after_ms});
+    return *this;
+  }
+  fault_plan& regular_registers(std::uint64_t stale_denominator = 4) {
+    registers.regular = true;
+    registers.stale_denominator = stale_denominator;
+    return *this;
+  }
+  fault_plan& omit_writes(std::uint64_t denominator, std::uint64_t budget) {
+    registers.omit_denominator = denominator;
+    registers.omit_budget = budget;
+    return *this;
+  }
+  bool empty() const {
+    return crashes.empty() && restarts.empty() && stalls.empty() &&
+           !registers.enabled();
+  }
 };
+
+// Compact human-readable echo of a plan, e.g.
+// "crash(1@3) restart(0@2) regular(1/4)"; "none" when empty.  Used by
+// the experiment engine's fault_profile summary field.
+std::string to_string(const fault_plan& plan);
 
 struct trial_options {
   std::uint64_t seed = 1;
@@ -82,25 +137,44 @@ struct trial_options {
 
 struct trial_result {
   sim::run_status status = sim::run_status::all_halted;
-  // One entry per process that halted (crashed processes excluded);
-  // parallel to `halted_pids`.
+  // One entry per process that halted as a survivor (crashed processes
+  // excluded); parallel to `halted_pids`.
   std::vector<decided> outputs;
   std::vector<process_id> halted_pids;
   // Processes removed by the fault plan before they could halt.  A pid
   // appears in exactly one of halted_pids / crashed_pids unless the run
-  // hit its step limit, in which case it may appear in neither ("still
-  // running").
+  // hit its step limit or timed out, in which case it may appear in
+  // neither ("still running").
   std::vector<process_id> crashed_pids;
+  // Decided values of processes that crashed on the very operation where
+  // they decided: the value escaped into the execution, so it must feed
+  // the agreement/coherence/validity checks, but the pid is reported
+  // through crashed_pids, not halted_pids.
+  std::vector<decided> crashed_outputs;
+  // Processes that suffered at least one crash-restart fault (they may
+  // also appear in halted_pids/crashed_pids — restarts are not terminal).
+  std::vector<process_id> restarted_pids;
+  std::uint64_t restarts = 0;        // total restarts across processes
+  std::uint64_t stale_reads = 0;     // regular-register fault injections
+  std::uint64_t omitted_writes = 0;  // write-omission fault injections
   std::uint64_t total_ops = 0;
   std::uint64_t max_individual_ops = 0;
   std::uint64_t steps = 0;
   std::uint32_t registers = 0;
 
+  // Every decided value that escaped into the execution, survivors first.
+  std::vector<decided> all_outputs() const {
+    std::vector<decided> all = outputs;
+    all.insert(all.end(), crashed_outputs.begin(), crashed_outputs.end());
+    return all;
+  }
+
   bool completed() const { return status == sim::run_status::all_halted; }
-  bool agreement() const { return check_agreement(outputs); }
-  bool coherent() const { return check_coherence(outputs); }
+  bool timed_out() const { return status == sim::run_status::timed_out; }
+  bool agreement() const { return check_agreement(all_outputs()); }
+  bool coherent() const { return check_coherence(all_outputs()); }
   bool valid(const std::vector<value_t>& inputs) const {
-    return check_validity(outputs, inputs);
+    return check_validity(all_outputs(), inputs);
   }
 };
 
@@ -111,19 +185,26 @@ trial_result run_object_trial(const sim_object_builder& build,
                               sim::adversary& adv,
                               const trial_options& opts = {});
 
-// Real-thread trial options.  There is no adversary (the OS schedules)
-// and no fault plan (threads cannot be crashed mid-run); `chaos` injects
-// random yields for interleaving stress (see rt::rt_env).
+// Real-thread trial options.  There is no adversary (the OS schedules);
+// `chaos` injects random yields for interleaving stress (see rt::rt_env).
+// Process faults in `faults` are applied cooperatively at operation
+// boundaries (crash/restart/stall; register faults are ignored — rt
+// registers are real hardware).  The watchdog bounds the trial's wall
+// clock: a hung run (e.g. an injected stall with no resume) is aborted
+// and reported as status timed_out instead of wedging the suite.
 struct rt_trial_options {
   std::uint64_t seed = 1;
   std::uint32_t chaos = 0;
+  fault_plan faults;
+  std::uint32_t watchdog_ms = 10'000;
 };
 
 // Runs one real-thread execution of the object built by `build` over a
 // fresh arena: process pid gets input inputs[pid].  The result uses the
-// same shape as the simulated trial: status is always all_halted (the
-// run blocks until every thread returns), every pid is in halted_pids,
-// and `steps` equals total_ops (one operation per step, no scheduler).
+// same shape as the simulated trial: a fault-free run reports all_halted
+// with every pid in halted_pids; injected crashes report no_runnable with
+// the victims in crashed_pids; a watchdog abort reports timed_out.
+// `steps` equals total_ops (one operation per step, no scheduler).
 trial_result run_rt_object_trial(const rt_object_builder& build,
                                  const std::vector<value_t>& inputs,
                                  const rt_trial_options& opts = {});

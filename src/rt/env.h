@@ -11,6 +11,9 @@
 // the run.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -23,6 +26,97 @@
 
 namespace modcon::rt {
 
+// ---------------------------------------------------------------------
+// Cooperative fault injection.
+//
+// Real threads cannot be crashed from outside without UB, so faults are
+// *cooperative*: every shared-memory operation is a fault point, and the
+// env consults a shared rt_fault_board at each one.  A due fault unwinds
+// the worker's coroutine stack with one of the signal types below, caught
+// in rt/runner.h: crash stops the thread, restart re-runs its program
+// from scratch (shared registers persist, the op counter accumulates —
+// the same semantics as sim_world::restart_after), and stall parks the
+// thread, polling the board's abort flag so a watchdog can still reclaim
+// it.  `after_ops = k` fires at the entry of the (k+1)-th operation, i.e.
+// after the process has executed exactly k ops — matching the sim
+// backend's crash_after/restart_after thresholds.
+// ---------------------------------------------------------------------
+
+enum class fault_action : std::uint8_t { stall, crash, restart };
+
+struct rt_fault_spec {
+  process_id pid = 0;
+  std::uint64_t after_ops = 0;
+  fault_action action = fault_action::crash;
+  // stall only: resume after this many milliseconds; 0 = never resume
+  // (the thread hangs until the watchdog aborts the run).
+  std::uint32_t resume_after_ms = 0;
+};
+
+// Thrown at a fault point to unwind a worker's coroutine stack.  These
+// deliberately do not derive from std::exception: an algorithm's own
+// catch(const std::exception&) handler must not swallow an injected
+// fault.
+struct rt_crash_signal {};
+struct rt_restart_signal {};
+struct rt_timeout_signal {};
+
+class rt_fault_board {
+ public:
+  rt_fault_board(std::size_t n, const std::vector<rt_fault_spec>& specs)
+      : plans_(n), next_(n, 0) {
+    for (const auto& s : specs)
+      if (s.pid < n) plans_[s.pid].push_back(s);
+    for (auto& plan : plans_)
+      std::stable_sort(plan.begin(), plan.end(),
+                       [](const rt_fault_spec& a, const rt_fault_spec& b) {
+                         return a.after_ops < b.after_ops;
+                       });
+  }
+
+  // Called by rt_env at the entry of every operation, before it applies
+  // or is counted.  plans_ is read-only after construction and next_[pid]
+  // is touched only by pid's own thread; the only shared mutable state is
+  // the abort flag.
+  void check(process_id pid, std::uint64_t ops) {
+    if (abort_.load(std::memory_order_relaxed)) throw rt_timeout_signal{};
+    auto& plan = plans_[pid];
+    std::size_t& next = next_[pid];
+    while (next < plan.size() && ops >= plan[next].after_ops) {
+      const rt_fault_spec s = plan[next];
+      ++next;  // each spec fires exactly once, even across restarts
+      switch (s.action) {
+        case fault_action::stall:
+          stall(s.resume_after_ms);
+          break;
+        case fault_action::crash:
+          throw rt_crash_signal{};
+        case fault_action::restart:
+          throw rt_restart_signal{};
+      }
+    }
+  }
+
+  void abort() { abort_.store(true, std::memory_order_relaxed); }
+  bool aborted() const { return abort_.load(std::memory_order_relaxed); }
+
+ private:
+  void stall(std::uint32_t resume_after_ms) {
+    using clock = std::chrono::steady_clock;
+    const auto deadline =
+        clock::now() + std::chrono::milliseconds(resume_after_ms);
+    for (;;) {
+      if (abort_.load(std::memory_order_relaxed)) throw rt_timeout_signal{};
+      if (resume_after_ms != 0 && clock::now() >= deadline) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  std::vector<std::vector<rt_fault_spec>> plans_;  // per-pid, sorted
+  std::vector<std::size_t> next_;                  // per-pid cursor
+  std::atomic<bool> abort_{false};
+};
+
 class rt_env {
  public:
   // chaos > 0 injects a scheduling perturbation (std::this_thread::yield)
@@ -30,14 +124,17 @@ class rt_env {
   // from the algorithm's local coins.  On few-core machines OS threads
   // otherwise run long quanta back to back, hiding interleavings; chaos
   // mode recovers adversarial-ish schedules for stress tests.
+  // `board`, when non-null, makes every operation a cooperative fault
+  // point (see rt_fault_board above); it must outlive the env.
   rt_env(arena& mem, process_id pid, std::size_t n, rng r,
-         std::uint32_t chaos = 0)
+         std::uint32_t chaos = 0, rt_fault_board* board = nullptr)
       : mem_(&mem),
         pid_(pid),
         n_(n),
         rng_(r),
         chaos_(chaos),
-        chaos_rng_(r.split(0xc4a05)) {}
+        chaos_rng_(r.split(0xc4a05)),
+        board_(board) {}
 
   struct read_awaiter {
     word result;
@@ -60,12 +157,14 @@ class rt_env {
   };
 
   read_awaiter read(reg_id r) {
+    fault_point();
     perturb();
     ++ops_;
     return read_awaiter{mem_->at(r).load(std::memory_order_seq_cst)};
   }
 
   void_awaiter write(reg_id r, word v) {
+    fault_point();
     perturb();
     ++ops_;
     mem_->at(r).store(v, std::memory_order_seq_cst);
@@ -73,6 +172,7 @@ class rt_env {
   }
 
   void_awaiter prob_write(reg_id r, word v, prob p) {
+    fault_point();
     perturb();
     ++ops_;
     if (p.sample(rng_)) mem_->at(r).store(v, std::memory_order_seq_cst);
@@ -88,6 +188,7 @@ class rt_env {
 
   // Success-detecting probabilistic write (footnote to Theorem 7).
   bool_awaiter prob_write_detect(reg_id r, word v, prob p) {
+    fault_point();
     perturb();
     ++ops_;
     bool ok = p.sample(rng_);
@@ -98,6 +199,7 @@ class rt_env {
   // No cheap-collect assumption on real hardware: n individual reads,
   // charged as n operations (the sim backend charges 1; see §6.2).
   collect_awaiter collect(reg_id first, std::uint32_t count) {
+    fault_point();
     ops_ += count;
     collect_awaiter a;
     a.result.resize(count);
@@ -120,12 +222,18 @@ class rt_env {
       std::this_thread::yield();
   }
 
+  // At op entry, before ++ops_: after_ops = k means exactly k executed.
+  void fault_point() {
+    if (board_) board_->check(pid_, ops_);
+  }
+
   arena* mem_;
   process_id pid_;
   std::size_t n_;
   rng rng_;
   std::uint32_t chaos_;
   rng chaos_rng_;
+  rt_fault_board* board_ = nullptr;
   std::uint64_t ops_ = 0;
 };
 

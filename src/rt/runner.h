@@ -1,7 +1,12 @@
-// Drives n coroutine programs on n real threads.
+// Drives n coroutine programs on n real threads, with optional
+// cooperative fault injection and a hung-run watchdog (see rt/env.h for
+// the fault model).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -12,46 +17,102 @@
 
 namespace modcon::rt {
 
+// Per-process terminal state of a run.  `running` survives only in a
+// timed-out run: the watchdog aborted before the thread reached a fault
+// point (it is unwound as timed_out at its next one, but op aggregation
+// happens after join, so by then every thread has some terminal state —
+// `running` is kept for threads whose programs were reclaimed via the
+// abort flag without a dedicated outcome).
+enum class rt_outcome : std::uint8_t { running, halted, crashed, timed_out };
+
 struct rt_result {
-  std::vector<word> outputs;           // per process
+  std::vector<word> outputs;  // per process; meaningful iff outcome halted
   std::vector<std::uint64_t> op_counts;
   std::uint64_t total_ops = 0;
   std::uint64_t max_individual_ops = 0;
+  // Fault accounting (defaults when run without faults/watchdog).
+  bool timed_out = false;  // the watchdog aborted a hung run
+  std::vector<rt_outcome> outcomes;     // per process
+  std::vector<std::uint64_t> restarts;  // per process
+};
+
+struct rt_run_options {
+  std::uint32_t chaos = 0;  // see rt_env
+  std::vector<rt_fault_spec> faults;
+  // Wall-clock budget for the whole run; 0 disables the watchdog.  On
+  // expiry the run is aborted via the fault board (threads unwind at
+  // their next fault point; stalled threads poll the same flag) and the
+  // result is marked timed_out instead of wedging the caller.
+  std::uint32_t watchdog_ms = 0;
 };
 
 // Spawns one thread per process; each builds its program via
-// `make_program(env)` and runs it to completion.  Any process exception
-// is rethrown on the caller's thread after all threads join.  `chaos`
-// (see rt_env) injects random yields for interleaving stress.
-inline rt_result run_threads(
+// `make_program(env)` and runs it to completion or until an injected
+// fault stops it.  A restart fault re-runs make_program from scratch on
+// the same env (local state lost, registers and op counter persist).
+// Any non-fault process exception is rethrown on the caller's thread
+// after all threads join.
+inline rt_result run_threads_opts(
     arena& mem, std::size_t n, std::uint64_t seed,
     const std::function<proc<word>(rt_env&)>& make_program,
-    std::uint32_t chaos = 0) {
+    const rt_run_options& opts = {}) {
   MODCON_CHECK(n >= 1);
+  std::unique_ptr<rt_fault_board> board;
+  if (!opts.faults.empty() || opts.watchdog_ms != 0)
+    board = std::make_unique<rt_fault_board>(n, opts.faults);
+
   std::vector<rt_env> envs;
   envs.reserve(n);
   for (process_id pid = 0; pid < n; ++pid) {
     rng stream(splitmix64(seed) ^ (0x9e3779b97f4a7c15ULL * (pid + 1)));
-    envs.emplace_back(mem, pid, n, stream, chaos);
+    envs.emplace_back(mem, pid, n, stream, opts.chaos, board.get());
   }
 
   rt_result res;
   res.outputs.assign(n, 0);
   res.op_counts.assign(n, 0);
+  res.outcomes.assign(n, rt_outcome::running);
+  res.restarts.assign(n, 0);
   std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> done{0};
   {
     std::vector<std::jthread> threads;
     threads.reserve(n);
     for (process_id pid = 0; pid < n; ++pid) {
       threads.emplace_back([&, pid] {
         try {
-          res.outputs[pid] = run_inline(make_program(envs[pid]));
+          for (;;) {
+            try {
+              res.outputs[pid] = run_inline(make_program(envs[pid]));
+              res.outcomes[pid] = rt_outcome::halted;
+              break;
+            } catch (const rt_restart_signal&) {
+              ++res.restarts[pid];  // local state lost; run again
+            }
+          }
+        } catch (const rt_crash_signal&) {
+          res.outcomes[pid] = rt_outcome::crashed;
+        } catch (const rt_timeout_signal&) {
+          res.outcomes[pid] = rt_outcome::timed_out;
         } catch (...) {
           errors[pid] = std::current_exception();
         }
+        done.fetch_add(1, std::memory_order_release);
       });
     }
-  }
+    if (opts.watchdog_ms != 0) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(opts.watchdog_ms);
+      while (done.load(std::memory_order_acquire) < n) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          res.timed_out = true;
+          board->abort();
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    }
+  }  // jthread join: synchronizes all per-pid writes below
   for (auto& e : errors)
     if (e) std::rethrow_exception(e);
 
@@ -62,6 +123,16 @@ inline rt_result run_threads(
         std::max(res.max_individual_ops, envs[pid].ops());
   }
   return res;
+}
+
+// Fault-free entry point, kept for callers that predate fault injection.
+inline rt_result run_threads(
+    arena& mem, std::size_t n, std::uint64_t seed,
+    const std::function<proc<word>(rt_env&)>& make_program,
+    std::uint32_t chaos = 0) {
+  rt_run_options opts;
+  opts.chaos = chaos;
+  return run_threads_opts(mem, n, seed, make_program, opts);
 }
 
 }  // namespace modcon::rt

@@ -3,14 +3,48 @@
 // Registers are atomic by construction here: the simulator executes one
 // operation at a time, so every read returns the last value written —
 // exactly the model of §2.
+//
+// Fault injection (optional, off by default): `enable_faults` weakens the
+// semantics *as observed by processes* while keeping the ground truth
+// intact for the adversary, the trace, and test peeks:
+//
+//   * regular mode — a process read may return the register's previous
+//     value instead of the current one (a stale read).  This is the
+//     observable difference between an atomic and a regular register in a
+//     one-op-at-a-time schedule: a reader overlapping a write may see
+//     either the old or the new value (Hadzilacos–Hu–Toueg 2020 study
+//     consensus under exactly this weakening).
+//   * bounded transient write omission — while a budget lasts, a process
+//     write may be silently dropped.
+//
+// Both are driven by a private RNG seeded from the trial seed, so every
+// injected fault schedule reproduces exactly from (seed, fault config).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "exec/types.h"
+#include "util/rng.h"
 
 namespace modcon::sim {
+
+// Configuration for injected register faults (see file comment).  Part of
+// the analysis-layer fault_plan; designated-initializer friendly.
+struct register_fault_config {
+  // Regular-register mode: each process read returns the previous value
+  // with probability 1/stale_denominator.
+  bool regular = false;
+  std::uint64_t stale_denominator = 4;
+  // Transient write omission: while omit_budget lasts, each process write
+  // is dropped with probability 1/omit_denominator (0 disables).
+  std::uint64_t omit_denominator = 0;
+  std::uint64_t omit_budget = 0;
+
+  bool enabled() const {
+    return regular || (omit_denominator != 0 && omit_budget != 0);
+  }
+};
 
 class register_file {
  public:
@@ -24,20 +58,51 @@ class register_file {
     return static_cast<std::uint32_t>(values_.size());
   }
 
-  // Number of writes applied to r so far (missed probabilistic writes
-  // excluded).  The Theorem 7 analysis is a statement about this count
-  // on the conciliator's register — "with constant probability only one
-  // write occurs" — so the E1 bench reads it directly.
+  // Number of writes applied to r so far (missed probabilistic writes and
+  // omitted writes excluded).  The Theorem 7 analysis is a statement
+  // about this count on the conciliator's register — "with constant
+  // probability only one write occurs" — so the E1 bench reads it
+  // directly.
   std::uint64_t writes_applied(reg_id r) const;
 
-  // Restores every register to its initial value (fresh execution of the
-  // same object graph; used by the replay-based explorer).
+  // --- fault injection -------------------------------------------------
+  // Arms the fault config with a deterministic RNG stream.  Must be
+  // called before any process operation; `read`/`write` above stay
+  // truthful (they serve the adversary view, the trace, and tests), while
+  // the process-facing accessors below apply the configured faults.
+  void enable_faults(const register_fault_config& cfg, std::uint64_t seed);
+
+  // Process-facing read: returns the previous value instead of the
+  // current one when the fault coin says stale (regular mode).
+  word process_read(reg_id r);
+
+  // Process-facing write: returns false (register unchanged) if the write
+  // was omitted; true if applied.
+  bool process_write(reg_id r, word v);
+
+  std::uint64_t stale_reads() const { return stale_reads_; }
+  std::uint64_t omitted_writes() const { return omitted_writes_; }
+
+  // Restores every register to its initial value and the fault machinery
+  // to its armed state (fresh execution of the same object graph; used by
+  // the replay-based explorer).
   void reset();
 
  private:
   std::vector<word> values_;
   std::vector<word> initial_;
+  // Value each register held before its most recent applied write (the
+  // candidate result of a stale read).
+  std::vector<word> previous_;
   std::vector<std::uint64_t> write_counts_;
+
+  register_fault_config faults_;
+  bool faults_enabled_ = false;
+  std::uint64_t fault_seed_ = 0;
+  rng fault_rng_;
+  std::uint64_t omissions_left_ = 0;
+  std::uint64_t stale_reads_ = 0;
+  std::uint64_t omitted_writes_ = 0;
 };
 
 }  // namespace modcon::sim

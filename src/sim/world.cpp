@@ -160,6 +160,13 @@ sim_world::sim_world(std::size_t n, adversary& adv, std::uint64_t seed,
   pcbs_.reserve(n);
   runnable_index_.assign(n, UINT32_MAX);
   trace_.enable(opts.trace_enabled);
+  if (opts.register_faults.enabled()) {
+    // Derive the fault stream from a *local copy* of the seed: splitmix64
+    // advances its argument, and seed_ feeds the per-process rng streams,
+    // which must be identical with and without faults armed.
+    std::uint64_t fault_seed = seed ^ 0xd1b54a32d192ed03ULL;
+    regs_.enable_faults(opts.register_faults, splitmix64(fault_seed));
+  }
   adv_.reset(n, seed);
 }
 
@@ -172,6 +179,7 @@ process_id sim_world::spawn(
   rng stream(splitmix64(seed_) ^ (0x9e3779b97f4a7c15ULL * (pid + 1)));
   pcbs_.push_back(std::make_unique<pcb>(this, pid, stream));
   pcb& p = *pcbs_.back();
+  p.main = main;  // retained for crash-restart re-incarnation
   p.program = main(p.env);
   p.program.start();  // run free local computation to the first shared op
   after_resume(pid);
@@ -187,10 +195,21 @@ void sim_world::crash_after(process_id pid, std::uint64_t after_ops) {
   pcb& p = *pcbs_[pid];
   p.crash_planned = true;
   p.crash_threshold = after_ops;
-  if (!p.halted && !p.crashed && p.ops >= after_ops) {
+  // Not gated on halted: a process that already decided at the threshold
+  // is marked crashed as well (decided-then-crashed, see world.h).
+  if (!p.crashed && p.ops >= after_ops) {
     p.crashed = true;
     remove_runnable(pid);
   }
+}
+
+void sim_world::restart_after(process_id pid, std::uint64_t after_ops) {
+  MODCON_CHECK(pid < pcbs_.size());
+  pcb& p = *pcbs_[pid];
+  p.restart_points.push_back(after_ops);
+  std::sort(p.restart_points.begin() +
+                static_cast<std::ptrdiff_t>(p.next_restart),
+            p.restart_points.end());
 }
 
 bool sim_world::sample_coin(process_id /*pid*/, const prob& p, rng& local) {
@@ -230,25 +249,31 @@ void sim_world::execute(process_id pid) {
   if (op.probabilistic && coin_override_)
     op.coin_success = coin_override_(pid, op.coin_prob);
 
+  // Process-facing accesses go through the fault layer (process_read /
+  // process_write); with no faults armed they are plain read/write.  The
+  // trace records what the process observed.
   trace_event ev{step_, pid, op.kind, op.reg, op.value, true};
   switch (op.kind) {
     case op_kind::read:
-      *op.read_slot = regs_.read(op.reg);
+      *op.read_slot = regs_.process_read(op.reg);
       ev.value = *op.read_slot;
       break;
     case op_kind::write:
       if (op.coin_success)
-        regs_.write(op.reg, op.value);
+        ev.applied = regs_.process_write(op.reg, op.value);
       else
         ev.applied = false;
       // Detecting writes report their outcome through the result slot.
+      // An omitted write is *silent*: the detector still sees success —
+      // that is what makes the omission a register fault rather than a
+      // miss the algorithm could react to.
       if (op.read_slot != nullptr)
         *op.read_slot = op.coin_success ? 1 : 0;
       break;
     case op_kind::collect: {
       op.collect_slot->resize(op.count);
       for (std::uint32_t i = 0; i < op.count; ++i)
-        (*op.collect_slot)[i] = regs_.read(op.reg + i);
+        (*op.collect_slot)[i] = regs_.process_read(op.reg + i);
       break;
     }
   }
@@ -261,10 +286,33 @@ void sim_world::execute(process_id pid) {
   op.k.resume();
   after_resume(pid);
 
-  if (!p.halted && p.crash_planned && p.ops >= p.crash_threshold) {
+  // Crash check is not gated on halted: a process that returns on the very
+  // op where its crash threshold is reached is decided-then-crashed (its
+  // output escaped, but it is reported through crashed accounting).
+  if (!p.crashed && p.crash_planned && p.ops >= p.crash_threshold) {
     p.crashed = true;
     remove_runnable(pid);
   }
+  if (!p.halted && !p.crashed) maybe_restart(pid);
+}
+
+void sim_world::maybe_restart(process_id pid) {
+  pcb& p = *pcbs_[pid];
+  if (p.next_restart >= p.restart_points.size()) return;
+  if (p.ops < p.restart_points[p.next_restart]) return;
+  ++p.next_restart;
+  ++p.restarts;
+  ++total_restarts_;
+  // The incarnation loses all local state: assigning a fresh program
+  // destroys the old coroutine frame, including the awaiter holding any
+  // pending operation (has_op was copied out; its slot pointers are never
+  // dereferenced once cleared).  Shared registers persist, and the op
+  // counter keeps accumulating across incarnations.
+  p.has_op = false;
+  p.output.reset();
+  p.program = p.main(p.env);
+  p.program.start();
+  after_resume(pid);
 }
 
 void sim_world::after_resume(process_id pid) {
@@ -310,6 +358,11 @@ bool sim_world::halted(process_id pid) const {
 bool sim_world::crashed(process_id pid) const {
   MODCON_CHECK(pid < pcbs_.size());
   return pcbs_[pid]->crashed;
+}
+
+std::uint64_t sim_world::restarts_of(process_id pid) const {
+  MODCON_CHECK(pid < pcbs_.size());
+  return pcbs_[pid]->restarts;
 }
 
 std::optional<word> sim_world::output_of(process_id pid) const {

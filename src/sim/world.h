@@ -118,6 +118,7 @@ enum class run_status : std::uint8_t {
   all_halted,   // every process returned
   step_limit,   // max_steps executions applied without quiescence
   no_runnable,  // live processes exist but all are crashed
+  timed_out,    // rt backend only: the trial watchdog aborted a hung run
 };
 
 struct run_result {
@@ -138,6 +139,10 @@ struct world_options {
   // information structure an in-model adversary faces (see
   // check/minimax.h).
   std::function<bool(process_id, const prob&)> coin_override;
+  // Injected register faults (stale reads, transient write omission); see
+  // sim/register_file.h.  The fault RNG is derived from the world seed,
+  // so every injected schedule replays from (seed, config).
+  register_fault_config register_faults;
 };
 
 // A process's pending shared-memory operation, as parked by an awaiter.
@@ -178,8 +183,21 @@ class sim_world final : public address_space {
   process_id spawn(const std::function<proc<word>(sim_env&)>& main);
 
   // Schedules process `pid` to crash permanently once it has executed
-  // `after_ops` shared-memory operations (0 = before its first one).
+  // `after_ops` shared-memory operations (0 = before its first one).  A
+  // process whose program *returns* on the very operation where the
+  // threshold is reached is marked crashed as well as halted: its decided
+  // value is retained (the decision escaped before the crash) but it is
+  // reported through crashed accounting, not survivor accounting.
   void crash_after(process_id pid, std::uint64_t after_ops);
+
+  // Schedules a crash-restart fault: at the first operation boundary at
+  // or after `after_ops` executed operations, process `pid` loses its
+  // local state (the coroutine frame, including any pending operation)
+  // and immediately re-runs its program from the start with its original
+  // input.  Shared registers persist.  May be called multiple times per
+  // pid for repeated restarts; the process's operation counter keeps
+  // accumulating across incarnations.
+  void restart_after(process_id pid, std::uint64_t after_ops);
 
   // --- execution ---
   // Applies pending operations, adversary-chosen, until all processes
@@ -190,6 +208,10 @@ class sim_world final : public address_space {
   std::size_t n() const { return n_; }
   bool halted(process_id pid) const;
   bool crashed(process_id pid) const;
+  std::uint64_t restarts_of(process_id pid) const;
+  std::uint64_t total_restarts() const { return total_restarts_; }
+  std::uint64_t stale_reads() const { return regs_.stale_reads(); }
+  std::uint64_t omitted_writes() const { return regs_.omitted_writes(); }
   // The return value of process pid's program; empty if it has not halted.
   std::optional<word> output_of(process_id pid) const;
   std::uint64_t ops_of(process_id pid) const;
@@ -222,12 +244,19 @@ class sim_world final : public address_space {
     std::uint64_t crash_threshold = 0;
     bool crash_planned = false;
     std::optional<word> output;
+    // Crash-restart support: the program factory is retained so a restart
+    // can re-run it from scratch with the original input closed over.
+    std::function<proc<word>(sim_env&)> main;
+    std::vector<std::uint64_t> restart_points;  // sorted op thresholds
+    std::size_t next_restart = 0;
+    std::uint64_t restarts = 0;
   };
 
   void post(process_id pid, posted_op op);
   bool sample_coin(process_id pid, const prob& p, rng& local);
   void execute(process_id pid);
   void after_resume(process_id pid);
+  void maybe_restart(process_id pid);
   void remove_runnable(process_id pid);
 
   std::size_t n_;
@@ -240,6 +269,7 @@ class sim_world final : public address_space {
   std::vector<std::uint32_t> runnable_index_;  // pid -> slot in runnable_
   std::uint64_t step_ = 0;
   std::uint64_t total_ops_ = 0;
+  std::uint64_t total_restarts_ = 0;
   trace trace_;
 };
 

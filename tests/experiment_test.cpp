@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -261,6 +262,44 @@ TEST(JsonWriter, DoublesSurviveShortestRoundTrip) {
   }
   // Integral doubles keep a decimal point so type round-trips as double.
   EXPECT_EQ(json(2.0).dump(-1), "2.0");
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  // JSON has no NaN/Inf tokens; the writer must degrade to null rather
+  // than emit an unparseable document.
+  EXPECT_EQ(json(std::nan("")).dump(-1), "null");
+  EXPECT_EQ(json(std::numeric_limits<double>::infinity()).dump(-1), "null");
+  json doc = json::object();
+  doc["bad"] = json(0.0 / 0.0);
+  doc["good"] = json(1.5);
+  json back = json::parse(doc.dump(2));
+  EXPECT_TRUE(back.find("bad")->is_null());
+  EXPECT_DOUBLE_EQ(back.find("good")->as_double(), 1.5);
+}
+
+TEST(ExperimentJson, DegenerateSummariesStayValidJson) {
+  // A cell whose every trial hits the step limit completes zero trials:
+  // all distributions are empty and every percentile is undefined.  The
+  // artifact must still parse, with nulls in place of the statistics.
+  auto s = run_experiment(
+      {
+          .label = "degenerate",
+          .build = consensus_builder(),
+          .n = 4,
+          .trials = 4,
+          .limits = {.max_steps = 1},
+      },
+      {.threads = 2});
+  EXPECT_EQ(s.completed, 0u);
+
+  std::string text = to_json(s, /*include_records=*/true).dump(2);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+  json back = json::parse(text);  // must not throw
+  EXPECT_EQ(back["total_ops"]["count"].as_uint(), 0u);
+  EXPECT_TRUE(back["total_ops"].find("mean")->is_null());
+  EXPECT_TRUE(back["total_ops"].find("p99")->is_null());
+  EXPECT_TRUE(back["steps"].find("p50")->is_null());
 }
 
 TEST(ExperimentJson, SummarySerializesWithSchemaFields) {
