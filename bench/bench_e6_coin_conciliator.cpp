@@ -78,6 +78,9 @@ void coin_vs_impatient(bench_harness& h) {
         .pattern = analysis::input_pattern::unanimous,
         .n = n,
         .trials = trials,
+        // A bare shared coin is not a deciding object: its output is a
+        // coin flip, not a proposal, so only legality checks apply.
+        .audit = {.deciding = false},
         .keep_records = true,
     });
     grid.push_back({

@@ -8,6 +8,11 @@
 //                 results are byte-identical for every N
 //   --seeds N     override every cell's trial count (smoke runs, sweeps)
 //   --json PATH   write the versioned BENCH_*.json artifact
+//   --audit MODE  run the property auditor (check/auditor.h) on trials:
+//                 off | sample | all.  The MODCON_AUDIT environment
+//                 variable supplies a default (1/all/sample), so ctest
+//                 can audit a whole suite without touching commands.
+//                 Any audited violation makes finish() return nonzero.
 //
 // plus the report plumbing: every summary and every printed table is
 // recorded and serialized when --json is given.
@@ -37,12 +42,24 @@ struct cli_options {
   std::size_t threads = 0;  // 0 = one worker per hardware thread
   std::size_t seeds = 0;    // 0 = keep each cell's default trial count
   std::string json_path;
+  analysis::audit_mode audit = analysis::audit_mode::off;
+
+  static analysis::audit_mode parse_audit_mode(const std::string& value,
+                                               const char* origin) {
+    if (value == "off" || value == "0" || value.empty())
+      return analysis::audit_mode::off;
+    if (value == "sample") return analysis::audit_mode::sample;
+    if (value == "all" || value == "1") return analysis::audit_mode::all;
+    std::cerr << origin << " expects off|sample|all, got '" << value << "'\n";
+    std::exit(2);
+  }
 
   // Consumes recognized flags from argc/argv (compacting the array) so
   // leftovers can be forwarded, e.g. to google-benchmark.  Exits on
   // --help or malformed usage.
   static cli_options parse(int& argc, char** argv) {
     cli_options cli;
+    bool audit_given = false;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
@@ -59,19 +76,29 @@ struct cli_options {
         cli.seeds = std::strtoull(next_value("--seeds").c_str(), nullptr, 10);
       } else if (arg == "--json") {
         cli.json_path = next_value("--json");
+      } else if (arg == "--audit") {
+        cli.audit = parse_audit_mode(next_value("--audit"), "--audit");
+        audit_given = true;
       } else if (arg == "--help" || arg == "-h") {
-        std::cout << "usage: bench [--threads N] [--seeds N] [--json PATH]\n"
+        std::cout << "usage: bench [--threads N] [--seeds N] [--json PATH] "
+                     "[--audit MODE]\n"
                   << "  --threads N  trial-pool workers (default: hardware; "
                      "results identical for every N)\n"
                   << "  --seeds N    override per-cell trial counts\n"
                   << "  --json PATH  write the BENCH_*.json artifact "
-                     "(schema modcon-bench v2)\n";
+                     "(schema modcon-bench v3)\n"
+                  << "  --audit MODE property-audit trials: off|sample|all "
+                     "(default: $MODCON_AUDIT or off)\n";
         std::exit(0);
       } else {
         argv[out++] = argv[i];  // not ours; keep for the bench
       }
     }
     argc = out;
+    if (!audit_given) {
+      if (const char* env = std::getenv("MODCON_AUDIT"))
+        cli.audit = parse_audit_mode(env, "MODCON_AUDIT");
+    }
     return cli;
   }
 };
@@ -102,6 +129,7 @@ class bench_harness {
   // records its summary in the report.
   analysis::summary_stats run(trial_grid cell) {
     if (cli_.seeds) cell.trials = cli_.seeds;
+    apply_audit(cell);
     auto s = analysis::run_experiment(cell, engine_options());
     record(s);
     return s;
@@ -111,6 +139,7 @@ class bench_harness {
   std::vector<analysis::summary_stats> run_grid(std::vector<trial_grid> grid) {
     if (cli_.seeds)
       for (auto& cell : grid) cell.trials = cli_.seeds;
+    for (auto& cell : grid) apply_audit(cell);
     auto out = analysis::run_experiment_grid(grid, engine_options());
     for (const auto& s : out) record(s);
     return out;
@@ -137,29 +166,60 @@ class bench_harness {
   }
 
   // Writes the artifact if --json was given.  Returns the process exit
-  // code so main can `return harness.finish();`.
+  // code so main can `return harness.finish();` — nonzero when any
+  // audited trial violated a checked property, which is what lets
+  // `MODCON_AUDIT=1 ctest` enforce audit cleanliness through the
+  // bench-smoke tests.
   int finish() {
-    if (cli_.json_path.empty()) return 0;
-    std::ofstream out(cli_.json_path);
-    if (!out) {
-      std::cerr << "cannot write " << cli_.json_path << "\n";
-      return 1;
+    int rc = 0;
+    if (!cli_.json_path.empty()) {
+      std::ofstream out(cli_.json_path);
+      if (!out) {
+        std::cerr << "cannot write " << cli_.json_path << "\n";
+        return 1;
+      }
+      out << report_.dump(2) << "\n";
+      std::cout << "wrote " << cli_.json_path << "\n";
+      if (!out) rc = 1;
     }
-    out << report_.dump(2) << "\n";
-    std::cout << "wrote " << cli_.json_path << "\n";
-    return out ? 0 : 1;
+    if (audit_violations_ > 0) {
+      std::cerr << "AUDIT: " << audit_violations_
+                << " trial(s) violated checked properties (see above)\n";
+      rc = 1;
+    }
+    return rc;
   }
 
   analysis::json& report() { return report_; }
 
  private:
+  void apply_audit(trial_grid& cell) {
+    // The CLI/env mode overrides an un-audited cell; a cell that already
+    // declares an audit plan (mode != off) keeps its own.
+    if (cli_.audit == analysis::audit_mode::off ||
+        cell.audit.mode != analysis::audit_mode::off)
+      return;
+    cell.audit.mode = cli_.audit;
+  }
+
   void record(const analysis::summary_stats& s) {
+    if (s.audited > 0) {
+      std::cout << "audit[" << s.label << "]: " << s.audited << " audited, "
+                << s.audit_clean << " clean, " << s.audit_violated
+                << " violated, " << s.audit_inconclusive
+                << " inconclusive\n";
+      for (const auto& ex : s.audit_examples)
+        std::cerr << "  violation (trial " << ex.trial_index << ", seed "
+                  << ex.seed << "): " << ex.v << "\n";
+      audit_violations_ += s.audit_violated;
+    }
     report_["experiments"].push_back(analysis::to_json(s));
   }
 
   std::string name_;
   cli_options cli_;
   analysis::json report_;
+  std::size_t audit_violations_ = 0;
 };
 
 // Factory helpers for the adversaries every bench sweeps.

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Builds one sanitizer preset and runs the concurrency-heavy test
+# binaries under it: the rt backend (real threads over atomic registers,
+# cooperative fault injection, the trial watchdog), the experiment
+# engine's thread pool, the fault subsystem, and the trace auditor.
+# Knobs:
+#
+#   SANITIZER=S  thread (default) | address | undefined — selects the
+#                matching CMake preset (tsan / asan / ubsan)
+#   BUILD=DIR    build directory (default build-<preset>)
+#   JOBS=N       build parallelism (default: nproc)
+#
+# Examples:
+#   scripts/run_sanitizer_suite.sh
+#   SANITIZER=address scripts/run_sanitizer_suite.sh
+#   SANITIZER=undefined scripts/run_sanitizer_suite.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZER="${SANITIZER:-thread}"
+case "$SANITIZER" in
+  thread)    PRESET=tsan ;;
+  address)   PRESET=asan ;;
+  undefined) PRESET=ubsan ;;
+  *)
+    echo "SANITIZER must be thread, address, or undefined (got '$SANITIZER')" >&2
+    exit 2
+    ;;
+esac
+
+BUILD="${BUILD:-build-$PRESET}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+cmake --preset "$PRESET" >/dev/null
+TARGETS=(rt_test experiment_test fault_test auditor_test)
+cmake --build "$BUILD" -j "$JOBS" --target "${TARGETS[@]}"
+
+# Each sanitizer aborts on its first finding so a clean exit code really
+# means a clean run.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+
+status=0
+for t in "${TARGETS[@]}"; do
+  echo "### $t ($PRESET)"
+  if ! "$BUILD/tests/$t"; then
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "$PRESET suite clean: ${TARGETS[*]}"
+else
+  echo "$PRESET suite FAILED" >&2
+fi
+exit "$status"

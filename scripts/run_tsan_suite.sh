@@ -1,39 +1,6 @@
 #!/usr/bin/env bash
-# Builds the MODCON_SANITIZE=thread preset (build-tsan/) and runs the
-# concurrency-heavy test binaries under ThreadSanitizer: the rt backend
-# (real threads over atomic registers, cooperative fault injection, the
-# trial watchdog), the experiment engine's thread pool, and the fault
-# subsystem tests.  Knobs:
-#
-#   BUILD=DIR   build directory (default build-tsan)
-#   JOBS=N      build parallelism (default: nproc)
-#
-# Example: scripts/run_tsan_suite.sh
+# Compatibility shim: the tsan suite is now one leg of the sanitizer
+# matrix.  See scripts/run_sanitizer_suite.sh for the knobs
+# (SANITIZER=thread|address|undefined, BUILD, JOBS).
 set -euo pipefail
-cd "$(dirname "$0")/.."
-
-BUILD="${BUILD:-build-tsan}"
-JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
-
-cmake --preset tsan >/dev/null
-TARGETS=(rt_test experiment_test fault_test)
-cmake --build "$BUILD" -j "$JOBS" --target "${TARGETS[@]}"
-
-# TSan aborts the process on the first race (halt_on_error) so a clean
-# exit code really means race-free.
-export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
-
-status=0
-for t in "${TARGETS[@]}"; do
-  echo "### $t (tsan)"
-  if ! "$BUILD/tests/$t"; then
-    status=1
-  fi
-done
-
-if [ "$status" -eq 0 ]; then
-  echo "tsan suite clean: ${TARGETS[*]}"
-else
-  echo "tsan suite FAILED" >&2
-fi
-exit "$status"
+SANITIZER=thread exec "$(dirname "$0")/run_sanitizer_suite.sh" "$@"

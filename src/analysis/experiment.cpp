@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <sstream>
 #include <thread>
 
 #include "sim/adversaries/adversaries.h"
@@ -40,6 +41,10 @@ trial_record run_one_trial(const trial_grid& cell, std::uint64_t index) {
   opts.limits = cell.limits;
   opts.faults =
       cell.faults_for ? cell.faults_for(index, rec.seed) : cell.faults;
+  opts.audit.enabled = cell.audit.enabled_for(index);
+  opts.audit.ratifier = cell.audit.ratifier;
+  opts.audit.deciding = cell.audit.deciding;
+  opts.audit.max_trace_events = cell.audit.max_trace_events;
   if (!cell.probes.empty()) {
     rec.probes.resize(cell.probes.size(), 0.0);
     opts.inspect_object = [&cell, &rec](
@@ -72,7 +77,9 @@ summary_stats reduce(const trial_grid& cell,
   s.trials = records.size();
   s.fault_profile =
       cell.faults_for ? std::string("per-trial") : to_string(cell.faults);
+  s.audit_profile = to_string(cell.audit);
 
+  constexpr std::size_t kMaxAuditExamples = 8;
   std::vector<double> total, indiv, steps;
   std::vector<std::vector<double>> probe_samples(cell.probes.size());
   for (const trial_record& r : records) {
@@ -82,6 +89,23 @@ summary_stats reduce(const trial_grid& cell,
     s.restarts += r.result.restarts;
     s.stale_reads += r.result.stale_reads;
     s.omitted_writes += r.result.omitted_writes;
+    if (r.result.audit) {
+      const check::audit_report& a = *r.result.audit;
+      ++s.audited;
+      switch (a.status) {
+        case check::audit_status::clean: ++s.audit_clean; break;
+        case check::audit_status::violated: ++s.audit_violated; break;
+        case check::audit_status::inconclusive:
+          ++s.audit_inconclusive;
+          break;
+      }
+      s.audit_events_checked += a.events_checked;
+      s.audit_stale_reads_matched += a.stale_reads_matched;
+      for (const check::violation& v : a.violations) {
+        if (s.audit_examples.size() >= kMaxAuditExamples) break;
+        s.audit_examples.push_back({r.trial_index, r.seed, v});
+      }
+    }
     // "Completed" = terminal: every process halted or crashed.  Runs with
     // crash faults end as no_runnable, and the survivors' outputs are
     // exactly what fault experiments measure; step_limit runs carry no
@@ -115,6 +139,31 @@ summary_stats reduce(const trial_grid& cell,
 }
 
 }  // namespace
+
+const char* to_string(audit_mode m) {
+  switch (m) {
+    case audit_mode::off: return "off";
+    case audit_mode::sample: return "sample";
+    case audit_mode::all: return "all";
+  }
+  return "?";
+}
+
+std::string to_string(const audit_plan& plan) {
+  std::string out;
+  switch (plan.mode) {
+    case audit_mode::off: return "off";
+    case audit_mode::all: out = "all"; break;
+    case audit_mode::sample: {
+      std::ostringstream os;
+      os << "sample(1/" << plan.sample_every << ")";
+      out = os.str();
+      break;
+    }
+  }
+  if (!plan.deciding) out += "/legality-only";
+  return out;
+}
 
 dist_summary dist_summary::of(std::vector<double> xs) {
   dist_summary d;
@@ -240,6 +289,7 @@ json to_json(const summary_stats& s, bool include_records) {
   cfg["base_seed"] = json(s.base_seed);
   cfg["trials"] = json(s.trials);
   cfg["faults"] = json(s.fault_profile.empty() ? "none" : s.fault_profile);
+  cfg["audit"] = json(s.audit_profile.empty() ? "off" : s.audit_profile);
   j["config"] = std::move(cfg);
 
   json counts = json::object();
@@ -266,6 +316,40 @@ json to_json(const summary_stats& s, bool include_records) {
   rates["agreement_wilson_lo"] = json(ci.lo);
   rates["agreement_wilson_hi"] = json(ci.hi);
   j["rates"] = std::move(rates);
+
+  // Property-audit block (schema v3): emitted only for audited cells, so
+  // v2 consumers of un-audited artifacts see an unchanged document shape.
+  if (s.audited > 0 || (!s.audit_profile.empty() && s.audit_profile != "off")) {
+    json audit = json::object();
+    audit["mode"] = json(s.audit_profile);
+    audit["audited"] = json(s.audited);
+    audit["clean"] = json(s.audit_clean);
+    audit["violated"] = json(s.audit_violated);
+    audit["inconclusive"] = json(s.audit_inconclusive);
+    audit["events_checked"] = json(s.audit_events_checked);
+    audit["stale_reads_matched"] = json(s.audit_stale_reads_matched);
+    json viols = json::array();
+    for (const auto& ex : s.audit_examples) {
+      json v = json::object();
+      v["trial"] = json(ex.trial_index);
+      v["seed"] = json(ex.seed);
+      v["kind"] = json(check::to_string(ex.v.kind));
+      if (ex.v.pid != kInvalidProcess) v["pid"] = json(ex.v.pid);
+      v["step"] = json(ex.v.step);
+      if (ex.v.reg != kInvalidReg) v["reg"] = json(ex.v.reg);
+      v["detail"] = json(ex.v.detail);
+      json slice = json::array();
+      for (const sim::trace_event& e : ex.v.slice) {
+        std::ostringstream os;
+        os << e;
+        slice.push_back(json(os.str()));
+      }
+      v["trace_slice"] = std::move(slice);
+      viols.push_back(std::move(v));
+    }
+    audit["violations"] = std::move(viols);
+    j["audit"] = std::move(audit);
+  }
 
   j["total_ops"] = to_json(s.total_ops);
   j["max_individual_ops"] = to_json(s.max_individual_ops);

@@ -38,8 +38,11 @@ namespace modcon::analysis {
 // JSON schema version stamped into every serialized summary/report.
 // v2 added fault-injection accounting: counts.timed_out,
 // counts.restarted_processes, counts.restarts, counts.stale_reads,
-// counts.omitted_writes, and config.faults (see EXPERIMENTS.md).
-inline constexpr int kExperimentSchemaVersion = 2;
+// counts.omitted_writes, and config.faults.  v3 added the per-cell
+// property-audit block: config.audit plus an optional top-level "audit"
+// object with per-status counts and example violations (see
+// EXPERIMENTS.md).
+inline constexpr int kExperimentSchemaVersion = 3;
 inline constexpr const char* kExperimentSchemaName = "modcon-bench";
 
 // Deterministic per-trial seed: SplitMix64 of base_seed ^ trial_index.
@@ -62,6 +65,39 @@ struct probe {
       eval;
 };
 
+// Which trials of a cell run under the property auditor
+// (check/auditor.h).  `off` costs nothing; `all` traces and replays every
+// trial; `sample` audits every sample_every-th trial index — the same
+// trials regardless of thread count, so summaries stay deterministic.
+enum class audit_mode : std::uint8_t { off, sample, all };
+
+const char* to_string(audit_mode m);
+
+struct audit_plan {
+  audit_mode mode = audit_mode::off;
+  std::uint64_t sample_every = 10;  // mode sample: audit index % this == 0
+  bool ratifier = false;            // arm the acceptance check
+  // The object under audit is a deciding object (§3), so validity,
+  // coherence, and composition apply.  A cell measuring a bare shared
+  // coin sets this false — a coin legitimately outputs a value nobody
+  // proposed — and keeps only the legality/serializability checks.
+  bool deciding = true;
+  std::uint64_t max_trace_events = 0;  // 0 = backend default cap
+
+  bool enabled_for(std::uint64_t trial_index) const {
+    switch (mode) {
+      case audit_mode::off: return false;
+      case audit_mode::sample:
+        return sample_every == 0 || trial_index % sample_every == 0;
+      case audit_mode::all: return true;
+    }
+    return false;
+  }
+};
+
+// Compact echo for the JSON config block: "off", "all", "sample(1/10)".
+std::string to_string(const audit_plan& plan);
+
 // One cell of an experiment grid: a builder, a scheduler family, an input
 // workload, and a seed range.  Designated-initializer friendly; only
 // `build` is mandatory (the default adversary is the neutral random
@@ -81,6 +117,7 @@ struct trial_grid {
   fault_plan faults;
   std::function<fault_plan(std::uint64_t trial_index, std::uint64_t seed)>
       faults_for;
+  audit_plan audit;
   std::vector<probe> probes;
   // Retain per-trial records in the summary (needed for custom joint
   // statistics and the determinism tests; costs memory).
@@ -139,6 +176,27 @@ struct summary_stats {
   // Echo of the cell's fault plan ("none", a to_string(fault_plan), or
   // "per-trial" when faults_for derives plans per trial).
   std::string fault_profile;
+
+  // Property-audit accounting (schema v3).  Counts cover every audited
+  // trial, including ones excluded from the cost distributions
+  // (step-limit / timed-out runs still get their traces judged).
+  std::string audit_profile;  // to_string(audit_plan) echo
+  std::size_t audited = 0;
+  std::size_t audit_clean = 0;
+  std::size_t audit_violated = 0;
+  std::size_t audit_inconclusive = 0;
+  std::uint64_t audit_events_checked = 0;
+  std::uint64_t audit_stale_reads_matched = 0;
+  // First few violations across the cell, in trial order, each pinned to
+  // the seed that reproduces it.
+  struct audit_example {
+    std::uint64_t trial_index;
+    std::uint64_t seed;
+    check::violation v;
+  };
+  std::vector<audit_example> audit_examples;
+
+  bool audit_ok() const { return audit_violated == 0; }
 
   dist_summary total_ops;
   dist_summary max_individual_ops;

@@ -7,6 +7,29 @@
 
 namespace modcon::analysis {
 
+namespace {
+
+// Derives what the auditor may assume from the trial configuration: the
+// §3 property checks presume the model's guarantees, which register
+// faults void; the legality checks instead *describe* those faults.
+check::audit_spec make_audit_spec(const std::vector<value_t>& inputs,
+                                  const fault_plan& faults,
+                                  const audit_options& audit) {
+  check::audit_spec spec;
+  spec.n = inputs.size();
+  spec.inputs = inputs;
+  spec.ratifier = audit.ratifier;
+  spec.check_properties = audit.deciding && !faults.registers.enabled();
+  spec.regular_registers = faults.registers.regular;
+  spec.write_omission = faults.registers.omit_denominator != 0 &&
+                        faults.registers.omit_budget != 0;
+  spec.process_faults = !faults.crashes.empty() ||
+                        !faults.restarts.empty() || !faults.stalls.empty();
+  return spec;
+}
+
+}  // namespace
+
 std::string to_string(const fault_plan& plan) {
   if (plan.empty()) return "none";
   std::ostringstream os;
@@ -44,7 +67,8 @@ trial_result run_object_trial(const sim_object_builder& build,
                               const trial_options& opts) {
   const std::size_t n = inputs.size();
   sim::world_options wopts;
-  wopts.trace_enabled = opts.trace;
+  wopts.trace_enabled = opts.trace || opts.audit.enabled;
+  wopts.trace_max_events = opts.audit.max_trace_events;
   wopts.register_faults = opts.faults.registers;
   sim::sim_world world(n, adv, opts.seed, wopts);
 
@@ -66,6 +90,7 @@ trial_result run_object_trial(const sim_object_builder& build,
 
   trial_result res;
   res.status = world.run(opts.limits.max_steps).status;
+  std::vector<check::labeled_output> escaped;  // for the audit below
   for (process_id pid = 0; pid < n; ++pid) {
     auto out = world.output_of(pid);
     if (world.crashed(pid)) {
@@ -77,6 +102,7 @@ trial_result run_object_trial(const sim_object_builder& build,
       res.outputs.push_back(decode_decided(*out));
       res.halted_pids.push_back(pid);
     }
+    if (out) escaped.push_back({pid, decode_decided(*out)});
     if (world.restarts_of(pid) > 0) res.restarted_pids.push_back(pid);
   }
   res.restarts = world.total_restarts();
@@ -86,6 +112,11 @@ trial_result run_object_trial(const sim_object_builder& build,
   res.max_individual_ops = world.max_individual_ops();
   res.steps = world.steps();
   res.registers = world.allocated();
+  if (opts.audit.enabled) {
+    res.audit = check::audit_trial(world.execution_trace(), escaped, {},
+                                   make_audit_spec(inputs, opts.faults,
+                                                   opts.audit));
+  }
   if (opts.inspect) opts.inspect(world);
   if (opts.inspect_object) opts.inspect_object(world, *obj);
   return res;
@@ -98,9 +129,17 @@ trial_result run_rt_object_trial(const rt_object_builder& build,
   rt::arena mem;
   auto obj = build(mem, n);
 
+  std::unique_ptr<rt::rt_trace_recorder> recorder;
+  if (opts.audit.enabled) {
+    recorder = std::make_unique<rt::rt_trace_recorder>(
+        n, opts.audit.max_trace_events ? opts.audit.max_trace_events
+                                       : sim::kDefaultMaxTraceEvents);
+  }
+
   rt::rt_run_options ropts;
   ropts.chaos = opts.chaos;
   ropts.watchdog_ms = opts.watchdog_ms;
+  ropts.recorder = recorder.get();
   for (const crash_spec& c : opts.faults.crashes)
     ropts.faults.push_back(
         {c.pid, c.after_ops, rt::fault_action::crash, 0});
@@ -151,6 +190,31 @@ trial_result run_rt_object_trial(const rt_object_builder& build,
   res.max_individual_ops = rres.max_individual_ops;
   res.steps = rres.total_ops;
   res.registers = mem.allocated();
+
+  if (opts.audit.enabled) {
+    check::audit_spec spec =
+        make_audit_spec(inputs, opts.faults, opts.audit);
+    check::audit_report rep;
+    std::vector<check::labeled_output> escaped;
+    for (std::size_t i = 0; i < res.halted_pids.size(); ++i)
+      escaped.push_back({res.halted_pids[i], res.outputs[i]});
+    check::audit_outputs(escaped, spec, rep);
+    std::vector<check::hb_event> events;
+    for (const rt::rt_trace_event& e : recorder->merged())
+      events.push_back(
+          {e.pid, e.kind, e.reg, e.value, e.applied, e.begin, e.end});
+    // Taken after join so registers the object allocated mid-run (the
+    // unbounded construction builds stages lazily) carry their true init
+    // words — a fresh ratifier board starts at 0, not kBot.
+    check::audit_hb(events, spec, mem.initial_values(), rep);
+    if (recorder->overflowed()) {
+      if (rep.status == check::audit_status::clean)
+        rep.status = check::audit_status::inconclusive;
+      if (!rep.note.empty()) rep.note += "; ";
+      rep.note += "rt recorder overflowed its event cap";
+    }
+    res.audit = std::move(rep);
+  }
   return res;
 }
 

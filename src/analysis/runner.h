@@ -17,10 +17,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/metrics.h"
+#include "check/auditor.h"
 #include "core/deciding.h"
 #include "rt/env.h"
 #include "rt/runner.h"
@@ -119,11 +121,32 @@ struct fault_plan {
 // the experiment engine's fault_profile summary field.
 std::string to_string(const fault_plan& plan);
 
+// Per-trial property audit (check/auditor.h).  When enabled, the sim
+// runner forces tracing and replays the finished execution through the
+// auditor; the rt runner records operation intervals and runs the
+// happens-before serializability check.  The audit_spec is derived from
+// the trial configuration: object-property checks are disarmed
+// automatically when register faults void the model's guarantees, while
+// fault-semantics legality is always checked.
+struct audit_options {
+  bool enabled = false;
+  // The object under audit guarantees acceptance (it is a ratifier):
+  // unanimous-input trials must ratify.
+  bool ratifier = false;
+  // The object is a deciding object (§3); false for bare shared coins,
+  // which keep only the legality/serializability checks.
+  bool deciding = true;
+  // Trace/recorder event cap (0 = backend default); an overflowing trial
+  // audits as inconclusive rather than exhausting memory.
+  std::uint64_t max_trace_events = 0;
+};
+
 struct trial_options {
   std::uint64_t seed = 1;
   run_limits limits;
   fault_plan faults;
   bool trace = false;
+  audit_options audit;
   // Called after the run with the finished world, for metrics the
   // summary below does not carry (register write counts, traces, ...).
   std::function<void(const sim::sim_world&)> inspect;
@@ -161,6 +184,8 @@ struct trial_result {
   std::uint64_t max_individual_ops = 0;
   std::uint64_t steps = 0;
   std::uint32_t registers = 0;
+  // Present iff the trial ran with audit_options.enabled.
+  std::optional<check::audit_report> audit;
 
   // Every decided value that escaped into the execution, survivors first.
   std::vector<decided> all_outputs() const {
@@ -197,6 +222,7 @@ struct rt_trial_options {
   std::uint32_t chaos = 0;
   fault_plan faults;
   std::uint32_t watchdog_ms = 10'000;
+  audit_options audit;
 };
 
 // Runs one real-thread execution of the object built by `build` over a

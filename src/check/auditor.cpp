@@ -1,0 +1,378 @@
+#include "check/auditor.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/assertx.h"
+
+namespace modcon::check {
+
+const char* to_string(violation_kind k) {
+  switch (k) {
+    case violation_kind::validity: return "validity";
+    case violation_kind::coherence: return "coherence";
+    case violation_kind::acceptance: return "acceptance";
+    case violation_kind::composition: return "composition";
+    case violation_kind::illegal_stale_read: return "illegal_stale_read";
+    case violation_kind::omitted_write_visible: return "omitted_write_visible";
+    case violation_kind::unserializable_read: return "unserializable_read";
+  }
+  return "?";
+}
+
+const char* to_string(audit_status s) {
+  switch (s) {
+    case audit_status::clean: return "clean";
+    case audit_status::violated: return "violated";
+    case audit_status::inconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const violation& v) {
+  os << to_string(v.kind);
+  if (v.pid != kInvalidProcess) os << " p" << v.pid;
+  if (v.step != 0) os << " step=" << v.step;
+  if (v.reg != kInvalidReg) os << " r" << v.reg;
+  return os << ": " << v.detail;
+}
+
+namespace {
+
+// Violations always win over inconclusive; inconclusive over clean.
+void resolve(audit_report& rep) {
+  if (!rep.violations.empty()) rep.status = audit_status::violated;
+}
+
+void mark_inconclusive(audit_report& rep, const std::string& why) {
+  if (rep.status == audit_status::clean)
+    rep.status = audit_status::inconclusive;
+  if (!rep.note.empty()) rep.note += "; ";
+  rep.note += why;
+}
+
+std::vector<sim::trace_event> slice_around(
+    const std::vector<sim::trace_event>& events, std::size_t i,
+    std::size_t radius) {
+  std::size_t lo = i > radius ? i - radius : 0;
+  std::size_t hi = std::min(events.size(), i + radius + 1);
+  return {events.begin() + lo, events.begin() + hi};
+}
+
+}  // namespace
+
+void audit_outputs(const std::vector<labeled_output>& outputs,
+                   const audit_spec& spec, audit_report& rep) {
+  if (!spec.check_properties) return;
+
+  // Validity: every escaped value is some process's input.
+  for (const labeled_output& o : outputs) {
+    bool proposed = std::find(spec.inputs.begin(), spec.inputs.end(),
+                              o.out.value) != spec.inputs.end();
+    if (!proposed) {
+      std::ostringstream os;
+      os << "p" << o.pid << " holds value " << o.out.value
+         << " that no process proposed";
+      rep.violations.push_back({violation_kind::validity, o.pid, 0,
+                                kInvalidReg, o.out.value, os.str(), {}});
+    }
+  }
+
+  // Coherence: a decided value forbids every other value.
+  const labeled_output* first_decided = nullptr;
+  for (const labeled_output& o : outputs)
+    if (o.out.decide && first_decided == nullptr) first_decided = &o;
+  if (first_decided != nullptr) {
+    for (const labeled_output& o : outputs) {
+      if (o.out.value == first_decided->out.value) continue;
+      std::ostringstream os;
+      os << "p" << o.pid << " holds (" << o.out.decide << ", " << o.out.value
+         << ") although p" << first_decided->pid << " decided "
+         << first_decided->out.value;
+      rep.violations.push_back({violation_kind::coherence, o.pid, 0,
+                                kInvalidReg, o.out.value, os.str(), {}});
+    }
+  }
+
+  // Acceptance (ratifiers): unanimous input v forces output (1, v)
+  // everywhere.
+  if (spec.ratifier && !spec.inputs.empty()) {
+    bool unanimous = std::all_of(
+        spec.inputs.begin(), spec.inputs.end(),
+        [&](value_t v) { return v == spec.inputs.front(); });
+    if (unanimous) {
+      value_t v = spec.inputs.front();
+      for (const labeled_output& o : outputs) {
+        if (o.out.decide && o.out.value == v) continue;
+        std::ostringstream os;
+        os << "ratifier with unanimous input " << v << " returned ("
+           << o.out.decide << ", " << o.out.value << ") to p" << o.pid;
+        rep.violations.push_back({violation_kind::acceptance, o.pid, 0,
+                                  kInvalidReg, o.out.value, os.str(), {}});
+      }
+    }
+  }
+  resolve(rep);
+}
+
+void audit_composition(const std::vector<stage_record>& records,
+                       const audit_spec& spec, audit_report& rep) {
+  if (records.empty()) return;
+
+  auto flag = [&](const stage_record& r, const std::string& detail) {
+    rep.violations.push_back({violation_kind::composition, r.pid, 0,
+                              kInvalidReg, r.output.value, detail, {}});
+  };
+
+  // Per-process chaining (Lemma 1/2 mechanics): within one attempt the
+  // stages run 0, 1, 2, ... with each input equal to the previous carried
+  // output, and a decide ends the attempt.  A fresh stage-0 record starts
+  // a new attempt (crash-restart re-runs the program from scratch).
+  process_id max_pid = 0;
+  for (const stage_record& r : records) max_pid = std::max(max_pid, r.pid);
+  std::vector<std::vector<const stage_record*>> by_pid(
+      static_cast<std::size_t>(max_pid) + 1);
+  for (const stage_record& r : records) by_pid[r.pid].push_back(&r);
+
+  for (const auto& recs : by_pid) {
+    bool in_attempt = false;
+    std::uint32_t prev_stage = 0;
+    decided prev_out{false, 0};
+    for (const stage_record* r : recs) {
+      std::ostringstream os;
+      if (r->stage == 0) {
+        in_attempt = true;  // new attempt; no constraint on its input
+      } else if (!in_attempt) {
+        os << "p" << r->pid << " entered stage " << r->stage
+           << " without a stage-0 record";
+        flag(*r, os.str());
+      } else if (prev_out.decide) {
+        os << "p" << r->pid << " continued to stage " << r->stage
+           << " after deciding " << prev_out.value << " at stage "
+           << prev_stage;
+        flag(*r, os.str());
+      } else if (r->stage != prev_stage + 1) {
+        os << "p" << r->pid << " jumped from stage " << prev_stage
+           << " to stage " << r->stage;
+        flag(*r, os.str());
+      } else if (r->input != prev_out.value) {
+        os << "p" << r->pid << " entered stage " << r->stage << " with "
+           << r->input << " but left stage " << prev_stage << " carrying "
+           << prev_out.value;
+        flag(*r, os.str());
+      }
+      prev_stage = r->stage;
+      prev_out = r->output;
+    }
+  }
+
+  if (!spec.check_properties) {
+    resolve(rep);
+    return;
+  }
+
+  // Decided-prefix pinning (Lemma 3 / Corollary 4): once any process
+  // decides v at stage i, stage i's coherence plus later stages' validity
+  // force every stage-i output and every later-stage input/output to v.
+  const stage_record* pin = nullptr;
+  for (const stage_record& r : records)
+    if (r.output.decide && (pin == nullptr || r.stage < pin->stage)) pin = &r;
+  if (pin != nullptr) {
+    for (const stage_record& r : records) {
+      std::ostringstream os;
+      if (r.stage == pin->stage && r.output.value != pin->output.value) {
+        os << "stage " << r.stage << " gave p" << r.pid << " value "
+           << r.output.value << " although p" << pin->pid << " decided "
+           << pin->output.value << " there";
+        flag(r, os.str());
+      } else if (r.stage > pin->stage && (r.input != pin->output.value ||
+                                          r.output.value !=
+                                              pin->output.value)) {
+        os << "decided prefix (stage " << pin->stage << " -> "
+           << pin->output.value << ") failed to pin p" << r.pid
+           << " at stage " << r.stage << " (input " << r.input
+           << ", output " << r.output.value << ")";
+        flag(r, os.str());
+      }
+    }
+  }
+
+  // Stage-level validity: each stage's outputs come from that stage's
+  // inputs.  Unsound under process faults (a crashed process's value can
+  // survive it without leaving a record), so skipped there.
+  if (!spec.process_faults) {
+    std::uint32_t max_stage = 0;
+    for (const stage_record& r : records)
+      max_stage = std::max(max_stage, r.stage);
+    std::vector<std::vector<value_t>> stage_inputs(max_stage + 1);
+    for (const stage_record& r : records)
+      stage_inputs[r.stage].push_back(r.input);
+    for (const stage_record& r : records) {
+      const auto& ins = stage_inputs[r.stage];
+      if (std::find(ins.begin(), ins.end(), r.output.value) != ins.end())
+        continue;
+      std::ostringstream os;
+      os << "stage " << r.stage << " gave p" << r.pid << " value "
+         << r.output.value << " that no process carried into that stage";
+      flag(r, os.str());
+    }
+  }
+  resolve(rep);
+}
+
+namespace {
+
+// Replay state for one simulated register: the truthful current value,
+// the value before the most recent applied write (the only legal stale
+// result under regular-register faults), and the values of writes that
+// did not apply (missed probabilistic writes and injected omissions) —
+// which must never surface through a read unless legitimately present.
+struct reg_state {
+  word current = kBot;
+  word previous = kBot;
+  bool cur_known = false;
+  bool prev_known = false;
+  bool init_done = false;
+  std::vector<word> unapplied;  // deduplicated
+};
+
+}  // namespace
+
+void audit_trace(const sim::trace& tr, const audit_spec& spec,
+                 audit_report& rep) {
+  const auto& events = tr.events();
+  std::vector<reg_state> regs;
+
+  auto state_of = [&](reg_id r) -> reg_state& {
+    if (r >= regs.size()) regs.resize(static_cast<std::size_t>(r) + 1);
+    reg_state& st = regs[r];
+    if (!st.init_done) {
+      st.init_done = true;
+      if (tr.has_initial(r)) {
+        st.current = st.previous = tr.initial_of(r);
+        st.cur_known = st.prev_known = true;
+      }
+    }
+    return st;
+  };
+
+  auto check_read = [&](const sim::trace_event& e, std::size_t index,
+                        reg_id r, word v) {
+    reg_state& st = state_of(r);
+    ++rep.events_checked;
+    // A register whose initial value the trace does not know and that has
+    // not been written yet can legally hold anything we can name.
+    if (!st.cur_known) return;
+    if (v == st.current) return;
+    if (spec.regular_registers) {
+      if (!st.prev_known) return;  // stale of an unknown initial
+      if (v == st.previous) {
+        ++rep.stale_reads_matched;
+        return;
+      }
+    }
+    bool from_unapplied = std::find(st.unapplied.begin(), st.unapplied.end(),
+                                    v) != st.unapplied.end();
+    std::ostringstream os;
+    os << "p" << e.pid << " read r" << r << " -> " << v << " but r" << r
+       << " holds " << st.current;
+    if (spec.regular_registers)
+      os << " (previous " << st.previous << ")";
+    if (from_unapplied)
+      os << "; the value belongs to a write that did not apply";
+    rep.violations.push_back({from_unapplied
+                                  ? violation_kind::omitted_write_visible
+                                  : violation_kind::illegal_stale_read,
+                              e.pid, e.step, r, v, os.str(),
+                              slice_around(events, index, spec.slice_radius)});
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const sim::trace_event& e = events[i];
+    switch (e.kind) {
+      case op_kind::read:
+        check_read(e, i, e.reg, e.value);
+        break;
+      case op_kind::write: {
+        reg_state& st = state_of(e.reg);
+        ++rep.events_checked;
+        if (e.applied) {
+          st.previous = st.current;
+          st.prev_known = st.cur_known;
+          st.current = e.value;
+          st.cur_known = true;
+        } else {
+          ++rep.unapplied_writes_seen;
+          if (std::find(st.unapplied.begin(), st.unapplied.end(), e.value) ==
+              st.unapplied.end())
+            st.unapplied.push_back(e.value);
+        }
+        break;
+      }
+      case op_kind::collect: {
+        auto values = tr.collect_values(i);
+        for (std::size_t j = 0; j < values.size(); ++j)
+          check_read(e, i, static_cast<reg_id>(e.reg + j), values[j]);
+        break;
+      }
+    }
+  }
+
+  if (tr.overflowed()) {
+    std::ostringstream os;
+    os << "trace overflowed its " << tr.max_events()
+       << "-event cap; legality verified only over the recorded prefix";
+    mark_inconclusive(rep, os.str());
+  }
+  resolve(rep);
+}
+
+void audit_hb(const std::vector<hb_event>& events, const audit_spec& spec,
+              const std::vector<word>& initial, audit_report& rep) {
+  if (events.empty()) return;
+  MODCON_CHECK(spec.n >= 1);
+  hb_report hrep = check_serializable(events, spec.n, initial);
+  rep.events_checked += hrep.events;
+
+  // Rebuild the checker's end-sorted order so violation indices map to
+  // context slices.
+  std::vector<hb_event> sorted = events;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const hb_event& a, const hb_event& b) {
+              return a.end != b.end ? a.end < b.end : a.begin < b.begin;
+            });
+  auto as_trace_event = [](const hb_event& e) {
+    return sim::trace_event{e.end, e.pid, e.kind, e.reg, e.value, e.applied};
+  };
+  for (const hb_violation& hv : hrep.unserializable) {
+    violation v{violation_kind::unserializable_read, hv.event.pid,
+                hv.event.end, hv.event.reg, hv.event.value, hv.detail, {}};
+    std::size_t lo = hv.event_index > spec.slice_radius
+                         ? hv.event_index - spec.slice_radius
+                         : 0;
+    std::size_t hi =
+        std::min(sorted.size(), hv.event_index + spec.slice_radius + 1);
+    for (std::size_t i = lo; i < hi; ++i)
+      v.slice.push_back(as_trace_event(sorted[i]));
+    rep.violations.push_back(std::move(v));
+  }
+  if (hrep.truncated)
+    mark_inconclusive(rep,
+                      "hb event stream truncated to bound clock memory");
+  resolve(rep);
+}
+
+audit_report audit_trial(const sim::trace& tr,
+                         const std::vector<labeled_output>& outputs,
+                         const std::vector<stage_record>& stages,
+                         const audit_spec& spec) {
+  audit_report rep;
+  audit_outputs(outputs, spec, rep);
+  audit_composition(stages, spec, rep);
+  if (tr.enabled()) audit_trace(tr, spec, rep);
+  resolve(rep);
+  return rep;
+}
+
+}  // namespace modcon::check

@@ -1,0 +1,154 @@
+// Mechanical property auditor: checks the paper's §3 object properties
+// and the simulator's fault semantics on concrete executions.
+//
+// The checks are deliberately *per trial* and *per trace*: where
+// analysis/metrics.h answers "did this batch agree", the auditor answers
+// "is this execution even explainable by the model" and points at the
+// first event that is not.  Four families:
+//
+//   outputs      validity and coherence over every decided value that
+//                escaped the execution; acceptance when the object under
+//                audit is declared a ratifier (Lemma 5 territory).
+//   composition  the Lemma 1-3 invariants over a `composition_log`
+//                recorded by core/compose.h: per process, stage i+1's
+//                input is stage i's carried output, a decide ends the
+//                attempt, and a decided prefix pins every later stage's
+//                input and output to the decided value.
+//   trace        fault-semantics legality, replaying a sim::trace as a
+//                register state machine: every read must return the
+//                register's current value, its previous value when (and
+//                only when) regular-register faults are armed, and never
+//                the value of a write that did not apply (missed
+//                probabilistic write or injected omission) unless that
+//                value is legitimately present anyway.
+//   hb           serializability of rt-recorded event streams, delegated
+//                to check/hb.h and folded in as unserializable_read.
+//
+// This library depends only on sim/core/util (the small §3 predicates are
+// restated here rather than pulled from modcon_analysis, which itself
+// links the auditor's callers).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/hb.h"
+#include "core/compose.h"
+#include "core/types.h"
+#include "exec/types.h"
+#include "sim/trace.h"
+
+namespace modcon::check {
+
+enum class violation_kind : std::uint8_t {
+  validity,               // an output value no process proposed
+  coherence,              // outputs disagree despite a decided value
+  acceptance,             // ratifier with unanimous input failed to ratify
+  composition,            // Lemma 1-3 invariant broken in a composed stack
+  illegal_stale_read,     // read returned a value the register never held
+                          // in its legal (current/previous) window
+  omitted_write_visible,  // read returned the value of a write that did
+                          // not apply
+  unserializable_read,    // rt read with no admissible source write (hb)
+};
+
+const char* to_string(violation_kind k);
+
+struct violation {
+  violation_kind kind;
+  process_id pid = kInvalidProcess;
+  std::uint64_t step = 0;  // trace step / rt end tick; 0 when output-level
+  reg_id reg = kInvalidReg;
+  word value = kBot;
+  std::string detail;
+  // Minimal trace window around the offending event (empty for
+  // output-level violations).
+  std::vector<sim::trace_event> slice;
+};
+
+// "kind pid=.. step=.. reg=..: detail" — the form serialized into bench
+// JSON and test diagnostics.
+std::ostream& operator<<(std::ostream& os, const violation& v);
+
+enum class audit_status : std::uint8_t {
+  clean,         // every armed check passed over the full execution
+  violated,      // at least one violation found
+  inconclusive,  // no violation, but coverage was cut (trace overflow /
+                 // hb truncation), so clean cannot be claimed
+};
+
+const char* to_string(audit_status s);
+
+struct audit_report {
+  audit_status status = audit_status::clean;
+  std::vector<violation> violations;
+  std::uint64_t events_checked = 0;
+  // Reads explained by the regular-register fault semantics (legal stale
+  // reads) and unapplied writes verified to have stayed invisible.
+  std::uint64_t stale_reads_matched = 0;
+  std::uint64_t unapplied_writes_seen = 0;
+  std::string note;  // why inconclusive, when it is
+
+  bool ok() const { return status == audit_status::clean; }
+};
+
+// What the auditor may assume about the trial it is judging.  Derived by
+// the caller from the trial configuration, not inferred from the trace.
+struct audit_spec {
+  std::size_t n = 0;
+  std::vector<value_t> inputs;  // inputs[pid]; size n
+  bool ratifier = false;        // arm the acceptance check
+  // Object-property checks (validity/coherence/acceptance, composition
+  // pinning) assume the model's guarantees hold; register faults void
+  // them, so callers turn this off for register-fault trials.  The trace
+  // legality check always runs.
+  bool check_properties = true;
+  // Register-fault semantics armed during the trial (widens what a read
+  // may legally return / lets unapplied writes exist).
+  bool regular_registers = false;
+  bool write_omission = false;
+  // Crash/restart/stall faults were injected: cross-process stage
+  // validity is then unsound (a crashed process's value can outlive its
+  // records), so that one check is skipped.
+  bool process_faults = false;
+  std::size_t slice_radius = 3;  // context events kept around a violation
+};
+
+// One escaped decided value, labeled with the process it came from
+// (survivors and decided-then-crashed alike).
+struct labeled_output {
+  process_id pid;
+  decided out;
+};
+
+// Output-level §3 checks: validity, coherence, acceptance (iff
+// spec.ratifier).  Appends violations to `rep`.
+void audit_outputs(const std::vector<labeled_output>& outputs,
+                   const audit_spec& spec, audit_report& rep);
+
+// Composition invariants over a `composition_log` snapshot.  Stage-level
+// property checks obey spec.check_properties / spec.process_faults.
+void audit_composition(const std::vector<stage_record>& records,
+                       const audit_spec& spec, audit_report& rep);
+
+// Fault-semantics legality replay of a sim trace.  Sets status
+// inconclusive when the trace overflowed its event cap.
+void audit_trace(const sim::trace& tr, const audit_spec& spec,
+                 audit_report& rep);
+
+// Serializability of an rt event stream (see check/hb.h); hb violations
+// are folded in as unserializable_read, hb truncation as inconclusive.
+void audit_hb(const std::vector<hb_event>& events, const audit_spec& spec,
+              const std::vector<word>& initial, audit_report& rep);
+
+// Convenience entry point for one sim trial: outputs + composition +
+// trace, with the final status resolved (violated > inconclusive >
+// clean).  `stages` may be empty (no composed stack under audit).
+audit_report audit_trial(const sim::trace& tr,
+                         const std::vector<labeled_output>& outputs,
+                         const std::vector<stage_record>& stages,
+                         const audit_spec& spec);
+
+}  // namespace modcon::check

@@ -130,7 +130,7 @@ explore_report explore_all(const analysis::sim_object_builder& build,
                            const explore_options& opts) {
   explore_report report;
   std::vector<choice_seq> stack;
-  stack.push_back({});
+  stack.emplace_back();
 
   std::uint64_t nodes = 0;
   while (!stack.empty()) {

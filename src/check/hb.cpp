@@ -1,0 +1,175 @@
+#include "check/hb.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assertx.h"
+
+namespace modcon::check {
+
+namespace {
+
+using clock_t_ = std::vector<std::uint32_t>;
+
+void join(clock_t_& into, const clock_t_& from) {
+  for (std::size_t i = 0; i < into.size(); ++i)
+    into[i] = std::max(into[i], from[i]);
+}
+
+bool dominates(const clock_t_& big, const clock_t_& small) {
+  for (std::size_t i = 0; i < big.size(); ++i)
+    if (big[i] < small[i]) return false;
+  return true;
+}
+
+struct write_ref {
+  std::size_t index;  // position in the end-sorted order
+  process_id pid;
+  word value;
+  bool applied;
+  std::uint64_t begin;
+  std::uint64_t end;
+  clock_t_ clock;       // post-clock of the writer; empty until processed
+};
+
+// Bound on vector-clock snapshot entries (events × n); beyond it the
+// stream is cut and the report marked truncated.
+constexpr std::uint64_t kMaxClockEntries = 32u << 20;
+
+}  // namespace
+
+hb_report check_serializable(std::vector<hb_event> events, std::size_t n,
+                             const std::vector<word>& initial) {
+  MODCON_CHECK(n >= 1);
+  hb_report rep;
+  std::sort(events.begin(), events.end(),
+            [](const hb_event& a, const hb_event& b) {
+              return a.end != b.end ? a.end < b.end : a.begin < b.begin;
+            });
+  std::size_t limit = events.size();
+  if (static_cast<std::uint64_t>(limit) * n > kMaxClockEntries) {
+    limit = static_cast<std::size_t>(kMaxClockEntries / n);
+    rep.truncated = true;
+  }
+
+  // First pass: bucket every write by register, so a read can consider
+  // writes whose commit point (end tick) comes after the read's — a write
+  // overlapping the read may linearize before it yet be recorded later.
+  reg_id max_reg = 0;
+  for (std::size_t i = 0; i < limit; ++i)
+    if (events[i].reg != kInvalidReg) max_reg = std::max(max_reg, events[i].reg);
+  std::vector<std::vector<write_ref>> writes(
+      static_cast<std::size_t>(max_reg) + 1);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const hb_event& e = events[i];
+    if (e.kind == op_kind::read) continue;
+    writes[e.reg].push_back(
+        {i, e.pid, e.value, e.applied, e.begin, e.end, {}});
+  }
+
+  auto initial_of = [&](reg_id r) {
+    return r < initial.size() ? initial[r] : kBot;
+  };
+
+  std::vector<std::uint64_t> ends(limit);
+  for (std::size_t i = 0; i < limit; ++i) ends[i] = events[i].end;
+
+  std::vector<clock_t_> clocks(n, clock_t_(n, 0));
+  // prefix_join[i] = join of the post-clocks of events[0..i]; gives the
+  // real-time frontier "everything that completed before tick b" in one
+  // binary search + one join.
+  std::vector<clock_t_> prefix_join(limit);
+
+  for (std::size_t i = 0; i < limit; ++i) {
+    const hb_event& e = events[i];
+    MODCON_CHECK_MSG(e.pid < n, "hb event names pid " << e.pid
+                                                      << " outside 0.." << n - 1);
+    clock_t_& cp = clocks[e.pid];
+    // Real-time edges: every operation that completed before this one
+    // began happens-before it.
+    std::size_t k = static_cast<std::size_t>(
+        std::lower_bound(ends.begin(), ends.end(), e.begin) - ends.begin());
+    if (k > 0) join(cp, prefix_join[k - 1]);
+    ++cp[e.pid];  // program order
+    ++rep.events;
+
+    if (e.kind != op_kind::read) {
+      ++rep.writes;
+      auto& ws = writes[e.reg];
+      for (write_ref& w : ws) {
+        if (w.index == i) {
+          w.clock = cp;  // post-clock; published for later domination checks
+        } else if (w.index < i && w.end > e.begin) {
+          ++rep.overlapping_writes;
+        }
+      }
+    } else {
+      ++rep.reads;
+      static const std::vector<write_ref> no_writes;
+      const auto& ws = e.reg < writes.size() ? writes[e.reg] : no_writes;
+      // A write w is an admissible source iff it could linearize before
+      // the read (w began before the read ended) and it is not provably
+      // superseded: no other applied write w' both strictly follows w in
+      // real time (w.end < w'.begin) and is known to the reader
+      // (dominates(cp, w'.clock)).  A write committed before the read
+      // began is always known through the real-time prefix join, so this
+      // one rule covers classical overwrite detection AND FastTrack-style
+      // reading-backwards through reads-from edges.  Note that end-tick
+      // order is NOT linearization order — a writer can be preempted
+      // between its store and its end draw — which is exactly why
+      // supersession needs w'.begin, never a comparison of end ticks.
+      auto superseded = [&](std::uint64_t wend) {
+        for (const write_ref& later : ws) {
+          if (!later.applied || later.clock.empty()) continue;
+          if (wend < later.begin && dominates(cp, later.clock)) return true;
+        }
+        return false;
+      };
+      auto known_write_exists = [&] {
+        for (const write_ref& later : ws)
+          if (later.applied && !later.clock.empty() &&
+              dominates(cp, later.clock))
+            return true;
+        return false;
+      };
+
+      bool initial_ok =
+          e.value == initial_of(e.reg) && !known_write_exists();
+      const write_ref* source = nullptr;
+      std::size_t candidates = 0;
+      for (const write_ref& w : ws) {
+        if (!w.applied || w.value != e.value) continue;
+        if (w.begin >= e.end) continue;
+        if (superseded(w.end)) continue;
+        if (source == nullptr) source = &w;
+        ++candidates;
+      }
+      if (!initial_ok && source == nullptr) {
+        hb_violation v;
+        v.event_index = i;
+        v.event = e;
+        std::ostringstream os;
+        os << "p" << e.pid << " read r" << e.reg << " -> " << e.value
+           << " over [" << e.begin << "," << e.end << ") has no "
+           << "admissible source write (initial " << initial_of(e.reg)
+           << "); unserializable under atomic registers";
+        v.detail = os.str();
+        rep.unserializable.push_back(std::move(v));
+      }
+      // Reads-from edge — but only when the source is unambiguous.  With
+      // several same-value candidates (processes often write identical
+      // proposals) joining an arbitrary one would over-state the reader's
+      // knowledge and could fabricate supersessions downstream; a write
+      // that committed before the read is already in cp via the prefix
+      // join, so skipping the join only under-approximates.
+      if (candidates == 1 && source != nullptr && !source->clock.empty())
+        join(cp, source->clock);
+    }
+
+    prefix_join[i] = i > 0 ? prefix_join[i - 1] : clock_t_(n, 0);
+    join(prefix_join[i], cp);
+  }
+  return rep;
+}
+
+}  // namespace modcon::check

@@ -1,0 +1,81 @@
+// Vector-clock happens-before tracking over logical register operations
+// (FastTrack-lite), for auditing rt traces.
+//
+// The rt backend records each operation with a begin/end interval drawn
+// from one global atomic sequence (rt::rt_trace_recorder).  Atomic
+// multiwriter registers are linearizable, so some serialization of the
+// recorded operations must explain every read:
+//
+//   * a read may return the value of any write that began before the
+//     read ended and is not provably superseded — where write w is
+//     superseded when another applied write w' strictly follows it in
+//     real time (w.end < w'.begin) and the reader knows w' happened
+//     (w' completed before the read began, or reached the reader through
+//     program-order / reads-from edges);
+//   * in particular a read may NOT return a value that was provably
+//     overwritten before it began, and a process may not read backwards
+//     past a write it already observed.  End ticks are deliberately
+//     never compared to each other: a writer can be preempted between
+//     its store and its end draw, so end order is not linearization
+//     order.
+//
+// The tracker maintains one vector clock per process (advanced in program
+// order, joined across real-time edges — every operation that completed
+// before this one began — and reads-from edges) and, per register, the
+// clock and interval of every write.  A read with no admissible source
+// write is reported as unserializable.  This is deliberately a checker of
+// the *environment* (registers + recorder), not of algorithms: a clean
+// seq_cst execution can never trip it, a buggy register implementation or
+// torn recorder will.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/types.h"
+
+namespace modcon::check {
+
+// One logical register operation with its global-sequence interval.
+// Collects are expanded by the caller into one event per register read.
+struct hb_event {
+  process_id pid = 0;
+  op_kind kind = op_kind::read;
+  reg_id reg = kInvalidReg;
+  word value = 0;      // value written, or value the read observed
+  bool applied = true;  // writes only; an unapplied write is never visible
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+struct hb_violation {
+  std::size_t event_index;  // into the sorted event order
+  hb_event event;
+  std::string detail;
+};
+
+struct hb_report {
+  std::uint64_t events = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  // Concurrent writes to the same register (legal for atomic registers;
+  // reported as context, not as violations).
+  std::uint64_t overlapping_writes = 0;
+  // True when the event stream was cut to bound the tracker's memory
+  // (clock snapshots are O(events × n)); a clean verdict is then only
+  // over the checked prefix.
+  bool truncated = false;
+  std::vector<hb_violation> unserializable;
+
+  bool ok() const { return unserializable.empty(); }
+};
+
+// Checks that `events` (any order; sorted internally by end) admit a
+// linearization over atomic registers, for a system of n processes.
+// Register initial values are taken as kBot unless the caller provides
+// them via `initial` (indexed by reg id; shorter vectors mean "kBot").
+hb_report check_serializable(std::vector<hb_event> events, std::size_t n,
+                             const std::vector<word>& initial = {});
+
+}  // namespace modcon::check

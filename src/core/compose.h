@@ -9,7 +9,9 @@
 // a flat list.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,6 +19,42 @@
 #include "core/deciding.h"
 
 namespace modcon {
+
+// One stage invocation as seen by a composed stack: process `pid` entered
+// stage `stage` carrying `input` and left with `output`.  The property
+// auditor (check/auditor.h) replays these against the Lemma 1–3
+// composition invariants — in particular "a decided prefix pins every
+// later stage's input".
+struct stage_record {
+  process_id pid;
+  std::uint32_t stage;
+  value_t input;
+  decided output;
+};
+
+// Optional audit log a `sequence` writes its stage records into.  Guarded
+// by a mutex because the rt backend invokes stages from n real threads;
+// the sim backend pays one uncontended lock per stage, only when a log is
+// attached.
+class composition_log {
+ public:
+  void append(const stage_record& r) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(r);
+  }
+  std::vector<stage_record> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<stage_record> records_;
+};
 
 template <typename Env>
 class sequence final : public deciding_object<Env> {
@@ -35,10 +73,17 @@ class sequence final : public deciding_object<Env> {
   std::size_t size() const { return parts_.size(); }
   deciding_object<Env>& part(std::size_t i) { return *parts_[i]; }
 
+  // Attaches an audit log recording every stage invocation; `log` must
+  // outlive the object.  nullptr detaches.
+  void attach_log(composition_log* log) { log_ = log; }
+
   proc<decided> invoke(Env& env, value_t input) override {
     decided d{false, input};
-    for (const auto& obj : parts_) {
-      d = co_await obj->invoke(env, d.value);
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      value_t carried = d.value;
+      d = co_await parts_[i]->invoke(env, carried);
+      if (log_ != nullptr)
+        log_->append({env.pid(), static_cast<std::uint32_t>(i), carried, d});
       if (d.decide) break;
     }
     co_return d;
@@ -55,6 +100,7 @@ class sequence final : public deciding_object<Env> {
 
  private:
   std::vector<object_ptr> parts_;
+  composition_log* log_ = nullptr;
 };
 
 // (X; Y) for exactly two objects.

@@ -31,8 +31,14 @@ reg_id arena::alloc_block(std::uint32_t count, word init) {
     }
     (*c)[r % kChunkSize].store(init, std::memory_order_relaxed);
   }
+  initials_.resize(first + count, init);
   count_.store(first + count, std::memory_order_release);
   return first;
+}
+
+std::vector<word> arena::initial_values() const {
+  std::scoped_lock lk(mu_);
+  return initials_;
 }
 
 std::atomic<word>& arena::at(reg_id r) {

@@ -37,15 +37,23 @@ class arena final : public address_space {
   std::atomic<word>& at(reg_id r);
   const std::atomic<word>& at(reg_id r) const;
 
+  // Initial value of every register allocated so far, indexed by reg id.
+  // The unbounded construction allocates mid-run, so a pre-run snapshot
+  // of register contents misses those; the trace auditor needs the init
+  // word each alloc actually used (a lazily-built ratifier board starts
+  // at 0, not kBot).
+  std::vector<word> initial_values() const;
+
   static constexpr std::uint32_t kChunkSize = 4096;
   static constexpr std::uint32_t kMaxChunks = 4096;  // 16M registers
 
  private:
   using chunk = std::array<std::atomic<word>, kChunkSize>;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::array<std::atomic<chunk*>, kMaxChunks> chunks_{};
   std::atomic<std::uint32_t> count_{0};
+  std::vector<word> initials_;  // guarded by mu_
 };
 
 }  // namespace modcon::rt

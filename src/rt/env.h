@@ -117,6 +117,86 @@ class rt_fault_board {
   std::atomic<bool> abort_{false};
 };
 
+// ---------------------------------------------------------------------
+// Opt-in trace recording, mirroring the sim trace (sim/trace.h) as far as
+// real threads allow: there is no global step counter, so each operation
+// instead records a begin/end interval drawn from one process-shared
+// atomic sequence.  Two operations whose intervals are disjoint are
+// real-time ordered; overlapping intervals ran concurrently.  The
+// property auditor feeds these events to the vector-clock
+// happens-before tracker (check/hb.h) to certify the execution is
+// serializable over atomic registers.
+//
+// Events are buffered per process (each buffer is touched only by its
+// own thread; the jthread join in rt/runner.h publishes them) and merged
+// after the run.  Collects are expanded into one read event per
+// register, matching how hb analysis consumes them.
+// ---------------------------------------------------------------------
+
+struct rt_trace_event {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  process_id pid = 0;
+  op_kind kind = op_kind::read;
+  reg_id reg = kInvalidReg;
+  word value = 0;
+  bool applied = true;
+};
+
+class rt_trace_recorder {
+ public:
+  // `max_events` caps the total event count (split evenly across
+  // processes); overflow sets a flag instead of growing without bound,
+  // mirroring sim::trace.
+  explicit rt_trace_recorder(std::size_t n,
+                             std::uint64_t max_events = 4'000'000)
+      : buffers_(n), per_pid_cap_(max_events / (n ? n : 1)) {}
+
+  std::uint64_t tick() { return seq_.fetch_add(1, std::memory_order_seq_cst); }
+
+  void record(process_id pid, const rt_trace_event& e) {
+    auto& buf = buffers_[pid];
+    if (buf.size() >= per_pid_cap_) {
+      overflowed_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    buf.push_back(e);
+  }
+
+  void note_alloc(reg_id first, std::uint32_t count, word init) {
+    std::size_t need = static_cast<std::size_t>(first) + count;
+    if (initial_.size() < need) initial_.resize(need, kBot);
+    for (std::uint32_t i = 0; i < count; ++i) initial_[first + i] = init;
+  }
+
+  bool overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+  const std::vector<word>& initial_values() const { return initial_; }
+
+  // All events, merged and sorted by end tick.  Call only after the
+  // worker threads have joined.
+  std::vector<rt_trace_event> merged() const {
+    std::vector<rt_trace_event> all;
+    std::size_t total = 0;
+    for (const auto& b : buffers_) total += b.size();
+    all.reserve(total);
+    for (const auto& b : buffers_) all.insert(all.end(), b.begin(), b.end());
+    std::sort(all.begin(), all.end(),
+              [](const rt_trace_event& a, const rt_trace_event& b) {
+                return a.end < b.end;
+              });
+    return all;
+  }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+  std::vector<std::vector<rt_trace_event>> buffers_;
+  std::size_t per_pid_cap_;
+  std::atomic<bool> overflowed_{false};
+  std::vector<word> initial_;  // indexed by reg id; written pre-run only
+};
+
 class rt_env {
  public:
   // chaos > 0 injects a scheduling perturbation (std::this_thread::yield)
@@ -125,16 +205,20 @@ class rt_env {
   // otherwise run long quanta back to back, hiding interleavings; chaos
   // mode recovers adversarial-ish schedules for stress tests.
   // `board`, when non-null, makes every operation a cooperative fault
-  // point (see rt_fault_board above); it must outlive the env.
+  // point (see rt_fault_board above); `recorder`, when non-null, records
+  // every operation with its global-sequence interval.  Both must outlive
+  // the env.
   rt_env(arena& mem, process_id pid, std::size_t n, rng r,
-         std::uint32_t chaos = 0, rt_fault_board* board = nullptr)
+         std::uint32_t chaos = 0, rt_fault_board* board = nullptr,
+         rt_trace_recorder* recorder = nullptr)
       : mem_(&mem),
         pid_(pid),
         n_(n),
         rng_(r),
         chaos_(chaos),
         chaos_rng_(r.split(0xc4a05)),
-        board_(board) {}
+        board_(board),
+        recorder_(recorder) {}
 
   struct read_awaiter {
     word result;
@@ -160,14 +244,19 @@ class rt_env {
     fault_point();
     perturb();
     ++ops_;
-    return read_awaiter{mem_->at(r).load(std::memory_order_seq_cst)};
+    const std::uint64_t b = begin_tick();
+    word v = mem_->at(r).load(std::memory_order_seq_cst);
+    record(b, op_kind::read, r, v, true);
+    return read_awaiter{v};
   }
 
   void_awaiter write(reg_id r, word v) {
     fault_point();
     perturb();
     ++ops_;
+    const std::uint64_t b = begin_tick();
     mem_->at(r).store(v, std::memory_order_seq_cst);
+    record(b, op_kind::write, r, v, true);
     return {};
   }
 
@@ -175,7 +264,10 @@ class rt_env {
     fault_point();
     perturb();
     ++ops_;
-    if (p.sample(rng_)) mem_->at(r).store(v, std::memory_order_seq_cst);
+    const std::uint64_t b = begin_tick();
+    bool ok = p.sample(rng_);
+    if (ok) mem_->at(r).store(v, std::memory_order_seq_cst);
+    record(b, op_kind::write, r, v, ok);
     return {};
   }
 
@@ -191,20 +283,28 @@ class rt_env {
     fault_point();
     perturb();
     ++ops_;
+    const std::uint64_t b = begin_tick();
     bool ok = p.sample(rng_);
     if (ok) mem_->at(r).store(v, std::memory_order_seq_cst);
+    record(b, op_kind::write, r, v, ok);
     return bool_awaiter{ok};
   }
 
   // No cheap-collect assumption on real hardware: n individual reads,
   // charged as n operations (the sim backend charges 1; see §6.2).
+  // Traced as one read event per register: each load is its own
+  // linearization point, so that is the honest granularity.
   collect_awaiter collect(reg_id first, std::uint32_t count) {
     fault_point();
     ops_ += count;
     collect_awaiter a;
     a.result.resize(count);
-    for (std::uint32_t i = 0; i < count; ++i)
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t b = begin_tick();
       a.result[i] = mem_->at(first + i).load(std::memory_order_seq_cst);
+      record(b, op_kind::read, static_cast<reg_id>(first + i), a.result[i],
+             true);
+    }
     return a;
   }
 
@@ -227,6 +327,17 @@ class rt_env {
     if (board_) board_->check(pid_, ops_);
   }
 
+  std::uint64_t begin_tick() { return recorder_ ? recorder_->tick() : 0; }
+
+  void record(std::uint64_t begin_at, op_kind kind, reg_id r, word v,
+              bool applied) {
+    if (!recorder_) return;
+    // end = tick() + 1 keeps intervals half-open and non-empty even when
+    // begin and end draws are adjacent.
+    recorder_->record(
+        pid_, {begin_at, recorder_->tick() + 1, pid_, kind, r, v, applied});
+  }
+
   arena* mem_;
   process_id pid_;
   std::size_t n_;
@@ -234,6 +345,7 @@ class rt_env {
   std::uint32_t chaos_;
   rng chaos_rng_;
   rt_fault_board* board_ = nullptr;
+  rt_trace_recorder* recorder_ = nullptr;
   std::uint64_t ops_ = 0;
 };
 

@@ -44,6 +44,10 @@ struct rt_run_options {
   // their next fault point; stalled threads poll the same flag) and the
   // result is marked timed_out instead of wedging the caller.
   std::uint32_t watchdog_ms = 0;
+  // When non-null, every register operation is recorded with its global
+  // sequence interval (see rt_trace_recorder in rt/env.h); must outlive
+  // the run.  Call recorder->merged() only after run_threads_opts returns.
+  rt_trace_recorder* recorder = nullptr;
 };
 
 // Spawns one thread per process; each builds its program via
@@ -65,7 +69,8 @@ inline rt_result run_threads_opts(
   envs.reserve(n);
   for (process_id pid = 0; pid < n; ++pid) {
     rng stream(splitmix64(seed) ^ (0x9e3779b97f4a7c15ULL * (pid + 1)));
-    envs.emplace_back(mem, pid, n, stream, opts.chaos, board.get());
+    envs.emplace_back(mem, pid, n, stream, opts.chaos, board.get(),
+                      opts.recorder);
   }
 
   rt_result res;

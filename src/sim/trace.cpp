@@ -1,6 +1,9 @@
 #include "sim/trace.h"
 
+#include <algorithm>
 #include <ostream>
+
+#include "util/assertx.h"
 
 namespace modcon::sim {
 
@@ -22,8 +25,64 @@ std::ostream& operator<<(std::ostream& os, const trace_event& e) {
   return os;
 }
 
+void trace::record_collect(const trace_event& e,
+                           std::span<const word> values) {
+  if (!enabled_) return;
+  if (events_.size() >= max_events_) {
+    overflowed_ = true;
+    return;
+  }
+  collect_index_.push_back(
+      {events_.size(), static_cast<std::uint32_t>(collect_pool_.size()),
+       static_cast<std::uint32_t>(values.size())});
+  collect_pool_.insert(collect_pool_.end(), values.begin(), values.end());
+  events_.push_back(e);
+}
+
+std::span<const word> trace::collect_values(std::size_t event_index) const {
+  // collect_index_ is ordered by event_index (events are appended in
+  // order), so a binary search suffices.
+  auto it = std::lower_bound(
+      collect_index_.begin(), collect_index_.end(), event_index,
+      [](const collect_ref& c, std::size_t i) { return c.event_index < i; });
+  if (it == collect_index_.end() || it->event_index != event_index) return {};
+  return {collect_pool_.data() + it->offset, it->count};
+}
+
+void trace::note_alloc(reg_id first, std::uint32_t count, word init) {
+  if (!enabled_) return;
+  std::size_t need = static_cast<std::size_t>(first) + count;
+  if (initial_.size() < need) {
+    initial_.resize(need, 0);
+    initial_known_.resize(need, 0);
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    initial_[first + i] = init;
+    initial_known_[first + i] = 1;
+  }
+}
+
+bool trace::has_initial(reg_id r) const {
+  return r < initial_known_.size() && initial_known_[r] != 0;
+}
+
+word trace::initial_of(reg_id r) const {
+  MODCON_CHECK_MSG(has_initial(r), "no recorded initial value for r" << r);
+  return initial_[r];
+}
+
+void trace::clear() {
+  events_.clear();
+  collect_index_.clear();
+  collect_pool_.clear();
+  initial_.clear();
+  initial_known_.clear();
+  overflowed_ = false;
+}
+
 void trace::dump(std::ostream& os) const {
   for (const auto& e : events_) os << e << "\n";
+  if (overflowed_) os << "... trace overflowed at " << max_events_ << "\n";
 }
 
 }  // namespace modcon::sim

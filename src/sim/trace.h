@@ -2,25 +2,37 @@
 //
 // When enabled, the world records every executed operation.  Traces back
 // the exhaustive explorer (which needs to reconstruct the schedule it just
-// ran), debugging, and a handful of white-box tests that assert *which*
-// operations an algorithm performed, not just its outputs.
+// ran), the property auditor (check/auditor.h, which replays the trace
+// against the register-semantics state machine), debugging, and a handful
+// of white-box tests that assert *which* operations an algorithm
+// performed, not just its outputs.
+//
+// Growth is bounded: a trace holds at most `max_events()` events
+// (default kDefaultMaxTraceEvents) and sets `overflowed()` instead of
+// growing without bound, so long audited trials degrade gracefully — the
+// auditor reports such trials as inconclusive rather than OOMing the
+// trial pool.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "exec/types.h"
 
 namespace modcon::sim {
 
+inline constexpr std::uint64_t kDefaultMaxTraceEvents = 4'000'000;
+
 struct trace_event {
   std::uint64_t step;
   process_id pid;
   op_kind kind;
   reg_id reg;        // first register for collects
-  word value;        // value written, or value returned by a read
+  word value;        // value written, or value observed by a read
   bool applied;      // false only for a probabilistic write that missed
+                     // (or a write dropped by injected omission faults)
 };
 
 class trace {
@@ -28,18 +40,59 @@ class trace {
   void enable(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  // Caps the event count; further records are dropped and counted through
+  // `overflowed()`.  0 restores the default cap.
+  void set_max_events(std::uint64_t cap) {
+    max_events_ = cap ? cap : kDefaultMaxTraceEvents;
+  }
+  std::uint64_t max_events() const { return max_events_; }
+  bool overflowed() const { return overflowed_; }
+
   void record(const trace_event& e) {
-    if (enabled_) events_.push_back(e);
+    if (!enabled_) return;
+    if (events_.size() >= max_events_) {
+      overflowed_ = true;
+      return;
+    }
+    events_.push_back(e);
   }
 
+  // Records a collect event together with the per-register values the
+  // process observed.  Values live in a side pool keyed by event index so
+  // trace_event itself stays flat (schedule-replay consumers are
+  // untouched); `collect_values(i)` returns an empty span for non-collect
+  // events.
+  void record_collect(const trace_event& e, std::span<const word> values);
+  std::span<const word> collect_values(std::size_t event_index) const;
+
+  // Registers the initial value of freshly allocated registers, so a
+  // trace replay can reconstruct memory from the trace alone (the
+  // unbounded construction allocates mid-execution, so this may be called
+  // between records).
+  void note_alloc(reg_id first, std::uint32_t count, word init);
+  bool has_initial(reg_id r) const;
+  word initial_of(reg_id r) const;  // requires has_initial(r)
+
   const std::vector<trace_event>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  void clear();
 
   void dump(std::ostream& os) const;
 
  private:
+  struct collect_ref {
+    std::uint64_t event_index;
+    std::uint32_t offset;
+    std::uint32_t count;
+  };
+
   bool enabled_ = false;
+  bool overflowed_ = false;
+  std::uint64_t max_events_ = kDefaultMaxTraceEvents;
   std::vector<trace_event> events_;
+  std::vector<collect_ref> collect_index_;  // ordered by event_index
+  std::vector<word> collect_pool_;
+  std::vector<word> initial_;       // indexed by reg_id
+  std::vector<char> initial_known_;  // parallel to initial_
 };
 
 std::ostream& operator<<(std::ostream& os, const trace_event& e);

@@ -160,6 +160,7 @@ sim_world::sim_world(std::size_t n, adversary& adv, std::uint64_t seed,
   pcbs_.reserve(n);
   runnable_index_.assign(n, UINT32_MAX);
   trace_.enable(opts.trace_enabled);
+  trace_.set_max_events(opts.trace_max_events);
   if (opts.register_faults.enabled()) {
     // Derive the fault stream from a *local copy* of the seed: splitmix64
     // advances its argument, and seed_ feeds the per-process rng streams,
@@ -277,7 +278,10 @@ void sim_world::execute(process_id pid) {
       break;
     }
   }
-  trace_.record(ev);
+  if (op.kind == op_kind::collect)
+    trace_.record_collect(ev, *op.collect_slot);
+  else
+    trace_.record(ev);
 
   ++p.ops;
   ++total_ops_;

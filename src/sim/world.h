@@ -129,6 +129,10 @@ struct run_result {
 
 struct world_options {
   bool trace_enabled = false;
+  // Event cap for the execution trace (0 = kDefaultMaxTraceEvents); see
+  // sim/trace.h — an over-long trial sets trace().overflowed() instead of
+  // growing without bound.
+  std::uint64_t trace_max_events = 0;
   // When set, decides the outcome of every *non-trivial* probabilistic
   // write (0 < p < 1) instead of the process's local coin.  The
   // exhaustive explorer and the exact game evaluator use this to
@@ -170,9 +174,15 @@ class sim_world final : public address_space {
   sim_world& operator=(const sim_world&) = delete;
 
   // --- address_space ---
-  reg_id alloc(word init) override { return regs_.alloc(init); }
+  reg_id alloc(word init) override {
+    reg_id r = regs_.alloc(init);
+    trace_.note_alloc(r, 1, init);
+    return r;
+  }
   reg_id alloc_block(std::uint32_t count, word init) override {
-    return regs_.alloc_block(count, init);
+    reg_id first = regs_.alloc_block(count, init);
+    trace_.note_alloc(first, count, init);
+    return first;
   }
   std::uint32_t allocated() const override { return regs_.size(); }
 

@@ -51,9 +51,12 @@ void table::print(std::ostream& os, const std::string& title) const {
       width[c] = std::max(width[c], r[c].size());
 
   os << "\n== " << title << " ==\n";
+  // Short rows pad with this instead of a per-cell temporary: a ternary
+  // mixing an lvalue with a prvalue copies the lvalue arm.
+  static const std::string empty;
   auto emit_row = [&](const std::vector<std::string>& r) {
     for (std::size_t c = 0; c < headers_.size(); ++c) {
-      const std::string& v = c < r.size() ? r[c] : std::string();
+      const std::string& v = c < r.size() ? r[c] : empty;
       os << "  " << std::setw(static_cast<int>(width[c])) << v;
     }
     os << "\n";

@@ -1,0 +1,478 @@
+// The property auditor (check/auditor.h): scripted violations of each
+// checked property must be detected with the right diagnostic, and clean
+// runs of the paper's stacks must audit clean end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/runner.h"
+#include "check/auditor.h"
+#include "check/hb.h"
+#include "core/modcon.h"
+#include "sim/adversaries/adversaries.h"
+#include "sim/trace.h"
+
+namespace modcon {
+namespace {
+
+using analysis::run_object_trial;
+using analysis::run_rt_object_trial;
+using analysis::trial_options;
+using check::audit_report;
+using check::audit_spec;
+using check::audit_status;
+using check::violation_kind;
+using sim::sim_env;
+using sim::trace_event;
+
+bool has_kind(const audit_report& rep, violation_kind k) {
+  return std::any_of(rep.violations.begin(), rep.violations.end(),
+                     [&](const check::violation& v) { return v.kind == k; });
+}
+
+audit_spec basic_spec(std::size_t n, std::vector<value_t> inputs) {
+  audit_spec spec;
+  spec.n = n;
+  spec.inputs = std::move(inputs);
+  return spec;
+}
+
+// ---------------------------------------------------------------------
+// Output-level checks: validity, coherence, acceptance
+// ---------------------------------------------------------------------
+
+TEST(AuditOutputs, CleanOutputsPass) {
+  audit_report rep;
+  check::audit_outputs({{0, {true, 1}}, {1, {true, 1}}},
+                       basic_spec(2, {0, 1}), rep);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(AuditOutputs, UnproposedValueIsAValidityViolation) {
+  audit_report rep;
+  check::audit_outputs({{0, {false, 3}}, {1, {false, 0}}},
+                       basic_spec(2, {0, 1}), rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  EXPECT_TRUE(has_kind(rep, violation_kind::validity));
+  EXPECT_EQ(rep.violations[0].pid, 0u);
+  EXPECT_EQ(rep.violations[0].value, 3u);
+}
+
+TEST(AuditOutputs, DisagreementAfterADecideIsACoherenceViolation) {
+  audit_report rep;
+  check::audit_outputs({{0, {true, 0}}, {1, {false, 1}}},
+                       basic_spec(2, {0, 1}), rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  EXPECT_TRUE(has_kind(rep, violation_kind::coherence));
+}
+
+TEST(AuditOutputs, UndecidedDisagreementAloneIsCoherent) {
+  // Without any decide bit, differing values are allowed (weak consensus
+  // objects may leave processes undecided on distinct values).
+  audit_report rep;
+  check::audit_outputs({{0, {false, 0}}, {1, {false, 1}}},
+                       basic_spec(2, {0, 1}), rep);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(AuditOutputs, RatifierMustAcceptUnanimousInput) {
+  audit_spec spec = basic_spec(2, {4, 4});
+  spec.ratifier = true;
+  audit_report rep;
+  check::audit_outputs({{0, {true, 4}}, {1, {false, 4}}}, spec, rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  EXPECT_TRUE(has_kind(rep, violation_kind::acceptance));
+  EXPECT_EQ(rep.violations[0].pid, 1u);
+}
+
+TEST(AuditOutputs, RatifierWithMixedInputsHasNoAcceptanceObligation) {
+  audit_spec spec = basic_spec(2, {0, 1});
+  spec.ratifier = true;
+  audit_report rep;
+  check::audit_outputs({{0, {false, 0}}, {1, {false, 1}}}, spec, rep);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(AuditOutputs, PropertyChecksDisarmUnderRegisterFaults) {
+  audit_spec spec = basic_spec(2, {0, 1});
+  spec.check_properties = false;
+  audit_report rep;
+  check::audit_outputs({{0, {true, 0}}, {1, {true, 1}}}, spec, rep);
+  EXPECT_TRUE(rep.ok());
+}
+
+// ---------------------------------------------------------------------
+// Composition invariants
+// ---------------------------------------------------------------------
+
+TEST(AuditComposition, CleanChainPasses) {
+  std::vector<stage_record> recs = {
+      {0, 0, 5, {false, 5}},
+      {0, 1, 5, {true, 5}},
+      {1, 0, 7, {false, 5}},
+      {1, 1, 5, {true, 5}},
+  };
+  audit_report rep;
+  check::audit_composition(recs, basic_spec(2, {5, 7}), rep);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(AuditComposition, BrokenCarryIsFlagged) {
+  // p0 left stage 0 carrying 5 but entered stage 1 with 9.
+  std::vector<stage_record> recs = {
+      {0, 0, 5, {false, 5}},
+      {0, 1, 9, {false, 9}},
+  };
+  audit_report rep;
+  check::audit_composition(recs, basic_spec(1, {5}), rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  EXPECT_TRUE(has_kind(rep, violation_kind::composition));
+}
+
+TEST(AuditComposition, ContinuingPastADecideIsFlagged) {
+  std::vector<stage_record> recs = {
+      {0, 0, 5, {true, 5}},
+      {0, 1, 5, {false, 5}},  // the exception mechanism forbids this
+  };
+  audit_report rep;
+  check::audit_composition(recs, basic_spec(1, {5}), rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  EXPECT_TRUE(has_kind(rep, violation_kind::composition));
+}
+
+TEST(AuditComposition, DecidedPrefixPinsLaterStages) {
+  // p0 decided 5 at stage 0, yet p1 leaves stage 1 holding 7: stage 0's
+  // coherence plus stage 1's validity make that impossible.
+  std::vector<stage_record> recs = {
+      {0, 0, 5, {true, 5}},
+      {1, 0, 7, {false, 7}},  // already breaks stage-0 coherence
+      {1, 1, 7, {false, 7}},
+  };
+  audit_report rep;
+  check::audit_composition(recs, basic_spec(2, {5, 7}), rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  EXPECT_TRUE(has_kind(rep, violation_kind::composition));
+}
+
+TEST(AuditComposition, RealComposedStackAuditsClean) {
+  // Two impatient conciliators in sequence, with the log attached.
+  sim::random_oblivious adv;
+  composition_log log;
+  const std::vector<value_t> inputs = {0, 1, 1};
+  trial_options opts;
+  opts.seed = 11;
+  auto res = run_object_trial(
+      [&log](address_space& mem, std::size_t) {
+        auto s = std::make_unique<sequence<sim_env>>();
+        s->append(std::make_unique<impatient_conciliator<sim_env>>(mem));
+        s->append(std::make_unique<impatient_conciliator<sim_env>>(mem));
+        s->attach_log(&log);
+        return s;
+      },
+      inputs, adv, opts);
+  ASSERT_TRUE(res.completed());
+  audit_report rep;
+  check::audit_composition(log.snapshot(), basic_spec(3, inputs), rep);
+  EXPECT_TRUE(rep.ok()) << rep.violations.size() << " violations";
+}
+
+// ---------------------------------------------------------------------
+// Trace replay: fault-semantics legality
+// ---------------------------------------------------------------------
+
+// A hand-built trace over one register: alloc(init), then the listed
+// events.  step/pid fields are synthesized.
+sim::trace scripted_trace(word init,
+                          const std::vector<trace_event>& events) {
+  sim::trace tr;
+  tr.enable(true);
+  tr.note_alloc(0, 1, init);
+  std::uint64_t step = 0;
+  for (trace_event e : events) {
+    e.step = step++;
+    tr.record(e);
+  }
+  return tr;
+}
+
+TEST(AuditTrace, FreshReadsAreClean) {
+  auto tr = scripted_trace(
+      kBot, {{0, 0, op_kind::write, 0, 5, true},
+             {0, 1, op_kind::read, 0, 5, true}});
+  audit_report rep;
+  check::audit_trace(tr, basic_spec(2, {5, 5}), rep);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.events_checked, 2u);
+}
+
+TEST(AuditTrace, StaleReadWithoutRegularModeIsIllegal) {
+  auto tr = scripted_trace(
+      kBot, {{0, 0, op_kind::write, 0, 5, true},
+             {0, 0, op_kind::write, 0, 7, true},
+             {0, 1, op_kind::read, 0, 5, true}});  // previous value
+  audit_report rep;
+  check::audit_trace(tr, basic_spec(2, {5, 7}), rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  ASSERT_TRUE(has_kind(rep, violation_kind::illegal_stale_read));
+  const auto& v = rep.violations[0];
+  EXPECT_EQ(v.pid, 1u);
+  EXPECT_EQ(v.reg, 0u);
+  EXPECT_EQ(v.value, 5u);
+  EXPECT_FALSE(v.slice.empty());  // minimal trace context attached
+}
+
+TEST(AuditTrace, StaleReadUnderRegularModeIsLegal) {
+  auto tr = scripted_trace(
+      kBot, {{0, 0, op_kind::write, 0, 5, true},
+             {0, 0, op_kind::write, 0, 7, true},
+             {0, 1, op_kind::read, 0, 5, true}});
+  audit_spec spec = basic_spec(2, {5, 7});
+  spec.regular_registers = true;
+  audit_report rep;
+  check::audit_trace(tr, spec, rep);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.stale_reads_matched, 1u);
+}
+
+TEST(AuditTrace, TwoGenerationsStaleIsIllegalEvenUnderRegularMode) {
+  // Regular registers may serve the previous value, never older ones.
+  auto tr = scripted_trace(
+      kBot, {{0, 0, op_kind::write, 0, 3, true},
+             {0, 0, op_kind::write, 0, 5, true},
+             {0, 0, op_kind::write, 0, 7, true},
+             {0, 1, op_kind::read, 0, 3, true}});
+  audit_spec spec = basic_spec(2, {3, 7});
+  spec.regular_registers = true;
+  audit_report rep;
+  check::audit_trace(tr, spec, rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  EXPECT_TRUE(has_kind(rep, violation_kind::illegal_stale_read));
+}
+
+TEST(AuditTrace, VisibleOmittedWriteIsFlaggedAsSuch) {
+  auto tr = scripted_trace(
+      kBot, {{0, 0, op_kind::write, 0, 5, true},
+             {0, 1, op_kind::write, 0, 9, false},  // omitted / missed
+             {0, 0, op_kind::read, 0, 9, true}});  // ...yet visible
+  audit_report rep;
+  check::audit_trace(tr, basic_spec(2, {5, 9}), rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  EXPECT_TRUE(has_kind(rep, violation_kind::omitted_write_visible));
+  EXPECT_EQ(rep.unapplied_writes_seen, 1u);
+}
+
+TEST(AuditTrace, UnappliedWriteThatStaysInvisibleIsClean) {
+  auto tr = scripted_trace(
+      kBot, {{0, 0, op_kind::write, 0, 5, true},
+             {0, 1, op_kind::write, 0, 9, false},
+             {0, 0, op_kind::read, 0, 5, true}});
+  audit_report rep;
+  check::audit_trace(tr, basic_spec(2, {5, 9}), rep);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(AuditTrace, CollectValuesAreCheckedPerRegister) {
+  sim::trace tr;
+  tr.enable(true);
+  tr.note_alloc(0, 2, kBot);
+  tr.record({0, 0, op_kind::write, 0, 5, true});
+  const word observed[2] = {5, 6};  // r1 never held 6
+  tr.record_collect({1, 1, op_kind::collect, 0, 0, true},
+                    std::span<const word>(observed, 2));
+  audit_report rep;
+  check::audit_trace(tr, basic_spec(2, {5, 6}), rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  ASSERT_TRUE(has_kind(rep, violation_kind::illegal_stale_read));
+  EXPECT_EQ(rep.violations[0].reg, 1u);
+}
+
+TEST(AuditTrace, OverflowedTraceIsInconclusiveNotClean) {
+  sim::trace tr;
+  tr.enable(true);
+  tr.set_max_events(2);
+  tr.note_alloc(0, 1, kBot);
+  tr.record({0, 0, op_kind::write, 0, 1, true});
+  tr.record({1, 0, op_kind::write, 0, 2, true});
+  tr.record({2, 0, op_kind::write, 0, 3, true});  // dropped
+  ASSERT_TRUE(tr.overflowed());
+  audit_report rep;
+  check::audit_trace(tr, basic_spec(1, {1}), rep);
+  EXPECT_EQ(rep.status, audit_status::inconclusive);
+  EXPECT_FALSE(rep.note.empty());
+}
+
+// ---------------------------------------------------------------------
+// Happens-before serializability (rt traces)
+// ---------------------------------------------------------------------
+
+TEST(AuditHb, SequentialReadAfterWriteIsClean) {
+  std::vector<check::hb_event> events = {
+      {0, op_kind::write, 0, 5, true, 0, 2},
+      {1, op_kind::read, 0, 5, true, 3, 4},
+  };
+  audit_report rep;
+  check::audit_hb(events, basic_spec(2, {5, 5}), {}, rep);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(AuditHb, ReadOfOverwrittenValueIsUnserializable) {
+  // w(1) completes, then w(2) completes, then a read begins — returning 1
+  // admits no linearization over an atomic register.
+  std::vector<check::hb_event> events = {
+      {0, op_kind::write, 0, 1, true, 0, 2},
+      {0, op_kind::write, 0, 2, true, 3, 5},
+      {1, op_kind::read, 0, 1, true, 6, 8},
+  };
+  audit_report rep;
+  check::audit_hb(events, basic_spec(2, {1, 2}), {}, rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  ASSERT_TRUE(has_kind(rep, violation_kind::unserializable_read));
+  EXPECT_EQ(rep.violations[0].pid, 1u);
+  EXPECT_FALSE(rep.violations[0].slice.empty());
+}
+
+TEST(AuditHb, OverlappingWriteMayLinearizeOnEitherSide) {
+  // The read overlaps w(2), so both 1 (old) and 2 (new) are admissible.
+  std::vector<check::hb_event> events = {
+      {0, op_kind::write, 0, 1, true, 0, 2},
+      {0, op_kind::write, 0, 2, true, 3, 9},
+      {1, op_kind::read, 0, 1, true, 4, 6},
+  };
+  audit_report rep;
+  check::audit_hb(events, basic_spec(2, {1, 2}), {}, rep);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(AuditHb, UnappliedWriteIsNeverAnAdmissibleSource) {
+  std::vector<check::hb_event> events = {
+      {0, op_kind::write, 0, 1, true, 0, 2},
+      {0, op_kind::write, 0, 2, false, 3, 5},  // missed probabilistic write
+      {1, op_kind::read, 0, 2, true, 6, 8},
+  };
+  audit_report rep;
+  check::audit_hb(events, basic_spec(2, {1, 2}), {}, rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  EXPECT_TRUE(has_kind(rep, violation_kind::unserializable_read));
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: audited trials over the paper's stacks
+// ---------------------------------------------------------------------
+
+analysis::sim_object_builder consensus_builder() {
+  return [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+  };
+}
+
+TEST(AuditTrial, CleanConsensusTrialAuditsClean) {
+  sim::random_oblivious adv;
+  const std::vector<value_t> inputs = {0, 1, 1, 0};
+  trial_options opts;
+  opts.seed = 5;
+  opts.audit.enabled = true;
+  auto res = run_object_trial(consensus_builder(), inputs, adv, opts);
+  ASSERT_TRUE(res.completed());
+  ASSERT_TRUE(res.audit.has_value());
+  EXPECT_EQ(res.audit->status, audit_status::clean)
+      << "note: " << res.audit->note;
+  EXPECT_GT(res.audit->events_checked, 0u);
+}
+
+TEST(AuditTrial, TinyTraceCapMakesTheAuditInconclusive) {
+  sim::random_oblivious adv;
+  const std::vector<value_t> inputs = {0, 1};
+  trial_options opts;
+  opts.seed = 5;
+  opts.audit.enabled = true;
+  opts.audit.max_trace_events = 4;  // any real trial overflows this
+  auto res = run_object_trial(consensus_builder(), inputs, adv, opts);
+  ASSERT_TRUE(res.audit.has_value());
+  EXPECT_EQ(res.audit->status, audit_status::inconclusive);
+}
+
+TEST(AuditTrial, RegularRegisterTrialAuditsLegalityOnly) {
+  // Register faults void the §3 property guarantees, but every stale
+  // read must still fit the regular-register window.
+  sim::random_oblivious adv;
+  const std::vector<value_t> inputs = {0, 1, 0};
+  std::uint64_t stale_total = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    trial_options opts;
+    opts.seed = seed;
+    opts.faults.regular_registers(/*stale_denominator=*/3);
+    opts.audit.enabled = true;
+    auto res = run_object_trial(consensus_builder(), inputs, adv, opts);
+    ASSERT_TRUE(res.audit.has_value());
+    EXPECT_NE(res.audit->status, audit_status::violated)
+        << "seed " << seed << ": " << res.audit->violations.size()
+        << " violations";
+    stale_total += res.audit->stale_reads_matched;
+  }
+  EXPECT_GT(stale_total, 0u);  // the fault layer did inject stale reads
+}
+
+TEST(AuditTrial, ExperimentEngineCountsAuditedTrials) {
+  analysis::trial_grid cell;
+  cell.label = "audited";
+  cell.build = consensus_builder();
+  cell.n = 3;
+  cell.m = 2;
+  cell.trials = 10;
+  cell.base_seed = 21;
+  cell.audit.mode = analysis::audit_mode::all;
+  auto s = analysis::run_experiment(cell, {.threads = 1});
+  EXPECT_EQ(s.audited, 10u);
+  EXPECT_EQ(s.audit_clean, 10u);
+  EXPECT_EQ(s.audit_violated, 0u);
+  EXPECT_TRUE(s.audit_ok());
+  EXPECT_EQ(s.audit_profile, "all");
+
+  // The schema-v3 audit block serializes with the per-status counts.
+  auto j = analysis::to_json(s);
+  const std::string text = j.dump(0);
+  EXPECT_NE(text.find("\"audit\""), std::string::npos);
+  EXPECT_NE(text.find("\"clean\": 10"), std::string::npos);
+}
+
+TEST(AuditTrial, SampleModeAuditsEveryKthTrial) {
+  analysis::trial_grid cell;
+  cell.label = "sampled";
+  cell.build = consensus_builder();
+  cell.n = 2;
+  cell.m = 2;
+  cell.trials = 10;
+  cell.audit.mode = analysis::audit_mode::sample;
+  cell.audit.sample_every = 4;  // trials 0, 4, 8
+  auto s = analysis::run_experiment(cell, {.threads = 1});
+  EXPECT_EQ(s.audited, 3u);
+  EXPECT_EQ(s.audit_profile, "sample(1/4)");
+}
+
+TEST(AuditTrial, RtTrialAuditsClean) {
+  const std::vector<value_t> inputs = {0, 1};
+  analysis::rt_trial_options opts;
+  opts.seed = 9;
+  opts.chaos = 4;
+  opts.audit.enabled = true;
+  auto res = run_rt_object_trial(
+      [](address_space& mem, std::size_t) {
+        return make_impatient_consensus<rt::rt_env>(mem,
+                                                    make_binary_quorums());
+      },
+      inputs, opts);
+  ASSERT_TRUE(res.completed());
+  ASSERT_TRUE(res.audit.has_value());
+  std::ostringstream os;
+  for (const auto& v : res.audit->violations) os << v << "\n";
+  EXPECT_EQ(res.audit->status, audit_status::clean)
+      << "note: " << res.audit->note << "\n" << os.str();
+  EXPECT_GT(res.audit->events_checked, 0u);
+}
+
+}  // namespace
+}  // namespace modcon

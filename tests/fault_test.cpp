@@ -304,7 +304,12 @@ TEST(RtFaults, CrashedWorkerIsReportedAndSurvivorsAgree) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     analysis::rt_trial_options opts;
     opts.seed = seed;
-    opts.faults.crash(2, 3);
+    // after_ops = 1 fires at the entry of pid 2's second operation, which
+    // every process of this stack is guaranteed to attempt (conciliator
+    // read, then at least one ratifier op).  Larger fault points are racy
+    // on real threads: a late-starting pid can finish its whole program
+    // in fewer ops and halt before the fault ever fires.
+    opts.faults.crash(2, 1);
     auto inputs = make_inputs(input_pattern::alternating, 4, 2, seed);
     auto res = run_rt_object_trial(rt_consensus_builder(), inputs, opts);
 
@@ -320,7 +325,7 @@ TEST(RtFaults, RestartedWorkerRecoversAndAgrees) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     analysis::rt_trial_options opts;
     opts.seed = seed;
-    opts.faults.restart(1, 2);
+    opts.faults.restart(1, 1);  // second-op entry: guaranteed to fire
     auto inputs = make_inputs(input_pattern::alternating, 4, 2, seed);
     auto res = run_rt_object_trial(rt_consensus_builder(), inputs, opts);
 
@@ -336,7 +341,7 @@ TEST(RtFaults, RestartedWorkerRecoversAndAgrees) {
 TEST(RtFaults, StallWithResumeCompletes) {
   analysis::rt_trial_options opts;
   opts.seed = 9;
-  opts.faults.stall(0, 2, /*resume_after_ms=*/5);
+  opts.faults.stall(0, 1, /*resume_after_ms=*/5);
   auto inputs = make_inputs(input_pattern::alternating, 4, 2, 9);
   auto res = run_rt_object_trial(rt_consensus_builder(), inputs, opts);
 
@@ -351,7 +356,7 @@ TEST(RtWatchdog, HungTrialReportsTimedOut) {
   // reclaim the trial and report timed_out instead of wedging the caller.
   analysis::rt_trial_options opts;
   opts.seed = 4;
-  opts.faults.stall(1, 2);  // never resumes
+  opts.faults.stall(1, 1);  // never resumes; second-op entry always fires
   opts.watchdog_ms = 250;
   auto inputs = make_inputs(input_pattern::alternating, 4, 2, 4);
   auto res = run_rt_object_trial(rt_consensus_builder(), inputs, opts);
