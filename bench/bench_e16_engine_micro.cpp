@@ -1,0 +1,97 @@
+// E16 — Engine microbenchmark: trial-engine throughput, not a paper claim.
+//
+// Every other bench measures the *protocols*; this one measures the
+// *harness* that runs them — the sim trial engine's steps/sec on the two
+// workloads the paper's experiments spend nearly all their time in:
+//
+//   * E1-style grids: the impatient first-mover conciliator (short
+//     trials, spawn/teardown dominated — exercises world setup and the
+//     scheduler fast path);
+//   * E2-style grids: the full unbounded consensus stack (longer trials,
+//     step-loop dominated — exercises register ops and adversary picks);
+//   * a faulted cell (E15-style crash/restart + regular registers), so
+//     the fault-point checks on the step path stay visible.
+//
+// The numbers come from the engine's own per-phase perf counters
+// (analysis/perf.h, schema v3.1): steps/sec is per completed trial,
+// steps / step-phase-seconds, so setup and reduction cannot flatter the
+// step loop.  scripts/compare_bench.py gates CI on the p50 column of
+// this bench's JSON artifact against the committed BENCH_baseline.json.
+#include <memory>
+
+#include "common.h"
+#include "core/conciliator/impatient.h"
+#include "core/consensus/builder.h"
+#include "sim/adversaries/adversaries.h"
+
+namespace {
+
+using namespace modcon;
+using namespace modcon::bench;
+using sim::sim_env;
+
+analysis::sim_object_builder impatient() {
+  return [](address_space& mem, std::size_t) {
+    return std::make_unique<impatient_conciliator<sim_env>>(mem);
+  };
+}
+
+analysis::sim_object_builder consensus_stack() {
+  return [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_harness h("e16_engine_micro", argc, argv);
+  print_header("E16: trial-engine throughput (steps/sec, perf phases)",
+               "engine microbenchmark — no paper claim; CI gates on the "
+               "steps_per_sec_p50 of these cells vs BENCH_baseline.json");
+
+  std::vector<trial_grid> grid;
+  for (std::size_t n : {16u, 64u, 256u}) {
+    grid.push_back({
+        .label = "e16_conciliator/n=" + std::to_string(n),
+        .build = impatient(),
+        .n = n,
+        .trials = h.trials(trials_for(n, 400'000)),
+    });
+  }
+  for (std::size_t n : {16u, 64u, 256u}) {
+    grid.push_back({
+        .label = "e16_consensus/n=" + std::to_string(n),
+        .build = consensus_stack(),
+        .n = n,
+        .trials = h.trials(trials_for(n, 200'000)),
+    });
+  }
+  grid.push_back({
+      .label = "e16_faulted/n=64",
+      .build = consensus_stack(),
+      .n = 64,
+      .trials = h.trials(1000),
+      .faults = analysis::fault_plan{}
+                    .crash(1, 12)
+                    .restart(0, 8)
+                    .regular_registers(8),
+  });
+  auto summaries = h.run_grid(std::move(grid));
+
+  table t({"cell", "trials", "steps_mean", "sched_ms", "step_ms", "audit_ms",
+           "Msteps/s_p50", "Msteps/s_mean"});
+  for (const auto& s : summaries) {
+    t.row()
+        .cell(s.label)
+        .cell(static_cast<std::uint64_t>(s.trials))
+        .cell(s.steps.mean, 1)
+        .cell(s.perf.ms(analysis::perf_phase::schedule), 1)
+        .cell(s.perf.ms(analysis::perf_phase::step), 1)
+        .cell(s.perf.ms(analysis::perf_phase::audit), 1)
+        .cell(s.steps_per_sec.p50 / 1e6, 3)
+        .cell(s.steps_per_sec.mean / 1e6, 3);
+  }
+  h.emit(t, "E16: sim trial-engine throughput by workload", "e16_engine");
+  return h.finish();
+}

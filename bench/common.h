@@ -54,8 +54,11 @@ struct cli_options {
     std::exit(2);
   }
 
-  // Consumes recognized flags from argc/argv (compacting the array) so
-  // leftovers can be forwarded, e.g. to google-benchmark.  Exits on
+  // Consumes recognized flags from argc/argv, compacting the array.
+  // Only google-benchmark's own --benchmark_* flags pass through (for
+  // benches that hand the leftovers to benchmark::Initialize); anything
+  // else unrecognized is a usage error — a typo like --thread or
+  // --seed=4 must not silently run the full default grid.  Exits on
   // --help or malformed usage.
   static cli_options parse(int& argc, char** argv) {
     cli_options cli;
@@ -81,17 +84,23 @@ struct cli_options {
         audit_given = true;
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "usage: bench [--threads N] [--seeds N] [--json PATH] "
-                     "[--audit MODE]\n"
+                     "[--audit MODE] [--benchmark_*...]\n"
                   << "  --threads N  trial-pool workers (default: hardware; "
                      "results identical for every N)\n"
                   << "  --seeds N    override per-cell trial counts\n"
                   << "  --json PATH  write the BENCH_*.json artifact "
                      "(schema modcon-bench v3)\n"
                   << "  --audit MODE property-audit trials: off|sample|all "
-                     "(default: $MODCON_AUDIT or off)\n";
+                     "(default: $MODCON_AUDIT or off)\n"
+                  << "  --benchmark_* forwarded to google-benchmark "
+                     "(benches that embed it)\n";
         std::exit(0);
+      } else if (arg.rfind("--benchmark_", 0) == 0) {
+        argv[out++] = argv[i];  // google-benchmark's; forward untouched
       } else {
-        argv[out++] = argv[i];  // not ours; keep for the bench
+        std::cerr << "unknown argument '" << arg
+                  << "' (run with --help for usage)\n";
+        std::exit(2);
       }
     }
     argc = out;

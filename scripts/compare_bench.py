@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Benchmark baseline diff: fail on median step-rate regressions.
+
+Compares a candidate BENCH_*.json artifact (schema modcon-bench v3) against
+a committed baseline and exits nonzero when any cell's median trial step
+rate (perf.steps_per_sec_p50) regressed by more than --threshold (default
+10%).  Cells are matched by experiment label; cells without perf data
+(e.g. rt-backend rows, which report wall-clock only) are skipped.
+
+Usage:
+    scripts/compare_bench.py BASELINE.json CANDIDATE.json [options]
+
+Options:
+    --threshold F   fractional regression allowed per cell (default 0.10)
+    --key NAME      perf field to compare (default steps_per_sec_p50)
+    --require-all   fail if a baseline cell is missing from the candidate
+                    (default: missing cells are reported but tolerated, so
+                    a bench can drop a cell in the same PR that refreshes
+                    the baseline)
+
+Exit codes: 0 ok, 1 regression (or missing cells with --require-all),
+2 bad invocation / unreadable or mismatched artifacts.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path, key):
+    """Returns {label: value} for every experiment carrying perf[key] > 0."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"compare_bench: cannot read {path}: {err}")
+    if doc.get("schema") != "modcon-bench":
+        sys.exit(f"compare_bench: {path} is not a modcon-bench artifact "
+                 f"(schema={doc.get('schema')!r})")
+    cells = {}
+    for exp in doc.get("experiments", []):
+        label = exp.get("label")
+        value = exp.get("perf", {}).get(key)
+        if label and isinstance(value, (int, float)) and value > 0:
+            cells[label] = float(value)
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold median step-rate regression")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10)
+    parser.add_argument("--key", default="steps_per_sec_p50")
+    parser.add_argument("--require-all", action="store_true")
+    args = parser.parse_args()
+    if not 0 <= args.threshold < 1:
+        parser.error("--threshold must be in [0, 1)")
+
+    base = load_cells(args.baseline, args.key)
+    cand = load_cells(args.candidate, args.key)
+    if not base:
+        sys.exit(f"compare_bench: no cells with {args.key} in {args.baseline}")
+
+    regressions, missing = [], []
+    width = max(len(label) for label in base)
+    print(f"compare_bench: {args.key}, threshold "
+          f"{args.threshold:.0%} ({args.baseline} -> {args.candidate})")
+    for label, old in sorted(base.items()):
+        new = cand.get(label)
+        if new is None:
+            missing.append(label)
+            print(f"  {label:<{width}}  MISSING from candidate")
+            continue
+        ratio = new / old
+        flag = "" if ratio >= 1 - args.threshold else "  << REGRESSION"
+        print(f"  {label:<{width}}  {old:14.0f} -> {new:14.0f}  "
+              f"({ratio - 1:+7.1%}){flag}")
+        if flag:
+            regressions.append(label)
+    for label in sorted(set(cand) - set(base)):
+        print(f"  {label:<{width}}  new cell (not in baseline)")
+
+    if regressions:
+        print(f"compare_bench: FAIL — {len(regressions)} cell(s) regressed "
+              f"more than {args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    if missing and args.require_all:
+        print(f"compare_bench: FAIL — {len(missing)} baseline cell(s) "
+              f"missing: {', '.join(missing)}")
+        return 1
+    print("compare_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,16 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (profile: .clang-tidy) over the library sources using
-# the compile database the default preset exports.  Knobs:
+# the compile database the default preset exports.  Warnings are
+# promoted to errors, so the script's exit code is the lint verdict —
+# CI fails a PR whose changed sources introduce clang-tidy findings.
+#
+#   usage: run_lint.sh [--changed BASE_REF]
+#
+#   --changed REF    lint only the .cpp files (within PATHS) that differ
+#                    from REF (e.g. origin/main); exits 0 when none do.
+#                    Without it, the whole tree is linted.
+#
+# Knobs:
 #
 #   BUILD=DIR        build directory with compile_commands.json
 #                    (default build; configured if missing)
@@ -15,6 +25,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${BUILD:-build}"
+
+BASE_REF=""
+if [ "${1:-}" = "--changed" ]; then
+  if [ -z "${2:-}" ]; then
+    echo "run_lint.sh: --changed requires a base ref (e.g. origin/main)" >&2
+    exit 2
+  fi
+  BASE_REF="$2"
+  shift 2
+fi
+if [ "$#" -ne 0 ]; then
+  echo "run_lint.sh: unknown argument '$1' (usage: run_lint.sh [--changed REF])" >&2
+  exit 2
+fi
 
 find_tidy() {
   if [ -n "${CLANG_TIDY:-}" ]; then
@@ -42,12 +66,24 @@ if [ ! -f "$BUILD/compile_commands.json" ]; then
 fi
 
 # Lint the sources we own; third-party-free by construction.
-mapfile -t FILES < <(git ls-files ${PATHS:-src bench} | grep -E '\.cpp$')
-if [ "${#FILES[@]}" -eq 0 ]; then
-  echo "run_lint.sh: no sources matched" >&2
-  exit 2
+if [ -n "$BASE_REF" ]; then
+  mapfile -t FILES < <(git diff --name-only --diff-filter=d "$BASE_REF" -- \
+                         ${PATHS:-src bench} | grep -E '\.cpp$' || true)
+  if [ "${#FILES[@]}" -eq 0 ]; then
+    echo "run_lint.sh: no lintable sources changed vs $BASE_REF"
+    exit 0
+  fi
+else
+  mapfile -t FILES < <(git ls-files ${PATHS:-src bench} | grep -E '\.cpp$')
+  if [ "${#FILES[@]}" -eq 0 ]; then
+    echo "run_lint.sh: no sources matched" >&2
+    exit 2
+  fi
 fi
 
 echo "run_lint.sh: $TIDY over ${#FILES[@]} files (db: $BUILD)"
-"$TIDY" -p "$BUILD" --quiet "${FILES[@]}"
+# --warnings-as-errors promotes every enabled check to an error, so a
+# finding anywhere in FILES makes clang-tidy (and this script) exit
+# nonzero instead of merely printing.
+"$TIDY" -p "$BUILD" --quiet --warnings-as-errors='*' "${FILES[@]}"
 echo "run_lint.sh: clean"

@@ -55,12 +55,29 @@ trial_record run_one_trial(const trial_grid& cell, std::uint64_t index) {
     };
   }
 
+  opts.perf = &rec.perf;
+
   auto t0 = std::chrono::steady_clock::now();
   rec.result = run_object_trial(cell.build, inputs, *adv, opts);
   rec.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
-  rec.valid = rec.result.valid(inputs);
+
+  // Evaluate the §3 predicates once, against a single materialization of
+  // the escaped outputs, with the inputs sorted for binary-search
+  // membership.  reduce() then only reads booleans — the per-record
+  // methods on trial_result would rebuild all_outputs() (and rescan the
+  // inputs) once per predicate per trial.
+  {
+    phase_timer audit_timer(&rec.perf, perf_phase::audit);
+    std::vector<decided> escaped = rec.result.all_outputs();
+    std::vector<value_t> sorted_inputs = inputs;
+    std::sort(sorted_inputs.begin(), sorted_inputs.end());
+    rec.valid = check_validity_sorted(escaped, sorted_inputs);
+    rec.agreement = check_agreement(escaped);
+    rec.coherent = check_coherence(escaped);
+    rec.decided_all = all_decided(escaped);
+  }
   return rec;
 }
 
@@ -68,6 +85,7 @@ trial_record run_one_trial(const trial_grid& cell, std::uint64_t index) {
 // every thread count by construction.
 summary_stats reduce(const trial_grid& cell,
                      std::vector<trial_record> records) {
+  const std::uint64_t reduce_t0 = perf_now_ns();
   summary_stats s;
   s.label = cell.label;
   s.n = cell.n;
@@ -80,10 +98,11 @@ summary_stats reduce(const trial_grid& cell,
   s.audit_profile = to_string(cell.audit);
 
   constexpr std::size_t kMaxAuditExamples = 8;
-  std::vector<double> total, indiv, steps;
+  std::vector<double> total, indiv, steps, step_rate;
   std::vector<std::vector<double>> probe_samples(cell.probes.size());
   for (const trial_record& r : records) {
     s.wall_ms += r.wall_ms;
+    s.perf += r.perf;
     s.crashed_processes += r.result.crashed_pids.size();
     s.restarted_processes += r.result.restarted_pids.size();
     s.restarts += r.result.restarts;
@@ -118,23 +137,33 @@ summary_stats reduce(const trial_grid& cell,
     }
     if (r.result.status == sim::run_status::step_limit) continue;
     ++s.completed;
-    s.agreed += r.result.agreement();
-    s.coherent += r.result.coherent();
+    s.agreed += r.agreement;
+    s.coherent += r.coherent;
     s.valid += r.valid;
-    s.all_decided += all_decided(r.result.all_outputs());
+    s.all_decided += r.decided_all;
     total.push_back(static_cast<double>(r.result.total_ops));
     indiv.push_back(static_cast<double>(r.result.max_individual_ops));
     steps.push_back(static_cast<double>(r.result.steps));
+    if (r.perf.ns[static_cast<std::size_t>(perf_phase::step)] > 0)
+      step_rate.push_back(
+          static_cast<double>(r.result.steps) * 1e9 /
+          static_cast<double>(
+              r.perf.ns[static_cast<std::size_t>(perf_phase::step)]));
     for (std::size_t i = 0; i < r.probes.size(); ++i)
       probe_samples[i].push_back(r.probes[i]);
   }
   s.total_ops = dist_summary::of(std::move(total));
   s.max_individual_ops = dist_summary::of(std::move(indiv));
   s.steps = dist_summary::of(std::move(steps));
+  s.steps_per_sec = dist_summary::of(std::move(step_rate));
   for (std::size_t i = 0; i < cell.probes.size(); ++i)
     s.probes.emplace_back(cell.probes[i].name,
                           dist_summary::of(std::move(probe_samples[i])));
   if (cell.keep_records) s.records = std::move(records);
+  // Explicit stop (no RAII into the NRVO-returned struct): the reduction
+  // itself is the cell's serialize cost.
+  s.perf.ns[static_cast<std::size_t>(perf_phase::serialize)] +=
+      perf_now_ns() - reduce_t0;
   return s;
 }
 
@@ -190,6 +219,16 @@ const dist_summary* summary_stats::find_probe(const std::string& name) const {
   for (const auto& [k, v] : probes)
     if (k == name) return &v;
   return nullptr;
+}
+
+void clear_timing_measurements(summary_stats& s) {
+  s.wall_ms = 0.0;
+  s.perf = perf_counters{};
+  s.steps_per_sec = dist_summary{};
+  for (trial_record& r : s.records) {
+    r.wall_ms = 0.0;
+    r.perf = perf_counters{};
+  }
 }
 
 summary_stats run_experiment(const trial_grid& cell,
@@ -363,6 +402,32 @@ json to_json(const summary_stats& s, bool include_records) {
 
   j["wall_ms"] = json(s.wall_ms);
 
+  // Perf block (schema v3.1, additive).  Flat keys only, all spelled
+  // "*_ms" or "steps_per_sec_*": the determinism tests diff serialized
+  // artifacts modulo a line filter on exactly those spellings, and
+  // scripts/compare_bench.py keys on steps_per_sec_p50.
+  {
+    json perf = json::object();
+    perf["schedule_ms"] = json(s.perf.ms(perf_phase::schedule));
+    perf["step_ms"] = json(s.perf.ms(perf_phase::step));
+    perf["audit_ms"] = json(s.perf.ms(perf_phase::audit));
+    perf["serialize_ms"] = json(s.perf.ms(perf_phase::serialize));
+    perf["steps_per_sec_count"] = json(s.steps_per_sec.count);
+    if (s.steps_per_sec.count == 0) {
+      for (const char* k : {"steps_per_sec_mean", "steps_per_sec_min",
+                            "steps_per_sec_max", "steps_per_sec_p50",
+                            "steps_per_sec_p90"})
+        perf[k] = json();
+    } else {
+      perf["steps_per_sec_mean"] = json(s.steps_per_sec.mean);
+      perf["steps_per_sec_min"] = json(s.steps_per_sec.min);
+      perf["steps_per_sec_max"] = json(s.steps_per_sec.max);
+      perf["steps_per_sec_p50"] = json(s.steps_per_sec.p50);
+      perf["steps_per_sec_p90"] = json(s.steps_per_sec.p90);
+    }
+    j["perf"] = std::move(perf);
+  }
+
   if (include_records && !s.records.empty()) {
     json recs = json::array();
     for (const trial_record& r : s.records) {
@@ -384,6 +449,7 @@ json make_report_skeleton(const std::string& bench_name) {
   json j = json::object();
   j["schema"] = json(kExperimentSchemaName);
   j["schema_version"] = json(kExperimentSchemaVersion);
+  j["schema_minor"] = json(kExperimentSchemaMinor);
   j["bench"] = json(bench_name);
   j["experiments"] = json::array();
   j["tables"] = json::array();

@@ -41,8 +41,12 @@ namespace modcon::analysis {
 // counts.omitted_writes, and config.faults.  v3 added the per-cell
 // property-audit block: config.audit plus an optional top-level "audit"
 // object with per-status counts and example violations (see
-// EXPERIMENTS.md).
+// EXPERIMENTS.md).  Minor 1 (additive, v3.1) added the per-cell "perf"
+// block: per-phase wall-clock totals plus the per-trial steps/sec
+// distribution (analysis/perf.h) — measurement fields, excluded from
+// the determinism contract.
 inline constexpr int kExperimentSchemaVersion = 3;
+inline constexpr int kExperimentSchemaMinor = 1;
 inline constexpr const char* kExperimentSchemaName = "modcon-bench";
 
 // Deterministic per-trial seed: SplitMix64 of base_seed ^ trial_index.
@@ -124,15 +128,22 @@ struct trial_grid {
   bool keep_records = false;
 };
 
-// Everything measured about one trial.  Fields other than wall_ms are
-// deterministic functions of (cell definition, trial index).
+// Everything measured about one trial.  Fields other than wall_ms and
+// perf are deterministic functions of (cell definition, trial index).
 struct trial_record {
   std::uint64_t trial_index = 0;
   std::uint64_t seed = 0;
   trial_result result;
-  bool valid = false;  // check_validity against this trial's inputs
+  // The §3 predicates over this trial's escaped outputs, computed once
+  // while the inputs are at hand (the per-record methods on trial_result
+  // recompute them from scratch; the engine must not pay that per trial).
+  bool valid = false;        // check_validity against this trial's inputs
+  bool agreement = false;    // check_agreement
+  bool coherent = false;     // check_coherence
+  bool decided_all = false;  // all_decided
   std::vector<double> probes;  // parallel to trial_grid::probes
   double wall_ms = 0.0;        // measurement only; excluded from determinism
+  perf_counters perf;          // measurement only; excluded from determinism
 };
 
 // Distribution summary over completed trials: the moments and order
@@ -204,6 +215,12 @@ struct summary_stats {
   std::vector<std::pair<std::string, dist_summary>> probes;
 
   double wall_ms = 0.0;  // summed trial wall time (not deterministic)
+  // Per-phase wall-clock totals and the per-trial step-rate distribution
+  // (steps / step-phase seconds, completed trials only).  Measurements:
+  // excluded from the determinism contract; serialized into the "perf"
+  // block (schema v3.1) that scripts/compare_bench.py gates on.
+  perf_counters perf;
+  dist_summary steps_per_sec;
 
   // Retained iff trial_grid::keep_records.
   std::vector<trial_record> records;
@@ -231,6 +248,12 @@ struct experiment_options {
   // value; only wall-clock changes.
   std::size_t threads = 0;
 };
+
+// Zeroes every timing measurement in a summary and its retained records
+// (wall_ms, the perf counters, the steps/sec distribution), leaving only
+// the deterministic fields.  Byte-for-byte comparisons across thread
+// counts or engine versions pin timings with this before serializing.
+void clear_timing_measurements(summary_stats& s);
 
 // Runs one cell.
 summary_stats run_experiment(const trial_grid& cell,

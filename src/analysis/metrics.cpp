@@ -11,12 +11,29 @@ bool check_validity(const std::vector<decided>& outputs,
   });
 }
 
+bool check_validity_sorted(const std::vector<decided>& outputs,
+                           const std::vector<value_t>& sorted_inputs) {
+  return std::all_of(outputs.begin(), outputs.end(), [&](const decided& d) {
+    return std::binary_search(sorted_inputs.begin(), sorted_inputs.end(),
+                              d.value);
+  });
+}
+
 bool check_coherence(const std::vector<decided>& outputs) {
+  // "If any process outputs (1, v), no process outputs (d, v') with
+  // v' != v" — equivalently: once some output decides, *every* output
+  // must carry the decider's value.  One pass instead of the literal
+  // quantifier pair (which was quadratic when all n processes decide).
+  const decided* first_decider = nullptr;
   for (const decided& d : outputs) {
-    if (!d.decide) continue;
-    for (const decided& e : outputs)
-      if (e.value != d.value) return false;
+    if (d.decide) {
+      first_decider = &d;
+      break;
+    }
   }
+  if (first_decider == nullptr) return true;
+  for (const decided& e : outputs)
+    if (e.value != first_decider->value) return false;
   return true;
 }
 

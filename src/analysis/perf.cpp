@@ -1,0 +1,15 @@
+#include "analysis/perf.h"
+
+namespace modcon::analysis {
+
+const char* to_string(perf_phase p) {
+  switch (p) {
+    case perf_phase::schedule: return "schedule";
+    case perf_phase::step: return "step";
+    case perf_phase::audit: return "audit";
+    case perf_phase::serialize: return "serialize";
+  }
+  return "?";
+}
+
+}  // namespace modcon::analysis

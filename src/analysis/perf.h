@@ -1,0 +1,82 @@
+// Per-phase wall-clock accounting for the trial engines.
+//
+// Every trial passes through the same four phases:
+//
+//   schedule   building the trial: adversary construction, input
+//              generation, world/object setup;
+//   step       the execution itself (sim_world::run or the rt thread run);
+//   audit      the optional property-audit replay (check/auditor.h);
+//   serialize  aggregation of records into summaries and their JSON form.
+//
+// `perf_counters` accumulates steady-clock nanoseconds per phase; the
+// experiment engine records them per trial, sums them per cell, and
+// serializes them into the report's "perf" block (schema minor 1, see
+// EXPERIMENTS.md).  Timing fields are measurements, not results: they are
+// excluded from the engine's determinism contract, and every timing key
+// is spelled `*_ms` / `steps_per_sec_*` so determinism diffs can filter
+// them with one pattern.
+//
+// Overhead budget: two clock reads per phase per *trial* (never per
+// step), so the counters stay on unconditionally.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace modcon::analysis {
+
+enum class perf_phase : std::uint8_t { schedule, step, audit, serialize };
+inline constexpr std::size_t kPerfPhaseCount = 4;
+
+const char* to_string(perf_phase p);
+
+inline std::uint64_t perf_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct perf_counters {
+  std::uint64_t ns[kPerfPhaseCount] = {};
+
+  void add(perf_phase p, std::uint64_t dt_ns) {
+    ns[static_cast<std::size_t>(p)] += dt_ns;
+  }
+  std::uint64_t get_ns(perf_phase p) const {
+    return ns[static_cast<std::size_t>(p)];
+  }
+  double ms(perf_phase p) const {
+    return static_cast<double>(get_ns(p)) / 1e6;
+  }
+  perf_counters& operator+=(const perf_counters& o) {
+    for (std::size_t i = 0; i < kPerfPhaseCount; ++i) ns[i] += o.ns[i];
+    return *this;
+  }
+};
+
+// RAII phase timer: adds the elapsed steady-clock time to `into` on
+// destruction.  `into` may be null (timer disabled, near-zero cost).
+class phase_timer {
+ public:
+  phase_timer(perf_counters* into, perf_phase phase)
+      : into_(into), phase_(phase), start_(into ? perf_now_ns() : 0) {}
+  ~phase_timer() { stop(); }
+
+  phase_timer(const phase_timer&) = delete;
+  phase_timer& operator=(const phase_timer&) = delete;
+
+  // Ends the timed region early (idempotent).
+  void stop() {
+    if (into_ == nullptr) return;
+    into_->add(phase_, perf_now_ns() - start_);
+    into_ = nullptr;
+  }
+
+ private:
+  perf_counters* into_;
+  perf_phase phase_;
+  std::uint64_t start_;
+};
+
+}  // namespace modcon::analysis

@@ -66,6 +66,7 @@ trial_result run_object_trial(const sim_object_builder& build,
                               sim::adversary& adv,
                               const trial_options& opts) {
   const std::size_t n = inputs.size();
+  phase_timer schedule_timer(opts.perf, perf_phase::schedule);
   sim::world_options wopts;
   wopts.trace_enabled = opts.trace || opts.audit.enabled;
   wopts.trace_max_events = opts.audit.max_trace_events;
@@ -87,9 +88,13 @@ trial_result run_object_trial(const sim_object_builder& build,
   // with no fairness assumption that is observationally a crash.
   for (const stall_spec& s : opts.faults.stalls)
     world.crash_after(s.pid, s.after_ops);
+  schedule_timer.stop();
 
   trial_result res;
-  res.status = world.run(opts.limits.max_steps).status;
+  {
+    phase_timer step_timer(opts.perf, perf_phase::step);
+    res.status = world.run(opts.limits.max_steps).status;
+  }
   std::vector<check::labeled_output> escaped;  // for the audit below
   for (process_id pid = 0; pid < n; ++pid) {
     auto out = world.output_of(pid);
@@ -113,6 +118,7 @@ trial_result run_object_trial(const sim_object_builder& build,
   res.steps = world.steps();
   res.registers = world.allocated();
   if (opts.audit.enabled) {
+    phase_timer audit_timer(opts.perf, perf_phase::audit);
     res.audit = check::audit_trial(world.execution_trace(), escaped, {},
                                    make_audit_spec(inputs, opts.faults,
                                                    opts.audit));
@@ -126,6 +132,7 @@ trial_result run_rt_object_trial(const rt_object_builder& build,
                                  const std::vector<value_t>& inputs,
                                  const rt_trial_options& opts) {
   const std::size_t n = inputs.size();
+  phase_timer schedule_timer(opts.perf, perf_phase::schedule);
   rt::arena mem;
   auto obj = build(mem, n);
 
@@ -151,15 +158,19 @@ trial_result run_rt_object_trial(const rt_object_builder& build,
         {s.pid, s.after_ops, rt::fault_action::stall, s.resume_after_ms});
   // Register faults are ignored here: rt registers are real atomics.
 
+  schedule_timer.stop();
+
   // The inputs vector outlives the threads, so the program lambda may
   // capture it by pointer (invoke_encoded copies the value into the
   // coroutine frame before the lambda dies — CP.51).
+  phase_timer step_timer(opts.perf, perf_phase::step);
   auto rres = rt::run_threads_opts(
       mem, n, opts.seed,
       [&obj, &inputs](rt::rt_env& env) {
         return invoke_encoded(*obj, env, inputs[env.pid()]);
       },
       ropts);
+  step_timer.stop();
 
   trial_result res;
   bool any_crashed = false;
@@ -192,6 +203,7 @@ trial_result run_rt_object_trial(const rt_object_builder& build,
   res.registers = mem.allocated();
 
   if (opts.audit.enabled) {
+    phase_timer audit_timer(opts.perf, perf_phase::audit);
     check::audit_spec spec =
         make_audit_spec(inputs, opts.faults, opts.audit);
     check::audit_report rep;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analysis/metrics.h"
+#include "analysis/perf.h"
 #include "check/auditor.h"
 #include "core/deciding.h"
 #include "rt/env.h"
@@ -147,6 +148,10 @@ struct trial_options {
   fault_plan faults;
   bool trace = false;
   audit_options audit;
+  // When set, the runner charges its phases (schedule = world/object
+  // setup, step = the execution, audit = the property replay) to these
+  // counters; see analysis/perf.h.  Timing only — never affects results.
+  perf_counters* perf = nullptr;
   // Called after the run with the finished world, for metrics the
   // summary below does not carry (register write counts, traces, ...).
   std::function<void(const sim::sim_world&)> inspect;
@@ -223,6 +228,7 @@ struct rt_trial_options {
   fault_plan faults;
   std::uint32_t watchdog_ms = 10'000;
   audit_options audit;
+  perf_counters* perf = nullptr;  // see trial_options::perf
 };
 
 // Runs one real-thread execution of the object built by `build` over a

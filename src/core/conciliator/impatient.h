@@ -62,6 +62,55 @@ struct impatience_schedule {
   }
 
   bool is_doubling() const { return numer == 2 * denom; }
+
+  // Incremental evaluator for the retry loop: next() on its k-th call
+  // returns exactly probability(k, n), but walks the 128-bit recurrence
+  // one multiply at a time instead of replaying all k iterations from
+  // scratch.  Bit-identical by construction: the state after k calls is
+  // the state probability(k, n)'s loop reaches after k iterations, and
+  // the final renormalization happens on a copy, as there.
+  class stepper {
+   public:
+    stepper(const impatience_schedule& s, std::uint64_t n)
+        : numer_(s.numer), denom_(s.denom), num_(1), den_(n) {}
+
+    prob next() {
+      if (first_) {
+        first_ = false;
+      } else if (!saturated_) {
+        num_ *= numer_;
+        den_ *= denom_;
+        if (num_ >= den_) {
+          saturated_ = true;  // probability()'s in-loop early return
+        } else {
+          while (den_ >= (static_cast<unsigned __int128>(1) << 96) ||
+                 num_ >= (static_cast<unsigned __int128>(1) << 96)) {
+            num_ >>= 32;
+            den_ >>= 32;
+            if (num_ == 0) num_ = 1;
+          }
+        }
+      }
+      if (saturated_ || num_ >= den_) return prob::always();
+      unsigned __int128 num = num_;
+      unsigned __int128 den = den_;
+      while (den > ~std::uint64_t{0}) {
+        num >>= 16;
+        den >>= 16;
+        if (num == 0) num = 1;
+      }
+      return prob(static_cast<std::uint64_t>(num),
+                  static_cast<std::uint64_t>(den));
+    }
+
+   private:
+    std::uint32_t numer_;
+    std::uint32_t denom_;
+    unsigned __int128 num_;
+    unsigned __int128 den_;
+    bool saturated_ = false;
+    bool first_ = true;
+  };
 };
 
 template <typename Env>
@@ -84,18 +133,17 @@ class impatient_conciliator final : public deciding_object<Env> {
   proc<decided> invoke(Env& env, value_t v) override {
     MODCON_CHECK_MSG(v < kBot, "⊥ is not a valid input");
     const auto n = static_cast<std::uint64_t>(env.n());
-    unsigned k = 0;
+    impatience_schedule::stepper ps(schedule_, n);
     for (;;) {
       word u = co_await env.read(r_);
       if (u != kBot) co_return decided{false, u};
-      prob p = schedule_.probability(k, n);
+      prob p = ps.next();  // == schedule_.probability(k, n) at attempt k
       if (detect_success_) {
         bool applied = co_await env.prob_write_detect(r_, v, p);
         if (applied) co_return decided{false, v};
       } else {
         co_await env.prob_write(r_, v, p);
       }
-      ++k;
     }
   }
 

@@ -19,6 +19,8 @@
 // truncation.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -67,27 +69,46 @@ class unbounded_consensus final : public deciding_object<Env> {
   // reached).  An expected-cost probe for E2/E8.
   std::size_t parts_built() const {
     std::scoped_lock lk(mu_);
-    return parts_.size();
+    return count_;
   }
 
  private:
+  // The first kFast parts live in a fixed inline array and are published
+  // through an acquire/release counter, so the consensus hot path (one
+  // part() lookup per round per process) takes no lock for a round that
+  // any process has already reached; the mutex serializes construction
+  // only.  Executions deep enough to exhaust the array — thousands of
+  // disagreeing rounds — fall back to the mutex-guarded overflow vector,
+  // preserving the unbounded construction exactly.
+  static constexpr std::size_t kFast = 64;
+
   deciding_object<Env>* part(std::size_t i) {
+    if (i < ready_.load(std::memory_order_acquire)) [[likely]]
+      return fast_[i].get();
     std::scoped_lock lk(mu_);
-    while (parts_.size() <= i) {
-      std::size_t next = parts_.size();
+    while (count_ <= i) {
+      std::size_t next = count_;
       // Schedule: R₋₁, R₀, then alternating C_j, R_j.
-      if (next < 2 || next % 2 == 1)
-        parts_.push_back(make_ratifier_());
-      else
-        parts_.push_back(make_conciliator_());
+      auto obj = (next < 2 || next % 2 == 1) ? make_ratifier_()
+                                             : make_conciliator_();
+      if (next < kFast) {
+        fast_[next] = std::move(obj);
+        ready_.store(next + 1, std::memory_order_release);
+      } else {
+        overflow_.push_back(std::move(obj));
+      }
+      count_ = next + 1;
     }
-    return parts_[i].get();
+    return i < kFast ? fast_[i].get() : overflow_[i - kFast].get();
   }
 
   object_factory<Env> make_ratifier_;
   object_factory<Env> make_conciliator_;
   mutable std::mutex mu_;
-  std::vector<std::unique_ptr<deciding_object<Env>>> parts_;
+  std::array<std::unique_ptr<deciding_object<Env>>, kFast> fast_;
+  std::atomic<std::size_t> ready_{0};  // published prefix of fast_
+  std::vector<std::unique_ptr<deciding_object<Env>>> overflow_;
+  std::size_t count_ = 0;  // total built; guarded by mu_
 };
 
 }  // namespace modcon

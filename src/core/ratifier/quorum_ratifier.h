@@ -17,7 +17,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "core/deciding.h"
 #include "exec/address_space.h"
@@ -33,14 +35,34 @@ class quorum_ratifier final : public deciding_object<Env> {
                   std::shared_ptr<const quorum_system> qs)
       : qs_(std::move(qs)),
         base_(mem.alloc_block(qs_->pool_size(), 0)),
-        proposal_(mem.alloc(kBot)) {}
+        proposal_(mem.alloc(kBot)),
+        max_values_(qs_->max_values()) {
+    // Flatten the per-value quorums once: invoke() sits on the consensus
+    // hot path (one ratifier round per conciliator round), and the
+    // virtual write_quorum/read_quorum interface returns a freshly
+    // heap-allocated vector per call.  The cache is immutable after
+    // construction, so concurrent rt invocations share it with no
+    // synchronization.  Very large value domains (E4 space probes) fall
+    // back to the virtual calls rather than materialize m quorums.
+    if (max_values_ <= kCacheValueLimit) {
+      spans_.reserve(2 * max_values_);
+      for (std::uint64_t v = 0; v < max_values_; ++v) {
+        for (const auto& q : {qs_->write_quorum(v), qs_->read_quorum(v)}) {
+          spans_.push_back({static_cast<std::uint32_t>(flat_.size()),
+                            static_cast<std::uint32_t>(q.size())});
+          flat_.insert(flat_.end(), q.begin(), q.end());
+        }
+      }
+    }
+  }
 
   proc<decided> invoke(Env& env, value_t v) override {
-    MODCON_CHECK_MSG(v < qs_->max_values(),
-                     "input " << v << " outside Σ (m=" << qs_->max_values()
-                              << ")");
+    MODCON_CHECK_MSG(v < max_values_,
+                     "input " << v << " outside Σ (m=" << max_values_ << ")");
+    std::vector<std::uint32_t> scratch;
+
     // Announce v.
-    for (std::uint32_t i : qs_->write_quorum(v))
+    for (std::uint32_t i : quorum(2 * static_cast<std::size_t>(v), scratch))
       co_await env.write(base_ + i, 1);
 
     // Propose or adopt.
@@ -54,7 +76,8 @@ class quorum_ratifier final : public deciding_object<Env> {
     }
 
     // Ratify only if no conflicting value has been announced.
-    for (std::uint32_t i : qs_->read_quorum(preference)) {
+    for (std::uint32_t i :
+         quorum(2 * static_cast<std::size_t>(preference) + 1, scratch)) {
       if (co_await env.read(base_ + i) != 0)
         co_return decided{false, preference};
     }
@@ -74,9 +97,32 @@ class quorum_ratifier final : public deciding_object<Env> {
   }
 
  private:
+  static constexpr std::uint64_t kCacheValueLimit = 4096;
+
+  // Quorum idx (2v = W_v, 2v+1 = R_v) as a span: from the flattened cache
+  // when one was built, otherwise materialized into `scratch` (which the
+  // coroutine frame keeps alive across the suspensions in the loop body).
+  std::span<const std::uint32_t> quorum(
+      std::size_t idx, std::vector<std::uint32_t>& scratch) const {
+    if (!spans_.empty()) {
+      const auto [off, len] = spans_[idx];
+      return {flat_.data() + off, len};
+    }
+    scratch = (idx & 1) ? qs_->read_quorum(static_cast<word>(idx >> 1))
+                        : qs_->write_quorum(static_cast<word>(idx >> 1));
+    return scratch;
+  }
+
   std::shared_ptr<const quorum_system> qs_;
   reg_id base_;
   reg_id proposal_;
+  std::uint64_t max_values_;
+  std::vector<std::uint32_t> flat_;  // concatenated cached quorums
+  struct span_ref {
+    std::uint32_t offset;
+    std::uint32_t length;
+  };
+  std::vector<span_ref> spans_;  // index: 2v → W_v, 2v+1 → R_v
 };
 
 }  // namespace modcon

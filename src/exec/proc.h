@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "util/assertx.h"
+#include "util/frame_pool.h"
 
 namespace modcon {
 
@@ -36,6 +37,16 @@ class [[nodiscard]] proc {
     std::coroutine_handle<> continuation;
     std::optional<T> result;
     std::exception_ptr error;
+
+    // Frames come from the thread-local recycler (util/frame_pool.h): the
+    // engines create one frame per process per trial plus one per child
+    // proc per round, and GCC cannot elide these allocations.
+    static void* operator new(std::size_t size) {
+      return frame_pool::allocate(size);
+    }
+    static void operator delete(void* p, std::size_t size) {
+      frame_pool::deallocate(p, size);
+    }
 
     proc get_return_object() {
       return proc(handle_type::from_promise(*this));

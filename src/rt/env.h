@@ -15,12 +15,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "exec/environment.h"
 #include "exec/types.h"
 #include "rt/arena.h"
+#include "util/chunk_pool.h"
 #include "util/prob.h"
 #include "util/rng.h"
 
@@ -127,10 +129,13 @@ class rt_fault_board {
 // happens-before tracker (check/hb.h) to certify the execution is
 // serializable over atomic registers.
 //
-// Events are buffered per process (each buffer is touched only by its
-// own thread; the jthread join in rt/runner.h publishes them) and merged
-// after the run.  Collects are expanded into one read event per
-// register, matching how hb analysis consumes them.
+// Events are buffered per process in fixed-size chunks from the shared
+// chunk pool (util/chunk_pool.h): each buffer is touched only by its own
+// thread (the jthread join in rt/runner.h publishes them), appending
+// never reallocates-and-copies, and the per-pid write cursors live on
+// separate cache lines so recording threads do not false-share.  Collects
+// are expanded into one read event per register, matching how hb
+// analysis consumes them.
 // ---------------------------------------------------------------------
 
 struct rt_trace_event {
@@ -143,6 +148,15 @@ struct rt_trace_event {
   bool applied = true;
 };
 
+inline constexpr std::size_t kRtTraceChunkCapacity = 1024;
+
+struct rt_trace_chunk {
+  rt_trace_event events[kRtTraceChunkCapacity];
+};
+
+static_assert((kRtTraceChunkCapacity & (kRtTraceChunkCapacity - 1)) == 0,
+              "chunk capacity must be a power of two");
+
 class rt_trace_recorder {
  public:
   // `max_events` caps the total event count (split evenly across
@@ -152,15 +166,28 @@ class rt_trace_recorder {
                              std::uint64_t max_events = 4'000'000)
       : buffers_(n), per_pid_cap_(max_events / (n ? n : 1)) {}
 
+  ~rt_trace_recorder() {
+    for (auto& b : buffers_)
+      for (auto& c : b.chunks)
+        chunk_pool<rt_trace_chunk>::release(std::move(c));
+  }
+  rt_trace_recorder(const rt_trace_recorder&) = delete;
+  rt_trace_recorder& operator=(const rt_trace_recorder&) = delete;
+
   std::uint64_t tick() { return seq_.fetch_add(1, std::memory_order_seq_cst); }
 
   void record(process_id pid, const rt_trace_event& e) {
-    auto& buf = buffers_[pid];
-    if (buf.size() >= per_pid_cap_) {
+    per_pid& buf = buffers_[pid];
+    if (buf.size >= per_pid_cap_) {
       overflowed_.store(true, std::memory_order_relaxed);
       return;
     }
-    buf.push_back(e);
+    const std::size_t slot = static_cast<std::size_t>(
+        buf.size & (kRtTraceChunkCapacity - 1));
+    if (slot == 0)
+      buf.chunks.push_back(chunk_pool<rt_trace_chunk>::acquire());
+    buf.chunks.back()->events[slot] = e;
+    ++buf.size;
   }
 
   void note_alloc(reg_id first, std::uint32_t count, word init) {
@@ -178,10 +205,14 @@ class rt_trace_recorder {
   // worker threads have joined.
   std::vector<rt_trace_event> merged() const {
     std::vector<rt_trace_event> all;
-    std::size_t total = 0;
-    for (const auto& b : buffers_) total += b.size();
-    all.reserve(total);
-    for (const auto& b : buffers_) all.insert(all.end(), b.begin(), b.end());
+    std::uint64_t total = 0;
+    for (const auto& b : buffers_) total += b.size;
+    all.reserve(static_cast<std::size_t>(total));
+    for (const auto& b : buffers_)
+      for (std::uint64_t i = 0; i < b.size; ++i)
+        all.push_back(b.chunks[static_cast<std::size_t>(
+            i / kRtTraceChunkCapacity)]
+                          ->events[i & (kRtTraceChunkCapacity - 1)]);
     std::sort(all.begin(), all.end(),
               [](const rt_trace_event& a, const rt_trace_event& b) {
                 return a.end < b.end;
@@ -190,9 +221,16 @@ class rt_trace_recorder {
   }
 
  private:
+  // One recording thread per entry; aligned so neighboring write cursors
+  // never share a cache line.
+  struct alignas(64) per_pid {
+    std::vector<std::unique_ptr<rt_trace_chunk>> chunks;
+    std::uint64_t size = 0;
+  };
+
   std::atomic<std::uint64_t> seq_{0};
-  std::vector<std::vector<rt_trace_event>> buffers_;
-  std::size_t per_pid_cap_;
+  std::vector<per_pid> buffers_;
+  std::uint64_t per_pid_cap_;
   std::atomic<bool> overflowed_{false};
   std::vector<word> initial_;  // indexed by reg id; written pre-run only
 };
@@ -218,7 +256,8 @@ class rt_env {
         chaos_(chaos),
         chaos_rng_(r.split(0xc4a05)),
         board_(board),
-        recorder_(recorder) {}
+        recorder_(recorder),
+        fast_path_(board == nullptr && recorder == nullptr && chaos == 0) {}
 
   struct read_awaiter {
     word result;
@@ -240,35 +279,34 @@ class rt_env {
     std::vector<word> await_resume() noexcept { return std::move(result); }
   };
 
+  // Each operation checks `fast_path_` — true when no fault board, no
+  // chaos, and no recorder is attached (the overwhelmingly common
+  // configuration) — and then touches nothing but the ops counter and the
+  // atomic itself.  The instrumented variants live out of the hot path.
   read_awaiter read(reg_id r) {
-    fault_point();
-    perturb();
-    ++ops_;
-    const std::uint64_t b = begin_tick();
-    word v = mem_->at(r).load(std::memory_order_seq_cst);
-    record(b, op_kind::read, r, v, true);
-    return read_awaiter{v};
+    if (fast_path_) [[likely]] {
+      ++ops_;
+      return read_awaiter{mem_->at(r).load(std::memory_order_seq_cst)};
+    }
+    return read_slow(r);
   }
 
   void_awaiter write(reg_id r, word v) {
-    fault_point();
-    perturb();
-    ++ops_;
-    const std::uint64_t b = begin_tick();
-    mem_->at(r).store(v, std::memory_order_seq_cst);
-    record(b, op_kind::write, r, v, true);
-    return {};
+    if (fast_path_) [[likely]] {
+      ++ops_;
+      mem_->at(r).store(v, std::memory_order_seq_cst);
+      return {};
+    }
+    return write_slow(r, v);
   }
 
   void_awaiter prob_write(reg_id r, word v, prob p) {
-    fault_point();
-    perturb();
-    ++ops_;
-    const std::uint64_t b = begin_tick();
-    bool ok = p.sample(rng_);
-    if (ok) mem_->at(r).store(v, std::memory_order_seq_cst);
-    record(b, op_kind::write, r, v, ok);
-    return {};
+    if (fast_path_) [[likely]] {
+      ++ops_;
+      if (p.sample(rng_)) mem_->at(r).store(v, std::memory_order_seq_cst);
+      return {};
+    }
+    return prob_write_slow(r, v, p);
   }
 
   struct bool_awaiter {
@@ -280,14 +318,13 @@ class rt_env {
 
   // Success-detecting probabilistic write (footnote to Theorem 7).
   bool_awaiter prob_write_detect(reg_id r, word v, prob p) {
-    fault_point();
-    perturb();
-    ++ops_;
-    const std::uint64_t b = begin_tick();
-    bool ok = p.sample(rng_);
-    if (ok) mem_->at(r).store(v, std::memory_order_seq_cst);
-    record(b, op_kind::write, r, v, ok);
-    return bool_awaiter{ok};
+    if (fast_path_) [[likely]] {
+      ++ops_;
+      bool ok = p.sample(rng_);
+      if (ok) mem_->at(r).store(v, std::memory_order_seq_cst);
+      return bool_awaiter{ok};
+    }
+    return prob_write_detect_slow(r, v, p);
   }
 
   // No cheap-collect assumption on real hardware: n individual reads,
@@ -295,16 +332,15 @@ class rt_env {
   // Traced as one read event per register: each load is its own
   // linearization point, so that is the honest granularity.
   collect_awaiter collect(reg_id first, std::uint32_t count) {
-    fault_point();
-    ops_ += count;
     collect_awaiter a;
-    a.result.resize(count);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      const std::uint64_t b = begin_tick();
-      a.result[i] = mem_->at(first + i).load(std::memory_order_seq_cst);
-      record(b, op_kind::read, static_cast<reg_id>(first + i), a.result[i],
-             true);
+    if (fast_path_) [[likely]] {
+      ops_ += count;
+      a.result.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i)
+        a.result[i] = mem_->at(first + i).load(std::memory_order_seq_cst);
+      return a;
     }
+    collect_slow(first, count, a.result);
     return a;
   }
 
@@ -317,6 +353,64 @@ class rt_env {
   std::uint64_t ops() const { return ops_; }
 
  private:
+  // Instrumented variants, taken when a fault board, chaos mode, or a
+  // recorder is attached.  The operation order (fault point, perturbation,
+  // count, tick, memory access, record) is identical to what the fast
+  // path would do with the instrumentation hooks compiled in.
+  read_awaiter read_slow(reg_id r) {
+    fault_point();
+    perturb();
+    ++ops_;
+    const std::uint64_t b = begin_tick();
+    word v = mem_->at(r).load(std::memory_order_seq_cst);
+    record(b, op_kind::read, r, v, true);
+    return read_awaiter{v};
+  }
+
+  void_awaiter write_slow(reg_id r, word v) {
+    fault_point();
+    perturb();
+    ++ops_;
+    const std::uint64_t b = begin_tick();
+    mem_->at(r).store(v, std::memory_order_seq_cst);
+    record(b, op_kind::write, r, v, true);
+    return {};
+  }
+
+  void_awaiter prob_write_slow(reg_id r, word v, prob p) {
+    fault_point();
+    perturb();
+    ++ops_;
+    const std::uint64_t b = begin_tick();
+    bool ok = p.sample(rng_);
+    if (ok) mem_->at(r).store(v, std::memory_order_seq_cst);
+    record(b, op_kind::write, r, v, ok);
+    return {};
+  }
+
+  bool_awaiter prob_write_detect_slow(reg_id r, word v, prob p) {
+    fault_point();
+    perturb();
+    ++ops_;
+    const std::uint64_t b = begin_tick();
+    bool ok = p.sample(rng_);
+    if (ok) mem_->at(r).store(v, std::memory_order_seq_cst);
+    record(b, op_kind::write, r, v, ok);
+    return bool_awaiter{ok};
+  }
+
+  void collect_slow(reg_id first, std::uint32_t count,
+                    std::vector<word>& out) {
+    fault_point();
+    ops_ += count;
+    out.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t b = begin_tick();
+      out[i] = mem_->at(first + i).load(std::memory_order_seq_cst);
+      record(b, op_kind::read, static_cast<reg_id>(first + i), out[i], true);
+    }
+  }
+
   void perturb() {
     if (chaos_ != 0 && chaos_rng_.below(chaos_) == 0)
       std::this_thread::yield();
@@ -346,6 +440,9 @@ class rt_env {
   rng chaos_rng_;
   rt_fault_board* board_ = nullptr;
   rt_trace_recorder* recorder_ = nullptr;
+  // True when no instrumentation is attached; every op then reduces to
+  // counter + atomic access.
+  bool fast_path_ = true;
   std::uint64_t ops_ = 0;
 };
 

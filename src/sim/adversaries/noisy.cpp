@@ -1,5 +1,7 @@
 #include "sim/adversaries/noisy.h"
 
+#include "sim/world.h"
+
 #include <cmath>
 
 #include "util/assertx.h"

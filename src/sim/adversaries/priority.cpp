@@ -1,5 +1,7 @@
 #include "sim/adversaries/priority.h"
 
+#include "sim/world.h"
+
 #include <numeric>
 
 #include "util/assertx.h"

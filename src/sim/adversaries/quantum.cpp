@@ -1,5 +1,7 @@
 #include "sim/adversaries/quantum.h"
 
+#include "sim/world.h"
+
 #include "util/assertx.h"
 
 namespace modcon::sim {

@@ -1,5 +1,7 @@
 #include "sim/adversaries/random_oblivious.h"
 
+#include "sim/world.h"
+
 #include "util/assertx.h"
 
 namespace modcon::sim {
@@ -7,7 +9,7 @@ namespace modcon::sim {
 void random_oblivious::reset(std::size_t /*n*/, std::uint64_t seed) {
   // Derive a stream distinct from every process stream (which are seeded
   // from splitmix64(seed) ^ f(pid)).
-  rng_ = rng(seed ^ 0xadadadadadadadadULL);
+  rng_.reseed(rng(seed ^ 0xadadadadadadadadULL));
 }
 
 process_id random_oblivious::pick(const sched_view& view) {

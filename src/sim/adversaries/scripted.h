@@ -7,6 +7,7 @@
 // explorer uses to complete executions deterministically.
 #pragma once
 
+#include "sim/world.h"
 #include <vector>
 
 #include "sim/adversary.h"

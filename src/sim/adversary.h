@@ -32,6 +32,7 @@
 #include <string>
 
 #include "exec/types.h"
+#include "util/rng.h"
 
 namespace modcon::sim {
 
@@ -125,6 +126,16 @@ class adversary {
 
   // Must return an element of view.runnable().
   virtual process_id pick(const sched_view& view) = 0;
+
+  // Monomorphic fast path for the one scheduler the experiment engine
+  // drives millions of steps through: an adversary whose pick() is
+  // exactly `runnable[stream.below(runnable.size())]` may return its draw
+  // stream here, and the world then inlines that draw into its step loop
+  // — no virtual dispatch, no view handed over, byte-identical picks
+  // (the world consumes the same stream with the same mapping).  Every
+  // other adversary keeps the nullptr default and is consulted through
+  // pick().
+  virtual rng_block* uniform_pick_stream() { return nullptr; }
 };
 
 }  // namespace modcon::sim

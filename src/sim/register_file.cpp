@@ -1,48 +1,31 @@
 #include "sim/register_file.h"
 
-#include "util/assertx.h"
-
 namespace modcon::sim {
 
 reg_id register_file::alloc(word init) {
-  values_.push_back(init);
-  initial_.push_back(init);
-  previous_.push_back(init);
-  write_counts_.push_back(0);
-  return static_cast<reg_id>(values_.size() - 1);
+  cells_.push_back({init, init, init, 0});
+  return static_cast<reg_id>(cells_.size() - 1);
 }
 
 reg_id register_file::alloc_block(std::uint32_t count, word init) {
   MODCON_CHECK(count > 0);
-  reg_id first = static_cast<reg_id>(values_.size());
-  values_.resize(values_.size() + count, init);
-  initial_.resize(initial_.size() + count, init);
-  previous_.resize(previous_.size() + count, init);
-  write_counts_.resize(write_counts_.size() + count, 0);
+  reg_id first = static_cast<reg_id>(cells_.size());
+  cells_.resize(cells_.size() + count, {init, init, init, 0});
   return first;
 }
 
 std::uint64_t register_file::writes_applied(reg_id r) const {
-  MODCON_CHECK_MSG(r < write_counts_.size(), "unallocated register " << r);
-  return write_counts_[r];
-}
-
-word register_file::read(reg_id r) const {
-  MODCON_CHECK_MSG(r < values_.size(), "read of unallocated register " << r);
-  return values_[r];
-}
-
-void register_file::write(reg_id r, word v) {
-  MODCON_CHECK_MSG(r < values_.size(), "write of unallocated register " << r);
-  previous_[r] = values_[r];
-  values_[r] = v;
-  ++write_counts_[r];
+  MODCON_CHECK_MSG(r < cells_.size(), "unallocated register " << r);
+  return cells_[r].writes;
 }
 
 void register_file::enable_faults(const register_fault_config& cfg,
                                   std::uint64_t seed) {
   faults_ = cfg;
   faults_enabled_ = cfg.enabled();
+  stale_armed_ =
+      faults_enabled_ && cfg.regular && cfg.stale_denominator != 0;
+  omit_armed_ = faults_enabled_ && cfg.omit_denominator != 0;
   fault_seed_ = seed;
   fault_rng_ = rng(seed);
   omissions_left_ = cfg.omit_budget;
@@ -50,22 +33,18 @@ void register_file::enable_faults(const register_fault_config& cfg,
   omitted_writes_ = 0;
 }
 
-word register_file::process_read(reg_id r) {
-  word v = read(r);
-  if (!faults_enabled_ || !faults_.regular || faults_.stale_denominator == 0)
-    return v;
+word register_file::faulty_read(reg_id r, word v) {
   // One coin draw per read, whether or not the stale value differs —
   // the injection *schedule* is a function of the seed alone.
   if (fault_rng_.below(faults_.stale_denominator) == 0) {
     ++stale_reads_;
-    return previous_[r];
+    return cells_[r].previous;
   }
   return v;
 }
 
-bool register_file::process_write(reg_id r, word v) {
-  if (faults_enabled_ && omissions_left_ > 0 && faults_.omit_denominator != 0 &&
-      fault_rng_.below(faults_.omit_denominator) == 0) {
+bool register_file::faulty_write(reg_id r, word v) {
+  if (fault_rng_.below(faults_.omit_denominator) == 0) {
     --omissions_left_;
     ++omitted_writes_;
     return false;
@@ -75,9 +54,11 @@ bool register_file::process_write(reg_id r, word v) {
 }
 
 void register_file::reset() {
-  values_ = initial_;
-  previous_ = initial_;
-  write_counts_.assign(write_counts_.size(), 0);
+  for (cell& c : cells_) {
+    c.value = c.initial;
+    c.previous = c.initial;
+    c.writes = 0;
+  }
   if (faults_enabled_) {
     fault_rng_ = rng(fault_seed_);
     omissions_left_ = faults_.omit_budget;

@@ -19,12 +19,19 @@
 //
 // Both are driven by a private RNG seeded from the trial seed, so every
 // injected fault schedule reproduces exactly from (seed, fault config).
+//
+// Layout: one `cell` struct per register (value/previous/initial/write
+// count together), so the write path touches a single cache line instead
+// of four parallel arrays, and the fault-free fast paths are inline
+// single-branch functions — this is the innermost loop of every sim
+// trial.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "exec/types.h"
+#include "util/assertx.h"
 #include "util/rng.h"
 
 namespace modcon::sim {
@@ -51,11 +58,21 @@ class register_file {
   reg_id alloc(word init);
   reg_id alloc_block(std::uint32_t count, word init);
 
-  word read(reg_id r) const;
-  void write(reg_id r, word v);
+  word read(reg_id r) const {
+    MODCON_CHECK_MSG(r < cells_.size(), "read of unallocated register " << r);
+    return cells_[r].value;
+  }
+
+  void write(reg_id r, word v) {
+    MODCON_CHECK_MSG(r < cells_.size(), "write of unallocated register " << r);
+    cell& c = cells_[r];
+    c.previous = c.value;
+    c.value = v;
+    ++c.writes;
+  }
 
   std::uint32_t size() const {
-    return static_cast<std::uint32_t>(values_.size());
+    return static_cast<std::uint32_t>(cells_.size());
   }
 
   // Number of writes applied to r so far (missed probabilistic writes and
@@ -74,11 +91,23 @@ class register_file {
 
   // Process-facing read: returns the previous value instead of the
   // current one when the fault coin says stale (regular mode).
-  word process_read(reg_id r);
+  word process_read(reg_id r) {
+    word v = read(r);
+    if (!stale_armed_) [[likely]]
+      return v;
+    return faulty_read(r, v);
+  }
 
   // Process-facing write: returns false (register unchanged) if the write
   // was omitted; true if applied.
-  bool process_write(reg_id r, word v);
+  bool process_write(reg_id r, word v) {
+    // The coin-draw gate must match enable_faults' arming exactly: the
+    // injection *schedule* is a function of the seed alone.
+    if (omit_armed_ && omissions_left_ > 0) [[unlikely]]
+      return faulty_write(r, v);
+    write(r, v);
+    return true;
+  }
 
   std::uint64_t stale_reads() const { return stale_reads_; }
   std::uint64_t omitted_writes() const { return omitted_writes_; }
@@ -89,15 +118,26 @@ class register_file {
   void reset();
 
  private:
-  std::vector<word> values_;
-  std::vector<word> initial_;
-  // Value each register held before its most recent applied write (the
-  // candidate result of a stale read).
-  std::vector<word> previous_;
-  std::vector<std::uint64_t> write_counts_;
+  // One register: current value, the previous value (candidate result of
+  // a stale read), the allocation-time value (for reset/replay), and the
+  // applied-write count.
+  struct cell {
+    word value;
+    word previous;
+    word initial;
+    std::uint64_t writes;
+  };
+
+  word faulty_read(reg_id r, word v);
+  bool faulty_write(reg_id r, word v);
+
+  std::vector<cell> cells_;
 
   register_fault_config faults_;
   bool faults_enabled_ = false;
+  // Precomputed fast-path gates, equivalent to the full fault predicates.
+  bool stale_armed_ = false;
+  bool omit_armed_ = false;
   std::uint64_t fault_seed_ = 0;
   rng fault_rng_;
   std::uint64_t omissions_left_ = 0;

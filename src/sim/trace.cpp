@@ -28,15 +28,15 @@ std::ostream& operator<<(std::ostream& os, const trace_event& e) {
 void trace::record_collect(const trace_event& e,
                            std::span<const word> values) {
   if (!enabled_) return;
-  if (events_.size() >= max_events_) {
+  if (size_ >= max_events_) {
     overflowed_ = true;
     return;
   }
   collect_index_.push_back(
-      {events_.size(), static_cast<std::uint32_t>(collect_pool_.size()),
+      {size_, static_cast<std::uint32_t>(collect_pool_.size()),
        static_cast<std::uint32_t>(values.size())});
   collect_pool_.insert(collect_pool_.end(), values.begin(), values.end());
-  events_.push_back(e);
+  record(e);
 }
 
 std::span<const word> trace::collect_values(std::size_t event_index) const {
@@ -71,8 +71,21 @@ word trace::initial_of(reg_id r) const {
   return initial_[r];
 }
 
+std::vector<trace_event> trace::events() const {
+  std::vector<trace_event> out;
+  out.reserve(static_cast<std::size_t>(size_));
+  for (std::uint64_t i = 0; i < size_; ++i) out.push_back(event(i));
+  return out;
+}
+
+void trace::release_chunks() {
+  for (auto& c : chunks_) chunk_pool<trace_chunk>::release(std::move(c));
+  chunks_.clear();
+}
+
 void trace::clear() {
-  events_.clear();
+  release_chunks();
+  size_ = 0;
   collect_index_.clear();
   collect_pool_.clear();
   initial_.clear();
@@ -81,7 +94,7 @@ void trace::clear() {
 }
 
 void trace::dump(std::ostream& os) const {
-  for (const auto& e : events_) os << e << "\n";
+  for (std::uint64_t i = 0; i < size_; ++i) os << event(i) << "\n";
   if (overflowed_) os << "... trace overflowed at " << max_events_ << "\n";
 }
 

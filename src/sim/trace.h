@@ -7,6 +7,14 @@
 // of white-box tests that assert *which* operations an algorithm
 // performed, not just its outputs.
 //
+// Storage is structure-of-arrays in fixed-size chunks drawn from a
+// thread-local pool (util/chunk_pool.h): recording an event writes six
+// columns and never allocates on the hot path — a fresh chunk is pulled
+// from the pool once every kTraceChunkCapacity events, and returns there
+// when the trace is cleared or destroyed.  This is what lets audited
+// trials run at nearly un-audited speed: the previous AoS vector paid a
+// growth reallocation *and* a 32-byte struct copy per event.
+//
 // Growth is bounded: a trace holds at most `max_events()` events
 // (default kDefaultMaxTraceEvents) and sets `overflowed()` instead of
 // growing without bound, so long audited trials degrade gracefully — the
@@ -16,10 +24,13 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "exec/types.h"
+#include "util/chunk_pool.h"
 
 namespace modcon::sim {
 
@@ -35,8 +46,49 @@ struct trace_event {
                      // (or a write dropped by injected omission faults)
 };
 
+// One column block.  4096 events × 26 bytes ≈ 106 KiB — big enough that
+// pool round-trips are rare, small enough that a short audited trial does
+// not pin megabytes.
+inline constexpr std::size_t kTraceChunkCapacity = 4096;
+
+struct trace_chunk {
+  std::uint64_t step[kTraceChunkCapacity];
+  word value[kTraceChunkCapacity];
+  process_id pid[kTraceChunkCapacity];
+  reg_id reg[kTraceChunkCapacity];
+  op_kind kind[kTraceChunkCapacity];
+  bool applied[kTraceChunkCapacity];
+};
+
+static_assert((kTraceChunkCapacity & (kTraceChunkCapacity - 1)) == 0,
+              "chunk capacity must be a power of two");
+
 class trace {
  public:
+  trace() = default;
+  ~trace() { release_chunks(); }
+  trace(const trace&) = delete;
+  trace& operator=(const trace&) = delete;
+
+  trace(trace&& other) noexcept { *this = std::move(other); }
+  trace& operator=(trace&& other) noexcept {
+    if (this != &other) {
+      release_chunks();
+      enabled_ = other.enabled_;
+      overflowed_ = other.overflowed_;
+      max_events_ = other.max_events_;
+      size_ = other.size_;
+      chunks_ = std::move(other.chunks_);
+      collect_index_ = std::move(other.collect_index_);
+      collect_pool_ = std::move(other.collect_pool_);
+      initial_ = std::move(other.initial_);
+      initial_known_ = std::move(other.initial_known_);
+      other.size_ = 0;
+      other.overflowed_ = false;
+    }
+    return *this;
+  }
+
   void enable(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
@@ -50,16 +102,26 @@ class trace {
 
   void record(const trace_event& e) {
     if (!enabled_) return;
-    if (events_.size() >= max_events_) {
+    if (size_ >= max_events_) {
       overflowed_ = true;
       return;
     }
-    events_.push_back(e);
+    const std::size_t slot = static_cast<std::size_t>(
+        size_ & (kTraceChunkCapacity - 1));
+    if (slot == 0) chunks_.push_back(chunk_pool<trace_chunk>::acquire());
+    trace_chunk& c = *chunks_.back();
+    c.step[slot] = e.step;
+    c.value[slot] = e.value;
+    c.pid[slot] = e.pid;
+    c.reg[slot] = e.reg;
+    c.kind[slot] = e.kind;
+    c.applied[slot] = e.applied;
+    ++size_;
   }
 
   // Records a collect event together with the per-register values the
   // process observed.  Values live in a side pool keyed by event index so
-  // trace_event itself stays flat (schedule-replay consumers are
+  // the event columns stay flat (schedule-replay consumers are
   // untouched); `collect_values(i)` returns an empty span for non-collect
   // events.
   void record_collect(const trace_event& e, std::span<const word> values);
@@ -73,7 +135,23 @@ class trace {
   bool has_initial(reg_id r) const;
   word initial_of(reg_id r) const;  // requires has_initial(r)
 
-  const std::vector<trace_event>& events() const { return events_; }
+  std::uint64_t size() const { return size_; }
+
+  // Gathers event i out of the columns.  Requires i < size().
+  trace_event event(std::uint64_t i) const {
+    const trace_chunk& c = *chunks_[static_cast<std::size_t>(
+        i / kTraceChunkCapacity)];
+    const std::size_t slot =
+        static_cast<std::size_t>(i & (kTraceChunkCapacity - 1));
+    return {c.step[slot], c.pid[slot],   c.kind[slot],
+            c.reg[slot],  c.value[slot], c.applied[slot]};
+  }
+
+  // Materializes the whole trace as a flat vector — one allocation, for
+  // consumers (auditor replay, white-box tests, dumps) that want the
+  // classic AoS view.  The recording path never pays for this.
+  std::vector<trace_event> events() const;
+
   void clear();
 
   void dump(std::ostream& os) const;
@@ -85,10 +163,13 @@ class trace {
     std::uint32_t count;
   };
 
+  void release_chunks();
+
   bool enabled_ = false;
   bool overflowed_ = false;
   std::uint64_t max_events_ = kDefaultMaxTraceEvents;
-  std::vector<trace_event> events_;
+  std::uint64_t size_ = 0;
+  std::vector<std::unique_ptr<trace_chunk>> chunks_;
   std::vector<collect_ref> collect_index_;  // ordered by event_index
   std::vector<word> collect_pool_;
   std::vector<word> initial_;       // indexed by reg_id

@@ -10,54 +10,6 @@ namespace modcon::sim {
 // sim_env awaiters
 // ---------------------------------------------------------------------
 
-void sim_env::read_awaiter::await_suspend(std::coroutine_handle<> h) {
-  posted_op op;
-  op.kind = op_kind::read;
-  op.reg = r;
-  op.read_slot = &result;
-  op.k = h;
-  e->w_->post(e->pid_, op);
-}
-
-void sim_env::write_awaiter::await_suspend(std::coroutine_handle<> h) {
-  posted_op op;
-  op.kind = op_kind::write;
-  op.reg = r;
-  op.value = v;
-  op.probabilistic = !p.certain();
-  op.coin_prob = p;
-  // The coin is drawn from the process's own local coin, up front, so the
-  // (out-of-model) omniscient adversary can inspect it.  In-model
-  // adversaries cannot see it; drawing now vs. at execution time changes
-  // nothing for them.
-  op.coin_success = e->w_->sample_coin(e->pid_, p, e->rng_);
-  op.k = h;
-  e->w_->post(e->pid_, op);
-}
-
-void sim_env::detect_write_awaiter::await_suspend(std::coroutine_handle<> h) {
-  posted_op op;
-  op.kind = op_kind::write;
-  op.reg = r;
-  op.value = v;
-  op.probabilistic = !p.certain();
-  op.coin_prob = p;
-  op.coin_success = e->w_->sample_coin(e->pid_, p, e->rng_);
-  op.read_slot = &result;  // receives 1 if the write applied
-  op.k = h;
-  e->w_->post(e->pid_, op);
-}
-
-void sim_env::collect_awaiter::await_suspend(std::coroutine_handle<> h) {
-  posted_op op;
-  op.kind = op_kind::collect;
-  op.reg = first;
-  op.count = count;
-  op.collect_slot = &result;
-  op.k = h;
-  e->w_->post(e->pid_, op);
-}
-
 std::size_t sim_env::n() const { return w_->n(); }
 
 // ---------------------------------------------------------------------
@@ -71,22 +23,6 @@ const char* power_names[] = {"oblivious", "value-oblivious",
 
 const char* to_string(adversary_power p) {
   return power_names[static_cast<int>(p)];
-}
-
-std::uint64_t sched_view::step() const { return w_->steps(); }
-std::size_t sched_view::n() const { return w_->n(); }
-
-std::span<const process_id> sched_view::runnable() const {
-  return {w_->runnable_.data(), w_->runnable_.size()};
-}
-
-bool sched_view::is_runnable(process_id p) const {
-  return p < w_->runnable_index_.size() &&
-         w_->runnable_index_[p] != UINT32_MAX;
-}
-
-std::uint64_t sched_view::ops_done(process_id p) const {
-  return w_->ops_of(p);
 }
 
 op_kind sched_view::kind_of(process_id p) const {
@@ -141,13 +77,6 @@ bool sched_view::coin_of(process_id p) const {
   return pending_of(p).coin_success;
 }
 
-const posted_op& sched_view::pending_of(process_id p) const {
-  MODCON_CHECK_MSG(p < w_->pcbs_.size(), "bad pid in adversary view access");
-  const auto& pcb = *w_->pcbs_[p];
-  MODCON_CHECK_MSG(pcb.has_op, "process " << p << " has no pending op");
-  return pcb.op;
-}
-
 // ---------------------------------------------------------------------
 // sim_world
 // ---------------------------------------------------------------------
@@ -178,8 +107,7 @@ process_id sim_world::spawn(
   MODCON_CHECK_MSG(pcbs_.size() < n_, "spawned more than n processes");
   auto pid = static_cast<process_id>(pcbs_.size());
   rng stream(splitmix64(seed_) ^ (0x9e3779b97f4a7c15ULL * (pid + 1)));
-  pcbs_.push_back(std::make_unique<pcb>(this, pid, stream));
-  pcb& p = *pcbs_.back();
+  pcb& p = pcbs_.emplace_back(this, pid, stream);
   p.main = main;  // retained for crash-restart re-incarnation
   p.program = main(p.env);
   p.program.start();  // run free local computation to the first shared op
@@ -193,8 +121,9 @@ process_id sim_world::spawn(
 
 void sim_world::crash_after(process_id pid, std::uint64_t after_ops) {
   MODCON_CHECK(pid < pcbs_.size());
-  pcb& p = *pcbs_[pid];
+  pcb& p = pcbs_[pid];
   p.crash_planned = true;
+  p.fault_armed = true;
   p.crash_threshold = after_ops;
   // Not gated on halted: a process that already decided at the threshold
   // is marked crashed as well (decided-then-crashed, see world.h).
@@ -206,27 +135,12 @@ void sim_world::crash_after(process_id pid, std::uint64_t after_ops) {
 
 void sim_world::restart_after(process_id pid, std::uint64_t after_ops) {
   MODCON_CHECK(pid < pcbs_.size());
-  pcb& p = *pcbs_[pid];
+  pcb& p = pcbs_[pid];
+  p.fault_armed = true;
   p.restart_points.push_back(after_ops);
   std::sort(p.restart_points.begin() +
                 static_cast<std::ptrdiff_t>(p.next_restart),
             p.restart_points.end());
-}
-
-bool sim_world::sample_coin(process_id /*pid*/, const prob& p, rng& local) {
-  if (p.certain()) return true;
-  if (p.impossible()) return false;
-  // With an override installed the pre-drawn value is a placeholder; the
-  // real decision happens in execute().
-  if (coin_override_) return false;
-  return p.sample(local);
-}
-
-void sim_world::post(process_id pid, posted_op op) {
-  pcb& p = *pcbs_[pid];
-  MODCON_CHECK_MSG(!p.has_op, "process posted two operations at once");
-  p.op = op;
-  p.has_op = true;
 }
 
 void sim_world::remove_runnable(process_id pid) {
@@ -240,30 +154,33 @@ void sim_world::remove_runnable(process_id pid) {
 }
 
 void sim_world::execute(process_id pid) {
-  pcb& p = *pcbs_[pid];
+  pcb& p = pcbs_[pid];
   MODCON_CHECK_MSG(p.has_op && !p.halted && !p.crashed,
                    "adversary picked a non-runnable process");
-  posted_op op = p.op;
+  // Work on the posted op in place: every field is consumed before the
+  // resume below, and a restart or repost only touches p.op after has_op
+  // was cleared (post() asserts it).  The continuation handle is saved
+  // because the resume may destroy the frame the awaiter lives in.
+  posted_op& op = p.op;
   p.has_op = false;
-
-  // Overridden coins are resolved at execution time (see world_options).
-  if (op.probabilistic && coin_override_)
-    op.coin_success = coin_override_(pid, op.coin_prob);
+  const std::coroutine_handle<> k = op.k;
 
   // Process-facing accesses go through the fault layer (process_read /
-  // process_write); with no faults armed they are plain read/write.  The
-  // trace records what the process observed.
-  trace_event ev{step_, pid, op.kind, op.reg, op.value, true};
+  // process_write); with no faults armed they are plain read/write.
+  word observed = op.value;
+  bool applied = true;
   switch (op.kind) {
     case op_kind::read:
       *op.read_slot = regs_.process_read(op.reg);
-      ev.value = *op.read_slot;
+      observed = *op.read_slot;
       break;
     case op_kind::write:
-      if (op.coin_success)
-        ev.applied = regs_.process_write(op.reg, op.value);
-      else
-        ev.applied = false;
+      // Overridden coins are resolved at execution time (see
+      // world_options).  Only writes carry a coin, so the check lives
+      // here rather than ahead of the switch.
+      if (op.probabilistic && coin_override_) [[unlikely]]
+        op.coin_success = coin_override_(pid, op.coin_prob);
+      applied = op.coin_success && regs_.process_write(op.reg, op.value);
       // Detecting writes report their outcome through the result slot.
       // An omitted write is *silent*: the detector still sees success —
       // that is what makes the omission a register fault rather than a
@@ -272,36 +189,47 @@ void sim_world::execute(process_id pid) {
         *op.read_slot = op.coin_success ? 1 : 0;
       break;
     case op_kind::collect: {
+      observed = 0;  // the trace's value column for a collect (values are
+                     // recorded separately via record_collect)
       op.collect_slot->resize(op.count);
       for (std::uint32_t i = 0; i < op.count; ++i)
         (*op.collect_slot)[i] = regs_.process_read(op.reg + i);
       break;
     }
   }
-  if (op.kind == op_kind::collect)
-    trace_.record_collect(ev, *op.collect_slot);
-  else
-    trace_.record(ev);
+  // The trace records what the process observed; recording happens before
+  // the resume, while the collect slot is still intact.
+  if (trace_.enabled()) [[unlikely]] {
+    trace_event ev{step_, pid, op.kind, op.reg, observed, applied};
+    if (op.kind == op_kind::collect)
+      trace_.record_collect(ev, *op.collect_slot);
+    else
+      trace_.record(ev);
+  }
 
   ++p.ops;
-  ++total_ops_;
   ++step_;
 
-  op.k.resume();
-  after_resume(pid);
+  k.resume();
+  // after_resume's no-op case (the process posted its next op) is decided
+  // right here so the common step skips the call; GCC keeps after_resume
+  // out of line because of its cold failure path.
+  if (!p.has_op) [[unlikely]] after_resume(pid);
 
-  // Crash check is not gated on halted: a process that returns on the very
-  // op where its crash threshold is reached is decided-then-crashed (its
-  // output escaped, but it is reported through crashed accounting).
-  if (!p.crashed && p.crash_planned && p.ops >= p.crash_threshold) {
-    p.crashed = true;
-    remove_runnable(pid);
+  if (p.fault_armed) [[unlikely]] {
+    // Crash check is not gated on halted: a process that returns on the
+    // very op where its crash threshold is reached is decided-then-crashed
+    // (its output escaped, but it is reported through crashed accounting).
+    if (!p.crashed && p.crash_planned && p.ops >= p.crash_threshold) {
+      p.crashed = true;
+      remove_runnable(pid);
+    }
+    if (!p.halted && !p.crashed) maybe_restart(pid);
   }
-  if (!p.halted && !p.crashed) maybe_restart(pid);
 }
 
 void sim_world::maybe_restart(process_id pid) {
-  pcb& p = *pcbs_[pid];
+  pcb& p = pcbs_[pid];
   if (p.next_restart >= p.restart_points.size()) return;
   if (p.ops < p.restart_points[p.next_restart]) return;
   ++p.next_restart;
@@ -309,9 +237,9 @@ void sim_world::maybe_restart(process_id pid) {
   ++total_restarts_;
   // The incarnation loses all local state: assigning a fresh program
   // destroys the old coroutine frame, including the awaiter holding any
-  // pending operation (has_op was copied out; its slot pointers are never
-  // dereferenced once cleared).  Shared registers persist, and the op
-  // counter keeps accumulating across incarnations.
+  // pending operation (p.op's slot pointers dangle into that frame, but
+  // they are never dereferenced once has_op is cleared).  Shared registers
+  // persist, and the op counter keeps accumulating across incarnations.
   p.has_op = false;
   p.output.reset();
   p.program = p.main(p.env);
@@ -320,7 +248,7 @@ void sim_world::maybe_restart(process_id pid) {
 }
 
 void sim_world::after_resume(process_id pid) {
-  pcb& p = *pcbs_[pid];
+  pcb& p = pcbs_[pid];
   if (p.has_op) return;  // suspended on its next operation
   MODCON_CHECK_MSG(p.program.done(),
                    "process suspended without posting an operation");
@@ -332,56 +260,68 @@ void sim_world::after_resume(process_id pid) {
 run_result sim_world::run(std::uint64_t max_steps) {
   MODCON_CHECK_MSG(pcbs_.size() == n_,
                    "run() before all n processes were spawned");
+  const auto quiescent = [this]() -> run_result {
+    bool all = std::all_of(pcbs_.begin(), pcbs_.end(),
+                           [](const pcb& p) { return p.halted; });
+    return {all ? run_status::all_halted : run_status::no_runnable, step_};
+  };
   std::uint64_t budget = max_steps;
-  while (budget-- > 0) {
-    if (runnable_.empty()) {
-      bool all = std::all_of(pcbs_.begin(), pcbs_.end(),
-                             [](const auto& p) { return p->halted; });
-      return {all ? run_status::all_halted : run_status::no_runnable, step_};
+  if (rng_block* uniform = adv_.uniform_pick_stream()) {
+    // Monomorphic step loop for the uniform-random scheduler (see
+    // adversary.h): the draw is inlined — same stream, same mapping, same
+    // picks as going through pick() — and a pick of the form
+    // runnable_[below(size)] needs no validity re-check.
+    while (budget-- > 0) {
+      const std::size_t m = runnable_.size();
+      if (m == 0) return quiescent();
+      execute(runnable_[uniform->below(m)]);
     }
-    sched_view view(*this, adv_.power());
+    return runnable_.empty() ? quiescent()
+                             : run_result{run_status::step_limit, step_};
+  }
+  // The view and the adversary's power are loop-invariant; hoisting them
+  // saves a virtual call per step.
+  const sched_view view(*this, adv_.power());
+  while (budget-- > 0) {
+    if (runnable_.empty()) return quiescent();
     process_id pid = adv_.pick(view);
     MODCON_CHECK_MSG(pid < pcbs_.size() && runnable_index_[pid] != UINT32_MAX,
                      "adversary " << adv_.name()
                                   << " picked non-runnable process " << pid);
     execute(pid);
   }
-  if (runnable_.empty()) {
-    bool all = std::all_of(pcbs_.begin(), pcbs_.end(),
-                           [](const auto& p) { return p->halted; });
-    return {all ? run_status::all_halted : run_status::no_runnable, step_};
-  }
+  if (runnable_.empty()) return quiescent();
   return {run_status::step_limit, step_};
 }
 
 bool sim_world::halted(process_id pid) const {
   MODCON_CHECK(pid < pcbs_.size());
-  return pcbs_[pid]->halted;
+  return pcbs_[pid].halted;
 }
 
 bool sim_world::crashed(process_id pid) const {
   MODCON_CHECK(pid < pcbs_.size());
-  return pcbs_[pid]->crashed;
+  return pcbs_[pid].crashed;
 }
 
 std::uint64_t sim_world::restarts_of(process_id pid) const {
   MODCON_CHECK(pid < pcbs_.size());
-  return pcbs_[pid]->restarts;
+  return pcbs_[pid].restarts;
 }
 
 std::optional<word> sim_world::output_of(process_id pid) const {
   MODCON_CHECK(pid < pcbs_.size());
-  return pcbs_[pid]->output;
+  return pcbs_[pid].output;
 }
 
 std::uint64_t sim_world::ops_of(process_id pid) const {
   MODCON_CHECK(pid < pcbs_.size());
-  return pcbs_[pid]->ops;
+  return pcbs_[pid].ops;
 }
 
 std::uint64_t sim_world::max_individual_ops() const {
   std::uint64_t m = 0;
-  for (const auto& p : pcbs_) m = std::max(m, p->ops);
+  for (const pcb& p : pcbs_) m = std::max(m, p.ops);
   return m;
 }
 

@@ -22,6 +22,7 @@
 #include "sim/adversary.h"
 #include "sim/register_file.h"
 #include "sim/trace.h"
+#include "util/assertx.h"
 #include "util/prob.h"
 #include "util/rng.h"
 
@@ -150,17 +151,19 @@ struct world_options {
 };
 
 // A process's pending shared-memory operation, as parked by an awaiter.
+// Members are ordered large-to-small so the struct packs into one cache
+// line — execute() touches it on every simulated step.
 struct posted_op {
-  op_kind kind = op_kind::read;
-  reg_id reg = kInvalidReg;
   word value = 0;
-  std::uint32_t count = 0;  // collect width
-  bool probabilistic = false;
-  bool coin_success = true;  // pre-drawn from the process's local coin
   prob coin_prob = prob::always();
   word* read_slot = nullptr;
   std::vector<word>* collect_slot = nullptr;
   std::coroutine_handle<> k;
+  reg_id reg = kInvalidReg;
+  std::uint32_t count = 0;  // collect width
+  op_kind kind = op_kind::read;
+  bool probabilistic = false;
+  bool coin_success = true;  // pre-drawn from the process's local coin
 };
 
 class sim_world final : public address_space {
@@ -225,7 +228,9 @@ class sim_world final : public address_space {
   // The return value of process pid's program; empty if it has not halted.
   std::optional<word> output_of(process_id pid) const;
   std::uint64_t ops_of(process_id pid) const;
-  std::uint64_t total_ops() const { return total_ops_; }
+  // Every applied step is exactly one shared-memory operation in this
+  // model, so total work and execution length coincide.
+  std::uint64_t total_ops() const { return step_; }
   std::uint64_t max_individual_ops() const;
   std::uint64_t steps() const { return step_; }
 
@@ -241,16 +246,24 @@ class sim_world final : public address_space {
   friend class sim_env;
   friend class sched_view;
 
-  struct pcb {
+  struct alignas(64) pcb {
     explicit pcb(sim_world* w, process_id pid, rng r)
         : env(w, pid, r) {}
-    sim_env env;
-    proc<word> program;
+    // Per-step state first: execute() reads the posted op and the flag
+    // block on every simulated step under a random pid, so keeping them
+    // in the pcb's leading cache lines is what bounds the working set at
+    // large n (the alignas pins the op to a line boundary).
     posted_op op;
     bool has_op = false;
     bool halted = false;
     bool crashed = false;
+    // Set by crash_after/restart_after; gates the per-step fault checks in
+    // execute() behind one branch for the (typical) fault-free process.
+    bool fault_armed = false;
     std::uint64_t ops = 0;
+    sim_env env;
+    proc<word> program;
+    // Cold: trial setup, fault plumbing, and results.
     std::uint64_t crash_threshold = 0;
     bool crash_planned = false;
     std::optional<word> output;
@@ -262,7 +275,10 @@ class sim_world final : public address_space {
     std::uint64_t restarts = 0;
   };
 
-  void post(process_id pid, posted_op op);
+  // Returns the process's (reset) pending-op slot for an awaiter to fill
+  // in place — posting writes the fields once instead of building a
+  // posted_op locally and copying it through post().
+  posted_op& post_slot(process_id pid);
   bool sample_coin(process_id pid, const prob& p, rng& local);
   void execute(process_id pid);
   void after_resume(process_id pid);
@@ -274,15 +290,118 @@ class sim_world final : public address_space {
   std::uint64_t seed_;
   std::function<bool(process_id, const prob&)> coin_override_;
   register_file regs_;
-  std::vector<std::unique_ptr<pcb>> pcbs_;
+  // Flat storage: reserve(n) in the constructor plus the spawn-count check
+  // guarantees no reallocation, so &pcbs_[pid].env stays stable for the
+  // coroutine frames that capture it.
+  std::vector<pcb> pcbs_;
   std::vector<process_id> runnable_;
   std::vector<std::uint32_t> runnable_index_;  // pid -> slot in runnable_
   std::uint64_t step_ = 0;
-  std::uint64_t total_ops_ = 0;
   std::uint64_t total_restarts_ = 0;
   trace trace_;
 };
 
 static_assert(Environment<sim_env>);
+
+// Ungated sched_view accessors, inline: the scheduler consults these once
+// per simulated step (runnable() especially), so they must not cost a
+// call.  The capability-gated accessors stay out of line in world.cpp.
+inline std::uint64_t sched_view::step() const { return w_->steps(); }
+inline std::size_t sched_view::n() const { return w_->n(); }
+
+inline std::span<const process_id> sched_view::runnable() const {
+  return {w_->runnable_.data(), w_->runnable_.size()};
+}
+
+inline bool sched_view::is_runnable(process_id p) const {
+  return p < w_->runnable_index_.size() &&
+         w_->runnable_index_[p] != UINT32_MAX;
+}
+
+inline std::uint64_t sched_view::ops_done(process_id p) const {
+  return w_->ops_of(p);
+}
+
+inline const posted_op& sched_view::pending_of(process_id p) const {
+  MODCON_CHECK_MSG(p < w_->pcbs_.size(), "bad pid in adversary view access");
+  const auto& pcb = w_->pcbs_[p];
+  MODCON_CHECK_MSG(pcb.has_op, "process " << p << " has no pending op");
+  return pcb.op;
+}
+
+// Posting an operation happens once per simulated step, from coroutine
+// bodies compiled in other translation units, so the whole path — slot
+// reset, field stores, coin draw — is defined inline here rather than
+// costing an opaque call per step.
+
+inline posted_op& sim_world::post_slot(process_id pid) {
+  pcb& p = pcbs_[pid];
+  MODCON_CHECK_MSG(!p.has_op, "process posted two operations at once");
+  p.has_op = true;
+  // Only read_slot must be cleared between operations: a plain write tests
+  // it to decide whether it is a detecting write, and a stale pointer from
+  // an earlier read would alias a dead awaiter frame.  Every other field
+  // execute() consumes is (re)written by the posting awaiter for the op
+  // kinds that consume it, so a full posted_op reset per step is wasted
+  // work on the hot path.
+  p.op.read_slot = nullptr;
+  return p.op;
+}
+
+inline bool sim_world::sample_coin(process_id /*pid*/, const prob& p,
+                                   rng& local) {
+  if (p.certain()) return true;
+  if (p.impossible()) return false;
+  // With an override installed the pre-drawn value is a placeholder; the
+  // real decision happens in execute().
+  if (coin_override_) return false;
+  return p.sample(local);
+}
+
+inline void sim_env::read_awaiter::await_suspend(std::coroutine_handle<> h) {
+  posted_op& op = e->w_->post_slot(e->pid_);
+  op.kind = op_kind::read;
+  op.reg = r;
+  op.read_slot = &result;
+  op.k = h;
+}
+
+inline void sim_env::write_awaiter::await_suspend(std::coroutine_handle<> h) {
+  posted_op& op = e->w_->post_slot(e->pid_);
+  op.kind = op_kind::write;
+  op.reg = r;
+  op.value = v;
+  op.probabilistic = !p.certain();
+  op.coin_prob = p;
+  // The coin is drawn from the process's own local coin, up front, so the
+  // (out-of-model) omniscient adversary can inspect it.  In-model
+  // adversaries cannot see it; drawing now vs. at execution time changes
+  // nothing for them.
+  op.coin_success = e->w_->sample_coin(e->pid_, p, e->rng_);
+  op.k = h;
+}
+
+inline void sim_env::detect_write_awaiter::await_suspend(
+    std::coroutine_handle<> h) {
+  posted_op& op = e->w_->post_slot(e->pid_);
+  op.kind = op_kind::write;
+  op.reg = r;
+  op.value = v;
+  op.probabilistic = !p.certain();
+  op.coin_prob = p;
+  op.coin_success = e->w_->sample_coin(e->pid_, p, e->rng_);
+  op.read_slot = &result;  // receives 1 if the write applied
+  op.k = h;
+}
+
+inline void sim_env::collect_awaiter::await_suspend(
+    std::coroutine_handle<> h) {
+  posted_op& op = e->w_->post_slot(e->pid_);
+  op.kind = op_kind::collect;
+  op.reg = first;
+  op.count = count;
+  op.collect_slot = &result;
+  op.k = h;
+}
 
 }  // namespace modcon::sim

@@ -1,0 +1,55 @@
+// Thread-local free lists of fixed-size chunks.
+//
+// The trial engines allocate the same transient buffers (trace columns,
+// rt event blocks) once per trial, millions of trials per experiment.  A
+// general-purpose allocator round-trip per buffer per trial is pure
+// overhead: the sizes never vary.  `chunk_pool<C>` keeps a small
+// per-thread free list of C instances, so each worker thread amortizes
+// its chunk allocations across every trial it ever runs — a per-trial
+// arena in effect, with recycling instead of per-trial mmap churn.
+//
+// Thread safety: acquire/release touch only the calling thread's list
+// (thread_local), so there is no synchronization and no false sharing.
+// Releasing on a different thread than the acquirer is allowed — the
+// chunk simply joins that thread's list.  Chunks are returned as raw
+// storage; callers must not assume contents are zeroed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace modcon {
+
+template <typename Chunk>
+class chunk_pool {
+ public:
+  static std::unique_ptr<Chunk> acquire() {
+    auto& list = free_list();
+    if (!list.empty()) {
+      std::unique_ptr<Chunk> c = std::move(list.back());
+      list.pop_back();
+      return c;
+    }
+    return std::make_unique<Chunk>();
+  }
+
+  static void release(std::unique_ptr<Chunk> c) {
+    if (c == nullptr) return;
+    auto& list = free_list();
+    if (list.size() < kMaxPooledPerThread)
+      list.push_back(std::move(c));
+    // else: drop — the pool bounds idle memory, not peak usage.
+  }
+
+ private:
+  // Enough for the deepest realistic per-thread working set (a handful of
+  // live traces per trial); beyond this, chunks go back to the allocator.
+  static constexpr std::size_t kMaxPooledPerThread = 64;
+
+  static std::vector<std::unique_ptr<Chunk>>& free_list() {
+    thread_local std::vector<std::unique_ptr<Chunk>> list;
+    return list;
+  }
+};
+
+}  // namespace modcon

@@ -1,0 +1,88 @@
+// Thread-local size-bucketed recycler for coroutine frames.
+//
+// Every shared-memory algorithm in modcon is a proc<T> coroutine, and the
+// trial engines create them at enormous rates: one frame per spawned
+// process per trial, plus one per child proc for every conciliator /
+// ratifier round a composite object runs.  GCC almost never elides these
+// frame allocations (HALO needs the frame lifetime to be provably nested,
+// which the park-in-the-scheduler pattern defeats), so without pooling
+// each round pays a general-purpose malloc/free round-trip — measurably
+// the largest single cost in the sim step loop.
+//
+// The pool keeps per-thread free lists bucketed by size class (64-byte
+// granularity up to 4 KiB; larger frames fall through to operator new).
+// A frame's size class is recomputed in deallocate from the sized-delete
+// byte count, so blocks always return to the bucket they came from.
+//
+// Thread safety: the free lists are thread_local, so allocate/deallocate
+// never synchronize.  Freeing on a different thread than the allocator is
+// allowed — the block joins the freeing thread's list (the rt runner
+// destroys worker-thread frames on the joining thread).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace modcon {
+
+class frame_pool {
+ public:
+  static void* allocate(std::size_t size) {
+    if (size == 0) size = 1;
+    if (size > kMaxPooledSize) return ::operator new(size);
+    auto& list = buckets()[bucket_of(size)];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      return p;
+    }
+    return ::operator new(rounded(size));
+  }
+
+  static void deallocate(void* p, std::size_t size) {
+    if (p == nullptr) return;
+    if (size == 0) size = 1;
+    if (size > kMaxPooledSize) {
+      ::operator delete(p);
+      return;
+    }
+    auto& list = buckets()[bucket_of(size)];
+    if (list.size() < kMaxPerBucket) {
+      list.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kMaxPooledSize = 4096;
+  static constexpr std::size_t kBucketCount = kMaxPooledSize / kGranularity;
+  // Deep enough for a composite object's live frames across every process
+  // of a trial; beyond this, blocks go back to the allocator.
+  static constexpr std::size_t kMaxPerBucket = 256;
+
+  static std::size_t bucket_of(std::size_t size) {
+    return (size - 1) / kGranularity;
+  }
+  static std::size_t rounded(std::size_t size) {
+    return (bucket_of(size) + 1) * kGranularity;
+  }
+
+  struct bucket_array {
+    std::array<std::vector<void*>, kBucketCount> lists;
+    ~bucket_array() {
+      for (auto& list : lists)
+        for (void* p : list) ::operator delete(p);
+    }
+  };
+
+  static std::array<std::vector<void*>, kBucketCount>& buckets() {
+    thread_local bucket_array b;
+    return b.lists;
+  }
+};
+
+}  // namespace modcon

@@ -100,4 +100,61 @@ class rng {
   std::array<std::uint64_t, 4> s_;
 };
 
+// A block-buffered view over an rng stream for per-step consumers (the
+// random scheduler draws once per simulated step).  Refilling a small
+// block amortizes the generator's state recurrence — the compiler can
+// pipeline the 64 independent refill iterations where the one-at-a-time
+// path serializes on the state — and the hot draw is a buffered load.
+//
+// Sequence-exact by construction: `next()` yields the underlying raw
+// draws in order, and `below()` applies the same Lemire mapping (with the
+// same rejection rule) to those draws as rng::below, so replacing an rng
+// with an rng_block over it never changes a drawn value.
+class rng_block {
+ public:
+  rng_block() = default;
+  explicit rng_block(rng src) : src_(src) {}
+
+  // Restarts the buffer over a fresh stream (pending buffered draws are
+  // discarded).
+  void reseed(rng src) {
+    src_ = src;
+    pos_ = kBlock;
+  }
+
+  std::uint64_t next() {
+    if (pos_ == kBlock) refill();
+    return buf_[pos_++];
+  }
+
+  // Unbiased draw in [0, bound); identical to rng::below on the same
+  // underlying stream.
+  std::uint64_t below(std::uint64_t bound) {
+    std::uint64_t x = next();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<unsigned __int128>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+ private:
+  static constexpr std::size_t kBlock = 64;
+
+  void refill() {
+    for (auto& w : buf_) w = src_.next();
+    pos_ = 0;
+  }
+
+  rng src_{};
+  std::array<std::uint64_t, kBlock> buf_{};
+  std::size_t pos_ = kBlock;
+};
+
 }  // namespace modcon

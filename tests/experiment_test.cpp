@@ -84,11 +84,10 @@ void expect_identical(const summary_stats& a, const summary_stats& b) {
   }
   // Summaries are a deterministic function of the records, so the whole
   // JSON document must match byte-for-byte once the (intentionally
-  // non-deterministic) wall-clock field is pinned.
+  // non-deterministic) timing measurements are pinned.
   summary_stats sa = a, sb = b;
-  sa.wall_ms = sb.wall_ms = 0.0;
-  for (auto& r : sa.records) r.wall_ms = 0.0;
-  for (auto& r : sb.records) r.wall_ms = 0.0;
+  clear_timing_measurements(sa);
+  clear_timing_measurements(sb);
   EXPECT_EQ(to_json(sa, true).dump(2), to_json(sb, true).dump(2));
 }
 

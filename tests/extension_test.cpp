@@ -69,6 +69,30 @@ TEST(ImpatienceSchedule, DeepKDoesNotOverflow) {
   EXPECT_EQ(slow.probability(500, 7), prob(1, 7));
 }
 
+TEST(ImpatienceSchedule, StepperMatchesProbability) {
+  // The conciliator's retry loop uses the incremental stepper instead of
+  // recomputing probability(k, n) from scratch each attempt; any drift
+  // between the two would change sampled coin streams and break the
+  // byte-identical determinism contract.
+  struct {
+    impatience_schedule s;
+    std::uint64_t n;
+  } cases[] = {
+      {{2, 1}, 2},        {{2, 1}, 16},        {{2, 1}, 4096},
+      {{1, 1}, 64},       {{3, 2}, 16},        {{3, 2}, 1000},
+      {{5, 2}, 1000},     {{4, 1}, 7},         {{2, 1}, 1ull << 62},
+      {{7, 3}, 1ull << 40},
+  };
+  for (const auto& c : cases) {
+    impatience_schedule::stepper st(c.s, c.n);
+    for (unsigned k = 0; k <= 50; ++k) {
+      EXPECT_EQ(st.next(), c.s.probability(k, c.n))
+          << "numer=" << c.s.numer << " denom=" << c.s.denom << " n=" << c.n
+          << " k=" << k;
+    }
+  }
+}
+
 TEST(ImpatientConciliator, SlowerGrowthStillConciliates) {
   for (auto g : {impatience_schedule{3, 2}, impatience_schedule{4, 1}}) {
     std::size_t agreed = 0;

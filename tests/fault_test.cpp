@@ -212,12 +212,11 @@ TEST(SimFaults, DecidedThenCrashedFeedsAgreement) {
   EXPECT_FALSE(res.agreement());
 }
 
-// Whole-summary JSON comparison with wall clock pinned.
+// Whole-summary JSON comparison with timing measurements pinned.
 void summary_stats_equal_json(analysis::summary_stats a,
                               analysis::summary_stats b) {
-  a.wall_ms = b.wall_ms = 0.0;
-  for (auto& r : a.records) r.wall_ms = 0.0;
-  for (auto& r : b.records) r.wall_ms = 0.0;
+  analysis::clear_timing_measurements(a);
+  analysis::clear_timing_measurements(b);
   EXPECT_EQ(analysis::to_json(a, true).dump(2),
             analysis::to_json(b, true).dump(2));
 }

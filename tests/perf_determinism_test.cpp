@@ -1,0 +1,194 @@
+// Golden-file determinism lock for the trial engines.
+//
+// The hot-path work on the engine (SoA traces, batched scheduler
+// decisions, inlined register ops, ...) is only admissible if it never
+// changes a result: trial t of a cell is a pure function of the cell
+// definition and t, for every thread count.  This suite pins that with
+// byte-identical golden streams generated from the pre-optimization
+// engine: every deterministic field of every trial_record of E1-, E2-,
+// and E15-style cells, serialized to text and compared against
+// tests/golden/*.txt for --threads 1 and --threads 8.
+//
+// Regenerating (only when a cell definition itself changes, never to
+// absorb an engine diff):
+//   MODCON_REGEN_GOLDEN=1 ./perf_determinism_test
+// then inspect the tests/golden/ diff by hand.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "core/conciliator/impatient.h"
+#include "core/consensus/builder.h"
+#include "sim/adversaries/adversaries.h"
+
+namespace modcon::analysis {
+namespace {
+
+using sim::sim_env;
+
+#ifndef MODCON_GOLDEN_DIR
+#error "MODCON_GOLDEN_DIR must point at tests/golden"
+#endif
+
+std::string golden_path(const std::string& name) {
+  return std::string(MODCON_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+sim_object_builder impatient() {
+  return [](address_space& mem, std::size_t) {
+    return std::make_unique<impatient_conciliator<sim_env>>(mem);
+  };
+}
+
+sim_object_builder consensus_stack() {
+  return [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+  };
+}
+
+void put_decided_list(std::ostream& os, const std::vector<decided>& xs) {
+  os << "[";
+  const char* sep = "";
+  for (const decided& d : xs) {
+    os << sep << (d.decide ? 1 : 0) << ":" << d.value;
+    sep = ",";
+  }
+  os << "]";
+}
+
+template <typename T>
+void put_list(std::ostream& os, const std::vector<T>& xs) {
+  os << "[";
+  const char* sep = "";
+  for (const T& x : xs) {
+    os << sep << x;
+    sep = ",";
+  }
+  os << "]";
+}
+
+// Every deterministic field of every record, plus the summary document
+// with timings pinned.  Any engine change that perturbs a single
+// adversary pick, coin flip, fault injection, or aggregation shows up as
+// a byte diff here.
+std::string serialize(const summary_stats& s) {
+  std::ostringstream os;
+  os << "cell " << s.label << " n=" << s.n << " trials=" << s.trials << "\n";
+  for (const trial_record& r : s.records) {
+    os << "trial=" << r.trial_index << " seed=" << r.seed
+       << " status=" << static_cast<int>(r.result.status);
+    os << " outputs=";
+    put_decided_list(os, r.result.outputs);
+    os << " halted=";
+    put_list(os, r.result.halted_pids);
+    os << " crashed=";
+    put_list(os, r.result.crashed_pids);
+    os << " crashed_outputs=";
+    put_decided_list(os, r.result.crashed_outputs);
+    os << " restarted=";
+    put_list(os, r.result.restarted_pids);
+    os << " restarts=" << r.result.restarts
+       << " stale_reads=" << r.result.stale_reads
+       << " omitted_writes=" << r.result.omitted_writes
+       << " total_ops=" << r.result.total_ops
+       << " max_individual_ops=" << r.result.max_individual_ops
+       << " steps=" << r.result.steps << " registers=" << r.result.registers
+       << " valid=" << r.valid << " agreement=" << r.agreement
+       << " coherent=" << r.coherent << " decided_all=" << r.decided_all
+       << "\n";
+  }
+  summary_stats pinned = s;
+  clear_timing_measurements(pinned);
+  os << to_json(pinned, /*include_records=*/false).dump(2) << "\n";
+  return os.str();
+}
+
+std::vector<trial_grid> golden_grid() {
+  std::vector<trial_grid> grid;
+  grid.push_back({
+      .label = "golden_e1_conciliator",
+      .build = impatient(),
+      .n = 8,
+      .trials = 48,
+      .base_seed = 0xe1,
+      .keep_records = true,
+  });
+  grid.push_back({
+      .label = "golden_e2_consensus",
+      .build = consensus_stack(),
+      .n = 8,
+      .trials = 48,
+      .base_seed = 0xe2,
+      .keep_records = true,
+  });
+  grid.push_back({
+      .label = "golden_e15_faults",
+      .build = consensus_stack(),
+      .n = 6,
+      .trials = 48,
+      .base_seed = 0xe15,
+      .faults = fault_plan{}
+                    .crash(1, 5)
+                    .restart(0, 4)
+                    .regular_registers(4)
+                    .omit_writes(16, 4),
+      .keep_records = true,
+  });
+  grid.push_back({
+      .label = "golden_e15_faults_per_trial",
+      .build = consensus_stack(),
+      .n = 6,
+      .trials = 32,
+      .base_seed = 0xe15f,
+      .faults_for =
+          [](std::uint64_t, std::uint64_t seed) {
+            return fault_plan{}.crash(seed % 6, 3 + seed % 13);
+          },
+      .keep_records = true,
+  });
+  return grid;
+}
+
+class PerfDeterminism : public ::testing::Test {};
+
+TEST(PerfDeterminism, TrialStreamsMatchGoldenAcrossThreadCounts) {
+  const bool regen = std::getenv("MODCON_REGEN_GOLDEN") != nullptr;
+  auto grid = golden_grid();
+  auto serial = run_experiment_grid(grid, {.threads = 1});
+  auto parallel = run_experiment_grid(grid, {.threads = 8});
+  ASSERT_EQ(serial.size(), grid.size());
+  ASSERT_EQ(parallel.size(), grid.size());
+
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    const std::string got1 = serialize(serial[c]);
+    const std::string got8 = serialize(parallel[c]);
+    EXPECT_EQ(got1, got8) << grid[c].label
+                          << ": --threads 1 vs 8 diverged";
+
+    const std::string path = golden_path(grid[c].label);
+    if (regen) {
+      std::ofstream out(path, std::ios::binary);
+      ASSERT_TRUE(out) << "cannot write " << path;
+      out << got1;
+      continue;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden " << path
+                    << " (MODCON_REGEN_GOLDEN=1 to create)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got1, want.str())
+        << grid[c].label
+        << ": trial stream diverged from the recorded golden — the engine "
+           "changed an observable result, not just its speed";
+  }
+}
+
+}  // namespace
+}  // namespace modcon::analysis
