@@ -13,6 +13,12 @@
 //                 variable supplies a default (1/all/sample), so ctest
 //                 can audit a whole suite without touching commands.
 //                 Any audited violation makes finish() return nonzero.
+//   --obs         record observability counters on every trial and emit
+//                 the schema v3.2 "obs" block into the JSON artifact
+//   --trace-out F write a Chrome/Perfetto trace_event JSON of one trial
+//                 (trial 0 of the first cell) to F; single-threaded only
+//   --progress    live progress on stderr (trials/sec, ETA, fault and
+//                 audit counts) — reporting only, results unaffected
 //
 // plus the report plumbing: every summary and every printed table is
 // recorded and serialized when --json is given.
@@ -29,6 +35,7 @@
 #include <vector>
 
 #include "analysis/experiment.h"
+#include "obs/perfetto.h"
 #include "sim/adversaries/adversaries.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -42,6 +49,9 @@ struct cli_options {
   std::size_t threads = 0;  // 0 = one worker per hardware thread
   std::size_t seeds = 0;    // 0 = keep each cell's default trial count
   std::string json_path;
+  std::string trace_out;  // Perfetto trace of one trial; "" = off
+  bool observe = false;   // per-trial obs counters + "obs" JSON block
+  bool progress = false;  // live stderr progress from the engine
   analysis::audit_mode audit = analysis::audit_mode::off;
 
   static analysis::audit_mode parse_audit_mode(const std::string& value,
@@ -79,6 +89,12 @@ struct cli_options {
         cli.seeds = std::strtoull(next_value("--seeds").c_str(), nullptr, 10);
       } else if (arg == "--json") {
         cli.json_path = next_value("--json");
+      } else if (arg == "--trace-out") {
+        cli.trace_out = next_value("--trace-out");
+      } else if (arg == "--obs") {
+        cli.observe = true;
+      } else if (arg == "--progress") {
+        cli.progress = true;
       } else if (arg == "--audit") {
         cli.audit = parse_audit_mode(next_value("--audit"), "--audit");
         audit_given = true;
@@ -92,6 +108,11 @@ struct cli_options {
                      "(schema modcon-bench v3)\n"
                   << "  --audit MODE property-audit trials: off|sample|all "
                      "(default: $MODCON_AUDIT or off)\n"
+                  << "  --obs        record observability counters; adds the "
+                     "schema v3.2 \"obs\" block to --json\n"
+                  << "  --trace-out F  write a Perfetto trace_event JSON of "
+                     "one trial (requires --threads 1)\n"
+                  << "  --progress   live trial progress on stderr\n"
                   << "  --benchmark_* forwarded to google-benchmark "
                      "(benches that embed it)\n";
         std::exit(0);
@@ -107,6 +128,15 @@ struct cli_options {
     if (!audit_given) {
       if (const char* env = std::getenv("MODCON_AUDIT"))
         cli.audit = parse_audit_mode(env, "MODCON_AUDIT");
+    }
+    // A trace captures one deterministic trial; a multi-threaded trial
+    // pool adds nothing to it and suggests the user expected per-thread
+    // traces, so refuse rather than surprise.
+    if (!cli.trace_out.empty() && cli.threads > 1) {
+      std::cerr << "--trace-out records a single trial and requires "
+                   "--threads 1 (got --threads "
+                << cli.threads << ")\n";
+      std::exit(2);
     }
     return cli;
   }
@@ -131,7 +161,7 @@ class bench_harness {
   }
 
   analysis::experiment_options engine_options() const {
-    return {.threads = cli_.threads};
+    return {.threads = cli_.threads, .progress = cli_.progress};
   }
 
   // Runs one cell through the engine, applying the CLI overrides, and
@@ -139,6 +169,8 @@ class bench_harness {
   analysis::summary_stats run(trial_grid cell) {
     if (cli_.seeds) cell.trials = cli_.seeds;
     apply_audit(cell);
+    if (cli_.observe) cell.observe = true;
+    maybe_trace(cell);
     auto s = analysis::run_experiment(cell, engine_options());
     record(s);
     return s;
@@ -148,7 +180,11 @@ class bench_harness {
   std::vector<analysis::summary_stats> run_grid(std::vector<trial_grid> grid) {
     if (cli_.seeds)
       for (auto& cell : grid) cell.trials = cli_.seeds;
-    for (auto& cell : grid) apply_audit(cell);
+    for (auto& cell : grid) {
+      apply_audit(cell);
+      if (cli_.observe) cell.observe = true;
+    }
+    if (!grid.empty()) maybe_trace(grid.front());
     auto out = analysis::run_experiment_grid(grid, engine_options());
     for (const auto& s : out) record(s);
     return out;
@@ -202,6 +238,38 @@ class bench_harness {
   analysis::json& report() { return report_; }
 
  private:
+  // --trace-out: replay trial 0 of the first cell this harness sees with
+  // the full span tree retained, and export it as Chrome/Perfetto
+  // trace_event JSON (chrome://tracing or https://ui.perfetto.dev).
+  void maybe_trace(const trial_grid& cell) {
+    if (cli_.trace_out.empty() || traced_) return;
+    traced_ = true;
+    auto rec = analysis::run_traced_trial(cell, 0);
+    if (!rec.result.obs) {
+      std::cerr << "--trace-out: trial produced no observation record\n";
+      std::exit(1);
+    }
+    std::ofstream out(cli_.trace_out);
+    if (!out) {
+      std::cerr << "cannot write " << cli_.trace_out << "\n";
+      std::exit(1);
+    }
+    obs::perfetto_meta meta;
+    meta.label = cell.label;
+    meta.backend = "sim";
+    meta.seed = rec.seed;
+    meta.n = cell.n;
+    meta.steps = rec.result.steps;
+    obs::write_perfetto(out, *rec.result.obs, meta);
+    if (!out) {
+      std::cerr << "error writing " << cli_.trace_out << "\n";
+      std::exit(1);
+    }
+    std::cout << "wrote " << cli_.trace_out << " (trace of '" << cell.label
+              << "' trial 0, seed " << rec.seed << ", "
+              << rec.result.obs->span_count << " spans)\n";
+  }
+
   void apply_audit(trial_grid& cell) {
     // The CLI/env mode overrides an un-audited cell; a cell that already
     // declares an audit plan (mode != off) keeps its own.
@@ -229,6 +297,7 @@ class bench_harness {
   cli_options cli_;
   analysis::json report_;
   std::size_t audit_violations_ = 0;
+  bool traced_ = false;
 };
 
 // Factory helpers for the adversaries every bench sweeps.

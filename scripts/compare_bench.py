@@ -27,16 +27,23 @@ import json
 import sys
 
 
+def die(message):
+    """Bad invocation / unreadable or mismatched artifact: exit 2, so CI
+    can tell an environment problem from a real regression (exit 1)."""
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
 def load_cells(path, key):
     """Returns {label: value} for every experiment carrying perf[key] > 0."""
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
-        sys.exit(f"compare_bench: cannot read {path}: {err}")
+        die(f"compare_bench: cannot read {path}: {err}")
     if doc.get("schema") != "modcon-bench":
-        sys.exit(f"compare_bench: {path} is not a modcon-bench artifact "
-                 f"(schema={doc.get('schema')!r})")
+        die(f"compare_bench: {path} is not a modcon-bench artifact "
+            f"(schema={doc.get('schema')!r})")
     cells = {}
     for exp in doc.get("experiments", []):
         label = exp.get("label")
@@ -61,7 +68,7 @@ def main():
     base = load_cells(args.baseline, args.key)
     cand = load_cells(args.candidate, args.key)
     if not base:
-        sys.exit(f"compare_bench: no cells with {args.key} in {args.baseline}")
+        die(f"compare_bench: no cells with {args.key} in {args.baseline}")
 
     regressions, missing = [], []
     width = max(len(label) for label in base)
@@ -78,13 +85,15 @@ def main():
         print(f"  {label:<{width}}  {old:14.0f} -> {new:14.0f}  "
               f"({ratio - 1:+7.1%}){flag}")
         if flag:
-            regressions.append(label)
+            regressions.append((label, old, new))
     for label in sorted(set(cand) - set(base)):
         print(f"  {label:<{width}}  new cell (not in baseline)")
 
     if regressions:
+        detail = ", ".join(f"{label} ({old:.0f} -> {new:.0f})"
+                           for label, old, new in regressions)
         print(f"compare_bench: FAIL — {len(regressions)} cell(s) regressed "
-              f"more than {args.threshold:.0%}: {', '.join(regressions)}")
+              f"more than {args.threshold:.0%}: {detail}")
         return 1
     if missing and args.require_all:
         print(f"compare_bench: FAIL — {len(missing)} baseline cell(s) "

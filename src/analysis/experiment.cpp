@@ -4,8 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>  // isatty, for the --progress carriage-return mode
+#endif
 
 #include "sim/adversaries/adversaries.h"
 #include "util/assertx.h"
@@ -26,7 +31,8 @@ double quantile_sorted(const std::vector<double>& sorted, double q) {
   return sorted[rank - 1];
 }
 
-trial_record run_one_trial(const trial_grid& cell, std::uint64_t index) {
+trial_record run_one_trial(const trial_grid& cell, std::uint64_t index,
+                           bool keep_spans = false) {
   trial_record rec;
   rec.trial_index = index;
   rec.seed = derive_trial_seed(cell.base_seed, index);
@@ -45,6 +51,7 @@ trial_record run_one_trial(const trial_grid& cell, std::uint64_t index) {
   opts.audit.ratifier = cell.audit.ratifier;
   opts.audit.deciding = cell.audit.deciding;
   opts.audit.max_trace_events = cell.audit.max_trace_events;
+  opts.observe = cell.observe || keep_spans;
   if (!cell.probes.empty()) {
     rec.probes.resize(cell.probes.size(), 0.0);
     opts.inspect_object = [&cell, &rec](
@@ -62,6 +69,11 @@ trial_record run_one_trial(const trial_grid& cell, std::uint64_t index) {
   rec.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
+
+  // Bulk trials keep only the aggregate half of the obs record: a span
+  // tree per trial across thousands of trials is exporter-only data (see
+  // run_traced_trial), and dropping it here bounds engine memory.
+  if (rec.result.obs && !keep_spans) rec.result.obs->drop_spans();
 
   // Evaluate the §3 predicates once, against a single materialization of
   // the escaped outputs, with the inputs sorted for binary-search
@@ -99,6 +111,7 @@ summary_stats reduce(const trial_grid& cell,
 
   constexpr std::size_t kMaxAuditExamples = 8;
   std::vector<double> total, indiv, steps, step_rate;
+  std::vector<double> obs_stages, obs_spans;
   std::vector<std::vector<double>> probe_samples(cell.probes.size());
   for (const trial_record& r : records) {
     s.wall_ms += r.wall_ms;
@@ -124,6 +137,25 @@ summary_stats reduce(const trial_grid& cell,
         if (s.audit_examples.size() >= kMaxAuditExamples) break;
         s.audit_examples.push_back({r.trial_index, r.seed, v});
       }
+    }
+    if (r.result.obs) {
+      const obs::trial_obs& o = *r.result.obs;
+      ++s.obs.trials;
+      if (o.truncated) ++s.obs.truncated;
+      for (std::size_t i = 0; i < obs::kCounterCount; ++i)
+        s.obs.counters[i] += o.counters[i];
+      s.obs.reg_reads += o.regs.reads;
+      s.obs.reg_writes_applied += o.regs.writes_applied;
+      s.obs.reg_writes_missed += o.regs.writes_missed;
+      s.obs.lost_overwrites += o.regs.lost_overwrites;
+      s.obs.conciliator_invocations += o.conciliator_invocations;
+      s.obs.conciliator_agreed += o.conciliator_agreed;
+      // One sample per trial: the slowest process's stage count is the
+      // trial's latency in stages (the paper's "rounds to decide").
+      if (!o.stages_to_decision.empty())
+        obs_stages.push_back(static_cast<double>(*std::max_element(
+            o.stages_to_decision.begin(), o.stages_to_decision.end())));
+      obs_spans.push_back(static_cast<double>(o.span_count));
     }
     // "Completed" = terminal: every process halted or crashed.  Runs with
     // crash faults end as no_runnable, and the survivors' outputs are
@@ -156,6 +188,8 @@ summary_stats reduce(const trial_grid& cell,
   s.max_individual_ops = dist_summary::of(std::move(indiv));
   s.steps = dist_summary::of(std::move(steps));
   s.steps_per_sec = dist_summary::of(std::move(step_rate));
+  s.obs.stages_to_decision = dist_summary::of(std::move(obs_stages));
+  s.obs.spans_per_trial = dist_summary::of(std::move(obs_spans));
   for (std::size_t i = 0; i < cell.probes.size(); ++i)
     s.probes.emplace_back(cell.probes[i].name,
                           dist_summary::of(std::move(probe_samples[i])));
@@ -238,6 +272,12 @@ summary_stats run_experiment(const trial_grid& cell,
   return run_experiment_grid(grid, opts).front();
 }
 
+trial_record run_traced_trial(const trial_grid& cell,
+                              std::uint64_t trial_index) {
+  MODCON_CHECK_MSG(cell.build != nullptr, "trial_grid cell needs a builder");
+  return run_one_trial(cell, trial_index, /*keep_spans=*/true);
+}
+
 std::vector<summary_stats> run_experiment_grid(
     const std::vector<trial_grid>& grid, const experiment_options& opts) {
   // Flatten the grid into (cell, trial) tasks with preassigned result
@@ -263,6 +303,11 @@ std::vector<summary_stats> run_experiment_grid(
 
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
+  // Progress accounting (relaxed: the monitor tolerates slightly stale
+  // values; the final line prints after every worker has joined).
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::uint64_t> fault_events{0};
+  std::atomic<std::uint64_t> audit_violations{0};
   std::vector<std::exception_ptr> errors(workers);
   auto worker = [&](std::size_t wid) {
     try {
@@ -271,12 +316,76 @@ std::vector<summary_stats> run_experiment_grid(
         if (i >= tasks.size()) break;
         const task& tk = tasks[i];
         records[tk.cell][tk.trial] = run_one_trial(grid[tk.cell], tk.trial);
+        if (opts.progress) {
+          const trial_record& r = records[tk.cell][tk.trial];
+          fault_events.fetch_add(
+              r.result.crashed_pids.size() + r.result.restarts,
+              std::memory_order_relaxed);
+          if (r.result.audit &&
+              r.result.audit->status == check::audit_status::violated)
+            audit_violations.fetch_add(1, std::memory_order_relaxed);
+          done.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     } catch (...) {
       errors[wid] = std::current_exception();
       failed.store(true, std::memory_order_relaxed);
     }
   };
+
+  // Live progress (stderr, reporting only).  On a terminal the line
+  // redraws in place; piped output gets a full line at a slower cadence
+  // so logs stay readable.
+  std::jthread monitor;
+  if (opts.progress && !tasks.empty()) {
+    monitor = std::jthread([&](std::stop_token st) {
+#if defined(__unix__) || defined(__APPLE__)
+      const bool tty = isatty(fileno(stderr)) != 0;
+#else
+      const bool tty = false;
+#endif
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto cadence = tty ? std::chrono::milliseconds(250)
+                               : std::chrono::milliseconds(2000);
+      auto next = t0 + cadence;
+      auto emit = [&](bool final_line) {
+        const std::size_t d = done.load(std::memory_order_relaxed);
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        const double rate = secs > 0.0 ? static_cast<double>(d) / secs : 0.0;
+        const std::size_t left = tasks.size() - d;
+        std::ostringstream os;
+        os << "[experiment] " << d << "/" << tasks.size() << " trials  "
+           << std::fixed;
+        os.precision(1);
+        os << rate << " trials/s";
+        if (!final_line && rate > 0.0)
+          os << "  ETA " << static_cast<double>(left) / rate << "s";
+        os << "  faults " << fault_events.load(std::memory_order_relaxed)
+           << "  audit-violations "
+           << audit_violations.load(std::memory_order_relaxed);
+        if (final_line)
+          os << "  done in " << secs << "s";
+        std::string line = os.str();
+        if (tty && !final_line)
+          std::fprintf(stderr, "\r\x1b[2K%s", line.c_str());
+        else if (tty)
+          std::fprintf(stderr, "\r\x1b[2K%s\n", line.c_str());
+        else
+          std::fprintf(stderr, "%s\n", line.c_str());
+        std::fflush(stderr);
+      };
+      while (!st.stop_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += cadence;
+        emit(false);
+      }
+      emit(true);
+    });
+  }
 
   if (workers <= 1) {
     worker(0);
@@ -285,6 +394,10 @@ std::vector<summary_stats> run_experiment_grid(
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w)
       pool.emplace_back(worker, w);
+  }
+  if (monitor.joinable()) {
+    monitor.request_stop();
+    monitor.join();
   }
   for (auto& e : errors)
     if (e) std::rethrow_exception(e);
@@ -426,6 +539,38 @@ json to_json(const summary_stats& s, bool include_records) {
       perf["steps_per_sec_p90"] = json(s.steps_per_sec.p90);
     }
     j["perf"] = std::move(perf);
+  }
+
+  // Observability block (schema v3.2, additive): emitted only for cells
+  // run with observation on, so existing artifacts — and the determinism
+  // goldens — keep their exact shape when tracing is off.
+  if (s.obs.trials > 0) {
+    json ob = json::object();
+    ob["trials"] = json(s.obs.trials);
+    ob["truncated"] = json(s.obs.truncated);
+    json counters = json::object();
+    for (std::size_t i = 0; i < obs::kCounterCount; ++i)
+      counters[obs::to_string(static_cast<obs::counter>(i))] =
+          json(s.obs.counters[i]);
+    ob["counters"] = std::move(counters);
+    json regs = json::object();
+    regs["reads"] = json(s.obs.reg_reads);
+    regs["writes_applied"] = json(s.obs.reg_writes_applied);
+    regs["writes_missed"] = json(s.obs.reg_writes_missed);
+    regs["lost_overwrites"] = json(s.obs.lost_overwrites);
+    ob["registers"] = std::move(regs);
+    json coin = json::object();
+    coin["conciliator_invocations"] = json(s.obs.conciliator_invocations);
+    coin["conciliator_agreed"] = json(s.obs.conciliator_agreed);
+    coin["agreement_rate"] =
+        s.obs.conciliator_invocations
+            ? json(static_cast<double>(s.obs.conciliator_agreed) /
+                   static_cast<double>(s.obs.conciliator_invocations))
+            : json();
+    ob["coin"] = std::move(coin);
+    ob["stages_to_decision"] = to_json(s.obs.stages_to_decision);
+    ob["spans_per_trial"] = to_json(s.obs.spans_per_trial);
+    j["obs"] = std::move(ob);
   }
 
   if (include_records && !s.records.empty()) {

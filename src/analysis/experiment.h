@@ -22,6 +22,7 @@
 // per call).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -44,9 +45,12 @@ namespace modcon::analysis {
 // EXPERIMENTS.md).  Minor 1 (additive, v3.1) added the per-cell "perf"
 // block: per-phase wall-clock totals plus the per-trial steps/sec
 // distribution (analysis/perf.h) — measurement fields, excluded from
-// the determinism contract.
+// the determinism contract.  Minor 2 (additive, v3.2) added the per-cell
+// "obs" block: protocol counters, register-contention statistics, coin
+// agreement, and the stages-to-decision / spans-per-trial distributions,
+// emitted only when the cell ran with observation on (obs/metrics.h).
 inline constexpr int kExperimentSchemaVersion = 3;
-inline constexpr int kExperimentSchemaMinor = 1;
+inline constexpr int kExperimentSchemaMinor = 2;
 inline constexpr const char* kExperimentSchemaName = "modcon-bench";
 
 // Deterministic per-trial seed: SplitMix64 of base_seed ^ trial_index.
@@ -126,6 +130,11 @@ struct trial_grid {
   // Retain per-trial records in the summary (needed for custom joint
   // statistics and the determinism tests; costs memory).
   bool keep_records = false;
+  // Record per-trial observability metrics (obs/metrics.h) and aggregate
+  // them into summary_stats::obs / the schema v3.2 "obs" JSON block.
+  // Span trees are dropped after each trial (only their counts survive);
+  // use run_traced_trial for a single trial with the full tree.
+  bool observe = false;
 };
 
 // Everything measured about one trial.  Fields other than wall_ms and
@@ -214,6 +223,22 @@ struct summary_stats {
   dist_summary steps;
   std::vector<std::pair<std::string, dist_summary>> probes;
 
+  // Observability aggregation (schema v3.2 "obs" block), filled only for
+  // cells run with trial_grid::observe; obs.trials == 0 means absent.
+  struct obs_summary {
+    std::uint64_t trials = 0;     // trials that carried an obs record
+    std::uint64_t truncated = 0;  // trials that hit the span cap
+    std::array<std::uint64_t, obs::kCounterCount> counters{};
+    std::uint64_t reg_reads = 0;
+    std::uint64_t reg_writes_applied = 0;
+    std::uint64_t reg_writes_missed = 0;
+    std::uint64_t lost_overwrites = 0;
+    std::uint64_t conciliator_invocations = 0;
+    std::uint64_t conciliator_agreed = 0;
+    dist_summary stages_to_decision;  // per-trial max over processes
+    dist_summary spans_per_trial;
+  } obs;
+
   double wall_ms = 0.0;  // summed trial wall time (not deterministic)
   // Per-phase wall-clock totals and the per-trial step-rate distribution
   // (steps / step-phase seconds, completed trials only).  Measurements:
@@ -247,6 +272,10 @@ struct experiment_options {
   // 0 = one worker per hardware thread.  Results are identical for every
   // value; only wall-clock changes.
   std::size_t threads = 0;
+  // Live progress on stderr while the grid runs: completed/total trials,
+  // trials/sec, ETA, fault and audit-violation counts.  Reporting only —
+  // results are unaffected.
+  bool progress = false;
 };
 
 // Zeroes every timing measurement in a summary and its retained records
@@ -263,6 +292,12 @@ summary_stats run_experiment(const trial_grid& cell,
 // scheduled together, so short cells do not serialize behind long ones.
 std::vector<summary_stats> run_experiment_grid(
     const std::vector<trial_grid>& grid, const experiment_options& opts = {});
+
+// Runs exactly one trial of `cell` with observation on and the span tree
+// retained (record.result.obs carries the merged forest), for the
+// Perfetto exporter (--trace-out) and the modcon-trace replay app.
+trial_record run_traced_trial(const trial_grid& cell,
+                              std::uint64_t trial_index);
 
 // --- JSON serialization (schema "modcon-bench", version 2) -------------
 // A dist_summary over zero samples serializes its moments and order

@@ -67,10 +67,16 @@ trial_result run_object_trial(const sim_object_builder& build,
                               const trial_options& opts) {
   const std::size_t n = inputs.size();
   phase_timer schedule_timer(opts.perf, perf_phase::schedule);
+  // Declared before the world: coroutine frames destroyed in ~sim_world
+  // still hold span guards, whose close path checks the recorder's sealed
+  // flag — so the recorder must be the longer-lived of the two.
+  std::optional<obs::trial_recorder> obs_rec;
+  if (opts.observe) obs_rec.emplace(n);
   sim::world_options wopts;
-  wopts.trace_enabled = opts.trace || opts.audit.enabled;
+  wopts.trace_enabled = opts.trace || opts.audit.enabled || opts.observe;
   wopts.trace_max_events = opts.audit.max_trace_events;
   wopts.register_faults = opts.faults.registers;
+  wopts.obs = obs_rec ? &*obs_rec : nullptr;
   sim::sim_world world(n, adv, opts.seed, wopts);
 
   auto obj = build(world, n);
@@ -123,6 +129,16 @@ trial_result run_object_trial(const sim_object_builder& build,
                                    make_audit_spec(inputs, opts.faults,
                                                    opts.audit));
   }
+  if (obs_rec) {
+    // Close out spans left open by step-limited or crashed processes at
+    // the final counters, then seal: guards destroyed later (with the
+    // world) become no-ops.
+    for (process_id pid = 0; pid < n; ++pid)
+      obs_rec->force_close(pid, world.steps(), world.ops_of(pid),
+                           world.draws_of(pid));
+    obs_rec->seal();
+    res.obs = obs::finalize_trial(*obs_rec, &world.execution_trace());
+  }
   if (opts.inspect) opts.inspect(world);
   if (opts.inspect_object) opts.inspect_object(world, *obj);
   return res;
@@ -143,10 +159,14 @@ trial_result run_rt_object_trial(const rt_object_builder& build,
                                        : sim::kDefaultMaxTraceEvents);
   }
 
+  std::unique_ptr<obs::trial_recorder> obs_rec;
+  if (opts.observe) obs_rec = std::make_unique<obs::trial_recorder>(n);
+
   rt::rt_run_options ropts;
   ropts.chaos = opts.chaos;
   ropts.watchdog_ms = opts.watchdog_ms;
   ropts.recorder = recorder.get();
+  ropts.obs = obs_rec.get();
   for (const crash_spec& c : opts.faults.crashes)
     ropts.faults.push_back(
         {c.pid, c.after_ops, rt::fault_action::crash, 0});
@@ -201,6 +221,14 @@ trial_result run_rt_object_trial(const rt_object_builder& build,
   res.max_individual_ops = rres.max_individual_ops;
   res.steps = rres.total_ops;
   res.registers = mem.allocated();
+
+  if (obs_rec) {
+    // All coroutine frames unwind before run_threads_opts returns, so
+    // every guard has closed; no trace on this backend, so the
+    // env-counted operation counters stand.
+    obs_rec->seal();
+    res.obs = obs::finalize_trial(*obs_rec, nullptr);
+  }
 
   if (opts.audit.enabled) {
     phase_timer audit_timer(opts.perf, perf_phase::audit);

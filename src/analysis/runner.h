@@ -25,6 +25,7 @@
 #include "analysis/perf.h"
 #include "check/auditor.h"
 #include "core/deciding.h"
+#include "obs/metrics.h"
 #include "rt/env.h"
 #include "rt/runner.h"
 #include "sim/adversary.h"
@@ -147,6 +148,10 @@ struct trial_options {
   run_limits limits;
   fault_plan faults;
   bool trace = false;
+  // Record algorithm-level spans and counters (obs/obs.h) and finalize
+  // them into trial_result::obs.  Forces the execution trace on (register
+  // statistics replay it).
+  bool observe = false;
   audit_options audit;
   // When set, the runner charges its phases (schedule = world/object
   // setup, step = the execution, audit = the property replay) to these
@@ -191,6 +196,9 @@ struct trial_result {
   std::uint32_t registers = 0;
   // Present iff the trial ran with audit_options.enabled.
   std::optional<check::audit_report> audit;
+  // Present iff the trial ran with observe set: spans, counters, and
+  // register statistics (obs/metrics.h).
+  std::optional<obs::trial_obs> obs;
 
   // Every decided value that escaped into the execution, survivors first.
   std::vector<decided> all_outputs() const {
@@ -227,6 +235,9 @@ struct rt_trial_options {
   std::uint32_t chaos = 0;
   fault_plan faults;
   std::uint32_t watchdog_ms = 10'000;
+  // Record spans/counters into trial_result::obs (see trial_options).
+  // Register statistics stay zero on this backend (no global trace).
+  bool observe = false;
   audit_options audit;
   perf_counters* perf = nullptr;  // see trial_options::perf
 };

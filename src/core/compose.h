@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/deciding.h"
+#include "obs/obs.h"
 
 namespace modcon {
 
@@ -81,7 +82,12 @@ class sequence final : public deciding_object<Env> {
     decided d{false, input};
     for (std::size_t i = 0; i < parts_.size(); ++i) {
       value_t carried = d.value;
+      obs::span_scope<Env> sp(env, obs::span_kind::stage,
+                              static_cast<std::uint32_t>(i),
+                              [&] { return parts_[i]->name(); });
       d = co_await parts_[i]->invoke(env, carried);
+      sp.set_outcome(d.decide, d.value);
+      sp.close();
       if (log_ != nullptr)
         log_->append({env.pid(), static_cast<std::uint32_t>(i), carried, d});
       if (d.decide) break;

@@ -18,6 +18,7 @@
 #include "core/deciding.h"
 #include "exec/address_space.h"
 #include "exec/environment.h"
+#include "obs/obs.h"
 
 namespace modcon {
 
@@ -29,12 +30,17 @@ class coin_conciliator final : public deciding_object<Env> {
 
   proc<decided> invoke(Env& env, value_t v) override {
     MODCON_CHECK_MSG(v <= 1, "coin conciliator is binary");
+    obs::span_scope<Env> sp(env, obs::span_kind::conciliator, 0,
+                            [this] { return name(); });
     co_await env.write(v == 0 ? r0_ : r1_, 1);
     word other = co_await env.read(v == 0 ? r1_ : r0_);
     if (other != 0) {
+      obs::count(env, obs::counter::coin_tosses);
       value_t tossed = co_await coin_->toss(env);
+      sp.set_outcome(false, tossed);
       co_return decided{false, tossed};
     }
+    sp.set_outcome(false, v);
     co_return decided{false, v};
   }
 

@@ -12,6 +12,7 @@
 #include "core/deciding.h"
 #include "exec/address_space.h"
 #include "exec/environment.h"
+#include "obs/obs.h"
 #include "util/prob.h"
 
 namespace modcon {
@@ -28,10 +29,19 @@ class fixed_probability_conciliator final : public deciding_object<Env> {
 
   proc<decided> invoke(Env& env, value_t v) override {
     MODCON_CHECK_MSG(v < kBot, "⊥ is not a valid input");
+    obs::span_scope<Env> sp(env, obs::span_kind::conciliator, 0,
+                            std::string_view("fixed-prob-first-mover"));
     const prob p(num_, den_per_n_ * static_cast<std::uint64_t>(env.n()));
+    bool first_read = true;
     for (;;) {
       word u = co_await env.read(r_);
-      if (u != kBot) co_return decided{false, u};
+      if (u != kBot) {
+        if (first_read) obs::count(env, obs::counter::first_mover_wins);
+        sp.set_outcome(false, u);
+        co_return decided{false, u};
+      }
+      first_read = false;
+      obs::count(env, obs::counter::conciliator_attempts);
       co_await env.prob_write(r_, v, p);
     }
   }

@@ -20,6 +20,7 @@
 #include "core/deciding.h"
 #include "exec/address_space.h"
 #include "exec/environment.h"
+#include "obs/obs.h"
 #include "util/prob.h"
 
 namespace modcon {
@@ -132,15 +133,27 @@ class impatient_conciliator final : public deciding_object<Env> {
 
   proc<decided> invoke(Env& env, value_t v) override {
     MODCON_CHECK_MSG(v < kBot, "⊥ is not a valid input");
+    obs::span_scope<Env> sp(env, obs::span_kind::conciliator, 0,
+                            std::string_view("impatient-first-mover"));
     const auto n = static_cast<std::uint64_t>(env.n());
     impatience_schedule::stepper ps(schedule_, n);
+    bool first_read = true;
     for (;;) {
       word u = co_await env.read(r_);
-      if (u != kBot) co_return decided{false, u};
+      if (u != kBot) {
+        if (first_read) obs::count(env, obs::counter::first_mover_wins);
+        sp.set_outcome(false, u);
+        co_return decided{false, u};
+      }
+      first_read = false;
       prob p = ps.next();  // == schedule_.probability(k, n) at attempt k
+      obs::count(env, obs::counter::conciliator_attempts);
       if (detect_success_) {
         bool applied = co_await env.prob_write_detect(r_, v, p);
-        if (applied) co_return decided{false, v};
+        if (applied) {
+          sp.set_outcome(false, v);
+          co_return decided{false, v};
+        }
       } else {
         co_await env.prob_write(r_, v, p);
       }

@@ -23,6 +23,7 @@
 #include "core/compose.h"
 #include "core/consensus/unbounded.h"
 #include "core/deciding.h"
+#include "obs/obs.h"
 
 namespace modcon {
 
@@ -47,7 +48,13 @@ class bounded_consensus final : public deciding_object<Env> {
     decided d = co_await prefix_.invoke(env, input);
     if (!d.decide) {
       fallback_entries_.fetch_add(1, std::memory_order_relaxed);
+      obs::count(env, obs::counter::fallback_entries);
+      obs::span_scope<Env> sp(
+          env, obs::span_kind::fallback,
+          static_cast<std::uint32_t>(2 + 2 * rounds_),
+          [this] { return fallback_->name(); });
       d = co_await fallback_->invoke(env, d.value);
+      sp.set_outcome(d.decide, d.value);
       MODCON_CHECK_MSG(d.decide, "fallback K failed to decide");
     }
     co_return d;

@@ -18,6 +18,7 @@
 
 #include "core/consensus/unbounded.h"
 #include "core/deciding.h"
+#include "obs/obs.h"
 
 namespace modcon {
 
@@ -35,7 +36,13 @@ class ratifier_only_consensus final : public deciding_object<Env> {
       MODCON_CHECK_MSG(i < max_rounds_,
                        "ratifier-only ladder exceeded " << max_rounds_
                            << " rounds; the scheduler is too adversarial");
-      d = co_await part(i)->invoke(env, d.value);
+      deciding_object<Env>* p = part(i);
+      obs::span_scope<Env> sp(env, obs::span_kind::round,
+                              static_cast<std::uint32_t>(i),
+                              [p] { return p->name(); });
+      d = co_await p->invoke(env, d.value);
+      sp.set_outcome(d.decide, d.value);
+      sp.close();
       ++i;
     }
     co_return d;

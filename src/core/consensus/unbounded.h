@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/deciding.h"
+#include "obs/obs.h"
 
 namespace modcon {
 
@@ -51,7 +52,13 @@ class unbounded_consensus final : public deciding_object<Env> {
     decided d{false, input};
     std::size_t i = 0;
     while (!d.decide) {
-      d = co_await part(i)->invoke(env, d.value);
+      deciding_object<Env>* p = part(i);
+      obs::span_scope<Env> sp(env, obs::span_kind::round,
+                              static_cast<std::uint32_t>(i),
+                              [p] { return p->name(); });
+      d = co_await p->invoke(env, d.value);
+      sp.set_outcome(d.decide, d.value);
+      sp.close();
       ++i;
     }
     co_return d;

@@ -22,6 +22,7 @@
 
 #include "core/types.h"
 #include "exec/proc.h"
+#include "obs/obs.h"
 
 namespace modcon {
 
@@ -43,7 +44,13 @@ class deciding_object {
 // when the closure object dies (CppCoreGuidelines CP.51).
 template <typename Env>
 proc<word> invoke_encoded(deciding_object<Env>& obj, Env& env, value_t v) {
+  // The root of the trial's span tree (obs/obs.h): every shared-memory
+  // operation of this process happens inside it, and the stage/round
+  // spans the object opens become its direct children.
+  obs::span_scope<Env> sp(env, obs::span_kind::object, 0,
+                          [&obj] { return obj.name(); });
   decided d = co_await obj.invoke(env, v);
+  sp.set_outcome(d.decide, d.value);
   co_return encode_decided(d);
 }
 

@@ -13,6 +13,7 @@
 #include "core/deciding.h"
 #include "exec/address_space.h"
 #include "exec/environment.h"
+#include "obs/obs.h"
 
 namespace modcon {
 
@@ -27,6 +28,8 @@ class cheap_collect_ratifier final : public deciding_object<Env> {
   proc<decided> invoke(Env& env, value_t v) override {
     MODCON_CHECK_MSG(v < kBot, "⊥ is not a valid input");
     MODCON_CHECK_MSG(env.n() == n_, "ratifier sized for a different n");
+    obs::span_scope<Env> sp(env, obs::span_kind::ratifier, 0,
+                            std::string_view("ratifier[cheap-collect]"));
     co_await env.write(announce_ + env.pid(), v);
 
     word u = co_await env.read(proposal_);
@@ -40,8 +43,14 @@ class cheap_collect_ratifier final : public deciding_object<Env> {
 
     auto announced = co_await env.collect(announce_, n_);
     for (word a : announced) {
-      if (a != kBot && a != preference) co_return decided{false, preference};
+      if (a != kBot && a != preference) {
+        obs::count(env, obs::counter::adopted);
+        sp.set_outcome(false, preference);
+        co_return decided{false, preference};
+      }
     }
+    obs::count(env, obs::counter::ratified);
+    sp.set_outcome(true, preference);
     co_return decided{true, preference};
   }
 

@@ -15,6 +15,7 @@
 #include "core/deciding.h"
 #include "exec/address_space.h"
 #include "exec/environment.h"
+#include "obs/obs.h"
 
 namespace modcon {
 
@@ -29,6 +30,8 @@ class collect_ratifier final : public deciding_object<Env> {
   proc<decided> invoke(Env& env, value_t v) override {
     MODCON_CHECK_MSG(v < kBot, "⊥ is not a valid input");
     MODCON_CHECK_MSG(env.n() == n_, "ratifier sized for a different n");
+    obs::span_scope<Env> sp(env, obs::span_kind::ratifier, 0,
+                            std::string_view("ratifier[collect]"));
     co_await env.write(announce_ + env.pid(), v);
 
     word u = co_await env.read(proposal_);
@@ -43,8 +46,14 @@ class collect_ratifier final : public deciding_object<Env> {
     // Read quorum: every announce register, one read at a time.
     for (std::uint32_t i = 0; i < n_; ++i) {
       word a = co_await env.read(announce_ + i);
-      if (a != kBot && a != preference) co_return decided{false, preference};
+      if (a != kBot && a != preference) {
+        obs::count(env, obs::counter::adopted);
+        sp.set_outcome(false, preference);
+        co_return decided{false, preference};
+      }
     }
+    obs::count(env, obs::counter::ratified);
+    sp.set_outcome(true, preference);
     co_return decided{true, preference};
   }
 

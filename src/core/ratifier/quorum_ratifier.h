@@ -24,6 +24,7 @@
 #include "core/deciding.h"
 #include "exec/address_space.h"
 #include "exec/environment.h"
+#include "obs/obs.h"
 #include "quorum/quorum_system.h"
 
 namespace modcon {
@@ -59,6 +60,8 @@ class quorum_ratifier final : public deciding_object<Env> {
   proc<decided> invoke(Env& env, value_t v) override {
     MODCON_CHECK_MSG(v < max_values_,
                      "input " << v << " outside Σ (m=" << max_values_ << ")");
+    obs::span_scope<Env> sp(env, obs::span_kind::ratifier, 0,
+                            [this] { return name(); });
     std::vector<std::uint32_t> scratch;
 
     // Announce v.
@@ -78,9 +81,14 @@ class quorum_ratifier final : public deciding_object<Env> {
     // Ratify only if no conflicting value has been announced.
     for (std::uint32_t i :
          quorum(2 * static_cast<std::size_t>(preference) + 1, scratch)) {
-      if (co_await env.read(base_ + i) != 0)
+      if (co_await env.read(base_ + i) != 0) {
+        obs::count(env, obs::counter::adopted);
+        sp.set_outcome(false, preference);
         co_return decided{false, preference};
+      }
     }
+    obs::count(env, obs::counter::ratified);
+    sp.set_outcome(true, preference);
     co_return decided{true, preference};
   }
 

@@ -1,0 +1,168 @@
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace modcon::obs {
+namespace {
+
+// Replays the execution trace through a small per-register state machine:
+// exact memory-operation counts plus the contention picture (who wrote
+// over whom before anyone looked).
+void derive_register_stats(const sim::trace& t, trial_obs& out) {
+  struct reg_state {
+    process_id last_writer = kInvalidProcess;
+    std::uint64_t writes = 0;
+    bool unread_write = false;  // last applied write not yet observed
+    bool touched = false;
+  };
+  std::vector<reg_state> regs;
+  auto at = [&regs](reg_id r) -> reg_state& {
+    if (r >= regs.size()) regs.resize(static_cast<std::size_t>(r) + 1);
+    return regs[r];
+  };
+
+  std::uint64_t reads = 0, writes_applied = 0, writes_missed = 0,
+                collects = 0, cell_reads = 0, lost = 0;
+  for (std::uint64_t i = 0; i < t.size(); ++i) {
+    const sim::trace_event e = t.event(i);
+    switch (e.kind) {
+      case op_kind::read: {
+        ++reads;
+        ++cell_reads;
+        reg_state& s = at(e.reg);
+        s.touched = true;
+        s.unread_write = false;
+        break;
+      }
+      case op_kind::write: {
+        if (!e.applied) {
+          ++writes_missed;
+          break;
+        }
+        ++writes_applied;
+        reg_state& s = at(e.reg);
+        if (s.unread_write && s.last_writer != e.pid) ++lost;
+        s.last_writer = e.pid;
+        s.unread_write = true;
+        s.touched = true;
+        ++s.writes;
+        break;
+      }
+      case op_kind::collect: {
+        ++collects;
+        const std::size_t span_len = t.collect_values(i).size();
+        cell_reads += span_len;
+        for (std::size_t c = 0; c < span_len; ++c) {
+          reg_state& s = at(e.reg + static_cast<reg_id>(c));
+          s.touched = true;
+          s.unread_write = false;
+        }
+        break;
+      }
+    }
+  }
+
+  out.counters[static_cast<std::size_t>(counter::reads)] = reads;
+  out.counters[static_cast<std::size_t>(counter::writes)] = writes_applied;
+  out.counters[static_cast<std::size_t>(counter::prob_write_misses)] =
+      writes_missed;
+  out.counters[static_cast<std::size_t>(counter::collects)] = collects;
+
+  out.regs.reads = cell_reads;
+  out.regs.writes_applied = writes_applied;
+  out.regs.writes_missed = writes_missed;
+  out.regs.lost_overwrites = lost;
+  for (reg_id r = 0; r < regs.size(); ++r) {
+    if (regs[r].touched) ++out.regs.registers_touched;
+    if (regs[r].writes > out.regs.max_writes_one_reg) {
+      out.regs.max_writes_one_reg = regs[r].writes;
+      out.regs.hottest_reg = r;
+    }
+  }
+}
+
+}  // namespace
+
+trial_obs finalize_trial(const trial_recorder& rec, const sim::trace* t) {
+  trial_obs out;
+  const std::size_t n = rec.n();
+  out.n = static_cast<std::uint32_t>(n);
+  out.truncated = rec.truncated_any();
+  out.names = rec.names();
+  out.stages_to_decision.assign(n, 0);
+
+  // Merge per-pid buffers into one forest with globally unique ids.
+  std::size_t total = 0;
+  for (process_id pid = 0; pid < n; ++pid) total += rec.spans_of(pid).size();
+  out.spans.reserve(total);
+  out.span_count = total;
+
+  std::uint32_t offset = 0;
+  for (process_id pid = 0; pid < n; ++pid) {
+    const std::vector<span>& src = rec.spans_of(pid);
+    std::uint32_t object_slot = kNoSpan;
+    std::uint64_t stages = 0, roots = 0;
+    for (const span& s : src) {
+      span m = s;
+      m.id += offset;
+      if (m.parent != kNoSpan) m.parent += offset;
+      out.spans.push_back(m);
+      if (s.depth == 0) {
+        ++roots;
+        if (object_slot == kNoSpan && s.kind == span_kind::object)
+          object_slot = s.id;
+      }
+    }
+    // Stages to decision: direct children of the object span, or the
+    // number of root spans when no object span wrapped the trial.
+    if (object_slot != kNoSpan) {
+      for (const span& s : src)
+        if (s.parent == object_slot) ++stages;
+    } else {
+      stages = roots;
+    }
+    out.stages_to_decision[pid] = stages;
+
+    const std::array<std::uint64_t, kCounterCount>& c = rec.counters_of(pid);
+    for (std::size_t i = 0; i < kCounterCount; ++i) out.counters[i] += c[i];
+    offset += static_cast<std::uint32_t>(src.size());
+  }
+
+  // Coin agreement: conciliator spans at the same position of the
+  // composition (same parent index, same own index) are one logical
+  // invocation; it "agreed" when every participating process came away
+  // with the same value.
+  struct group {
+    std::uint64_t participants = 0;
+    word value = 0;
+    bool agreed = true;
+  };
+  std::unordered_map<std::uint64_t, group> groups;
+  for (const span& s : out.spans) {
+    if (s.kind != span_kind::conciliator || !s.has_outcome) continue;
+    const std::uint32_t parent_index =
+        s.parent != kNoSpan ? out.spans[s.parent].index : 0xffffffffU;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(parent_index) << 32) | s.index;
+    group& g = groups[key];
+    if (g.participants == 0)
+      g.value = s.outcome_value;
+    else if (g.value != s.outcome_value)
+      g.agreed = false;
+    ++g.participants;
+  }
+  for (const auto& [key, g] : groups) {
+    (void)key;
+    ++out.conciliator_invocations;
+    if (g.agreed) ++out.conciliator_agreed;
+  }
+
+  if (t != nullptr) derive_register_stats(*t, out);
+  return out;
+}
+
+}  // namespace modcon::obs

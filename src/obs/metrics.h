@@ -1,0 +1,85 @@
+// Trial-level metric finalization.
+//
+// After a trial completes, the runner turns the raw trial_recorder —
+// per-pid span buffers and counters — into one `trial_obs`: a merged,
+// globally-id'd span forest, the summed counter set, register-contention
+// statistics, and the derived protocol metrics the experiment layer
+// aggregates (stages-to-decision, conciliator coin agreement).
+//
+// Register statistics come from the sim backend's execution trace, not
+// from per-operation hooks: observing a trial force-enables the trace and
+// `finalize_trial` replays it once at the end, so the hot execute loop
+// stays untouched.  The rt backend has no global trace; there the
+// operation counters the instrumented slow path accumulated stand in, and
+// the per-register fields stay zero.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/types.h"
+#include "obs/obs.h"
+
+namespace modcon::sim {
+class trace;
+}  // namespace modcon::sim
+
+namespace modcon::obs {
+
+// Contention picture of one trial's register file (sim backend only).
+struct register_stats {
+  std::uint64_t reads = 0;           // per-cell read touches (collects
+                                     // count once per cell observed)
+  std::uint64_t writes_applied = 0;  // writes that took effect
+  std::uint64_t writes_missed = 0;   // probabilistic/faulted writes that
+                                     // did not
+  std::uint64_t lost_overwrites = 0;  // applied writes that clobbered
+                                      // another process's applied write
+                                      // before anyone read it
+  std::uint64_t registers_touched = 0;
+  std::uint64_t max_writes_one_reg = 0;
+  reg_id hottest_reg = kInvalidReg;
+};
+
+// Everything observability knows about one finished trial.
+struct trial_obs {
+  std::uint32_t n = 0;
+  bool truncated = false;  // some pid hit the span cap
+  std::array<std::uint64_t, kCounterCount> counters{};
+  register_stats regs;
+
+  // Merged span forest (globally unique ids, `parent` re-pointed), plus
+  // the shared name table.  Dropped for bulk experiment trials
+  // (drop_spans) — only single-trial tracing keeps them.
+  std::vector<span> spans;
+  std::vector<std::string> names;
+  std::uint64_t span_count = 0;  // survives drop_spans
+
+  // Depth-1 stage/round spans each process opened before its object span
+  // closed — the per-process "stages to decision" of Theorem 5.
+  std::vector<std::uint64_t> stages_to_decision;  // indexed by pid
+
+  // Coin agreement: of the conciliator invocations in which more than one
+  // process recorded an outcome, how many ended with every participant
+  // holding the same value (the conciliator's agreement event).
+  std::uint64_t conciliator_invocations = 0;
+  std::uint64_t conciliator_agreed = 0;
+
+  void drop_spans() {
+    spans.clear();
+    spans.shrink_to_fit();
+    names.clear();
+    names.shrink_to_fit();
+  }
+};
+
+// Merges the recorder's per-pid buffers and derives the metrics above.
+// `t` is the trial's execution trace when the sim backend ran it (used
+// for register statistics and the memory-operation counters); pass
+// nullptr on the rt backend to keep the env-counted values.
+trial_obs finalize_trial(const trial_recorder& rec,
+                         const sim::trace* t = nullptr);
+
+}  // namespace modcon::obs

@@ -1,0 +1,395 @@
+// Protocol-level observability: stage spans and metric counters.
+//
+// The paper's cost theorems are *decompositions* — consensus runs in
+// expected O(T(C) + T(R)) individual work (Theorem 5), so understanding a
+// run means knowing where steps were spent per composed stage
+// (R₋₁; R₀; C₁; R₁; …).  This header provides the recording half of that
+// story: a `trial_recorder` collects, per process, a tree of spans
+// (object → stage/round → conciliator/ratifier) plus a fixed set of
+// protocol counters, and the algorithm headers open spans through the
+// RAII `span_scope` guard.
+//
+// Zero overhead when disabled, at two levels:
+//   * runtime gate — an environment without an attached recorder
+//     (`env.obs() == nullptr`, the default) reduces every guard to one
+//     pointer test; `obs::count` likewise.  Environments that do not
+//     model observability at all (no `obs()` member) compile the guards
+//     away entirely via `if constexpr`.
+//   * compile-time gate — defining MODCON_OBS_DISABLED strips every span
+//     and counter from every environment, for builds that want the
+//     instrumentation provably absent.
+// The hot execution paths (sim_world::execute, the rt fast path) are not
+// touched by this layer at all: register-level statistics are derived
+// from the existing execution traces after the run (obs/metrics.h), not
+// sampled per operation.
+//
+// Thread-safety: span and counter storage is per process (one recording
+// thread per pid on the rt backend; the sim backend is single-threaded),
+// padded to cache lines so recording threads do not false-share.  The
+// only cross-process state is the name-intern table (mutex, cold: once
+// per span open) and the timeline tick (one relaxed fetch_add per rt
+// span boundary).
+//
+// Lifetime: the recorder must outlive the world/threads that record into
+// it.  Coroutine frames holding open `span_scope` guards can be destroyed
+// *after* the run finishes (the sim world tears parked frames down in its
+// destructor); the runner seals the recorder first, and a guard whose
+// recorder is sealed skips its close instead of touching the
+// half-destroyed environment.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "exec/types.h"
+
+namespace modcon::obs {
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+enum class span_kind : std::uint8_t {
+  object,       // one whole deciding-object invocation
+  stage,        // one stage of a sequence composition (compose.h)
+  round,        // one rung of the unbounded / ratifier-only ladder
+  conciliator,  // one conciliator invocation
+  ratifier,     // one ratifier invocation
+  fallback,     // the bounded construction's fallback K
+};
+
+inline const char* to_string(span_kind k) {
+  switch (k) {
+    case span_kind::object: return "object";
+    case span_kind::stage: return "stage";
+    case span_kind::round: return "round";
+    case span_kind::conciliator: return "conciliator";
+    case span_kind::ratifier: return "ratifier";
+    case span_kind::fallback: return "fallback";
+  }
+  return "?";
+}
+
+inline constexpr std::uint32_t kNoSpan = 0xffffffffU;
+
+// One recorded interval of one process's execution.  Timestamps are
+// backend timeline ticks (sim: the global step counter; rt: draws from a
+// shared atomic sequence), op counts are the per-process individual-work
+// counter, draws are the process's local-RNG draw counter — so
+// `ops_end - ops_begin` is exactly the §2 individual work charged inside
+// the span.
+struct span {
+  std::uint32_t id = kNoSpan;      // per-pid slot; globally re-id'd on merge
+  std::uint32_t parent = kNoSpan;  // enclosing span (same pid), kNoSpan = root
+  std::uint32_t index = 0;         // stage/round number within the parent
+  std::uint32_t name = 0;          // interned name id
+  process_id pid = 0;
+  span_kind kind = span_kind::object;
+  std::uint16_t depth = 0;  // 0 = root
+  std::uint64_t t_begin = 0;
+  std::uint64_t t_end = 0;
+  std::uint64_t ops_begin = 0;
+  std::uint64_t ops_end = 0;
+  std::uint64_t draws_begin = 0;
+  std::uint64_t draws_end = 0;
+  word outcome_value = 0;
+  bool outcome_decide = false;
+  bool has_outcome = false;
+  bool closed = false;
+
+  std::uint64_t ops() const { return ops_end - ops_begin; }
+  std::uint64_t draws() const { return draws_end - draws_begin; }
+};
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+// Fixed per-process counter set.  The memory-operation counters
+// (reads … collects) are derived from the execution trace on the sim
+// backend (obs/metrics.h) and counted in the instrumented slow path on
+// the rt backend; the protocol counters are bumped by the algorithm
+// headers through obs::count.
+enum class counter : std::uint8_t {
+  reads,              // read operations
+  writes,             // applied write operations
+  prob_writes,        // probabilistic writes with a nontrivial coin
+  prob_write_misses,  // writes that did not apply (coin miss or injected
+                      // omission fault)
+  collects,           // collect operations (cheap-collect model)
+  conciliator_attempts,  // write attempts inside a conciliator loop
+  first_mover_wins,      // conciliator invocations that adopted an
+                         // existing value on their very first read
+  coin_tosses,           // coin-conciliator invocations that fell through
+                         // to the shared coin
+  ratified,              // ratifier invocations returning decide = 1
+  adopted,               // ratifier invocations returning decide = 0
+  fallback_entries,      // bounded-consensus invocations that reached K
+};
+
+inline constexpr std::size_t kCounterCount = 11;
+
+inline const char* to_string(counter c) {
+  switch (c) {
+    case counter::reads: return "reads";
+    case counter::writes: return "writes";
+    case counter::prob_writes: return "prob_writes";
+    case counter::prob_write_misses: return "prob_write_misses";
+    case counter::collects: return "collects";
+    case counter::conciliator_attempts: return "conciliator_attempts";
+    case counter::first_mover_wins: return "first_mover_wins";
+    case counter::coin_tosses: return "coin_tosses";
+    case counter::ratified: return "ratified";
+    case counter::adopted: return "adopted";
+    case counter::fallback_entries: return "fallback_entries";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------
+// trial_recorder
+// ---------------------------------------------------------------------
+
+// Per-pid span cap: a trial that outgrows it sets truncated() instead of
+// growing without bound, mirroring the execution-trace event cap.
+inline constexpr std::size_t kDefaultMaxSpansPerProc = 65'536;
+
+class trial_recorder {
+ public:
+  explicit trial_recorder(std::size_t n,
+                          std::size_t max_spans_per_proc =
+                              kDefaultMaxSpansPerProc)
+      : bufs_(n), max_spans_(max_spans_per_proc) {}
+
+  trial_recorder(const trial_recorder&) = delete;
+  trial_recorder& operator=(const trial_recorder&) = delete;
+
+  std::size_t n() const { return bufs_.size(); }
+
+  // Timeline tick for backends without a global step counter (rt): each
+  // call returns a fresh, monotonically increasing stamp.
+  std::uint64_t tick() {
+    return tick_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Interns a span name; cold (once per span open, not per operation).
+  std::uint32_t intern(std::string_view name) {
+    std::lock_guard<std::mutex> lock(names_mu_);
+    for (std::size_t i = 0; i < names_.size(); ++i)
+      if (names_[i] == name) return static_cast<std::uint32_t>(i);
+    names_.emplace_back(name);
+    return static_cast<std::uint32_t>(names_.size() - 1);
+  }
+
+  // Opens a span for `pid` nested under its innermost open span.
+  // Returns the per-pid slot, or kNoSpan once the pid's buffer is full
+  // (the trial is then reported truncated and further opens are dropped).
+  std::uint32_t open_span(process_id pid, span_kind k, std::uint32_t index,
+                          std::uint32_t name_id, std::uint64_t now,
+                          std::uint64_t ops, std::uint64_t draws) {
+    proc_buf& b = bufs_[pid];
+    if (b.spans.size() >= max_spans_) {
+      b.truncated = true;
+      return kNoSpan;
+    }
+    span s;
+    s.id = static_cast<std::uint32_t>(b.spans.size());
+    s.parent = b.open.empty() ? kNoSpan : b.open.back();
+    s.index = index;
+    s.name = name_id;
+    s.pid = pid;
+    s.kind = k;
+    s.depth = static_cast<std::uint16_t>(b.open.size());
+    s.t_begin = now;
+    s.ops_begin = ops;
+    s.draws_begin = draws;
+    b.open.push_back(s.id);
+    b.spans.push_back(s);
+    return s.id;
+  }
+
+  // Closes `slot`, and — defensively — any child span still open above it
+  // (a coroutine frame unwound out of order closes inner spans at its own
+  // boundary rather than leaving them dangling).
+  void close_span(process_id pid, std::uint32_t slot, std::uint64_t now,
+                  std::uint64_t ops, std::uint64_t draws) {
+    if (slot == kNoSpan) return;
+    proc_buf& b = bufs_[pid];
+    while (!b.open.empty()) {
+      const std::uint32_t top = b.open.back();
+      b.open.pop_back();
+      span& s = b.spans[top];
+      if (!s.closed) {
+        s.t_end = now;
+        s.ops_end = ops;
+        s.draws_end = draws;
+        s.closed = true;
+      }
+      if (top == slot) return;
+    }
+  }
+
+  void set_outcome(process_id pid, std::uint32_t slot, bool decide,
+                   word value) {
+    if (slot == kNoSpan) return;
+    span& s = bufs_[pid].spans[slot];
+    s.has_outcome = true;
+    s.outcome_decide = decide;
+    s.outcome_value = value;
+  }
+
+  void count(process_id pid, counter c, std::uint64_t delta = 1) {
+    bufs_[pid].counters[static_cast<std::size_t>(c)] += delta;
+  }
+
+  // Closes every span still open for `pid` (a step-limited or faulted
+  // process parks mid-protocol with its guards alive).  The runner calls
+  // this with the world's final step/op/draw counts before sealing.
+  void force_close(process_id pid, std::uint64_t now, std::uint64_t ops,
+                   std::uint64_t draws) {
+    proc_buf& b = bufs_[pid];
+    while (!b.open.empty()) {
+      span& s = b.spans[b.open.back()];
+      b.open.pop_back();
+      if (s.closed) continue;
+      s.t_end = now;
+      s.ops_end = ops;
+      s.draws_end = draws;
+      s.closed = true;
+    }
+  }
+
+  // After seal(), guards in coroutine frames destroyed late (world
+  // teardown) skip their close instead of sampling a dying environment.
+  void seal() { sealed_.store(true, std::memory_order_release); }
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
+
+  // --- read access for finalize (obs/metrics.h) ---
+  const std::vector<span>& spans_of(process_id pid) const {
+    return bufs_[pid].spans;
+  }
+  const std::array<std::uint64_t, kCounterCount>& counters_of(
+      process_id pid) const {
+    return bufs_[pid].counters;
+  }
+  bool truncated(process_id pid) const { return bufs_[pid].truncated; }
+  bool truncated_any() const {
+    for (const proc_buf& b : bufs_)
+      if (b.truncated) return true;
+    return false;
+  }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  // One recording thread per entry; aligned so neighboring buffers never
+  // share a cache line.
+  struct alignas(64) proc_buf {
+    std::vector<span> spans;
+    std::vector<std::uint32_t> open;  // stack of open span slots
+    std::array<std::uint64_t, kCounterCount> counters{};
+    bool truncated = false;
+  };
+
+  std::vector<proc_buf> bufs_;
+  std::size_t max_spans_;
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<bool> sealed_{false};
+  std::mutex names_mu_;
+  std::vector<std::string> names_;
+};
+
+// ---------------------------------------------------------------------
+// Environment hooks
+// ---------------------------------------------------------------------
+
+// An environment participates in observability by exposing:
+//   obs()       -> trial_recorder* (nullptr = off)
+//   obs_now()   -> timeline tick
+//   obs_ops()   -> its process's individual-work counter
+//   obs_draws() -> its process's local-RNG draw counter
+// Environments without these members (custom test harness envs) compile
+// every guard below to nothing.
+template <typename Env>
+inline constexpr bool has_obs_v =
+#ifdef MODCON_OBS_DISABLED
+    false;
+#else
+    requires(Env& e) {
+      e.obs();
+      e.obs_now();
+      e.obs_ops();
+      e.obs_draws();
+    };
+#endif
+
+// Bumps a protocol counter; one pointer test when a recorder could be
+// attached, nothing at all otherwise.
+template <typename Env>
+inline void count(Env& env, counter c, std::uint64_t delta = 1) {
+  if constexpr (has_obs_v<Env>) {
+    if (trial_recorder* rec = env.obs()) rec->count(env.pid(), c, delta);
+  }
+}
+
+// RAII span guard.  Construct with a literal name, or with a nullary
+// callable evaluated only when a recorder is attached (so e.g. a stage's
+// virtual name() is never called on the un-observed path).
+template <typename Env>
+class span_scope {
+ public:
+  span_scope(Env& env, span_kind k, std::uint32_t index,
+             std::string_view name)
+      : span_scope(env, k, index, [name] { return name; }) {}
+
+  template <typename NameFn>
+    requires std::is_invocable_v<NameFn&>
+  span_scope(Env& env, span_kind k, std::uint32_t index, NameFn&& name) {
+    if constexpr (has_obs_v<Env>) {
+      trial_recorder* rec = env.obs();
+      if (rec == nullptr || rec->sealed()) return;
+      rec_ = rec;
+      env_ = &env;
+      pid_ = env.pid();
+      slot_ = rec->open_span(pid_, k, index, rec->intern(name()),
+                             env.obs_now(), env.obs_ops(), env.obs_draws());
+    }
+  }
+
+  span_scope(const span_scope&) = delete;
+  span_scope& operator=(const span_scope&) = delete;
+
+  ~span_scope() { close(); }
+
+  void set_outcome(bool decide, word value) {
+    if constexpr (has_obs_v<Env>) {
+      if (rec_ != nullptr && !rec_->sealed())
+        rec_->set_outcome(pid_, slot_, decide, value);
+    }
+  }
+
+  // Idempotent early close (tightens a span to less than full scope).
+  void close() {
+    if constexpr (has_obs_v<Env>) {
+      trial_recorder* rec = rec_;
+      if (rec == nullptr) return;
+      rec_ = nullptr;
+      if (rec->sealed()) return;  // environment may already be dying
+      rec->close_span(pid_, slot_, env_->obs_now(), env_->obs_ops(),
+                      env_->obs_draws());
+    }
+  }
+
+ private:
+  trial_recorder* rec_ = nullptr;
+  Env* env_ = nullptr;
+  process_id pid_ = 0;
+  std::uint32_t slot_ = kNoSpan;
+};
+
+}  // namespace modcon::obs

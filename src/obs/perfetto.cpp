@@ -1,0 +1,99 @@
+#include "obs/perfetto.h"
+
+#include <cstdint>
+#include <ostream>
+#include <set>
+#include <string_view>
+
+#include "obs/obs.h"
+
+namespace modcon::obs {
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(ch >> 4) & 0xf] << hex[ch & 0xf];
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_perfetto(std::ostream& os, const trial_obs& obs,
+                    const perfetto_meta& meta) {
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {\n";
+  os << "    \"label\": ";
+  write_escaped(os, meta.label);
+  os << ",\n    \"backend\": ";
+  write_escaped(os, meta.backend);
+  os << ",\n    \"seed\": " << meta.seed << ",\n    \"n\": " << meta.n
+     << ",\n    \"steps\": " << meta.steps
+     << ",\n    \"spans\": " << obs.span_count << ",\n    \"truncated\": "
+     << (obs.truncated ? "true" : "false") << "\n  },\n";
+  os << "  \"traceEvents\": [\n";
+
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Track metadata: one process row holding one thread per pid.
+  sep();
+  os << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+        "\"tid\": 0, \"args\": {\"name\": ";
+  write_escaped(os, meta.label.empty() ? std::string("modcon trial")
+                                       : meta.label);
+  os << "}}";
+  std::set<process_id> pids;
+  for (const span& s : obs.spans) pids.insert(s.pid);
+  for (const process_id pid : pids) {
+    sep();
+    os << "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+          "\"tid\": "
+       << pid << ", \"args\": {\"name\": \"proc " << pid << "\"}}";
+  }
+
+  for (const span& s : obs.spans) {
+    sep();
+    os << "    {\"name\": ";
+    if (s.name < obs.names.size())
+      write_escaped(os, obs.names[s.name]);
+    else
+      write_escaped(os, "span");
+    os << ", \"cat\": ";
+    write_escaped(os, to_string(s.kind));
+    // Perfetto needs dur >= 1 to render a visible slice; a span that
+    // opened and closed on the same tick still covers its operations.
+    const std::uint64_t dur = s.t_end > s.t_begin ? s.t_end - s.t_begin : 1;
+    os << ", \"ph\": \"X\", \"ts\": " << s.t_begin << ", \"dur\": " << dur
+       << ", \"pid\": 0, \"tid\": " << s.pid << ", \"args\": {\"ops\": "
+       << s.ops() << ", \"draws\": " << s.draws()
+       << ", \"index\": " << s.index << ", \"depth\": " << s.depth;
+    if (s.has_outcome) {
+      os << ", \"outcome\": ";
+      write_escaped(os, s.outcome_decide ? "decide" : "adopt");
+      os << ", \"value\": " << s.outcome_value;
+    }
+    if (!s.closed) os << ", \"unclosed\": true";
+    os << "}}";
+  }
+
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace modcon::obs

@@ -1,0 +1,35 @@
+// Chrome/Perfetto trace_event exporter.
+//
+// Serializes one trial's merged span forest (obs/metrics.h) as a JSON
+// object in the Trace Event Format — loadable at ui.perfetto.dev ("Open
+// trace file") or chrome://tracing.  Each process becomes a named track
+// (tid = pid); each span becomes a complete ("X") event whose timestamps
+// are backend timeline ticks (sim: adversary steps) and whose args carry
+// the span's op/draw deltas, nesting depth, and decide/adopt outcome.
+//
+// JSON is emitted by hand here rather than through analysis::json: the
+// analysis library links against this one, so obs cannot depend back on
+// it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace modcon::obs {
+
+// Trial identification stamped into the trace's otherData block.
+struct perfetto_meta {
+  std::string label;
+  std::string backend = "sim";
+  std::uint64_t seed = 0;
+  std::uint64_t n = 0;
+  std::uint64_t steps = 0;
+};
+
+void write_perfetto(std::ostream& os, const trial_obs& obs,
+                    const perfetto_meta& meta);
+
+}  // namespace modcon::obs

@@ -21,6 +21,7 @@
 
 #include "exec/environment.h"
 #include "exec/types.h"
+#include "obs/obs.h"
 #include "rt/arena.h"
 #include "util/chunk_pool.h"
 #include "util/prob.h"
@@ -244,11 +245,13 @@ class rt_env {
   // mode recovers adversarial-ish schedules for stress tests.
   // `board`, when non-null, makes every operation a cooperative fault
   // point (see rt_fault_board above); `recorder`, when non-null, records
-  // every operation with its global-sequence interval.  Both must outlive
-  // the env.
+  // every operation with its global-sequence interval; `obs`, when
+  // non-null, receives algorithm-level spans and counters (obs/obs.h).
+  // All three must outlive the env.
   rt_env(arena& mem, process_id pid, std::size_t n, rng r,
          std::uint32_t chaos = 0, rt_fault_board* board = nullptr,
-         rt_trace_recorder* recorder = nullptr)
+         rt_trace_recorder* recorder = nullptr,
+         obs::trial_recorder* obs = nullptr)
       : mem_(&mem),
         pid_(pid),
         n_(n),
@@ -257,7 +260,9 @@ class rt_env {
         chaos_rng_(r.split(0xc4a05)),
         board_(board),
         recorder_(recorder),
-        fast_path_(board == nullptr && recorder == nullptr && chaos == 0) {}
+        obs_(obs),
+        fast_path_(board == nullptr && recorder == nullptr && chaos == 0 &&
+                   obs == nullptr) {}
 
   struct read_awaiter {
     word result;
@@ -344,13 +349,27 @@ class rt_env {
     return a;
   }
 
-  std::uint64_t flip(std::uint64_t bound) { return rng_.below(bound); }
-  bool coin() { return rng_.flip(); }
+  std::uint64_t flip(std::uint64_t bound) {
+    ++draws_;
+    return rng_.below(bound);
+  }
+  bool coin() {
+    ++draws_;
+    return rng_.flip();
+  }
   rng& local_rng() { return rng_; }
 
   process_id pid() const { return pid_; }
   std::size_t n() const { return n_; }
   std::uint64_t ops() const { return ops_; }
+
+  // Observability hooks (obs/obs.h).  There is no global step counter on
+  // real threads, so the timeline is the recorder's shared atomic
+  // sequence; an un-observed env reports tick 0.
+  obs::trial_recorder* obs() const { return obs_; }
+  std::uint64_t obs_now() const { return obs_ ? obs_->tick() : 0; }
+  std::uint64_t obs_ops() const { return ops_; }
+  std::uint64_t obs_draws() const { return draws_; }
 
  private:
   // Instrumented variants, taken when a fault board, chaos mode, or a
@@ -361,6 +380,7 @@ class rt_env {
     fault_point();
     perturb();
     ++ops_;
+    if (obs_) obs_->count(pid_, obs::counter::reads);
     const std::uint64_t b = begin_tick();
     word v = mem_->at(r).load(std::memory_order_seq_cst);
     record(b, op_kind::read, r, v, true);
@@ -371,6 +391,7 @@ class rt_env {
     fault_point();
     perturb();
     ++ops_;
+    if (obs_) obs_->count(pid_, obs::counter::writes);
     const std::uint64_t b = begin_tick();
     mem_->at(r).store(v, std::memory_order_seq_cst);
     record(b, op_kind::write, r, v, true);
@@ -381,9 +402,12 @@ class rt_env {
     fault_point();
     perturb();
     ++ops_;
+    const bool nontrivial = !p.certain();
+    if (nontrivial) ++draws_;
     const std::uint64_t b = begin_tick();
     bool ok = p.sample(rng_);
     if (ok) mem_->at(r).store(v, std::memory_order_seq_cst);
+    count_write(nontrivial, ok);
     record(b, op_kind::write, r, v, ok);
     return {};
   }
@@ -392,17 +416,30 @@ class rt_env {
     fault_point();
     perturb();
     ++ops_;
+    const bool nontrivial = !p.certain();
+    if (nontrivial) ++draws_;
     const std::uint64_t b = begin_tick();
     bool ok = p.sample(rng_);
     if (ok) mem_->at(r).store(v, std::memory_order_seq_cst);
+    count_write(nontrivial, ok);
     record(b, op_kind::write, r, v, ok);
     return bool_awaiter{ok};
+  }
+
+  void count_write(bool nontrivial, bool applied) {
+    if (!obs_) return;
+    if (nontrivial) obs_->count(pid_, obs::counter::prob_writes);
+    if (applied)
+      obs_->count(pid_, obs::counter::writes);
+    else
+      obs_->count(pid_, obs::counter::prob_write_misses);
   }
 
   void collect_slow(reg_id first, std::uint32_t count,
                     std::vector<word>& out) {
     fault_point();
     ops_ += count;
+    if (obs_) obs_->count(pid_, obs::counter::collects);
     out.resize(count);
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::uint64_t b = begin_tick();
@@ -440,10 +477,12 @@ class rt_env {
   rng chaos_rng_;
   rt_fault_board* board_ = nullptr;
   rt_trace_recorder* recorder_ = nullptr;
+  obs::trial_recorder* obs_ = nullptr;
   // True when no instrumentation is attached; every op then reduces to
   // counter + atomic access.
   bool fast_path_ = true;
   std::uint64_t ops_ = 0;
+  std::uint64_t draws_ = 0;
 };
 
 static_assert(Environment<rt_env>);

@@ -48,6 +48,11 @@ struct rt_run_options {
   // sequence interval (see rt_trace_recorder in rt/env.h); must outlive
   // the run.  Call recorder->merged() only after run_threads_opts returns.
   rt_trace_recorder* recorder = nullptr;
+  // When non-null, algorithm-level spans and counters are recorded (see
+  // obs/obs.h); must outlive the run.  Read it only after
+  // run_threads_opts returns (per-pid buffers are published by the
+  // jthread joins).
+  obs::trial_recorder* obs = nullptr;
 };
 
 // Spawns one thread per process; each builds its program via
@@ -70,7 +75,7 @@ inline rt_result run_threads_opts(
   for (process_id pid = 0; pid < n; ++pid) {
     rng stream(splitmix64(seed) ^ (0x9e3779b97f4a7c15ULL * (pid + 1)));
     envs.emplace_back(mem, pid, n, stream, opts.chaos, board.get(),
-                      opts.recorder);
+                      opts.recorder, opts.obs);
   }
 
   rt_result res;

@@ -84,7 +84,7 @@ bool sched_view::coin_of(process_id p) const {
 sim_world::sim_world(std::size_t n, adversary& adv, std::uint64_t seed,
                      world_options opts)
     : n_(n), adv_(adv), seed_(seed),
-      coin_override_(std::move(opts.coin_override)) {
+      coin_override_(std::move(opts.coin_override)), obs_(opts.obs) {
   MODCON_CHECK_MSG(n >= 1, "need at least one process");
   pcbs_.reserve(n);
   runnable_index_.assign(n, UINT32_MAX);

@@ -19,6 +19,7 @@
 #include "exec/environment.h"
 #include "exec/proc.h"
 #include "exec/types.h"
+#include "obs/obs.h"
 #include "sim/adversary.h"
 #include "sim/register_file.h"
 #include "sim/trace.h"
@@ -96,20 +97,35 @@ class sim_env {
   }
 
   // Local coin: uniform in [0, bound).  Free in the cost model.
-  std::uint64_t flip(std::uint64_t bound) { return rng_.below(bound); }
-  bool coin() { return rng_.flip(); }
+  std::uint64_t flip(std::uint64_t bound) {
+    ++draws_;
+    return rng_.below(bound);
+  }
+  bool coin() {
+    ++draws_;
+    return rng_.flip();
+  }
   rng& local_rng() { return rng_; }
 
   process_id pid() const { return pid_; }
   std::size_t n() const;
 
+  // Observability hooks (obs/obs.h): recorder attachment, timeline tick
+  // (= adversary steps), per-process op and RNG-draw counters.
+  obs::trial_recorder* obs() const;
+  std::uint64_t obs_now() const;
+  std::uint64_t obs_ops() const;
+  std::uint64_t obs_draws() const { return draws_; }
+
  private:
   friend class sim_world;
   sim_env(sim_world* w, process_id pid, rng r)
       : w_(w), pid_(pid), rng_(r) {}
+  bool draw_coin(const prob& p);
   sim_world* w_;
   process_id pid_;
   rng rng_;
+  std::uint64_t draws_ = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -148,6 +164,11 @@ struct world_options {
   // sim/register_file.h.  The fault RNG is derived from the world seed,
   // so every injected schedule replays from (seed, config).
   register_fault_config register_faults;
+  // When set, algorithm-level spans and counters are recorded into this
+  // recorder (obs/obs.h).  Must outlive the world: coroutine frames torn
+  // down in ~sim_world still hold span guards, which consult the
+  // recorder's sealed flag.
+  obs::trial_recorder* obs = nullptr;
 };
 
 // A process's pending shared-memory operation, as parked by an awaiter.
@@ -228,6 +249,7 @@ class sim_world final : public address_space {
   // The return value of process pid's program; empty if it has not halted.
   std::optional<word> output_of(process_id pid) const;
   std::uint64_t ops_of(process_id pid) const;
+  std::uint64_t draws_of(process_id pid) const;
   // Every applied step is exactly one shared-memory operation in this
   // model, so total work and execution length coincide.
   std::uint64_t total_ops() const { return step_; }
@@ -279,7 +301,6 @@ class sim_world final : public address_space {
   // in place — posting writes the fields once instead of building a
   // posted_op locally and copying it through post().
   posted_op& post_slot(process_id pid);
-  bool sample_coin(process_id pid, const prob& p, rng& local);
   void execute(process_id pid);
   void after_resume(process_id pid);
   void maybe_restart(process_id pid);
@@ -299,6 +320,7 @@ class sim_world final : public address_space {
   std::uint64_t step_ = 0;
   std::uint64_t total_restarts_ = 0;
   trace trace_;
+  obs::trial_recorder* obs_ = nullptr;
 };
 
 static_assert(Environment<sim_env>);
@@ -348,14 +370,29 @@ inline posted_op& sim_world::post_slot(process_id pid) {
   return p.op;
 }
 
-inline bool sim_world::sample_coin(process_id /*pid*/, const prob& p,
-                                   rng& local) {
+// Draws the pre-drawn coin for a probabilistic write from the process's
+// local RNG, counting the draw (and, when a recorder is attached, the
+// nontrivial probabilistic write) against the process.
+inline bool sim_env::draw_coin(const prob& p) {
   if (p.certain()) return true;
   if (p.impossible()) return false;
+  if (w_->obs_ != nullptr)
+    w_->obs_->count(pid_, obs::counter::prob_writes);
   // With an override installed the pre-drawn value is a placeholder; the
   // real decision happens in execute().
-  if (coin_override_) return false;
-  return p.sample(local);
+  if (w_->coin_override_) return false;
+  ++draws_;
+  return p.sample(rng_);
+}
+
+inline obs::trial_recorder* sim_env::obs() const { return w_->obs_; }
+inline std::uint64_t sim_env::obs_now() const { return w_->steps(); }
+inline std::uint64_t sim_env::obs_ops() const {
+  return w_->pcbs_[pid_].ops;
+}
+
+inline std::uint64_t sim_world::draws_of(process_id pid) const {
+  return pcbs_[pid].env.draws_;
 }
 
 inline void sim_env::read_awaiter::await_suspend(std::coroutine_handle<> h) {
@@ -377,7 +414,7 @@ inline void sim_env::write_awaiter::await_suspend(std::coroutine_handle<> h) {
   // (out-of-model) omniscient adversary can inspect it.  In-model
   // adversaries cannot see it; drawing now vs. at execution time changes
   // nothing for them.
-  op.coin_success = e->w_->sample_coin(e->pid_, p, e->rng_);
+  op.coin_success = e->draw_coin(p);
   op.k = h;
 }
 
@@ -389,7 +426,7 @@ inline void sim_env::detect_write_awaiter::await_suspend(
   op.value = v;
   op.probabilistic = !p.certain();
   op.coin_prob = p;
-  op.coin_success = e->w_->sample_coin(e->pid_, p, e->rng_);
+  op.coin_success = e->draw_coin(p);
   op.read_slot = &result;  // receives 1 if the write applied
   op.k = h;
 }

@@ -1,0 +1,461 @@
+// Observability layer tests (obs/obs.h, obs/metrics.h, obs/perfetto.h):
+//
+//   * span-tree well-formedness — per process, spans form a properly
+//     nested forest (children inside parents, siblings non-overlapping);
+//   * counter exactness — hand-scheduled trials whose every operation is
+//     known in advance must produce exactly the predicted counters;
+//   * zero observable footprint — a bench cell run with observation off
+//     serializes byte-identically to the recorded seed goldens, with no
+//     "obs" key in the JSON;
+//   * exporter validity — the Perfetto trace_event document parses as
+//     JSON and its depth-1 span ops sum to the trial's step count;
+//   * schema v3.2 round-trip — the "obs" block survives dump + parse.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "core/conciliator/impatient.h"
+#include "core/consensus/builder.h"
+#include "core/ratifier/quorum_ratifier.h"
+#include "obs/perfetto.h"
+#include "sim/adversaries/adversaries.h"
+
+namespace modcon::analysis {
+namespace {
+
+using sim::sim_env;
+
+sim_object_builder impatient() {
+  return [](address_space& mem, std::size_t) {
+    return std::make_unique<impatient_conciliator<sim_env>>(mem);
+  };
+}
+
+sim_object_builder binary_ratifier() {
+  return [](address_space& mem, std::size_t) {
+    return std::make_unique<quorum_ratifier<sim_env>>(mem,
+                                                      make_binary_quorums());
+  };
+}
+
+sim_object_builder consensus_stack() {
+  return [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+  };
+}
+
+std::uint64_t counter_of(const obs::trial_obs& o, obs::counter c) {
+  return o.counters[static_cast<std::size_t>(c)];
+}
+
+// Per-process structural invariants of the merged span forest: parents
+// precede and enclose their children (in both the timeline and the
+// per-process op counter), depths match the parent chain, and siblings
+// under one parent do not overlap in ops.
+void check_well_formed(const obs::trial_obs& o) {
+  std::map<process_id, std::vector<const obs::span*>> by_pid;
+  for (const obs::span& s : o.spans) {
+    ASSERT_LT(s.pid, o.n);
+    ASSERT_TRUE(s.closed) << "span " << s.id << " never closed";
+    ASSERT_LE(s.ops_begin, s.ops_end);
+    ASSERT_LE(s.t_begin, s.t_end);
+    ASSERT_LT(s.name, o.names.size());
+    if (s.parent == obs::kNoSpan) {
+      EXPECT_EQ(s.depth, 0) << "root span with nonzero depth";
+    } else {
+      ASSERT_LT(s.parent, o.spans.size());
+      const obs::span& p = o.spans[s.parent];
+      EXPECT_EQ(p.pid, s.pid) << "parent on a different process";
+      EXPECT_EQ(s.depth, p.depth + 1);
+      EXPECT_GE(s.ops_begin, p.ops_begin);
+      EXPECT_LE(s.ops_end, p.ops_end);
+      EXPECT_GE(s.t_begin, p.t_begin);
+      EXPECT_LE(s.t_end, p.t_end);
+    }
+    by_pid[s.pid].push_back(&s);
+  }
+  // Siblings (same pid, same parent) must not overlap in individual work.
+  for (auto& [pid, spans] : by_pid) {
+    std::map<std::uint32_t, std::vector<const obs::span*>> children;
+    for (const obs::span* s : spans) children[s->parent].push_back(s);
+    for (auto& [parent, sibs] : children) {
+      std::sort(sibs.begin(), sibs.end(),
+                [](const obs::span* a, const obs::span* b) {
+                  return a->ops_begin < b->ops_begin;
+                });
+      for (std::size_t i = 1; i < sibs.size(); ++i)
+        EXPECT_LE(sibs[i - 1]->ops_end, sibs[i]->ops_begin)
+            << "sibling spans overlap on pid " << pid;
+    }
+  }
+}
+
+// Sum of per-process individual work charged to depth-1 spans — for a
+// consensus stack these are the stage/round spans, so the sum must equal
+// the trial's total work (every operation happens inside some round).
+std::uint64_t depth1_ops(const obs::trial_obs& o) {
+  std::uint64_t sum = 0;
+  for (const obs::span& s : o.spans)
+    if (s.depth == 1) sum += s.ops();
+  return sum;
+}
+
+TEST(ObsSpans, TreeWellFormedOnConsensusStack) {
+  trial_grid cell;
+  cell.label = "obs_tree";
+  cell.build = consensus_stack();
+  cell.n = 4;
+  cell.base_seed = 0x0b5;
+  trial_record rec = run_traced_trial(cell, 0);
+  ASSERT_TRUE(rec.result.obs.has_value());
+  const obs::trial_obs& o = *rec.result.obs;
+  ASSERT_GT(o.spans.size(), 0u);
+  EXPECT_EQ(o.span_count, o.spans.size());
+  EXPECT_FALSE(o.truncated);
+  check_well_formed(o);
+  // Exactly one root (object) span per process, covering all of its work.
+  std::vector<int> roots(cell.n, 0);
+  for (const obs::span& s : o.spans)
+    if (s.parent == obs::kNoSpan) {
+      ++roots[s.pid];
+      EXPECT_EQ(s.kind, obs::span_kind::object);
+      EXPECT_EQ(s.ops_begin, 0u);
+    }
+  for (std::size_t pid = 0; pid < cell.n; ++pid)
+    EXPECT_EQ(roots[pid], 1) << "pid " << pid;
+}
+
+TEST(ObsSpans, StageOpsSumToTrialSteps) {
+  trial_grid cell;
+  cell.label = "obs_sum";
+  cell.build = consensus_stack();
+  cell.n = 8;
+  cell.base_seed = 0x5u;
+  trial_record rec = run_traced_trial(cell, 3);
+  ASSERT_TRUE(rec.result.obs.has_value());
+  ASSERT_EQ(rec.result.status, sim::run_status::all_halted);
+  // In the sim backend one step is one shared-memory operation, so the
+  // per-stage step totals must sum to the trial's recorded step count.
+  EXPECT_EQ(depth1_ops(*rec.result.obs), rec.result.steps);
+  EXPECT_EQ(rec.result.steps, rec.result.total_ops);
+}
+
+// n = 1 impatient conciliator: the write probability saturates to 1, so
+// the whole trial is deterministic — read ⊥, write (certain), read own
+// value, return.  Every counter is known exactly.
+TEST(ObsCounters, ExactOnHandScheduledConciliator) {
+  sim::fixed_order adv(sim::fixed_order::mode::sequential);
+  trial_options opts;
+  opts.observe = true;
+  auto res = run_object_trial(impatient(), {0}, adv, opts);
+  ASSERT_EQ(res.status, sim::run_status::all_halted);
+  EXPECT_EQ(res.total_ops, 3u);
+  ASSERT_TRUE(res.obs.has_value());
+  const obs::trial_obs& o = *res.obs;
+  EXPECT_EQ(counter_of(o, obs::counter::reads), 2u);
+  EXPECT_EQ(counter_of(o, obs::counter::writes), 1u);
+  EXPECT_EQ(counter_of(o, obs::counter::prob_writes), 0u);  // p saturated
+  EXPECT_EQ(counter_of(o, obs::counter::prob_write_misses), 0u);
+  EXPECT_EQ(counter_of(o, obs::counter::conciliator_attempts), 1u);
+  EXPECT_EQ(counter_of(o, obs::counter::first_mover_wins), 0u);
+  EXPECT_EQ(counter_of(o, obs::counter::ratified), 0u);
+  EXPECT_EQ(counter_of(o, obs::counter::adopted), 0u);
+  EXPECT_EQ(o.regs.reads, 2u);
+  EXPECT_EQ(o.regs.writes_applied, 1u);
+  EXPECT_EQ(o.regs.writes_missed, 0u);
+  EXPECT_EQ(o.regs.lost_overwrites, 0u);
+  EXPECT_EQ(o.regs.registers_touched, 1u);
+  EXPECT_EQ(o.regs.max_writes_one_reg, 1u);
+  // Span tree: object root + conciliator child, both spanning all 3 ops.
+  ASSERT_EQ(o.spans.size(), 2u);
+  check_well_formed(o);
+  for (const obs::span& s : o.spans) {
+    EXPECT_EQ(s.ops_begin, 0u);
+    EXPECT_EQ(s.ops_end, 3u);
+    EXPECT_EQ(s.draws(), 0u);  // certain write: no RNG draw
+  }
+  ASSERT_EQ(o.stages_to_decision.size(), 1u);
+  EXPECT_EQ(o.stages_to_decision[0], 1u);
+}
+
+// n = 2 binary quorum ratifier under the sequential schedule: process 0
+// runs to completion (announce, propose 0, read an empty read-quorum —
+// ratify), then process 1 (announce 1, adopt proposal 0, see its own
+// announcement in R_0 — adopt).  7 operations, all deterministic.
+TEST(ObsCounters, ExactOnHandScheduledRatifier) {
+  sim::fixed_order adv(sim::fixed_order::mode::sequential);
+  trial_options opts;
+  opts.observe = true;
+  auto res = run_object_trial(binary_ratifier(), {0, 1}, adv, opts);
+  ASSERT_EQ(res.status, sim::run_status::all_halted);
+  EXPECT_EQ(res.total_ops, 7u);
+  ASSERT_TRUE(res.obs.has_value());
+  const obs::trial_obs& o = *res.obs;
+  EXPECT_EQ(counter_of(o, obs::counter::reads), 4u);
+  EXPECT_EQ(counter_of(o, obs::counter::writes), 3u);
+  EXPECT_EQ(counter_of(o, obs::counter::ratified), 1u);
+  EXPECT_EQ(counter_of(o, obs::counter::adopted), 1u);
+  EXPECT_EQ(counter_of(o, obs::counter::conciliator_attempts), 0u);
+  EXPECT_EQ(o.regs.reads, 4u);
+  EXPECT_EQ(o.regs.writes_applied, 3u);
+  EXPECT_EQ(o.regs.lost_overwrites, 0u);
+  EXPECT_EQ(o.regs.registers_touched, 3u);
+  EXPECT_EQ(o.regs.max_writes_one_reg, 1u);
+  check_well_formed(o);
+  // Outcomes recorded on the ratifier spans: one ratify, one adopt, both
+  // with preference 0.
+  int ratify_spans = 0, adopt_spans = 0;
+  for (const obs::span& s : o.spans) {
+    if (s.kind != obs::span_kind::ratifier) continue;
+    ASSERT_TRUE(s.has_outcome);
+    EXPECT_EQ(s.outcome_value, 0u);
+    (s.outcome_decide ? ratify_spans : adopt_spans)++;
+  }
+  EXPECT_EQ(ratify_spans, 1);
+  EXPECT_EQ(adopt_spans, 1);
+}
+
+// --- zero-footprint lock against the recorded seed goldens -------------
+//
+// The serialization below must stay byte-identical to
+// perf_determinism_test.cpp's: both lock the same golden files.
+
+void put_decided_list(std::ostream& os, const std::vector<decided>& xs) {
+  os << "[";
+  const char* sep = "";
+  for (const decided& d : xs) {
+    os << sep << (d.decide ? 1 : 0) << ":" << d.value;
+    sep = ",";
+  }
+  os << "]";
+}
+
+template <typename T>
+void put_list(std::ostream& os, const std::vector<T>& xs) {
+  os << "[";
+  const char* sep = "";
+  for (const T& x : xs) {
+    os << sep << x;
+    sep = ",";
+  }
+  os << "]";
+}
+
+std::string serialize(const summary_stats& s) {
+  std::ostringstream os;
+  os << "cell " << s.label << " n=" << s.n << " trials=" << s.trials << "\n";
+  for (const trial_record& r : s.records) {
+    os << "trial=" << r.trial_index << " seed=" << r.seed
+       << " status=" << static_cast<int>(r.result.status);
+    os << " outputs=";
+    put_decided_list(os, r.result.outputs);
+    os << " halted=";
+    put_list(os, r.result.halted_pids);
+    os << " crashed=";
+    put_list(os, r.result.crashed_pids);
+    os << " crashed_outputs=";
+    put_decided_list(os, r.result.crashed_outputs);
+    os << " restarted=";
+    put_list(os, r.result.restarted_pids);
+    os << " restarts=" << r.result.restarts
+       << " stale_reads=" << r.result.stale_reads
+       << " omitted_writes=" << r.result.omitted_writes
+       << " total_ops=" << r.result.total_ops
+       << " max_individual_ops=" << r.result.max_individual_ops
+       << " steps=" << r.result.steps << " registers=" << r.result.registers
+       << " valid=" << r.valid << " agreement=" << r.agreement
+       << " coherent=" << r.coherent << " decided_all=" << r.decided_all
+       << "\n";
+  }
+  summary_stats pinned = s;
+  clear_timing_measurements(pinned);
+  os << to_json(pinned, /*include_records=*/false).dump(2) << "\n";
+  return os.str();
+}
+
+TEST(ObsFootprint, TracingOffMatchesSeedGoldenByteForByte) {
+  trial_grid cell;
+  cell.label = "golden_e1_conciliator";
+  cell.build = impatient();
+  cell.n = 8;
+  cell.trials = 48;
+  cell.base_seed = 0xe1;
+  cell.keep_records = true;
+  ASSERT_FALSE(cell.observe);  // tracing off is the default
+
+  summary_stats s = run_experiment(cell, {.threads = 1});
+  // No "obs" key anywhere in the document when observation is off.
+  summary_stats pinned = s;
+  clear_timing_measurements(pinned);
+  EXPECT_EQ(to_json(pinned).find("obs"), nullptr);
+
+  const std::string path =
+      std::string(MODCON_GOLDEN_DIR) + "/golden_e1_conciliator.txt";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << path;
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(serialize(s), want.str())
+      << "tracing-off run diverged from the recorded golden";
+}
+
+// --- Perfetto exporter -------------------------------------------------
+
+TEST(ObsPerfetto, ExportIsValidJsonAndOpsSumToSteps) {
+  trial_grid cell;
+  cell.label = "obs_perfetto";
+  cell.build = consensus_stack();
+  cell.n = 4;
+  cell.base_seed = 0xfe77;
+  trial_record rec = run_traced_trial(cell, 0);
+  ASSERT_TRUE(rec.result.obs.has_value());
+
+  obs::perfetto_meta meta;
+  meta.label = cell.label;
+  meta.seed = rec.seed;
+  meta.n = cell.n;
+  meta.steps = rec.result.steps;
+  std::ostringstream out;
+  obs::write_perfetto(out, *rec.result.obs, meta);
+
+  json doc;
+  ASSERT_NO_THROW(doc = json::parse(out.str())) << out.str().substr(0, 400);
+  const json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GT(events->size(), 0u);
+
+  const json* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->find("seed")->as_uint(), rec.seed);
+  EXPECT_EQ(other->find("steps")->as_uint(), rec.result.steps);
+
+  std::uint64_t depth1 = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const json& e = events->at(i);
+    const std::string& ph = e.find("ph")->as_string();
+    if (ph != "X") continue;  // metadata events carry no spans
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("dur"), nullptr);
+    const json* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    if (args->find("depth")->as_uint() == 1)
+      depth1 += args->find("ops")->as_uint();
+  }
+  EXPECT_EQ(depth1, rec.result.steps)
+      << "per-stage step totals must sum to the trial's step count";
+}
+
+// --- schema v3.2 "obs" block round-trip --------------------------------
+
+TEST(ObsSchema, V32BlockRoundTripsThroughDumpAndParse) {
+  trial_grid cell;
+  cell.label = "obs_roundtrip";
+  cell.build = consensus_stack();
+  cell.n = 4;
+  cell.trials = 16;
+  cell.base_seed = 0x32;
+  cell.observe = true;
+  summary_stats s = run_experiment(cell, {.threads = 2});
+  ASSERT_EQ(s.obs.trials, 16u);
+
+  json doc = to_json(s);
+  json back;
+  ASSERT_NO_THROW(back = json::parse(doc.dump(2)));
+  const json* ob = back.find("obs");
+  ASSERT_NE(ob, nullptr) << "observed cell must carry the v3.2 obs block";
+  EXPECT_EQ(ob->find("trials")->as_uint(), s.obs.trials);
+  EXPECT_EQ(ob->find("truncated")->as_uint(), s.obs.truncated);
+  const json* counters = ob->find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const json* c =
+        counters->find(obs::to_string(static_cast<obs::counter>(i)));
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->as_uint(), s.obs.counters[i]);
+  }
+  const json* regs = ob->find("registers");
+  ASSERT_NE(regs, nullptr);
+  EXPECT_EQ(regs->find("reads")->as_uint(), s.obs.reg_reads);
+  EXPECT_EQ(regs->find("writes_applied")->as_uint(), s.obs.reg_writes_applied);
+  EXPECT_EQ(regs->find("lost_overwrites")->as_uint(), s.obs.lost_overwrites);
+  const json* coin = ob->find("coin");
+  ASSERT_NE(coin, nullptr);
+  EXPECT_EQ(coin->find("conciliator_invocations")->as_uint(),
+            s.obs.conciliator_invocations);
+  EXPECT_EQ(coin->find("conciliator_agreed")->as_uint(),
+            s.obs.conciliator_agreed);
+  const json* stages = ob->find("stages_to_decision");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(stages->find("count")->as_uint(), s.obs.stages_to_decision.count);
+  EXPECT_EQ(ob->find("spans_per_trial")->find("count")->as_uint(),
+            s.obs.spans_per_trial.count);
+  // Aggregation sanity: every trial ran n processes through at least one
+  // ratifier round, so counters cannot all be zero.
+  EXPECT_GT(s.obs.counters[static_cast<std::size_t>(obs::counter::reads)],
+            0u);
+  EXPECT_GT(s.obs.reg_writes_applied, 0u);
+}
+
+// Determinism: observation must not perturb any deterministic field, and
+// the obs aggregates themselves must be thread-count independent.
+TEST(ObsSchema, ObserveOnIsDeterministicAcrossThreadCounts) {
+  trial_grid cell;
+  cell.label = "obs_threads";
+  cell.build = consensus_stack();
+  cell.n = 4;
+  cell.trials = 24;
+  cell.base_seed = 0x7ead5;
+  cell.observe = true;
+  summary_stats one = run_experiment(cell, {.threads = 1});
+  summary_stats eight = run_experiment(cell, {.threads = 8});
+  clear_timing_measurements(one);
+  clear_timing_measurements(eight);
+  EXPECT_EQ(to_json(one).dump(2), to_json(eight).dump(2));
+
+  // And against the same cell unobserved: identical outside "obs"/perf.
+  trial_grid off = cell;
+  off.observe = false;
+  summary_stats dark = run_experiment(off, {.threads = 1});
+  clear_timing_measurements(dark);
+  EXPECT_EQ(dark.total_ops.mean, one.total_ops.mean);
+  EXPECT_EQ(dark.steps.p99, one.steps.p99);
+  EXPECT_EQ(dark.agreed, one.agreed);
+  EXPECT_EQ(to_json(dark).find("obs"), nullptr);
+}
+
+// --- rt backend smoke --------------------------------------------------
+
+TEST(ObsRt, RecordsSpansAndCountersOnRealThreads) {
+  rt_object_builder build = [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<rt::rt_env>(mem, make_binary_quorums());
+  };
+  rt_trial_options opts;
+  opts.seed = 0x17;
+  opts.observe = true;
+  auto res = run_rt_object_trial(build, {0, 1, 0, 1}, opts);
+  ASSERT_EQ(res.status, sim::run_status::all_halted);
+  ASSERT_TRUE(res.obs.has_value());
+  const obs::trial_obs& o = *res.obs;
+  ASSERT_GT(o.spans.size(), 0u);
+  check_well_formed(o);
+  EXPECT_GT(counter_of(o, obs::counter::reads), 0u);
+  EXPECT_GT(counter_of(o, obs::counter::writes), 0u);
+  // All work happens inside round spans here too (total_ops is the sum
+  // of the per-process op counters on this backend).
+  EXPECT_EQ(depth1_ops(o), res.total_ops);
+  // No execution trace on rt: the per-register contention fields stay 0.
+  EXPECT_EQ(o.regs.registers_touched, 0u);
+}
+
+}  // namespace
+}  // namespace modcon::analysis

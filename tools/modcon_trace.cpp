@@ -1,0 +1,179 @@
+// modcon-trace: replay one deterministic trial of a standard consensus
+// stack with full observation on and export its span tree as
+// Chrome/Perfetto trace_event JSON.
+//
+// A bench's --trace-out traces trial 0 of that bench's first cell; this
+// app traces *any* (stack, n, m, pattern, trial) coordinate, so a
+// surprising seed found in a BENCH_*.json artifact can be replayed and
+// opened in https://ui.perfetto.dev without editing bench code:
+//
+//   modcon-trace --stack impatient --n 16 --trial 42 --out trace.json
+//
+// The trial seed is splitmix64(base_seed ^ trial), identical to the
+// experiment engine's, so span trees line up with artifact records.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "core/consensus/builder.h"
+#include "obs/perfetto.h"
+#include "util/bits.h"
+
+namespace {
+
+using namespace modcon;
+using sim::sim_env;
+
+[[noreturn]] void usage(int rc) {
+  (rc == 0 ? std::cout : std::cerr)
+      << "usage: modcon-trace [options]\n"
+         "  --stack S    impatient | bounded | ratifier-only "
+         "(default: impatient)\n"
+         "  --n N        processes (default: 8)\n"
+         "  --m M        input values; m > 2 selects Bollobas quorums "
+         "(default: 2)\n"
+         "  --pattern P  unanimous | half-half | alternating | random | "
+         "distinct (default: half-half)\n"
+         "  --trial T    trial index within the cell (default: 0)\n"
+         "  --seed S     cell base seed (default: 1)\n"
+         "  --out FILE   output path (default: trace.json)\n"
+         "  --steps N    step limit (default: engine default)\n";
+  std::exit(rc);
+}
+
+analysis::input_pattern parse_pattern(const std::string& p) {
+  if (p == "unanimous") return analysis::input_pattern::unanimous;
+  if (p == "half-half") return analysis::input_pattern::half_half;
+  if (p == "alternating") return analysis::input_pattern::alternating;
+  if (p == "random") return analysis::input_pattern::random_m;
+  if (p == "distinct") return analysis::input_pattern::distinct;
+  std::cerr << "unknown --pattern '" << p << "'\n";
+  std::exit(2);
+}
+
+analysis::sim_object_builder make_stack(const std::string& stack,
+                                        std::uint64_t m) {
+  auto quorums = [m] {
+    return m <= 2 ? make_binary_quorums() : make_bollobas_quorums(m);
+  };
+  if (stack == "impatient") {
+    return [quorums](address_space& mem, std::size_t) {
+      return make_impatient_consensus<sim_env>(mem, quorums());
+    };
+  }
+  if (stack == "bounded") {
+    return [quorums](address_space& mem, std::size_t n) {
+      return make_bounded_impatient_consensus<sim_env>(mem, quorums(), n);
+    };
+  }
+  if (stack == "ratifier-only") {
+    return [quorums](address_space& mem, std::size_t) {
+      return make_ratifier_only_consensus<sim_env>(mem, quorums());
+    };
+  }
+  std::cerr << "unknown --stack '" << stack << "'\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string stack = "impatient";
+  std::string pattern = "half-half";
+  std::string out_path = "trace.json";
+  std::size_t n = 8;
+  std::uint64_t m = 2;
+  std::uint64_t trial = 0;
+  std::uint64_t base_seed = 1;
+  std::uint64_t max_steps = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--stack")
+      stack = next("--stack");
+    else if (arg == "--n")
+      n = std::strtoull(next("--n").c_str(), nullptr, 10);
+    else if (arg == "--m")
+      m = std::strtoull(next("--m").c_str(), nullptr, 10);
+    else if (arg == "--pattern")
+      pattern = next("--pattern");
+    else if (arg == "--trial")
+      trial = std::strtoull(next("--trial").c_str(), nullptr, 10);
+    else if (arg == "--seed")
+      base_seed = std::strtoull(next("--seed").c_str(), nullptr, 10);
+    else if (arg == "--out")
+      out_path = next("--out");
+    else if (arg == "--steps")
+      max_steps = std::strtoull(next("--steps").c_str(), nullptr, 10);
+    else if (arg == "--help" || arg == "-h")
+      usage(0);
+    else {
+      std::cerr << "unknown argument '" << arg << "'\n";
+      usage(2);
+    }
+  }
+  if (n < 2) {
+    std::cerr << "--n must be at least 2\n";
+    return 2;
+  }
+  if (m < 2) {
+    std::cerr << "--m must be at least 2\n";
+    return 2;
+  }
+
+  analysis::trial_grid cell;
+  cell.label = stack + "/n=" + std::to_string(n);
+  cell.build = make_stack(stack, m);
+  cell.pattern = parse_pattern(pattern);
+  cell.n = n;
+  cell.m = m;
+  cell.trials = 1;
+  cell.base_seed = base_seed;
+  if (max_steps != 0) cell.limits.max_steps = max_steps;
+
+  auto rec = analysis::run_traced_trial(cell, trial);
+  if (!rec.result.obs) {
+    std::cerr << "trial produced no observation record\n";
+    return 1;
+  }
+  const obs::trial_obs& o = *rec.result.obs;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  obs::perfetto_meta meta;
+  meta.label = cell.label;
+  meta.backend = "sim";
+  meta.seed = rec.seed;
+  meta.n = n;
+  meta.steps = rec.result.steps;
+  obs::write_perfetto(out, o, meta);
+  out.close();
+  if (!out) {
+    std::cerr << "error writing " << out_path << "\n";
+    return 1;
+  }
+
+  std::cout << "trial " << trial << " (seed " << rec.seed << "): status="
+            << (rec.result.completed() ? "all_halted" : "not-completed")
+            << " steps=" << rec.result.steps
+            << " total_ops=" << rec.result.total_ops
+            << " spans=" << o.span_count
+            << " agreement=" << (rec.agreement ? "yes" : "no") << "\n"
+            << "wrote " << out_path
+            << " (open in chrome://tracing or https://ui.perfetto.dev)\n";
+  return 0;
+}
