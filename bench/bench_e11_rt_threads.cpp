@@ -21,17 +21,11 @@ using namespace modcon;
 using namespace modcon::bench;
 using rt::rt_env;
 
-// One builder definition serves both backends; E11 instantiates it for
-// rt_env (the sim benches use the same factories with sim_env).
+// One spec serves both backends; E11 instantiates it for rt_env (the sim
+// benches resolve the same registry entries with sim_env).
 template <typename Env>
 analysis::object_builder<Env> stack(bool bounded) {
-  return [bounded](address_space& mem, std::size_t n)
-             -> std::unique_ptr<deciding_object<Env>> {
-    if (bounded)
-      return make_bounded_impatient_consensus<Env>(mem, make_binary_quorums(),
-                                                   n);
-    return make_impatient_consensus<Env>(mem, make_binary_quorums());
-  };
+  return stack_builder<Env>(stack_for(bounded ? "bounded" : "impatient"));
 }
 
 analysis::trial_result consensus_once(std::size_t n, bool bounded,

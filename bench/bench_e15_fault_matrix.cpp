@@ -32,6 +32,7 @@ using namespace modcon::bench;
 using analysis::fault_plan;
 using sim::sim_env;
 
+// Both backends resolve the same registry entry — one spec, two builds.
 struct stack_def {
   std::string name;
   analysis::sim_object_builder sim_build;
@@ -40,33 +41,11 @@ struct stack_def {
 
 std::vector<stack_def> stacks() {
   std::vector<stack_def> out;
-  out.push_back({"impatient",
-                 [](address_space& mem, std::size_t) {
-                   return make_impatient_consensus<sim_env>(
-                       mem, make_binary_quorums());
-                 },
-                 [](address_space& mem, std::size_t) {
-                   return make_impatient_consensus<rt::rt_env>(
-                       mem, make_binary_quorums());
-                 }});
-  out.push_back({"bounded",
-                 [](address_space& mem, std::size_t n) {
-                   return make_bounded_impatient_consensus<sim_env>(
-                       mem, make_binary_quorums(), n);
-                 },
-                 [](address_space& mem, std::size_t n) {
-                   return make_bounded_impatient_consensus<rt::rt_env>(
-                       mem, make_binary_quorums(), n);
-                 }});
-  out.push_back({"cil",
-                 [](address_space& mem, std::size_t n)
-                     -> std::unique_ptr<deciding_object<sim_env>> {
-                   return std::make_unique<cil_consensus<sim_env>>(mem, n);
-                 },
-                 [](address_space& mem, std::size_t n)
-                     -> std::unique_ptr<deciding_object<rt::rt_env>> {
-                   return std::make_unique<cil_consensus<rt::rt_env>>(mem, n);
-                 }});
+  for (const char* name : {"impatient", "bounded", "cil"}) {
+    const stack_spec spec = stack_for(name);
+    out.push_back({name, stack_builder<sim_env>(spec),
+                   stack_builder<rt::rt_env>(spec)});
+  }
   return out;
 }
 

@@ -37,9 +37,7 @@ analysis::sim_object_builder impatient() {
 }
 
 analysis::sim_object_builder consensus_stack() {
-  return [](address_space& mem, std::size_t) {
-    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
-  };
+  return stack_builder<sim_env>(stack_for("impatient"));
 }
 
 }  // namespace

@@ -1,0 +1,195 @@
+// E17 — multi-shot consensus: slot logs of one-shot objects (multi/).
+//
+// The paper builds *one-shot* deciding objects; real systems decide a
+// sequence.  This bench measures the slot-log construction that hosts a
+// fresh registry stack per slot, drawn from an arena-backed object pool
+// that reclaims the decided prefix behind per-process watermarks:
+//
+//   * E17a (sim, in the JSON artifact): a (stack x n) grid at K = 4
+//     shards — proposals, fast-path rate, slots reclaimed, pool extent
+//     reuse, and per-proposal op distributions.  Every column is a
+//     deterministic function of (cell, seed), so the artifact stays
+//     byte-identical across --threads; scripts/compare_bench.py gates CI
+//     on the slot_ops_p50 of these cells vs BENCH_baseline.json.
+//   * E17b (sim): the same grid under E15-style process faults — the
+//     per-slot invariants (agreement, validity, prefix) must hold under
+//     crashes and restarts, and the auditor can be armed with --audit.
+//   * E17c (rt, stdout only): sustained decision throughput on real
+//     threads across K >= 4 shards — wall-clock decisions/sec and the
+//     per-proposal op tail.  Wall-clock numbers are scheduling noise by
+//     definition, so this table is printed but kept out of the artifact.
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "common.h"
+#include "core/consensus/stack_spec.h"
+
+namespace {
+
+using namespace modcon;
+using namespace modcon::bench;
+
+constexpr std::uint64_t kShards = 4;
+constexpr std::uint64_t kSlots = 16;
+
+void sim_grid_table(bench_harness& h) {
+  const std::vector<const char*> stacks = {"impatient", "bounded"};
+  const std::vector<std::size_t> ns = {2, 4, 8, 16};
+  std::vector<analysis::multi_grid> grid;
+  for (const char* s : stacks)
+    for (std::size_t n : ns)
+      grid.push_back({
+          .label = std::string("e17_multi/") + s + "/n=" + std::to_string(n),
+          .spec = stack_for(s),
+          .n = n,
+          .shards = kShards,
+          .slots = kSlots,
+          .trials = h.trials(40),
+          .limits = {.max_steps = 50'000'000},
+      });
+  auto summaries = h.run_multi(std::move(grid));
+
+  table t({"stack", "n", "shards", "slots", "trials", "proposals",
+           "fastpath_rate", "reclaimed", "ext_reused", "slot_ops_p50",
+           "slot_ops_p99", "agree", "valid"});
+  std::size_t i = 0;
+  for (const char* s : stacks)
+    for (std::size_t n : ns) {
+      const auto& sum = summaries[i++];
+      double fast =
+          sum.multi.proposals
+              ? static_cast<double>(sum.multi.fast_path_hits) /
+                    static_cast<double>(sum.multi.proposals)
+              : 0.0;
+      t.row()
+          .cell(s)
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(sum.multi.shards)
+          .cell(sum.multi.slots_per_shard)
+          .cell(static_cast<std::uint64_t>(sum.trials))
+          .cell(sum.multi.proposals)
+          .cell(fast, 3)
+          .cell(sum.multi.slots_reclaimed)
+          .cell(sum.multi.extents_reused)
+          .cell(sum.multi.slot_ops.p50, 1)
+          .cell(sum.multi.slot_ops.p99, 1)
+          .cell(static_cast<std::uint64_t>(sum.multi.slots_agreed))
+          .cell(static_cast<std::uint64_t>(sum.multi.slots_valid));
+    }
+  h.emit(t,
+         "E17a: multi-shot slot logs, sim backend (K=4 shards; fast path, "
+         "reclamation, pool reuse)",
+         "e17_multi");
+}
+
+void faulted_table(bench_harness& h) {
+  const std::size_t n = 8;
+  struct mode {
+    const char* name;
+    analysis::fault_plan faults;
+  };
+  const mode modes[] = {
+      {"none", {}},
+      {"crash2", analysis::fault_plan{}.crash(1, 40).crash(3, 90)},
+      {"restart2", analysis::fault_plan{}.restart(0, 30).restart(5, 70)},
+  };
+  std::vector<analysis::multi_grid> grid;
+  for (const auto& m : modes)
+    grid.push_back({
+        .label = std::string("e17_faults/") + m.name,
+        .spec = stack_for("impatient"),
+        .n = n,
+        .shards = kShards,
+        .slots = kSlots,
+        .trials = h.trials(40),
+        .limits = {.max_steps = 50'000'000},
+        .faults = m.faults,
+    });
+  auto summaries = h.run_multi(std::move(grid));
+
+  table t({"faults", "trials", "done", "agree", "valid", "crashed",
+           "restarts", "reclaimed"});
+  std::size_t i = 0;
+  for (const auto& m : modes) {
+    const auto& sum = summaries[i++];
+    t.row()
+        .cell(m.name)
+        .cell(static_cast<std::uint64_t>(sum.trials))
+        .cell(static_cast<std::uint64_t>(sum.completed))
+        .cell(static_cast<std::uint64_t>(sum.multi.slots_agreed))
+        .cell(static_cast<std::uint64_t>(sum.multi.slots_valid))
+        .cell(static_cast<std::uint64_t>(sum.crashed_processes))
+        .cell(sum.restarts)
+        .cell(sum.multi.slots_reclaimed);
+  }
+  h.emit(t,
+         "E17b: per-slot invariants under process faults (crashed "
+         "proposals land on the pin fast path)",
+         "e17_faults");
+}
+
+void rt_throughput_table(bench_harness& h) {
+  const std::size_t n = 4;
+  const std::uint64_t slots = 64;
+  const std::vector<std::uint64_t> shard_counts = {4, 8};
+  const std::size_t trials = h.trials(5);
+
+  table t({"shards", "n", "slots", "trials", "decisions/s", "proposals/s",
+           "slot_ops_p99", "agree"});
+  for (std::uint64_t shards : shard_counts) {
+    analysis::multi_grid cell{
+        .label = "e17_rt/shards=" + std::to_string(shards),
+        .spec = stack_for("impatient"),
+        .n = n,
+        .shards = shards,
+        .slots = slots,
+    };
+    double wall_sec = 0.0;
+    std::uint64_t agree = 0;
+    std::vector<double> slot_ops;
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+      analysis::multi_trial_options opts;
+      opts.seed = analysis::derive_trial_seed(17, trial);
+      auto t0 = std::chrono::steady_clock::now();
+      auto res = analysis::run_rt_multi_trial(cell, opts);
+      wall_sec += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      agree += res.slots_agree && res.slots_valid;
+      slot_ops.insert(slot_ops.end(), res.slot_ops.begin(),
+                      res.slot_ops.end());
+    }
+    const double decided = static_cast<double>(trials * shards * slots);
+    auto dist = analysis::dist_summary::of(slot_ops);
+    t.row()
+        .cell(shards)
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(slots)
+        .cell(static_cast<std::uint64_t>(trials))
+        .cell(wall_sec > 0 ? decided / wall_sec : 0.0, 0)
+        .cell(wall_sec > 0 ? decided * n / wall_sec : 0.0, 0)
+        .cell(dist.p99, 1)
+        .cell(agree);
+  }
+  // Printed only — wall-clock throughput would break the artifact's
+  // byte-identity contract, so it stays out of the JSON report.
+  t.emit(
+      "E17c: rt sustained decision throughput (wall clock; stdout only)",
+      "e17_rt");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_harness h("e17_multi_shot", argc, argv);
+  print_header(
+      "E17: multi-shot slot logs over one-shot consensus",
+      "a fresh registry stack per slot from a reclaiming object pool; "
+      "per-slot agreement/validity always checked, decided prefix "
+      "reclaimed behind the watermark frontier");
+  sim_grid_table(h);
+  faulted_table(h);
+  rt_throughput_table(h);
+  return h.finish();
+}

@@ -22,9 +22,7 @@ using namespace modcon::bench;
 using sim::sim_env;
 
 analysis::sim_object_builder stack() {
-  return [](address_space& mem, std::size_t) {
-    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
-  };
+  return stack_builder<sim_env>(stack_for("impatient"));
 }
 
 }  // namespace

@@ -21,9 +21,8 @@ using namespace modcon::bench;
 using sim::sim_env;
 
 analysis::sim_object_builder stack(std::uint64_t m) {
-  return [m](address_space& mem, std::size_t) {
-    return make_impatient_consensus<sim_env>(mem, make_bollobas_quorums(m));
-  };
+  // "impatient" with m > 2 resolves its adaptive quorums to Bollobás.
+  return stack_builder<sim_env>(stack_for("impatient").with_m(m));
 }
 
 analysis::sim_object_builder bitwise(std::uint64_t m) {

@@ -27,10 +27,8 @@ using namespace modcon::bench;
 using sim::sim_env;
 
 analysis::sim_object_builder ladder() {
-  return [](address_space& mem, std::size_t) {
-    return make_ratifier_only_consensus<sim_env>(mem, make_binary_quorums(),
-                                                 2'000'000);
-  };
+  return stack_builder<sim_env>(
+      stack_for("ratifier-only").with_max_rounds(2'000'000));
 }
 
 void noise_sweep(bench_harness& h) {

@@ -51,19 +51,11 @@ analysis::probe fallback_probe() {
 }
 
 analysis::sim_object_builder unbounded() {
-  return [](address_space& mem, std::size_t) {
-    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
-  };
+  return stack_builder<sim_env>(stack_for("impatient"));
 }
 
 analysis::sim_object_builder bounded(std::size_t k) {
-  return [k](address_space& mem, std::size_t nn)
-             -> std::unique_ptr<deciding_object<sim_env>> {
-    return std::make_unique<bounded_consensus<sim_env>>(
-        ratifier_factory<sim_env>(mem, make_binary_quorums()),
-        impatient_factory<sim_env>(mem), k,
-        std::make_unique<cil_consensus<sim_env>>(mem, nn));
-  };
+  return stack_builder<sim_env>(stack_for("bounded").with_rounds(k));
 }
 
 void fastpath_table(bench_harness& h) {

@@ -27,23 +27,15 @@ using namespace modcon::bench;
 using sim::sim_env;
 
 analysis::sim_object_builder impatient_stack() {
-  return [](address_space& mem, std::size_t) {
-    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
-  };
+  return stack_builder<sim_env>(stack_for("impatient"));
 }
 
 analysis::sim_object_builder fixed_prob_stack() {
-  return [](address_space& mem, std::size_t) {
-    return std::make_unique<unbounded_consensus<sim_env>>(
-        ratifier_factory<sim_env>(mem, make_binary_quorums()),
-        fixed_probability_factory<sim_env>(mem));
-  };
+  return stack_builder<sim_env>(stack_for("fixed-probability"));
 }
 
 analysis::sim_object_builder cil() {
-  return [](address_space& mem, std::size_t n) {
-    return std::make_unique<cil_consensus<sim_env>>(mem, n);
-  };
+  return stack_builder<sim_env>(stack_for("cil"));
 }
 
 struct proto {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "analysis/experiment.h"
+#include "analysis/multi.h"
 #include "obs/perfetto.h"
 #include "sim/adversaries/adversaries.h"
 #include "util/stats.h"
@@ -190,6 +191,21 @@ class bench_harness {
     return out;
   }
 
+  // Runs a multi-shot grid (analysis/multi.h) through one shared pool,
+  // with the same CLI overrides as run_grid.  --trace-out does not apply
+  // here: a multi trial is not a single-object replay.
+  std::vector<analysis::summary_stats> run_multi(
+      std::vector<analysis::multi_grid> grid) {
+    for (auto& cell : grid) {
+      if (cli_.seeds) cell.trials = cli_.seeds;
+      apply_audit_mode(cell.audit);
+      if (cli_.observe) cell.observe = true;
+    }
+    auto out = analysis::run_multi_grid(grid, engine_options());
+    for (const auto& s : out) record(s);
+    return out;
+  }
+
   // Prints the table (and the MODCON_CSV_DIR mirror) and records it.
   void emit(const table& t, const std::string& title,
             const std::string& slug) {
@@ -270,13 +286,15 @@ class bench_harness {
               << rec.result.obs->span_count << " spans)\n";
   }
 
-  void apply_audit(trial_grid& cell) {
+  void apply_audit(trial_grid& cell) { apply_audit_mode(cell.audit); }
+
+  void apply_audit_mode(analysis::audit_plan& plan) {
     // The CLI/env mode overrides an un-audited cell; a cell that already
     // declares an audit plan (mode != off) keeps its own.
     if (cli_.audit == analysis::audit_mode::off ||
-        cell.audit.mode != analysis::audit_mode::off)
+        plan.mode != analysis::audit_mode::off)
       return;
-    cell.audit.mode = cli_.audit;
+    plan.mode = cli_.audit;
   }
 
   void record(const analysis::summary_stats& s) {

@@ -1,19 +1,29 @@
 #!/usr/bin/env python3
-"""Benchmark baseline diff: fail on median step-rate regressions.
+"""Benchmark baseline diff: fail on per-cell metric regressions.
 
-Compares a candidate BENCH_*.json artifact (schema modcon-bench v3) against
-a committed baseline and exits nonzero when any cell's median trial step
-rate (perf.steps_per_sec_p50) regressed by more than --threshold (default
-10%).  Cells are matched by experiment label; cells without perf data
-(e.g. rt-backend rows, which report wall-clock only) are skipped.
+Compares one or more candidate BENCH_*.json artifacts (schema
+modcon-bench) against a committed baseline and exits nonzero when any
+gated cell metric regressed by more than --threshold (default 10%).
+Two metrics are gated, matched by experiment label:
+
+  * perf.steps_per_sec_p50 — median trial step rate (higher is better);
+    cells without perf data (e.g. rt-backend rows, which report
+    wall-clock only) are skipped.
+  * multi.slot_ops.p50 — median individual ops per slot proposal for
+    multi-shot cells (lower is better; a deterministic cost, not a
+    timing), gated as "<label> [slot_ops_p50]".
 
 Usage:
-    scripts/compare_bench.py BASELINE.json CANDIDATE.json [options]
+    scripts/compare_bench.py BASELINE.json CANDIDATE.json... [options]
+
+Multiple candidates are merged (the baseline may span several benches,
+each re-run into its own artifact); a label appearing in two candidates
+takes the last one.
 
 Options:
     --threshold F   fractional regression allowed per cell (default 0.10)
     --key NAME      perf field to compare (default steps_per_sec_p50)
-    --require-all   fail if a baseline cell is missing from the candidate
+    --require-all   fail if a baseline cell is missing from the candidates
                     (default: missing cells are reported but tolerated, so
                     a bench can drop a cell in the same PR that refreshes
                     the baseline)
@@ -35,7 +45,7 @@ def die(message):
 
 
 def load_cells(path, key):
-    """Returns {label: value} for every experiment carrying perf[key] > 0."""
+    """Returns {label: (value, higher_is_better)} for every gated metric."""
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -47,17 +57,22 @@ def load_cells(path, key):
     cells = {}
     for exp in doc.get("experiments", []):
         label = exp.get("label")
+        if not label:
+            continue
         value = exp.get("perf", {}).get(key)
-        if label and isinstance(value, (int, float)) and value > 0:
-            cells[label] = float(value)
+        if isinstance(value, (int, float)) and value > 0:
+            cells[label] = (float(value), True)
+        slot = exp.get("multi", {}).get("slot_ops", {}).get("p50")
+        if isinstance(slot, (int, float)) and slot > 0:
+            cells[f"{label} [slot_ops_p50]"] = (float(slot), False)
     return cells
 
 
 def main():
     parser = argparse.ArgumentParser(
-        description="fail on >threshold median step-rate regression")
+        description="fail on >threshold per-cell benchmark regression")
     parser.add_argument("baseline")
-    parser.add_argument("candidate")
+    parser.add_argument("candidates", nargs="+")
     parser.add_argument("--threshold", type=float, default=0.10)
     parser.add_argument("--key", default="steps_per_sec_p50")
     parser.add_argument("--require-all", action="store_true")
@@ -66,31 +81,37 @@ def main():
         parser.error("--threshold must be in [0, 1)")
 
     base = load_cells(args.baseline, args.key)
-    cand = load_cells(args.candidate, args.key)
+    cand = {}
+    for path in args.candidates:
+        cand.update(load_cells(path, args.key))
     if not base:
-        die(f"compare_bench: no cells with {args.key} in {args.baseline}")
+        die(f"compare_bench: no gated cells in {args.baseline}")
 
     regressions, missing = [], []
     width = max(len(label) for label in base)
-    print(f"compare_bench: {args.key}, threshold "
-          f"{args.threshold:.0%} ({args.baseline} -> {args.candidate})")
-    for label, old in sorted(base.items()):
-        new = cand.get(label)
-        if new is None:
+    print(f"compare_bench: {args.key} + multi slot_ops_p50, threshold "
+          f"{args.threshold:.0%} ({args.baseline} -> "
+          f"{', '.join(args.candidates)})")
+    for label, (old, higher_is_better) in sorted(base.items()):
+        entry = cand.get(label)
+        if entry is None:
             missing.append(label)
             print(f"  {label:<{width}}  MISSING from candidate")
             continue
-        ratio = new / old
+        new = entry[0]
+        # `ratio` > 1 always means "got better", whichever way the
+        # metric points.
+        ratio = new / old if higher_is_better else old / new
         flag = "" if ratio >= 1 - args.threshold else "  << REGRESSION"
-        print(f"  {label:<{width}}  {old:14.0f} -> {new:14.0f}  "
-              f"({ratio - 1:+7.1%}){flag}")
+        print(f"  {label:<{width}}  {old:14.1f} -> {new:14.1f}  "
+              f"({new / old - 1:+7.1%}){flag}")
         if flag:
             regressions.append((label, old, new))
     for label in sorted(set(cand) - set(base)):
         print(f"  {label:<{width}}  new cell (not in baseline)")
 
     if regressions:
-        detail = ", ".join(f"{label} ({old:.0f} -> {new:.0f})"
+        detail = ", ".join(f"{label} ({old:.1f} -> {new:.1f})"
                            for label, old, new in regressions)
         print(f"compare_bench: FAIL — {len(regressions)} cell(s) regressed "
               f"more than {args.threshold:.0%}: {detail}")

@@ -573,6 +573,31 @@ json to_json(const summary_stats& s, bool include_records) {
     j["obs"] = std::move(ob);
   }
 
+  // Multi-shot block (schema v4): emitted only for slot-log cells
+  // (analysis/multi.h), so one-shot artifacts keep their v3 shape.
+  // Deterministic fields only — the thread-count byte-identity contract
+  // covers this block.
+  if (s.multi.trials > 0) {
+    json mu = json::object();
+    mu["trials"] = json(s.multi.trials);
+    mu["shards"] = json(s.multi.shards);
+    mu["slots_per_shard"] = json(s.multi.slots_per_shard);
+    mu["proposals"] = json(s.multi.proposals);
+    mu["decisions"] = json(s.multi.decisions);
+    mu["fast_path_hits"] = json(s.multi.fast_path_hits);
+    mu["slots_reclaimed"] = json(s.multi.slots_reclaimed);
+    mu["slots_agreed"] = json(s.multi.slots_agreed);
+    mu["slots_valid"] = json(s.multi.slots_valid);
+    json pool = json::object();
+    pool["extents_created"] = json(s.multi.extents_created);
+    pool["extents_reused"] = json(s.multi.extents_reused);
+    pool["words_served"] = json(s.multi.pool_words_served);
+    pool["parent_words"] = json(s.multi.pool_parent_words);
+    mu["pool"] = std::move(pool);
+    mu["slot_ops"] = to_json(s.multi.slot_ops);
+    j["multi"] = std::move(mu);
+  }
+
   if (include_records && !s.records.empty()) {
     json recs = json::array();
     for (const trial_record& r : s.records) {

@@ -49,8 +49,13 @@ namespace modcon::analysis {
 // "obs" block: protocol counters, register-contention statistics, coin
 // agreement, and the stages-to-decision / spans-per-trial distributions,
 // emitted only when the cell ran with observation on (obs/metrics.h).
-inline constexpr int kExperimentSchemaVersion = 3;
-inline constexpr int kExperimentSchemaMinor = 2;
+// v4 added the per-cell "multi" block for multi-shot slot-log cells
+// (analysis/multi.h): proposal/decision/fast-path counts, reclamation
+// and register-pool accounting, and the per-proposal ops distribution —
+// deterministic fields only, emitted only when multi.trials > 0, so
+// one-shot cells keep their exact v3 shape.
+inline constexpr int kExperimentSchemaVersion = 4;
+inline constexpr int kExperimentSchemaMinor = 0;
 inline constexpr const char* kExperimentSchemaName = "modcon-bench";
 
 // Deterministic per-trial seed: SplitMix64 of base_seed ^ trial_index.
@@ -238,6 +243,26 @@ struct summary_stats {
     dist_summary stages_to_decision;  // per-trial max over processes
     dist_summary spans_per_trial;
   } obs;
+
+  // Multi-shot slot-log aggregation (schema v4 "multi" block), filled
+  // only by the multi-shot engine (analysis/multi.h); multi.trials == 0
+  // means absent.  Every field is deterministic for sim cells.
+  struct multi_summary {
+    std::uint64_t trials = 0;  // trials that carried multi accounting
+    std::uint64_t shards = 0;
+    std::uint64_t slots_per_shard = 0;
+    std::uint64_t proposals = 0;       // propose() calls that returned
+    std::uint64_t decisions = 0;       // slow path: ran the slot object
+    std::uint64_t fast_path_hits = 0;  // answered by the pin register
+    std::uint64_t slots_reclaimed = 0;
+    std::uint64_t extents_created = 0;
+    std::uint64_t extents_reused = 0;
+    std::uint64_t pool_words_served = 0;
+    std::uint64_t pool_parent_words = 0;
+    std::size_t slots_agreed = 0;  // trials with all slot decisions equal
+    std::size_t slots_valid = 0;   // trials with all decisions proposed
+    dist_summary slot_ops;         // per-proposal individual ops
+  } multi;
 
   double wall_ms = 0.0;  // summed trial wall time (not deterministic)
   // Per-phase wall-clock totals and the per-trial step-rate distribution

@@ -1,0 +1,561 @@
+#include "analysis/multi.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "multi/slot_log.h"
+#include "obs/metrics.h"
+#include "sim/adversaries/adversaries.h"
+#include "util/assertx.h"
+#include "util/rng.h"
+
+namespace modcon::analysis {
+
+std::uint64_t multi_proposal(std::uint64_t seed, std::uint64_t shard,
+                             std::uint64_t slot, process_id pid,
+                             std::uint64_t m) {
+  MODCON_CHECK(m >= 1);
+  std::uint64_t x = seed ^ (shard * 0x9e3779b97f4a7c15ULL) ^
+                    (slot * 0xbf58476d1ce4e5b9ULL) ^
+                    (static_cast<std::uint64_t>(pid) * 0x94d049bb133111ebULL);
+  return splitmix64(x) % m;
+}
+
+namespace {
+
+// Host-side shared state of one multi-shot trial: the shard logs plus
+// per-process result rows.  Each process writes only its own rows, so no
+// synchronization beyond thread join (rt) / single-threaded stepping
+// (sim) is needed.
+template <typename Env>
+struct multi_ctx {
+  std::vector<std::unique_ptr<multi::slot_log<Env>>> logs;
+  std::uint64_t shards = 0;
+  std::uint64_t slots = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t m = 2;
+  // Row layout: index pid * (shards*slots) + k, where k counts the
+  // process's proposals in program order — k maps to
+  // (slot = k / shards, shard = k % shards).
+  std::vector<word> decisions;
+  std::vector<double> ops;
+  std::vector<std::uint64_t> progress;  // per pid: proposals completed
+
+  std::uint64_t stride() const { return shards * slots; }
+};
+
+// The per-process program: propose on every slot of every shard in
+// slot-major order, advancing the watermark behind the frontier.  A
+// plain coroutine function (CP.51): parameters are copied into the
+// frame, so the spawning lambda may die.  Restart-safe by construction —
+// a re-run resets its own progress row and re-proposals land on the pin
+// fast path.
+template <typename Env>
+proc<word> multi_program(multi_ctx<Env>* ctx, Env& env) {
+  const process_id pid = env.pid();
+  const std::uint64_t stride = ctx->stride();
+  ctx->progress[pid] = 0;
+  std::uint64_t digest = ctx->seed ^ 0x6d756c7469ULL;
+  splitmix64(digest);
+  for (std::uint64_t slot = 0; slot < ctx->slots; ++slot) {
+    for (std::uint64_t shard = 0; shard < ctx->shards; ++shard) {
+      word v = static_cast<word>(
+          multi_proposal(ctx->seed, shard, slot, pid, ctx->m));
+      std::uint64_t before = env.obs_ops();
+      word d = co_await ctx->logs[shard]->propose(env, slot, v);
+      std::uint64_t k = ctx->progress[pid];
+      ctx->decisions[pid * stride + k] = d;
+      ctx->ops[pid * stride + k] =
+          static_cast<double>(env.obs_ops() - before);
+      ctx->progress[pid] = k + 1;
+      digest ^= d ^ (shard << 32) ^ slot;
+      splitmix64(digest);
+    }
+    // The frontier moved: this process will never propose on slot again.
+    for (std::uint64_t shard = 0; shard < ctx->shards; ++shard)
+      ctx->logs[shard]->advance_watermark(pid, slot + 1);
+  }
+  // The digest folds every consumed decision in order, so cross-process
+  // agreement on it is agreement on the entire log (whp) — it feeds the
+  // engine's standard output-agreement accounting.
+  co_return encode_decided({true, digest & (kDecideBit - 1)});
+}
+
+// Per-slot consistency over the host-side rows: every consumed decision
+// for (shard, slot) equals every other, and equals some process's
+// proposal for that same (shard, slot).  This is the cheap always-on
+// check; the auditor pass below re-derives the same facts as reportable
+// violations when armed.
+template <typename Env>
+void judge_slots(const multi_ctx<Env>& ctx, std::size_t n,
+                 multi_trial_result& res) {
+  res.slots_agree = true;
+  res.slots_valid = true;
+  const std::uint64_t stride = ctx.stride();
+  for (std::uint64_t k = 0; k < stride; ++k) {
+    const std::uint64_t slot = k / ctx.shards;
+    const std::uint64_t shard = k % ctx.shards;
+    word ref = kBot;
+    for (process_id pid = 0; pid < static_cast<process_id>(n); ++pid) {
+      if (k >= ctx.progress[pid]) continue;
+      word d = ctx.decisions[pid * stride + k];
+      if (ref == kBot) ref = d;
+      if (d != ref) res.slots_agree = false;
+      bool proposed = false;
+      for (process_id q = 0; q < static_cast<process_id>(n); ++q)
+        if (static_cast<word>(
+                multi_proposal(ctx.seed, shard, slot, q, ctx.m)) == d)
+          proposed = true;
+      if (!proposed) res.slots_valid = false;
+    }
+  }
+}
+
+// Folds the shard logs' own accounting into the result.
+template <typename Env>
+void collect_log_stats(const multi_ctx<Env>& ctx, multi_trial_result& res) {
+  for (const auto& log : ctx.logs) {
+    multi::slot_log_stats st = log->stats();
+    res.decisions += st.decisions;
+    res.fast_path_hits += st.fast_path_hits;
+    res.slots_reclaimed += st.slots_reclaimed;
+    res.pool.extents_created += st.pool.extents_created;
+    res.pool.extents_reused += st.pool.extents_reused;
+    res.pool.leases_opened += st.pool.leases_opened;
+    res.pool.leases_released += st.pool.leases_released;
+    res.pool.words_served += st.pool.words_served;
+    res.pool.parent_words += st.pool.parent_words;
+  }
+  for (std::uint64_t p = 0; p < ctx.progress.size(); ++p) {
+    res.proposals += ctx.progress[p];
+    for (std::uint64_t k = 0; k < ctx.progress[p]; ++k)
+      res.slot_ops.push_back(ctx.ops[p * ctx.stride() + k]);
+  }
+}
+
+// Runs the armed per-slot audit, one slot_audit_spec per shard, into a
+// single report.
+template <typename Env>
+void audit_multi(const multi_ctx<Env>& ctx, std::size_t n,
+                 const fault_plan& faults, check::audit_report& rep) {
+  const std::uint64_t stride = ctx.stride();
+  for (std::uint64_t shard = 0; shard < ctx.shards; ++shard) {
+    check::slot_audit_spec spec;
+    spec.n = n;
+    spec.slots = ctx.slots;
+    spec.process_faults = !faults.crashes.empty() ||
+                          !faults.restarts.empty() || !faults.stalls.empty();
+    spec.proposals.resize(ctx.slots * n, kBot);
+    for (std::uint64_t slot = 0; slot < ctx.slots; ++slot)
+      for (process_id pid = 0; pid < static_cast<process_id>(n); ++pid)
+        spec.proposals[slot * n + pid] = static_cast<word>(
+            multi_proposal(ctx.seed, shard, slot, pid, ctx.m));
+    std::vector<check::slot_output> outputs;
+    for (process_id pid = 0; pid < static_cast<process_id>(n); ++pid) {
+      for (std::uint64_t k = 0; k < ctx.progress[pid]; ++k) {
+        if (k % ctx.shards != shard) continue;
+        outputs.push_back(
+            {pid, k / ctx.shards, ctx.decisions[pid * stride + k]});
+      }
+    }
+    check::audit_slots(outputs, spec, rep);
+  }
+}
+
+}  // namespace
+
+multi_trial_result run_multi_trial(const multi_grid& cell,
+                                   const multi_trial_options& opts) {
+  const std::size_t n = cell.n;
+  MODCON_CHECK(n > 0 && cell.shards > 0 && cell.slots > 0);
+  MODCON_CHECK_MSG(!opts.faults.registers.enabled(),
+                   "multi-shot trials do not support register faults (a "
+                   "stale read of a pin register could route a proposal "
+                   "into a reclaimed slot)");
+  phase_timer schedule_timer(opts.perf, perf_phase::schedule);
+  // Recorder before the world: frames destroyed in ~sim_world still hold
+  // span guards (see run_object_trial).
+  std::optional<obs::trial_recorder> obs_rec;
+  if (opts.observe) obs_rec.emplace(n);
+  auto adv = cell.make_adversary ? cell.make_adversary()
+                                 : std::make_unique<sim::random_oblivious>();
+  sim::world_options wopts;
+  wopts.trace_enabled = opts.audit.enabled || opts.observe;
+  wopts.trace_max_events = opts.audit.max_trace_events;
+  wopts.obs = obs_rec ? &*obs_rec : nullptr;
+  sim::sim_world world(n, *adv, opts.seed, wopts);
+
+  multi_ctx<sim::sim_env> ctx;
+  ctx.shards = cell.shards;
+  ctx.slots = cell.slots;
+  ctx.seed = opts.seed;
+  ctx.m = cell.m;
+  ctx.decisions.assign(n * ctx.stride(), kBot);
+  ctx.ops.assign(n * ctx.stride(), 0.0);
+  ctx.progress.assign(n, 0);
+  for (std::uint64_t s = 0; s < cell.shards; ++s)
+    ctx.logs.push_back(std::make_unique<multi::slot_log<sim::sim_env>>(
+        world, n, cell.spec, cell.extent_words));
+
+  for (process_id pid = 0; pid < static_cast<process_id>(n); ++pid)
+    world.spawn(
+        [&ctx](sim::sim_env& env) { return multi_program(&ctx, env); });
+  for (const crash_spec& c : opts.faults.crashes)
+    world.crash_after(c.pid, c.after_ops);
+  for (const restart_spec& r : opts.faults.restarts)
+    world.restart_after(r.pid, r.after_ops);
+  for (const stall_spec& s : opts.faults.stalls)
+    world.crash_after(s.pid, s.after_ops);  // async model: stall = crash
+  schedule_timer.stop();
+
+  multi_trial_result res;
+  {
+    phase_timer step_timer(opts.perf, perf_phase::step);
+    res.base.status = world.run(opts.limits.max_steps).status;
+  }
+  for (process_id pid = 0; pid < static_cast<process_id>(n); ++pid) {
+    auto out = world.output_of(pid);
+    if (world.crashed(pid)) {
+      res.base.crashed_pids.push_back(pid);
+      if (out) res.base.crashed_outputs.push_back(decode_decided(*out));
+    } else if (out) {
+      res.base.outputs.push_back(decode_decided(*out));
+      res.base.halted_pids.push_back(pid);
+    }
+    if (world.restarts_of(pid) > 0) res.base.restarted_pids.push_back(pid);
+  }
+  res.base.restarts = world.total_restarts();
+  res.base.total_ops = world.total_ops();
+  res.base.max_individual_ops = world.max_individual_ops();
+  res.base.steps = world.steps();
+  res.base.registers = world.allocated();
+
+  collect_log_stats(ctx, res);
+  judge_slots(ctx, n, res);
+
+  if (opts.audit.enabled) {
+    phase_timer audit_timer(opts.perf, perf_phase::audit);
+    check::audit_report rep;
+    audit_multi(ctx, n, opts.faults, rep);
+    // Trace legality always applies: recycling must look like ordinary
+    // applied writes to the replay (sim_world::reinit records it so).
+    check::audit_spec tspec;
+    tspec.n = n;
+    tspec.check_properties = false;  // outputs are digests, not §3 outputs
+    tspec.process_faults = !opts.faults.crashes.empty() ||
+                           !opts.faults.restarts.empty() ||
+                           !opts.faults.stalls.empty();
+    check::audit_trace(world.execution_trace(), tspec, rep);
+    res.base.audit = std::move(rep);
+  }
+
+  if (obs_rec) {
+    for (process_id pid = 0; pid < static_cast<process_id>(n); ++pid)
+      obs_rec->force_close(pid, world.steps(), world.ops_of(pid),
+                           world.draws_of(pid));
+    obs_rec->seal();
+    res.base.obs = obs::finalize_trial(*obs_rec, &world.execution_trace());
+  }
+  return res;
+}
+
+multi_trial_result run_rt_multi_trial(const multi_grid& cell,
+                                      const multi_trial_options& opts) {
+  const std::size_t n = cell.n;
+  MODCON_CHECK(n > 0 && cell.shards > 0 && cell.slots > 0);
+  phase_timer schedule_timer(opts.perf, perf_phase::schedule);
+  rt::arena mem;
+
+  multi_ctx<rt::rt_env> ctx;
+  ctx.shards = cell.shards;
+  ctx.slots = cell.slots;
+  ctx.seed = opts.seed;
+  ctx.m = cell.m;
+  ctx.decisions.assign(n * ctx.stride(), kBot);
+  ctx.ops.assign(n * ctx.stride(), 0.0);
+  ctx.progress.assign(n, 0);
+  for (std::uint64_t s = 0; s < cell.shards; ++s)
+    ctx.logs.push_back(std::make_unique<multi::slot_log<rt::rt_env>>(
+        mem, n, cell.spec, cell.extent_words));
+
+  std::unique_ptr<obs::trial_recorder> obs_rec;
+  if (opts.observe) obs_rec = std::make_unique<obs::trial_recorder>(n);
+
+  rt::rt_run_options ropts;
+  ropts.chaos = opts.chaos;
+  ropts.watchdog_ms = opts.watchdog_ms;
+  ropts.obs = obs_rec.get();
+  for (const crash_spec& c : opts.faults.crashes)
+    ropts.faults.push_back({c.pid, c.after_ops, rt::fault_action::crash, 0});
+  for (const restart_spec& r : opts.faults.restarts)
+    ropts.faults.push_back(
+        {r.pid, r.after_ops, rt::fault_action::restart, 0});
+  for (const stall_spec& s : opts.faults.stalls)
+    ropts.faults.push_back(
+        {s.pid, s.after_ops, rt::fault_action::stall, s.resume_after_ms});
+  schedule_timer.stop();
+
+  phase_timer step_timer(opts.perf, perf_phase::step);
+  auto rres = rt::run_threads_opts(
+      mem, n, opts.seed,
+      [&ctx](rt::rt_env& env) { return multi_program(&ctx, env); }, ropts);
+  step_timer.stop();
+
+  multi_trial_result res;
+  bool any_crashed = false;
+  for (process_id pid = 0; pid < static_cast<process_id>(n); ++pid) {
+    switch (rres.outcomes[pid]) {
+      case rt::rt_outcome::halted:
+        res.base.outputs.push_back(decode_decided(rres.outputs[pid]));
+        res.base.halted_pids.push_back(pid);
+        break;
+      case rt::rt_outcome::crashed:
+        res.base.crashed_pids.push_back(pid);
+        any_crashed = true;
+        break;
+      case rt::rt_outcome::timed_out:
+      case rt::rt_outcome::running:
+        break;
+    }
+    if (rres.restarts[pid] > 0) res.base.restarted_pids.push_back(pid);
+    res.base.restarts += rres.restarts[pid];
+  }
+  if (rres.timed_out)
+    res.base.status = sim::run_status::timed_out;
+  else if (any_crashed)
+    res.base.status = sim::run_status::no_runnable;
+  else
+    res.base.status = sim::run_status::all_halted;
+  res.base.total_ops = rres.total_ops;
+  res.base.max_individual_ops = rres.max_individual_ops;
+  res.base.steps = rres.total_ops;
+  res.base.registers = mem.allocated();
+
+  collect_log_stats(ctx, res);
+  judge_slots(ctx, n, res);
+
+  if (obs_rec) {
+    obs_rec->seal();
+    res.base.obs = obs::finalize_trial(*obs_rec, nullptr);
+  }
+
+  if (opts.audit.enabled) {
+    phase_timer audit_timer(opts.perf, perf_phase::audit);
+    check::audit_report rep;
+    audit_multi(ctx, n, opts.faults, rep);
+    // No trace-legality / hb pass on this backend: pool recycling is a
+    // host-side release store with no recorded interval, so the
+    // serializability check's event stream would be incomplete by
+    // construction.  The per-slot checks above are the rt audit.
+    res.base.audit = std::move(rep);
+  }
+  return res;
+}
+
+namespace {
+
+struct multi_record {
+  std::uint64_t trial_index = 0;
+  std::uint64_t seed = 0;
+  multi_trial_result result;
+  double wall_ms = 0.0;
+  perf_counters perf;
+};
+
+multi_record run_one_multi_trial(const multi_grid& cell,
+                                 std::uint64_t index) {
+  multi_record rec;
+  rec.trial_index = index;
+  rec.seed = derive_trial_seed(cell.base_seed, index);
+
+  multi_trial_options opts;
+  opts.seed = rec.seed;
+  opts.limits = cell.limits;
+  opts.faults = cell.faults;
+  opts.audit.enabled = cell.audit.enabled_for(index);
+  opts.audit.max_trace_events = cell.audit.max_trace_events;
+  opts.observe = cell.observe;
+  opts.perf = &rec.perf;
+
+  auto t0 = std::chrono::steady_clock::now();
+  rec.result = run_multi_trial(cell, opts);
+  rec.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  if (rec.result.base.obs) rec.result.base.obs->drop_spans();
+  return rec;
+}
+
+// Serial, trial-ordered reduction — the one-shot engine's determinism
+// contract, restated for multi cells.
+summary_stats reduce_multi(const multi_grid& cell,
+                           std::vector<multi_record> records) {
+  const std::uint64_t reduce_t0 = perf_now_ns();
+  summary_stats s;
+  s.label = cell.label;
+  s.n = cell.n;
+  s.m = cell.m;
+  s.pattern = input_pattern::random_m;  // proposals: seeded uniform [0, m)
+  s.base_seed = cell.base_seed;
+  s.trials = records.size();
+  s.fault_profile = to_string(cell.faults);
+  s.audit_profile = to_string(cell.audit);
+  s.multi.shards = cell.shards;
+  s.multi.slots_per_shard = cell.slots;
+
+  constexpr std::size_t kMaxAuditExamples = 8;
+  std::vector<double> total, indiv, steps, step_rate, slot_ops;
+  std::vector<double> obs_stages, obs_spans;
+  for (multi_record& r : records) {
+    const trial_result& base = r.result.base;
+    s.wall_ms += r.wall_ms;
+    s.perf += r.perf;
+    s.crashed_processes += base.crashed_pids.size();
+    s.restarted_processes += base.restarted_pids.size();
+    s.restarts += base.restarts;
+    if (base.audit) {
+      const check::audit_report& a = *base.audit;
+      ++s.audited;
+      switch (a.status) {
+        case check::audit_status::clean: ++s.audit_clean; break;
+        case check::audit_status::violated: ++s.audit_violated; break;
+        case check::audit_status::inconclusive:
+          ++s.audit_inconclusive;
+          break;
+      }
+      s.audit_events_checked += a.events_checked;
+      s.audit_stale_reads_matched += a.stale_reads_matched;
+      for (const check::violation& v : a.violations) {
+        if (s.audit_examples.size() >= kMaxAuditExamples) break;
+        s.audit_examples.push_back({r.trial_index, r.seed, v});
+      }
+    }
+    if (base.obs) {
+      const obs::trial_obs& o = *base.obs;
+      ++s.obs.trials;
+      if (o.truncated) ++s.obs.truncated;
+      for (std::size_t i = 0; i < obs::kCounterCount; ++i)
+        s.obs.counters[i] += o.counters[i];
+      s.obs.reg_reads += o.regs.reads;
+      s.obs.reg_writes_applied += o.regs.writes_applied;
+      s.obs.reg_writes_missed += o.regs.writes_missed;
+      s.obs.lost_overwrites += o.regs.lost_overwrites;
+      s.obs.conciliator_invocations += o.conciliator_invocations;
+      s.obs.conciliator_agreed += o.conciliator_agreed;
+      obs_spans.push_back(static_cast<double>(o.span_count));
+    }
+    ++s.multi.trials;
+    s.multi.proposals += r.result.proposals;
+    s.multi.decisions += r.result.decisions;
+    s.multi.fast_path_hits += r.result.fast_path_hits;
+    s.multi.slots_reclaimed += r.result.slots_reclaimed;
+    s.multi.extents_created += r.result.pool.extents_created;
+    s.multi.extents_reused += r.result.pool.extents_reused;
+    s.multi.pool_words_served += r.result.pool.words_served;
+    s.multi.pool_parent_words += r.result.pool.parent_words;
+    s.multi.slots_agreed += r.result.slots_agree;
+    s.multi.slots_valid += r.result.slots_valid;
+    slot_ops.insert(slot_ops.end(), r.result.slot_ops.begin(),
+                    r.result.slot_ops.end());
+
+    if (base.timed_out()) {
+      ++s.timed_out;
+      continue;
+    }
+    if (base.status == sim::run_status::step_limit) continue;
+    ++s.completed;
+    // Output agreement over the digests is whole-log agreement; validity
+    // is the per-slot judgement (digests are not §3 values).
+    std::vector<decided> escaped = base.all_outputs();
+    s.agreed += check_agreement(escaped);
+    s.coherent += check_coherence(escaped);
+    s.valid += r.result.slots_valid && r.result.slots_agree;
+    s.all_decided += all_decided(escaped);
+    total.push_back(static_cast<double>(base.total_ops));
+    indiv.push_back(static_cast<double>(base.max_individual_ops));
+    steps.push_back(static_cast<double>(base.steps));
+    if (r.perf.ns[static_cast<std::size_t>(perf_phase::step)] > 0)
+      step_rate.push_back(
+          static_cast<double>(base.steps) * 1e9 /
+          static_cast<double>(
+              r.perf.ns[static_cast<std::size_t>(perf_phase::step)]));
+  }
+  s.total_ops = dist_summary::of(std::move(total));
+  s.max_individual_ops = dist_summary::of(std::move(indiv));
+  s.steps = dist_summary::of(std::move(steps));
+  s.steps_per_sec = dist_summary::of(std::move(step_rate));
+  s.multi.slot_ops = dist_summary::of(std::move(slot_ops));
+  s.obs.spans_per_trial = dist_summary::of(std::move(obs_spans));
+  s.obs.stages_to_decision = dist_summary::of(std::move(obs_stages));
+  s.perf.ns[static_cast<std::size_t>(perf_phase::serialize)] +=
+      perf_now_ns() - reduce_t0;
+  return s;
+}
+
+}  // namespace
+
+std::vector<summary_stats> run_multi_grid(const std::vector<multi_grid>& grid,
+                                          const experiment_options& opts) {
+  struct task {
+    std::size_t cell;
+    std::uint64_t trial;
+  };
+  std::vector<task> tasks;
+  std::vector<std::vector<multi_record>> records(grid.size());
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    records[c].resize(grid[c].trials);
+    for (std::uint64_t t = 0; t < grid[c].trials; ++t) tasks.push_back({c, t});
+  }
+
+  std::size_t workers =
+      opts.threads ? opts.threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, std::max<std::size_t>(1, tasks.size()));
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(workers);
+  auto worker = [&](std::size_t wid) {
+    try {
+      while (!failed.load(std::memory_order_relaxed)) {
+        std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) break;
+        const task& tk = tasks[i];
+        records[tk.cell][tk.trial] =
+            run_one_multi_trial(grid[tk.cell], tk.trial);
+      }
+    } catch (...) {
+      errors[wid] = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  if (workers <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
+  }
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  std::vector<summary_stats> out;
+  out.reserve(grid.size());
+  for (std::size_t c = 0; c < grid.size(); ++c)
+    out.push_back(reduce_multi(grid[c], std::move(records[c])));
+  return out;
+}
+
+summary_stats run_multi_experiment(const multi_grid& cell,
+                                   const experiment_options& opts) {
+  std::vector<multi_grid> grid;
+  grid.push_back(cell);
+  return run_multi_grid(grid, opts).front();
+}
+
+}  // namespace modcon::analysis

@@ -1,0 +1,116 @@
+// Multi-shot trial engine: batches of slot-log executions (multi/) over
+// the same deterministic grid machinery as the one-shot experiments.
+//
+// A multi-shot trial runs n processes against K independent slot logs
+// ("shards"), each process proposing on every slot of every shard in
+// slot-major order and advancing its watermark as it goes — so decided
+// slots reclaim behind the frontier while the run is still going.  The
+// proposal a process makes for (shard, slot) is a deterministic mix of
+// the trial seed, so a trial is reproducible from (cell, index) exactly
+// like the one-shot engine, and the per-slot auditor can reconstruct the
+// full proposal table without recording it.
+//
+// Results reuse summary_stats: the shared fields (counts, cost
+// distributions, perf) mean the same thing, and the multi-specific
+// accounting lands in summary_stats::multi — the schema v4 "multi" JSON
+// block.  Every field in that block is a deterministic function of the
+// cell definition, so e17 artifacts stay byte-identical across engine
+// thread counts.
+//
+// The same trial shape runs on both backends: run_multi_trial drives the
+// simulator under an adversary (with fault injection, trace-legality
+// audit, and per-slot audit); run_rt_multi_trial drives real threads
+// (per-slot audit only — reinit stores are not hb events, so the
+// serializability check does not apply to recycled registers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/runner.h"
+#include "core/consensus/stack_spec.h"
+#include "multi/object_pool.h"
+
+namespace modcon::analysis {
+
+// One cell of a multi-shot grid.  Stacks come exclusively from the
+// descriptor registry (core/consensus/stack_spec.h) — there is no
+// factory-lambda escape hatch here.
+struct multi_grid {
+  std::string label;
+  stack_spec spec;           // per-slot consensus stack
+  std::size_t n = 4;         // processes
+  std::uint64_t shards = 4;  // independent slot logs
+  std::uint64_t slots = 16;  // slots proposed per shard
+  std::uint64_t m = 2;       // proposal alphabet [0, m)
+  std::size_t trials = 20;
+  std::uint64_t base_seed = 1;
+  run_limits limits;
+  adversary_factory make_adversary;  // sim backend; null = random scheduler
+  fault_plan faults;
+  audit_plan audit;  // per-slot + trace-legality audit sampling
+  std::uint32_t extent_words = 64;  // object_pool extent size
+  bool keep_records = false;
+  bool observe = false;
+};
+
+// The value process `pid` proposes for (shard, slot) in the trial with
+// this seed — shared between the program and the auditor's proposal
+// table.
+std::uint64_t multi_proposal(std::uint64_t seed, std::uint64_t shard,
+                             std::uint64_t slot, process_id pid,
+                             std::uint64_t m);
+
+// Result of one multi-shot trial.  `base` carries the backend-level
+// outcome (status, cost counters, audit report); outputs hold one
+// digest per surviving process — a seeded fold of every slot decision
+// the process consumed, so cross-process agreement on the digest is
+// agreement on the entire log.
+struct multi_trial_result {
+  trial_result base;
+  std::uint64_t proposals = 0;       // propose() calls that returned
+  std::uint64_t decisions = 0;       // slow path: ran the slot object
+  std::uint64_t fast_path_hits = 0;  // answered by the pin register
+  std::uint64_t slots_reclaimed = 0;
+  multi::pool_stats pool;            // summed over shards
+  std::vector<double> slot_ops;      // per-proposal individual ops
+  bool slots_agree = false;  // every consumed slot decision matched
+  bool slots_valid = false;  // every slot decision was proposed for it
+};
+
+struct multi_trial_options {
+  std::uint64_t seed = 1;
+  run_limits limits;
+  fault_plan faults;
+  audit_options audit;
+  bool observe = false;
+  perf_counters* perf = nullptr;
+  // rt backend only (mirrors rt_trial_options).
+  std::uint32_t chaos = 0;
+  std::uint32_t watchdog_ms = 10'000;
+};
+
+// One simulated multi-shot execution of `cell.spec` over cell.shards
+// logs; the grid fields (trials, base_seed, audit sampling) are ignored
+// in favor of `opts`.
+multi_trial_result run_multi_trial(const multi_grid& cell,
+                                   const multi_trial_options& opts);
+
+// One real-thread multi-shot execution (OS scheduling, cooperative
+// process faults, no register faults).
+multi_trial_result run_rt_multi_trial(const multi_grid& cell,
+                                      const multi_trial_options& opts);
+
+// Runs a multi-shot grid through a shared worker pool with the one-shot
+// engine's determinism contract: trial t of a cell always uses seed
+// derive_trial_seed(base_seed, t), and records reduce in trial order, so
+// summaries are identical for every opts.threads.
+std::vector<summary_stats> run_multi_grid(const std::vector<multi_grid>& grid,
+                                          const experiment_options& opts = {});
+
+summary_stats run_multi_experiment(const multi_grid& cell,
+                                   const experiment_options& opts = {});
+
+}  // namespace modcon::analysis

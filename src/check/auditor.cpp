@@ -17,6 +17,8 @@ const char* to_string(violation_kind k) {
     case violation_kind::illegal_stale_read: return "illegal_stale_read";
     case violation_kind::omitted_write_visible: return "omitted_write_visible";
     case violation_kind::unserializable_read: return "unserializable_read";
+    case violation_kind::slot_coherence: return "slot_coherence";
+    case violation_kind::slot_prefix: return "slot_prefix";
   }
   return "?";
 }
@@ -110,6 +112,89 @@ void audit_outputs(const std::vector<labeled_output>& outputs,
            << o.out.decide << ", " << o.out.value << ") to p" << o.pid;
         rep.violations.push_back({violation_kind::acceptance, o.pid, 0,
                                   kInvalidReg, o.out.value, os.str(), {}});
+      }
+    }
+  }
+  resolve(rep);
+}
+
+void audit_slots(const std::vector<slot_output>& outputs,
+                 const slot_audit_spec& spec, audit_report& rep) {
+  MODCON_CHECK(spec.proposals.size() ==
+               spec.slots * static_cast<std::uint64_t>(spec.n));
+
+  // Per-slot agreement and validity.  The first decision seen for a slot
+  // is the reference; every other decision must match it (agreement is
+  // absolute for a slot log — each slot is full consensus, so unlike the
+  // one-shot coherence check no undecided outputs exist to excuse).
+  std::vector<const slot_output*> first(spec.slots, nullptr);
+  for (const slot_output& o : outputs) {
+    MODCON_CHECK_MSG(o.slot < spec.slots,
+                     "slot output beyond the audited range");
+    rep.events_checked++;
+
+    bool proposed = false;
+    for (process_id p = 0; p < static_cast<process_id>(spec.n); ++p) {
+      if (spec.proposal(o.slot, p) == o.value) {
+        proposed = true;
+        break;
+      }
+    }
+    if (!proposed) {
+      std::ostringstream os;
+      os << "slot " << o.slot << ": p" << o.pid << " decided " << o.value
+         << ", which no process proposed for that slot";
+      rep.violations.push_back({violation_kind::validity, o.pid, o.slot,
+                                kInvalidReg, o.value, os.str(), {}});
+    }
+
+    const slot_output*& ref = first[o.slot];
+    if (ref == nullptr) {
+      ref = &o;
+    } else if (o.value != ref->value) {
+      std::ostringstream os;
+      os << "slot " << o.slot << ": p" << o.pid << " decided " << o.value
+         << " but p" << ref->pid << " decided " << ref->value;
+      rep.violations.push_back({violation_kind::slot_coherence, o.pid, o.slot,
+                                kInvalidReg, o.value, os.str(), {}});
+    }
+  }
+
+  // Per-process prefix completeness: a survivor's decided slots must be
+  // exactly [0, k) — a hole means it consumed slot s+1 without ever
+  // learning slot s, which breaks the log abstraction (state machines
+  // apply decisions in order).  Crash faults legally truncate a process's
+  // suffix but still never punch holes.
+  std::vector<std::vector<bool>> seen(
+      spec.n, std::vector<bool>(static_cast<std::size_t>(spec.slots), false));
+  for (const slot_output& o : outputs)
+    if (o.pid < static_cast<process_id>(spec.n))
+      seen[o.pid][static_cast<std::size_t>(o.slot)] = true;
+  for (process_id p = 0; p < static_cast<process_id>(spec.n); ++p) {
+    std::uint64_t hole = spec.slots;
+    for (std::uint64_t s = 0; s < spec.slots; ++s) {
+      if (!seen[p][static_cast<std::size_t>(s)]) {
+        if (hole == spec.slots) hole = s;
+      } else if (hole != spec.slots) {
+        std::ostringstream os;
+        os << "p" << p << " decided slot " << s << " but never slot " << hole;
+        rep.violations.push_back({violation_kind::slot_prefix, p, s,
+                                  kInvalidReg, kBot, os.str(), {}});
+        break;
+      }
+    }
+    // A truncated suffix (hole reaches the end) is only legal under
+    // process faults.
+    if (hole != spec.slots && !spec.process_faults) {
+      bool trailing_only = true;
+      for (std::uint64_t s = hole; s < spec.slots; ++s)
+        if (seen[p][static_cast<std::size_t>(s)]) trailing_only = false;
+      if (trailing_only) {
+        std::ostringstream os;
+        os << "p" << p << " stopped at slot " << hole << " of " << spec.slots
+           << " in a fault-free trial";
+        rep.violations.push_back({violation_kind::slot_prefix, p, hole,
+                                  kInvalidReg, kBot, os.str(), {}});
       }
     }
   }

@@ -52,6 +52,10 @@ enum class violation_kind : std::uint8_t {
   omitted_write_visible,  // read returned the value of a write that did
                           // not apply
   unserializable_read,    // rt read with no admissible source write (hb)
+  slot_coherence,         // two processes decided different values for the
+                          // same slot of a multi-shot log
+  slot_prefix,            // a process's decided slots are not a prefix
+                          // [0, k) of the log (it skipped a slot)
 };
 
 const char* to_string(violation_kind k);
@@ -127,6 +131,41 @@ struct labeled_output {
 // spec.ratifier).  Appends violations to `rep`.
 void audit_outputs(const std::vector<labeled_output>& outputs,
                    const audit_spec& spec, audit_report& rep);
+
+// --- multi-shot slot logs (multi/slot_log.h) ---
+
+// One slot decision observed by one process: propose(slot, …) returned
+// `value` to `pid`.
+struct slot_output {
+  process_id pid = kInvalidProcess;
+  std::uint64_t slot = 0;
+  word value = kBot;
+};
+
+// What the auditor may assume about a multi-shot trial on one log.
+struct slot_audit_spec {
+  std::size_t n = 0;
+  std::uint64_t slots = 0;  // slots proposed on: [0, slots)
+  // proposals[slot * n + pid] = the value pid proposed for slot (kBot if
+  // pid never proposed on that slot).  Size slots * n.
+  std::vector<word> proposals;
+  // A crashed process legally stops mid-log, so prefix completeness is
+  // only required of survivors; the caller marks fault trials here.
+  bool process_faults = false;
+
+  word proposal(std::uint64_t slot, process_id pid) const {
+    return proposals[slot * n + pid];
+  }
+};
+
+// Per-slot §3 checks over every decision that escaped a multi-shot trial:
+// per-slot agreement (slot_coherence), per-slot validity (validity —
+// every slot decision is some process's proposal for that same slot),
+// and per-process decided-prefix completeness (slot_prefix — each
+// process's decided slots form a contiguous prefix [0, k); skipping a
+// slot means the log handed out slot s+1 before s was consumed).
+void audit_slots(const std::vector<slot_output>& outputs,
+                 const slot_audit_spec& spec, audit_report& rep);
 
 // Composition invariants over a `composition_log` snapshot.  Stage-level
 // property checks obey spec.check_properties / spec.process_faults.

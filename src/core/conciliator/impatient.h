@@ -34,6 +34,9 @@ struct impatience_schedule {
   std::uint32_t numer = 2;
   std::uint32_t denom = 1;
 
+  friend bool operator==(const impatience_schedule&,
+                         const impatience_schedule&) = default;
+
   // min(g^k / n, 1) = min(numer^k / (denom^k * n), 1), exact up to a
   // shared right-shift renormalization once the 128-bit intermediates
   // would overflow (far beyond any probability the algorithms can tell

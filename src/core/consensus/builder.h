@@ -1,45 +1,22 @@
-// Convenience builders for the standard consensus stacks.
+// Convenience builders for the standard consensus stacks, for callers
+// that hold a bespoke quorum system (table quorums in tests, instrumented
+// systems in the extensions).  Everything else — benches, tools, the
+// multi-shot log — should go through the declarative stack_spec registry
+// (core/consensus/stack_spec.h) instead of naming these directly.
 //
-// The address_space captured by every factory must outlive the consensus
-// object (in practice: the world outlives everything it hosts).
+// The address_space captured by every builder must outlive the consensus
+// object (in practice: the world outlives everything it hosts).  Debug
+// and sanitizer builds enforce this: the address space carries a liveness
+// tag that register allocation and access assert on, so a dangling
+// capture fails loudly instead of corrupting a freed register file.
 #pragma once
 
 #include <memory>
 
-#include "baseline/cil_consensus.h"
-#include "core/conciliator/fixed_probability.h"
-#include "core/conciliator/impatient.h"
-#include "core/consensus/bounded.h"
-#include "core/consensus/ratifier_only.h"
-#include "core/consensus/unbounded.h"
-#include "core/ratifier/quorum_ratifier.h"
-#include "quorum/quorum_system.h"
+#include "core/consensus/stack_spec.h"
 #include "util/bits.h"
 
 namespace modcon {
-
-template <typename Env>
-object_factory<Env> ratifier_factory(
-    address_space& mem, std::shared_ptr<const quorum_system> qs) {
-  return [&mem, qs] {
-    return std::make_unique<quorum_ratifier<Env>>(mem, qs);
-  };
-}
-
-template <typename Env>
-object_factory<Env> impatient_factory(address_space& mem) {
-  return [&mem] { return std::make_unique<impatient_conciliator<Env>>(mem); };
-}
-
-template <typename Env>
-object_factory<Env> fixed_probability_factory(address_space& mem,
-                                              std::uint64_t num = 1,
-                                              std::uint64_t den_per_n = 2) {
-  return [&mem, num, den_per_n] {
-    return std::make_unique<fixed_probability_conciliator<Env>>(mem, num,
-                                                                den_per_n);
-  };
-}
 
 // The paper's headline protocol: impatient conciliators + quorum
 // ratifiers in the unbounded construction.  Binary consensus uses the
@@ -49,7 +26,8 @@ template <typename Env>
 std::unique_ptr<unbounded_consensus<Env>> make_impatient_consensus(
     address_space& mem, std::shared_ptr<const quorum_system> qs) {
   return std::make_unique<unbounded_consensus<Env>>(
-      ratifier_factory<Env>(mem, std::move(qs)), impatient_factory<Env>(mem));
+      detail::ratifier_factory<Env>(mem, std::move(qs)),
+      detail::conciliator_factory<Env>(mem, stack_spec{}));
 }
 
 // Theorem 5's bounded-space variant with the CIL racing protocol as the
@@ -61,8 +39,9 @@ std::unique_ptr<bounded_consensus<Env>> make_bounded_impatient_consensus(
     std::size_t n, std::size_t rounds = 0) {
   if (rounds == 0) rounds = lg_ceil(n) + 4;
   return std::make_unique<bounded_consensus<Env>>(
-      ratifier_factory<Env>(mem, std::move(qs)), impatient_factory<Env>(mem),
-      rounds, std::make_unique<cil_consensus<Env>>(mem, n));
+      detail::ratifier_factory<Env>(mem, std::move(qs)),
+      detail::conciliator_factory<Env>(mem, stack_spec{}), rounds,
+      std::make_unique<cil_consensus<Env>>(mem, n));
 }
 
 // §4.2: the ratifier-only ladder (lean consensus when the quorums are
@@ -72,7 +51,7 @@ std::unique_ptr<ratifier_only_consensus<Env>> make_ratifier_only_consensus(
     address_space& mem, std::shared_ptr<const quorum_system> qs,
     std::size_t max_rounds = 100000) {
   return std::make_unique<ratifier_only_consensus<Env>>(
-      ratifier_factory<Env>(mem, std::move(qs)), max_rounds);
+      detail::ratifier_factory<Env>(mem, std::move(qs)), max_rounds);
 }
 
 }  // namespace modcon

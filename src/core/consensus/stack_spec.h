@@ -1,0 +1,282 @@
+// Declarative stack descriptors: one value type that names everything a
+// consensus stack is made of, plus a registry keying the canonical specs
+// by name.
+//
+// Before this existed every bench, tool, and app built its stacks through
+// ad-hoc `object_factory<Env>` lambdas copied from builder.h, and each
+// binary grew its own name -> lambda table for its --stack flag.  A
+// `stack_spec` is plain data — protocol shape, conciliator family, quorum
+// system, bounds, coin parameters — so the same spec can be printed,
+// compared, round-tripped through its registry name, and built for either
+// backend (`build<sim::sim_env>` / `build<rt::rt_env>`).  The registry is
+// the single source of truth for what "impatient", "bounded", ... mean;
+// everything that accepts a stack name resolves it here.
+//
+// Specs deliberately cover the *standard* stacks.  An experiment that
+// needs a bespoke composition (table quorums, a custom fallback, an
+// instrumented ratifier) still writes the object graph out of the parts
+// in core/ — the registry is for the shared vocabulary, not a plugin
+// system.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "baseline/cil_consensus.h"
+#include "core/conciliator/fixed_probability.h"
+#include "core/conciliator/impatient.h"
+#include "core/consensus/bounded.h"
+#include "core/consensus/ratifier_only.h"
+#include "core/consensus/unbounded.h"
+#include "core/ratifier/quorum_ratifier.h"
+#include "quorum/quorum_system.h"
+#include "util/assertx.h"
+#include "util/bits.h"
+
+namespace modcon {
+
+// Which composition of the paper's objects the stack uses.
+enum class protocol_kind : std::uint8_t {
+  unbounded,      // §4.1: R₋₁; R₀; C₁; R₁; … materialized lazily
+  bounded,        // Theorem 5: truncated prefix + always-deciding fallback
+  ratifier_only,  // §4.2: the ratifier ladder, no conciliators
+  cil,            // the bare Chor–Israeli–Li-style baseline (no stack)
+};
+
+enum class conciliator_kind : std::uint8_t {
+  impatient,          // Theorem 7 first-mover conciliator
+  fixed_probability,  // untuned p = num/(den_per_n · n) probabilistic write
+};
+
+// Quorum system family.  `adaptive` picks binary for m <= 2 and Bollobás
+// otherwise — the convention every bench and the trace tool already used.
+enum class quorum_kind : std::uint8_t { adaptive, binary, bollobas, bitvector };
+
+struct stack_spec {
+  protocol_kind protocol = protocol_kind::unbounded;
+  conciliator_kind conciliator = conciliator_kind::impatient;
+  quorum_kind quorums = quorum_kind::adaptive;
+  // Value-domain size Σ = [0, m); sizes the quorum system, not the
+  // protocol shape — registry names identify specs modulo m.
+  std::uint64_t m = 2;
+  // bounded: conciliator/ratifier rounds k before the fallback.
+  // kAutoRounds = ceil(lg n) + 4, resolved against the trial's n at build
+  // time; 0 is a legal explicit value (every invocation falls through to
+  // the fallback — the E8 ablation's degenerate endpoint).
+  static constexpr std::size_t kAutoRounds = static_cast<std::size_t>(-1);
+  std::size_t rounds = kAutoRounds;
+  // ratifier_only: ladder length before giving up.
+  std::size_t max_rounds = 100'000;
+  // impatient conciliator tuning (Theorem 7 / E12 ablation).
+  impatience_schedule schedule{};
+  // fixed_probability conciliator: p = coin_num / (coin_den_per_n · n).
+  std::uint64_t coin_num = 1;
+  std::uint64_t coin_den_per_n = 2;
+  // Theorem 7 footnote: detecting probabilistic writes.
+  bool detect_success = false;
+
+  friend bool operator==(const stack_spec&, const stack_spec&) = default;
+
+  // Fluent copies for grid sweeps: spec-valued, never mutating.
+  stack_spec with_m(std::uint64_t values) const {
+    stack_spec s = *this;
+    s.m = values;
+    return s;
+  }
+  stack_spec with_rounds(std::size_t k) const {
+    stack_spec s = *this;
+    s.rounds = k;
+    return s;
+  }
+  stack_spec with_max_rounds(std::size_t k) const {
+    stack_spec s = *this;
+    s.max_rounds = k;
+    return s;
+  }
+  stack_spec with_schedule(impatience_schedule sched) const {
+    stack_spec s = *this;
+    s.schedule = sched;
+    return s;
+  }
+  stack_spec with_quorums(quorum_kind q) const {
+    stack_spec s = *this;
+    s.quorums = q;
+    return s;
+  }
+
+  std::shared_ptr<const quorum_system> make_quorums() const {
+    switch (quorums) {
+      case quorum_kind::adaptive:
+        return m <= 2 ? make_binary_quorums() : make_bollobas_quorums(m);
+      case quorum_kind::binary: return make_binary_quorums();
+      case quorum_kind::bollobas: return make_bollobas_quorums(m);
+      case quorum_kind::bitvector: return make_bitvector_quorums(m);
+    }
+    MODCON_CHECK_MSG(false, "unknown quorum kind");
+    return nullptr;
+  }
+
+  // Materializes the spec as a deciding object over `mem` for a trial of
+  // `n` processes.  `mem` must outlive the object (enforced in debug
+  // builds by the address-space liveness tag; see exec/address_space.h).
+  template <typename Env>
+  std::unique_ptr<deciding_object<Env>> build(address_space& mem,
+                                              std::size_t n) const;
+};
+
+// Human-readable echo: "bounded(m=16,rounds=8)" — diagnostic only, not
+// parsed by anything.
+std::string to_string(const stack_spec& spec);
+
+// ---------------------------------------------------------------------
+// Registry: the canonical named specs, in a stable order.
+// ---------------------------------------------------------------------
+
+inline const std::vector<std::pair<std::string, stack_spec>>&
+stack_registry() {
+  static const std::vector<std::pair<std::string, stack_spec>> entries = [] {
+    std::vector<std::pair<std::string, stack_spec>> r;
+    // The paper's headline protocol (Theorem 7 conciliators + quorum
+    // ratifiers, unbounded construction).
+    r.emplace_back("impatient", stack_spec{});
+    // Theorem 5's bounded-space variant, CIL fallback.
+    r.emplace_back("bounded",
+                   stack_spec{.protocol = protocol_kind::bounded});
+    // §4.2 ratifier ladder.
+    r.emplace_back("ratifier-only",
+                   stack_spec{.protocol = protocol_kind::ratifier_only});
+    // Unbounded construction with the untuned fixed-probability
+    // conciliator (the E9 "what the impatience schedule buys" baseline).
+    r.emplace_back(
+        "fixed-probability",
+        stack_spec{.conciliator = conciliator_kind::fixed_probability});
+    // The bare racing-consensus baseline.
+    r.emplace_back("cil", stack_spec{.protocol = protocol_kind::cil});
+    return r;
+  }();
+  return entries;
+}
+
+inline const stack_spec* find_stack(std::string_view name) {
+  for (const auto& [key, spec] : stack_registry())
+    if (key == name) return &spec;
+  return nullptr;
+}
+
+// Registry lookup that treats an unknown name as a programming error —
+// CLI frontends should use find_stack and print the menu instead.
+inline stack_spec stack_for(std::string_view name) {
+  const stack_spec* s = find_stack(name);
+  MODCON_CHECK_MSG(s != nullptr, "unknown stack '" << name << "'");
+  return *s;
+}
+
+inline std::vector<std::string> stack_names() {
+  std::vector<std::string> names;
+  for (const auto& [key, spec] : stack_registry()) names.push_back(key);
+  return names;
+}
+
+// Inverse lookup: the registry name whose spec equals this one, ignoring
+// m (a workload parameter — `with_m` must not change a stack's name).
+inline std::optional<std::string> name_of(const stack_spec& spec) {
+  for (const auto& [key, registered] : stack_registry()) {
+    stack_spec probe = registered;
+    probe.m = spec.m;
+    if (probe == spec) return key;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+// Building
+// ---------------------------------------------------------------------
+
+namespace detail {
+
+// The former public *_factory helpers, now implementation detail of spec
+// building (and of the make_* convenience wrappers below for callers with
+// bespoke quorum systems).
+template <typename Env>
+object_factory<Env> ratifier_factory(address_space& mem,
+                                     std::shared_ptr<const quorum_system> qs) {
+  return [&mem, qs] {
+    return std::make_unique<quorum_ratifier<Env>>(mem, qs);
+  };
+}
+
+template <typename Env>
+object_factory<Env> conciliator_factory(address_space& mem,
+                                        const stack_spec& spec) {
+  if (spec.conciliator == conciliator_kind::fixed_probability) {
+    return [&mem, num = spec.coin_num, den = spec.coin_den_per_n] {
+      return std::make_unique<fixed_probability_conciliator<Env>>(mem, num,
+                                                                  den);
+    };
+  }
+  return [&mem, sched = spec.schedule, detect = spec.detect_success] {
+    return std::make_unique<impatient_conciliator<Env>>(mem, sched, detect);
+  };
+}
+
+}  // namespace detail
+
+template <typename Env>
+std::unique_ptr<deciding_object<Env>> stack_spec::build(address_space& mem,
+                                                        std::size_t n) const {
+  auto qs = make_quorums();
+  switch (protocol) {
+    case protocol_kind::unbounded:
+      return std::make_unique<unbounded_consensus<Env>>(
+          detail::ratifier_factory<Env>(mem, std::move(qs)),
+          detail::conciliator_factory<Env>(mem, *this));
+    case protocol_kind::bounded: {
+      std::size_t k = rounds == kAutoRounds ? lg_ceil(n) + 4 : rounds;
+      return std::make_unique<bounded_consensus<Env>>(
+          detail::ratifier_factory<Env>(mem, std::move(qs)),
+          detail::conciliator_factory<Env>(mem, *this), k,
+          std::make_unique<cil_consensus<Env>>(mem, n));
+    }
+    case protocol_kind::ratifier_only:
+      return std::make_unique<ratifier_only_consensus<Env>>(
+          detail::ratifier_factory<Env>(mem, std::move(qs)), max_rounds);
+    case protocol_kind::cil:
+      return std::make_unique<cil_consensus<Env>>(mem, n);
+  }
+  MODCON_CHECK_MSG(false, "unknown protocol kind");
+  return nullptr;
+}
+
+// Adapter to the analysis layer's object_builder<Env> shape (a plain
+// lambda — usable anywhere a `(address_space&, size_t n)` builder goes).
+template <typename Env>
+auto stack_builder(stack_spec spec) {
+  return [spec](address_space& mem, std::size_t n) {
+    return spec.build<Env>(mem, n);
+  };
+}
+
+inline std::string to_string(const stack_spec& spec) {
+  std::string out;
+  switch (spec.protocol) {
+    case protocol_kind::unbounded: out = "unbounded"; break;
+    case protocol_kind::bounded: out = "bounded"; break;
+    case protocol_kind::ratifier_only: out = "ratifier-only"; break;
+    case protocol_kind::cil: out = "cil"; break;
+  }
+  if (auto name = name_of(spec)) out = *name;
+  out += "(m=" + std::to_string(spec.m);
+  if (spec.protocol == protocol_kind::bounded)
+    out += ",rounds=" + (spec.rounds == stack_spec::kAutoRounds
+                             ? std::string("auto")
+                             : std::to_string(spec.rounds));
+  out += ")";
+  return out;
+}
+
+}  // namespace modcon

@@ -11,12 +11,40 @@
 #include <cstdint>
 
 #include "exec/types.h"
+#include "util/assertx.h"
+
+// Lifetime enforcement: every builder comment in the codebase says "the
+// address_space must outlive the object".  Under debug and
+// address-sanitized builds that contract is asserted, not assumed: the
+// space carries a liveness tag, cleared on destruction, that backends
+// check on allocation and register access.  A consensus object whose
+// world died first then fails with a message instead of scribbling on a
+// freed register file (under asan the tag load itself also traps, which
+// pins the report to the dangling access).  Release builds compile the
+// tag out entirely — the hot paths stay branch-free.
+#if !defined(NDEBUG)
+#define MODCON_LIFETIME_CHECKS 1
+#elif defined(__SANITIZE_ADDRESS__)
+#define MODCON_LIFETIME_CHECKS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MODCON_LIFETIME_CHECKS 1
+#else
+#define MODCON_LIFETIME_CHECKS 0
+#endif
+#else
+#define MODCON_LIFETIME_CHECKS 0
+#endif
 
 namespace modcon {
 
 class address_space {
  public:
-  virtual ~address_space() = default;
+  virtual ~address_space() {
+#if MODCON_LIFETIME_CHECKS
+    live_tag_ = ~kLiveTag;
+#endif
+  }
 
   // Allocates one multiwriter register with the given initial value.
   virtual reg_id alloc(word init) = 0;
@@ -29,6 +57,39 @@ class address_space {
   // Number of registers allocated so far (used by the space-complexity
   // experiments, E4).
   virtual std::uint32_t allocated() const = 0;
+
+  // Re-initializes an already-allocated register to `init`, as if it had
+  // just been allocated with that value — the recycling hook behind the
+  // multi-shot object pool (multi/object_pool.h).  Returns false when the
+  // backend does not support recycling (the default), in which case the
+  // caller must fall back to a fresh alloc.  Backends that do support it
+  // must keep their audit story intact: the simulator records the reset
+  // as an applied write so trace replay stays sound.
+  //
+  // Only legal once no process can have a pending operation on `r` (the
+  // pool guarantees this via its reclamation epoch).
+  virtual bool reinit(reg_id r, word init) {
+    (void)r;
+    (void)init;
+    return false;
+  }
+
+  // Asserts (debug/asan builds only) that this space is still alive —
+  // called by backends on allocation and register access to enforce the
+  // "space outlives the object" contract.
+  void assert_live() const {
+#if MODCON_LIFETIME_CHECKS
+    MODCON_CHECK_MSG(live_tag_ == kLiveTag,
+                     "address_space used after destruction (a deciding "
+                     "object outlived the world/arena it allocates from)");
+#endif
+  }
+
+#if MODCON_LIFETIME_CHECKS
+ private:
+  static constexpr std::uint32_t kLiveTag = 0xa11c0de5u;
+  std::uint32_t live_tag_ = kLiveTag;
+#endif
 };
 
 }  // namespace modcon

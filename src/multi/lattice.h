@@ -1,0 +1,79 @@
+// One-shot lattice agreement over the join-semilattice of bitmasks.
+//
+// Lattice agreement is the comparability weakening of consensus: each
+// process proposes an element of a lattice (here: a word treated as a set
+// of up-to-63 flags under bitwise OR) and outputs an element such that
+//
+//   upward validity     output ⊇ own proposal
+//   downward validity   output ⊆ join of all proposals
+//   comparability       any two outputs are ordered (x ⊆ y or y ⊆ x)
+//
+// Unlike consensus it is solvable wait-free and deterministically — no
+// conciliators, no randomness.  The construction reuses the repo's
+// announce-board machinery (the same alloc_block + collect idiom as the
+// cheap-collect ratifier): each process writes its proposal to its
+// announce cell once, then repeats collects over the board until two
+// successive collects agree ("clean double collect"), and outputs the OR
+// of everything seen.
+//
+// Why this is correct: announce cells are write-once (⊥ → v, one write
+// per process), so the board only ever grows.  A clean double collect is
+// a snapshot — nothing changed between the two collects, so the result
+// equals the board's contents at every instant in between.  Snapshots of
+// a grow-only board are ordered by inclusion, hence the outputs (their
+// ORs) are comparable.  Termination is wait-free: the board changes at
+// most n times ever, so a process takes at most n+1 collects (O(n²)
+// individual work).
+//
+// One-shot, like everything in core/: each process calls join() at most
+// once per object.  The multi-shot story is the same as consensus —
+// mint a fresh object per round (e.g. through a slot_log-style pool).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/address_space.h"
+#include "exec/proc.h"
+#include "exec/types.h"
+#include "obs/obs.h"
+#include "util/assertx.h"
+
+namespace modcon::multi {
+
+template <typename Env>
+class lattice_agreement {
+ public:
+  lattice_agreement(address_space& mem, std::size_t n)
+      : n_(n), announce_(mem.alloc_block(static_cast<std::uint32_t>(n), kBot)) {
+    MODCON_CHECK(n > 0);
+  }
+
+  // Each process calls this at most once.  `mask` must not be kBot (⊥ is
+  // the board's "not yet announced" sentinel, not a lattice element);
+  // mask 0 (the lattice bottom) is fine.
+  proc<word> join(Env& env, word mask) {
+    MODCON_CHECK_MSG(mask != kBot, "kBot is not a joinable lattice element");
+    obs::span_scope<Env> sp(env, obs::span_kind::object, 0, "lattice");
+    co_await env.write(announce_ + env.pid(), mask);
+    std::vector<word> prev =
+        co_await env.collect(announce_, static_cast<std::uint32_t>(n_));
+    for (;;) {
+      std::vector<word> cur =
+          co_await env.collect(announce_, static_cast<std::uint32_t>(n_));
+      if (cur == prev) break;
+      prev = std::move(cur);
+    }
+    word out = 0;
+    for (word w : prev)
+      if (w != kBot) out |= w;
+    sp.set_outcome(true, out);
+    co_return out;
+  }
+
+ private:
+  std::size_t n_;
+  reg_id announce_;
+};
+
+}  // namespace modcon::multi

@@ -1,0 +1,266 @@
+// Arena-backed register pool with extent recycling, for the multi-shot
+// slot log (multi/slot_log.h).
+//
+// A slot log materializes one fresh one-shot consensus object per slot.
+// Naively each object allocates its registers straight from the world's
+// address space, so a log of S slots costs S × (registers per stack) —
+// unbounded growth for a long-lived log even though only a window of
+// slots is ever live.  The pool fixes the footprint: object allocations
+// are carved from fixed-size *extents* drawn from the parent space, the
+// extents a slot's object consumed are tracked as a *lease*, and when the
+// slot is reclaimed (every process's watermark has passed it — see
+// slot_log's epoch scheme) its lease returns to a freelist.  The next
+// slot's object re-initializes and reuses those registers via
+// address_space::reinit, so thousands of decided slots share a bounded
+// register range.
+//
+// A lease is exposed as an address_space *view*: the slot's object is
+// built over view(id) and holds that reference for its whole life, so
+// even allocations it makes lazily mid-execution (the unbounded
+// construction materializes its ladder on demand, long after the slot
+// was set up) are charged to the right lease.  A pool-wide "current
+// lease" could not do this — on the rt backend several slots' objects
+// allocate concurrently.
+//
+// Concurrency: open/release and every allocation take the pool's own
+// mutex, so concurrent lazy allocations from different leases are safe
+// on real threads.  (Register *access* by running processes is the
+// backends' business and never goes through the pool.)
+//
+// Backends without reinit support (a custom address_space that keeps the
+// default) degrade gracefully: the pool detects the missing capability on
+// first use and becomes a pass-through allocator — correct, just without
+// reuse.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exec/address_space.h"
+#include "exec/types.h"
+#include "util/assertx.h"
+
+namespace modcon::multi {
+
+struct pool_stats {
+  std::uint64_t extents_created = 0;  // drawn fresh from the parent
+  std::uint64_t extents_reused = 0;   // served from the freelist
+  std::uint64_t leases_opened = 0;
+  std::uint64_t leases_released = 0;
+  std::uint64_t words_served = 0;  // registers handed out, counting reuse
+  std::uint64_t parent_words = 0;  // registers actually drawn from parent
+};
+
+class object_pool final {
+ public:
+  using lease_id = std::uint32_t;
+  static constexpr lease_id kNoLease = 0xffffffffu;
+
+  explicit object_pool(address_space& parent,
+                       std::uint32_t extent_words = 64)
+      : parent_(parent), extent_words_(extent_words) {
+    MODCON_CHECK(extent_words > 0);
+  }
+
+  object_pool(const object_pool&) = delete;
+  object_pool& operator=(const object_pool&) = delete;
+
+  // Opens a lease.  Allocations through view(id) are charged to it until
+  // release(id).
+  lease_id open() {
+    std::scoped_lock lk(mu_);
+    lease_id id = static_cast<lease_id>(leases_.size());
+    leases_.push_back(std::make_unique<lease>());
+    leases_.back()->view = std::make_unique<lease_view>(this, id);
+    ++stats_.leases_opened;
+    return id;
+  }
+
+  // The lease's allocation facade; stable for the lease's lifetime.  The
+  // object built over it must be destroyed before release(id).
+  address_space& view(lease_id id) {
+    std::scoped_lock lk(mu_);
+    MODCON_CHECK_MSG(id < leases_.size(), "view of unknown lease " << id);
+    return *leases_[id]->view;
+  }
+
+  // Returns the lease's extents to the freelist.  Only legal once no
+  // process can still operate on the lease's registers (the slot log's
+  // reclamation epoch guarantees this).  Double release asserts.
+  void release(lease_id id) {
+    std::scoped_lock lk(mu_);
+    MODCON_CHECK_MSG(id < leases_.size(), "release of unknown lease " << id);
+    lease& l = *leases_[id];
+    MODCON_CHECK_MSG(!l.released, "double release of lease " << id);
+    l.released = true;
+    ++stats_.leases_released;
+    seal_current(l);
+    if (recycle_) {
+      for (extent& e : l.extents) {
+        e.used = 0;
+        e.virgin = false;
+        ++e.generation;  // debug tag: a new tenant is a new generation
+        freelist_.push_back(e);
+      }
+    }
+    l.extents.clear();
+  }
+
+  pool_stats stats() const {
+    std::scoped_lock lk(mu_);
+    return stats_;
+  }
+
+  // False once the parent declined reinit (pass-through mode).
+  bool recycling() const {
+    std::scoped_lock lk(mu_);
+    return recycle_;
+  }
+
+ private:
+  struct extent {
+    reg_id first = kInvalidReg;
+    std::uint32_t size = 0;
+    std::uint32_t used = 0;
+    std::uint32_t generation = 0;
+    bool virgin = true;  // fresh from the parent: every word holds kBot
+  };
+
+  // The address_space a leased object allocates through.
+  class lease_view final : public address_space {
+   public:
+    lease_view(object_pool* pool, lease_id id) : pool_(pool), id_(id) {}
+    reg_id alloc(word init) override {
+      return pool_->alloc_block(id_, 1, init);
+    }
+    reg_id alloc_block(std::uint32_t count, word init) override {
+      return pool_->alloc_block(id_, count, init);
+    }
+    std::uint32_t allocated() const override {
+      return pool_->lease_words(id_);
+    }
+
+   private:
+    object_pool* pool_;
+    lease_id id_;
+  };
+
+  struct lease {
+    extent cur;  // open extent being carved; size 0 = none
+    std::vector<extent> extents;
+    std::uint64_t words = 0;  // served through this lease
+    bool released = false;
+    std::unique_ptr<lease_view> view;
+  };
+
+  reg_id alloc_block(lease_id id, std::uint32_t count, word init) {
+    std::scoped_lock lk(mu_);
+    MODCON_CHECK(count > 0);
+    MODCON_CHECK_MSG(id < leases_.size(), "allocation on unknown lease");
+    lease& l = *leases_[id];
+    MODCON_CHECK_MSG(!l.released,
+                     "object_pool allocation through a released lease "
+                     "(an object outlived its slot's reclamation)");
+    stats_.words_served += count;
+    l.words += count;
+    // Oversize blocks (announce arrays wider than an extent) and
+    // pass-through mode go straight to the parent; they are leased like
+    // extents so release still recycles them.
+    if (!recycle_ && probed_) return passthrough_block(count, init);
+    if (count > extent_words_) return oversize_block(l, count, init);
+    if (l.cur.size - l.cur.used < count) seal_current(l);
+    if (l.cur.size == 0) acquire_extent(l);
+    if (!recycle_) return passthrough_block(count, init);
+    reg_id first = l.cur.first + l.cur.used;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      // Virgin extents come from the parent already holding kBot; only
+      // recycled extents (or a non-kBot init) need the reset.
+      if (l.cur.virgin && init == kBot) continue;
+      bool ok = parent_.reinit(first + i, init);
+      MODCON_CHECK_MSG(ok, "parent reinit support vanished mid-extent");
+    }
+    l.cur.used += count;
+    return first;
+  }
+
+  std::uint32_t lease_words(lease_id id) const {
+    std::scoped_lock lk(mu_);
+    MODCON_CHECK_MSG(id < leases_.size(), "allocated() on unknown lease");
+    return static_cast<std::uint32_t>(leases_[id]->words);
+  }
+
+  void seal_current(lease& l) {
+    if (l.cur.size == 0) return;
+    l.extents.push_back(l.cur);
+    l.cur = extent{};
+  }
+
+  void acquire_extent(lease& l) {
+    if (!freelist_.empty()) {
+      l.cur = freelist_.back();
+      freelist_.pop_back();
+      ++stats_.extents_reused;
+      return;
+    }
+    l.cur.first = parent_.alloc_block(extent_words_, kBot);
+    l.cur.size = extent_words_;
+    l.cur.used = 0;
+    l.cur.virgin = true;
+    l.cur.generation = 0;
+    ++stats_.extents_created;
+    stats_.parent_words += extent_words_;
+    if (!probed_) {
+      // Capability probe, once: re-initializing a fresh kBot register to
+      // kBot is a no-op for any conforming backend, so a false return
+      // can only mean "recycling unsupported".
+      probed_ = true;
+      recycle_ = parent_.reinit(l.cur.first, kBot);
+      if (!recycle_) l.cur = extent{};  // abandon; pass through from now on
+    }
+  }
+
+  reg_id oversize_block(lease& l, std::uint32_t count, word init) {
+    // First-fit over the freelist; else a dedicated parent block.
+    for (std::size_t i = 0; i < freelist_.size(); ++i) {
+      if (freelist_[i].size < count) continue;
+      extent e = freelist_[i];
+      freelist_[i] = freelist_.back();
+      freelist_.pop_back();
+      ++stats_.extents_reused;
+      for (std::uint32_t k = 0; k < e.size; ++k) {
+        bool ok = parent_.reinit(e.first + k, init);
+        MODCON_CHECK_MSG(ok, "parent reinit support vanished mid-extent");
+      }
+      e.used = e.size;  // leased whole; recyclable again on release
+      l.extents.push_back(e);
+      return e.first;
+    }
+    extent e;
+    e.first = parent_.alloc_block(count, init);
+    e.size = count;
+    e.used = count;
+    e.virgin = false;  // holds `init`, not kBot
+    ++stats_.extents_created;
+    stats_.parent_words += count;
+    l.extents.push_back(e);
+    return e.first;
+  }
+
+  reg_id passthrough_block(std::uint32_t count, word init) {
+    stats_.parent_words += count;
+    return parent_.alloc_block(count, init);
+  }
+
+  address_space& parent_;
+  std::uint32_t extent_words_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<lease>> leases_;
+  std::vector<extent> freelist_;
+  pool_stats stats_;
+  bool probed_ = false;
+  bool recycle_ = true;
+};
+
+}  // namespace modcon::multi

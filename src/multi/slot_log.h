@@ -1,0 +1,266 @@
+// Multi-shot consensus as a slot-indexed log of one-shot objects.
+//
+// The paper's machinery (conciliators, ratifiers, and their
+// compositions) is strictly one-shot: each process invokes an object at
+// most once.  Replicated state machines need the multi-shot form — agree
+// on a value for slot 0, then slot 1, then slot 2, … — and the standard
+// reduction is exactly a log: slot s is decided by a fresh one-shot
+// consensus instance, materialized on demand.
+//
+// slot_log<Env> is that reduction, with two additions that make it cheap
+// enough to sustain:
+//
+//   * a *pin register* per slot.  The first process to decide slot s
+//     writes the decision into pin[s]; later proposers read the pin,
+//     see a non-⊥ value, and return it without touching the consensus
+//     object at all.  Under any realistic workload almost every proposal
+//     after the first is a one-read fast path.
+//
+//   * *epoch-based reclamation* of the decided prefix.  Each process
+//     advertises a watermark ("I will never again propose on a slot
+//     below w"); the minimum watermark over all processes is the
+//     reclamation epoch, and every slot below it can drop its consensus
+//     object and recycle the object's registers through an object_pool.
+//     The pin registers survive forever (they are the log's durable
+//     content — a late reader of a reclaimed slot still gets its value);
+//     only the consensus scaffolding is recycled.
+//
+// Stacks are described declaratively: the log takes a stack_spec and
+// builds one instance per slot from it, so every stack in the registry
+// (impatient, bounded, ratifier-only, CIL, …) is multi-shot for free.
+//
+// Concurrency story (holds on both backends): slot materialization and
+// reclamation are host-side and guarded by one mutex, with a published
+// atomic count for lock-free reads of already-materialized slots — the
+// same publication pattern as the unbounded construction's lazy ladder.
+// Proposals themselves are pure shared-register protocol code.
+//
+// Reclamation safety: a process's watermark only advances past slot s
+// after its propose(s) has returned, so a slot with an in-flight
+// proposal always holds the reclamation epoch below it.  Proposing on a
+// slot below your own advertised watermark is a contract violation and
+// asserts.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/consensus/stack_spec.h"
+#include "core/deciding.h"
+#include "core/types.h"
+#include "exec/proc.h"
+#include "multi/object_pool.h"
+#include "obs/obs.h"
+#include "util/assertx.h"
+
+namespace modcon::multi {
+
+struct slot_log_stats {
+  std::uint64_t slots_materialized = 0;
+  std::uint64_t slots_reclaimed = 0;
+  std::uint64_t fast_path_hits = 0;  // proposals answered by the pin alone
+  std::uint64_t decisions = 0;       // proposals that ran the slot object
+  pool_stats pool;
+};
+
+template <typename Env>
+class slot_log {
+ public:
+  // `mem` must outlive the log (enforced by the liveness tag in debug
+  // builds).  Pin registers are allocated from `mem` directly and are
+  // never reclaimed; per-slot objects allocate through the internal pool.
+  slot_log(address_space& mem, std::size_t n, stack_spec spec,
+           std::uint32_t extent_words = 64)
+      : mem_(mem),
+        n_(n),
+        spec_(spec),
+        pool_(mem, extent_words),
+        watermarks_(new std::atomic<std::uint64_t>[n]) {
+    MODCON_CHECK(n > 0);
+    for (std::size_t p = 0; p < n; ++p)
+      watermarks_[p].store(0, std::memory_order_relaxed);
+  }
+
+  slot_log(const slot_log&) = delete;
+  slot_log& operator=(const slot_log&) = delete;
+
+  ~slot_log() {
+    for (auto& slot : *chunks_) delete slot.load(std::memory_order_acquire);
+  }
+
+  // Proposes `value` for `slot` and returns the slot's decision.  Every
+  // correct invocation decides (the underlying stacks are full consensus,
+  // not bare conciliators).  Callers may re-propose a slot they already
+  // decided (idempotent via the pin), but must never propose below their
+  // own advertised watermark.
+  proc<word> propose(Env& env, std::uint64_t slot, word value) {
+    MODCON_CHECK_MSG(value < kBot, "slot proposal must be a value in Σ");
+    slot_state& st = state(slot);
+    obs::span_scope<Env> sp(env, obs::span_kind::slot,
+                            static_cast<std::uint32_t>(slot), "slot");
+    // Fast path: somebody already pinned the decision.
+    word pinned = co_await env.read(st.pin);
+    if (pinned != kBot) {
+      // Seeing the pin proves the slot is decided even if the pinning
+      // process hasn't published its host-side flag yet (it may have
+      // crashed between the write and the flag) — record it on its
+      // behalf so reclamation's decided-slot check stays exact.
+      st.decided.store(true, std::memory_order_release);
+      fast_hits_.fetch_add(1, std::memory_order_relaxed);
+      sp.set_outcome(true, pinned);
+      co_return pinned;
+    }
+    // Slow path.  Re-proposals of already-consumed slots (a crash-restart
+    // re-running its program from the start) are legal but always take
+    // the fast path above: a slot below a process's own watermark was
+    // consumed by that process, so its pin is set — reaching here with
+    // the pin unset means the watermark lied.
+    MODCON_CHECK_MSG(
+        slot >= watermarks_[env.pid()].load(std::memory_order_relaxed),
+        "process " << env.pid() << " found slot " << slot
+                   << " undecided below its own watermark");
+    MODCON_CHECK_MSG(!st.reclaimed.load(std::memory_order_acquire),
+                     "proposal on reclaimed slot " << slot);
+    decided d = co_await st.obj->invoke(env, value);
+    MODCON_CHECK_MSG(d.decide, "slot " << slot << " stack \""
+                                       << to_string(spec_)
+                                       << "\" failed to decide");
+    co_await env.write(st.pin, d.value);
+    st.decided.store(true, std::memory_order_release);
+    decisions_.fetch_add(1, std::memory_order_relaxed);
+    sp.set_outcome(true, d.value);
+    co_return d.value;
+  }
+
+  // Process `pid` promises never to propose on any slot < `next_slot`
+  // again (it has consumed the decisions of all of them).  Monotone;
+  // lowering is a silent no-op.  When the minimum watermark over all
+  // processes advances, the newly-covered decided prefix is reclaimed.
+  void advance_watermark(process_id pid, std::uint64_t next_slot) {
+    auto& wm = watermarks_[pid];
+    std::uint64_t cur = wm.load(std::memory_order_relaxed);
+    while (cur < next_slot &&
+           !wm.compare_exchange_weak(cur, next_slot,
+                                     std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+    }
+    std::uint64_t epoch = watermarks_[0].load(std::memory_order_acquire);
+    for (std::size_t p = 1; p < n_; ++p) {
+      std::uint64_t w = watermarks_[p].load(std::memory_order_acquire);
+      if (w < epoch) epoch = w;
+    }
+    if (epoch > reclaimed_upto_.load(std::memory_order_acquire)) {
+      std::scoped_lock lk(mu_);
+      reclaim_locked(epoch);
+    }
+  }
+
+  std::uint64_t watermark(process_id pid) const {
+    return watermarks_[pid].load(std::memory_order_acquire);
+  }
+
+  // Slots [0, reclaimed_prefix()) have dropped their consensus objects.
+  std::uint64_t reclaimed_prefix() const {
+    return reclaimed_upto_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t materialized_slots() const {
+    return ready_.load(std::memory_order_acquire);
+  }
+
+  const stack_spec& spec() const { return spec_; }
+
+  // Host-side snapshot; call only when no proposal is in flight.
+  slot_log_stats stats() const {
+    std::scoped_lock lk(mu_);
+    slot_log_stats s;
+    s.slots_materialized = ready_.load(std::memory_order_acquire);
+    s.slots_reclaimed = reclaimed_upto_.load(std::memory_order_acquire);
+    s.fast_path_hits = fast_hits_.load(std::memory_order_relaxed);
+    s.decisions = decisions_.load(std::memory_order_relaxed);
+    s.pool = pool_.stats();
+    return s;
+  }
+
+ private:
+  struct slot_state {
+    std::unique_ptr<deciding_object<Env>> obj;
+    reg_id pin = kInvalidReg;
+    object_pool::lease_id lease = object_pool::kNoLease;
+    std::atomic<bool> decided{false};
+    std::atomic<bool> reclaimed{false};
+  };
+
+  // Chunked stable storage, mirroring the rt arena: a fixed table of
+  // atomically-published chunk pointers, so a slot_state's address never
+  // moves once published and readers past the published count never take
+  // the mutex (and never race a growing container).
+  static constexpr std::size_t kSlotChunk = 64;
+  static constexpr std::size_t kMaxChunks = 4096;  // 256k slots per log
+  struct chunk {
+    std::array<slot_state, kSlotChunk> slots;
+  };
+
+  slot_state& slot_ref(std::uint64_t slot) {
+    chunk* c = (*chunks_)[slot / kSlotChunk].load(std::memory_order_acquire);
+    return c->slots[slot % kSlotChunk];
+  }
+
+  slot_state& state(std::uint64_t slot) {
+    MODCON_CHECK_MSG(slot < kSlotChunk * kMaxChunks, "slot log exhausted");
+    if (slot < ready_.load(std::memory_order_acquire)) return slot_ref(slot);
+    std::scoped_lock lk(mu_);
+    std::uint64_t count = ready_.load(std::memory_order_relaxed);
+    while (count <= slot) {
+      std::size_t ci = count / kSlotChunk;
+      if ((*chunks_)[ci].load(std::memory_order_relaxed) == nullptr)
+        (*chunks_)[ci].store(new chunk(), std::memory_order_release);
+      slot_state& st = slot_ref(count);
+      st.pin = mem_.alloc(kBot);
+      st.lease = pool_.open();
+      // The object keeps the lease's view for its whole life, so its
+      // lazy allocations (the unbounded ladder grows mid-invoke) stay
+      // charged to this slot's lease.
+      st.obj = spec_.build<Env>(pool_.view(st.lease), n_);
+      ++count;
+      ready_.store(count, std::memory_order_release);
+    }
+    return slot_ref(slot);
+  }
+
+  void reclaim_locked(std::uint64_t epoch) {
+    std::uint64_t upto = ready_.load(std::memory_order_relaxed);
+    if (epoch < upto) upto = epoch;
+    for (std::uint64_t s = reclaimed_upto_.load(std::memory_order_relaxed);
+         s < upto; ++s) {
+      slot_state& st = slot_ref(s);
+      MODCON_CHECK_MSG(st.decided.load(std::memory_order_acquire),
+                       "reclaiming undecided slot "
+                           << s << " (a watermark advanced past a slot "
+                              "whose decision was never consumed)");
+      st.obj.reset();
+      pool_.release(st.lease);
+      st.lease = object_pool::kNoLease;
+      st.reclaimed.store(true, std::memory_order_release);
+      reclaimed_upto_.store(s + 1, std::memory_order_release);
+    }
+  }
+
+  address_space& mem_;
+  std::size_t n_;
+  stack_spec spec_;
+  object_pool pool_;  // internally synchronized
+  mutable std::mutex mu_;
+  std::unique_ptr<std::array<std::atomic<chunk*>, kMaxChunks>> chunks_ =
+      std::make_unique<std::array<std::atomic<chunk*>, kMaxChunks>>();
+  std::atomic<std::uint64_t> ready_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> watermarks_;
+  std::atomic<std::uint64_t> reclaimed_upto_{0};
+  std::atomic<std::uint64_t> fast_hits_{0};
+  std::atomic<std::uint64_t> decisions_{0};
+};
+
+}  // namespace modcon::multi

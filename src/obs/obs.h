@@ -62,6 +62,7 @@ enum class span_kind : std::uint8_t {
   conciliator,  // one conciliator invocation
   ratifier,     // one ratifier invocation
   fallback,     // the bounded construction's fallback K
+  slot,         // one slot proposal of a multi-shot slot log (multi/)
 };
 
 inline const char* to_string(span_kind k) {
@@ -72,6 +73,7 @@ inline const char* to_string(span_kind k) {
     case span_kind::conciliator: return "conciliator";
     case span_kind::ratifier: return "ratifier";
     case span_kind::fallback: return "fallback";
+    case span_kind::slot: return "slot";
   }
   return "?";
 }

@@ -13,6 +13,7 @@ arena::~arena() {
 reg_id arena::alloc(word init) { return alloc_block(1, init); }
 
 reg_id arena::alloc_block(std::uint32_t count, word init) {
+  assert_live();
   MODCON_CHECK(count > 0);
   std::scoped_lock lk(mu_);
   std::uint32_t first = count_.load(std::memory_order_relaxed);
@@ -42,6 +43,7 @@ std::vector<word> arena::initial_values() const {
 }
 
 std::atomic<word>& arena::at(reg_id r) {
+  assert_live();  // compiled out of release builds; see address_space.h
   MODCON_CHECK_MSG(r < count_.load(std::memory_order_acquire),
                    "access to unallocated register " << r);
   chunk* c = chunks_[r / kChunkSize].load(std::memory_order_acquire);
@@ -49,6 +51,7 @@ std::atomic<word>& arena::at(reg_id r) {
 }
 
 const std::atomic<word>& arena::at(reg_id r) const {
+  assert_live();
   MODCON_CHECK_MSG(r < count_.load(std::memory_order_acquire),
                    "access to unallocated register " << r);
   const chunk* c = chunks_[r / kChunkSize].load(std::memory_order_acquire);

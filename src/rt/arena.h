@@ -33,6 +33,14 @@ class arena final : public address_space {
     return count_.load(std::memory_order_acquire);
   }
 
+  // Recycling (multi/object_pool.h): the pool guarantees no thread still
+  // operates on `r` (its slot's reclamation epoch has passed), so a plain
+  // release store re-initializes it for the next tenant.
+  bool reinit(reg_id r, word init) override {
+    at(r).store(init, std::memory_order_release);
+    return true;
+  }
+
   // Atomic register access; r must have been allocated.
   std::atomic<word>& at(reg_id r);
   const std::atomic<word>& at(reg_id r) const;

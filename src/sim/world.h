@@ -199,16 +199,33 @@ class sim_world final : public address_space {
 
   // --- address_space ---
   reg_id alloc(word init) override {
+    assert_live();
     reg_id r = regs_.alloc(init);
     trace_.note_alloc(r, 1, init);
     return r;
   }
   reg_id alloc_block(std::uint32_t count, word init) override {
+    assert_live();
     reg_id first = regs_.alloc_block(count, init);
     trace_.note_alloc(first, count, init);
     return first;
   }
   std::uint32_t allocated() const override { return regs_.size(); }
+
+  // Recycling (multi/object_pool.h): reset the register to `init`,
+  // bypassing injected register faults (this is pool bookkeeping, not a
+  // process operation), and record the reset in the execution trace as an
+  // applied write so the auditor's replay tracks the true contents.  The
+  // trace replay keeps exactly one initial value per register, so a
+  // recycled register's fresh value must arrive as a write, not a second
+  // note_alloc.
+  bool reinit(reg_id r, word init) override {
+    assert_live();
+    regs_.write(r, init);
+    trace_.record({step_, kInvalidProcess, op_kind::write, r, init,
+                   /*applied=*/true});
+    return true;
+  }
 
   // --- process setup ---
   // Creates the next process (pids are assigned 0..n-1 in spawn order) and

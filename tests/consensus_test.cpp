@@ -201,7 +201,8 @@ TEST(BoundedConsensus, ZeroRoundsAlwaysUsesFallback) {
     auto build = [&](address_space& mem, std::size_t n)
         -> std::unique_ptr<deciding_object<sim_env>> {
       return std::make_unique<bounded_consensus<sim_env>>(
-          ratifier_factory<sim_env>(mem, qs), impatient_factory<sim_env>(mem),
+          detail::ratifier_factory<sim_env>(mem, qs),
+          detail::conciliator_factory<sim_env>(mem, stack_spec{}),
           /*rounds=*/0, std::make_unique<cil_consensus<sim_env>>(mem, n));
     };
     // rounds=0 builder above bypasses the default in the helper.

@@ -373,7 +373,7 @@ TEST(FirstmoverCoin, FullConsensusStackWorks) {
     sim::random_oblivious adv;
     auto build = [](address_space& mem, std::size_t) {
       return std::make_unique<unbounded_consensus<sim_env>>(
-          ratifier_factory<sim_env>(mem, make_binary_quorums()),
+          detail::ratifier_factory<sim_env>(mem, make_binary_quorums()),
           [&mem]() -> std::unique_ptr<deciding_object<sim_env>> {
             return std::make_unique<coin_conciliator<sim_env>>(
                 mem, std::make_unique<firstmover_coin<sim_env>>(mem));

@@ -1,0 +1,442 @@
+// The multi-shot machinery: object_pool lease recycling, slot_log
+// correctness under fault plans, lattice agreement, the stack_spec
+// registry round-trip, and the schema v4 "multi" block's thread-count
+// byte-identity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/json_writer.h"
+#include "analysis/multi.h"
+#include "check/auditor.h"
+#include "core/deciding.h"
+#include "core/consensus/stack_spec.h"
+#include "multi/lattice.h"
+#include "multi/object_pool.h"
+#include "multi/slot_log.h"
+#include "rt/arena.h"
+#include "sim/adversaries/adversaries.h"
+#include "sim/world.h"
+
+namespace modcon {
+namespace {
+
+using analysis::multi_grid;
+using analysis::multi_trial_options;
+using sim::sim_env;
+
+// --- object_pool --------------------------------------------------------
+
+TEST(ObjectPool, RecyclesExtentsAcrossLeases) {
+  rt::arena mem;
+  multi::object_pool pool(mem, 8);
+
+  auto a = pool.open();
+  address_space& va = pool.view(a);
+  reg_id first = va.alloc_block(8, 7);
+  for (std::uint32_t i = 0; i < 8; ++i)
+    EXPECT_EQ(mem.at(first + i).load(), 7u);
+  pool.release(a);
+
+  // The next lease gets the same extent back, re-initialized.
+  auto b = pool.open();
+  reg_id again = pool.view(b).alloc_block(8, 3);
+  EXPECT_EQ(again, first);
+  for (std::uint32_t i = 0; i < 8; ++i)
+    EXPECT_EQ(mem.at(again + i).load(), 3u);
+
+  auto s = pool.stats();
+  EXPECT_EQ(s.extents_created, 1u);
+  EXPECT_EQ(s.extents_reused, 1u);
+  EXPECT_EQ(s.words_served, 16u);
+  EXPECT_EQ(s.parent_words, 8u);
+  EXPECT_TRUE(pool.recycling());
+}
+
+TEST(ObjectPool, OversizeBlocksAreLeasedAndRecycled) {
+  rt::arena mem;
+  multi::object_pool pool(mem, 4);
+  auto a = pool.open();
+  reg_id wide = pool.view(a).alloc_block(16, kBot);  // > extent_words
+  pool.release(a);
+  // A same-or-smaller oversize allocation reuses the freed wide extent.
+  auto b = pool.open();
+  reg_id wide2 = pool.view(b).alloc_block(10, 1);
+  EXPECT_EQ(wide2, wide);
+  EXPECT_EQ(pool.stats().extents_reused, 1u);
+}
+
+TEST(ObjectPool, LazyAllocationsChargeTheRightLease) {
+  // Two leases interleave allocations — the pattern of two slots' objects
+  // growing lazily at the same time.
+  rt::arena mem;
+  multi::object_pool pool(mem, 4);
+  auto a = pool.open();
+  auto b = pool.open();
+  pool.view(a).alloc(1);
+  pool.view(b).alloc(2);
+  pool.view(a).alloc(3);
+  EXPECT_EQ(pool.view(a).allocated(), 2u);
+  EXPECT_EQ(pool.view(b).allocated(), 1u);
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(pool.stats().leases_released, 2u);
+}
+
+TEST(ObjectPool, DoubleReleaseAndUseAfterReleaseAssert) {
+  rt::arena mem;
+  multi::object_pool pool(mem, 4);
+  auto a = pool.open();
+  address_space& view = pool.view(a);
+  view.alloc(1);
+  pool.release(a);
+  EXPECT_THROW(pool.release(a), invariant_error);
+  EXPECT_THROW(view.alloc(2), invariant_error);
+}
+
+TEST(ObjectPool, PassThroughWhenParentCannotReinit) {
+  // A minimal parent without reinit support: the pool must degrade to a
+  // pass-through allocator instead of failing.
+  class plain_space final : public address_space {
+   public:
+    reg_id alloc(word) override { return next_++; }
+    reg_id alloc_block(std::uint32_t count, word) override {
+      reg_id first = next_;
+      next_ += count;
+      return first;
+    }
+    std::uint32_t allocated() const override { return next_; }
+
+   private:
+    reg_id next_ = 0;
+  };
+  plain_space mem;
+  multi::object_pool pool(mem, 4);
+  auto a = pool.open();
+  pool.view(a).alloc_block(3, kBot);
+  pool.release(a);
+  EXPECT_FALSE(pool.recycling());
+  auto b = pool.open();
+  pool.view(b).alloc_block(3, kBot);
+  EXPECT_EQ(pool.stats().extents_reused, 0u);
+  EXPECT_GE(pool.stats().parent_words, 6u);
+}
+
+// --- slot_log via the sim trial runner ----------------------------------
+
+multi_grid small_cell(const char* stack = "impatient") {
+  multi_grid cell;
+  cell.label = "multi_test";
+  cell.spec = stack_for(stack);
+  cell.n = 4;
+  cell.shards = 2;
+  cell.slots = 8;
+  cell.extent_words = 32;
+  return cell;
+}
+
+TEST(SlotLog, FaultFreeTrialDecidesAgreesAndReclaims) {
+  auto cell = small_cell();
+  multi_trial_options opts;
+  opts.seed = 0xfeed;
+  opts.audit.enabled = true;
+  auto res = analysis::run_multi_trial(cell, opts);
+
+  EXPECT_EQ(res.base.status, sim::run_status::all_halted);
+  EXPECT_TRUE(res.slots_agree);
+  EXPECT_TRUE(res.slots_valid);
+  EXPECT_TRUE(res.base.agreement());  // digests fold the whole log
+  EXPECT_EQ(res.proposals, cell.n * cell.shards * cell.slots);
+  EXPECT_EQ(res.decisions + res.fast_path_hits, res.proposals);
+  // Every process consumed every slot, so the whole log reclaimed.
+  EXPECT_EQ(res.slots_reclaimed, cell.shards * cell.slots);
+  EXPECT_TRUE(res.base.audit.has_value());
+  EXPECT_TRUE(res.base.audit->ok()) << "audit: " << res.base.audit->note;
+}
+
+TEST(SlotLog, PoolReusesRegistersAcrossSlots) {
+  auto cell = small_cell();
+  cell.slots = 32;  // enough slots for reclamation to lap the pool
+  multi_trial_options opts;
+  opts.seed = 3;
+  auto res = analysis::run_multi_trial(cell, opts);
+  EXPECT_TRUE(res.slots_agree && res.slots_valid);
+  EXPECT_GT(res.pool.extents_reused, 0u);
+  // Reuse means the parent footprint stays below the words handed out.
+  EXPECT_LT(res.pool.parent_words, res.pool.words_served);
+}
+
+TEST(SlotLog, InvariantsHoldUnderCrashesAndRestarts) {
+  // E15-style process-fault plans; per-slot agreement/validity and the
+  // armed auditor must stay clean through all of them.
+  struct plan_case {
+    const char* name;
+    analysis::fault_plan plan;
+  };
+  const plan_case cases[] = {
+      {"crash2", analysis::fault_plan{}.crash(1, 25).crash(3, 60)},
+      {"restart2", analysis::fault_plan{}.restart(0, 20).restart(2, 45)},
+      {"storm",
+       analysis::fault_plan{}.crash(3, 30).restart(1, 15).restart(2, 70)},
+  };
+  for (const auto& c : cases) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto cell = small_cell();
+      multi_trial_options opts;
+      opts.seed = seed * 977;
+      opts.faults = c.plan;
+      opts.audit.enabled = true;
+      auto res = analysis::run_multi_trial(cell, opts);
+      EXPECT_TRUE(res.slots_agree)
+          << c.name << " seed " << seed << ": per-slot disagreement";
+      EXPECT_TRUE(res.slots_valid)
+          << c.name << " seed " << seed << ": invalid slot decision";
+      ASSERT_TRUE(res.base.audit.has_value());
+      EXPECT_NE(res.base.audit->status, check::audit_status::violated)
+          << c.name << " seed " << seed << ": "
+          << (res.base.audit->violations.empty()
+                  ? res.base.audit->note
+                  : res.base.audit->violations.front().detail);
+    }
+  }
+}
+
+TEST(SlotLog, RegisterFaultsAreRejected) {
+  auto cell = small_cell();
+  multi_trial_options opts;
+  opts.faults.regular_registers(4);
+  EXPECT_THROW(analysis::run_multi_trial(cell, opts), invariant_error);
+}
+
+TEST(SlotLog, RtBackendAgreesToo) {
+  auto cell = small_cell();
+  multi_trial_options opts;
+  opts.seed = 11;
+  opts.audit.enabled = true;
+  auto res = analysis::run_rt_multi_trial(cell, opts);
+  EXPECT_EQ(res.base.status, sim::run_status::all_halted);
+  EXPECT_TRUE(res.slots_agree);
+  EXPECT_TRUE(res.slots_valid);
+  EXPECT_TRUE(res.base.agreement());
+  ASSERT_TRUE(res.base.audit.has_value());
+  EXPECT_TRUE(res.base.audit->ok());
+}
+
+// --- per-slot auditor ----------------------------------------------------
+
+check::slot_audit_spec two_by_two() {
+  check::slot_audit_spec spec;
+  spec.n = 2;
+  spec.slots = 2;
+  // pid p proposes p for slot 0 and p+1 for slot 1.
+  spec.proposals = {0, 1, 1, 2};
+  return spec;
+}
+
+TEST(AuditSlots, CleanLogPasses) {
+  auto spec = two_by_two();
+  std::vector<check::slot_output> outs = {
+      {0, 0, 1}, {1, 0, 1}, {0, 1, 2}, {1, 1, 2}};
+  check::audit_report rep;
+  check::audit_slots(outs, spec, rep);
+  EXPECT_TRUE(rep.ok()) << rep.note;
+}
+
+TEST(AuditSlots, FlagsSlotDisagreement) {
+  auto spec = two_by_two();
+  std::vector<check::slot_output> outs = {{0, 0, 0}, {1, 0, 1}};
+  check::audit_report rep;
+  check::audit_slots(outs, spec, rep);
+  ASSERT_EQ(rep.status, check::audit_status::violated);
+  EXPECT_EQ(rep.violations.front().kind,
+            check::violation_kind::slot_coherence);
+}
+
+TEST(AuditSlots, FlagsUnproposedValue) {
+  auto spec = two_by_two();
+  std::vector<check::slot_output> outs = {{0, 0, 9}};
+  check::audit_report rep;
+  check::audit_slots(outs, spec, rep);
+  ASSERT_EQ(rep.status, check::audit_status::violated);
+  EXPECT_EQ(rep.violations.front().kind, check::violation_kind::validity);
+}
+
+TEST(AuditSlots, FlagsHoleInDecidedPrefix) {
+  auto spec = two_by_two();
+  // pid 0 decided slot 1 but never slot 0.
+  std::vector<check::slot_output> outs = {
+      {0, 1, 2}, {1, 0, 1}, {1, 1, 2}};
+  check::audit_report rep;
+  check::audit_slots(outs, spec, rep);
+  ASSERT_EQ(rep.status, check::audit_status::violated);
+  EXPECT_EQ(rep.violations.front().kind, check::violation_kind::slot_prefix);
+}
+
+TEST(AuditSlots, TruncationOnlyLegalUnderProcessFaults) {
+  auto spec = two_by_two();
+  // pid 0 stopped after slot 0 — illegal fault-free, fine with faults.
+  std::vector<check::slot_output> outs = {
+      {0, 0, 1}, {1, 0, 1}, {1, 1, 2}};
+  check::audit_report rep;
+  check::audit_slots(outs, spec, rep);
+  EXPECT_EQ(rep.status, check::audit_status::violated);
+
+  spec.process_faults = true;
+  check::audit_report rep2;
+  check::audit_slots(outs, spec, rep2);
+  EXPECT_TRUE(rep2.ok());
+}
+
+// --- lattice agreement ---------------------------------------------------
+
+proc<word> lattice_join(multi::lattice_agreement<sim_env>* lat, word mask,
+                        sim_env& env) {
+  word out = co_await lat->join(env, mask);
+  co_return encode_decided({true, out});
+}
+
+TEST(Lattice, JoinSatisfiesAllThreeProperties) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::size_t n = 5;
+    sim::random_oblivious adv;
+    sim::sim_world world(n, adv, seed);
+    multi::lattice_agreement<sim_env> lat(world, n);
+    for (process_id pid = 0; pid < static_cast<process_id>(n); ++pid) {
+      word mask = word{1} << pid;
+      world.spawn(
+          [&lat, mask](sim_env& env) { return lattice_join(&lat, mask, env); });
+    }
+    ASSERT_EQ(world.run(100'000).status, sim::run_status::all_halted);
+    word all = (word{1} << n) - 1;
+    std::vector<word> outs;
+    for (process_id pid = 0; pid < static_cast<process_id>(n); ++pid) {
+      word out = decode_decided(*world.output_of(pid)).value;
+      // Upward validity: own proposal included.
+      EXPECT_NE(out & (word{1} << pid), 0u) << "seed " << seed;
+      // Downward validity: nothing beyond the join of all proposals.
+      EXPECT_EQ(out & ~all, 0u) << "seed " << seed;
+      outs.push_back(out);
+    }
+    // Comparability: any two outputs are ⊆-ordered.
+    for (std::size_t i = 0; i < outs.size(); ++i)
+      for (std::size_t j = i + 1; j < outs.size(); ++j) {
+        bool i_in_j = (outs[i] & outs[j]) == outs[i];
+        bool j_in_i = (outs[i] & outs[j]) == outs[j];
+        EXPECT_TRUE(i_in_j || j_in_i)
+            << "seed " << seed << ": incomparable outputs " << outs[i]
+            << " / " << outs[j];
+      }
+  }
+}
+
+// --- stack_spec registry -------------------------------------------------
+
+TEST(StackSpec, RegistryRoundTripsThroughNames) {
+  for (const std::string& name : stack_names()) {
+    stack_spec spec = stack_for(name);
+    auto back = name_of(spec);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, name);
+    // m is a workload parameter, not part of a stack's identity.
+    EXPECT_EQ(name_of(spec.with_m(1u << 20)).value_or("<none>"), name);
+  }
+  EXPECT_EQ(find_stack("no-such-stack"), nullptr);
+  EXPECT_THROW(stack_for("no-such-stack"), invariant_error);
+}
+
+TEST(StackSpec, EveryRegistryEntryBuildsAndDecides) {
+  for (const std::string& name : stack_names()) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const std::size_t n = 4;
+      sim::random_oblivious adv;
+      sim::sim_world world(n, adv, seed);
+      auto build = stack_builder<sim_env>(stack_for(name));
+      auto obj = build(world, n);
+      ASSERT_NE(obj, nullptr) << name;
+      for (process_id pid = 0; pid < static_cast<process_id>(n); ++pid)
+        world.spawn([&obj, pid](sim_env& env) {
+          return invoke_encoded(*obj, env, pid % 2);
+        });
+      ASSERT_EQ(world.run(10'000'000).status, sim::run_status::all_halted)
+          << name << " seed " << seed;
+      std::set<word> decided_values;
+      for (process_id pid = 0; pid < static_cast<process_id>(n); ++pid) {
+        decided d = decode_decided(*world.output_of(pid));
+        EXPECT_TRUE(d.decide) << name;
+        decided_values.insert(d.value);
+      }
+      EXPECT_EQ(decided_values.size(), 1u) << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(StackSpec, RoundsSentinelDistinguishesAutoFromZero) {
+  stack_spec spec = stack_for("bounded");
+  EXPECT_EQ(spec.rounds, stack_spec::kAutoRounds);
+  EXPECT_NE(spec.with_rounds(0), spec);
+  // Explicit zero survives the fluent copy (E8's ablation endpoint).
+  EXPECT_EQ(spec.with_rounds(0).rounds, 0u);
+  EXPECT_NE(to_string(spec).find("rounds=auto"), std::string::npos);
+}
+
+// --- schema v4 "multi" block --------------------------------------------
+
+TEST(MultiSchema, V4BlockIsByteIdenticalAcrossThreadCounts) {
+  auto cell = small_cell();
+  cell.trials = 12;
+  cell.base_seed = 0x5107;
+  auto one = analysis::run_multi_experiment(cell, {.threads = 1});
+  auto eight = analysis::run_multi_experiment(cell, {.threads = 8});
+  analysis::clear_timing_measurements(one);
+  analysis::clear_timing_measurements(eight);
+  EXPECT_EQ(analysis::to_json(one).dump(2), analysis::to_json(eight).dump(2));
+
+  // The block is present, versioned v4, and carries the multi accounting.
+  EXPECT_EQ(analysis::kExperimentSchemaVersion, 4);
+  EXPECT_EQ(analysis::make_report_skeleton("t").find("schema_version")
+                ->as_uint(),
+            4u);
+  analysis::json doc = analysis::to_json(one);
+  const analysis::json* multi = doc.find("multi");
+  ASSERT_NE(multi, nullptr);
+  EXPECT_EQ(multi->find("shards")->as_uint(), cell.shards);
+  EXPECT_EQ(multi->find("slots_per_shard")->as_uint(), cell.slots);
+  EXPECT_EQ(multi->find("proposals")->as_uint(),
+            cell.trials * cell.n * cell.shards * cell.slots);
+  EXPECT_GT(multi->find("slots_reclaimed")->as_uint(), 0u);
+  EXPECT_EQ(multi->find("slots_agreed")->as_uint(), cell.trials);
+  EXPECT_EQ(multi->find("slots_valid")->as_uint(), cell.trials);
+}
+
+TEST(MultiSchema, OneShotReportsOmitTheMultiBlock) {
+  analysis::trial_grid cell;
+  cell.label = "no_multi";
+  cell.build = stack_builder<sim_env>(stack_for("impatient"));
+  cell.n = 2;
+  cell.trials = 4;
+  auto s = analysis::run_experiment(cell);
+  EXPECT_EQ(analysis::to_json(s).find("multi"), nullptr);
+}
+
+TEST(MultiProposal, DeterministicAndInRange) {
+  for (std::uint64_t m : {2u, 5u, 1024u}) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t slot = 0; slot < 8; ++slot)
+      for (process_id pid = 0; pid < 6; ++pid) {
+        auto v = analysis::multi_proposal(42, 1, slot, pid, m);
+        EXPECT_LT(v, m);
+        EXPECT_EQ(v, analysis::multi_proposal(42, 1, slot, pid, m));
+        seen.insert(v);
+      }
+    if (m > 2) {
+      EXPECT_GT(seen.size(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace modcon

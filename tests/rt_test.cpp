@@ -169,7 +169,7 @@ TEST(RtConsensus, ChaosCollectRatifierStack) {
         [&mem, n]() -> std::unique_ptr<deciding_object<rt_env>> {
           return std::make_unique<collect_ratifier<rt_env>>(mem, n);
         },
-        impatient_factory<rt_env>(mem));
+        detail::conciliator_factory<rt_env>(mem, stack_spec{}));
     auto res = run_threads(
         mem, n, seed,
         [&](rt_env& env) {

@@ -28,12 +28,22 @@ namespace {
 using namespace modcon;
 using sim::sim_env;
 
+std::string stack_menu() {
+  std::string menu;
+  for (const std::string& name : stack_names()) {
+    if (!menu.empty()) menu += " | ";
+    menu += name;
+  }
+  return menu;
+}
+
 [[noreturn]] void usage(int rc) {
   (rc == 0 ? std::cout : std::cerr)
       << "usage: modcon-trace [options]\n"
-         "  --stack S    impatient | bounded | ratifier-only "
-         "(default: impatient)\n"
-         "  --n N        processes (default: 8)\n"
+         "  --stack S    " +
+             stack_menu() +
+             " (default: impatient)\n"
+             "  --n N        processes (default: 8)\n"
          "  --m M        input values; m > 2 selects Bollobas quorums "
          "(default: 2)\n"
          "  --pattern P  unanimous | half-half | alternating | random | "
@@ -57,26 +67,14 @@ analysis::input_pattern parse_pattern(const std::string& p) {
 
 analysis::sim_object_builder make_stack(const std::string& stack,
                                         std::uint64_t m) {
-  auto quorums = [m] {
-    return m <= 2 ? make_binary_quorums() : make_bollobas_quorums(m);
-  };
-  if (stack == "impatient") {
-    return [quorums](address_space& mem, std::size_t) {
-      return make_impatient_consensus<sim_env>(mem, quorums());
-    };
+  const stack_spec* spec = find_stack(stack);
+  if (spec == nullptr) {
+    std::cerr << "unknown --stack '" << stack << "' (choose from "
+              << stack_menu() << ")\n";
+    std::exit(2);
   }
-  if (stack == "bounded") {
-    return [quorums](address_space& mem, std::size_t n) {
-      return make_bounded_impatient_consensus<sim_env>(mem, quorums(), n);
-    };
-  }
-  if (stack == "ratifier-only") {
-    return [quorums](address_space& mem, std::size_t) {
-      return make_ratifier_only_consensus<sim_env>(mem, quorums());
-    };
-  }
-  std::cerr << "unknown --stack '" << stack << "'\n";
-  std::exit(2);
+  // with_m resolves adaptive quorums: binary for m <= 2, Bollobás above.
+  return stack_builder<sim_env>(spec->with_m(m));
 }
 
 }  // namespace
