@@ -20,6 +20,11 @@ Multiple candidates are merged (the baseline may span several benches,
 each re-run into its own artifact); a label appearing in two candidates
 takes the last one.
 
+Artifacts are matched by schema *name*, never by version: a v4 baseline
+gates a v5 candidate (and vice versa) because every schema bump so far
+is additive at the cell level — v5's `recovery` block is simply ignored
+here, like v3.2's `obs` block before it.
+
 Options:
     --threshold F   fractional regression allowed per cell (default 0.10)
     --key NAME      perf field to compare (default steps_per_sec_p50)

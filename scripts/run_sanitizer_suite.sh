@@ -32,7 +32,7 @@ BUILD="${BUILD:-build-$PRESET}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 cmake --preset "$PRESET" >/dev/null
-TARGETS=(rt_test experiment_test fault_test auditor_test multi_test)
+TARGETS=(rt_test experiment_test fault_test auditor_test multi_test recovery_test)
 cmake --build "$BUILD" -j "$JOBS" --target "${TARGETS[@]}"
 
 # Each sanitizer aborts on its first finding so a clean exit code really

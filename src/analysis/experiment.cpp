@@ -109,9 +109,17 @@ summary_stats reduce(const trial_grid& cell,
       cell.faults_for ? std::string("per-trial") : to_string(cell.faults);
   s.audit_profile = to_string(cell.audit);
 
+  // A cell opts into the recovery block statically (recovery faults or
+  // weakened semantics in its plan); individual trials opt in dynamically
+  // when a per-trial plan (faults_for) injected either.
+  const bool recovery_cell =
+      !cell.faults.recoveries.empty() ||
+      cell.faults.registers.semantics != sim::register_semantics::atomic;
+  s.recovery.semantics = sim::to_string(cell.faults.registers.semantics);
+
   constexpr std::size_t kMaxAuditExamples = 8;
   std::vector<double> total, indiv, steps, step_rate;
-  std::vector<double> obs_stages, obs_spans;
+  std::vector<double> obs_stages, obs_spans, recov_to_dec;
   std::vector<std::vector<double>> probe_samples(cell.probes.size());
   for (const trial_record& r : records) {
     s.wall_ms += r.wall_ms;
@@ -121,6 +129,18 @@ summary_stats reduce(const trial_grid& cell,
     s.restarts += r.result.restarts;
     s.stale_reads += r.result.stale_reads;
     s.omitted_writes += r.result.omitted_writes;
+    const bool recovery_trial =
+        recovery_cell || r.result.recoveries > 0 ||
+        r.result.volatile_wipes > 0 || r.result.overlap_reads > 0 ||
+        r.result.races > 0 || !r.result.recovered_pids.empty();
+    if (recovery_trial) {
+      ++s.recovery.trials;
+      s.recovery.recovered_processes += r.result.recovered_pids.size();
+      s.recovery.recoveries += r.result.recoveries;
+      s.recovery.volatile_wipes += r.result.volatile_wipes;
+      s.recovery.overlap_reads += r.result.overlap_reads;
+      s.recovery.races += r.result.races;
+    }
     if (r.result.audit) {
       const check::audit_report& a = *r.result.audit;
       ++s.audited;
@@ -173,6 +193,8 @@ summary_stats reduce(const trial_grid& cell,
     s.coherent += r.coherent;
     s.valid += r.valid;
     s.all_decided += r.decided_all;
+    if (recovery_trial)
+      recov_to_dec.push_back(static_cast<double>(r.result.recoveries));
     total.push_back(static_cast<double>(r.result.total_ops));
     indiv.push_back(static_cast<double>(r.result.max_individual_ops));
     steps.push_back(static_cast<double>(r.result.steps));
@@ -190,6 +212,7 @@ summary_stats reduce(const trial_grid& cell,
   s.steps_per_sec = dist_summary::of(std::move(step_rate));
   s.obs.stages_to_decision = dist_summary::of(std::move(obs_stages));
   s.obs.spans_per_trial = dist_summary::of(std::move(obs_spans));
+  s.recovery.recoveries_to_decision = dist_summary::of(std::move(recov_to_dec));
   for (std::size_t i = 0; i < cell.probes.size(); ++i)
     s.probes.emplace_back(cell.probes[i].name,
                           dist_summary::of(std::move(probe_samples[i])));
@@ -596,6 +619,23 @@ json to_json(const summary_stats& s, bool include_records) {
     mu["pool"] = std::move(pool);
     mu["slot_ops"] = to_json(s.multi.slot_ops);
     j["multi"] = std::move(mu);
+  }
+
+  // Crash-recovery block (schema v5, additive): emitted only for cells
+  // that carried recovery or semantics accounting, so artifacts from
+  // cells with neither — including the determinism goldens — keep their
+  // exact v4 shape.  Deterministic fields only.
+  if (s.recovery.trials > 0) {
+    json rc = json::object();
+    rc["trials"] = json(s.recovery.trials);
+    rc["semantics"] = json(s.recovery.semantics);
+    rc["recovered_processes"] = json(s.recovery.recovered_processes);
+    rc["recoveries"] = json(s.recovery.recoveries);
+    rc["volatile_wipes"] = json(s.recovery.volatile_wipes);
+    rc["overlap_reads"] = json(s.recovery.overlap_reads);
+    rc["races"] = json(s.recovery.races);
+    rc["recoveries_to_decision"] = to_json(s.recovery.recoveries_to_decision);
+    j["recovery"] = std::move(rc);
   }
 
   if (include_records && !s.records.empty()) {

@@ -53,8 +53,13 @@ namespace modcon::analysis {
 // (analysis/multi.h): proposal/decision/fast-path counts, reclamation
 // and register-pool accounting, and the per-proposal ops distribution —
 // deterministic fields only, emitted only when multi.trials > 0, so
-// one-shot cells keep their exact v3 shape.
-inline constexpr int kExperimentSchemaVersion = 4;
+// one-shot cells keep their exact v3 shape.  v5 added the per-cell
+// "recovery" block (additive): crash-recovery and register-semantics
+// accounting — recovered processes, volatile wipes, overlap reads, rt
+// read-races, the cell's semantics echo, and the recoveries-to-decision
+// distribution — emitted only when recovery.trials > 0, so cells with
+// neither recovery faults nor weakened semantics keep their v4 shape.
+inline constexpr int kExperimentSchemaVersion = 5;
 inline constexpr int kExperimentSchemaMinor = 0;
 inline constexpr const char* kExperimentSchemaName = "modcon-bench";
 
@@ -263,6 +268,24 @@ struct summary_stats {
     std::size_t slots_valid = 0;   // trials with all decisions proposed
     dist_summary slot_ops;         // per-proposal individual ops
   } multi;
+
+  // Crash-recovery / register-semantics aggregation (schema v5
+  // "recovery" block), filled for every trial of a cell that injects
+  // recovery faults or runs under non-atomic semantics (and for any
+  // trial that recovered regardless); recovery.trials == 0 means absent,
+  // so cells with neither keep their exact v4 shape.
+  struct recovery_summary {
+    std::uint64_t trials = 0;  // trials that carried recovery accounting
+    std::size_t recovered_processes = 0;  // sum of |recovered_pids|
+    std::uint64_t recoveries = 0;         // crash-recover events
+    std::uint64_t volatile_wipes = 0;     // volatile cells reinitialized
+    std::uint64_t overlap_reads = 0;      // regular/safe reads w/ overlap
+    std::uint64_t races = 0;              // rt read-racing events
+    std::string semantics;                // cell semantics echo
+    // Per completed trial: how many crash-recover events it absorbed
+    // before every survivor decided (E18's resilience metric).
+    dist_summary recoveries_to_decision;
+  } recovery;
 
   double wall_ms = 0.0;  // summed trial wall time (not deterministic)
   // Per-phase wall-clock totals and the per-trial step-rate distribution

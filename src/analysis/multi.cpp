@@ -38,6 +38,10 @@ struct multi_ctx {
   std::uint64_t slots = 0;
   std::uint64_t seed = 0;
   std::uint64_t m = 2;
+  // Crash-recovery trials: every program (re)entry first recovers its
+  // watermark from the persistent pin registers.  Off by default so
+  // fault-free trials take no extra operations (artifact stability).
+  bool recover = false;
   // Row layout: index pid * (shards*slots) + k, where k counts the
   // process's proposals in program order — k maps to
   // (slot = k / shards, shard = k % shards).
@@ -61,6 +65,15 @@ proc<word> multi_program(multi_ctx<Env>* ctx, Env& env) {
   ctx->progress[pid] = 0;
   std::uint64_t digest = ctx->seed ^ 0x6d756c7469ULL;
   splitmix64(digest);
+  if (ctx->recover) {
+    // Crash-recovery rejoin: re-learn the decided frontier from the
+    // persistent pins and re-advertise the watermark.  The proposal loop
+    // below still walks every slot (the digest folds the whole log), but
+    // slots at or below the recovered watermark are guaranteed pin
+    // fast-path hits — including slots whose scaffolding was reclaimed.
+    for (std::uint64_t shard = 0; shard < ctx->shards; ++shard)
+      co_await ctx->logs[shard]->recover_watermark(env, 0);
+  }
   for (std::uint64_t slot = 0; slot < ctx->slots; ++slot) {
     for (std::uint64_t shard = 0; shard < ctx->shards; ++shard) {
       word v = static_cast<word>(
@@ -148,7 +161,9 @@ void audit_multi(const multi_ctx<Env>& ctx, std::size_t n,
     spec.n = n;
     spec.slots = ctx.slots;
     spec.process_faults = !faults.crashes.empty() ||
-                          !faults.restarts.empty() || !faults.stalls.empty();
+                          !faults.restarts.empty() ||
+                          !faults.recoveries.empty() ||
+                          !faults.stalls.empty();
     spec.proposals.resize(ctx.slots * n, kBot);
     for (std::uint64_t slot = 0; slot < ctx.slots; ++slot)
       for (process_id pid = 0; pid < static_cast<process_id>(n); ++pid)
@@ -172,10 +187,18 @@ multi_trial_result run_multi_trial(const multi_grid& cell,
                                    const multi_trial_options& opts) {
   const std::size_t n = cell.n;
   MODCON_CHECK(n > 0 && cell.shards > 0 && cell.slots > 0);
-  MODCON_CHECK_MSG(!opts.faults.registers.enabled(),
-                   "multi-shot trials do not support register faults (a "
-                   "stale read of a pin register could route a proposal "
-                   "into a reclaimed slot)");
+  // True-regular semantics are pin-safe: pins map 1:1 to slots and are
+  // never recycled, so an overlapping write seen by a regular read is the
+  // in-flight decision for that same slot.  The probabilistic stale mode
+  // (a one-generation time machine) and safe semantics (arbitrary values)
+  // are not — a fabricated pin value could route a proposal into a
+  // reclaimed slot — and write omission could lose a pin entirely.
+  MODCON_CHECK_MSG(
+      !opts.faults.registers.regular &&
+          opts.faults.registers.omit_denominator == 0 &&
+          opts.faults.registers.semantics != sim::register_semantics::safe,
+      "multi-shot trials support only atomic or true-regular register "
+      "semantics (stale/safe/omission faults could corrupt a pin)");
   phase_timer schedule_timer(opts.perf, perf_phase::schedule);
   // Recorder before the world: frames destroyed in ~sim_world still hold
   // span guards (see run_object_trial).
@@ -186,6 +209,8 @@ multi_trial_result run_multi_trial(const multi_grid& cell,
   sim::world_options wopts;
   wopts.trace_enabled = opts.audit.enabled || opts.observe;
   wopts.trace_max_events = opts.audit.max_trace_events;
+  wopts.register_faults = opts.faults.registers;
+  wopts.fault_seed = opts.faults.fault_seed;
   wopts.obs = obs_rec ? &*obs_rec : nullptr;
   sim::sim_world world(n, *adv, opts.seed, wopts);
 
@@ -194,6 +219,7 @@ multi_trial_result run_multi_trial(const multi_grid& cell,
   ctx.slots = cell.slots;
   ctx.seed = opts.seed;
   ctx.m = cell.m;
+  ctx.recover = !opts.faults.recoveries.empty();
   ctx.decisions.assign(n * ctx.stride(), kBot);
   ctx.ops.assign(n * ctx.stride(), 0.0);
   ctx.progress.assign(n, 0);
@@ -208,6 +234,8 @@ multi_trial_result run_multi_trial(const multi_grid& cell,
     world.crash_after(c.pid, c.after_ops);
   for (const restart_spec& r : opts.faults.restarts)
     world.restart_after(r.pid, r.after_ops);
+  for (const restart_spec& r : opts.faults.recoveries)
+    world.recover_after(r.pid, r.after_ops);
   for (const stall_spec& s : opts.faults.stalls)
     world.crash_after(s.pid, s.after_ops);  // async model: stall = crash
   schedule_timer.stop();
@@ -227,8 +255,13 @@ multi_trial_result run_multi_trial(const multi_grid& cell,
       res.base.halted_pids.push_back(pid);
     }
     if (world.restarts_of(pid) > 0) res.base.restarted_pids.push_back(pid);
+    if (world.recoveries_of(pid) > 0) res.base.recovered_pids.push_back(pid);
   }
   res.base.restarts = world.total_restarts();
+  res.base.recoveries = world.total_recoveries();
+  res.base.stale_reads = world.stale_reads();
+  res.base.overlap_reads = world.overlap_reads();
+  res.base.volatile_wipes = world.volatile_wipes();
   res.base.total_ops = world.total_ops();
   res.base.max_individual_ops = world.max_individual_ops();
   res.base.steps = world.steps();
@@ -240,14 +273,22 @@ multi_trial_result run_multi_trial(const multi_grid& cell,
   if (opts.audit.enabled) {
     phase_timer audit_timer(opts.perf, perf_phase::audit);
     check::audit_report rep;
-    audit_multi(ctx, n, opts.faults, rep);
+    // Per-slot §3 properties presume atomic registers; under true-regular
+    // semantics a slot's agreement is only probabilistic, so the property
+    // pass is skipped and only trace legality runs.
+    if (opts.faults.registers.semantics == sim::register_semantics::atomic)
+      audit_multi(ctx, n, opts.faults, rep);
     // Trace legality always applies: recycling must look like ordinary
     // applied writes to the replay (sim_world::reinit records it so).
     check::audit_spec tspec;
     tspec.n = n;
     tspec.check_properties = false;  // outputs are digests, not §3 outputs
+    tspec.semantics = opts.faults.registers.semantics;
+    tspec.volatile_regs = world.volatile_registers();
+    tspec.recovery_steps = world.recovery_steps();
     tspec.process_faults = !opts.faults.crashes.empty() ||
                            !opts.faults.restarts.empty() ||
+                           !opts.faults.recoveries.empty() ||
                            !opts.faults.stalls.empty();
     check::audit_trace(world.execution_trace(), tspec, rep);
     res.base.audit = std::move(rep);
@@ -267,6 +308,14 @@ multi_trial_result run_rt_multi_trial(const multi_grid& cell,
                                       const multi_trial_options& opts) {
   const std::size_t n = cell.n;
   MODCON_CHECK(n > 0 && cell.shards > 0 && cell.slots > 0);
+  // The rt backend approximates weak semantics by read-racing, which can
+  // return kBot for a pin that is in fact set — the slow path would then
+  // trip the watermark invariant.  Multi-shot rt trials are atomic-only.
+  MODCON_CHECK_MSG(
+      opts.faults.registers.semantics == sim::register_semantics::atomic,
+      "rt multi-shot trials support only atomic register semantics "
+      "(read-racing could miss a set pin and break the watermark "
+      "invariant)");
   phase_timer schedule_timer(opts.perf, perf_phase::schedule);
   rt::arena mem;
 
@@ -275,6 +324,7 @@ multi_trial_result run_rt_multi_trial(const multi_grid& cell,
   ctx.slots = cell.slots;
   ctx.seed = opts.seed;
   ctx.m = cell.m;
+  ctx.recover = !opts.faults.recoveries.empty();
   ctx.decisions.assign(n * ctx.stride(), kBot);
   ctx.ops.assign(n * ctx.stride(), 0.0);
   ctx.progress.assign(n, 0);
@@ -294,6 +344,9 @@ multi_trial_result run_rt_multi_trial(const multi_grid& cell,
   for (const restart_spec& r : opts.faults.restarts)
     ropts.faults.push_back(
         {r.pid, r.after_ops, rt::fault_action::restart, 0});
+  for (const restart_spec& r : opts.faults.recoveries)
+    ropts.faults.push_back(
+        {r.pid, r.after_ops, rt::fault_action::recover, 0});
   for (const stall_spec& s : opts.faults.stalls)
     ropts.faults.push_back(
         {s.pid, s.after_ops, rt::fault_action::stall, s.resume_after_ms});
@@ -322,8 +375,11 @@ multi_trial_result run_rt_multi_trial(const multi_grid& cell,
         break;
     }
     if (rres.restarts[pid] > 0) res.base.restarted_pids.push_back(pid);
+    if (rres.recoveries[pid] > 0) res.base.recovered_pids.push_back(pid);
     res.base.restarts += rres.restarts[pid];
+    res.base.recoveries += rres.recoveries[pid];
   }
+  res.base.volatile_wipes = res.base.recoveries;
   if (rres.timed_out)
     res.base.status = sim::run_status::timed_out;
   else if (any_crashed)
@@ -407,9 +463,14 @@ summary_stats reduce_multi(const multi_grid& cell,
   s.multi.shards = cell.shards;
   s.multi.slots_per_shard = cell.slots;
 
+  const bool recovery_cell =
+      !cell.faults.recoveries.empty() ||
+      cell.faults.registers.semantics != sim::register_semantics::atomic;
+  s.recovery.semantics = sim::to_string(cell.faults.registers.semantics);
+
   constexpr std::size_t kMaxAuditExamples = 8;
   std::vector<double> total, indiv, steps, step_rate, slot_ops;
-  std::vector<double> obs_stages, obs_spans;
+  std::vector<double> obs_stages, obs_spans, recov_to_dec;
   for (multi_record& r : records) {
     const trial_result& base = r.result.base;
     s.wall_ms += r.wall_ms;
@@ -417,6 +478,19 @@ summary_stats reduce_multi(const multi_grid& cell,
     s.crashed_processes += base.crashed_pids.size();
     s.restarted_processes += base.restarted_pids.size();
     s.restarts += base.restarts;
+    s.stale_reads += base.stale_reads;
+    const bool recovery_trial =
+        recovery_cell || base.recoveries > 0 || base.volatile_wipes > 0 ||
+        base.overlap_reads > 0 || base.races > 0 ||
+        !base.recovered_pids.empty();
+    if (recovery_trial) {
+      ++s.recovery.trials;
+      s.recovery.recovered_processes += base.recovered_pids.size();
+      s.recovery.recoveries += base.recoveries;
+      s.recovery.volatile_wipes += base.volatile_wipes;
+      s.recovery.overlap_reads += base.overlap_reads;
+      s.recovery.races += base.races;
+    }
     if (base.audit) {
       const check::audit_report& a = *base.audit;
       ++s.audited;
@@ -468,6 +542,8 @@ summary_stats reduce_multi(const multi_grid& cell,
     }
     if (base.status == sim::run_status::step_limit) continue;
     ++s.completed;
+    if (recovery_trial)
+      recov_to_dec.push_back(static_cast<double>(base.recoveries));
     // Output agreement over the digests is whole-log agreement; validity
     // is the per-slot judgement (digests are not §3 values).
     std::vector<decided> escaped = base.all_outputs();
@@ -491,6 +567,7 @@ summary_stats reduce_multi(const multi_grid& cell,
   s.multi.slot_ops = dist_summary::of(std::move(slot_ops));
   s.obs.spans_per_trial = dist_summary::of(std::move(obs_spans));
   s.obs.stages_to_decision = dist_summary::of(std::move(obs_stages));
+  s.recovery.recoveries_to_decision = dist_summary::of(std::move(recov_to_dec));
   s.perf.ns[static_cast<std::size_t>(perf_phase::serialize)] +=
       perf_now_ns() - reduce_t0;
   return s;

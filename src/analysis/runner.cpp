@@ -19,12 +19,17 @@ check::audit_spec make_audit_spec(const std::vector<value_t>& inputs,
   spec.n = inputs.size();
   spec.inputs = inputs;
   spec.ratifier = audit.ratifier;
+  // Process faults (including crash-recovery) keep the §3 property checks
+  // armed: the model's guarantees hold under crashes.  Register faults —
+  // probabilistic stale reads, omissions, weakened semantics — void them.
   spec.check_properties = audit.deciding && !faults.registers.enabled();
   spec.regular_registers = faults.registers.regular;
+  spec.semantics = faults.registers.semantics;
   spec.write_omission = faults.registers.omit_denominator != 0 &&
                         faults.registers.omit_budget != 0;
   spec.process_faults = !faults.crashes.empty() ||
-                        !faults.restarts.empty() || !faults.stalls.empty();
+                        !faults.restarts.empty() ||
+                        !faults.recoveries.empty() || !faults.stalls.empty();
   return spec;
 }
 
@@ -42,10 +47,22 @@ std::string to_string(const fault_plan& plan) {
     os << sep << "restart(" << r.pid << "@" << r.after_ops << ")";
     sep = " ";
   }
+  for (const auto& r : plan.recoveries) {
+    os << sep << "recover(" << r.pid << "@" << r.after_ops << ")";
+    sep = " ";
+  }
   for (const auto& s : plan.stalls) {
     os << sep << "stall(" << s.pid << "@" << s.after_ops;
     if (s.resume_after_ms != 0) os << "+" << s.resume_after_ms << "ms";
     os << ")";
+    sep = " ";
+  }
+  if (plan.registers.semantics != sim::register_semantics::atomic) {
+    os << sep << "semantics=" << to_string(plan.registers.semantics);
+    sep = " ";
+  }
+  if (plan.fault_seed != 0) {
+    os << sep << "fault_seed(" << plan.fault_seed << ")";
     sep = " ";
   }
   if (plan.registers.regular) {
@@ -76,6 +93,7 @@ trial_result run_object_trial(const sim_object_builder& build,
   wopts.trace_enabled = opts.trace || opts.audit.enabled || opts.observe;
   wopts.trace_max_events = opts.audit.max_trace_events;
   wopts.register_faults = opts.faults.registers;
+  wopts.fault_seed = opts.faults.fault_seed;
   wopts.obs = obs_rec ? &*obs_rec : nullptr;
   sim::sim_world world(n, adv, opts.seed, wopts);
 
@@ -90,6 +108,8 @@ trial_result run_object_trial(const sim_object_builder& build,
     world.crash_after(c.pid, c.after_ops);
   for (const restart_spec& r : opts.faults.restarts)
     world.restart_after(r.pid, r.after_ops);
+  for (const restart_spec& r : opts.faults.recoveries)
+    world.recover_after(r.pid, r.after_ops);
   // A stalled process never takes another step; in an asynchronous model
   // with no fairness assumption that is observationally a crash.
   for (const stall_spec& s : opts.faults.stalls)
@@ -115,19 +135,26 @@ trial_result run_object_trial(const sim_object_builder& build,
     }
     if (out) escaped.push_back({pid, decode_decided(*out)});
     if (world.restarts_of(pid) > 0) res.restarted_pids.push_back(pid);
+    if (world.recoveries_of(pid) > 0) res.recovered_pids.push_back(pid);
   }
   res.restarts = world.total_restarts();
+  res.recoveries = world.total_recoveries();
   res.stale_reads = world.stale_reads();
   res.omitted_writes = world.omitted_writes();
+  res.overlap_reads = world.overlap_reads();
+  res.volatile_wipes = world.volatile_wipes();
   res.total_ops = world.total_ops();
   res.max_individual_ops = world.max_individual_ops();
   res.steps = world.steps();
   res.registers = world.allocated();
   if (opts.audit.enabled) {
     phase_timer audit_timer(opts.perf, perf_phase::audit);
-    res.audit = check::audit_trial(world.execution_trace(), escaped, {},
-                                   make_audit_spec(inputs, opts.faults,
-                                                   opts.audit));
+    check::audit_spec spec =
+        make_audit_spec(inputs, opts.faults, opts.audit);
+    spec.volatile_regs = world.volatile_registers();
+    spec.recovery_steps = world.recovery_steps();
+    res.audit =
+        check::audit_trial(world.execution_trace(), escaped, {}, spec);
   }
   if (obs_rec) {
     // Close out spans left open by step-limited or crashed processes at
@@ -173,10 +200,18 @@ trial_result run_rt_object_trial(const rt_object_builder& build,
   for (const restart_spec& r : opts.faults.restarts)
     ropts.faults.push_back(
         {r.pid, r.after_ops, rt::fault_action::restart, 0});
+  for (const restart_spec& r : opts.faults.recoveries)
+    ropts.faults.push_back(
+        {r.pid, r.after_ops, rt::fault_action::recover, 0});
   for (const stall_spec& s : opts.faults.stalls)
     ropts.faults.push_back(
         {s.pid, s.after_ops, rt::fault_action::stall, s.resume_after_ms});
-  // Register faults are ignored here: rt registers are real atomics.
+  // Probabilistic stale reads / omission are ignored here (rt registers
+  // are real atomics), but weakened semantics are approximated by
+  // read-racing at rate 1/stale_denominator (see rt/env.h).
+  ropts.semantics = opts.faults.registers.semantics;
+  ropts.race_denominator = static_cast<std::uint32_t>(
+      opts.faults.registers.stale_denominator);
 
   schedule_timer.stop();
 
@@ -209,8 +244,12 @@ trial_result run_rt_object_trial(const rt_object_builder& build,
         break;  // still running when aborted: in neither partition
     }
     if (rres.restarts[pid] > 0) res.restarted_pids.push_back(pid);
+    if (rres.recoveries[pid] > 0) res.recovered_pids.push_back(pid);
     res.restarts += rres.restarts[pid];
+    res.recoveries += rres.recoveries[pid];
   }
+  res.races = rres.races;
+  res.volatile_wipes = res.recoveries;  // one wipe per recovery
   if (rres.timed_out)
     res.status = sim::run_status::timed_out;
   else if (any_crashed)
@@ -245,8 +284,19 @@ trial_result run_rt_object_trial(const rt_object_builder& build,
           {e.pid, e.kind, e.reg, e.value, e.applied, e.begin, e.end});
     // Taken after join so registers the object allocated mid-run (the
     // unbounded construction builds stages lazily) carry their true init
-    // words — a fresh ratifier board starts at 0, not kBot.
-    check::audit_hb(events, spec, mem.initial_values(), rep);
+    // words — a fresh ratifier board starts at 0, not kBot.  Read-racing
+    // semantics are deliberately non-serializable, so the hb check only
+    // runs under atomic semantics; the report stays inconclusive there.
+    if (opts.faults.registers.semantics == sim::register_semantics::atomic) {
+      check::audit_hb(events, spec, mem.initial_values(), rep);
+    } else {
+      if (rep.status == check::audit_status::clean)
+        rep.status = check::audit_status::inconclusive;
+      if (!rep.note.empty()) rep.note += "; ";
+      rep.note += "hb serializability skipped: read-racing under ";
+      rep.note += sim::to_string(opts.faults.registers.semantics);
+      rep.note += " semantics is non-serializable by design";
+    }
     if (recorder->overflowed()) {
       if (rep.status == check::audit_status::clean)
         rep.status = check::audit_status::inconclusive;

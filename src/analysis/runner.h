@@ -78,16 +78,24 @@ struct run_limits {
   std::uint64_t max_steps = 50'000'000;
 };
 
-// Fault-injection plan for one trial: crash-stop, crash-restart, and
-// stall process faults plus register-level faults (stale reads / write
-// omission; sim backend only — rt registers are real hardware).  All
-// injected randomness derives from the trial seed, so any failure
-// reproduces exactly from (seed, fault_plan).
+// Fault-injection plan for one trial: crash-stop, crash-restart,
+// crash-recovery, and stall process faults plus register-level faults
+// (stale reads / write omission / weakened register semantics).  All
+// injected randomness derives from the trial seed (or from `fault_seed`
+// when overridden), so any failure reproduces exactly from
+// (seed, fault_plan).
 struct fault_plan {
   std::vector<crash_spec> crashes;
   std::vector<restart_spec> restarts;
+  // Crash-recovery: like a restart, but the volatile register partition
+  // is wiped too (see exec::durability); persistent registers survive.
+  std::vector<restart_spec> recoveries;
   std::vector<stall_spec> stalls;
   sim::register_fault_config registers;
+  // Overrides the seed of the fault-injection RNG stream (0 = derive from
+  // the trial seed, the default — artifacts are byte-identical when
+  // unset).
+  std::uint64_t fault_seed = 0;
 
   fault_plan& crash(process_id pid, std::uint64_t after_ops) {
     crashes.push_back({pid, after_ops});
@@ -95,6 +103,10 @@ struct fault_plan {
   }
   fault_plan& restart(process_id pid, std::uint64_t after_ops) {
     restarts.push_back({pid, after_ops});
+    return *this;
+  }
+  fault_plan& recover(process_id pid, std::uint64_t after_ops) {
+    recoveries.push_back({pid, after_ops});
     return *this;
   }
   fault_plan& stall(process_id pid, std::uint64_t after_ops,
@@ -107,14 +119,27 @@ struct fault_plan {
     registers.stale_denominator = stale_denominator;
     return *this;
   }
+  // True register semantics (Lamport's hierarchy; see
+  // sim/register_file.h).  Mutually exclusive with regular_registers'
+  // probabilistic stale mode.  On the rt backend the semantics are
+  // approximated by read-racing with rate 1/stale_denominator.
+  fault_plan& with_semantics(sim::register_semantics s) {
+    registers.semantics = s;
+    return *this;
+  }
+  fault_plan& with_fault_seed(std::uint64_t seed) {
+    fault_seed = seed;
+    return *this;
+  }
   fault_plan& omit_writes(std::uint64_t denominator, std::uint64_t budget) {
     registers.omit_denominator = denominator;
     registers.omit_budget = budget;
     return *this;
   }
+  sim::register_semantics semantics() const { return registers.semantics; }
   bool empty() const {
-    return crashes.empty() && restarts.empty() && stalls.empty() &&
-           !registers.enabled();
+    return crashes.empty() && restarts.empty() && recoveries.empty() &&
+           stalls.empty() && !registers.enabled();
   }
 };
 
@@ -187,9 +212,19 @@ struct trial_result {
   // Processes that suffered at least one crash-restart fault (they may
   // also appear in halted_pids/crashed_pids — restarts are not terminal).
   std::vector<process_id> restarted_pids;
+  // Processes that suffered at least one crash-*recovery* fault (a subset
+  // of restarted_pids: every recovery is also a restart).
+  std::vector<process_id> recovered_pids;
   std::uint64_t restarts = 0;        // total restarts across processes
+  std::uint64_t recoveries = 0;      // total crash-recoveries (subset)
   std::uint64_t stale_reads = 0;     // regular-register fault injections
   std::uint64_t omitted_writes = 0;  // write-omission fault injections
+  // Weakened-semantics accounting: sim reads answered from the overlap
+  // set / value history, volatile-partition wipes, and (rt backend)
+  // racing reads that observed two distinct values.
+  std::uint64_t overlap_reads = 0;
+  std::uint64_t volatile_wipes = 0;
+  std::uint64_t races = 0;
   std::uint64_t total_ops = 0;
   std::uint64_t max_individual_ops = 0;
   std::uint64_t steps = 0;

@@ -19,6 +19,12 @@ const char* to_string(violation_kind k) {
     case violation_kind::unserializable_read: return "unserializable_read";
     case violation_kind::slot_coherence: return "slot_coherence";
     case violation_kind::slot_prefix: return "slot_prefix";
+    case violation_kind::illegal_regular_read: return "illegal_regular_read";
+    case violation_kind::illegal_safe_read: return "illegal_safe_read";
+    case violation_kind::volatile_state_survival:
+      return "volatile_state_survival";
+    case violation_kind::persistent_state_loss:
+      return "persistent_state_loss";
   }
   return "?";
 }
@@ -320,6 +326,15 @@ struct reg_state {
   bool prev_known = false;
   bool init_done = false;
   std::vector<word> unapplied;  // deduplicated
+  // Crash-recovery bookkeeping: the value the register held immediately
+  // before its most recent recovery wipe (a wipe that surfaces through a
+  // later read is a volatile_state_survival), and the trace's initial
+  // value (persistent registers reverting to it across a recovery is a
+  // persistent_state_loss).
+  word pre_wipe = kBot;
+  bool wiped = false;
+  word initial = kBot;
+  bool initial_known = false;
 };
 
 }  // namespace
@@ -328,6 +343,55 @@ void audit_trace(const sim::trace& tr, const audit_spec& spec,
                  audit_report& rep) {
   const auto& events = tr.events();
   std::vector<reg_state> regs;
+  const bool semantic =
+      spec.semantics != sim::register_semantics::atomic;
+  bool recovery_seen = false;
+
+  std::vector<reg_id> vol = spec.volatile_regs;
+  std::sort(vol.begin(), vol.end());
+  auto is_volatile = [&](reg_id r) {
+    return std::binary_search(vol.begin(), vol.end(), r);
+  };
+
+  // Overlap reconstruction for the semantics modes: at the moment event i
+  // executed, process q's pending posted operation is exactly q's *next*
+  // event in the trace (the sim executes a posted op before the process
+  // can post another; a pending write destroyed by a restart or abandoned
+  // at end of run is recorded as an unapplied write event).  A q that had
+  // not posted yet contributes its later op — a sound over-approximation
+  // of the overlap set.
+  std::vector<std::vector<std::size_t>> by_pid;
+  std::vector<std::size_t> cursor;
+  if (semantic) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      process_id p = events[i].pid;
+      if (p == kInvalidProcess) continue;
+      if (p >= by_pid.size()) by_pid.resize(static_cast<std::size_t>(p) + 1);
+      by_pid[p].push_back(i);
+    }
+    cursor.assign(by_pid.size(), 0);
+  }
+
+  // Whether any write to r by a process other than `reader` overlaps
+  // event index i, and whether one of them carries value v.  Cursors
+  // advance monotonically (check_read is called in trace order).
+  auto overlap_at = [&](std::size_t i, process_id reader, reg_id r, word v,
+                        bool& any) {
+    bool has_v = false;
+    any = false;
+    for (process_id q = 0; q < static_cast<process_id>(by_pid.size()); ++q) {
+      if (q == reader) continue;
+      const auto& lst = by_pid[q];
+      std::size_t& c = cursor[q];
+      while (c < lst.size() && lst[c] <= i) ++c;
+      if (c == lst.size()) continue;
+      const sim::trace_event& nxt = events[lst[c]];
+      if (nxt.kind != op_kind::write || nxt.reg != r) continue;
+      any = true;
+      if (nxt.value == v) has_v = true;
+    }
+    return has_v;
+  };
 
   auto state_of = [&](reg_id r) -> reg_state& {
     if (r >= regs.size()) regs.resize(static_cast<std::size_t>(r) + 1);
@@ -335,8 +399,8 @@ void audit_trace(const sim::trace& tr, const audit_spec& spec,
     if (!st.init_done) {
       st.init_done = true;
       if (tr.has_initial(r)) {
-        st.current = st.previous = tr.initial_of(r);
-        st.cur_known = st.prev_known = true;
+        st.current = st.previous = st.initial = tr.initial_of(r);
+        st.cur_known = st.prev_known = st.initial_known = true;
       }
     }
     return st;
@@ -350,6 +414,19 @@ void audit_trace(const sim::trace& tr, const audit_spec& spec,
     // not been written yet can legally hold anything we can name.
     if (!st.cur_known) return;
     if (v == st.current) return;
+    bool any_overlap = false;
+    if (semantic) {
+      bool from_overlap = overlap_at(index, e.pid, r, v, any_overlap);
+      // Regular: the overlap set's values are legal.  Safe: an overlapped
+      // read may return anything at all; only a non-overlapped read must
+      // stay truthful.
+      if ((spec.semantics == sim::register_semantics::regular &&
+           from_overlap) ||
+          (spec.semantics == sim::register_semantics::safe && any_overlap)) {
+        ++rep.stale_reads_matched;
+        return;
+      }
+    }
     if (spec.regular_registers) {
       if (!st.prev_known) return;  // stale of an unknown initial
       if (v == st.previous) {
@@ -362,14 +439,29 @@ void audit_trace(const sim::trace& tr, const audit_spec& spec,
     std::ostringstream os;
     os << "p" << e.pid << " read r" << r << " -> " << v << " but r" << r
        << " holds " << st.current;
-    if (spec.regular_registers)
-      os << " (previous " << st.previous << ")";
+    violation_kind kind;
+    if (st.wiped && v == st.pre_wipe && is_volatile(r)) {
+      kind = violation_kind::volatile_state_survival;
+      os << "; the value predates the volatile register's recovery wipe";
+    } else if (recovery_seen && !is_volatile(r) && st.initial_known &&
+               v == st.initial) {
+      kind = violation_kind::persistent_state_loss;
+      os << "; the persistent register reverted to its initial value "
+            "across a recovery";
+    } else if (spec.semantics == sim::register_semantics::regular) {
+      kind = violation_kind::illegal_regular_read;
+      os << " and no overlapping write carries " << v;
+    } else if (spec.semantics == sim::register_semantics::safe) {
+      kind = violation_kind::illegal_safe_read;
+      os << " and no write overlaps the read";
+    } else {
+      kind = from_unapplied ? violation_kind::omitted_write_visible
+                            : violation_kind::illegal_stale_read;
+      if (spec.regular_registers) os << " (previous " << st.previous << ")";
+    }
     if (from_unapplied)
       os << "; the value belongs to a write that did not apply";
-    rep.violations.push_back({from_unapplied
-                                  ? violation_kind::omitted_write_visible
-                                  : violation_kind::illegal_stale_read,
-                              e.pid, e.step, r, v, os.str(),
+    rep.violations.push_back({kind, e.pid, e.step, r, v, os.str(),
                               slice_around(events, index, spec.slice_radius)});
   };
 
@@ -383,6 +475,16 @@ void audit_trace(const sim::trace& tr, const audit_spec& spec,
         reg_state& st = state_of(e.reg);
         ++rep.events_checked;
         if (e.applied) {
+          // A crash-recovery wipe is recorded as an applied write by
+          // kInvalidProcess at a step listed in spec.recovery_steps
+          // (reinit/recycle writes share the pid but not the step).
+          if (e.pid == kInvalidProcess &&
+              std::binary_search(spec.recovery_steps.begin(),
+                                 spec.recovery_steps.end(), e.step)) {
+            st.pre_wipe = st.current;
+            st.wiped = st.cur_known;
+            recovery_seen = true;
+          }
           st.previous = st.current;
           st.prev_known = st.cur_known;
           st.current = e.value;

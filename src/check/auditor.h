@@ -38,6 +38,7 @@
 #include "core/compose.h"
 #include "core/types.h"
 #include "exec/types.h"
+#include "sim/register_file.h"
 #include "sim/trace.h"
 
 namespace modcon::check {
@@ -56,6 +57,16 @@ enum class violation_kind : std::uint8_t {
                           // same slot of a multi-shot log
   slot_prefix,            // a process's decided slots are not a prefix
                           // [0, k) of the log (it skipped a slot)
+  illegal_regular_read,   // regular semantics: read returned a value that
+                          // is neither the last complete write nor any
+                          // overlapping write's value
+  illegal_safe_read,      // safe semantics: read returned a non-current
+                          // value without any overlapping write
+  volatile_state_survival,  // a volatile register's pre-wipe value was
+                            // read back after a crash-recovery wipe
+  persistent_state_loss,  // a persistent register reverted to its initial
+                          // value across a recovery (the backend wiped
+                          // memory it promised to keep)
 };
 
 const char* to_string(violation_kind k);
@@ -113,6 +124,20 @@ struct audit_spec {
   // may legally return / lets unapplied writes exist).
   bool regular_registers = false;
   bool write_omission = false;
+  // True register semantics the trial ran under.  Under `regular` a read
+  // may return any overlapping write's value (the reader's overlap set is
+  // reconstructed from the trace: another process's next operation after
+  // the read is exactly its posted-pending op); under `safe` an
+  // overlapped read may return anything, but a non-overlapped read must
+  // stay truthful.
+  sim::register_semantics semantics = sim::register_semantics::atomic;
+  // Crash-recovery bookkeeping: the volatile register partition and the
+  // steps at which recovery wipes happened (ascending).  Wipes appear in
+  // the trace as applied writes by kInvalidProcess at those steps; the
+  // replay uses them to catch volatile state surviving a wipe and
+  // persistent state reverting to its initial value.
+  std::vector<reg_id> volatile_regs;
+  std::vector<std::uint64_t> recovery_steps;
   // Crash/restart/stall faults were injected: cross-process stage
   // validity is then unsound (a crashed process's value can outlive its
   // records), so that one check is skipped.

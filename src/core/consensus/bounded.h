@@ -31,11 +31,18 @@ template <typename Env>
 class bounded_consensus final : public deciding_object<Env> {
  public:
   // `rounds` is k; `fallback` must decide on every invocation.
+  // `decision_pin` (optional) is the crash-recovery rejoin register: a
+  // persistent kBot-initialized cell written with encode_decided(d) on
+  // decide, read first so a recovered process short-circuits instead of
+  // re-running the prefix and the fallback (see unbounded.h).
   bounded_consensus(const object_factory<Env>& make_ratifier,
                     const object_factory<Env>& make_conciliator,
                     std::size_t rounds,
-                    std::unique_ptr<deciding_object<Env>> fallback)
-      : rounds_(rounds), fallback_(std::move(fallback)) {
+                    std::unique_ptr<deciding_object<Env>> fallback,
+                    reg_id decision_pin = kInvalidReg)
+      : rounds_(rounds),
+        fallback_(std::move(fallback)),
+        decision_pin_(decision_pin) {
     prefix_.append(make_ratifier());  // R₋₁
     prefix_.append(make_ratifier());  // R₀
     for (std::size_t i = 0; i < rounds; ++i) {
@@ -45,6 +52,10 @@ class bounded_consensus final : public deciding_object<Env> {
   }
 
   proc<decided> invoke(Env& env, value_t input) override {
+    if (decision_pin_ != kInvalidReg) {
+      word pinned = co_await env.read(decision_pin_);
+      if (pinned != kBot) co_return decode_decided(pinned);
+    }
     decided d = co_await prefix_.invoke(env, input);
     if (!d.decide) {
       fallback_entries_.fetch_add(1, std::memory_order_relaxed);
@@ -57,6 +68,8 @@ class bounded_consensus final : public deciding_object<Env> {
       sp.set_outcome(d.decide, d.value);
       MODCON_CHECK_MSG(d.decide, "fallback K failed to decide");
     }
+    if (decision_pin_ != kInvalidReg)
+      co_await env.write(decision_pin_, encode_decided(d));
     co_return d;
   }
 
@@ -78,6 +91,7 @@ class bounded_consensus final : public deciding_object<Env> {
   std::size_t rounds_;
   sequence<Env> prefix_;
   std::unique_ptr<deciding_object<Env>> fallback_;
+  reg_id decision_pin_;
   std::atomic<std::uint64_t> fallback_entries_{0};
 };
 

@@ -25,11 +25,19 @@ namespace modcon {
 template <typename Env>
 class ratifier_only_consensus final : public deciding_object<Env> {
  public:
+  // `decision_pin`: crash-recovery rejoin register (see unbounded.h).
   ratifier_only_consensus(object_factory<Env> make_ratifier,
-                          std::size_t max_rounds = 100000)
-      : make_ratifier_(std::move(make_ratifier)), max_rounds_(max_rounds) {}
+                          std::size_t max_rounds = 100000,
+                          reg_id decision_pin = kInvalidReg)
+      : make_ratifier_(std::move(make_ratifier)),
+        max_rounds_(max_rounds),
+        decision_pin_(decision_pin) {}
 
   proc<decided> invoke(Env& env, value_t input) override {
+    if (decision_pin_ != kInvalidReg) {
+      word pinned = co_await env.read(decision_pin_);
+      if (pinned != kBot) co_return decode_decided(pinned);
+    }
     decided d{false, input};
     std::size_t i = 0;
     while (!d.decide) {
@@ -45,6 +53,8 @@ class ratifier_only_consensus final : public deciding_object<Env> {
       sp.close();
       ++i;
     }
+    if (decision_pin_ != kInvalidReg)
+      co_await env.write(decision_pin_, encode_decided(d));
     co_return d;
   }
 
@@ -69,6 +79,7 @@ class ratifier_only_consensus final : public deciding_object<Env> {
 
   object_factory<Env> make_ratifier_;
   std::size_t max_rounds_;
+  reg_id decision_pin_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<deciding_object<Env>>> parts_;
 };

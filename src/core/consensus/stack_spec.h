@@ -34,6 +34,7 @@
 #include "core/consensus/ratifier_only.h"
 #include "core/consensus/unbounded.h"
 #include "core/ratifier/quorum_ratifier.h"
+#include "exec/address_space.h"
 #include "quorum/quorum_system.h"
 #include "util/assertx.h"
 #include "util/bits.h"
@@ -79,6 +80,16 @@ struct stack_spec {
   std::uint64_t coin_den_per_n = 2;
   // Theorem 7 footnote: detecting probabilistic writes.
   bool detect_success = false;
+  // Crash-recovery survivability: partition the stack's registers into
+  // persistent and volatile memory (exec::durability) and add a
+  // persistent decision-pin register as the recovery rejoin point.
+  // Ratifier boards, the CIL fallback, and the pin stay persistent (they
+  // carry the coherence that drags a recovered process to the decided
+  // value); conciliator registers are allocated volatile — a recovery
+  // wipe merely reopens a race, costing probability, never safety.  Like
+  // m, this is a workload/fault-model parameter: it does not change the
+  // stack's registry name.
+  bool recoverable = false;
 
   friend bool operator==(const stack_spec&, const stack_spec&) = default;
 
@@ -106,6 +117,11 @@ struct stack_spec {
   stack_spec with_quorums(quorum_kind q) const {
     stack_spec s = *this;
     s.quorums = q;
+    return s;
+  }
+  stack_spec with_recovery() const {
+    stack_spec s = *this;
+    s.recoverable = true;
     return s;
   }
 
@@ -183,11 +199,13 @@ inline std::vector<std::string> stack_names() {
 }
 
 // Inverse lookup: the registry name whose spec equals this one, ignoring
-// m (a workload parameter — `with_m` must not change a stack's name).
+// m and recoverable (workload/fault-model parameters — `with_m` and
+// `with_recovery` must not change a stack's name).
 inline std::optional<std::string> name_of(const stack_spec& spec) {
   for (const auto& [key, registered] : stack_registry()) {
     stack_spec probe = registered;
     probe.m = spec.m;
+    probe.recoverable = spec.recoverable;
     if (probe == spec) return key;
   }
   return std::nullopt;
@@ -213,16 +231,49 @@ object_factory<Env> ratifier_factory(address_space& mem,
 template <typename Env>
 object_factory<Env> conciliator_factory(address_space& mem,
                                         const stack_spec& spec) {
+  // Under a recoverable spec the conciliators allocate their registers in
+  // the volatile partition (factories run lazily, so the durability scope
+  // must wrap each construction, not the spec build).
+  const bool vol = spec.recoverable;
   if (spec.conciliator == conciliator_kind::fixed_probability) {
-    return [&mem, num = spec.coin_num, den = spec.coin_den_per_n] {
+    return [&mem, num = spec.coin_num, den = spec.coin_den_per_n, vol] {
+      std::optional<durability_scope> ds;
+      if (vol) ds.emplace(mem, durability::volatile_mem);
       return std::make_unique<fixed_probability_conciliator<Env>>(mem, num,
                                                                   den);
     };
   }
-  return [&mem, sched = spec.schedule, detect = spec.detect_success] {
+  return [&mem, sched = spec.schedule, detect = spec.detect_success, vol] {
+    std::optional<durability_scope> ds;
+    if (vol) ds.emplace(mem, durability::volatile_mem);
     return std::make_unique<impatient_conciliator<Env>>(mem, sched, detect);
   };
 }
+
+// Generic crash-recovery shell for protocols without a native
+// decision-pin parameter (the CIL baseline): read the persistent pin
+// first, short-circuit if some process already decided, and pin the
+// decision on the way out.
+template <typename Env>
+class decision_pinned final : public deciding_object<Env> {
+ public:
+  decision_pinned(reg_id pin, std::unique_ptr<deciding_object<Env>> inner)
+      : pin_(pin), inner_(std::move(inner)) {}
+
+  proc<decided> invoke(Env& env, value_t input) override {
+    word pinned = co_await env.read(pin_);
+    if (pinned != kBot) co_return decode_decided(pinned);
+    decided d = co_await inner_->invoke(env, input);
+    if (d.decide) co_await env.write(pin_, encode_decided(d));
+    co_return d;
+  }
+
+  std::string name() const override { return inner_->name() + "+pin"; }
+
+ private:
+  reg_id pin_;
+  std::unique_ptr<deciding_object<Env>> inner_;
+};
 
 }  // namespace detail
 
@@ -230,23 +281,32 @@ template <typename Env>
 std::unique_ptr<deciding_object<Env>> stack_spec::build(address_space& mem,
                                                         std::size_t n) const {
   auto qs = make_quorums();
+  // The decision pin is allocated first (persistent — the default
+  // durability), so every recoverable stack starts with the rejoin
+  // register at a known location before any lazy allocation happens.
+  reg_id pin = recoverable ? mem.alloc(kBot) : kInvalidReg;
   switch (protocol) {
     case protocol_kind::unbounded:
       return std::make_unique<unbounded_consensus<Env>>(
           detail::ratifier_factory<Env>(mem, std::move(qs)),
-          detail::conciliator_factory<Env>(mem, *this));
+          detail::conciliator_factory<Env>(mem, *this), pin);
     case protocol_kind::bounded: {
       std::size_t k = rounds == kAutoRounds ? lg_ceil(n) + 4 : rounds;
       return std::make_unique<bounded_consensus<Env>>(
           detail::ratifier_factory<Env>(mem, std::move(qs)),
           detail::conciliator_factory<Env>(mem, *this), k,
-          std::make_unique<cil_consensus<Env>>(mem, n));
+          std::make_unique<cil_consensus<Env>>(mem, n), pin);
     }
     case protocol_kind::ratifier_only:
       return std::make_unique<ratifier_only_consensus<Env>>(
-          detail::ratifier_factory<Env>(mem, std::move(qs)), max_rounds);
-    case protocol_kind::cil:
-      return std::make_unique<cil_consensus<Env>>(mem, n);
+          detail::ratifier_factory<Env>(mem, std::move(qs)), max_rounds,
+          pin);
+    case protocol_kind::cil: {
+      auto obj = std::make_unique<cil_consensus<Env>>(mem, n);
+      if (pin == kInvalidReg) return obj;
+      return std::make_unique<detail::decision_pinned<Env>>(pin,
+                                                            std::move(obj));
+    }
   }
   MODCON_CHECK_MSG(false, "unknown protocol kind");
   return nullptr;
@@ -275,6 +335,7 @@ inline std::string to_string(const stack_spec& spec) {
     out += ",rounds=" + (spec.rounds == stack_spec::kAutoRounds
                              ? std::string("auto")
                              : std::to_string(spec.rounds));
+  if (spec.recoverable) out += ",recoverable";
   out += ")";
   return out;
 }

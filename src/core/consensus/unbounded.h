@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "core/deciding.h"
+#include "core/types.h"
+#include "exec/types.h"
 #include "obs/obs.h"
 
 namespace modcon {
@@ -40,15 +42,28 @@ template <typename Env>
 class unbounded_consensus final : public deciding_object<Env> {
  public:
   // Both factories are invoked lazily, under a lock, in round order.
+  // `decision_pin` (optional) is a *persistent* register holding kBot
+  // until the first decision and encode_decided(d) afterwards: the
+  // crash-recovery rejoin point.  A process whose volatile state was
+  // wiped re-runs from scratch, reads the pin, and short-circuits to the
+  // decided value instead of re-racing the ladder (the persistent
+  // ratifier boards would drag it there anyway; the pin makes the rejoin
+  // one read).
   unbounded_consensus(object_factory<Env> make_ratifier,
-                      object_factory<Env> make_conciliator)
+                      object_factory<Env> make_conciliator,
+                      reg_id decision_pin = kInvalidReg)
       : make_ratifier_(std::move(make_ratifier)),
-        make_conciliator_(std::move(make_conciliator)) {}
+        make_conciliator_(std::move(make_conciliator)),
+        decision_pin_(decision_pin) {}
 
   // Consensus: always returns (1, v).  Termination holds with
   // probability 1 because some conciliator eventually produces agreement
   // and the next ratifier then forces every process to decide.
   proc<decided> invoke(Env& env, value_t input) override {
+    if (decision_pin_ != kInvalidReg) {
+      word pinned = co_await env.read(decision_pin_);
+      if (pinned != kBot) co_return decode_decided(pinned);
+    }
     decided d{false, input};
     std::size_t i = 0;
     while (!d.decide) {
@@ -61,6 +76,8 @@ class unbounded_consensus final : public deciding_object<Env> {
       sp.close();
       ++i;
     }
+    if (decision_pin_ != kInvalidReg)
+      co_await env.write(decision_pin_, encode_decided(d));
     co_return d;
   }
 
@@ -111,6 +128,7 @@ class unbounded_consensus final : public deciding_object<Env> {
 
   object_factory<Env> make_ratifier_;
   object_factory<Env> make_conciliator_;
+  reg_id decision_pin_;
   mutable std::mutex mu_;
   std::array<std::unique_ptr<deciding_object<Env>>, kFast> fast_;
   std::atomic<std::size_t> ready_{0};  // published prefix of fast_

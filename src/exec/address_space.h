@@ -38,6 +38,13 @@
 
 namespace modcon {
 
+// Durability of an allocation under the crash-*recovery* fault model
+// (Delporte-Gallet et al. separate it from crash-restart): persistent
+// registers model non-volatile memory and survive a recovery event;
+// volatile registers are reinitialized by it.  Everything is persistent
+// by default, which reproduces the crash-restart world exactly.
+enum class durability : std::uint8_t { persistent, volatile_mem };
+
 class address_space {
  public:
   virtual ~address_space() {
@@ -53,6 +60,15 @@ class address_space {
   // `init`; returns the first id.  Consecutive numbering is what makes a
   // cheap `collect` over an announce array expressible.
   virtual reg_id alloc_block(std::uint32_t count, word init) = 0;
+
+  // Durability scope for subsequent allocations: builders bracket the
+  // construction of an object whose registers may be lost on recovery
+  // with a durability_scope.  Backends read alloc_durability() inside
+  // alloc/alloc_block to tag each register.  Not synchronized — callers
+  // that allocate lazily mid-run already serialize object construction
+  // (the unbounded ladder's part lock, the slot log's mutex).
+  void set_alloc_durability(durability d) { durability_ = d; }
+  durability alloc_durability() const { return durability_; }
 
   // Number of registers allocated so far (used by the space-complexity
   // experiments, E4).
@@ -85,11 +101,29 @@ class address_space {
 #endif
   }
 
-#if MODCON_LIFETIME_CHECKS
  private:
+  durability durability_ = durability::persistent;
+#if MODCON_LIFETIME_CHECKS
   static constexpr std::uint32_t kLiveTag = 0xa11c0de5u;
   std::uint32_t live_tag_ = kLiveTag;
 #endif
+};
+
+// RAII durability bracket: allocations made while the scope is alive get
+// the given durability; the previous scope is restored on exit.
+class durability_scope {
+ public:
+  durability_scope(address_space& mem, durability d)
+      : mem_(mem), prev_(mem.alloc_durability()) {
+    mem_.set_alloc_durability(d);
+  }
+  ~durability_scope() { mem_.set_alloc_durability(prev_); }
+  durability_scope(const durability_scope&) = delete;
+  durability_scope& operator=(const durability_scope&) = delete;
+
+ private:
+  address_space& mem_;
+  durability prev_;
 };
 
 }  // namespace modcon

@@ -162,6 +162,29 @@ class slot_log {
     return watermarks_[pid].load(std::memory_order_acquire);
   }
 
+  // Crash-recovery rejoin: a recovered process lost its local notion of
+  // which slots it already consumed, but the pin registers are the log's
+  // persistent content.  Scans pins from `from` while they hold
+  // decisions (capped at the materialized slot count) and returns the
+  // first undecided slot.  The decided prefix is contiguous in any legal
+  // execution — a process only proposes on slot s+1 after consuming
+  // slot s — so the scan stops at the true frontier.  Re-advertises the
+  // recovered watermark on the way out (monotone, so a stale `from`
+  // never regresses it).
+  proc<std::uint64_t> recover_watermark(Env& env, std::uint64_t from = 0) {
+    std::uint64_t slot = from;
+    const std::uint64_t limit = ready_.load(std::memory_order_acquire);
+    while (slot < limit) {
+      slot_state& st = state(slot);
+      word pinned = co_await env.read(st.pin);
+      if (pinned == kBot) break;
+      st.decided.store(true, std::memory_order_release);
+      ++slot;
+    }
+    advance_watermark(env.pid(), slot);
+    co_return slot;
+  }
+
   // Slots [0, reclaimed_prefix()) have dropped their consensus objects.
   std::uint64_t reclaimed_prefix() const {
     return reclaimed_upto_.load(std::memory_order_acquire);

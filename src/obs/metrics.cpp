@@ -16,17 +16,31 @@ void derive_register_stats(const sim::trace& t, trial_obs& out) {
   struct reg_state {
     process_id last_writer = kInvalidProcess;
     std::uint64_t writes = 0;
+    std::uint64_t stale = 0;    // reads that saw a non-current value
+    word current = 0;
+    bool cur_known = false;
     bool unread_write = false;  // last applied write not yet observed
     bool touched = false;
   };
   std::vector<reg_state> regs;
-  auto at = [&regs](reg_id r) -> reg_state& {
+  auto at = [&regs, &t](reg_id r) -> reg_state& {
     if (r >= regs.size()) regs.resize(static_cast<std::size_t>(r) + 1);
-    return regs[r];
+    reg_state& s = regs[r];
+    if (!s.cur_known && t.has_initial(r)) {
+      s.current = t.initial_of(r);
+      s.cur_known = true;
+    }
+    return s;
   };
 
   std::uint64_t reads = 0, writes_applied = 0, writes_missed = 0,
-                collects = 0, cell_reads = 0, lost = 0;
+                collects = 0, cell_reads = 0, lost = 0, stale_total = 0;
+  auto note_observed = [&stale_total](reg_state& s, word v) {
+    if (s.cur_known && v != s.current) {
+      ++s.stale;
+      ++stale_total;
+    }
+  };
   for (std::uint64_t i = 0; i < t.size(); ++i) {
     const sim::trace_event e = t.event(i);
     switch (e.kind) {
@@ -36,6 +50,7 @@ void derive_register_stats(const sim::trace& t, trial_obs& out) {
         reg_state& s = at(e.reg);
         s.touched = true;
         s.unread_write = false;
+        note_observed(s, e.value);
         break;
       }
       case op_kind::write: {
@@ -49,17 +64,20 @@ void derive_register_stats(const sim::trace& t, trial_obs& out) {
         s.last_writer = e.pid;
         s.unread_write = true;
         s.touched = true;
+        s.current = e.value;
+        s.cur_known = true;
         ++s.writes;
         break;
       }
       case op_kind::collect: {
         ++collects;
-        const std::size_t span_len = t.collect_values(i).size();
-        cell_reads += span_len;
-        for (std::size_t c = 0; c < span_len; ++c) {
+        const std::span<const word> vals = t.collect_values(i);
+        cell_reads += vals.size();
+        for (std::size_t c = 0; c < vals.size(); ++c) {
           reg_state& s = at(e.reg + static_cast<reg_id>(c));
           s.touched = true;
           s.unread_write = false;
+          note_observed(s, vals[c]);
         }
         break;
       }
@@ -76,11 +94,20 @@ void derive_register_stats(const sim::trace& t, trial_obs& out) {
   out.regs.writes_applied = writes_applied;
   out.regs.writes_missed = writes_missed;
   out.regs.lost_overwrites = lost;
+  out.regs.stale_cell_reads = stale_total;
   for (reg_id r = 0; r < regs.size(); ++r) {
     if (regs[r].touched) ++out.regs.registers_touched;
     if (regs[r].writes > out.regs.max_writes_one_reg) {
       out.regs.max_writes_one_reg = regs[r].writes;
       out.regs.hottest_reg = r;
+    }
+    if (regs[r].stale > 0) {
+      ++out.regs.contested_registers;
+      out.regs.contested_cells.emplace_back(r, regs[r].stale);
+      if (regs[r].stale > out.regs.max_stale_one_reg) {
+        out.regs.max_stale_one_reg = regs[r].stale;
+        out.regs.most_contested_reg = r;
+      }
     }
   }
 }

@@ -41,6 +41,18 @@ struct register_stats {
   std::uint64_t registers_touched = 0;
   std::uint64_t max_writes_one_reg = 0;
   reg_id hottest_reg = kInvalidReg;
+
+  // Contested reads: read observations (including collect cells) whose
+  // value differs from the replay-current value of the cell — the
+  // footprint of stale probabilistic reads, regular-overlap reads, safe
+  // fabrications, and recovery wipes racing readers.
+  std::uint64_t stale_cell_reads = 0;
+  std::uint64_t contested_registers = 0;  // cells with ≥1 contested read
+  std::uint64_t max_stale_one_reg = 0;
+  reg_id most_contested_reg = kInvalidReg;
+  // (cell, contested-read count), nonzero cells only, ascending by cell —
+  // the Perfetto exporter renders one counter track per entry.
+  std::vector<std::pair<reg_id, std::uint64_t>> contested_cells;
 };
 
 // Everything observability knows about one finished trial.

@@ -43,7 +43,10 @@ void write_perfetto(std::ostream& os, const trial_obs& obs,
   os << ",\n    \"seed\": " << meta.seed << ",\n    \"n\": " << meta.n
      << ",\n    \"steps\": " << meta.steps
      << ",\n    \"spans\": " << obs.span_count << ",\n    \"truncated\": "
-     << (obs.truncated ? "true" : "false") << "\n  },\n";
+     << (obs.truncated ? "true" : "false")
+     << ",\n    \"contested_registers\": " << obs.regs.contested_registers
+     << ",\n    \"stale_cell_reads\": " << obs.regs.stale_cell_reads
+     << "\n  },\n";
   os << "  \"traceEvents\": [\n";
 
   bool first = true;
@@ -66,6 +69,19 @@ void write_perfetto(std::ostream& os, const trial_obs& obs,
     os << "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
           "\"tid\": "
        << pid << ", \"args\": {\"name\": \"proc " << pid << "\"}}";
+  }
+
+  // Contested cells: one counter track per register that served at least
+  // one contested read (value differed from the replay-current cell) so
+  // the UI surfaces exactly which cells stale/overlap/safe reads or
+  // recovery wipes hit.  The replay produces per-trial totals, not a time
+  // series, so each track carries a single sample at ts 0.
+  for (const auto& [reg, count] : obs.regs.contested_cells) {
+    sep();
+    os << "    {\"name\": \"contested reg " << reg
+       << "\", \"ph\": \"C\", \"ts\": 0, \"pid\": 0, "
+          "\"args\": {\"contested_reads\": "
+       << count << "}}";
   }
 
   for (const span& s : obs.spans) {

@@ -33,6 +33,9 @@ reg_id arena::alloc_block(std::uint32_t count, word init) {
     (*c)[r % kChunkSize].store(init, std::memory_order_relaxed);
   }
   initials_.resize(first + count, init);
+  if (alloc_durability() == durability::volatile_mem)
+    for (std::uint32_t r = first; r < first + count; ++r)
+      volatile_regs_.emplace_back(r, init);
   count_.store(first + count, std::memory_order_release);
   return first;
 }
@@ -40,6 +43,17 @@ reg_id arena::alloc_block(std::uint32_t count, word init) {
 std::vector<word> arena::initial_values() const {
   std::scoped_lock lk(mu_);
   return initials_;
+}
+
+std::vector<std::pair<reg_id, word>> arena::volatile_partition() const {
+  std::scoped_lock lk(mu_);
+  return volatile_regs_;
+}
+
+void arena::wipe_volatile() {
+  std::scoped_lock lk(mu_);
+  for (const auto& [r, init] : volatile_regs_)
+    at(r).store(init, std::memory_order_release);
 }
 
 std::atomic<word>& arena::at(reg_id r) {

@@ -52,6 +52,15 @@ class arena final : public address_space {
   // at 0, not kBot).
   std::vector<word> initial_values() const;
 
+  // Registers allocated under durability::volatile_mem, with their
+  // initial values — the partition a crash-recovery wipe resets.
+  std::vector<std::pair<reg_id, word>> volatile_partition() const;
+
+  // Crash-recovery: release-stores every volatile register back to its
+  // initial value.  Concurrency-safe (registers are atomics); racing
+  // protocol writes simply land before or after the wipe.
+  void wipe_volatile();
+
   static constexpr std::uint32_t kChunkSize = 4096;
   static constexpr std::uint32_t kMaxChunks = 4096;  // 16M registers
 
@@ -61,7 +70,8 @@ class arena final : public address_space {
   mutable std::mutex mu_;
   std::array<std::atomic<chunk*>, kMaxChunks> chunks_{};
   std::atomic<std::uint32_t> count_{0};
-  std::vector<word> initials_;  // guarded by mu_
+  std::vector<word> initials_;                         // guarded by mu_
+  std::vector<std::pair<reg_id, word>> volatile_regs_;  // guarded by mu_
 };
 
 }  // namespace modcon::rt

@@ -23,6 +23,7 @@
 #include "exec/types.h"
 #include "obs/obs.h"
 #include "rt/arena.h"
+#include "sim/register_file.h"  // register_semantics (shared enum)
 #include "util/chunk_pool.h"
 #include "util/prob.h"
 #include "util/rng.h"
@@ -45,7 +46,10 @@ namespace modcon::rt {
 // backend's crash_after/restart_after thresholds.
 // ---------------------------------------------------------------------
 
-enum class fault_action : std::uint8_t { stall, crash, restart };
+// `recover` is crash-recovery: like restart, but the runner additionally
+// wipes the arena's volatile register partition before the re-run
+// (rt/runner.h) — the real-thread analogue of sim_world::recover_after.
+enum class fault_action : std::uint8_t { stall, crash, restart, recover };
 
 struct rt_fault_spec {
   process_id pid = 0;
@@ -62,6 +66,7 @@ struct rt_fault_spec {
 // fault.
 struct rt_crash_signal {};
 struct rt_restart_signal {};
+struct rt_recover_signal {};
 struct rt_timeout_signal {};
 
 class rt_fault_board {
@@ -96,6 +101,8 @@ class rt_fault_board {
           throw rt_crash_signal{};
         case fault_action::restart:
           throw rt_restart_signal{};
+        case fault_action::recover:
+          throw rt_recover_signal{};
       }
     }
   }
@@ -248,10 +255,19 @@ class rt_env {
   // every operation with its global-sequence interval; `obs`, when
   // non-null, receives algorithm-level spans and counters (obs/obs.h).
   // All three must outlive the env.
+  //
+  // `semantics` != atomic arms the read-racing approximation of weakened
+  // register semantics: real atomics cannot return non-linearizable
+  // values, so instead roughly one in `race` reads re-loads the register
+  // after a yield and returns either of the two observed values — the
+  // read is stretched across a real race window, which is exactly the
+  // regular-register ambiguity the sim backend models precisely.
   rt_env(arena& mem, process_id pid, std::size_t n, rng r,
          std::uint32_t chaos = 0, rt_fault_board* board = nullptr,
          rt_trace_recorder* recorder = nullptr,
-         obs::trial_recorder* obs = nullptr)
+         obs::trial_recorder* obs = nullptr,
+         sim::register_semantics semantics = sim::register_semantics::atomic,
+         std::uint32_t race = 4)
       : mem_(&mem),
         pid_(pid),
         n_(n),
@@ -261,8 +277,12 @@ class rt_env {
         board_(board),
         recorder_(recorder),
         obs_(obs),
+        semantics_(semantics),
+        race_(race == 0 ? 4 : race),
+        race_rng_(r.split(0x5eace)),
         fast_path_(board == nullptr && recorder == nullptr && chaos == 0 &&
-                   obs == nullptr) {}
+                   obs == nullptr &&
+                   semantics == sim::register_semantics::atomic) {}
 
   struct read_awaiter {
     word result;
@@ -362,6 +382,9 @@ class rt_env {
   process_id pid() const { return pid_; }
   std::size_t n() const { return n_; }
   std::uint64_t ops() const { return ops_; }
+  // Racing reads that actually observed two distinct values (the rt
+  // analogue of the sim's overlap-read counter).
+  std::uint64_t races() const { return races_; }
 
   // Observability hooks (obs/obs.h).  There is no global step counter on
   // real threads, so the timeline is the recorder's shared atomic
@@ -383,8 +406,21 @@ class rt_env {
     if (obs_) obs_->count(pid_, obs::counter::reads);
     const std::uint64_t b = begin_tick();
     word v = mem_->at(r).load(std::memory_order_seq_cst);
+    v = maybe_race(r, v);
     record(b, op_kind::read, r, v, true);
     return read_awaiter{v};
+  }
+
+  // Read-racing (see the constructor comment): both candidate values were
+  // really loaded inside this operation's tick interval, so the recorded
+  // event and the hb audit stay truthful.
+  word maybe_race(reg_id r, word v) {
+    if (semantics_ == sim::register_semantics::atomic) return v;
+    if (race_rng_.below(race_) != 0) return v;
+    std::this_thread::yield();
+    const word v2 = mem_->at(r).load(std::memory_order_seq_cst);
+    if (v2 != v) ++races_;
+    return race_rng_.flip() ? v2 : v;
   }
 
   void_awaiter write_slow(reg_id r, word v) {
@@ -444,6 +480,7 @@ class rt_env {
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::uint64_t b = begin_tick();
       out[i] = mem_->at(first + i).load(std::memory_order_seq_cst);
+      out[i] = maybe_race(static_cast<reg_id>(first + i), out[i]);
       record(b, op_kind::read, static_cast<reg_id>(first + i), out[i], true);
     }
   }
@@ -478,11 +515,15 @@ class rt_env {
   rt_fault_board* board_ = nullptr;
   rt_trace_recorder* recorder_ = nullptr;
   obs::trial_recorder* obs_ = nullptr;
+  sim::register_semantics semantics_ = sim::register_semantics::atomic;
+  std::uint32_t race_ = 4;
+  rng race_rng_;
   // True when no instrumentation is attached; every op then reduces to
   // counter + atomic access.
   bool fast_path_ = true;
   std::uint64_t ops_ = 0;
   std::uint64_t draws_ = 0;
+  std::uint64_t races_ = 0;
 };
 
 static_assert(Environment<rt_env>);

@@ -33,12 +33,17 @@ struct rt_result {
   // Fault accounting (defaults when run without faults/watchdog).
   bool timed_out = false;  // the watchdog aborted a hung run
   std::vector<rt_outcome> outcomes;     // per process
-  std::vector<std::uint64_t> restarts;  // per process
+  std::vector<std::uint64_t> restarts;  // per process (recoveries included)
+  std::vector<std::uint64_t> recoveries;  // per process
+  std::uint64_t races = 0;  // racing reads that saw two distinct values
 };
 
 struct rt_run_options {
   std::uint32_t chaos = 0;  // see rt_env
   std::vector<rt_fault_spec> faults;
+  // Read-racing approximation of weakened register semantics (rt_env).
+  sim::register_semantics semantics = sim::register_semantics::atomic;
+  std::uint32_t race_denominator = 4;
   // Wall-clock budget for the whole run; 0 disables the watchdog.  On
   // expiry the run is aborted via the fault board (threads unwind at
   // their next fault point; stalled threads poll the same flag) and the
@@ -75,7 +80,8 @@ inline rt_result run_threads_opts(
   for (process_id pid = 0; pid < n; ++pid) {
     rng stream(splitmix64(seed) ^ (0x9e3779b97f4a7c15ULL * (pid + 1)));
     envs.emplace_back(mem, pid, n, stream, opts.chaos, board.get(),
-                      opts.recorder, opts.obs);
+                      opts.recorder, opts.obs, opts.semantics,
+                      opts.race_denominator);
   }
 
   rt_result res;
@@ -83,6 +89,7 @@ inline rt_result run_threads_opts(
   res.op_counts.assign(n, 0);
   res.outcomes.assign(n, rt_outcome::running);
   res.restarts.assign(n, 0);
+  res.recoveries.assign(n, 0);
   std::vector<std::exception_ptr> errors(n);
   std::atomic<std::size_t> done{0};
   {
@@ -98,6 +105,12 @@ inline rt_result run_threads_opts(
               break;
             } catch (const rt_restart_signal&) {
               ++res.restarts[pid];  // local state lost; run again
+            } catch (const rt_recover_signal&) {
+              // Crash-recovery: local state lost AND the volatile register
+              // partition is reset before the process reboots.
+              ++res.restarts[pid];
+              ++res.recoveries[pid];
+              mem.wipe_volatile();
             }
           }
         } catch (const rt_crash_signal&) {
@@ -131,6 +144,7 @@ inline rt_result run_threads_opts(
     res.total_ops += envs[pid].ops();
     res.max_individual_ops =
         std::max(res.max_individual_ops, envs[pid].ops());
+    res.races += envs[pid].races();
   }
   return res;
 }

@@ -1,16 +1,26 @@
 #include "sim/register_file.h"
 
+#include <algorithm>
+
 namespace modcon::sim {
 
-reg_id register_file::alloc(word init) {
-  cells_.push_back({init, init, init, 0});
-  return static_cast<reg_id>(cells_.size() - 1);
+reg_id register_file::alloc(word init, bool volatile_cell) {
+  cells_.push_back({init, init, init, 0, volatile_cell});
+  reg_id r = static_cast<reg_id>(cells_.size() - 1);
+  if (volatile_cell) volatile_regs_.push_back(r);
+  if (track_history_) history_.push_back({init});
+  return r;
 }
 
-reg_id register_file::alloc_block(std::uint32_t count, word init) {
+reg_id register_file::alloc_block(std::uint32_t count, word init,
+                                  bool volatile_cell) {
   MODCON_CHECK(count > 0);
   reg_id first = static_cast<reg_id>(cells_.size());
-  cells_.resize(cells_.size() + count, {init, init, init, 0});
+  cells_.resize(cells_.size() + count, {init, init, init, 0, volatile_cell});
+  if (volatile_cell)
+    for (std::uint32_t i = 0; i < count; ++i)
+      volatile_regs_.push_back(first + i);
+  if (track_history_) history_.resize(cells_.size(), {init});
   return first;
 }
 
@@ -21,16 +31,29 @@ std::uint64_t register_file::writes_applied(reg_id r) const {
 
 void register_file::enable_faults(const register_fault_config& cfg,
                                   std::uint64_t seed) {
+  MODCON_CHECK_MSG(
+      cfg.semantics == register_semantics::atomic || !cfg.regular,
+      "pick either the probabilistic stale mode or a true semantics mode, "
+      "not both");
   faults_ = cfg;
   faults_enabled_ = cfg.enabled();
   stale_armed_ =
       faults_enabled_ && cfg.regular && cfg.stale_denominator != 0;
   omit_armed_ = faults_enabled_ && cfg.omit_denominator != 0;
+  semantics_armed_ = cfg.semantics != register_semantics::atomic;
+  track_history_ = cfg.semantics == register_semantics::safe;
+  if (track_history_) {
+    history_.clear();
+    history_.reserve(cells_.size());
+    for (const cell& c : cells_) history_.push_back({c.initial});
+  }
   fault_seed_ = seed;
   fault_rng_ = rng(seed);
   omissions_left_ = cfg.omit_budget;
   stale_reads_ = 0;
   omitted_writes_ = 0;
+  overlap_reads_ = 0;
+  volatile_wipes_ = 0;
 }
 
 word register_file::faulty_read(reg_id r, word v) {
@@ -43,6 +66,32 @@ word register_file::faulty_read(reg_id r, word v) {
   return v;
 }
 
+word register_file::semantic_read(reg_id r, std::span<const word> pending) {
+  word v = read(r);
+  if (faults_.semantics == register_semantics::regular) {
+    // Regular: last complete write, or any overlapping one.  The draw
+    // happens even with no overlap (below(1) == 0) so the coin stream is
+    // the same function of the schedule either way.
+    std::uint64_t pick = fault_rng_.below(pending.size() + 1);
+    if (pick == 0) return v;
+    ++overlap_reads_;
+    return pending[pick - 1];
+  }
+  // Safe: truthful without overlap; arbitrary from the value history
+  // under overlap.
+  if (pending.empty()) return v;
+  const std::vector<word>& h = history_[r];
+  word picked = h[fault_rng_.below(h.size())];
+  if (picked != v) ++overlap_reads_;
+  return picked;
+}
+
+void register_file::note_history(reg_id r, word v) {
+  if (r >= history_.size()) history_.resize(cells_.size(), {});
+  std::vector<word>& h = history_[r];
+  if (std::find(h.begin(), h.end(), v) == h.end()) h.push_back(v);
+}
+
 bool register_file::faulty_write(reg_id r, word v) {
   if (fault_rng_.below(faults_.omit_denominator) == 0) {
     --omissions_left_;
@@ -51,6 +100,16 @@ bool register_file::faulty_write(reg_id r, word v) {
   }
   write(r, v);
   return true;
+}
+
+void register_file::wipe_volatile() {
+  for (reg_id r : volatile_regs_) {
+    cell& c = cells_[r];
+    c.previous = c.value;
+    c.value = c.initial;
+    ++c.writes;
+  }
+  ++volatile_wipes_;
 }
 
 void register_file::reset() {
@@ -64,6 +123,12 @@ void register_file::reset() {
     omissions_left_ = faults_.omit_budget;
     stale_reads_ = 0;
     omitted_writes_ = 0;
+    overlap_reads_ = 0;
+    volatile_wipes_ = 0;
+    if (track_history_) {
+      history_.clear();
+      for (const cell& c : cells_) history_.push_back({c.initial});
+    }
   }
 }
 

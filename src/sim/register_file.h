@@ -17,8 +17,30 @@
 //   * bounded transient write omission — while a budget lasts, a process
 //     write may be silently dropped.
 //
-// Both are driven by a private RNG seeded from the trial seed, so every
-// injected fault schedule reproduces exactly from (seed, fault config).
+// Register *semantics* (Lamport's hierarchy, also optional and off by
+// default): the probabilistic stale mode above approximates regularity
+// with a one-generation history; `register_semantics` models the real
+// thing.  The world passes each process read the set of writes pending
+// on the same cell (posted to the scheduler but not yet executed — the
+// sim's notion of an overlapping write):
+//
+//   * regular — the read returns the last complete write or the value of
+//     any overlapping write (one fault-coin draw per read picks which).
+//   * safe    — a read overlapping any write returns an arbitrary value
+//     from the cell's value history (every value the cell ever held);
+//     non-overlapping reads stay truthful.  Drawing from the history
+//     rather than all 2^64 words keeps "arbitrary" inside the domain the
+//     protocols encode into the cell, per the model in MODEL.md.
+//
+// Both faults and semantics are driven by a private RNG seeded from the
+// trial seed, so every injected schedule reproduces exactly from
+// (seed, fault config).
+//
+// Durability: each cell is tagged persistent (default) or volatile at
+// allocation time, from the owning address_space's allocation scope.  A
+// crash-*recovery* event (as opposed to a plain restart) calls
+// `wipe_volatile`, which reinitializes every volatile cell — persistent
+// cells are the model's non-volatile memory and survive.
 //
 // Layout: one `cell` struct per register (value/previous/initial/write
 // count together), so the write path touches a single cache line instead
@@ -28,6 +50,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "exec/types.h"
@@ -35,6 +58,22 @@
 #include "util/rng.h"
 
 namespace modcon::sim {
+
+// Lamport's register hierarchy, weakest first.  Atomic is the paper's
+// model and the default; regular and safe are the semantics modes of the
+// file comment.
+enum class register_semantics : std::uint8_t { atomic, regular, safe };
+
+const char* to_string(register_semantics s);
+
+inline const char* to_string(register_semantics s) {
+  switch (s) {
+    case register_semantics::atomic: return "atomic";
+    case register_semantics::regular: return "regular";
+    case register_semantics::safe: return "safe";
+  }
+  return "?";
+}
 
 // Configuration for injected register faults (see file comment).  Part of
 // the analysis-layer fault_plan; designated-initializer friendly.
@@ -47,16 +86,21 @@ struct register_fault_config {
   // is dropped with probability 1/omit_denominator (0 disables).
   std::uint64_t omit_denominator = 0;
   std::uint64_t omit_budget = 0;
+  // True register semantics (see file comment).  Mutually exclusive with
+  // the probabilistic stale mode above — enable_faults asserts.
+  register_semantics semantics = register_semantics::atomic;
 
   bool enabled() const {
-    return regular || (omit_denominator != 0 && omit_budget != 0);
+    return regular || (omit_denominator != 0 && omit_budget != 0) ||
+           semantics != register_semantics::atomic;
   }
 };
 
 class register_file {
  public:
-  reg_id alloc(word init);
-  reg_id alloc_block(std::uint32_t count, word init);
+  reg_id alloc(word init, bool volatile_cell = false);
+  reg_id alloc_block(std::uint32_t count, word init,
+                     bool volatile_cell = false);
 
   word read(reg_id r) const {
     MODCON_CHECK_MSG(r < cells_.size(), "read of unallocated register " << r);
@@ -69,6 +113,8 @@ class register_file {
     c.previous = c.value;
     c.value = v;
     ++c.writes;
+    if (track_history_) [[unlikely]]
+      note_history(r, v);
   }
 
   std::uint32_t size() const {
@@ -109,8 +155,42 @@ class register_file {
     return true;
   }
 
+  // Process-facing read under a true semantics mode (enable_faults with
+  // semantics != atomic).  `pending` holds the values of writes to r that
+  // are posted but not yet executed by *other* processes — the overlap
+  // set.  One fault-coin draw per read with a nonempty choice, so the
+  // schedule reproduces from the seed.
+  word semantic_read(reg_id r, std::span<const word> pending);
+
+  bool semantics_armed() const { return semantics_armed_; }
+  register_semantics semantics() const { return faults_.semantics; }
+
   std::uint64_t stale_reads() const { return stale_reads_; }
   std::uint64_t omitted_writes() const { return omitted_writes_; }
+  // Reads answered from the overlap set (regular) or the value history
+  // (safe) instead of the current value.
+  std::uint64_t overlap_reads() const { return overlap_reads_; }
+
+  word initial_of(reg_id r) const {
+    MODCON_CHECK_MSG(r < cells_.size(), "unallocated register " << r);
+    return cells_[r].initial;
+  }
+
+  // --- durability ------------------------------------------------------
+  bool is_volatile(reg_id r) const {
+    MODCON_CHECK_MSG(r < cells_.size(), "unallocated register " << r);
+    return cells_[r].volatile_cell;
+  }
+
+  const std::vector<reg_id>& volatile_registers() const {
+    return volatile_regs_;
+  }
+
+  // Crash-recovery: reinitializes every volatile cell (counted as an
+  // applied write, like reinit).  Persistent cells are untouched.
+  void wipe_volatile();
+
+  std::uint64_t volatile_wipes() const { return volatile_wipes_; }
 
   // Restores every register to its initial value and the fault machinery
   // to its armed state (fresh execution of the same object graph; used by
@@ -119,30 +199,43 @@ class register_file {
 
  private:
   // One register: current value, the previous value (candidate result of
-  // a stale read), the allocation-time value (for reset/replay), and the
-  // applied-write count.
+  // a stale read), the allocation-time value (for reset/replay), the
+  // applied-write count, and the durability tag.  The tag rides in the
+  // cell so the wipe/query paths stay one lookup; it is cold on the
+  // fault-free fast paths.
   struct cell {
     word value;
     word previous;
     word initial;
     std::uint64_t writes;
+    bool volatile_cell;
   };
 
   word faulty_read(reg_id r, word v);
   bool faulty_write(reg_id r, word v);
+  void note_history(reg_id r, word v);
 
   std::vector<cell> cells_;
+  std::vector<reg_id> volatile_regs_;
+  // Per-cell value history, maintained only under safe semantics (the
+  // draw domain of an overlapped safe read).  Deduplicated; registers
+  // hold few distinct values in practice.
+  std::vector<std::vector<word>> history_;
 
   register_fault_config faults_;
   bool faults_enabled_ = false;
   // Precomputed fast-path gates, equivalent to the full fault predicates.
   bool stale_armed_ = false;
   bool omit_armed_ = false;
+  bool semantics_armed_ = false;
+  bool track_history_ = false;  // safe semantics: record the draw domain
   std::uint64_t fault_seed_ = 0;
   rng fault_rng_;
   std::uint64_t omissions_left_ = 0;
   std::uint64_t stale_reads_ = 0;
   std::uint64_t omitted_writes_ = 0;
+  std::uint64_t overlap_reads_ = 0;
+  std::uint64_t volatile_wipes_ = 0;
 };
 
 }  // namespace modcon::sim

@@ -93,8 +93,12 @@ sim_world::sim_world(std::size_t n, adversary& adv, std::uint64_t seed,
   if (opts.register_faults.enabled()) {
     // Derive the fault stream from a *local copy* of the seed: splitmix64
     // advances its argument, and seed_ feeds the per-process rng streams,
-    // which must be identical with and without faults armed.
-    std::uint64_t fault_seed = seed ^ 0xd1b54a32d192ed03ULL;
+    // which must be identical with and without faults armed.  An explicit
+    // fault_seed replaces the derived one, so fault coin draws can vary
+    // independently of the schedule.
+    std::uint64_t fault_seed = opts.fault_seed != 0
+                                   ? opts.fault_seed
+                                   : (seed ^ 0xd1b54a32d192ed03ULL);
     regs_.enable_faults(opts.register_faults, splitmix64(fault_seed));
   }
   adv_.reset(n, seed);
@@ -137,10 +141,26 @@ void sim_world::restart_after(process_id pid, std::uint64_t after_ops) {
   MODCON_CHECK(pid < pcbs_.size());
   pcb& p = pcbs_[pid];
   p.fault_armed = true;
-  p.restart_points.push_back(after_ops);
+  p.restart_points.push_back({after_ops, /*recover=*/false});
   std::sort(p.restart_points.begin() +
                 static_cast<std::ptrdiff_t>(p.next_restart),
-            p.restart_points.end());
+            p.restart_points.end(),
+            [](const pcb::restart_point& a, const pcb::restart_point& b) {
+              return a.ops < b.ops;
+            });
+}
+
+void sim_world::recover_after(process_id pid, std::uint64_t after_ops) {
+  MODCON_CHECK(pid < pcbs_.size());
+  pcb& p = pcbs_[pid];
+  p.fault_armed = true;
+  p.restart_points.push_back({after_ops, /*recover=*/true});
+  std::sort(p.restart_points.begin() +
+                static_cast<std::ptrdiff_t>(p.next_restart),
+            p.restart_points.end(),
+            [](const pcb::restart_point& a, const pcb::restart_point& b) {
+              return a.ops < b.ops;
+            });
 }
 
 void sim_world::remove_runnable(process_id pid) {
@@ -171,7 +191,10 @@ void sim_world::execute(process_id pid) {
   bool applied = true;
   switch (op.kind) {
     case op_kind::read:
-      *op.read_slot = regs_.process_read(op.reg);
+      if (regs_.semantics_armed()) [[unlikely]]
+        *op.read_slot = overlap_read(pid, op.reg);
+      else
+        *op.read_slot = regs_.process_read(op.reg);
       observed = *op.read_slot;
       break;
     case op_kind::write:
@@ -192,8 +215,13 @@ void sim_world::execute(process_id pid) {
       observed = 0;  // the trace's value column for a collect (values are
                      // recorded separately via record_collect)
       op.collect_slot->resize(op.count);
-      for (std::uint32_t i = 0; i < op.count; ++i)
-        (*op.collect_slot)[i] = regs_.process_read(op.reg + i);
+      if (regs_.semantics_armed()) [[unlikely]] {
+        for (std::uint32_t i = 0; i < op.count; ++i)
+          (*op.collect_slot)[i] = overlap_read(pid, op.reg + i);
+      } else {
+        for (std::uint32_t i = 0; i < op.count; ++i)
+          (*op.collect_slot)[i] = regs_.process_read(op.reg + i);
+      }
       break;
     }
   }
@@ -231,10 +259,12 @@ void sim_world::execute(process_id pid) {
 void sim_world::maybe_restart(process_id pid) {
   pcb& p = pcbs_[pid];
   if (p.next_restart >= p.restart_points.size()) return;
-  if (p.ops < p.restart_points[p.next_restart]) return;
+  if (p.ops < p.restart_points[p.next_restart].ops) return;
+  const bool recover = p.restart_points[p.next_restart].recover;
   ++p.next_restart;
   ++p.restarts;
   ++total_restarts_;
+  record_destroyed_op(pid);
   // The incarnation loses all local state: assigning a fresh program
   // destroys the old coroutine frame, including the awaiter holding any
   // pending operation (p.op's slot pointers dangle into that frame, but
@@ -242,9 +272,53 @@ void sim_world::maybe_restart(process_id pid) {
   // persist, and the op counter keeps accumulating across incarnations.
   p.has_op = false;
   p.output.reset();
+  if (recover) {
+    // Crash-recovery: the volatile partition is lost too, before the new
+    // incarnation runs its first (free) local computation.
+    ++p.recoveries;
+    ++total_recoveries_;
+    wipe_volatile_now();
+  }
   p.program = p.main(p.env);
   p.program.start();
   after_resume(pid);
+}
+
+word sim_world::overlap_read(process_id pid, reg_id r) {
+  // The overlap set of a read executing now: writes to r posted but not
+  // yet executed by other processes — in the one-op-at-a-time model these
+  // are exactly the operations the read is concurrent with.  Pending
+  // probabilistic writes count regardless of their pre-drawn coin: an
+  // in-model adversary cannot tell a miss-bound write apart (§2.1), and
+  // the trace records it as targeting r either way.
+  pending_scratch_.clear();
+  for (const pcb& q : pcbs_) {
+    if (q.env.pid() == pid) continue;
+    if (q.has_op && q.op.kind == op_kind::write && q.op.reg == r)
+      pending_scratch_.push_back(q.op.value);
+  }
+  return regs_.semantic_read(r, pending_scratch_);
+}
+
+void sim_world::wipe_volatile_now() {
+  if (trace_.enabled())
+    for (reg_id r : regs_.volatile_registers())
+      trace_.record({step_, kInvalidProcess, op_kind::write, r,
+                     regs_.initial_of(r), /*applied=*/true});
+  regs_.wipe_volatile();
+  recovery_steps_.push_back(step_);
+}
+
+void sim_world::record_destroyed_op(process_id pid) {
+  pcb& p = pcbs_[pid];
+  if (!p.has_op || p.op.kind != op_kind::write) return;
+  if (!regs_.semantics_armed() || !trace_.enabled()) return;
+  // Only under a semantics mode: an overlap read may already have
+  // returned this value, so the legality replay needs to see the write
+  // even though it never executes.  Unapplied, like a missed
+  // probabilistic write.
+  trace_.record({step_, pid, op_kind::write, p.op.reg, p.op.value,
+                 /*applied=*/false});
 }
 
 void sim_world::after_resume(process_id pid) {
@@ -273,25 +347,36 @@ run_result sim_world::run(std::uint64_t max_steps) {
     // runnable_[below(size)] needs no validity re-check.
     while (budget-- > 0) {
       const std::size_t m = runnable_.size();
-      if (m == 0) return quiescent();
+      if (m == 0) return finish_run(quiescent());
       execute(runnable_[uniform->below(m)]);
     }
-    return runnable_.empty() ? quiescent()
-                             : run_result{run_status::step_limit, step_};
+    return finish_run(runnable_.empty()
+                          ? quiescent()
+                          : run_result{run_status::step_limit, step_});
   }
   // The view and the adversary's power are loop-invariant; hoisting them
   // saves a virtual call per step.
   const sched_view view(*this, adv_.power());
   while (budget-- > 0) {
-    if (runnable_.empty()) return quiescent();
+    if (runnable_.empty()) return finish_run(quiescent());
     process_id pid = adv_.pick(view);
     MODCON_CHECK_MSG(pid < pcbs_.size() && runnable_index_[pid] != UINT32_MAX,
                      "adversary " << adv_.name()
                                   << " picked non-runnable process " << pid);
     execute(pid);
   }
-  if (runnable_.empty()) return quiescent();
-  return {run_status::step_limit, step_};
+  if (runnable_.empty()) return finish_run(quiescent());
+  return finish_run({run_status::step_limit, step_});
+}
+
+run_result sim_world::finish_run(run_result r) {
+  // Writes still pending when the run ends (crashed processes, or a step
+  // limit) never execute; under a semantics mode an overlap read may have
+  // returned them already, so they join the trace as unapplied writes
+  // (record_destroyed_op is a no-op otherwise).
+  for (process_id pid = 0; pid < static_cast<process_id>(pcbs_.size()); ++pid)
+    record_destroyed_op(pid);
+  return r;
 }
 
 bool sim_world::halted(process_id pid) const {
@@ -307,6 +392,11 @@ bool sim_world::crashed(process_id pid) const {
 std::uint64_t sim_world::restarts_of(process_id pid) const {
   MODCON_CHECK(pid < pcbs_.size());
   return pcbs_[pid].restarts;
+}
+
+std::uint64_t sim_world::recoveries_of(process_id pid) const {
+  MODCON_CHECK(pid < pcbs_.size());
+  return pcbs_[pid].recoveries;
 }
 
 std::optional<word> sim_world::output_of(process_id pid) const {

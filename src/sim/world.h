@@ -160,10 +160,15 @@ struct world_options {
   // information structure an in-model adversary faces (see
   // check/minimax.h).
   std::function<bool(process_id, const prob&)> coin_override;
-  // Injected register faults (stale reads, transient write omission); see
-  // sim/register_file.h.  The fault RNG is derived from the world seed,
-  // so every injected schedule replays from (seed, config).
+  // Injected register faults (stale reads, transient write omission, true
+  // regular/safe semantics); see sim/register_file.h.  The fault RNG is
+  // derived from the world seed, so every injected schedule replays from
+  // (seed, config).
   register_fault_config register_faults;
+  // Overrides the seed of the fault RNG stream (0 = derive from the world
+  // seed, the default).  Lets fault coin draws vary independently of the
+  // schedule seed; artifacts are byte-identical when unset.
+  std::uint64_t fault_seed = 0;
   // When set, algorithm-level spans and counters are recorded into this
   // recorder (obs/obs.h).  Must outlive the world: coroutine frames torn
   // down in ~sim_world still hold span guards, which consult the
@@ -200,13 +205,15 @@ class sim_world final : public address_space {
   // --- address_space ---
   reg_id alloc(word init) override {
     assert_live();
-    reg_id r = regs_.alloc(init);
+    reg_id r = regs_.alloc(
+        init, alloc_durability() == durability::volatile_mem);
     trace_.note_alloc(r, 1, init);
     return r;
   }
   reg_id alloc_block(std::uint32_t count, word init) override {
     assert_live();
-    reg_id first = regs_.alloc_block(count, init);
+    reg_id first = regs_.alloc_block(
+        count, init, alloc_durability() == durability::volatile_mem);
     trace_.note_alloc(first, count, init);
     return first;
   }
@@ -250,6 +257,13 @@ class sim_world final : public address_space {
   // accumulating across incarnations.
   void restart_after(process_id pid, std::uint64_t after_ops);
 
+  // Schedules a crash-*recovery* fault: like restart_after, but the crash
+  // also loses the volatile partition of shared memory — every register
+  // allocated under durability::volatile_mem is reinitialized (recorded
+  // in the trace as applied writes by kInvalidProcess, like reinit).
+  // Persistent registers survive; the process re-reads them to rejoin.
+  void recover_after(process_id pid, std::uint64_t after_ops);
+
   // --- execution ---
   // Applies pending operations, adversary-chosen, until all processes
   // halt or `max_steps` operations have been applied.
@@ -261,8 +275,21 @@ class sim_world final : public address_space {
   bool crashed(process_id pid) const;
   std::uint64_t restarts_of(process_id pid) const;
   std::uint64_t total_restarts() const { return total_restarts_; }
+  std::uint64_t recoveries_of(process_id pid) const;
+  std::uint64_t total_recoveries() const { return total_recoveries_; }
   std::uint64_t stale_reads() const { return regs_.stale_reads(); }
   std::uint64_t omitted_writes() const { return regs_.omitted_writes(); }
+  std::uint64_t overlap_reads() const { return regs_.overlap_reads(); }
+  std::uint64_t volatile_wipes() const { return regs_.volatile_wipes(); }
+  // Recovery bookkeeping for the auditor: which registers are volatile
+  // and at which steps a wipe happened.
+  const std::vector<reg_id>& volatile_registers() const {
+    return regs_.volatile_registers();
+  }
+  bool register_is_volatile(reg_id r) const { return regs_.is_volatile(r); }
+  const std::vector<std::uint64_t>& recovery_steps() const {
+    return recovery_steps_;
+  }
   // The return value of process pid's program; empty if it has not halted.
   std::optional<word> output_of(process_id pid) const;
   std::uint64_t ops_of(process_id pid) const;
@@ -309,9 +336,16 @@ class sim_world final : public address_space {
     // Crash-restart support: the program factory is retained so a restart
     // can re-run it from scratch with the original input closed over.
     std::function<proc<word>(sim_env&)> main;
-    std::vector<std::uint64_t> restart_points;  // sorted op thresholds
+    // Sorted op thresholds; `recover` additionally wipes the volatile
+    // register partition (crash-recovery vs. plain crash-restart).
+    struct restart_point {
+      std::uint64_t ops;
+      bool recover;
+    };
+    std::vector<restart_point> restart_points;
     std::size_t next_restart = 0;
     std::uint64_t restarts = 0;
+    std::uint64_t recoveries = 0;
   };
 
   // Returns the process's (reset) pending-op slot for an awaiter to fill
@@ -322,6 +356,17 @@ class sim_world final : public address_space {
   void after_resume(process_id pid);
   void maybe_restart(process_id pid);
   void remove_runnable(process_id pid);
+  // Semantics-mode read: gathers the pending-write overlap set for r and
+  // lets the register file pick the observed value.
+  word overlap_read(process_id pid, reg_id r);
+  // Crash-recovery: reinitialize the volatile partition, recording each
+  // wipe in the trace.
+  void wipe_volatile_now();
+  // A pending write destroyed by a restart/crash (or abandoned at end of
+  // run) is still a legal overlap source under regular/safe semantics;
+  // record it as an unapplied write so the auditor's replay sees it.
+  void record_destroyed_op(process_id pid);
+  run_result finish_run(run_result r);
 
   std::size_t n_;
   adversary& adv_;
@@ -336,6 +381,9 @@ class sim_world final : public address_space {
   std::vector<std::uint32_t> runnable_index_;  // pid -> slot in runnable_
   std::uint64_t step_ = 0;
   std::uint64_t total_restarts_ = 0;
+  std::uint64_t total_recoveries_ = 0;
+  std::vector<std::uint64_t> recovery_steps_;
+  std::vector<word> pending_scratch_;  // overlap_read's reusable buffer
   trace trace_;
   obs::trial_recorder* obs_ = nullptr;
 };

@@ -395,11 +395,14 @@ TEST(MultiSchema, V4BlockIsByteIdenticalAcrossThreadCounts) {
   analysis::clear_timing_measurements(eight);
   EXPECT_EQ(analysis::to_json(one).dump(2), analysis::to_json(eight).dump(2));
 
-  // The block is present, versioned v4, and carries the multi accounting.
-  EXPECT_EQ(analysis::kExperimentSchemaVersion, 4);
+  // The block is present, the schema is current (v5 — the bump added the
+  // additive "recovery" block, which this fault-free cell omits), and it
+  // carries the multi accounting.
+  EXPECT_EQ(analysis::kExperimentSchemaVersion, 5);
   EXPECT_EQ(analysis::make_report_skeleton("t").find("schema_version")
                 ->as_uint(),
-            4u);
+            5u);
+  EXPECT_EQ(analysis::to_json(one).find("recovery"), nullptr);
   analysis::json doc = analysis::to_json(one);
   const analysis::json* multi = doc.find("multi");
   ASSERT_NE(multi, nullptr);

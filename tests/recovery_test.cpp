@@ -1,0 +1,584 @@
+// True register semantics (Lamport's atomic/regular/safe hierarchy), the
+// persistent/volatile durability split, and crash-recovery: register-file
+// units, the auditor's four recovery-era legality rules, fault-seed
+// determinism, omission-budget exhaustion, and end-to-end recovery trials
+// over every registry stack on both backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/multi.h"
+#include "analysis/runner.h"
+#include "check/auditor.h"
+#include "core/modcon.h"
+#include "sim/adversaries/adversaries.h"
+#include "sim/register_file.h"
+#include "sim/trace.h"
+
+namespace modcon {
+namespace {
+
+using analysis::fault_plan;
+using analysis::input_pattern;
+using analysis::make_inputs;
+using analysis::multi_grid;
+using analysis::multi_trial_options;
+using analysis::run_object_trial;
+using analysis::run_rt_object_trial;
+using analysis::trial_options;
+using check::audit_report;
+using check::audit_spec;
+using check::audit_status;
+using check::violation_kind;
+using sim::register_semantics;
+using sim::sim_env;
+using sim::trace_event;
+
+bool has_kind(const audit_report& rep, violation_kind k) {
+  return std::any_of(rep.violations.begin(), rep.violations.end(),
+                     [&](const check::violation& v) { return v.kind == k; });
+}
+
+// ---------------------------------------------------------------------
+// register_file: true semantics modes and the durability split
+// ---------------------------------------------------------------------
+
+TEST(SemanticRead, RegularReturnsCurrentOrAnyOverlappingWrite) {
+  sim::register_file regs;
+  reg_id r = regs.alloc(0);
+  sim::register_fault_config cfg;
+  cfg.semantics = register_semantics::regular;
+  regs.enable_faults(cfg, 17);
+  regs.write(r, 3);
+
+  const word pending[] = {8, 9};
+  bool saw_current = false, saw_overlap = false;
+  for (int i = 0; i < 200; ++i) {
+    word v = regs.semantic_read(r, std::span<const word>(pending, 2));
+    ASSERT_TRUE(v == 3 || v == 8 || v == 9) << "read " << i << " -> " << v;
+    (v == 3 ? saw_current : saw_overlap) = true;
+  }
+  EXPECT_TRUE(saw_current);
+  EXPECT_TRUE(saw_overlap);
+  EXPECT_GT(regs.overlap_reads(), 0u);
+
+  // Without overlapping writes a regular read is truthful.
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(regs.semantic_read(r, std::span<const word>{}), 3u);
+  // The ground-truth view never weakens.
+  EXPECT_EQ(regs.read(r), 3u);
+}
+
+TEST(SemanticRead, SafeDrawsFromHistoryOnlyWhenOverlapped) {
+  sim::register_file regs;
+  reg_id r = regs.alloc(1);
+  sim::register_fault_config cfg;
+  cfg.semantics = register_semantics::safe;
+  regs.enable_faults(cfg, 23);
+  regs.write(r, 5);
+  regs.write(r, 7);  // history is now {1, 5, 7}
+
+  // Non-overlapped safe reads must stay truthful.
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(regs.semantic_read(r, std::span<const word>{}), 7u);
+
+  // Overlapped reads return an arbitrary value — but from the cell's
+  // value history, never from outside the protocol's domain.
+  const word pending[] = {7};
+  bool saw_other = false;
+  for (int i = 0; i < 200; ++i) {
+    word v = regs.semantic_read(r, std::span<const word>(pending, 1));
+    ASSERT_TRUE(v == 1 || v == 5 || v == 7) << "read " << i << " -> " << v;
+    if (v != 7) saw_other = true;
+  }
+  EXPECT_TRUE(saw_other);
+  EXPECT_GT(regs.overlap_reads(), 0u);
+}
+
+TEST(SemanticRead, ScheduleIsAFunctionOfTheSeedAlone) {
+  auto run_schedule = [](std::uint64_t seed) {
+    sim::register_file regs;
+    reg_id r = regs.alloc(0);
+    sim::register_fault_config cfg;
+    cfg.semantics = register_semantics::regular;
+    regs.enable_faults(cfg, seed);
+    regs.write(r, 2);
+    const word pending[] = {6};
+    std::vector<word> out;
+    for (int i = 0; i < 128; ++i)
+      out.push_back(regs.semantic_read(r, std::span<const word>(pending, 1)));
+    return out;
+  };
+  EXPECT_EQ(run_schedule(42), run_schedule(42));
+  EXPECT_NE(run_schedule(42), run_schedule(43));
+}
+
+TEST(Durability, WipeVolatileReinitializesOnlyVolatileCells) {
+  sim::register_file regs;
+  reg_id p = regs.alloc(1);                        // persistent (default)
+  reg_id v = regs.alloc(2, /*volatile_cell=*/true);
+  EXPECT_FALSE(regs.is_volatile(p));
+  EXPECT_TRUE(regs.is_volatile(v));
+  EXPECT_EQ(regs.volatile_registers(), (std::vector<reg_id>{v}));
+
+  regs.write(p, 11);
+  regs.write(v, 22);
+  regs.wipe_volatile();
+  EXPECT_EQ(regs.read(p), 11u) << "persistent cell must survive the wipe";
+  EXPECT_EQ(regs.read(v), 2u) << "volatile cell must reinitialize";
+  EXPECT_EQ(regs.volatile_wipes(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Auditor: the four recovery-era violation kinds, each triggered by a
+// handcrafted trace and each shown legal in its clean twin
+// ---------------------------------------------------------------------
+
+// A hand-built trace over `nregs` registers sharing one initial value;
+// step fields are synthesized as the event index, so spec.recovery_steps
+// entries are event indices.
+sim::trace scripted_trace(std::uint32_t nregs, word init,
+                          const std::vector<trace_event>& events) {
+  sim::trace tr;
+  tr.enable(true);
+  tr.note_alloc(0, nregs, init);
+  std::uint64_t step = 0;
+  for (trace_event e : events) {
+    e.step = step++;
+    tr.record(e);
+  }
+  return tr;
+}
+
+audit_spec basic_spec(std::size_t n, std::vector<value_t> inputs) {
+  audit_spec spec;
+  spec.n = n;
+  spec.inputs = std::move(inputs);
+  return spec;
+}
+
+TEST(AuditSemantics, OverlappingWriteValueIsLegalUnderRegular) {
+  // p1's read overlaps p0's posted write of 9 (p0's next trace event), so
+  // returning 9 is exactly the regular-register ambiguity.
+  auto tr = scripted_trace(
+      1, kBot,
+      {{0, 0, op_kind::write, 0, 5, true},
+       {0, 1, op_kind::read, 0, 9, true},
+       {0, 0, op_kind::write, 0, 9, true}});
+  audit_spec spec = basic_spec(2, {5, 9});
+  spec.semantics = register_semantics::regular;
+  audit_report rep;
+  check::audit_trace(tr, spec, rep);
+  EXPECT_TRUE(rep.ok()) << (rep.violations.empty()
+                                ? rep.note
+                                : rep.violations.front().detail);
+  EXPECT_EQ(rep.stale_reads_matched, 1u);
+}
+
+TEST(AuditSemantics, NonOverlapValueIsAnIllegalRegularRead) {
+  // No write is in flight when p1 reads, yet the read returns the
+  // overwritten 5: regular registers never serve values outside
+  // {last complete write} ∪ {overlapping writes}.
+  auto tr = scripted_trace(
+      1, kBot,
+      {{0, 0, op_kind::write, 0, 5, true},
+       {0, 0, op_kind::write, 0, 7, true},
+       {0, 1, op_kind::read, 0, 5, true}});
+  audit_spec spec = basic_spec(2, {5, 7});
+  spec.semantics = register_semantics::regular;
+  audit_report rep;
+  check::audit_trace(tr, spec, rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  ASSERT_TRUE(has_kind(rep, violation_kind::illegal_regular_read));
+  EXPECT_EQ(rep.violations[0].pid, 1u);
+  EXPECT_EQ(rep.violations[0].value, 5u);
+  EXPECT_FALSE(rep.violations[0].slice.empty());
+}
+
+TEST(AuditSemantics, OverlappedSafeReadMayReturnAnything) {
+  auto tr = scripted_trace(
+      1, kBot,
+      {{0, 0, op_kind::write, 0, 5, true},
+       {0, 1, op_kind::read, 0, 1234, true},  // arbitrary: a write overlaps
+       {0, 0, op_kind::write, 0, 6, true}});
+  audit_spec spec = basic_spec(2, {5, 6});
+  spec.semantics = register_semantics::safe;
+  audit_report rep;
+  check::audit_trace(tr, spec, rep);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.stale_reads_matched, 1u);
+}
+
+TEST(AuditSemantics, NonOverlappedSafeReadMustBeTruthful) {
+  auto tr = scripted_trace(
+      1, kBot,
+      {{0, 0, op_kind::write, 0, 5, true},
+       {0, 1, op_kind::read, 0, 4, true}});  // nothing overlaps
+  audit_spec spec = basic_spec(2, {4, 5});
+  spec.semantics = register_semantics::safe;
+  audit_report rep;
+  check::audit_trace(tr, spec, rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  ASSERT_TRUE(has_kind(rep, violation_kind::illegal_safe_read));
+  EXPECT_EQ(rep.violations[0].pid, 1u);
+}
+
+TEST(AuditRecovery, VolatileValueSurvivingItsWipeIsFlagged) {
+  // r0 is volatile; the wipe at step 1 reinitializes it, yet p1 reads the
+  // pre-wipe 5 back afterwards — the backend failed to lose it.
+  auto tr = scripted_trace(
+      1, kBot,
+      {{0, 0, op_kind::write, 0, 5, true},
+       {0, kInvalidProcess, op_kind::write, 0, kBot, true},  // recovery wipe
+       {0, 1, op_kind::read, 0, 5, true}});
+  audit_spec spec = basic_spec(2, {5, 5});
+  spec.volatile_regs = {0};
+  spec.recovery_steps = {1};
+  audit_report rep;
+  check::audit_trace(tr, spec, rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  ASSERT_TRUE(has_kind(rep, violation_kind::volatile_state_survival));
+  EXPECT_EQ(rep.violations[0].reg, 0u);
+  EXPECT_EQ(rep.violations[0].value, 5u);
+}
+
+TEST(AuditRecovery, PersistentRegisterRevertingToInitialIsFlagged) {
+  // r1 (volatile) is wiped at step 2; afterwards the *persistent* r0
+  // reads back its initial value 1 instead of the 7 it held — memory the
+  // model promised to keep was lost across the recovery.
+  auto tr = scripted_trace(
+      2, 1,
+      {{0, 0, op_kind::write, 0, 7, true},
+       {0, 0, op_kind::write, 1, 9, true},
+       {0, kInvalidProcess, op_kind::write, 1, 1, true},  // recovery wipe
+       {0, 1, op_kind::read, 0, 1, true}});
+  audit_spec spec = basic_spec(2, {7, 9});
+  spec.volatile_regs = {1};
+  spec.recovery_steps = {2};
+  audit_report rep;
+  check::audit_trace(tr, spec, rep);
+  EXPECT_EQ(rep.status, audit_status::violated);
+  ASSERT_TRUE(has_kind(rep, violation_kind::persistent_state_loss));
+  EXPECT_EQ(rep.violations[0].reg, 0u);
+}
+
+TEST(AuditRecovery, CleanWipeAuditsClean) {
+  // The legal picture: after the wipe the volatile cell reads back its
+  // initial value and the persistent cell keeps its last write.
+  auto tr = scripted_trace(
+      2, 1,
+      {{0, 0, op_kind::write, 0, 7, true},
+       {0, 0, op_kind::write, 1, 9, true},
+       {0, kInvalidProcess, op_kind::write, 1, 1, true},  // recovery wipe
+       {0, 1, op_kind::read, 1, 1, true},
+       {0, 1, op_kind::read, 0, 7, true}});
+  audit_spec spec = basic_spec(2, {7, 9});
+  spec.volatile_regs = {1};
+  spec.recovery_steps = {2};
+  audit_report rep;
+  check::audit_trace(tr, spec, rep);
+  EXPECT_TRUE(rep.ok()) << (rep.violations.empty()
+                                ? rep.note
+                                : rep.violations.front().detail);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end sim trials: recovery wipes and semantics modes, audited
+// ---------------------------------------------------------------------
+
+TEST(RecoveryTrials, EveryRegistryStackDecidesUnderRecovery) {
+  // The acceptance claim: under atomic semantics, crash-recovery (wipe of
+  // the volatile partition plus a rerun from the top) never costs
+  // agreement — the persistent partition and the decision pin drag the
+  // recovered process back to the decided value.
+  for (const auto& [name, base] : stack_registry()) {
+    const stack_spec spec = base.with_recovery();
+    auto build = stack_builder<sim_env>(spec);
+    std::uint64_t recoveries = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      sim::random_oblivious adv;
+      trial_options opts;
+      opts.seed = seed * 31;
+      opts.limits.max_steps = 400'000;
+      opts.faults.recover(static_cast<process_id>(seed % 6), 2 + seed)
+          .recover(static_cast<process_id>((seed + 2) % 6), 9);
+      opts.audit.enabled = true;
+      auto inputs = make_inputs(input_pattern::half_half, 6, 2, seed);
+      auto res = run_object_trial(build, inputs, adv, opts);
+      ASSERT_TRUE(res.completed()) << name << " seed " << seed;
+      EXPECT_TRUE(res.agreement()) << name << " seed " << seed;
+      EXPECT_TRUE(res.valid(inputs)) << name << " seed " << seed;
+      ASSERT_TRUE(res.audit.has_value());
+      EXPECT_NE(res.audit->status, audit_status::violated)
+          << name << " seed " << seed << ": "
+          << (res.audit->violations.empty()
+                  ? res.audit->note
+                  : res.audit->violations.front().detail);
+      EXPECT_EQ(res.volatile_wipes, res.recoveries)
+          << name << ": one wipe per recovery on the sim backend";
+      EXPECT_EQ(res.recovered_pids.empty(), res.recoveries == 0);
+      recoveries += res.recoveries;
+    }
+    EXPECT_GT(recoveries, 0u) << name << ": no recovery ever fired";
+  }
+}
+
+TEST(RecoveryTrials, TrueSemanticsTrialsAuditLegal) {
+  // Weakened semantics void the §3 property guarantees (the auditor
+  // disarms them) but every read must still fit the mode's legality rule.
+  auto build = [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+  };
+  std::uint64_t overlap_total = 0;
+  for (register_semantics s :
+       {register_semantics::regular, register_semantics::safe}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      sim::random_oblivious adv;
+      trial_options opts;
+      opts.seed = seed;
+      opts.limits.max_steps = 200'000;
+      opts.faults.with_semantics(s);
+      opts.audit.enabled = true;
+      auto inputs = make_inputs(input_pattern::half_half, 4, 2, seed);
+      auto res = run_object_trial(build, inputs, adv, opts);
+      ASSERT_TRUE(res.audit.has_value());
+      EXPECT_NE(res.audit->status, audit_status::violated)
+          << to_string(s) << " seed " << seed << ": "
+          << (res.audit->violations.empty()
+                  ? res.audit->note
+                  : res.audit->violations.front().detail);
+      overlap_total += res.overlap_reads;
+    }
+  }
+  EXPECT_GT(overlap_total, 0u) << "the semantics layer never fired";
+}
+
+// ---------------------------------------------------------------------
+// fault_seed: derived-by-default determinism, explicit override
+// ---------------------------------------------------------------------
+
+fault_plan storm_plan() {
+  return fault_plan{}
+      .recover(1, 4)
+      .with_semantics(register_semantics::regular)
+      .omit_writes(8, 2);
+}
+
+TEST(FaultSeed, UnsetSeedDerivesFromTheTrialSeed) {
+  // With fault_seed unset the injection schedule is a pure function of
+  // the trial seed: identical runs are byte-identical, including across
+  // engine thread counts (the experiment determinism contract).
+  analysis::trial_grid cell;
+  cell.label = "fault_seed_derived";
+  cell.build = stack_builder<sim_env>(stack_for("impatient").with_recovery());
+  cell.n = 4;
+  cell.m = 2;
+  cell.trials = 12;
+  cell.base_seed = 77;
+  cell.faults = storm_plan();
+  auto serialize = [](analysis::summary_stats s) {
+    analysis::clear_timing_measurements(s);
+    return analysis::to_json(s).dump(2);
+  };
+  const std::string one = serialize(analysis::run_experiment(cell, {.threads = 1}));
+  const std::string again =
+      serialize(analysis::run_experiment(cell, {.threads = 1}));
+  const std::string parallel =
+      serialize(analysis::run_experiment(cell, {.threads = 4}));
+  EXPECT_EQ(one, again);
+  EXPECT_EQ(one, parallel);
+}
+
+TEST(FaultSeed, ExplicitSeedRedirectsTheInjectionStream) {
+  auto build = [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+  };
+  auto run = [&](std::uint64_t seed, std::uint64_t fault_seed) {
+    sim::random_oblivious adv;
+    trial_options opts;
+    opts.seed = seed;
+    opts.faults.regular_registers(2);
+    if (fault_seed != 0) opts.faults.with_fault_seed(fault_seed);
+    auto inputs = make_inputs(input_pattern::half_half, 4, 2, seed);
+    auto res = run_object_trial(build, inputs, adv, opts);
+    return std::pair{res.stale_reads, res.steps};
+  };
+  bool diverged = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    // Deterministic either way...
+    EXPECT_EQ(run(seed, 0), run(seed, 0));
+    EXPECT_EQ(run(seed, 0x5eed), run(seed, 0x5eed));
+    // ...but the explicit seed picks a different schedule.
+    if (run(seed, 0) != run(seed, 0x5eed)) diverged = true;
+  }
+  EXPECT_TRUE(diverged)
+      << "with_fault_seed never changed the injection schedule";
+}
+
+// ---------------------------------------------------------------------
+// Omission budget exhaustion on the decide path
+// ---------------------------------------------------------------------
+
+TEST(OmissionBudget, ExhaustsMidRunAndTheProtocolStillDecides) {
+  // omit_denominator=1 drops *every* write while the budget lasts, so
+  // sweeping the budget slides the final omission across the protocol's
+  // write sequence — including the runs where it lands exactly on a
+  // deciding write.  Omission voids the §3 agreement guarantee (that is
+  // why the auditor disarms property checks under register faults; at
+  // budget >= 3 the impatient stack really does split), but in every
+  // case the budget must be spent in full, the protocol must terminate
+  // once writes work again, decided values must still be proposed ones,
+  // and the legality audit must confirm no omitted value ever surfaced.
+  auto build = [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<sim_env>(mem, make_binary_quorums());
+  };
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    for (std::uint64_t budget = 1; budget <= 8; ++budget) {
+      sim::random_oblivious adv;
+      trial_options opts;
+      opts.seed = seed;
+      opts.limits.max_steps = 200'000;
+      opts.faults.omit_writes(/*denominator=*/1, budget);
+      opts.audit.enabled = true;
+      auto inputs = make_inputs(input_pattern::half_half, 4, 2, seed);
+      auto res = run_object_trial(build, inputs, adv, opts);
+      ASSERT_TRUE(res.completed()) << "seed " << seed << " budget " << budget;
+      EXPECT_TRUE(res.valid(inputs)) << "seed " << seed << " budget " << budget;
+      EXPECT_EQ(res.omitted_writes, budget)
+          << "budget must exhaust mid-run, not linger";
+      ASSERT_TRUE(res.audit.has_value());
+      EXPECT_NE(res.audit->status, audit_status::violated)
+          << "seed " << seed << " budget " << budget << ": "
+          << (res.audit->violations.empty()
+                  ? res.audit->note
+                  : res.audit->violations.front().detail);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// rt backend: watchdog under a restart storm with register faults armed
+// ---------------------------------------------------------------------
+
+analysis::rt_object_builder rt_builder() {
+  return [](address_space& mem, std::size_t) {
+    return make_impatient_consensus<rt::rt_env>(mem, make_binary_quorums());
+  };
+}
+
+TEST(RtStorm, WatchdogTimesOutUnderRestartStormWithOmissionArmed) {
+  // A stall with no resume inside a restart storm hangs the trial; the
+  // watchdog must reclaim it as timed_out.  The armed write-omission
+  // config rides along to show register faults in the plan cannot wedge
+  // or corrupt the rt runner (rt registers are real hardware; omission is
+  // a sim-only fault and is ignored there).
+  analysis::rt_trial_options opts;
+  opts.seed = 6;
+  opts.faults.restart(0, 1)
+      .restart(2, 1)
+      .stall(1, 1)  // never resumes
+      .omit_writes(2, 8);
+  opts.watchdog_ms = 250;
+  auto inputs = make_inputs(input_pattern::alternating, 4, 2, 6);
+  auto res = run_rt_object_trial(rt_builder(), inputs, opts);
+
+  EXPECT_TRUE(res.timed_out());
+  EXPECT_EQ(res.status, sim::run_status::timed_out);
+  EXPECT_EQ(res.omitted_writes, 0u) << "rt must not emulate omission";
+  // Whatever escaped before the abort still satisfies the invariants.
+  EXPECT_TRUE(res.coherent());
+  EXPECT_TRUE(res.valid(inputs));
+
+  // The timeout must not poison the next trial.
+  analysis::rt_trial_options clean;
+  clean.seed = 6;
+  auto good = run_rt_object_trial(rt_builder(), inputs, clean);
+  ASSERT_TRUE(good.completed());
+  EXPECT_TRUE(good.agreement());
+}
+
+TEST(RtRecovery, RecoveredThreadRejoinsAndAgrees) {
+  const stack_spec spec = stack_for("impatient").with_recovery();
+  auto build = stack_builder<rt::rt_env>(spec);
+  std::uint64_t recoveries = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    analysis::rt_trial_options opts;
+    opts.seed = seed;
+    // after_ops = 0 fires at the entry of the very first operation — the
+    // only threshold guaranteed to land regardless of thread-start order
+    // (a late thread can find the decision pin set and halt in one op).
+    opts.faults.recover(1, 0);
+    auto inputs = make_inputs(input_pattern::alternating, 4, 2, seed);
+    auto res = run_rt_object_trial(build, inputs, opts);
+    ASSERT_TRUE(res.completed()) << "seed " << seed;
+    EXPECT_TRUE(res.agreement()) << "seed " << seed;
+    EXPECT_TRUE(res.valid(inputs)) << "seed " << seed;
+    recoveries += res.recoveries;
+    EXPECT_EQ(res.volatile_wipes, res.recoveries);
+  }
+  EXPECT_GT(recoveries, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Multi-shot: crash-recovery rejoins via the recovered watermark
+// ---------------------------------------------------------------------
+
+multi_grid multi_cell() {
+  multi_grid cell;
+  cell.label = "recovery_multi";
+  cell.spec = stack_for("impatient").with_recovery();
+  cell.n = 4;
+  cell.shards = 2;
+  cell.slots = 8;
+  cell.extent_words = 32;
+  return cell;
+}
+
+TEST(MultiRecovery, RecoveredProcessRejoinsViaTheWatermark) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto cell = multi_cell();
+    multi_trial_options opts;
+    opts.seed = seed * 977;
+    opts.faults.recover(1, 40).recover(3, 90);
+    opts.audit.enabled = true;
+    auto res = analysis::run_multi_trial(cell, opts);
+    EXPECT_TRUE(res.slots_agree) << "seed " << seed;
+    EXPECT_TRUE(res.slots_valid) << "seed " << seed;
+    ASSERT_TRUE(res.base.audit.has_value());
+    EXPECT_NE(res.base.audit->status, audit_status::violated)
+        << "seed " << seed << ": "
+        << (res.base.audit->violations.empty()
+                ? res.base.audit->note
+                : res.base.audit->violations.front().detail);
+    // The rejoin path answers recovered slots from the persistent pins.
+    if (res.base.recoveries > 0) EXPECT_GT(res.fast_path_hits, 0u);
+  }
+}
+
+TEST(MultiRecovery, TrueRegularSemanticsAreAcceptedSafeIsNot) {
+  // Pins are written once and never recycled, so a pin read overlapping
+  // the pin write can only return that same slot's decision — true
+  // regular semantics are pin-safe.  Safe semantics (arbitrary values)
+  // are not, and must stay rejected.
+  {
+    auto cell = multi_cell();
+    multi_trial_options opts;
+    opts.seed = 0xabc;
+    opts.faults.with_semantics(register_semantics::regular);
+    auto res = analysis::run_multi_trial(cell, opts);
+    EXPECT_TRUE(res.slots_agree);
+    EXPECT_TRUE(res.slots_valid);
+  }
+  {
+    auto cell = multi_cell();
+    multi_trial_options opts;
+    opts.faults.with_semantics(register_semantics::safe);
+    EXPECT_THROW(analysis::run_multi_trial(cell, opts), invariant_error);
+  }
+}
+
+}  // namespace
+}  // namespace modcon
