@@ -16,7 +16,7 @@
 #                    (default build; configured if missing)
 #   CLANG_TIDY=BIN   clang-tidy binary (default: first of clang-tidy,
 #                    clang-tidy-18..14 on PATH)
-#   PATHS="..."      source globs to lint (default: src bench)
+#   PATHS="..."      source globs to lint (default: src bench tests tools)
 #
 # When no clang-tidy is installed the script prints a notice and exits 0
 # so the lint step degrades gracefully on minimal toolchains; CI images
@@ -68,13 +68,13 @@ fi
 # Lint the sources we own; third-party-free by construction.
 if [ -n "$BASE_REF" ]; then
   mapfile -t FILES < <(git diff --name-only --diff-filter=d "$BASE_REF" -- \
-                         ${PATHS:-src bench} | grep -E '\.cpp$' || true)
+                         ${PATHS:-src bench tests tools} | grep -E '\.cpp$' || true)
   if [ "${#FILES[@]}" -eq 0 ]; then
     echo "run_lint.sh: no lintable sources changed vs $BASE_REF"
     exit 0
   fi
 else
-  mapfile -t FILES < <(git ls-files ${PATHS:-src bench} | grep -E '\.cpp$')
+  mapfile -t FILES < <(git ls-files ${PATHS:-src bench tests tools} | grep -E '\.cpp$')
   if [ "${#FILES[@]}" -eq 0 ]; then
     echo "run_lint.sh: no sources matched" >&2
     exit 2

@@ -1,8 +1,15 @@
 #include "check/explorer.h"
 
 #include <algorithm>
+#include <bit>
+#include <numeric>
+#include <optional>
+#include <ostream>
 #include <sstream>
 
+#include "check/auditor.h"
+#include "obs/metrics.h"
+#include "obs/perfetto.h"
 #include "sim/world.h"
 #include "util/assertx.h"
 
@@ -10,162 +17,735 @@ namespace modcon::check {
 
 namespace {
 
-// A choice is a pid (scheduling) or 0/1 (coin); which one is determined
-// by replay position, so a flat vector suffices.
+// A choice is decoded by replay position (see explorer.h), so a flat
+// vector suffices.
 using choice_seq = std::vector<std::uint32_t>;
 
-enum class overflow_kind { none, schedule, coin };
+constexpr std::uint64_t kSeed = 12345;  // world seed; fixed for replay
 
-struct replay_outcome {
-  bool complete = false;                  // all processes halted
-  overflow_kind overflow = overflow_kind::none;
-  std::vector<std::uint32_t> options;     // branches at the first gap
-  std::vector<decided> outputs;           // valid when complete
+// The value a seeded illegal-read injects: plausible enough to flow
+// through a protocol as an ordinary word, but never written by the small
+// systems under test, so the trace auditor must flag the read.
+constexpr word kSeededIllegalValue = 1337;
+
+enum class node_kind : std::uint8_t { sched, coin, sem_read, omission };
+
+// Register footprint of one operation: cells [lo, hi) plus whether it
+// writes.  A probabilistic write counts as a write regardless of its
+// coin — an in-model adversary cannot tell a miss-bound write apart.
+struct op_fp {
+  reg_id lo = 0;
+  reg_id hi = 0;  // lo == hi: no footprint
+  bool write = false;
 };
 
-// Adversary that consumes scheduling choices from the shared cursor.
-class replay_adversary final : public sim::adversary {
- public:
-  replay_adversary(const choice_seq& choices, std::size_t& cursor,
-                   replay_outcome& out)
-      : choices_(choices), cursor_(cursor), out_(out) {}
+bool fp_dependent(const op_fp& a, const op_fp& b) {
+  return (a.write || b.write) && a.lo < b.hi && b.lo < a.hi;
+}
 
+op_fp footprint(const sim::posted_op& op) {
+  switch (op.kind) {
+    case op_kind::read:
+      return {op.reg, static_cast<reg_id>(op.reg + 1), false};
+    case op_kind::write:
+      return {op.reg, static_cast<reg_id>(op.reg + 1), true};
+    case op_kind::collect:
+      return {op.reg, static_cast<reg_id>(op.reg + op.count), false};
+  }
+  return {};
+}
+
+// The explorer drives the world through step_process/restart_now; the
+// adversary slot is never consulted.
+class null_adversary final : public sim::adversary {
+ public:
   sim::adversary_power power() const override {
     return sim::adversary_power::oblivious;
   }
-  std::string name() const override { return "replay"; }
+  std::string name() const override { return "model-checker"; }
   void reset(std::size_t, std::uint64_t) override {}
-
   process_id pick(const sim::sched_view& view) override {
-    if (out_.overflow != overflow_kind::none)
-      return view.runnable().front();  // draining; result is discarded
-    if (cursor_ < choices_.size()) {
-      process_id p = choices_[cursor_++];
-      MODCON_CHECK_MSG(view.is_runnable(p),
-                       "replayed schedule picked a non-runnable process");
-      return p;
-    }
-    out_.overflow = overflow_kind::schedule;
-    auto r = view.runnable();
-    out_.options.assign(r.begin(), r.end());
-    std::sort(out_.options.begin(), out_.options.end());
-    return r.front();
+    MODCON_CHECK_MSG(false, "the model checker drives the world directly");
+    return view.runnable().front();
   }
-
- private:
-  const choice_seq& choices_;
-  std::size_t& cursor_;
-  replay_outcome& out_;
 };
-
-replay_outcome replay(const analysis::sim_object_builder& build,
-                      const std::vector<value_t>& inputs,
-                      const choice_seq& choices, bool branch_coins,
-                      std::size_t max_choices) {
-  replay_outcome out;
-  std::size_t cursor = 0;
-  replay_adversary adv(choices, cursor, out);
-
-  sim::world_options wopts;
-  if (branch_coins) {
-    wopts.coin_override = [&](process_id, const prob&) -> bool {
-      if (out.overflow != overflow_kind::none) return false;  // draining
-      if (cursor < choices.size()) return choices[cursor++] != 0;
-      out.overflow = overflow_kind::coin;
-      out.options = {0, 1};
-      return false;
-    };
-  }
-
-  const std::size_t n = inputs.size();
-  sim::sim_world world(n, adv, /*seed=*/12345, std::move(wopts));
-  auto obj = build(world, n);
-  for (process_id pid = 0; pid < n; ++pid) {
-    world.spawn([&obj, v = inputs[pid]](sim::sim_env& env) {
-      return invoke_encoded(*obj, env, v);
-    });
-  }
-
-  // Step one operation at a time so a choice gap stops the replay at the
-  // right spot (the gap may be detected while posting the next op).
-  std::size_t step_budget = max_choices + 16;
-  while (out.overflow == overflow_kind::none && step_budget-- > 0) {
-    auto r = world.run(1);
-    if (r.status == sim::run_status::all_halted) {
-      out.complete = true;
-      break;
-    }
-    MODCON_CHECK_MSG(r.status != sim::run_status::no_runnable,
-                     "explorer does not inject crashes");
-  }
-  if (out.complete) {
-    MODCON_CHECK_MSG(cursor == choices.size(),
-                     "execution finished without consuming every choice");
-    for (process_id pid = 0; pid < n; ++pid)
-      out.outputs.push_back(decode_decided(*world.output_of(pid)));
-  } else if (out.overflow == overflow_kind::none) {
-    // Ran out of step budget without a gap: treat as truncation.
-    out.overflow = overflow_kind::schedule;
-    out.options.clear();
-  }
-  return out;
-}
 
 std::string format_choices(const choice_seq& c) {
   std::ostringstream os;
   os << "[";
   for (std::size_t i = 0; i < c.size(); ++i) {
     if (i) os << " ";
-    os << c[i];
+    if (c[i] >= kChoiceRecover)
+      os << "R" << (c[i] - kChoiceRecover);
+    else if (c[i] >= kChoiceRestart)
+      os << "r" << (c[i] - kChoiceRestart);
+    else
+      os << c[i];
   }
   os << "]";
   return os.str();
 }
 
+// One decision point materialized in the DFS tree.
+struct node {
+  node_kind kind = node_kind::sched;
+  // Full-branching state: the option list in exploration order and the
+  // cursor of the next unexplored one (options[0] was taken at creation).
+  // Unused for sched nodes under an active reduction.
+  std::vector<std::uint32_t> options;
+  std::uint32_t next = 1;
+  // The choice currently taken at this node (kept current on re-branch;
+  // the DPOR race scan reads it as the executed transition).
+  std::uint32_t chosen = 0;
+  // --- DPOR state, sched nodes only (pids as bits; n <= 32) ---
+  std::uint32_t enabled = 0;    // runnable pids at this point
+  std::uint32_t sleep_in = 0;   // inherited sleep set
+  std::uint32_t slept = 0;      // transitions fully explored here
+  std::uint32_t backtrack = 0;  // transitions scheduled for exploration
+  std::vector<op_fp> pending;   // pending[pid], valid where enabled
+};
+
+struct drive_result {
+  bool complete = false;  // all processes halted, no cut
+  std::uint64_t steps = 0;
+  std::vector<decided> outputs;           // valid when complete
+  std::optional<std::string> violation;   // valid when complete
+};
+
+// Callbacks a replay uses to resolve every decision.  `sched` receives
+// the sorted option list (pids, then crash encodings); `pick` receives
+// the option count of an index-valued decision (coin / semantics read /
+// omission) and returns the index; `stop` cuts the replay.
+struct driver_hooks {
+  std::function<std::uint32_t(sim::sim_world&,
+                              const std::vector<std::uint32_t>&)>
+      sched;
+  std::function<std::uint32_t(node_kind, std::size_t)> pick;
+  std::function<bool()> stop;
+};
+
+class engine {
+ public:
+  engine(const analysis::sim_object_builder& build,
+         const std::vector<value_t>& inputs, const property_checker& check,
+         const explore_options& opts)
+      : build_(build), inputs_(inputs), check_(check), opts_(opts),
+        n_(inputs.size()) {
+    reduced_ = opts_.mode == reduction::dpor && reduction_sound();
+    audit_ = opts_.audit ||
+             opts_.semantics != sim::register_semantics::atomic ||
+             opts_.omission_budget > 0 || opts_.crash_budget > 0;
+  }
+
+  explore_report run();
+  witness_result witness_run(const choice_seq& forced, std::ostream* po,
+                             const std::string& label);
+
+ private:
+  // DPOR is sound only when scheduling nondeterminism is invisible to
+  // shared state except through the footprint dependence relation: the
+  // atomic-register, fault-free model.  Semantics modes change what a
+  // read may return based on the overlap set, crash/omission budgets
+  // gate on execution position, and seeded bugs do both — all of them
+  // degrade to full branching.  The bitmask machinery also needs pids to
+  // fit a word.
+  bool reduction_sound() const {
+    return opts_.semantics == sim::register_semantics::atomic &&
+           opts_.crash_budget == 0 && opts_.omission_budget == 0 &&
+           !opts_.seed_bugs.any() && n_ <= 32;
+  }
+
+  drive_result drive(const driver_hooks& hooks,
+                     std::vector<std::uint64_t>& claimed,
+                     obs::trial_recorder* rec = nullptr,
+                     std::ostream* perfetto_out = nullptr,
+                     const std::string& label = {});
+  void sched_options(const sim::sim_world& world, std::uint32_t crash_left,
+                     std::vector<std::uint32_t>& out) const;
+  void apply_choice(sim::sim_world& world, std::uint32_t c,
+                    std::uint32_t& crash_left,
+                    std::vector<std::uint64_t>& claimed) const;
+  std::optional<std::string> evaluate(
+      sim::sim_world& world, const std::vector<std::uint64_t>& claimed,
+      std::vector<decided>& outputs) const;
+
+  // Exploring-mode decisions (path/choices bookkeeping + DPOR masks).
+  std::uint32_t explore_sched(sim::sim_world& world,
+                              const std::vector<std::uint32_t>& options);
+  std::uint32_t explore_pick(node_kind kind, std::size_t count);
+  std::uint32_t child_sleep(const node& nd, std::uint32_t p) const;
+  void apply_dpor_updates();
+  std::optional<std::uint32_t> pick_next(node& nd);
+  choice_seq shrink(const choice_seq& seq0);
+
+  const analysis::sim_object_builder& build_;
+  const std::vector<value_t>& inputs_;
+  const property_checker& check_;
+  const explore_options& opts_;
+  std::size_t n_;
+  bool reduced_ = false;
+  bool audit_ = false;
+
+  // DFS state.
+  std::vector<node> path_;
+  choice_seq choices_;
+  std::size_t prefix_len_ = 0;  // choices_[0, prefix_len_) are forced
+  std::size_t branch_pos_ = 0;  // path index of the last branch point
+  // Per-replay state.
+  std::size_t pos_ = 0;
+  bool overflow_ = false;
+  bool blocked_ = false;
+  bool node_cap_hit_ = false;
+  std::uint32_t pending_sleep_ = 0;  // sleep set for the next sched node
+  std::vector<std::uint64_t> claimed_recoveries_;
+  // Counters.
+  std::uint64_t executions_ = 0;
+  std::uint64_t truncated_ = 0;
+  std::uint64_t violations_ = 0;
+  std::uint64_t pruned_ = 0;
+  std::uint64_t sleep_blocked_ = 0;
+  std::uint64_t nodes_created_ = 0;
+  std::string first_violation_;
+  choice_seq first_bad_;
+  bool have_first_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Replay core, shared by exploration and witness replay.
+// ---------------------------------------------------------------------
+
+void engine::sched_options(const sim::sim_world& world,
+                           std::uint32_t crash_left,
+                           std::vector<std::uint32_t>& out) const {
+  auto rp = world.runnable_processes();
+  out.assign(rp.begin(), rp.end());
+  std::sort(out.begin(), out.end());
+  if (crash_left == 0) return;
+  const std::size_t np = out.size();
+  // A crash-restart of a process with no executed operations is a
+  // stutter (the fresh incarnation re-posts the same first op), so it is
+  // not offered.  A crash-recovery additionally wipes the volatile
+  // partition, which matters on its own once any volatile cell has been
+  // written — then it is offered for every runnable process.
+  for (std::size_t i = 0; i < np; ++i)
+    if (world.ops_of(out[i]) > 0) out.push_back(kChoiceRestart + out[i]);
+  if (world.volatile_registers().empty()) return;
+  bool wipe_matters = false;
+  for (reg_id r : world.volatile_registers())
+    if (world.peek(r) != world.initial_of(r)) {
+      wipe_matters = true;
+      break;
+    }
+  for (std::size_t i = 0; i < np; ++i)
+    if (wipe_matters || world.ops_of(out[i]) > 0)
+      out.push_back(kChoiceRecover + out[i]);
+}
+
+void engine::apply_choice(sim::sim_world& world, std::uint32_t c,
+                          std::uint32_t& crash_left,
+                          std::vector<std::uint64_t>& claimed) const {
+  if (c < kChoiceRestart) {
+    world.step_process(static_cast<process_id>(c));
+    return;
+  }
+  MODCON_CHECK_MSG(crash_left > 0, "crash choice without remaining budget");
+  --crash_left;
+  if (c < kChoiceRecover) {
+    world.restart_now(static_cast<process_id>(c - kChoiceRestart),
+                      /*recover=*/false);
+    return;
+  }
+  const process_id p = static_cast<process_id>(c - kChoiceRecover);
+  if (opts_.seed_bugs.skip_recovery_wipe) {
+    // Seeded bug: claim the recovery — trace wipe events and the
+    // recovery step the auditor keys on — but leave memory untouched.
+    // Volatile state that then resurfaces is a volatile_state_survival.
+    sim::trace& tr = world.execution_trace();
+    if (tr.enabled())
+      for (reg_id r : world.volatile_registers())
+        tr.record({world.steps(), kInvalidProcess, op_kind::write, r,
+                   world.initial_of(r), /*applied=*/true});
+    claimed.push_back(world.steps());
+    world.restart_now(p, /*recover=*/false);
+  } else {
+    world.restart_now(p, /*recover=*/true);
+  }
+}
+
+std::optional<std::string> engine::evaluate(
+    sim::sim_world& world, const std::vector<std::uint64_t>& claimed,
+    std::vector<decided>& outputs) const {
+  outputs.clear();
+  for (process_id pid = 0; pid < n_; ++pid)
+    outputs.push_back(decode_decided(*world.output_of(pid)));
+  // Audit first: "is this execution even explainable by the model" is
+  // more fundamental than the object property, and a seeded illegal read
+  // often breaks validity downstream — the root cause should win.
+  if (audit_) {
+    audit_spec spec;
+    spec.n = n_;
+    spec.inputs = inputs_;
+    spec.check_properties = false;
+    spec.semantics = opts_.semantics;
+    spec.write_omission = opts_.omission_budget > 0;
+    spec.volatile_regs = world.volatile_registers();
+    spec.recovery_steps = world.recovery_steps();
+    if (!claimed.empty()) {
+      spec.recovery_steps.insert(spec.recovery_steps.end(), claimed.begin(),
+                                 claimed.end());
+      std::sort(spec.recovery_steps.begin(), spec.recovery_steps.end());
+    }
+    spec.process_faults = opts_.crash_budget > 0;
+    audit_report rep;
+    audit_trace(world.execution_trace(), spec, rep);
+    if (!rep.violations.empty()) {
+      std::ostringstream os;
+      os << "audit: " << rep.violations.front();
+      return os.str();
+    }
+  }
+  if (auto err = check_(outputs, inputs_)) return err;
+  return std::nullopt;
+}
+
+drive_result engine::drive(const driver_hooks& hooks,
+                           std::vector<std::uint64_t>& claimed,
+                           obs::trial_recorder* rec,
+                           std::ostream* perfetto_out,
+                           const std::string& label) {
+  sim::world_options wopts;
+  wopts.trace_enabled = audit_ || rec != nullptr;
+  wopts.obs = rec;
+  sim::register_fault_config fc;
+  fc.semantics = opts_.semantics;
+  if (opts_.omission_budget > 0) {
+    fc.omit_denominator = 2;  // any nonzero arms the budget; outcomes are
+                              // the explorer's choice, not coin draws
+    fc.omit_budget = opts_.omission_budget;
+  }
+  wopts.register_faults = fc;
+  if (opts_.branch_coins)
+    wopts.coin_override = [&](process_id, const prob&) -> bool {
+      return hooks.pick(node_kind::coin, 2) != 0;
+    };
+  if (opts_.semantics != sim::register_semantics::atomic)
+    wopts.semantic_choice = [&](process_id, reg_id,
+                                std::span<const word> legal) -> word {
+      std::size_t count = legal.size();
+      if (opts_.seed_bugs.illegal_read_option &&
+          opts_.semantics == sim::register_semantics::regular)
+        ++count;  // one extra, illegal outcome per overlapped read
+      const std::uint32_t c = hooks.pick(node_kind::sem_read, count);
+      return c < legal.size() ? legal[c] : kSeededIllegalValue;
+    };
+  if (opts_.omission_budget > 0)
+    wopts.omission_choice = [&](process_id, reg_id, word) -> bool {
+      return hooks.pick(node_kind::omission, 2) == 1;
+    };
+
+  null_adversary adv;
+  sim::sim_world world(n_, adv, kSeed, std::move(wopts));
+  auto obj = build_(world, n_);
+  for (process_id pid = 0; pid < n_; ++pid)
+    world.spawn([&obj, v = inputs_[pid]](sim::sim_env& env) {
+      return invoke_encoded(*obj, env, v);
+    });
+
+  std::uint32_t crash_left = opts_.crash_budget;
+  std::vector<std::uint32_t> options;
+  while (!world.all_halted()) {
+    if (hooks.stop()) break;
+    MODCON_CHECK_MSG(!world.runnable_processes().empty(),
+                     "live processes exist but none is runnable");
+    sched_options(world, crash_left, options);
+    const std::uint32_t c = hooks.sched(world, options);
+    if (hooks.stop()) break;
+    apply_choice(world, c, crash_left, claimed);
+  }
+
+  drive_result out;
+  out.steps = world.steps();
+  out.complete = world.all_halted() && !hooks.stop();
+  if (out.complete) out.violation = evaluate(world, claimed, out.outputs);
+  if (rec != nullptr) {
+    for (process_id pid = 0; pid < n_; ++pid)
+      rec->force_close(pid, world.steps(), world.ops_of(pid),
+                       world.draws_of(pid));
+    rec->seal();
+    if (perfetto_out != nullptr) {
+      obs::trial_obs tobs =
+          obs::finalize_trial(*rec, &world.execution_trace());
+      obs::write_perfetto(
+          *perfetto_out, tobs,
+          obs::perfetto_meta{label, "sim", kSeed, n_, world.steps()});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Exploration decisions.
+// ---------------------------------------------------------------------
+
+std::uint32_t engine::child_sleep(const node& nd, std::uint32_t p) const {
+  // Flanagan–Godefroid sleep propagation: a sleeping transition stays
+  // asleep across p's step iff it is independent of p's transition.
+  std::uint32_t sleeping = (nd.sleep_in | nd.slept) & nd.enabled;
+  sleeping &= ~(1u << p);
+  std::uint32_t out = 0;
+  while (sleeping != 0) {
+    const std::uint32_t q =
+        static_cast<std::uint32_t>(std::countr_zero(sleeping));
+    sleeping &= sleeping - 1;
+    if (!fp_dependent(nd.pending[q], nd.pending[p])) out |= 1u << q;
+  }
+  return out;
+}
+
+std::uint32_t engine::explore_sched(
+    sim::sim_world& world, const std::vector<std::uint32_t>& options) {
+  const std::size_t d = pos_++;
+  if (d < prefix_len_) {
+    node& nd = path_[d];
+    MODCON_CHECK_MSG(nd.kind == node_kind::sched,
+                     "prefix replay diverged at a scheduling point");
+    const std::uint32_t c = choices_[d];
+    if (reduced_) pending_sleep_ = child_sleep(nd, c);
+    return c;
+  }
+  if (overflow_ || blocked_ || node_cap_hit_) return options.front();
+  if (d >= opts_.max_choices) {
+    overflow_ = true;
+    return options.front();
+  }
+  if (nodes_created_ >= opts_.max_nodes) {
+    node_cap_hit_ = true;
+    return options.front();
+  }
+  node nd;
+  nd.kind = node_kind::sched;
+  std::uint32_t chosen;
+  if (reduced_) {
+    for (std::uint32_t c : options) nd.enabled |= 1u << c;
+    nd.sleep_in = pending_sleep_;
+    nd.pending.assign(n_, {});
+    for (std::uint32_t c : options)
+      nd.pending[c] = footprint(world.pending_op(c));
+    const std::uint32_t cand = nd.enabled & ~nd.sleep_in;
+    if (cand == 0) {
+      // Every enabled transition is asleep: each continuation from here
+      // is a reordering of an execution explored elsewhere.
+      ++sleep_blocked_;
+      blocked_ = true;
+      return options.front();
+    }
+    chosen = static_cast<std::uint32_t>(std::countr_zero(cand));
+    nd.chosen = chosen;
+    nd.backtrack = 1u << chosen;
+    pending_sleep_ = child_sleep(nd, chosen);
+  } else {
+    nd.options = options;
+    nd.next = 1;
+    chosen = options.front();
+    nd.chosen = chosen;
+  }
+  ++nodes_created_;
+  path_.push_back(std::move(nd));
+  choices_.push_back(chosen);
+  return chosen;
+}
+
+std::uint32_t engine::explore_pick(node_kind kind, std::size_t count) {
+  const std::size_t d = pos_++;
+  if (d < prefix_len_) {
+    MODCON_CHECK_MSG(path_[d].kind == kind,
+                     "prefix replay diverged at a coin/fault point");
+    return choices_[d];
+  }
+  if (overflow_ || blocked_ || node_cap_hit_) return 0;
+  if (d >= opts_.max_choices) {
+    overflow_ = true;
+    return 0;
+  }
+  if (nodes_created_ >= opts_.max_nodes) {
+    node_cap_hit_ = true;
+    return 0;
+  }
+  node nd;
+  nd.kind = kind;
+  nd.options.resize(count);
+  std::iota(nd.options.begin(), nd.options.end(), 0u);
+  nd.next = 1;
+  nd.chosen = 0;
+  ++nodes_created_;
+  path_.push_back(std::move(nd));
+  choices_.push_back(0);
+  return 0;
+}
+
+void engine::apply_dpor_updates() {
+  // For every enabled transition p at every sched point s on the path
+  // just executed, find the last earlier executed step that races with
+  // p's pending op there and schedule p for exploration at that step's
+  // pre-state (or all its enabled transitions, when p itself was not
+  // enabled there).  Points before the branch were processed by earlier
+  // replays over an identical prefix, so only s >= branch_pos_ is new;
+  // the backward scan still covers the whole prefix.  No happens-before
+  // filtering — a conservative (sound, slightly less reducing) variant.
+  for (std::size_t s = branch_pos_; s < path_.size(); ++s) {
+    if (path_[s].kind != node_kind::sched) continue;
+    const node& ns = path_[s];
+    std::uint32_t todo = ns.enabled;
+    while (todo != 0) {
+      const std::uint32_t p =
+          static_cast<std::uint32_t>(std::countr_zero(todo));
+      todo &= todo - 1;
+      const op_fp& fp = ns.pending[p];
+      for (std::size_t i = s; i-- > 0;) {
+        if (path_[i].kind != node_kind::sched) continue;
+        const std::uint32_t q = path_[i].chosen;
+        // p's own earlier step is program-ordered with its pending op,
+        // never a race.
+        if (q == p) continue;
+        if (!fp_dependent(path_[i].pending[q], fp)) continue;
+        node& nb = path_[i];
+        if ((nb.enabled & (1u << p)) != 0)
+          nb.backtrack |= 1u << p;
+        else
+          nb.backtrack |= nb.enabled;
+        break;
+      }
+    }
+  }
+}
+
+std::optional<std::uint32_t> engine::pick_next(node& nd) {
+  if (reduced_ && nd.kind == node_kind::sched) {
+    // Reaching back to this node means the chosen transition's subtree
+    // is fully explored: move it to the sleep side, then take the next
+    // transition the race analysis scheduled.
+    nd.slept |= 1u << nd.chosen;
+    const std::uint32_t cand =
+        nd.backtrack & nd.enabled & ~(nd.sleep_in | nd.slept);
+    if (cand == 0) return std::nullopt;
+    const std::uint32_t p =
+        static_cast<std::uint32_t>(std::countr_zero(cand));
+    nd.chosen = p;
+    return p;
+  }
+  if (nd.next < nd.options.size()) {
+    const std::uint32_t c = nd.options[nd.next++];
+    nd.chosen = c;
+    return c;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+// DFS driver.
+// ---------------------------------------------------------------------
+
+explore_report engine::run() {
+  driver_hooks hooks;
+  hooks.sched = [this](sim::sim_world& w,
+                       const std::vector<std::uint32_t>& options) {
+    return explore_sched(w, options);
+  };
+  hooks.pick = [this](node_kind kind, std::size_t count) {
+    return explore_pick(kind, count);
+  };
+  hooks.stop = [this] { return overflow_ || blocked_ || node_cap_hit_; };
+
+  bool capped = false;
+  while (true) {
+    pos_ = 0;
+    overflow_ = false;
+    blocked_ = false;
+    pending_sleep_ = 0;
+    claimed_recoveries_.clear();
+    drive_result r = drive(hooks, claimed_recoveries_);
+    if (reduced_) apply_dpor_updates();
+    if (r.complete) {
+      ++executions_;
+      if (r.violation) {
+        ++violations_;
+        if (!have_first_) {
+          have_first_ = true;
+          first_bad_ = choices_;
+          first_violation_ =
+              *r.violation + " on choices " + format_choices(choices_);
+        }
+      }
+    } else if (!blocked_) {
+      ++truncated_;
+    }
+    if (node_cap_hit_ || executions_ >= opts_.max_executions) {
+      capped = true;
+      break;
+    }
+    // Backtrack to the deepest node with an unexplored alternative.
+    bool branched = false;
+    while (!path_.empty()) {
+      if (std::optional<std::uint32_t> nxt = pick_next(path_.back())) {
+        choices_.back() = *nxt;
+        prefix_len_ = path_.size();
+        branch_pos_ = path_.size() - 1;
+        branched = true;
+        break;
+      }
+      node& nd = path_.back();
+      if (reduced_ && nd.kind == node_kind::sched)
+        pruned_ += std::popcount(nd.enabled & ~nd.slept);
+      path_.pop_back();
+      choices_.pop_back();
+    }
+    if (!branched) break;
+  }
+
+  explore_report rep;
+  rep.executions = executions_;
+  rep.truncated = truncated_;
+  rep.violations = violations_;
+  rep.pruned = pruned_ + sleep_blocked_;
+  rep.sleep_blocked = sleep_blocked_;
+  rep.nodes = nodes_created_;
+  rep.reduced = reduced_;
+  rep.first_violation = first_violation_;
+  rep.exhausted = !capped;
+  if (have_first_) {
+    rep.witness = opts_.shrink ? shrink(first_bad_) : first_bad_;
+    rep.first_violation += "; minimal witness " + format_choices(rep.witness);
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------
+// Witness replay and shrinking.
+// ---------------------------------------------------------------------
+
+witness_result engine::witness_run(const choice_seq& forced,
+                                   std::ostream* po,
+                                   const std::string& label) {
+  witness_result wr;
+  std::size_t cursor = 0;
+  bool bad = false;
+  choice_seq eff;
+  std::vector<std::uint32_t> idx;
+
+  auto take =
+      [&](const std::vector<std::uint32_t>& options) -> std::uint32_t {
+    if (bad) return options.front();
+    if (eff.size() >= opts_.max_choices) {
+      bad = true;
+      return options.front();
+    }
+    std::uint32_t c;
+    if (cursor < forced.size()) {
+      c = forced[cursor++];
+      if (std::find(options.begin(), options.end(), c) == options.end()) {
+        bad = true;
+        return options.front();
+      }
+    } else {
+      c = options.front();  // past the witness: default choices
+    }
+    eff.push_back(c);
+    return c;
+  };
+
+  driver_hooks hooks;
+  hooks.sched = [&](sim::sim_world&,
+                    const std::vector<std::uint32_t>& options) {
+    return take(options);
+  };
+  hooks.pick = [&](node_kind, std::size_t count) {
+    idx.resize(count);
+    std::iota(idx.begin(), idx.end(), 0u);
+    return take(idx);
+  };
+  hooks.stop = [&] { return bad; };
+
+  std::vector<std::uint64_t> claimed;
+  std::optional<obs::trial_recorder> rec;
+  if (po != nullptr) rec.emplace(n_);
+  drive_result r = drive(hooks, claimed, rec ? &*rec : nullptr, po, label);
+
+  wr.steps = r.steps;
+  wr.effective = std::move(eff);
+  wr.replayed = r.complete && !bad && cursor == forced.size();
+  if (!wr.replayed) {
+    wr.description = "witness is not consistent with this configuration";
+    return wr;
+  }
+  wr.outputs = std::move(r.outputs);
+  if (r.violation) {
+    wr.violation = true;
+    wr.description = *r.violation;
+  }
+  return wr;
+}
+
+choice_seq engine::shrink(const choice_seq& seq0) {
+  // Greedy delta-debugging over the *forced* sequence: delete windows
+  // (large to small) while a violation still reproduces, re-completing
+  // the suffix with default choices.  The reported witness is the full
+  // effective sequence of the minimal reproduction, so replaying it
+  // verbatim recreates the violating execution exactly.
+  auto attempt = [&](const choice_seq& cand) -> bool {
+    witness_result wr = witness_run(cand, nullptr, {});
+    return wr.replayed && wr.violation;
+  };
+  choice_seq best = seq0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t w = std::max<std::size_t>(best.size() / 2, 1); w >= 1;
+         w /= 2) {
+      bool removed = true;
+      while (removed && best.size() >= w) {
+        removed = false;
+        for (std::size_t i = 0; i + w <= best.size(); ++i) {
+          choice_seq cand(best.begin(), best.begin() + i);
+          cand.insert(cand.end(), best.begin() + i + w, best.end());
+          if (attempt(cand)) {
+            best = std::move(cand);
+            removed = true;
+            progress = true;
+            break;
+          }
+        }
+      }
+      if (w == 1) break;
+    }
+  }
+  witness_result wr = witness_run(best, nullptr, {});
+  if (wr.replayed && wr.violation) return wr.effective;
+  return best;  // defensive: seq0 itself always reproduces
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------
+// Public entry points.
+// ---------------------------------------------------------------------
 
 explore_report explore_all(const analysis::sim_object_builder& build,
                            const std::vector<value_t>& inputs,
                            const property_checker& check,
                            const explore_options& opts) {
-  explore_report report;
-  std::vector<choice_seq> stack;
-  stack.emplace_back();
+  engine eng(build, inputs, check, opts);
+  return eng.run();
+}
 
-  std::uint64_t nodes = 0;
-  while (!stack.empty()) {
-    if (report.executions >= opts.max_executions ||
-        ++nodes > opts.max_nodes)
-      return report;
-    choice_seq choices = std::move(stack.back());
-    stack.pop_back();
-
-    replay_outcome out =
-        replay(build, inputs, choices, opts.branch_coins, opts.max_choices);
-
-    if (out.complete) {
-      ++report.executions;
-      if (auto err = check(out.outputs, inputs)) {
-        ++report.violations;
-        if (report.first_violation.empty())
-          report.first_violation =
-              *err + " on choices " + format_choices(choices);
-      }
-      continue;
-    }
-    if (choices.size() >= opts.max_choices || out.options.empty()) {
-      ++report.truncated;
-      continue;
-    }
-    // Push branches in reverse so exploration visits them in order.
-    for (auto it = out.options.rbegin(); it != out.options.rend(); ++it) {
-      choices.push_back(*it);
-      stack.push_back(choices);
-      choices.pop_back();
-    }
-  }
-  report.exhausted = true;
-  return report;
+witness_result replay_witness(const analysis::sim_object_builder& build,
+                              const std::vector<value_t>& inputs,
+                              const property_checker& check,
+                              const explore_options& opts,
+                              const std::vector<std::uint32_t>& witness,
+                              std::ostream* perfetto_out,
+                              const std::string& label) {
+  engine eng(build, inputs, check, opts);
+  return eng.witness_run(witness, perfetto_out, label);
 }
 
 property_checker weak_consensus_checker() {

@@ -1,46 +1,137 @@
-// Exhaustive execution explorer: replay-based DFS over every adversary
-// choice (and, optionally, every local-coin outcome) of a small system.
+// Exhaustive model checker: stateless DFS over every adversary choice of
+// a small system, with dynamic partial-order reduction.
 //
 // The paper's correctness properties quantify over all adversaries; for
 // small n we can check them against literally every execution instead of
 // a random sample.  An execution is identified by its choice sequence: a
-// pid whenever the scheduler picks, a bit whenever a non-trivial
-// probabilistic write needs its coin.  The explorer replays prefixes
-// (rebuilding a fresh world and object each time — objects are one-shot),
-// discovers the options at the first unspecified choice, and backtracks.
+// flat vector whose entries are decoded by replay position —
+//
+//   scheduling   the pid whose pending operation executes next, or an
+//                explorer-injected crash (kChoiceRestart + pid for a
+//                crash-restart, kChoiceRecover + pid for a crash-recovery
+//                that also wipes the volatile register partition);
+//   coin         0/1, the outcome of a non-trivial probabilistic write
+//                (consulted when the write executes, so the branch sits
+//                after every scheduling decision that could not have
+//                observed it);
+//   semantics    an index into the deterministically ordered legal-value
+//                list of a regular/safe read whose overlap set is
+//                non-trivial (see world_options::semantic_choice);
+//   omission     0 = the write applies, 1 = it is dropped (while the
+//                transient-omission budget lasts).
+//
+// The checker is *stateless* in the model-checking sense: it never
+// snapshots the world (coroutine frames are not copyable), it re-executes
+// choice prefixes.  Each replay runs to completion, discovering every
+// branch point on its path in one pass, so the amortized replay cost per
+// tree node is O(1) world steps rather than O(depth).
+//
+// Reduction (reduction::dpor, the default) follows Flanagan–Godefroid
+// dynamic partial-order reduction with sleep sets: two steps commute
+// unless their register footprints overlap with at least one write, and
+// only non-commuting alternatives are scheduled for exploration.  The
+// reduction is sound for the atomic-register, fault-free model; any
+// option that makes scheduling nondeterminism observable through shared
+// state (regular/safe semantics, crash or omission budgets, seeded bugs)
+// automatically degrades to full branching — `explore_report::reduced`
+// says which regime actually ran.  `reduction::naive` forces full
+// branching and is kept as the cross-check oracle.
 //
 // Deterministic objects (e.g. the ratifier) have finitely many
 // executions; coin-branching objects may not (a fixed-probability
 // conciliator can miss forever), so a depth cap turns unbounded suffixes
 // into counted "truncated" paths rather than non-termination.
+//
+// On violation the first offending choice sequence is greedily shrunk
+// (delete windows while the violation reproduces, suffixes re-completed
+// with default choices) and reported as `explore_report::witness`; feed
+// it to `replay_witness` to re-run it, inspect the outputs, and export a
+// Perfetto counterexample trace via obs/perfetto.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/runner.h"
 #include "core/types.h"
+#include "sim/register_file.h"
 
 namespace modcon::check {
 
+// Scheduling-choice encodings for explorer-injected crash faults.  Plain
+// pids stay below kChoiceRestart, so a witness sequence remains a flat
+// vector of small integers.
+inline constexpr std::uint32_t kChoiceRestart = 0x10000;
+inline constexpr std::uint32_t kChoiceRecover = 0x20000;
+
+enum class reduction : std::uint8_t {
+  naive,  // full branching over every enabled option (the oracle)
+  dpor,   // sleep sets + backtrack points where sound (see file comment)
+};
+
+// Seeded-bug hooks for the checker's own test harness: each plants a
+// deliberate model violation that an exhaustive run must catch (and a
+// clean run must not report).  Arming any hook disables reduction.
+struct seeded_bugs {
+  // Under regular semantics, adds one extra branch per overlapped read
+  // that returns a value outside the legal set — the auditor must flag it
+  // as illegal_regular_read.
+  bool illegal_read_option = false;
+  // A chosen crash-recovery restarts the process but skips the volatile
+  // wipe while still claiming the recovery to the auditor — surviving
+  // volatile state must surface as volatile_state_survival.
+  bool skip_recovery_wipe = false;
+
+  bool any() const { return illegal_read_option || skip_recovery_wipe; }
+};
+
 struct explore_options {
   std::uint64_t max_executions = 5'000'000;
-  // Total replay budget (tree nodes, complete or not).  Guards against
-  // mostly-truncated trees, where max_executions alone would never bind.
+  // Decision-node budget (scheduling, coin, semantics, and omission
+  // nodes).  Guards against mostly-truncated trees, where max_executions
+  // alone would never bind.
   std::uint64_t max_nodes = 2'000'000;
   std::size_t max_choices = 256;  // depth cap per execution
   bool branch_coins = true;       // enumerate coin outcomes too
+  reduction mode = reduction::dpor;
+  // Register semantics the explored world runs under; regular/safe arm
+  // the semantics choice dimension (and the trace auditor).
+  sim::register_semantics semantics = sim::register_semantics::atomic;
+  // Explorer-injected crash faults: total crash-restart/crash-recovery
+  // events enumerable per execution (0 = none).
+  std::uint32_t crash_budget = 0;
+  // Transient write-omission budget (0 = none); arms the omission choice
+  // dimension.
+  std::uint64_t omission_budget = 0;
+  // Run the trace auditor on every complete execution even when no fault
+  // dimension forces it.
+  bool audit = false;
+  // Shrink the first violating sequence to a minimal witness.
+  bool shrink = true;
+  seeded_bugs seed_bugs;
 };
 
 struct explore_report {
   std::uint64_t executions = 0;  // complete executions checked
   std::uint64_t truncated = 0;   // paths cut off by max_choices
   std::uint64_t violations = 0;
-  std::string first_violation;   // description + offending choice sequence
-  bool exhausted = false;        // finished within max_executions
+  // Scheduling alternatives pruned by the reduction: enabled transitions
+  // never explored at fully-expanded scheduling nodes, plus paths cut by
+  // sleep sets.  0 when reduced is false.
+  std::uint64_t pruned = 0;
+  std::uint64_t sleep_blocked = 0;  // paths cut by sleep sets alone
+  std::uint64_t nodes = 0;          // decision nodes materialized
+  bool reduced = false;    // DPOR actually ran (mode + soundness gate)
+  std::string first_violation;  // description + offending choice sequence
+  // Minimal reproducing choice sequence for the first violation (the full
+  // effective sequence of the shrunk reproduction; empty when no
+  // violation).  Replay with replay_witness.
+  std::vector<std::uint32_t> witness;
+  bool exhausted = false;  // finished within max_executions/max_nodes
 
   bool ok() const { return violations == 0; }
 };
@@ -54,6 +145,30 @@ explore_report explore_all(const analysis::sim_object_builder& build,
                            const std::vector<value_t>& inputs,
                            const property_checker& check,
                            const explore_options& opts = {});
+
+// One replayed witness execution.  `effective` is the full choice
+// sequence actually taken (the input witness extended with default
+// choices if it was a prefix).
+struct witness_result {
+  bool replayed = false;   // witness was consistent with the world
+  bool violation = false;  // property or audit violation reproduced
+  std::string description;
+  std::vector<decided> outputs;  // valid when replayed
+  std::uint64_t steps = 0;
+  std::vector<std::uint32_t> effective;
+};
+
+// Re-runs one choice sequence under the same configuration the explorer
+// used (opts supplies semantics/budgets/seed bugs; mode is irrelevant).
+// When `perfetto_out` is set, the execution is recorded and exported as a
+// Perfetto counterexample trace.
+witness_result replay_witness(const analysis::sim_object_builder& build,
+                              const std::vector<value_t>& inputs,
+                              const property_checker& check,
+                              const explore_options& opts,
+                              const std::vector<std::uint32_t>& witness,
+                              std::ostream* perfetto_out = nullptr,
+                              const std::string& label = "counterexample");
 
 // --- canned property checkers (§3 definitions) ---
 

@@ -165,6 +165,28 @@ class register_file {
   bool semantics_armed() const { return semantics_armed_; }
   register_semantics semantics() const { return faults_.semantics; }
 
+  // --- model-checker hooks (check/explorer) ----------------------------
+  // The explorer resolves fault outcomes by enumeration instead of coin
+  // draws; these expose the state it needs to build the option sets and
+  // to apply a chosen outcome without consuming the fault RNG stream.
+  bool omission_armed() const { return omit_armed_; }
+  std::uint64_t omissions_left() const { return omissions_left_; }
+  // Applies an explicitly chosen omission: the write is dropped, the
+  // budget decremented, exactly as if the fault coin had said omit.
+  void force_omit() {
+    MODCON_CHECK_MSG(omit_armed_ && omissions_left_ > 0,
+                     "forced omission without an armed budget");
+    --omissions_left_;
+    ++omitted_writes_;
+  }
+  // The draw domain of an overlapped safe read (every value the cell ever
+  // held, deduplicated, insertion order).  Requires safe semantics.
+  std::span<const word> history_of(reg_id r) const {
+    MODCON_CHECK_MSG(track_history_ && r < history_.size(),
+                     "value history requires safe semantics");
+    return history_[r];
+  }
+
   std::uint64_t stale_reads() const { return stale_reads_; }
   std::uint64_t omitted_writes() const { return omitted_writes_; }
   // Reads answered from the overlap set (regular) or the value history

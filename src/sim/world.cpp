@@ -84,7 +84,9 @@ bool sched_view::coin_of(process_id p) const {
 sim_world::sim_world(std::size_t n, adversary& adv, std::uint64_t seed,
                      world_options opts)
     : n_(n), adv_(adv), seed_(seed),
-      coin_override_(std::move(opts.coin_override)), obs_(opts.obs) {
+      coin_override_(std::move(opts.coin_override)),
+      semantic_choice_(std::move(opts.semantic_choice)),
+      omission_choice_(std::move(opts.omission_choice)), obs_(opts.obs) {
   MODCON_CHECK_MSG(n >= 1, "need at least one process");
   pcbs_.reserve(n);
   runnable_index_.assign(n, UINT32_MAX);
@@ -203,7 +205,23 @@ void sim_world::execute(process_id pid) {
       // here rather than ahead of the switch.
       if (op.probabilistic && coin_override_) [[unlikely]]
         op.coin_success = coin_override_(pid, op.coin_prob);
-      applied = op.coin_success && regs_.process_write(op.reg, op.value);
+      if (omission_choice_ && regs_.omission_armed() &&
+          regs_.omissions_left() > 0) [[unlikely]] {
+        // Explorer-resolved omission.  Only a write that would otherwise
+        // apply is a choice point — a missed probabilistic write is
+        // already a non-write and must not consume the budget.
+        applied = false;
+        if (op.coin_success) {
+          if (omission_choice_(pid, op.reg, op.value)) {
+            regs_.force_omit();
+          } else {
+            regs_.write(op.reg, op.value);
+            applied = true;
+          }
+        }
+      } else {
+        applied = op.coin_success && regs_.process_write(op.reg, op.value);
+      }
       // Detecting writes report their outcome through the result slot.
       // An omitted write is *silent*: the detector still sees success —
       // that is what makes the omission a register fault rather than a
@@ -262,6 +280,11 @@ void sim_world::maybe_restart(process_id pid) {
   if (p.ops < p.restart_points[p.next_restart].ops) return;
   const bool recover = p.restart_points[p.next_restart].recover;
   ++p.next_restart;
+  do_restart(pid, recover);
+}
+
+void sim_world::do_restart(process_id pid, bool recover) {
+  pcb& p = pcbs_[pid];
   ++p.restarts;
   ++total_restarts_;
   record_destroyed_op(pid);
@@ -284,6 +307,31 @@ void sim_world::maybe_restart(process_id pid) {
   after_resume(pid);
 }
 
+void sim_world::step_process(process_id pid) {
+  MODCON_CHECK_MSG(pid < pcbs_.size() && runnable_index_[pid] != UINT32_MAX,
+                   "step_process on non-runnable process " << pid);
+  execute(pid);
+}
+
+void sim_world::restart_now(process_id pid, bool recover) {
+  MODCON_CHECK_MSG(pid < pcbs_.size(), "restart_now on unknown pid " << pid);
+  pcb& p = pcbs_[pid];
+  MODCON_CHECK_MSG(!p.halted && !p.crashed,
+                   "restart_now on a finished process");
+  do_restart(pid, recover);
+}
+
+bool sim_world::all_halted() const {
+  return std::all_of(pcbs_.begin(), pcbs_.end(),
+                     [](const pcb& p) { return p.halted; });
+}
+
+const posted_op& sim_world::pending_op(process_id pid) const {
+  MODCON_CHECK_MSG(pid < pcbs_.size() && pcbs_[pid].has_op,
+                   "pending_op: process " << pid << " has no pending op");
+  return pcbs_[pid].op;
+}
+
 word sim_world::overlap_read(process_id pid, reg_id r) {
   // The overlap set of a read executing now: writes to r posted but not
   // yet executed by other processes — in the one-op-at-a-time model these
@@ -296,6 +344,29 @@ word sim_world::overlap_read(process_id pid, reg_id r) {
     if (q.env.pid() == pid) continue;
     if (q.has_op && q.op.kind == op_kind::write && q.op.reg == r)
       pending_scratch_.push_back(q.op.value);
+  }
+  if (semantic_choice_) [[unlikely]] {
+    // Explorer-resolved read: assemble the legal-outcome list (see
+    // world_options::semantic_choice) and let the hook pick.  A trivial
+    // list — one outcome — is not a choice point.
+    legal_scratch_.clear();
+    const word cur = regs_.read(r);
+    legal_scratch_.push_back(cur);
+    if (regs_.semantics() == register_semantics::regular) {
+      for (word w : pending_scratch_)
+        if (std::find(legal_scratch_.begin(), legal_scratch_.end(), w) ==
+            legal_scratch_.end())
+          legal_scratch_.push_back(w);
+    } else if (!pending_scratch_.empty()) {
+      // Safe: an overlapped read may return anything the cell ever held
+      // (the history includes the current value, so dedup keeps order).
+      for (word w : regs_.history_of(r))
+        if (std::find(legal_scratch_.begin(), legal_scratch_.end(), w) ==
+            legal_scratch_.end())
+          legal_scratch_.push_back(w);
+    }
+    if (legal_scratch_.size() == 1) return cur;
+    return semantic_choice_(pid, r, legal_scratch_);
   }
   return regs_.semantic_read(r, pending_scratch_);
 }

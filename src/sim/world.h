@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "exec/address_space.h"
@@ -169,6 +170,20 @@ struct world_options {
   // seed, the default).  Lets fault coin draws vary independently of the
   // schedule seed; artifacts are byte-identical when unset.
   std::uint64_t fault_seed = 0;
+  // Model-checker hooks (check/explorer), both optional and not part of
+  // the model.  `semantic_choice` replaces the fault RNG's resolution of
+  // a semantics-mode read whose legal-outcome set is non-trivial: `legal`
+  // is the deterministically ordered outcome list (current value first;
+  // then, under regular semantics, each overlapping pending write's value
+  // in pid order, deduplicated — or, under safe semantics, the cell's
+  // value history), and the returned word is observed verbatim, so an
+  // exhaustive checker can enumerate every resolution (and a seeded-bug
+  // harness can inject an illegal one).  `omission_choice` likewise
+  // decides each write's omission outcome while the omission budget
+  // lasts (true = drop the write) instead of drawing the fault coin.
+  std::function<word(process_id, reg_id, std::span<const word> legal)>
+      semantic_choice;
+  std::function<bool(process_id, reg_id, word)> omission_choice;
   // When set, algorithm-level spans and counters are recorded into this
   // recorder (obs/obs.h).  Must outlive the world: coroutine frames torn
   // down in ~sim_world still hold span guards, which consult the
@@ -269,6 +284,25 @@ class sim_world final : public address_space {
   // halt or `max_steps` operations have been applied.
   run_result run(std::uint64_t max_steps);
 
+  // --- model-checker interface (check/explorer) ---
+  // The exhaustive explorer drives the world one chosen operation at a
+  // time instead of going through run()/adversary::pick — scheduling,
+  // crash injection, and fault resolution are all *its* choice points.
+  // Executes exactly `pid`'s pending operation; pid must be runnable.
+  void step_process(process_id pid);
+  // Injects a crash-restart (or, with `recover`, a crash-recovery that
+  // also wipes the volatile register partition) at the current operation
+  // boundary: same semantics as a restart_after/recover_after threshold
+  // firing here, but chosen explicitly.  pid must not have halted.
+  void restart_now(process_id pid, bool recover);
+  bool all_halted() const;
+  std::span<const process_id> runnable_processes() const {
+    return {runnable_.data(), runnable_.size()};
+  }
+  // Footprint of pid's pending operation, for the checker's dependence
+  // relation.  Requires a pending op (true for every runnable process).
+  const posted_op& pending_op(process_id pid) const;
+
   // --- results & metrics ---
   std::size_t n() const { return n_; }
   bool halted(process_id pid) const;
@@ -302,6 +336,7 @@ class sim_world final : public address_space {
 
   // Test access to memory and the trace.
   word peek(reg_id r) const { return regs_.read(r); }
+  word initial_of(reg_id r) const { return regs_.initial_of(r); }
   std::uint64_t writes_applied(reg_id r) const {
     return regs_.writes_applied(r);
   }
@@ -355,6 +390,9 @@ class sim_world final : public address_space {
   void execute(process_id pid);
   void after_resume(process_id pid);
   void maybe_restart(process_id pid);
+  // Shared crash-restart/crash-recovery mechanics behind maybe_restart
+  // (threshold-planned faults) and restart_now (explorer-injected ones).
+  void do_restart(process_id pid, bool recover);
   void remove_runnable(process_id pid);
   // Semantics-mode read: gathers the pending-write overlap set for r and
   // lets the register file pick the observed value.
@@ -372,6 +410,9 @@ class sim_world final : public address_space {
   adversary& adv_;
   std::uint64_t seed_;
   std::function<bool(process_id, const prob&)> coin_override_;
+  std::function<word(process_id, reg_id, std::span<const word>)>
+      semantic_choice_;
+  std::function<bool(process_id, reg_id, word)> omission_choice_;
   register_file regs_;
   // Flat storage: reserve(n) in the constructor plus the spawn-count check
   // guarantees no reallocation, so &pcbs_[pid].env stays stable for the
@@ -384,6 +425,7 @@ class sim_world final : public address_space {
   std::uint64_t total_recoveries_ = 0;
   std::vector<std::uint64_t> recovery_steps_;
   std::vector<word> pending_scratch_;  // overlap_read's reusable buffer
+  std::vector<word> legal_scratch_;    // semantic_choice option buffer
   trace trace_;
   obs::trial_recorder* obs_ = nullptr;
 };

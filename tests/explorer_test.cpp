@@ -26,12 +26,22 @@ analysis::sim_object_builder ratifier_builder(
   };
 }
 
+// Interleaving-count assertions run in naive mode: DPOR legitimately
+// explores fewer executions (that is the point), so raw counts are only
+// meaningful against the full tree.  Verdict-only tests keep the default
+// (DPOR) mode and double as soundness coverage for the reduction.
+explore_options naive_opts() {
+  explore_options opts;
+  opts.mode = reduction::naive;
+  return opts;
+}
+
 TEST(Explorer, BinaryRatifierAllSchedulesTwoProcesses) {
   auto qs = make_binary_quorums();
   for (auto inputs : std::vector<std::vector<value_t>>{
            {0, 0}, {0, 1}, {1, 0}, {1, 1}}) {
-    auto report =
-        explore_all(ratifier_builder(qs), inputs, ratifier_checker());
+    auto report = explore_all(ratifier_builder(qs), inputs,
+                              ratifier_checker(), naive_opts());
     EXPECT_TRUE(report.ok()) << report.first_violation;
     EXPECT_TRUE(report.exhausted);
     EXPECT_EQ(report.truncated, 0u);
@@ -44,8 +54,8 @@ TEST(Explorer, BinaryRatifierAllSchedulesThreeProcesses) {
   auto qs = make_binary_quorums();
   for (auto inputs : std::vector<std::vector<value_t>>{
            {0, 0, 1}, {0, 1, 0}, {1, 1, 1}, {1, 0, 1}}) {
-    auto report =
-        explore_all(ratifier_builder(qs), inputs, ratifier_checker());
+    auto report = explore_all(ratifier_builder(qs), inputs,
+                              ratifier_checker(), naive_opts());
     EXPECT_TRUE(report.ok()) << report.first_violation;
     EXPECT_TRUE(report.exhausted);
     EXPECT_GT(report.executions, 1000u);
@@ -77,7 +87,8 @@ TEST(Explorer, ImpatientConciliatorAllSchedulesAndCoins) {
     return std::make_unique<impatient_conciliator<sim_env>>(mem);
   };
   for (auto inputs : std::vector<std::vector<value_t>>{{0, 1}, {5, 5}}) {
-    auto report = explore_all(build, inputs, weak_consensus_checker());
+    auto report =
+        explore_all(build, inputs, weak_consensus_checker(), naive_opts());
     EXPECT_TRUE(report.ok()) << report.first_violation;
     EXPECT_TRUE(report.exhausted);
     EXPECT_EQ(report.truncated, 0u);
@@ -109,7 +120,7 @@ TEST(Explorer, FullConsensusStackSmall) {
   auto build = [qs](address_space& mem, std::size_t) {
     return make_impatient_consensus<sim_env>(mem, qs);
   };
-  explore_options opts;
+  explore_options opts = naive_opts();
   opts.max_choices = 60;
   opts.max_executions = 150000;
   opts.max_nodes = 600000;
@@ -122,7 +133,7 @@ TEST(Explorer, CilConsensusSmall) {
   auto build = [](address_space& mem, std::size_t n) {
     return std::make_unique<cil_consensus<sim_env>>(mem, n);
   };
-  explore_options opts;
+  explore_options opts = naive_opts();
   opts.max_choices = 44;
   opts.max_executions = 150000;
   opts.max_nodes = 600000;
@@ -185,7 +196,8 @@ TEST(Explorer, ExecutionCountMatchesInterleavingFormula) {
   auto build = [](address_space& mem, std::size_t) {
     return std::make_unique<two_ops>(mem);
   };
-  auto report = explore_all(build, {0, 0}, weak_consensus_checker());
+  auto report =
+      explore_all(build, {0, 0}, weak_consensus_checker(), naive_opts());
   EXPECT_TRUE(report.exhausted);
   EXPECT_EQ(report.executions, 6u);
 }

@@ -1,0 +1,371 @@
+// modcon-check: exhaustive model checking of the registry stacks.
+//
+// Where modcon-trace replays *one* trial, this tool explores *every*
+// adversary choice of a small configuration — scheduling, coin outcomes,
+// crash/recovery injection points, regular/safe read resolutions,
+// omission outcomes — via check/explorer and reports whether the
+// configuration was exhausted and whether any §3 property or trace-audit
+// violation exists at all:
+//
+//   modcon-check --stack bounded --n 2 --semantics regular --json out.json
+//   modcon-check --stack all --n 2 --crash-budget 1 --require-exhausted
+//
+// A cell is one (stack, n, semantics, fault budget, mode) coordinate.
+// `--mode both` runs DPOR and the naive oracle on every cell and fails if
+// their verdicts disagree — the CI equivalence gate.  The JSON report
+// (schema "modcon-check/v1", documented in EXPERIMENTS.md) carries one
+// record per cell; `--require-exhausted` / `--require-clean` turn report
+// fields into exit-code gates for CI.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/json_writer.h"
+#include "check/explorer.h"
+#include "core/consensus/stack_spec.h"
+#include "sim/world.h"
+
+namespace {
+
+using namespace modcon;
+using sim::sim_env;
+
+std::string stack_menu() {
+  std::string menu;
+  for (const std::string& name : stack_names()) {
+    if (!menu.empty()) menu += " | ";
+    menu += name;
+  }
+  return menu;
+}
+
+[[noreturn]] void usage(int rc) {
+  (rc == 0 ? std::cout : std::cerr)
+      << "usage: modcon-check [options]\n"
+         "  --stack S            " +
+             stack_menu() +
+             " | all (default: all)\n"
+             "  --n N              processes (default: 2)\n"
+         "  --m M                input values (default: 2)\n"
+         "  --semantics S        atomic | regular | safe | all (default: "
+         "atomic)\n"
+         "  --crash-budget K     crash/recovery events per execution "
+         "(default: 0)\n"
+         "  --recoverable        build recoverable stacks (crash-recovery "
+         "with volatile partitions; implies persistent decision pins)\n"
+         "  --omission-budget K  transient write omissions per execution "
+         "(default: 0)\n"
+         "  --coins on|off       branch on coin outcomes (default: off)\n"
+         "  --mode M             dpor | naive | both (default: dpor)\n"
+         "  --property P         consensus | weak | ratifier (default: "
+         "consensus)\n"
+         "  --max-choices D      depth cap per execution (default: 48)\n"
+         "  --max-executions N   (default: 2000000)\n"
+         "  --max-nodes N        decision-node budget (default: 20000000)\n"
+         "  --json FILE          write the modcon-check/v1 report\n"
+         "  --trace-out FILE     Perfetto trace of the first counterexample\n"
+         "  --require-exhausted  exit 1 unless every cell exhausted\n"
+         "  --require-clean      exit 1 if any cell found a violation\n";
+  std::exit(rc);
+}
+
+struct cell_config {
+  std::string stack;
+  std::size_t n = 2;
+  std::uint64_t m = 2;
+  sim::register_semantics semantics = sim::register_semantics::atomic;
+  bool recoverable = false;
+  check::explore_options opts;
+  std::string property = "consensus";
+};
+
+struct cell_result {
+  cell_config cfg;
+  std::string mode;
+  check::explore_report report;
+  double seconds = 0;
+};
+
+const char* semantics_name(sim::register_semantics s) {
+  switch (s) {
+    case sim::register_semantics::atomic: return "atomic";
+    case sim::register_semantics::regular: return "regular";
+    case sim::register_semantics::safe: return "safe";
+  }
+  return "?";
+}
+
+check::property_checker checker_for(const std::string& property) {
+  if (property == "consensus") return check::consensus_checker();
+  if (property == "weak") return check::weak_consensus_checker();
+  if (property == "ratifier") return check::ratifier_checker();
+  std::cerr << "unknown --property '" << property << "'\n";
+  std::exit(2);
+}
+
+cell_result run_cell(const cell_config& cfg, check::reduction mode,
+                     const std::string& trace_out) {
+  stack_spec spec = stack_for(cfg.stack).with_m(cfg.m);
+  if (cfg.recoverable) spec = spec.with_recovery();
+  auto build = stack_builder<sim_env>(spec);
+  std::vector<value_t> inputs(cfg.n);
+  for (std::size_t i = 0; i < cfg.n; ++i)
+    inputs[i] = static_cast<value_t>(i % cfg.m);
+  check::explore_options opts = cfg.opts;
+  opts.mode = mode;
+  auto check_fn = checker_for(cfg.property);
+
+  cell_result res;
+  res.cfg = cfg;
+  res.mode = mode == check::reduction::dpor ? "dpor" : "naive";
+  auto t0 = std::chrono::steady_clock::now();
+  res.report = check::explore_all(build, inputs, check_fn, opts);
+  res.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+  if (!res.report.ok() && !trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (out) {
+      std::string label = cfg.stack + "/n=" + std::to_string(cfg.n) +
+                          " counterexample";
+      check::replay_witness(build, inputs, check_fn, opts,
+                            res.report.witness, &out, label);
+      std::cerr << "wrote counterexample trace to " << trace_out << "\n";
+    }
+  }
+  return res;
+}
+
+analysis::json cell_json(const cell_result& r) {
+  analysis::json c = analysis::json::object();
+  c["stack"] = r.cfg.stack;
+  c["n"] = static_cast<std::uint64_t>(r.cfg.n);
+  c["m"] = r.cfg.m;
+  c["semantics"] = semantics_name(r.cfg.semantics);
+  c["recoverable"] = r.cfg.recoverable;
+  c["crash_budget"] = static_cast<std::uint64_t>(r.cfg.opts.crash_budget);
+  c["omission_budget"] = r.cfg.opts.omission_budget;
+  c["coins"] = r.cfg.opts.branch_coins;
+  c["mode"] = r.mode;
+  c["property"] = r.cfg.property;
+  c["max_choices"] = static_cast<std::uint64_t>(r.cfg.opts.max_choices);
+  c["executions"] = r.report.executions;
+  c["truncated"] = r.report.truncated;
+  c["violations"] = r.report.violations;
+  c["pruned"] = r.report.pruned;
+  c["sleep_blocked"] = r.report.sleep_blocked;
+  c["nodes"] = r.report.nodes;
+  c["reduced"] = r.report.reduced;
+  c["exhausted"] = r.report.exhausted;
+  c["seconds"] = r.seconds;
+  if (!r.report.ok()) {
+    c["first_violation"] = r.report.first_violation;
+    analysis::json w = analysis::json::array();
+    for (std::uint32_t choice : r.report.witness)
+      w.push_back(static_cast<std::uint64_t>(choice));
+    c["witness"] = std::move(w);
+  }
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string stack = "all";
+  std::string semantics = "atomic";
+  std::string mode = "dpor";
+  std::string property = "consensus";
+  std::string json_path;
+  std::string trace_out;
+  std::size_t n = 2;
+  std::uint64_t m = 2;
+  bool recoverable = false;
+  bool require_exhausted = false;
+  bool require_clean = false;
+  check::explore_options base;
+  base.branch_coins = false;
+  base.max_choices = 48;
+  base.max_executions = 2'000'000;
+  base.max_nodes = 20'000'000;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--stack")
+      stack = next("--stack");
+    else if (arg == "--n")
+      n = std::strtoull(next("--n").c_str(), nullptr, 10);
+    else if (arg == "--m")
+      m = std::strtoull(next("--m").c_str(), nullptr, 10);
+    else if (arg == "--semantics")
+      semantics = next("--semantics");
+    else if (arg == "--crash-budget")
+      base.crash_budget = static_cast<std::uint32_t>(
+          std::strtoull(next("--crash-budget").c_str(), nullptr, 10));
+    else if (arg == "--recoverable")
+      recoverable = true;
+    else if (arg == "--omission-budget")
+      base.omission_budget =
+          std::strtoull(next("--omission-budget").c_str(), nullptr, 10);
+    else if (arg == "--coins")
+      base.branch_coins = next("--coins") == "on";
+    else if (arg == "--mode")
+      mode = next("--mode");
+    else if (arg == "--property")
+      property = next("--property");
+    else if (arg == "--max-choices")
+      base.max_choices =
+          std::strtoull(next("--max-choices").c_str(), nullptr, 10);
+    else if (arg == "--max-executions")
+      base.max_executions =
+          std::strtoull(next("--max-executions").c_str(), nullptr, 10);
+    else if (arg == "--max-nodes")
+      base.max_nodes =
+          std::strtoull(next("--max-nodes").c_str(), nullptr, 10);
+    else if (arg == "--json")
+      json_path = next("--json");
+    else if (arg == "--trace-out")
+      trace_out = next("--trace-out");
+    else if (arg == "--require-exhausted")
+      require_exhausted = true;
+    else if (arg == "--require-clean")
+      require_clean = true;
+    else if (arg == "--help" || arg == "-h")
+      usage(0);
+    else {
+      std::cerr << "unknown argument '" << arg << "'\n";
+      usage(2);
+    }
+  }
+  if (n < 2) {
+    std::cerr << "--n must be at least 2\n";
+    return 2;
+  }
+  if (mode != "dpor" && mode != "naive" && mode != "both") {
+    std::cerr << "unknown --mode '" << mode << "'\n";
+    return 2;
+  }
+
+  std::vector<std::string> stacks;
+  if (stack == "all") {
+    stacks = stack_names();
+  } else if (find_stack(stack) != nullptr) {
+    stacks.push_back(stack);
+  } else {
+    std::cerr << "unknown --stack '" << stack << "' (choose from "
+              << stack_menu() << " | all)\n";
+    return 2;
+  }
+  std::vector<sim::register_semantics> sems;
+  if (semantics == "all") {
+    sems = {sim::register_semantics::atomic, sim::register_semantics::regular,
+            sim::register_semantics::safe};
+  } else if (semantics == "atomic") {
+    sems = {sim::register_semantics::atomic};
+  } else if (semantics == "regular") {
+    sems = {sim::register_semantics::regular};
+  } else if (semantics == "safe") {
+    sems = {sim::register_semantics::safe};
+  } else {
+    std::cerr << "unknown --semantics '" << semantics << "'\n";
+    return 2;
+  }
+
+  std::vector<cell_result> results;
+  bool any_unexhausted = false;
+  bool any_violation = false;
+  bool verdict_mismatch = false;
+  for (const std::string& s : stacks) {
+    for (sim::register_semantics sem : sems) {
+      cell_config cfg;
+      cfg.stack = s;
+      cfg.n = n;
+      cfg.m = m;
+      cfg.semantics = sem;
+      cfg.recoverable = recoverable;
+      cfg.opts = base;
+      cfg.opts.semantics = sem;
+      cfg.property = property;
+
+      std::vector<cell_result> cell_runs;
+      if (mode == "dpor" || mode == "both")
+        cell_runs.push_back(run_cell(cfg, check::reduction::dpor, trace_out));
+      if (mode == "naive" || mode == "both")
+        cell_runs.push_back(run_cell(cfg, check::reduction::naive, trace_out));
+      if (cell_runs.size() == 2 &&
+          cell_runs[0].report.ok() != cell_runs[1].report.ok()) {
+        verdict_mismatch = true;
+        std::cerr << "VERDICT MISMATCH: " << s << " n=" << n << " "
+                  << semantics_name(sem) << ": dpor "
+                  << (cell_runs[0].report.ok() ? "clean" : "violating")
+                  << " vs naive "
+                  << (cell_runs[1].report.ok() ? "clean" : "violating")
+                  << "\n";
+      }
+      for (cell_result& r : cell_runs) {
+        std::cout << r.cfg.stack << " n=" << r.cfg.n << " "
+                  << semantics_name(sem)
+                  << " crash=" << r.cfg.opts.crash_budget
+                  << " omit=" << r.cfg.opts.omission_budget << " ["
+                  << r.mode << "] executions=" << r.report.executions
+                  << " truncated=" << r.report.truncated
+                  << " pruned=" << r.report.pruned
+                  << " nodes=" << r.report.nodes
+                  << " exhausted=" << (r.report.exhausted ? "yes" : "NO")
+                  << " violations=" << r.report.violations << " ("
+                  << r.seconds << "s)\n";
+        if (!r.report.ok()) {
+          any_violation = true;
+          std::cout << "  first violation: " << r.report.first_violation
+                    << "\n";
+        }
+        if (!r.report.exhausted) any_unexhausted = true;
+        results.push_back(std::move(r));
+      }
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    analysis::json doc = analysis::json::object();
+    doc["schema"] = "modcon-check/v1";
+    analysis::json cells = analysis::json::array();
+    for (const cell_result& r : results) cells.push_back(cell_json(r));
+    doc["cells"] = std::move(cells);
+    out << doc.dump(2) << "\n";
+    out.close();
+    if (!out) {
+      std::cerr << "error writing " << json_path << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << json_path << "\n";
+  }
+
+  if (verdict_mismatch) return 1;
+  if (require_exhausted && any_unexhausted) {
+    std::cerr << "FAIL: --require-exhausted and at least one cell did not "
+                 "exhaust\n";
+    return 1;
+  }
+  if (require_clean && any_violation) {
+    std::cerr << "FAIL: --require-clean and a violation was found\n";
+    return 1;
+  }
+  return 0;
+}
