@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
         .build = impatient(),
         .n = n,
         .trials = h.trials(trials_for(n, 400'000)),
+        .batch_hint = analysis::batch_impatient(),
     });
   }
   for (std::size_t n : {16u, 64u, 256u}) {
@@ -63,8 +64,12 @@ int main(int argc, char** argv) {
         .build = consensus_stack(),
         .n = n,
         .trials = h.trials(trials_for(n, 200'000)),
+        .batch_hint = analysis::batch_for(stack_for("impatient")),
     });
   }
+  // The hint is honest here too, but the fault plan disqualifies the cell
+  // (batch_supported), so both engines run it through the scalar oracle —
+  // keeping a scalar-fallback workload in the gated artifact.
   grid.push_back({
       .label = "e16_faulted/n=64",
       .build = consensus_stack(),
@@ -74,6 +79,7 @@ int main(int argc, char** argv) {
                     .crash(1, 12)
                     .restart(0, 8)
                     .regular_registers(8),
+      .batch_hint = analysis::batch_for(stack_for("impatient")),
   });
   auto summaries = h.run_grid(std::move(grid));
 

@@ -1,0 +1,105 @@
+// E19 — Batch-engine scaling: lockstep width vs throughput, no paper claim.
+//
+// E16 gates the engines' absolute throughput; this bench sweeps the
+// *batch width* of the lockstep interpreter (analysis/batch_engine.h) on
+// the two workloads it accelerates — the bare impatient conciliator and
+// the unbounded consensus stack — against the scalar oracle.  Each cell
+// is the same trial set (identical results by the bit-identity contract;
+// only the timing columns move), so the table reads as a scaling curve:
+// B=1 prices the interpreter's dispatch against the scalar coroutines,
+// and growing B shows how much of the speedup comes from amortizing
+// setup versus interleaving independent trials through the step loop.
+#include <memory>
+#include <string>
+
+#include "common.h"
+#include "core/conciliator/impatient.h"
+#include "core/consensus/builder.h"
+
+namespace {
+
+using namespace modcon;
+using namespace modcon::bench;
+using sim::sim_env;
+
+analysis::trial_grid conciliator_cell(std::size_t n, std::size_t trials) {
+  return {
+      .label = "e19_conciliator/n=" + std::to_string(n),
+      .build =
+          [](address_space& mem, std::size_t) {
+            return std::make_unique<impatient_conciliator<sim_env>>(mem);
+          },
+      .n = n,
+      .trials = trials,
+      .batch_hint = analysis::batch_impatient(),
+  };
+}
+
+analysis::trial_grid consensus_cell(std::size_t n, std::size_t trials) {
+  return {
+      .label = "e19_consensus/n=" + std::to_string(n),
+      .build = stack_builder<sim_env>(stack_for("impatient")),
+      .n = n,
+      .trials = trials,
+      .batch_hint = analysis::batch_for(stack_for("impatient")),
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_harness h("e19_batch_scaling", argc, argv);
+  print_header("E19: batch-engine scaling (lockstep width vs steps/sec)",
+               "engine scaling sweep — no paper claim; same trials at "
+               "every width, only the timing columns move");
+
+  constexpr std::size_t kN = 64;
+  const std::size_t conc_trials = h.trials(trials_for(kN, 400'000));
+  const std::size_t cons_trials = h.trials(trials_for(kN, 200'000));
+
+  struct row {
+    std::string engine;
+    analysis::summary_stats s;
+  };
+  std::vector<row> rows;
+  // Each engine config gets its own cell label: recorded cells stay
+  // unique in the artifact (the shard merge matches cells by label).
+  auto sweep = [&](const analysis::trial_grid& cell) {
+    {
+      analysis::trial_grid c = cell;
+      c.label += "/scalar";
+      analysis::experiment_options o = h.engine_options();
+      o.engine = analysis::engine_kind::scalar;
+      rows.push_back({"scalar", h.run(std::move(c), o)});
+    }
+    for (std::size_t b : {1u, 4u, 16u, 64u, 256u}) {
+      analysis::trial_grid c = cell;
+      c.label += "/B=" + std::to_string(b);
+      analysis::experiment_options o = h.engine_options();
+      o.engine = analysis::engine_kind::batch;
+      o.batch = b;
+      rows.push_back({"batch/B=" + std::to_string(b), h.run(std::move(c), o)});
+    }
+  };
+  sweep(conciliator_cell(kN, conc_trials));
+  sweep(consensus_cell(kN, cons_trials));
+
+  table t({"cell", "engine", "trials", "steps_mean", "step_ms",
+           "Msteps/s_p50", "vs_scalar"});
+  double scalar_p50 = 0.0;
+  for (const auto& r : rows) {
+    if (r.engine == "scalar") scalar_p50 = r.s.steps_per_sec.p50;
+    const double rel =
+        scalar_p50 > 0.0 ? r.s.steps_per_sec.p50 / scalar_p50 : 0.0;
+    t.row()
+        .cell(r.s.label)
+        .cell(r.engine)
+        .cell(static_cast<std::uint64_t>(r.s.trials))
+        .cell(r.s.steps.mean, 1)
+        .cell(r.s.perf.ms(analysis::perf_phase::step), 1)
+        .cell(r.s.steps_per_sec.p50 / 1e6, 3)
+        .cell(rel, 2);
+  }
+  h.emit(t, "E19: lockstep batch width scaling", "e19_batch_scaling");
+  return h.finish();
+}

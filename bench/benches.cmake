@@ -28,6 +28,7 @@ modcon_bench(bench_e15_fault_matrix)
 modcon_bench(bench_e16_engine_micro)
 modcon_bench(bench_e17_multi_shot)
 modcon_bench(bench_e18_survivability)
+modcon_bench(bench_e19_batch_scaling)
 target_link_libraries(bench_e11_rt_threads PRIVATE benchmark::benchmark)
 
 # Smoke tests: every bench runs end-to-end (tiny trial counts, 2 worker
@@ -58,3 +59,4 @@ modcon_bench_smoke(bench_e15_fault_matrix)
 modcon_bench_smoke(bench_e16_engine_micro)
 modcon_bench_smoke(bench_e17_multi_shot)
 modcon_bench_smoke(bench_e18_survivability)
+modcon_bench_smoke(bench_e19_batch_scaling)

@@ -19,9 +19,26 @@
 //                 (trial 0 of the first cell) to F; single-threaded only
 //   --progress    live progress on stderr (trials/sec, ETA, fault and
 //                 audit counts) — reporting only, results unaffected
+//   --engine E    trial engine: scalar | batch | auto (default auto —
+//                 cells that qualify for the lockstep batch interpreter
+//                 use it, everything else keeps the scalar oracle;
+//                 results are byte-identical either way)
+//   --shard I/N   run trial slice I of N (scripts/grid_runner.py): each
+//                 shardable cell runs the trials with index ≡ I (mod N)
+//                 and serializes per-trial records so modcon-merge can
+//                 rebuild the single-process artifact byte for byte.
+//                 Cells that audit, probe, or observe cannot be merged
+//                 from records; shard 0 runs them whole, the rest skip.
+//   --deterministic
+//                 zero every timing measurement (wall_ms, perf phase ns,
+//                 steps/sec) before recording, so two runs of the same
+//                 build produce byte-identical artifacts — the mode CI
+//                 diffs engines and shard merges under
 //
 // plus the report plumbing: every summary and every printed table is
-// recorded and serialized when --json is given.
+// recorded and serialized when --json is given (tables are skipped in
+// shard mode: the merged artifact must match the --shard 0/1 reference,
+// which records none either).
 #pragma once
 
 #include <cstdint>
@@ -34,8 +51,10 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/batch_engine.h"
 #include "analysis/experiment.h"
 #include "analysis/multi.h"
+#include "analysis/shard.h"
 #include "obs/perfetto.h"
 #include "sim/adversaries/adversaries.h"
 #include "util/stats.h"
@@ -54,6 +73,14 @@ struct cli_options {
   bool observe = false;   // per-trial obs counters + "obs" JSON block
   bool progress = false;  // live stderr progress from the engine
   analysis::audit_mode audit = analysis::audit_mode::off;
+  // --engine: auto routes qualifying cells through the batch engine.
+  analysis::engine_kind engine = analysis::engine_kind::auto_select;
+  // --shard I/N: this process runs slice I; shard_mode switches the
+  // artifact to the mergeable per-trial-record form (analysis/shard.h).
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  bool shard_mode = false;
+  bool deterministic = false;  // zero timing fields before recording
 
   static analysis::audit_mode parse_audit_mode(const std::string& value,
                                                const char* origin) {
@@ -99,6 +126,41 @@ struct cli_options {
       } else if (arg == "--audit") {
         cli.audit = parse_audit_mode(next_value("--audit"), "--audit");
         audit_given = true;
+      } else if (arg == "--engine") {
+        const std::string value = next_value("--engine");
+        const auto kind = analysis::engine_from_string(value);
+        if (!kind) {
+          std::cerr << "--engine expects scalar|batch|auto, got '" << value
+                    << "'\n";
+          std::exit(2);
+        }
+        cli.engine = *kind;
+      } else if (arg == "--shard") {
+        const std::string value = next_value("--shard");
+        const std::size_t slash = value.find('/');
+        char* end = nullptr;
+        std::uint64_t index = 0, count = 0;
+        if (slash != std::string::npos) {
+          index = std::strtoull(value.c_str(), &end, 10);
+          const bool index_ok = end == value.c_str() + slash;
+          count = std::strtoull(value.c_str() + slash + 1, &end, 10);
+          const bool count_ok = end == value.c_str() + value.size() &&
+                                value.size() > slash + 1;
+          if (!index_ok || !count_ok || count < 1 || index >= count) {
+            std::cerr << "--shard expects I/N with N >= 1 and I < N, got '"
+                      << value << "'\n";
+            std::exit(2);
+          }
+          cli.shard_index = index;
+          cli.shard_count = count;
+          cli.shard_mode = true;
+        } else {
+          std::cerr << "--shard expects I/N (e.g. --shard 2/8), got '"
+                    << value << "'\n";
+          std::exit(2);
+        }
+      } else if (arg == "--deterministic") {
+        cli.deterministic = true;
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "usage: bench [--threads N] [--seeds N] [--json PATH] "
                      "[--audit MODE] [--benchmark_*...]\n"
@@ -114,6 +176,12 @@ struct cli_options {
                   << "  --trace-out F  write a Perfetto trace_event JSON of "
                      "one trial (requires --threads 1)\n"
                   << "  --progress   live trial progress on stderr\n"
+                  << "  --engine E   trial engine: scalar|batch|auto "
+                     "(default auto; results byte-identical)\n"
+                  << "  --shard I/N  run trial slice I of N and emit the "
+                     "mergeable shard artifact (modcon-merge)\n"
+                  << "  --deterministic  zero timing measurements in the "
+                     "artifact (for byte-for-byte diffs)\n"
                   << "  --benchmark_* forwarded to google-benchmark "
                      "(benches that embed it)\n";
         std::exit(0);
@@ -152,6 +220,12 @@ class bench_harness {
         report_(analysis::make_report_skeleton(name_)) {
     report_["threads_requested"] = analysis::json(cli_.threads);
     report_["seeds_override"] = analysis::json(cli_.seeds);
+    if (cli_.shard_mode) {
+      analysis::json sh = analysis::json::object();
+      sh["index"] = analysis::json(cli_.shard_index);
+      sh["count"] = analysis::json(cli_.shard_count);
+      report_["shard"] = std::move(sh);
+    }
   }
 
   const cli_options& cli() const { return cli_; }
@@ -162,23 +236,46 @@ class bench_harness {
   }
 
   analysis::experiment_options engine_options() const {
-    return {.threads = cli_.threads, .progress = cli_.progress};
+    analysis::experiment_options opts;
+    opts.threads = cli_.threads;
+    opts.progress = cli_.progress;
+    opts.engine = cli_.engine;
+    return opts;
   }
 
   // Runs one cell through the engine, applying the CLI overrides, and
   // records its summary in the report.
   analysis::summary_stats run(trial_grid cell) {
+    return run(std::move(cell), engine_options());
+  }
+
+  // Same, with explicit engine options — for benches that sweep the
+  // engine itself (E19 forces scalar/batch and the batch width per
+  // cell).  The CLI's shard/deterministic modes still apply.
+  analysis::summary_stats run(trial_grid cell,
+                              analysis::experiment_options opts) {
     if (cli_.seeds) cell.trials = cli_.seeds;
     apply_audit(cell);
     if (cli_.observe) cell.observe = true;
+    if (cli_.shard_mode) return run_sharded(std::move(cell), opts);
     maybe_trace(cell);
-    auto s = analysis::run_experiment(cell, engine_options());
+    auto s = analysis::run_experiment(cell, opts);
+    if (cli_.deterministic) analysis::clear_timing_measurements(s);
     record(s);
     return s;
   }
 
   // Runs several cells through one shared pool.
   std::vector<analysis::summary_stats> run_grid(std::vector<trial_grid> grid) {
+    if (cli_.shard_mode) {
+      // Shard artifacts are per-cell (records + meta echo); one cell at a
+      // time keeps the record/report plumbing in one place.  Each cell
+      // still runs on the full worker pool.
+      std::vector<analysis::summary_stats> out;
+      out.reserve(grid.size());
+      for (auto& cell : grid) out.push_back(run(std::move(cell)));
+      return out;
+    }
     if (cli_.seeds)
       for (auto& cell : grid) cell.trials = cli_.seeds;
     for (auto& cell : grid) {
@@ -187,6 +284,8 @@ class bench_harness {
     }
     if (!grid.empty()) maybe_trace(grid.front());
     auto out = analysis::run_experiment_grid(grid, engine_options());
+    if (cli_.deterministic)
+      for (auto& s : out) analysis::clear_timing_measurements(s);
     for (const auto& s : out) record(s);
     return out;
   }
@@ -196,12 +295,22 @@ class bench_harness {
   // here: a multi trial is not a single-object replay.
   std::vector<analysis::summary_stats> run_multi(
       std::vector<analysis::multi_grid> grid) {
+    // Multi-shot trials carry per-slot accounting that cannot be merged
+    // from trial records: shard 0 runs them whole, the rest skip.
+    if (cli_.shard_mode && cli_.shard_index != 0) {
+      std::vector<analysis::summary_stats> out(grid.size());
+      for (std::size_t i = 0; i < grid.size(); ++i)
+        out[i].label = grid[i].label;
+      return out;
+    }
     for (auto& cell : grid) {
       if (cli_.seeds) cell.trials = cli_.seeds;
       apply_audit_mode(cell.audit);
       if (cli_.observe) cell.observe = true;
     }
     auto out = analysis::run_multi_grid(grid, engine_options());
+    if (cli_.deterministic)
+      for (auto& s : out) analysis::clear_timing_measurements(s);
     for (const auto& s : out) record(s);
     return out;
   }
@@ -210,6 +319,10 @@ class bench_harness {
   void emit(const table& t, const std::string& title,
             const std::string& slug) {
     t.emit(title, slug);
+    // Tables aggregate whatever slice this process ran; recording them in
+    // a shard artifact would leak the slice into the merged document
+    // (which must match the --shard 0/1 reference byte for byte).
+    if (cli_.shard_mode) return;
     analysis::json jt = analysis::json::object();
     jt["title"] = analysis::json(title);
     jt["slug"] = analysis::json(slug);
@@ -284,6 +397,43 @@ class bench_harness {
     std::cout << "wrote " << cli_.trace_out << " (trace of '" << cell.label
               << "' trial 0, seed " << rec.seed << ", "
               << rec.result.obs->span_count << " spans)\n";
+  }
+
+  // A cell can be sharded iff its summary is a pure function of its
+  // per-trial records: no audit reports, probe columns, or observability
+  // counters (faulted cells qualify — fault accounting is per-record).
+  bool shardable(const trial_grid& cell) const {
+    return cell.audit.mode == analysis::audit_mode::off &&
+           cell.probes.empty() && !cell.observe;
+  }
+
+  analysis::summary_stats run_sharded(trial_grid cell,
+                                      analysis::experiment_options opts) {
+    if (!shardable(cell)) {
+      // Not mergeable from records: shard 0 runs the whole cell (the
+      // merge copies it verbatim), the other shards skip it.
+      if (cli_.shard_index != 0) {
+        analysis::summary_stats s;
+        s.label = cell.label;
+        return s;
+      }
+      maybe_trace(cell);
+      auto s = analysis::run_experiment(cell, opts);
+      if (cli_.deterministic) analysis::clear_timing_measurements(s);
+      record(s);
+      return s;
+    }
+    // The shard artifact ships every per-trial record; the merge rebuilds
+    // the cell from the union of those, so keep_records is forced on.
+    cell.keep_records = true;
+    opts.shard_index = cli_.shard_index;
+    opts.shard_count = cli_.shard_count;
+    if (cli_.shard_index == 0) maybe_trace(cell);
+    auto s = analysis::run_experiment(cell, opts);
+    if (cli_.deterministic) analysis::clear_timing_measurements(s);
+    report_["experiments"].push_back(
+        analysis::shard_cell_to_json(s, analysis::meta_of(cell)));
+    return s;
   }
 
   void apply_audit(trial_grid& cell) { apply_audit_mode(cell.audit); }

@@ -33,12 +33,17 @@ Options:
                     a bench can drop a cell in the same PR that refreshes
                     the baseline)
 
+When $GITHUB_STEP_SUMMARY is set (GitHub Actions exports it per step),
+the per-cell comparison is also appended there as a markdown table, so
+the run's Summary tab shows the numbers without digging through logs.
+
 Exit codes: 0 ok, 1 regression (or missing cells with --require-all),
 2 bad invocation / unreadable or mismatched artifacts.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -73,6 +78,31 @@ def load_cells(path, key):
     return cells
 
 
+def write_step_summary(key, threshold, rows, verdict):
+    """Appends the per-cell table as markdown to $GITHUB_STEP_SUMMARY.
+
+    `rows` is [(label, old, new, status)] with old/new possibly None
+    (missing / new cells).  A no-op outside GitHub Actions.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        f"### Bench comparison — `{key}` (threshold {threshold:.0%})",
+        "",
+        "| cell | baseline | candidate | delta | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for label, old, new, status in rows:
+        old_s = f"{old:,.1f}" if old is not None else "—"
+        new_s = f"{new:,.1f}" if new is not None else "—"
+        delta = f"{new / old - 1:+.1%}" if old and new else "—"
+        lines.append(f"| `{label}` | {old_s} | {new_s} | {delta} | {status} |")
+    lines += ["", f"**{verdict}**", ""]
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="fail on >threshold per-cell benchmark regression")
@@ -92,7 +122,7 @@ def main():
     if not base:
         die(f"compare_bench: no gated cells in {args.baseline}")
 
-    regressions, missing = [], []
+    regressions, missing, rows = [], [], []
     width = max(len(label) for label in base)
     print(f"compare_bench: {args.key} + multi slot_ops_p50, threshold "
           f"{args.threshold:.0%} ({args.baseline} -> "
@@ -101,6 +131,7 @@ def main():
         entry = cand.get(label)
         if entry is None:
             missing.append(label)
+            rows.append((label, old, None, "missing"))
             print(f"  {label:<{width}}  MISSING from candidate")
             continue
         new = entry[0]
@@ -108,22 +139,28 @@ def main():
         # metric points.
         ratio = new / old if higher_is_better else old / new
         flag = "" if ratio >= 1 - args.threshold else "  << REGRESSION"
+        rows.append((label, old, new, "regression ❌" if flag else "ok"))
         print(f"  {label:<{width}}  {old:14.1f} -> {new:14.1f}  "
               f"({new / old - 1:+7.1%}){flag}")
         if flag:
             regressions.append((label, old, new))
     for label in sorted(set(cand) - set(base)):
+        rows.append((label, None, cand[label][0], "new cell"))
         print(f"  {label:<{width}}  new cell (not in baseline)")
 
     if regressions:
         detail = ", ".join(f"{label} ({old:.1f} -> {new:.1f})"
                            for label, old, new in regressions)
-        print(f"compare_bench: FAIL — {len(regressions)} cell(s) regressed "
-              f"more than {args.threshold:.0%}: {detail}")
-        return 1
-    if missing and args.require_all:
-        print(f"compare_bench: FAIL — {len(missing)} baseline cell(s) "
-              f"missing: {', '.join(missing)}")
+        verdict = (f"FAIL — {len(regressions)} cell(s) regressed more "
+                   f"than {args.threshold:.0%}: {detail}")
+    elif missing and args.require_all:
+        verdict = (f"FAIL — {len(missing)} baseline cell(s) missing: "
+                   f"{', '.join(missing)}")
+    else:
+        verdict = "OK"
+    write_step_summary(args.key, args.threshold, rows, verdict)
+    if verdict != "OK":
+        print(f"compare_bench: {verdict}")
         return 1
     print("compare_bench: OK")
     return 0

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Sharded grid runner: fan one bench binary across N processes and merge.
+
+Launches N copies of a bench with ``--shard i/N`` (each runs the trial
+slice with index === i (mod N) of every shardable cell and serializes its
+per-trial records), waits for all of them, and merges the shard artifacts
+with modcon-merge into the single-process document.  The merge rebuilds
+every cell from the union of the records, so the merged artifact is
+byte-identical to the same bench invocation run with ``--shard 0/1`` —
+CI diffs exactly that.
+
+    scripts/grid_runner.py --bench build/bench/bench_e16_engine_micro \
+        --shards 4 --out /tmp/e16-shards --merge /tmp/BENCH_e16.json \
+        -- --seeds 200 --threads 1 --deterministic
+
+Everything after ``--`` is passed to every shard process verbatim (do
+not pass --shard or --json yourself; the runner owns both).
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="\n".join(__doc__.splitlines()[2:]),
+    )
+    parser.add_argument(
+        "--bench", required=True, help="bench binary to shard (built path)"
+    )
+    parser.add_argument(
+        "--shards", type=int, required=True, help="number of shard processes"
+    )
+    parser.add_argument(
+        "--out", required=True, help="directory for the per-shard artifacts"
+    )
+    parser.add_argument(
+        "--merge",
+        help="write the merged single-process artifact here (requires "
+        "modcon-merge; see --merge-tool)",
+    )
+    parser.add_argument(
+        "--merge-tool",
+        help="path to modcon-merge (default: tools/modcon-merge next to "
+        "the bench's build directory)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="max shard processes at once (default: all of them)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the commands without running anything",
+    )
+    parser.add_argument(
+        "bench_args",
+        nargs="*",
+        help="arguments after -- are forwarded to every shard",
+    )
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    forwarded = args.bench_args
+    for banned in ("--shard", "--json"):
+        if any(a == banned or a.startswith(banned + "=") for a in forwarded):
+            parser.error(f"{banned} is owned by the runner; do not pass it")
+    return args
+
+
+def default_merge_tool(bench_path):
+    # build/bench/bench_foo -> build/tools/modcon-merge
+    bench_dir = os.path.dirname(os.path.abspath(bench_path))
+    return os.path.join(os.path.dirname(bench_dir), "tools", "modcon-merge")
+
+
+def main(argv):
+    args = parse_args(argv)
+    bench_name = os.path.basename(args.bench)
+    shard_paths = [
+        os.path.join(args.out, f"{bench_name}.shard{i}of{args.shards}.json")
+        for i in range(args.shards)
+    ]
+    commands = [
+        [args.bench, "--shard", f"{i}/{args.shards}", "--json", shard_paths[i]]
+        + args.bench_args
+        for i in range(args.shards)
+    ]
+    merge_tool = args.merge_tool or default_merge_tool(args.bench)
+    merge_cmd = None
+    if args.merge:
+        merge_cmd = [merge_tool, "-o", args.merge] + shard_paths
+
+    if args.dry_run:
+        for cmd in commands:
+            print(" ".join(cmd))
+        if merge_cmd:
+            print(" ".join(merge_cmd))
+        return 0
+
+    os.makedirs(args.out, exist_ok=True)
+    jobs = args.jobs or args.shards
+    pending = list(enumerate(commands))
+    running = []
+    failed = False
+    while pending or running:
+        while pending and len(running) < jobs and not failed:
+            index, cmd = pending.pop(0)
+            log_path = shard_paths[index] + ".log"
+            log = open(log_path, "w")
+            print(f"[grid_runner] shard {index}/{args.shards}: {' '.join(cmd)}")
+            running.append(
+                (index, subprocess.Popen(cmd, stdout=log, stderr=log), log)
+            )
+        if not running:
+            break
+        index, proc, log = running.pop(0)
+        rc = proc.wait()
+        log.close()
+        if rc != 0:
+            print(
+                f"[grid_runner] shard {index} failed (exit {rc}); "
+                f"see {shard_paths[index]}.log",
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
+        return 1
+
+    if merge_cmd:
+        print(f"[grid_runner] merge: {' '.join(merge_cmd)}")
+        rc = subprocess.call(merge_cmd)
+        if rc != 0:
+            print(f"[grid_runner] merge failed (exit {rc})", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

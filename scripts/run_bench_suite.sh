@@ -9,8 +9,15 @@
 #   THREADS=N  trial-pool workers (default: hardware; results identical)
 #   BUILD=DIR  build directory (default build)
 #   OUT=DIR    artifact directory (default artifacts)
+#   ENGINE=E   trial engine: scalar | batch | auto (default auto)
 #
-# Example: SEEDS=1000 THREADS=8 scripts/run_bench_suite.sh
+# Flags:
+#   --shards N run each bench as N shard processes via
+#              scripts/grid_runner.py and merge with modcon-merge; the
+#              merged artifact is byte-identical to the single-process
+#              one (per-shard artifacts land in $OUT/shards/)
+#
+# Example: SEEDS=1000 THREADS=8 scripts/run_bench_suite.sh --shards 4
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +25,22 @@ SEEDS="${SEEDS:-100}"
 THREADS="${THREADS:-0}"
 BUILD="${BUILD:-build}"
 OUT="${OUT:-artifacts}"
+ENGINE="${ENGINE:-auto}"
+
+SHARDS=1
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --shards)
+      [ $# -ge 2 ] || { echo "--shards requires a value" >&2; exit 2; }
+      SHARDS="$2"
+      shift 2
+      ;;
+    *)
+      echo "unknown argument '$1' (supported: --shards N)" >&2
+      exit 2
+      ;;
+  esac
+done
 
 if [ ! -d "$BUILD/bench" ]; then
   echo "no $BUILD/bench — run: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
@@ -33,9 +56,16 @@ for b in "$BUILD"/bench/bench_e*; do
   # E11 embeds google-benchmark; keep the suite fast by running only the
   # engine-driven summary table.
   [ "$name" = "bench_e11_rt_threads" ] && extra=(--benchmark_filter=NONE)
-  echo "### $name (seeds=$SEEDS threads=$THREADS)"
-  "$b" --seeds "$SEEDS" --threads "$THREADS" \
-       --json "$OUT/BENCH_${name#bench_}.json" "${extra[@]}"
+  echo "### $name (seeds=$SEEDS threads=$THREADS engine=$ENGINE shards=$SHARDS)"
+  if [ "$SHARDS" -gt 1 ]; then
+    python3 scripts/grid_runner.py \
+      --bench "$b" --shards "$SHARDS" --out "$OUT/shards" \
+      --merge "$OUT/BENCH_${name#bench_}.json" \
+      -- --seeds "$SEEDS" --threads "$THREADS" --engine "$ENGINE" "${extra[@]}"
+  else
+    "$b" --seeds "$SEEDS" --threads "$THREADS" --engine "$ENGINE" \
+         --json "$OUT/BENCH_${name#bench_}.json" "${extra[@]}"
+  fi
 done
 
 echo "artifacts in $OUT/:"

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench.py (exit codes, merged artifacts, and the
+$GITHUB_STEP_SUMMARY markdown table).
+
+Run directly or via ctest (registered as compare_bench_py in
+tests/CMakeLists.txt).  The script under test is exercised the way CI
+uses it: as a subprocess over artifact files on disk.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+
+
+def artifact(cells, shard=None):
+    """A minimal modcon-bench document: {label: p50} or
+    {label: (p50, slot_ops_p50)}."""
+    doc = {"schema": "modcon-bench", "schema_version": 5, "experiments": []}
+    if shard is not None:
+        doc["shard"] = {"index": shard[0], "count": shard[1]}
+    for label, value in cells.items():
+        p50, slot = value if isinstance(value, tuple) else (value, None)
+        exp = {"label": label, "perf": {"steps_per_sec_p50": p50}}
+        if slot is not None:
+            exp["multi"] = {"slot_ops": {"p50": slot}}
+        doc["experiments"].append(exp)
+    return doc
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        return path
+
+    def run_compare(self, *argv, env_extra=None):
+        env = dict(os.environ)
+        env.pop("GITHUB_STEP_SUMMARY", None)
+        env.update(env_extra or {})
+        return subprocess.run(
+            [sys.executable, SCRIPT, *argv],
+            capture_output=True, text=True, env=env,
+        )
+
+    def test_ok_and_regression_exit_codes(self):
+        base = self.write("base.json", artifact({"cell/a": 100.0}))
+        good = self.write("good.json", artifact({"cell/a": 95.0}))
+        bad = self.write("bad.json", artifact({"cell/a": 50.0}))
+        self.assertEqual(self.run_compare(base, good).returncode, 0)
+        result = self.run_compare(base, bad)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_lower_is_better_slot_ops(self):
+        base = self.write("base.json", artifact({"multi": (100.0, 40.0)}))
+        # slot_ops went *down* — an improvement despite the raw drop.
+        good = self.write("good.json", artifact({"multi": (100.0, 20.0)}))
+        bad = self.write("bad.json", artifact({"multi": (100.0, 80.0)}))
+        self.assertEqual(self.run_compare(base, good).returncode, 0)
+        self.assertEqual(self.run_compare(base, bad).returncode, 1)
+
+    def test_merged_shard_artifact_candidate(self):
+        # A grid_runner + modcon-merge artifact keeps the shard header and
+        # carries cell_meta/records blocks; the gate must read it like any
+        # single-process artifact.
+        base = self.write("base.json", artifact({"cell/a": 100.0}))
+        merged = artifact({"cell/a": 98.0}, shard=(0, 1))
+        merged["experiments"][0]["cell_meta"] = {"label": "cell/a", "n": 16}
+        merged["experiments"][0]["records"] = [
+            {"trial_index": 0, "seed": 7, "steps": 123},
+        ]
+        cand = self.write("merged.json", merged)
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("cell/a", result.stdout)
+
+    def test_multiple_candidates_merge_by_label(self):
+        base = self.write(
+            "base.json", artifact({"cell/a": 100.0, "cell/b": 200.0}))
+        c1 = self.write("c1.json", artifact({"cell/a": 99.0}))
+        c2 = self.write("c2.json", artifact({"cell/b": 199.0}))
+        self.assertEqual(self.run_compare(base, c1, c2).returncode, 0)
+        # Without the second candidate, cell/b is missing: tolerated by
+        # default, fatal under --require-all.
+        self.assertEqual(self.run_compare(base, c1).returncode, 0)
+        self.assertEqual(
+            self.run_compare(base, c1, "--require-all").returncode, 1)
+
+    def test_bad_artifacts_exit_2(self):
+        base = self.write("base.json", artifact({"cell/a": 100.0}))
+        wrong = self.write("wrong.json", {"schema": "other"})
+        self.assertEqual(self.run_compare(wrong, base).returncode, 2)
+        self.assertEqual(
+            self.run_compare(base, os.path.join(self.tmp.name, "nope.json"))
+            .returncode, 2)
+
+    def test_github_step_summary_table(self):
+        base = self.write(
+            "base.json", artifact({"cell/a": 100.0, "cell/b": 200.0}))
+        cand = self.write(
+            "cand.json", artifact({"cell/a": 50.0, "cell/new": 10.0}))
+        summary = os.path.join(self.tmp.name, "summary.md")
+        result = self.run_compare(
+            base, cand, env_extra={"GITHUB_STEP_SUMMARY": summary})
+        self.assertEqual(result.returncode, 1)
+        with open(summary, encoding="utf-8") as fh:
+            text = fh.read()
+        self.assertIn("| cell | baseline | candidate | delta | status |",
+                      text)
+        self.assertIn("| `cell/a` | 100.0 | 50.0 | -50.0% | regression", text)
+        self.assertIn("| `cell/b` | 200.0 | — | — | missing |", text)
+        self.assertIn("| `cell/new` | — | 10.0 | — | new cell |", text)
+        self.assertIn("**FAIL", text)
+        # Appended, not truncated: a second run adds a second table.
+        self.run_compare(base, cand,
+                         env_extra={"GITHUB_STEP_SUMMARY": summary})
+        with open(summary, encoding="utf-8") as fh:
+            self.assertEqual(fh.read().count("### Bench comparison"), 2)
+
+    def test_no_summary_file_without_env(self):
+        base = self.write("base.json", artifact({"cell/a": 100.0}))
+        cand = self.write("cand.json", artifact({"cell/a": 100.0}))
+        self.assertEqual(self.run_compare(base, cand).returncode, 0)
+        self.assertFalse(
+            os.path.exists(os.path.join(self.tmp.name, "summary.md")))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,818 @@
+// The lockstep batch interpreter (see batch_engine.h for the contract).
+//
+// Bit-identity with the scalar engine rests on reproducing four streams
+// and one ordering exactly:
+//
+//   * trial seed:      derive_trial_seed(base_seed, trial_index);
+//   * scheduler:       rng_block over rng(seed ^ 0xadadadadadadadadULL),
+//                      one below(runnable_count) draw per executed step
+//                      (none when the lane is quiescent) — exactly
+//                      sim_world::run's uniform fast path;
+//   * process coins:   per pid, rng(splitmix64(seed') ^ (phi * (pid+1)))
+//                      with seed' advancing once per spawn, drawn only at
+//                      posting time of a nontrivial probabilistic write
+//                      (sim_env::draw_coin short-circuits certain and
+//                      impossible probabilities without a draw);
+//   * impatience:      impatience_schedule::stepper, stepped once per
+//                      conciliator read that observed ⊥ — the write that
+//                      read posts carries the pre-drawn coin;
+//   * runnable order:  spawn order 0..n-1 with sim_world's swap-remove on
+//                      halt (soa_runnable::remove).
+//
+// Each pc state below is one suspension point of the scalar coroutines;
+// a step executes the pending operation *and* runs the resume that posts
+// the next one (impatience advance + coin draw for a conciliator read of
+// ⊥, lazy part construction when a process moves to the next round),
+// which is exactly where sim_world::execute does that work.
+//
+// The hot loop earns its speed from four structural moves, none of which
+// touch the draw sequences:
+//   * the stepper's k-th output is a pure function of (schedule, n, k)
+//     and its saturation is monotone in k, so the per-process 48-byte
+//     stepper state collapses to a u32 attempt counter over one shared
+//     probability table per batch;
+//   * the pre-drawn coin folds into the pc word (write-hit and write-miss
+//     are distinct states), so a step is one switch on one u32 — and the
+//     pc is a u32 precisely so its stores cannot alias-clobber the
+//     compiler's view of every other array the way byte stores would;
+//   * everything a burst touches is hoisted to a raw local pointer; cold
+//     transitions (halts, part changes) go through member functions and
+//     the few invalidated locals are re-hoisted after;
+//   * the scheduler stream is a struct-local replica of rng_block (same
+//     source stream, same 64-draw refill order, same Lemire mapping), so
+//     its cursor lives in a register across a burst.
+#include "analysis/batch_engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/metrics.h"
+#include "analysis/perf.h"
+#include "core/types.h"
+#include "sim/batch_soa.h"
+#include "util/assertx.h"
+#include "util/prob.h"
+#include "util/rng.h"
+
+namespace modcon::analysis {
+
+const char* to_string(engine_kind e) {
+  switch (e) {
+    case engine_kind::scalar: return "scalar";
+    case engine_kind::batch: return "batch";
+    case engine_kind::auto_select: return "auto";
+  }
+  return "?";
+}
+
+std::optional<engine_kind> engine_from_string(std::string_view name) {
+  if (name == "scalar") return engine_kind::scalar;
+  if (name == "batch") return engine_kind::batch;
+  if (name == "auto") return engine_kind::auto_select;
+  return std::nullopt;
+}
+
+bool batch_supported(const trial_grid& cell) {
+  if (!cell.batch_hint) return false;
+  // The batcher implements exactly the neutral uniform scheduler; any
+  // custom adversary keeps the scalar oracle.
+  if (cell.make_adversary) return false;
+  // Fault-free, unaudited, unobserved cells only (atomic semantics are
+  // implied: a weakened-semantics plan is a non-empty fault plan).
+  if (!cell.faults.empty() || cell.faults_for) return false;
+  if (cell.audit.mode != audit_mode::off) return false;
+  if (!cell.probes.empty() || cell.observe) return false;
+  if (cell.n == 0) return false;
+  // Binary quorum ratifiers hold values {0, 1} only.
+  if (cell.batch_hint->family == batch_family::unbounded_impatient &&
+      cell.m > 2)
+    return false;
+  return true;
+}
+
+namespace {
+
+// Interpreter pc: each value is one suspension point of the scalar
+// coroutine programs, with the pending probabilistic write's pre-drawn
+// coin folded into the state (miss and hit are adjacent so the posting
+// side computes `kPcConcWriteMiss + coin`).
+enum : std::uint32_t {
+  kPcConcRead = 0,   // conciliator: read r pending
+  kPcConcWriteMiss,  // conciliator: prob-write pending, coin = 0
+  kPcConcWriteHit,   // conciliator: prob-write pending, coin = 1
+  kPcRatAnnounce,    // ratifier: announce write base+v <- 1 pending
+  kPcRatReadProp,    // ratifier: read proposal pending
+  kPcRatWriteProp,   // ratifier: write proposal <- pref pending
+  kPcRatReadQuorum,  // ratifier: read base+(1-pref) pending
+};
+
+// unbounded_consensus part schedule: R₋₁, R₀, then C_j, R_j alternating
+// (parts 0 and 1 are ratifiers; from 2 on, even = conciliator, odd =
+// ratifier).  Register footprint per part matches the scalar allocation
+// order exactly: a quorum_ratifier allocates its 2-register announce
+// block then the proposal register (3 cells), an impatient_conciliator
+// allocates 1.
+constexpr bool part_is_ratifier(std::size_t i) {
+  return i < 2 || i % 2 == 1;
+}
+constexpr std::uint32_t part_size(std::size_t i) {
+  return part_is_ratifier(i) ? 3 : 1;
+}
+
+// One shared impatience-table entry: the k-th stepper output for this
+// batch's (schedule, n).  num == den encodes certainty (prob::certain),
+// which mirrors sim_env::draw_coin's short-circuit — a certain write
+// consumes no rng draw.  (The stepper floors its numerator to 1 on every
+// renormalization, so no entry is ever impossible; init() checks that
+// invariant.)
+struct coin_entry {
+  std::uint64_t num = 0;
+  std::uint64_t den = 1;
+};
+
+// Per-process xoshiro256** state, laid out flat so the hot loop can
+// advance a local copy speculatively and commit it by mask (a coin draw
+// must consume state exactly when the scalar engine draws — on a
+// conciliator read of ⊥ with a non-certain probability — and a branch on
+// that data-dependent condition would mispredict half the time).
+struct xo_state {
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+};
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// rng::next, verbatim (util/rng.h) — replicated so the state can live in
+// plain locals.
+inline std::uint64_t xo_next(xo_state& g) {
+  const std::uint64_t result = rotl64(g.s1 * 5, 7) * 9;
+  const std::uint64_t t = g.s1 << 17;
+  g.s2 ^= g.s0;
+  g.s3 ^= g.s1;
+  g.s1 ^= g.s2;
+  g.s0 ^= g.s3;
+  g.s2 ^= t;
+  g.s3 = rotl64(g.s3, 45);
+  return result;
+}
+
+// rng's constructor, verbatim: four sequential splitmix64 draws.
+inline xo_state xo_seed(std::uint64_t seed) {
+  xo_state g;
+  g.s0 = splitmix64(seed);
+  g.s1 = splitmix64(seed);
+  g.s2 = splitmix64(seed);
+  g.s3 = splitmix64(seed);
+  return g;
+}
+
+// Struct-local replica of rng_block (util/rng.h): same source stream,
+// same 64-draw refill order, same Lemire below() mapping — so its draws
+// are position-for-position the scalar adversary's — but with the layout
+// owned here so the burst loop can keep the cursor in a register.
+struct sched_stream {
+  rng src{0};
+  std::array<std::uint64_t, 64> buf{};
+  std::uint32_t pos = 64;
+};
+
+class batch_interpreter {
+ public:
+  batch_interpreter(const trial_grid& cell, const batch_program& prog,
+                    const std::uint64_t* trial_indices, trial_record* out,
+                    std::size_t count)
+      : cell_(cell),
+        prog_(prog),
+        idx_(trial_indices),
+        out_(out),
+        lanes_(count),
+        n_(static_cast<std::uint32_t>(cell.n)),
+        max_steps_(cell.limits.max_steps),
+        table_stepper_(prog.schedule, cell.n) {}
+
+  void run() {
+    init();
+    const std::uint64_t t0 = perf_now_ns();
+    if (prog_.family == batch_family::impatient_conciliator) {
+      if (prog_.detect_success)
+        interpret<false, true>();
+      else
+        interpret<false, false>();
+    } else {
+      if (prog_.detect_success)
+        interpret<true, true>();
+      else
+        interpret<true, false>();
+    }
+    loop_ns_ = perf_now_ns() - t0;
+    finalize();
+  }
+
+ private:
+  static constexpr std::uint64_t kBurst = 256;
+
+  std::size_t at(std::size_t lane, std::uint32_t pid) const {
+    return lane * n_ + pid;
+  }
+
+  // --- spawn-equivalent setup (the scalar engine's schedule phase) ----
+  void init() {
+    const bool stacked = prog_.family == batch_family::unbounded_impatient;
+    const std::size_t total = lanes_ * n_;
+    sched_.resize(lanes_);
+    steps_.assign(lanes_, 0);
+    status_.assign(lanes_, sim::run_status::step_limit);
+    parts_built_.assign(lanes_, 0);
+    alloc_count_.assign(lanes_, 0);
+    inputs_.assign(total, 0);
+    prng_.assign(total, xo_state{});
+    ops_.assign(total, 0);
+    pc_.assign(total, kPcConcRead);
+    cnt_.assign(total, 0);
+    val_.assign(total, 0);
+    pref_.assign(total, 0);
+    out_word_.assign(total, 0);
+    halted_.assign(total, 0);
+    part_.assign(total, 0);
+    base_.assign(total, 0);
+    regs_.reset(lanes_);
+    run_.init(lanes_, n_);
+
+    // Shared impatience table: entry k is the k-th next() of a fresh
+    // stepper — exactly what every per-process stepper returns on its
+    // k-th call, so one table serves all (lane, pid) attempt counters.
+    // Saturation is monotone in k (the stepper latches), so the table is
+    // complete once it ends in a fixed point: a certain entry, or any
+    // entry of the constant g = 1 schedule.  The doubling schedule
+    // saturates within lg n + O(1) entries, so the eager build below
+    // almost always reaches the fixed point; degenerate slow-growth
+    // schedules extend on demand (table_overflow).
+    constant_tail_ = prog_.schedule.numer == prog_.schedule.denom;
+    table_.clear();
+    append_coin_entry();
+    while (!table_fixed_point() && table_.size() < 64) append_coin_entry();
+
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      const std::uint64_t t0 = perf_now_ns();
+      trial_record& rec = out_[lane];
+      rec = trial_record{};
+      rec.trial_index = idx_[lane];
+      rec.seed = derive_trial_seed(cell_.base_seed, idx_[lane]);
+
+      // Adversary stream: random_oblivious::reset.
+      sched_[lane].src = rng(rec.seed ^ 0xadadadadadadadadULL);
+      sched_[lane].pos = 64;
+
+      // Workload: same generator as the scalar path.
+      const std::vector<value_t> inputs =
+          make_inputs(cell_.pattern, n_, cell_.m, rec.seed);
+      std::copy(inputs.begin(), inputs.end(),
+                inputs_.begin() + static_cast<std::ptrdiff_t>(lane * n_));
+
+      // Process streams: sim_world::spawn seeds pid's rng from
+      // splitmix64(seed_) ^ (phi * (pid+1)) with the member seed_
+      // advancing once per spawn — replayed here on a local copy.
+      std::uint64_t seed_state = rec.seed;
+      for (std::uint32_t pid = 0; pid < n_; ++pid)
+        prng_[at(lane, pid)] = xo_seed(splitmix64(seed_state) ^
+                                      (0x9e3779b97f4a7c15ULL * (pid + 1)));
+
+      if (!stacked) {
+        // Bare conciliator: its register is allocated at build time,
+        // before any spawn; every process starts at the read.
+        regs_.ensure_rows(1);
+        regs_.row(0)[lane] = kBot;
+        alloc_count_[lane] = 1;
+        for (std::uint32_t pid = 0; pid < n_; ++pid) {
+          const std::size_t i = at(lane, pid);
+          val_[i] = inputs[pid];
+          base_[i] = 0;
+          pc_[i] = kPcConcRead;
+        }
+      } else {
+        // Unbounded stack: part 0 (the first ratifier) materializes when
+        // the first spawned process reaches it — i.e. during pid 0's
+        // spawn — and later pids reuse it, exactly as part() does.
+        for (std::uint32_t pid = 0; pid < n_; ++pid)
+          enter_part(lane, at(lane, pid), 0, inputs[pid]);
+      }
+      out_[lane].perf.ns[static_cast<std::size_t>(perf_phase::schedule)] +=
+          perf_now_ns() - t0;
+    }
+  }
+
+  bool table_fixed_point() const {
+    return table_.back().num == table_.back().den || constant_tail_;
+  }
+
+  void append_coin_entry() {
+    const prob p = table_stepper_.next();
+    MODCON_CHECK(!p.impossible());
+    table_.push_back({p.num(), p.den()});
+  }
+
+  // Cold: a process's attempt counter ran past the table.  Extends to
+  // cover k or to the fixed point, whichever comes first, and returns
+  // the entry index to use (the fixed point repeats forever).
+  std::uint32_t table_overflow(std::uint32_t k) {
+    while (table_.size() <= k && !table_fixed_point()) append_coin_entry();
+    return static_cast<std::uint32_t>(
+        std::min<std::size_t>(k, table_.size() - 1));
+  }
+
+  // Builds parts [parts_built_, i] of this lane's stack, in order — the
+  // batched image of unbounded_consensus::part's build-all-up-to-i loop
+  // plus the registers each part's constructor allocates.
+  void ensure_built(std::size_t lane, std::uint32_t i) {
+    while (parts_built_[lane] <= i) {
+      const std::uint32_t p = parts_built_[lane];
+      if (part_base_.size() <= p) {
+        const std::uint32_t next_base =
+            part_base_.empty()
+                ? 0
+                : part_base_.back() + part_size(part_base_.size() - 1);
+        part_base_.push_back(next_base);
+      }
+      const std::uint32_t b = part_base_[p];
+      regs_.ensure_rows(b + part_size(p));
+      if (part_is_ratifier(p)) {
+        regs_.row(b)[lane] = 0;         // announce board r0
+        regs_.row(b + 1)[lane] = 0;     // announce board r1
+        regs_.row(b + 2)[lane] = kBot;  // proposal
+      } else {
+        regs_.row(b)[lane] = kBot;  // conciliator register
+      }
+      alloc_count_[lane] = b + part_size(p);
+      parts_built_[lane] = p + 1;
+    }
+  }
+
+  void enter_part(std::size_t lane, std::size_t i, std::uint32_t part,
+                  word value) {
+    ensure_built(lane, part);
+    part_[i] = part;
+    base_[i] = part_base_[part];
+    val_[i] = value;
+    if (part_is_ratifier(part)) {
+      pc_[i] = kPcRatAnnounce;
+    } else {
+      // Fresh attempt counter per conciliator invocation, as the scalar
+      // invoke constructs a fresh stepper at entry.
+      cnt_[i] = 0;
+      pc_[i] = kPcConcRead;
+    }
+  }
+
+  void halt(std::size_t lane, std::uint32_t pid, std::size_t i, word w) {
+    out_word_[i] = w;
+    halted_[i] = 1;
+    run_.remove(lane, pid);
+  }
+
+  // Cold: a part of the composition returned (decide, value).  The bare
+  // conciliator halts its process; the stack decides or advances to the
+  // next part (unbounded_consensus's ++i loop).
+  template <bool Stacked>
+  void part_return(std::size_t lane, std::uint32_t pid, std::size_t i,
+                   bool decide, word value) {
+    if constexpr (!Stacked) {
+      halt(lane, pid, i, encode_decided({false, value}));
+      return;
+    }
+    if (decide) {
+      halt(lane, pid, i, encode_decided({true, value}));
+      return;
+    }
+    enter_part(lane, i, part_[i] + 1, value);
+  }
+
+  // Hoisted per-lane cursor block for the interleaved hot loop.  Every
+  // pointer is pre-offset to the lane's slice; the few cold transitions
+  // (halts, part changes) refresh `len` and `regs0` through the owning
+  // members.
+  struct lane_ctx {
+    std::uint64_t quota = 0;
+    std::uint64_t len = 0;
+    std::uint64_t steps = 0;
+    std::uint32_t spos = 0;
+    std::uint32_t lane = 0;
+    std::size_t pb = 0;
+    std::size_t stride = 0;
+    word rv = 0;  // family A's single register cell, cached
+    const std::uint32_t* list = nullptr;
+    std::uint32_t* pc = nullptr;
+    std::uint32_t* cnt = nullptr;
+    std::uint64_t* ops = nullptr;
+    const word* val = nullptr;
+    word* pref = nullptr;
+    const std::uint32_t* rbase = nullptr;
+    xo_state* xs = nullptr;
+    const std::uint64_t* sbuf = nullptr;
+    sched_stream* ss = nullptr;
+    word* regs0 = nullptr;
+  };
+
+  // Snapshot of the shared impatience table, hoisted out of the loop so
+  // its data pointer is not reloaded around every store; refreshed by
+  // the cold growth path.
+  struct coin_table_view {
+    const coin_entry* tbl = nullptr;
+    std::uint32_t size = 0;
+    bool fixed = false;
+  };
+
+  coin_table_view table_view() {
+    return {table_.data(), static_cast<std::uint32_t>(table_.size()),
+            table_fixed_point()};
+  }
+
+  template <bool Stacked>
+  void load_ctx(lane_ctx& c, std::size_t lane) {
+    c.lane = static_cast<std::uint32_t>(lane);
+    c.pb = lane * n_;
+    c.stride = lanes_;
+    c.quota = std::min<std::uint64_t>(kBurst, max_steps_ - steps_[lane]);
+    c.len = run_.count(lane);
+    c.steps = steps_[lane];
+    c.list = run_.lane_list(lane);
+    c.pc = pc_.data() + c.pb;
+    c.cnt = cnt_.data() + c.pb;
+    c.ops = ops_.data() + c.pb;
+    c.val = val_.data() + c.pb;
+    c.pref = pref_.data() + c.pb;
+    c.rbase = base_.data() + c.pb;
+    c.xs = prng_.data() + c.pb;
+    c.ss = &sched_[lane];
+    c.sbuf = c.ss->buf.data();
+    c.spos = c.ss->pos;
+    c.regs0 = regs_.row(0) + lane;
+    if constexpr (!Stacked) c.rv = *c.regs0;
+  }
+
+  template <bool Stacked>
+  void save_ctx(lane_ctx& c) {
+    c.ss->pos = c.spos;
+    steps_[c.lane] = c.steps;
+    if constexpr (!Stacked) *c.regs0 = c.rv;
+  }
+
+  // The lockstep loop: lanes run in interleaved groups of kGroup, each
+  // lane taking one step per pass.  A single lane's step is one long
+  // dependency chain (scheduler draw -> runnable slot -> pid state ->
+  // rng); interleaving independent lanes lets those chains overlap in
+  // the pipeline.  Lanes that quiesce or exhaust their budget drop out
+  // of their group and are swap-compacted from the active set (the
+  // divergence mask); lanes swapped in from the tail mid-sweep simply
+  // wait for the next sweep.  Lanes are independent, so none of this
+  // ordering is observable.
+  template <bool Stacked, bool Detect>
+  void interpret() {
+    constexpr std::size_t kGroup = 4;
+    active_.init(lanes_);
+    coin_table_view tv = table_view();
+    static_assert(kGroup == 4);
+    while (active_.size() > 0) {
+      for (std::size_t pos = 0; pos < active_.size(); pos += kGroup) {
+        const std::size_t g =
+            std::min<std::size_t>(kGroup, active_.size() - pos);
+        // Named locals (not an indexed array) so the hot cursors can be
+        // promoted to registers; slots >= g keep quota = 0 and are never
+        // stepped.
+        lane_ctx c0, c1, c2, c3;
+        if (g > 0) load_ctx<Stacked>(c0, active_[pos]);
+        if (g > 1) load_ctx<Stacked>(c1, active_[pos + 1]);
+        if (g > 2) load_ctx<Stacked>(c2, active_[pos + 2]);
+        if (g > 3) load_ctx<Stacked>(c3, active_[pos + 3]);
+        // A step that enters a new part can grow the register matrix and
+        // move its storage; the transitioning lane reloads its own
+        // pointers inside step_one, but its groupmates must be refreshed
+        // here before they step again.  (Family A never grows regs_.)
+        const word* rbase0 = regs_.row(0);
+        const auto resync = [&]() {
+          if constexpr (Stacked) {
+            if (regs_.row(0) != rbase0) [[unlikely]] {
+              rbase0 = regs_.row(0);
+              c0.regs0 = regs_.row(0) + c0.lane;
+              c1.regs0 = regs_.row(0) + c1.lane;
+              c2.regs0 = regs_.row(0) + c2.lane;
+              c3.regs0 = regs_.row(0) + c3.lane;
+            }
+          }
+        };
+        bool live = true;
+        while (live) {
+          live = false;
+          if (c0.quota > 0 && c0.len > 0) {
+            step_one<Stacked, Detect>(c0, tv);
+            live = true;
+            resync();
+          }
+          if (c1.quota > 0 && c1.len > 0) {
+            step_one<Stacked, Detect>(c1, tv);
+            live = true;
+            resync();
+          }
+          if (c2.quota > 0 && c2.len > 0) {
+            step_one<Stacked, Detect>(c2, tv);
+            live = true;
+            resync();
+          }
+          if (c3.quota > 0 && c3.len > 0) {
+            step_one<Stacked, Detect>(c3, tv);
+            live = true;
+            resync();
+          }
+        }
+        if (g > 0) save_ctx<Stacked>(c0);
+        if (g > 1) save_ctx<Stacked>(c1);
+        if (g > 2) save_ctx<Stacked>(c2);
+        if (g > 3) save_ctx<Stacked>(c3);
+        // Deactivate finished lanes, highest group slot first so the
+        // lower positions stay valid across the swap-removes.
+        const lane_ctx* slots[kGroup] = {&c0, &c1, &c2, &c3};
+        for (std::size_t j = g; j-- > 0;) {
+          const std::size_t lane = slots[j]->lane;
+          if (run_.count(lane) == 0) {
+            // Fault-free: quiescent means every process halted.  Checked
+            // before the budget, as sim_world::run reports all_halted
+            // even when quiescence lands on the last budgeted step.
+            status_[lane] = sim::run_status::all_halted;
+            active_.deactivate(pos + j);
+          } else if (steps_[lane] >= max_steps_) {
+            status_[lane] = sim::run_status::step_limit;
+            active_.deactivate(pos + j);
+          }
+        }
+      }
+    }
+  }
+
+  // One executed operation of one lane.
+  //
+  // The conciliator step — the vast majority of all steps — is written
+  // branch-free: the scheduler picks pids at random, so the pc state of
+  // the scheduled process is data-random and any branch on it would
+  // mispredict nearly every step.  Instead the step always loads the
+  // register, always advances a local copy of the process's rng, and
+  // selects the observable effects (register store, counter bump, rng
+  // commit, next pc) by mask/select, so that exactly the scalar engine's
+  // draws are consumed.  The remaining branches are genuinely rare or
+  // phase-coherent: halts, detecting-write returns, buffer refills,
+  // Lemire rejections, and table growth.
+  template <bool Stacked, bool Detect>
+  [[gnu::always_inline]] inline void step_one(lane_ctx& c,
+                                              coin_table_view& tv) {
+    // One scheduler draw per executed step (rng_block::below's Lemire
+    // mapping) over the lane's current runnable ordering.
+    std::uint64_t x = sched_next(c);
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * c.len;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < c.len) [[unlikely]] {
+      const std::uint64_t threshold = (0 - c.len) % c.len;
+      while (lo < threshold) {
+        x = sched_next(c);
+        m = static_cast<unsigned __int128>(x) * c.len;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    const std::uint32_t pid = c.list[static_cast<std::uint64_t>(m >> 64)];
+    ++c.ops[pid];
+    ++c.steps;
+    --c.quota;
+
+    const std::uint32_t state = c.pc[pid];
+    [[maybe_unused]] word* cell = nullptr;
+    word u;
+    if constexpr (!Stacked) {
+      // &rv is never taken: the cached cell value lives in a register,
+      // not a stack slot the store-forwarder has to chase.
+      u = c.rv;
+    } else {
+      const std::size_t i = c.pb + pid;
+      if (state > kPcConcWriteHit) {
+        // Ratifier phase (the minority of steps): a small switch.
+        const std::uint32_t b = c.rbase[pid];
+        switch (state) {
+          case kPcRatAnnounce:
+            c.regs0[(b + c.val[pid]) * c.stride] = 1;
+            c.pc[pid] = kPcRatReadProp;
+            break;
+          case kPcRatReadProp: {
+            const word w = c.regs0[(b + 2) * c.stride];
+            if (w != kBot) {
+              c.pref[pid] = w;
+              c.pc[pid] = kPcRatReadQuorum;
+            } else {
+              c.pref[pid] = c.val[pid];
+              c.pc[pid] = kPcRatWriteProp;
+            }
+            break;
+          }
+          case kPcRatWriteProp:
+            c.regs0[(b + 2) * c.stride] = c.pref[pid];
+            c.pc[pid] = kPcRatReadQuorum;
+            break;
+          default: {  // kPcRatReadQuorum
+            const word w = c.regs0[(b + (1 - c.pref[pid])) * c.stride];
+            part_return<Stacked>(c.lane, pid, i, w == 0, c.pref[pid]);
+            c.regs0 = regs_.row(0) + c.lane;
+            c.len = run_.count(c.lane);
+            break;
+          }
+        }
+        return;
+      }
+      cell = c.regs0 + c.rbase[pid] * c.stride;
+      u = *cell;
+    }
+
+    // Conciliator step, branch-free modulo the rare exits.
+    const bool is_read = state == kPcConcRead;
+    if (is_read && u != kBot) [[unlikely]] {
+      // First-mover observed: the conciliator returns (0, u).
+      part_return<Stacked>(c.lane, pid, c.pb + pid, false, u);
+      if constexpr (Stacked) c.regs0 = regs_.row(0) + c.lane;
+      c.len = run_.count(c.lane);
+      return;
+    }
+    const bool hit = state == kPcConcWriteHit;
+    // The pending write, applied iff hit (select, not branch).
+    if constexpr (!Stacked)
+      c.rv = hit ? c.val[pid] : c.rv;
+    else
+      *cell = hit ? c.val[pid] : u;
+    if constexpr (Detect) {
+      if (hit) {
+        // Detecting write: the result slot reports the pre-drawn coin
+        // (fault-free, coin == applied) and the invocation returns its
+        // own value.
+        part_return<Stacked>(c.lane, pid, c.pb + pid, false, c.val[pid]);
+        if constexpr (Stacked) c.regs0 = regs_.row(0) + c.lane;
+        c.len = run_.count(c.lane);
+        return;
+      }
+    }
+
+    // Posting side of the read's resume: impatience advance plus coin
+    // draw — executed speculatively, committed iff this step was a read
+    // (write steps post the next read, which draws nothing).
+    const std::uint32_t k = c.cnt[pid];
+    c.cnt[pid] = k + (is_read & (k != UINT32_MAX));  // saturating, cf. table
+    std::uint32_t ti = k < tv.size ? k : tv.size - 1;
+    if (is_read && k >= tv.size && !tv.fixed) [[unlikely]] {
+      ti = table_overflow(k);
+      tv = table_view();
+    }
+    const coin_entry e = tv.tbl[ti];
+    const bool certain = e.num == e.den;
+    const xo_state o = c.xs[pid];
+    xo_state g = o;
+    std::uint64_t r = xo_next(g);
+    unsigned __int128 cm = static_cast<unsigned __int128>(r) * e.den;
+    auto clo = static_cast<std::uint64_t>(cm);
+    bool coin_draw = static_cast<std::uint64_t>(cm >> 64) < e.num;
+    const bool consume = is_read & !certain;
+    if (clo < e.den) [[unlikely]] {
+      // rng::below's rejection loop; only a consumed draw may advance
+      // the stream further.
+      if (consume) {
+        const std::uint64_t threshold = (0 - e.den) % e.den;
+        while (clo < threshold) {
+          r = xo_next(g);
+          cm = static_cast<unsigned __int128>(r) * e.den;
+          clo = static_cast<std::uint64_t>(cm);
+        }
+        coin_draw = static_cast<std::uint64_t>(cm >> 64) < e.num;
+      }
+    }
+    xo_state* const gs = c.xs + pid;
+    gs->s0 = consume ? g.s0 : o.s0;
+    gs->s1 = consume ? g.s1 : o.s1;
+    gs->s2 = consume ? g.s2 : o.s2;
+    gs->s3 = consume ? g.s3 : o.s3;
+    const auto coin = static_cast<std::uint32_t>(certain | coin_draw);
+    c.pc[pid] = is_read ? kPcConcWriteMiss + coin : kPcConcRead;
+  }
+
+  // rng_block::next over the lane's scheduler stream: refill is 64
+  // source draws in order, consumed in order.
+  [[gnu::always_inline]] inline std::uint64_t sched_next(lane_ctx& c) {
+    if (c.spos == 64) [[unlikely]] {
+      rng s = c.ss->src;
+      for (auto& w : c.ss->buf) w = s.next();
+      c.ss->src = s;
+      c.spos = 0;
+    }
+    return c.sbuf[c.spos++];
+  }
+
+  void finalize() {
+    std::uint64_t total_steps = 0;
+    for (std::size_t lane = 0; lane < lanes_; ++lane)
+      total_steps += steps_[lane];
+    std::vector<value_t> sorted_inputs(n_);
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      trial_record& rec = out_[lane];
+      rec.result.status = status_[lane];
+      rec.result.total_ops = steps_[lane];
+      rec.result.steps = steps_[lane];
+      rec.result.registers = alloc_count_[lane];
+      std::uint64_t max_ops = 0;
+      for (std::uint32_t pid = 0; pid < n_; ++pid) {
+        const std::size_t i = at(lane, pid);
+        max_ops = std::max(max_ops, ops_[i]);
+        if (halted_[i]) {
+          rec.result.outputs.push_back(decode_decided(out_word_[i]));
+          rec.result.halted_pids.push_back(pid);
+        }
+      }
+      rec.result.max_individual_ops = max_ops;
+      // The interpreter loop's time, attributed per trial by its share of
+      // executed steps (floored to 1ns for a trial that stepped at all,
+      // so its step-rate sample exists like the scalar engine's).
+      if (steps_[lane] > 0 && total_steps > 0) {
+        const auto share = static_cast<std::uint64_t>(
+            static_cast<unsigned __int128>(loop_ns_) * steps_[lane] /
+            total_steps);
+        rec.perf.ns[static_cast<std::size_t>(perf_phase::step)] =
+            std::max<std::uint64_t>(1, share);
+      }
+      rec.wall_ms =
+          static_cast<double>(
+              rec.perf.ns[static_cast<std::size_t>(perf_phase::schedule)] +
+              rec.perf.ns[static_cast<std::size_t>(perf_phase::step)]) /
+          1e6;
+      {
+        phase_timer audit_timer(&rec.perf, perf_phase::audit);
+        const std::vector<decided> escaped = rec.result.all_outputs();
+        std::copy(inputs_.begin() + static_cast<std::ptrdiff_t>(lane * n_),
+                  inputs_.begin() +
+                      static_cast<std::ptrdiff_t>((lane + 1) * n_),
+                  sorted_inputs.begin());
+        std::sort(sorted_inputs.begin(), sorted_inputs.end());
+        rec.valid = check_validity_sorted(escaped, sorted_inputs);
+        rec.agreement = check_agreement(escaped);
+        rec.coherent = check_coherence(escaped);
+        rec.decided_all = all_decided(escaped);
+      }
+    }
+  }
+
+  const trial_grid& cell_;
+  batch_program prog_;
+  const std::uint64_t* idx_;
+  trial_record* out_;
+  std::size_t lanes_;
+  std::uint32_t n_;
+  std::uint64_t max_steps_;
+
+  // Shared impatience table (one per batch: same schedule, same n for
+  // every lane and process).
+  impatience_schedule::stepper table_stepper_;
+  std::vector<coin_entry> table_;
+  bool constant_tail_ = false;
+
+  // Per-lane state.
+  std::vector<sched_stream> sched_;
+  std::vector<std::uint64_t> steps_;
+  std::vector<sim::run_status> status_;
+  std::vector<std::uint32_t> parts_built_;
+  std::vector<std::uint32_t> alloc_count_;
+  std::vector<value_t> inputs_;  // lane-major, n_ per lane
+
+  // Per-(lane, process) state, lane-major.
+  std::vector<xo_state> prng_;
+  std::vector<std::uint64_t> ops_;
+  std::vector<std::uint32_t> pc_;
+  std::vector<std::uint32_t> cnt_;  // impatience attempt counter
+  std::vector<word> val_;
+  std::vector<word> pref_;
+  std::vector<word> out_word_;
+  std::vector<std::uint8_t> halted_;
+  std::vector<std::uint32_t> part_;
+  std::vector<std::uint32_t> base_;
+
+  sim::lane_matrix<word> regs_;  // register-major across lanes
+  sim::soa_runnable run_;
+  sim::lane_mask active_;
+  std::vector<std::uint32_t> part_base_;  // shared part -> register base
+
+  std::uint64_t loop_ns_ = 0;
+};
+
+}  // namespace
+
+void run_batch_trials(const trial_grid& cell, const batch_program& prog,
+                      const std::uint64_t* trial_indices, trial_record* out,
+                      std::size_t count) {
+  if (count == 0) return;
+  MODCON_CHECK_MSG(batch_supported(cell),
+                   "run_batch_trials on an unsupported cell '" << cell.label
+                                                              << "'");
+  batch_interpreter interp(cell, prog, trial_indices, out, count);
+  interp.run();
+}
+
+}  // namespace modcon::analysis

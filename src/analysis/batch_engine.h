@@ -1,0 +1,103 @@
+// Lockstep-batched trial engine: runs B independent sim trials of one
+// grid cell side by side through a direct interpreter, with per-trial
+// world state laid out struct-of-arrays across trials (sim/batch_soa.h).
+//
+// The batcher is an *engine substitution*, not a new semantics: for the
+// cells it supports it reproduces the scalar coroutine engine bit for
+// bit — the same splitmix64 per-trial seed derivation, the same
+// per-process rng streams (seeded exactly as sim_world::spawn does), the
+// same uniform-scheduler draw sequence (one rng_block draw per executed
+// step over the same runnable ordering), the same posting-time coin
+// draws, and the same trial_result fields.  tests/batch_engine_test.cpp
+// and the CI batch-equivalence step hold it to that contract; the scalar
+// engine stays the oracle and the fallback for everything the batcher
+// does not cover (adversaries other than random_oblivious, fault plans,
+// audits, probes, observation, rt cells).
+//
+// What it covers today (atomic registers, fault-free):
+//   * the bare impatient first-mover conciliator (Theorem 7), and
+//   * the unbounded impatient consensus stack over binary quorums
+//     (R₋₁; R₀; C₁; R₁; … with quorum ratifiers, §4.1 + §6.2),
+// each described by a `batch_program` attached to the cell as
+// trial_grid::batch_hint.  The hint is a *claim* that the cell's builder
+// constructs exactly that object graph; the equivalence tests are what
+// keep the claim honest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "core/conciliator/impatient.h"
+#include "core/consensus/stack_spec.h"
+
+namespace modcon::analysis {
+
+struct trial_grid;
+struct trial_record;
+
+// Engine selection for the experiment layer and the bench --engine flag.
+// `scalar` is the library default (existing callers and the determinism
+// goldens are untouched); `auto_select` uses the batcher exactly for the
+// cells that qualify (batch_supported) and falls back otherwise; `batch`
+// is auto_select with intent — unsupported cells still fall back, which
+// is what makes `--engine scalar` vs `--engine batch` artifacts
+// comparable byte-for-byte across a grid with a faulted cell in it.
+enum class engine_kind : std::uint8_t { scalar, batch, auto_select };
+
+const char* to_string(engine_kind e);
+std::optional<engine_kind> engine_from_string(std::string_view name);
+
+// The two interpreter programs the batcher implements.
+enum class batch_family : std::uint8_t {
+  impatient_conciliator,  // bare Theorem 7 conciliator, one register
+  unbounded_impatient,    // unbounded stack, binary quorum ratifiers
+};
+
+struct batch_program {
+  batch_family family = batch_family::impatient_conciliator;
+  impatience_schedule schedule{};
+  bool detect_success = false;  // Theorem 7 footnote detecting writes
+
+  friend bool operator==(const batch_program&, const batch_program&) =
+      default;
+};
+
+// Hint for a cell whose builder is a bare
+// `impatient_conciliator<sim_env>(mem, sched, detect)`.
+inline batch_program batch_impatient(impatience_schedule sched = {},
+                                     bool detect = false) {
+  return {batch_family::impatient_conciliator, sched, detect};
+}
+
+// Hint for a cell built from a stack_spec, or nullopt when the spec is
+// outside the batcher's coverage (non-unbounded protocols, the
+// fixed-probability conciliator, m > 2 / non-binary quorums, recoverable
+// stacks).
+inline std::optional<batch_program> batch_for(const stack_spec& spec) {
+  if (spec.protocol != protocol_kind::unbounded) return std::nullopt;
+  if (spec.conciliator != conciliator_kind::impatient) return std::nullopt;
+  if (spec.recoverable) return std::nullopt;
+  if (spec.m > 2) return std::nullopt;
+  if (spec.quorums != quorum_kind::adaptive &&
+      spec.quorums != quorum_kind::binary)
+    return std::nullopt;
+  return batch_program{batch_family::unbounded_impatient, spec.schedule,
+                       spec.detect_success};
+}
+
+// True iff the batcher can run this cell bit-identically: it carries a
+// batch_hint and uses the neutral scheduler with no faults, audits,
+// probes, or observation (the modes the scalar oracle keeps).
+bool batch_supported(const trial_grid& cell);
+
+// Runs `count` trials of `cell` (trial indices `trial_indices[0..count)`)
+// in lockstep and fills `out[0..count)` with records byte-identical to
+// what run_experiment's scalar path produces for the same indices
+// (timing fields excepted — those are measurements).  Thread-safe across
+// disjoint chunks: all state is local to the call.
+void run_batch_trials(const trial_grid& cell, const batch_program& prog,
+                      const std::uint64_t* trial_indices, trial_record* out,
+                      std::size_t count);
+
+}  // namespace modcon::analysis

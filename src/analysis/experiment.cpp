@@ -93,34 +93,52 @@ trial_record run_one_trial(const trial_grid& cell, std::uint64_t index,
   return rec;
 }
 
-// Serial, trial-ordered reduction of one cell's records — identical for
-// every thread count by construction.
-summary_stats reduce(const trial_grid& cell,
-                     std::vector<trial_record> records) {
-  const std::uint64_t reduce_t0 = perf_now_ns();
-  summary_stats s;
-  s.label = cell.label;
-  s.n = cell.n;
-  s.m = cell.m;
-  s.pattern = cell.pattern;
-  s.base_seed = cell.base_seed;
-  s.trials = records.size();
-  s.fault_profile =
-      cell.faults_for ? std::string("per-trial") : to_string(cell.faults);
-  s.audit_profile = to_string(cell.audit);
+}  // namespace
 
+cell_meta meta_of(const trial_grid& cell) {
+  cell_meta meta;
+  meta.label = cell.label;
+  meta.n = cell.n;
+  meta.m = cell.m;
+  meta.pattern = cell.pattern;
+  meta.base_seed = cell.base_seed;
+  meta.fault_profile =
+      cell.faults_for ? std::string("per-trial") : to_string(cell.faults);
+  meta.audit_profile = to_string(cell.audit);
   // A cell opts into the recovery block statically (recovery faults or
   // weakened semantics in its plan); individual trials opt in dynamically
   // when a per-trial plan (faults_for) injected either.
-  const bool recovery_cell =
+  meta.recovery_cell =
       !cell.faults.recoveries.empty() ||
       cell.faults.registers.semantics != sim::register_semantics::atomic;
-  s.recovery.semantics = sim::to_string(cell.faults.registers.semantics);
+  meta.semantics = sim::to_string(cell.faults.registers.semantics);
+  meta.probe_names.reserve(cell.probes.size());
+  for (const probe& p : cell.probes) meta.probe_names.push_back(p.name);
+  meta.keep_records = cell.keep_records;
+  return meta;
+}
+
+summary_stats reduce_records(const cell_meta& meta,
+                             std::vector<trial_record> records,
+                             bool time_serialize) {
+  const std::uint64_t reduce_t0 = time_serialize ? perf_now_ns() : 0;
+  summary_stats s;
+  s.label = meta.label;
+  s.n = meta.n;
+  s.m = meta.m;
+  s.pattern = meta.pattern;
+  s.base_seed = meta.base_seed;
+  s.trials = records.size();
+  s.fault_profile = meta.fault_profile;
+  s.audit_profile = meta.audit_profile;
+
+  const bool recovery_cell = meta.recovery_cell;
+  s.recovery.semantics = meta.semantics;
 
   constexpr std::size_t kMaxAuditExamples = 8;
   std::vector<double> total, indiv, steps, step_rate;
   std::vector<double> obs_stages, obs_spans, recov_to_dec;
-  std::vector<std::vector<double>> probe_samples(cell.probes.size());
+  std::vector<std::vector<double>> probe_samples(meta.probe_names.size());
   for (const trial_record& r : records) {
     s.wall_ms += r.wall_ms;
     s.perf += r.perf;
@@ -213,18 +231,18 @@ summary_stats reduce(const trial_grid& cell,
   s.obs.stages_to_decision = dist_summary::of(std::move(obs_stages));
   s.obs.spans_per_trial = dist_summary::of(std::move(obs_spans));
   s.recovery.recoveries_to_decision = dist_summary::of(std::move(recov_to_dec));
-  for (std::size_t i = 0; i < cell.probes.size(); ++i)
-    s.probes.emplace_back(cell.probes[i].name,
+  for (std::size_t i = 0; i < meta.probe_names.size(); ++i)
+    s.probes.emplace_back(meta.probe_names[i],
                           dist_summary::of(std::move(probe_samples[i])));
-  if (cell.keep_records) s.records = std::move(records);
+  if (meta.keep_records) s.records = std::move(records);
   // Explicit stop (no RAII into the NRVO-returned struct): the reduction
-  // itself is the cell's serialize cost.
-  s.perf.ns[static_cast<std::size_t>(perf_phase::serialize)] +=
-      perf_now_ns() - reduce_t0;
+  // itself is the cell's serialize cost.  The shard merge skips this —
+  // its artifact's perf block must be exactly the sum of the shards'.
+  if (time_serialize)
+    s.perf.ns[static_cast<std::size_t>(perf_phase::serialize)] +=
+        perf_now_ns() - reduce_t0;
   return s;
 }
-
-}  // namespace
 
 const char* to_string(audit_mode m) {
   switch (m) {
@@ -303,20 +321,40 @@ trial_record run_traced_trial(const trial_grid& cell,
 
 std::vector<summary_stats> run_experiment_grid(
     const std::vector<trial_grid>& grid, const experiment_options& opts) {
-  // Flatten the grid into (cell, trial) tasks with preassigned result
-  // slots; workers race only on the task cursor, never on results.
+  // Flatten the grid into (cell, slot-range) tasks with preassigned
+  // result slots; workers race only on the task cursor, never on
+  // results.  A shard runs record slot s of cell c as trial index
+  // shard_index + s * shard_count — the round-robin assignment keeps
+  // every shard's workload mix representative, and records carry their
+  // true trial indices so the merge re-interleaves them exactly.
   struct task {
     std::size_t cell;
-    std::uint64_t trial;
+    std::uint64_t slot;   // first record slot of this chunk
+    std::uint64_t count;  // chunk width (1 on the scalar path)
   };
+  const std::uint64_t stride = std::max<std::size_t>(1, opts.shard_count);
+  const std::uint64_t offset = opts.shard_index;
+  MODCON_CHECK_MSG(offset < stride, "shard_index must be < shard_count");
   std::vector<task> tasks;
   std::vector<std::vector<trial_record>> records(grid.size());
+  // Engine choice per cell: the batcher takes the cells it supports when
+  // asked; everything else keeps the scalar oracle.
+  std::vector<char> batched(grid.size(), 0);
+  std::uint64_t total_trials = 0;
   for (std::size_t c = 0; c < grid.size(); ++c) {
     MODCON_CHECK_MSG(grid[c].build != nullptr,
                      "trial_grid cell needs a builder");
-    records[c].resize(grid[c].trials);
-    for (std::uint64_t t = 0; t < grid[c].trials; ++t)
-      tasks.push_back({c, t});
+    const std::uint64_t slots =
+        grid[c].trials > offset ? (grid[c].trials - offset - 1) / stride + 1
+                                : 0;
+    records[c].resize(slots);
+    batched[c] =
+        opts.engine != engine_kind::scalar && batch_supported(grid[c]);
+    const std::uint64_t chunk =
+        batched[c] ? std::max<std::size_t>(1, opts.batch) : 1;
+    for (std::uint64_t slot = 0; slot < slots; slot += chunk)
+      tasks.push_back({c, slot, std::min<std::uint64_t>(chunk, slots - slot)});
+    total_trials += slots;
   }
 
   std::size_t workers = opts.threads
@@ -338,16 +376,30 @@ std::vector<summary_stats> run_experiment_grid(
         std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= tasks.size()) break;
         const task& tk = tasks[i];
-        records[tk.cell][tk.trial] = run_one_trial(grid[tk.cell], tk.trial);
+        if (batched[tk.cell]) {
+          std::vector<std::uint64_t> idxs(tk.count);
+          for (std::uint64_t k = 0; k < tk.count; ++k)
+            idxs[k] = offset + (tk.slot + k) * stride;
+          run_batch_trials(grid[tk.cell], *grid[tk.cell].batch_hint,
+                           idxs.data(), &records[tk.cell][tk.slot],
+                           tk.count);
+        } else {
+          for (std::uint64_t k = 0; k < tk.count; ++k)
+            records[tk.cell][tk.slot + k] =
+                run_one_trial(grid[tk.cell], offset + (tk.slot + k) * stride);
+        }
         if (opts.progress) {
-          const trial_record& r = records[tk.cell][tk.trial];
-          fault_events.fetch_add(
-              r.result.crashed_pids.size() + r.result.restarts,
-              std::memory_order_relaxed);
-          if (r.result.audit &&
-              r.result.audit->status == check::audit_status::violated)
-            audit_violations.fetch_add(1, std::memory_order_relaxed);
-          done.fetch_add(1, std::memory_order_relaxed);
+          std::uint64_t faults = 0, violations = 0;
+          for (std::uint64_t k = 0; k < tk.count; ++k) {
+            const trial_record& r = records[tk.cell][tk.slot + k];
+            faults += r.result.crashed_pids.size() + r.result.restarts;
+            if (r.result.audit &&
+                r.result.audit->status == check::audit_status::violated)
+              ++violations;
+          }
+          fault_events.fetch_add(faults, std::memory_order_relaxed);
+          audit_violations.fetch_add(violations, std::memory_order_relaxed);
+          done.fetch_add(tk.count, std::memory_order_relaxed);
         }
       }
     } catch (...) {
@@ -378,9 +430,9 @@ std::vector<summary_stats> run_experiment_grid(
                                           t0)
                 .count();
         const double rate = secs > 0.0 ? static_cast<double>(d) / secs : 0.0;
-        const std::size_t left = tasks.size() - d;
+        const std::size_t left = total_trials - d;
         std::ostringstream os;
-        os << "[experiment] " << d << "/" << tasks.size() << " trials  "
+        os << "[experiment] " << d << "/" << total_trials << " trials  "
            << std::fixed;
         os.precision(1);
         os << rate << " trials/s";
@@ -428,7 +480,7 @@ std::vector<summary_stats> run_experiment_grid(
   std::vector<summary_stats> out;
   out.reserve(grid.size());
   for (std::size_t c = 0; c < grid.size(); ++c)
-    out.push_back(reduce(grid[c], std::move(records[c])));
+    out.push_back(reduce_records(meta_of(grid[c]), std::move(records[c])));
   return out;
 }
 

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/batch_engine.h"
 #include "analysis/json_writer.h"
 #include "analysis/runner.h"
 #include "util/rng.h"
@@ -145,6 +146,11 @@ struct trial_grid {
   // Span trees are dropped after each trial (only their counts survive);
   // use run_traced_trial for a single trial with the full tree.
   bool observe = false;
+  // Claim that this cell's builder constructs exactly the object graph of
+  // one of the batch interpreter's programs (analysis/batch_engine.h).
+  // Only consulted when experiment_options::engine asks for batching and
+  // batch_supported() agrees; the scalar engine ignores it.
+  std::optional<batch_program> batch_hint;
 };
 
 // Everything measured about one trial.  Fields other than wall_ms and
@@ -324,7 +330,56 @@ struct experiment_options {
   // trials/sec, ETA, fault and audit-violation counts.  Reporting only —
   // results are unaffected.
   bool progress = false;
+  // Engine selection (analysis/batch_engine.h).  The library default
+  // stays `scalar` so existing callers — including the determinism
+  // goldens — are untouched; batch/auto_select route cells that satisfy
+  // batch_supported() through the lockstep interpreter (bit-identical by
+  // contract) and fall back to scalar for everything else.
+  engine_kind engine = engine_kind::scalar;
+  // Lockstep batch width for the batch engine: each worker task runs up
+  // to this many trials of one cell side by side.  Any value ≥ 1 gives
+  // identical results; only throughput changes.
+  std::size_t batch = 64;
+  // Shard selection for multi-process grid runs (scripts/grid_runner.py):
+  // this invocation runs the trials whose index ≡ shard_index (mod
+  // shard_count) of every cell.  The default 0/1 runs everything.
+  // Records keep their true trial indices, so a deterministic merge
+  // (analysis/shard.h) of all shards reproduces the single-process
+  // summary byte for byte.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
+
+// The slice of a trial_grid cell that reduction and serialization need —
+// everything except the builder and the callbacks, so a merge tool can
+// reconstitute summaries from serialized shard records without the cell
+// definition in hand (analysis/shard.h).
+struct cell_meta {
+  std::string label;
+  std::size_t n = 0;
+  std::uint64_t m = 0;
+  input_pattern pattern = input_pattern::half_half;
+  std::uint64_t base_seed = 0;
+  std::string fault_profile;
+  std::string audit_profile;
+  // Cell-level opt-in to the recovery block (recovery faults or weakened
+  // semantics in the static plan).
+  bool recovery_cell = false;
+  std::string semantics;
+  std::vector<std::string> probe_names;
+  bool keep_records = false;
+};
+
+cell_meta meta_of(const trial_grid& cell);
+
+// Serial, trial-ordered reduction of one cell's records — the shared
+// aggregation path under run_experiment_grid and the shard merge.
+// `time_serialize` self-times the reduction into perf.serialize_ms; the
+// merge passes false so a merged artifact's perf block is exactly the
+// sum of its shards' measurements.
+summary_stats reduce_records(const cell_meta& meta,
+                             std::vector<trial_record> records,
+                             bool time_serialize = true);
 
 // Zeroes every timing measurement in a summary and its retained records
 // (wall_ms, the perf counters, the steps/sec distribution), leaving only

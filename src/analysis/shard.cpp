@@ -1,0 +1,273 @@
+#include "analysis/shard.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "core/types.h"
+#include "util/assertx.h"
+
+namespace modcon::analysis {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) { throw json_error(msg); }
+
+const json& need(const json& obj, std::string_view key,
+                 const char* context) {
+  const json* v = obj.find(key);
+  if (v == nullptr)
+    fail(std::string("shard artifact: missing \"") + std::string(key) +
+         "\" in " + context);
+  return *v;
+}
+
+json pids_to_json(const std::vector<process_id>& pids) {
+  json arr = json::array();
+  for (process_id pid : pids) arr.push_back(json(pid));
+  return arr;
+}
+
+json decided_to_json(const std::vector<decided>& ds) {
+  json arr = json::array();
+  for (const decided& d : ds) arr.push_back(json(encode_decided(d)));
+  return arr;
+}
+
+std::vector<process_id> pids_from_json(const json& arr) {
+  std::vector<process_id> out;
+  out.reserve(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i)
+    out.push_back(static_cast<process_id>(arr.at(i).as_uint()));
+  return out;
+}
+
+std::vector<decided> decided_from_json(const json& arr) {
+  std::vector<decided> out;
+  out.reserve(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i)
+    out.push_back(decode_decided(arr.at(i).as_uint()));
+  return out;
+}
+
+}  // namespace
+
+json shard_cell_to_json(const summary_stats& s, const cell_meta& meta) {
+  MODCON_CHECK_MSG(s.audited == 0 && s.obs.trials == 0 && s.multi.trials == 0,
+                   "shard_cell_to_json: cell '"
+                       << s.label << "' carries non-shardable accounting");
+  json cell = to_json(s, /*include_records=*/false);
+
+  json cm = json::object();
+  cm["n"] = json(meta.n);
+  cm["m"] = json(meta.m);
+  cm["pattern"] = json(static_cast<unsigned>(meta.pattern));
+  cm["base_seed"] = json(meta.base_seed);
+  cm["fault_profile"] = json(meta.fault_profile);
+  cm["audit_profile"] = json(meta.audit_profile);
+  cm["recovery_cell"] = json(meta.recovery_cell);
+  cm["semantics"] = json(meta.semantics);
+  json probes = json::array();
+  for (const std::string& name : meta.probe_names) probes.push_back(json(name));
+  cm["probes"] = std::move(probes);
+  cm["keep_records"] = json(meta.keep_records);
+  cell["cell_meta"] = std::move(cm);
+
+  json recs = json::array();
+  for (const trial_record& r : s.records) {
+    json rec = json::object();
+    rec["trial"] = json(r.trial_index);
+    rec["seed"] = json(r.seed);
+    rec["status"] = json(static_cast<unsigned>(r.result.status));
+    rec["outputs"] = decided_to_json(r.result.outputs);
+    rec["halted"] = pids_to_json(r.result.halted_pids);
+    rec["crashed"] = pids_to_json(r.result.crashed_pids);
+    rec["crashed_outputs"] = decided_to_json(r.result.crashed_outputs);
+    rec["restarted"] = pids_to_json(r.result.restarted_pids);
+    rec["recovered"] = pids_to_json(r.result.recovered_pids);
+    rec["restarts"] = json(r.result.restarts);
+    rec["recoveries"] = json(r.result.recoveries);
+    rec["stale_reads"] = json(r.result.stale_reads);
+    rec["omitted_writes"] = json(r.result.omitted_writes);
+    rec["overlap_reads"] = json(r.result.overlap_reads);
+    rec["volatile_wipes"] = json(r.result.volatile_wipes);
+    rec["races"] = json(r.result.races);
+    rec["total_ops"] = json(r.result.total_ops);
+    rec["max_individual_ops"] = json(r.result.max_individual_ops);
+    rec["steps"] = json(r.result.steps);
+    rec["registers"] = json(r.result.registers);
+    rec["valid"] = json(r.valid);
+    rec["agreement"] = json(r.agreement);
+    rec["coherent"] = json(r.coherent);
+    rec["decided_all"] = json(r.decided_all);
+    json pr = json::array();
+    for (double v : r.probes) pr.push_back(json(v));
+    rec["probes"] = std::move(pr);
+    rec["wall_ms"] = json(r.wall_ms);
+    json perf = json::array();
+    for (std::size_t i = 0; i < kPerfPhaseCount; ++i)
+      perf.push_back(json(r.perf.ns[i]));
+    rec["perf_ns"] = std::move(perf);
+    recs.push_back(std::move(rec));
+  }
+  cell["records"] = std::move(recs);
+  return cell;
+}
+
+cell_meta cell_meta_from_json(const json& cell) {
+  const json& cm = need(cell, "cell_meta", "cell");
+  cell_meta meta;
+  meta.label = need(cell, "label", "cell").as_string();
+  meta.n = need(cm, "n", "cell_meta").as_uint();
+  meta.m = need(cm, "m", "cell_meta").as_uint();
+  meta.pattern = static_cast<input_pattern>(
+      need(cm, "pattern", "cell_meta").as_uint());
+  meta.base_seed = need(cm, "base_seed", "cell_meta").as_uint();
+  meta.fault_profile = need(cm, "fault_profile", "cell_meta").as_string();
+  meta.audit_profile = need(cm, "audit_profile", "cell_meta").as_string();
+  meta.recovery_cell = need(cm, "recovery_cell", "cell_meta").as_bool();
+  meta.semantics = need(cm, "semantics", "cell_meta").as_string();
+  const json& probes = need(cm, "probes", "cell_meta");
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    meta.probe_names.push_back(probes.at(i).as_string());
+  meta.keep_records = need(cm, "keep_records", "cell_meta").as_bool();
+  return meta;
+}
+
+std::vector<trial_record> records_from_json(const json& cell) {
+  const json& recs = need(cell, "records", "cell");
+  std::vector<trial_record> out;
+  out.reserve(recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const json& rec = recs.at(i);
+    trial_record r;
+    r.trial_index = need(rec, "trial", "record").as_uint();
+    r.seed = need(rec, "seed", "record").as_uint();
+    r.result.status = static_cast<sim::run_status>(
+        need(rec, "status", "record").as_uint());
+    r.result.outputs = decided_from_json(need(rec, "outputs", "record"));
+    r.result.halted_pids = pids_from_json(need(rec, "halted", "record"));
+    r.result.crashed_pids = pids_from_json(need(rec, "crashed", "record"));
+    r.result.crashed_outputs =
+        decided_from_json(need(rec, "crashed_outputs", "record"));
+    r.result.restarted_pids =
+        pids_from_json(need(rec, "restarted", "record"));
+    r.result.recovered_pids =
+        pids_from_json(need(rec, "recovered", "record"));
+    r.result.restarts = need(rec, "restarts", "record").as_uint();
+    r.result.recoveries = need(rec, "recoveries", "record").as_uint();
+    r.result.stale_reads = need(rec, "stale_reads", "record").as_uint();
+    r.result.omitted_writes =
+        need(rec, "omitted_writes", "record").as_uint();
+    r.result.overlap_reads = need(rec, "overlap_reads", "record").as_uint();
+    r.result.volatile_wipes =
+        need(rec, "volatile_wipes", "record").as_uint();
+    r.result.races = need(rec, "races", "record").as_uint();
+    r.result.total_ops = need(rec, "total_ops", "record").as_uint();
+    r.result.max_individual_ops =
+        need(rec, "max_individual_ops", "record").as_uint();
+    r.result.steps = need(rec, "steps", "record").as_uint();
+    r.result.registers = static_cast<std::uint32_t>(
+        need(rec, "registers", "record").as_uint());
+    r.valid = need(rec, "valid", "record").as_bool();
+    r.agreement = need(rec, "agreement", "record").as_bool();
+    r.coherent = need(rec, "coherent", "record").as_bool();
+    r.decided_all = need(rec, "decided_all", "record").as_bool();
+    const json& probes = need(rec, "probes", "record");
+    for (std::size_t k = 0; k < probes.size(); ++k)
+      r.probes.push_back(probes.at(k).as_double());
+    r.wall_ms = need(rec, "wall_ms", "record").as_double();
+    const json& perf = need(rec, "perf_ns", "record");
+    if (perf.size() != kPerfPhaseCount)
+      fail("shard artifact: record perf_ns arity mismatch");
+    for (std::size_t k = 0; k < kPerfPhaseCount; ++k)
+      r.perf.ns[k] = perf.at(k).as_uint();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+json merge_shard_reports(const std::vector<json>& shards) {
+  if (shards.empty()) fail("merge: no shard artifacts given");
+
+  // Validate headers and recover each shard's declared index.
+  const std::size_t count = shards.size();
+  std::vector<const json*> by_index(count, nullptr);
+  const std::string schema =
+      need(shards[0], "schema", "report").as_string();
+  const std::uint64_t version =
+      need(shards[0], "schema_version", "report").as_uint();
+  const std::string bench = need(shards[0], "bench", "report").as_string();
+  for (const json& doc : shards) {
+    if (need(doc, "schema", "report").as_string() != schema ||
+        need(doc, "schema_version", "report").as_uint() != version)
+      fail("merge: shard schema mismatch");
+    if (need(doc, "bench", "report").as_string() != bench)
+      fail("merge: shards come from different benches");
+    const json& sh = need(doc, "shard", "report");
+    const std::uint64_t idx = need(sh, "index", "shard").as_uint();
+    const std::uint64_t n = need(sh, "count", "shard").as_uint();
+    if (n != count) {
+      std::ostringstream os;
+      os << "merge: shard declares count " << n << " but " << count
+         << " artifacts were given";
+      fail(os.str());
+    }
+    if (idx >= count || by_index[idx] != nullptr)
+      fail("merge: shard indices are not exactly 0..count-1");
+    by_index[idx] = &doc;
+  }
+
+  // The merged document is shard 0's, with the shard header collapsed to
+  // the single-process identity and each sharded cell re-reduced from the
+  // union of the per-trial records.
+  json out = *by_index[0];
+  out["shard"]["index"] = json(0u);
+  out["shard"]["count"] = json(1u);
+
+  const json& base_exps = need(*by_index[0], "experiments", "report");
+  json merged_exps = json::array();
+  for (std::size_t e = 0; e < base_exps.size(); ++e) {
+    const json& cell0 = base_exps.at(e);
+    if (cell0.find("cell_meta") == nullptr) {
+      // Non-shardable cell: ran whole on shard 0 only.
+      merged_exps.push_back(cell0);
+      continue;
+    }
+    const std::string& label = need(cell0, "label", "cell").as_string();
+    const cell_meta meta = cell_meta_from_json(cell0);
+    std::vector<trial_record> records;
+    for (std::size_t i = 0; i < count; ++i) {
+      const json& exps = need(*by_index[i], "experiments", "report");
+      const json* cell = nullptr;
+      for (std::size_t k = 0; k < exps.size(); ++k)
+        if (const json* l = exps.at(k).find("label");
+            l != nullptr && l->as_string() == label) {
+          cell = &exps.at(k);
+          break;
+        }
+      if (cell == nullptr)
+        fail("merge: cell '" + label + "' missing from shard " +
+             std::to_string(i));
+      std::vector<trial_record> part = records_from_json(*cell);
+      records.insert(records.end(),
+                     std::make_move_iterator(part.begin()),
+                     std::make_move_iterator(part.end()));
+    }
+    // Restore the single-process record order; the round-robin shard
+    // assignment never duplicates an index.
+    std::sort(records.begin(), records.end(),
+              [](const trial_record& a, const trial_record& b) {
+                return a.trial_index < b.trial_index;
+              });
+    // No serialize self-timing: every timing field in the merged cell
+    // must derive from the shards' serialized measurements alone.
+    summary_stats s =
+        reduce_records(meta, std::move(records), /*time_serialize=*/false);
+    merged_exps.push_back(shard_cell_to_json(s, meta));
+  }
+  out["experiments"] = std::move(merged_exps);
+  return out;
+}
+
+}  // namespace modcon::analysis

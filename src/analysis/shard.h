@@ -1,0 +1,51 @@
+// Sharded grid artifacts and their deterministic merge.
+//
+// A sharded run (scripts/grid_runner.py) launches N bench processes, each
+// with experiment_options{shard_index = i, shard_count = N}: shard i runs
+// the trials of every cell whose index ≡ i (mod N) and serializes its
+// summary *with* the per-trial records (shard_cell_to_json), so the
+// merge can rebuild the cell from first principles instead of combining
+// pre-aggregated statistics — summed counts are summed exactly, and
+// percentiles are re-derived from the union of the serialized per-trial
+// samples, never approximated from per-shard quantiles.
+//
+// merge_shard_reports reorders shards by index, concatenates each cell's
+// records, sorts them by trial index (restoring the single-process record
+// order), and re-runs the same reduce_records path the engine itself
+// uses.  That construction — not a parallel implementation of it — is
+// what makes an N-way merged artifact byte-identical to the
+// single-process (--shard 0/1) artifact: both documents are
+// shard_cell_to_json over the same record sequence.  CI diffs exactly
+// that (with --deterministic pinning the timing fields to zero).
+#pragma once
+
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/json_writer.h"
+
+namespace modcon::analysis {
+
+// Serializes one cell summary for a shard artifact: the regular
+// to_json(s) document plus a "cell_meta" echo (enough to re-reduce
+// without the cell definition in hand) and a "records" array carrying
+// every deterministic trial_record field plus the timing measurements.
+// Requires s.records to be retained (trial_grid::keep_records) and the
+// cell to be shard-clean: no audit reports, obs records, or multi
+// accounting (the bench harness only shards such cells).
+json shard_cell_to_json(const summary_stats& s, const cell_meta& meta);
+
+// Inverse halves of shard_cell_to_json, used by the merge (and by tests
+// that want to inspect shard artifacts).
+cell_meta cell_meta_from_json(const json& cell);
+std::vector<trial_record> records_from_json(const json& cell);
+
+// Merges N shard artifacts (any order) into the single-process document.
+// Validates the headers (same schema/bench, shard counts equal to N,
+// indices exactly 0..N-1) and that every sharded cell appears in every
+// shard; throws json_error on any mismatch.  Cells without a "cell_meta"
+// block (non-shardable cells, run whole on shard 0) are copied verbatim
+// from shard 0.
+json merge_shard_reports(const std::vector<json>& shards);
+
+}  // namespace modcon::analysis

@@ -1,0 +1,139 @@
+// Struct-of-arrays views for lockstep trial batches.
+//
+// The batch engine (analysis/batch_engine.h) runs B independent trials of
+// one cell side by side, with every piece of per-trial world state laid
+// out *across* trials: register cells, runnable sets, pc/stage cursors.
+// These are the shared layout primitives:
+//
+//   * lane_matrix<T>    — register-major storage: row r is the B copies
+//     of register r, one per lane, contiguous.  Growing by rows (lazy
+//     part allocation in the unbounded stack) appends, so existing
+//     (register, lane) addresses never move mid-run.
+//   * soa_runnable      — per-lane runnable sets with exactly the
+//     swap-remove discipline of sim_world::remove_runnable, so the
+//     scheduler's `runnable[below(size)]` pick hits the same pid in lane
+//     L as the scalar engine does in trial L.
+//   * lane_mask         — the divergence mask over lanes: trials that
+//     halt or exhaust their budget early are swap-compacted out of the
+//     active set, so the lockstep loop only visits live lanes (the same
+//     shape a batched inference engine uses for finished sequences).
+//
+// All three are plain data over flat vectors — no per-step allocation,
+// no pointers into growable storage except row bases recomputed per use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assertx.h"
+
+namespace modcon::sim {
+
+// Register-major matrix: element (row, lane) at data[row * lanes + lane].
+// Rows added by ensure_rows are value-initialized; lanes (re)initialize
+// their own cells when they allocate a row, so one lane building deeper
+// than another never leaks state across trials.
+template <typename T>
+class lane_matrix {
+ public:
+  void reset(std::size_t lanes) {
+    lanes_ = lanes;
+    rows_ = 0;
+    data_.clear();
+  }
+
+  void ensure_rows(std::size_t rows) {
+    if (rows <= rows_) return;
+    rows_ = rows;
+    data_.resize(rows_ * lanes_);
+  }
+
+  std::size_t rows() const { return rows_; }
+
+  T* row(std::size_t r) { return data_.data() + r * lanes_; }
+  const T* row(std::size_t r) const { return data_.data() + r * lanes_; }
+
+ private:
+  std::size_t lanes_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<T> data_;
+};
+
+// Per-lane runnable sets over a fixed process count, flat across lanes.
+// remove() replicates sim_world::remove_runnable exactly (swap the last
+// element into the vacated slot); the resulting ordering is part of the
+// bit-identity contract — the uniform scheduler indexes into it.
+class soa_runnable {
+ public:
+  void init(std::size_t lanes, std::uint32_t n) {
+    n_ = n;
+    list_.assign(lanes * n, 0);
+    index_.assign(lanes * n, 0);
+    len_.assign(lanes, n);
+    for (std::size_t lane = 0; lane < lanes; ++lane)
+      for (std::uint32_t pid = 0; pid < n; ++pid) {
+        list_[lane * n + pid] = pid;
+        index_[lane * n + pid] = pid;
+      }
+  }
+
+  std::uint32_t count(std::size_t lane) const { return len_[lane]; }
+
+  // The pid in slot `slot` of lane `lane`'s runnable list.
+  std::uint32_t at(std::size_t lane, std::uint64_t slot) const {
+    return list_[lane * n_ + slot];
+  }
+
+  // Raw base of lane `lane`'s runnable list (n_ slots; the first count()
+  // are live).  The pointer stays valid across remove() — the hot loop
+  // hoists it once per burst.
+  const std::uint32_t* lane_list(std::size_t lane) const {
+    return list_.data() + lane * n_;
+  }
+
+  void remove(std::size_t lane, std::uint32_t pid) {
+    std::uint32_t* list = list_.data() + lane * n_;
+    std::uint32_t* index = index_.data() + lane * n_;
+    const std::uint32_t slot = index[pid];
+    if (slot == UINT32_MAX) return;
+    const std::uint32_t last = list[len_[lane] - 1];
+    list[slot] = last;
+    index[last] = slot;
+    --len_[lane];
+    index[pid] = UINT32_MAX;
+  }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::vector<std::uint32_t> list_;   // lane-major runnable lists
+  std::vector<std::uint32_t> index_;  // pid -> slot, UINT32_MAX = removed
+  std::vector<std::uint32_t> len_;
+};
+
+// Compacted active-lane set: the lockstep loop iterates ids()[0..size),
+// and a lane that finishes is swap-removed without disturbing the
+// iteration position of the lanes before it.
+class lane_mask {
+ public:
+  void init(std::size_t lanes) {
+    ids_.resize(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) ids_[i] = i;
+    size_ = lanes;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t operator[](std::size_t pos) const { return ids_[pos]; }
+
+  // Deactivates the lane at iteration position `pos` (not the lane id).
+  void deactivate(std::size_t pos) {
+    MODCON_CHECK(pos < size_);
+    ids_[pos] = ids_[size_ - 1];
+    --size_;
+  }
+
+ private:
+  std::vector<std::size_t> ids_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace modcon::sim

@@ -1,0 +1,270 @@
+// The lockstep batch engine (analysis/batch_engine.h): bit-identity with
+// the scalar oracle, divergence handling, engine selection/gating, and
+// the deterministic shard merge (analysis/shard.h).
+#include "analysis/batch_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/json_writer.h"
+#include "analysis/shard.h"
+#include "core/conciliator/impatient.h"
+#include "core/consensus/stack_spec.h"
+
+namespace modcon::analysis {
+namespace {
+
+using sim::sim_env;
+
+trial_grid conciliator_cell(impatience_schedule sched, bool detect) {
+  return {
+      .label = "conc",
+      .build =
+          [sched, detect](address_space& mem, std::size_t) {
+            return std::make_unique<impatient_conciliator<sim_env>>(
+                mem, sched, detect);
+          },
+      .n = 8,
+      .trials = 37,
+      .base_seed = 11,
+      .keep_records = true,
+      .batch_hint = batch_impatient(sched, detect),
+  };
+}
+
+trial_grid consensus_cell(stack_spec spec) {
+  return {
+      .label = "cons",
+      .build = stack_builder<sim_env>(spec),
+      .n = 6,
+      .trials = 40,
+      .base_seed = 5,
+      .keep_records = true,
+      .batch_hint = batch_for(spec),
+  };
+}
+
+// The full deterministic payload of both summaries must match: the JSON
+// document (with the timing measurements zeroed — those are the only
+// fields the bit-identity contract excludes) and every per-record field
+// the JSON doesn't carry at full width.
+void expect_identical(const trial_grid& cell, const experiment_options& a,
+                      const experiment_options& b) {
+  summary_stats sa = run_experiment(cell, a);
+  summary_stats sb = run_experiment(cell, b);
+  clear_timing_measurements(sa);
+  clear_timing_measurements(sb);
+  EXPECT_EQ(to_json(sa, true).dump(), to_json(sb, true).dump());
+  ASSERT_EQ(sa.records.size(), sb.records.size());
+  for (std::size_t i = 0; i < sa.records.size(); ++i) {
+    const trial_record& ra = sa.records[i];
+    const trial_record& rb = sb.records[i];
+    EXPECT_EQ(ra.seed, rb.seed) << "trial " << i;
+    EXPECT_EQ(ra.result.steps, rb.result.steps) << "trial " << i;
+    EXPECT_EQ(ra.result.total_ops, rb.result.total_ops) << "trial " << i;
+    EXPECT_EQ(ra.result.max_individual_ops, rb.result.max_individual_ops);
+    EXPECT_EQ(ra.result.registers, rb.result.registers) << "trial " << i;
+    EXPECT_EQ(static_cast<int>(ra.result.status),
+              static_cast<int>(rb.result.status))
+        << "trial " << i;
+    EXPECT_EQ(ra.result.halted_pids, rb.result.halted_pids) << "trial " << i;
+    ASSERT_EQ(ra.result.outputs.size(), rb.result.outputs.size());
+    for (std::size_t k = 0; k < ra.result.outputs.size(); ++k)
+      EXPECT_EQ(encode_decided(ra.result.outputs[k]),
+                encode_decided(rb.result.outputs[k]))
+          << "trial " << i << " pid slot " << k;
+    EXPECT_EQ(ra.valid, rb.valid);
+    EXPECT_EQ(ra.agreement, rb.agreement);
+    EXPECT_EQ(ra.coherent, rb.coherent);
+    EXPECT_EQ(ra.decided_all, rb.decided_all);
+  }
+}
+
+experiment_options scalar_opts() {
+  experiment_options o;
+  o.threads = 1;
+  return o;
+}
+
+experiment_options batch_opts(std::size_t batch, std::size_t threads) {
+  experiment_options o;
+  o.threads = threads;
+  o.engine = engine_kind::batch;
+  o.batch = batch;
+  return o;
+}
+
+// --- bit-identity with the scalar oracle --------------------------------
+
+TEST(BatchEngine, ConciliatorIdenticalAcrossBatchAndThreads) {
+  const trial_grid cell =
+      conciliator_cell(impatience_schedule{}, /*detect=*/false);
+  for (std::size_t batch : {1u, 7u, 8u, 64u})
+    for (std::size_t threads : {1u, 4u})
+      expect_identical(cell, scalar_opts(), batch_opts(batch, threads));
+}
+
+TEST(BatchEngine, DetectingConciliatorCustomSchedule) {
+  // detect_success returns at the write; schedule {3,2} drives the
+  // impatience table through non-trivial renormalization.
+  const trial_grid cell =
+      conciliator_cell(impatience_schedule{3, 2}, /*detect=*/true);
+  expect_identical(cell, scalar_opts(), batch_opts(7, 4));
+  expect_identical(cell, scalar_opts(), batch_opts(1, 1));
+}
+
+TEST(BatchEngine, ConsensusStackIdentical) {
+  expect_identical(consensus_cell(stack_for("impatient")), scalar_opts(),
+                   batch_opts(8, 2));
+}
+
+TEST(BatchEngine, DetectingConsensusStack) {
+  stack_spec spec = stack_for("impatient");
+  spec.detect_success = true;
+  expect_identical(consensus_cell(spec), scalar_opts(), batch_opts(8, 2));
+}
+
+TEST(BatchEngine, DivergentLanesAndStepLimit) {
+  // A tiny budget makes lanes finish at different steps and mixes
+  // all_halted with step_limit statuses: the divergence mask must retire
+  // each lane at exactly its scalar step count.
+  trial_grid cell = consensus_cell(stack_for("impatient"));
+  cell.n = 8;
+  cell.trials = 60;
+  cell.base_seed = 3;
+  cell.limits.max_steps = 70;
+  expect_identical(cell, scalar_opts(), batch_opts(16, 4));
+}
+
+TEST(BatchEngine, ZeroStepBudget) {
+  trial_grid cell = consensus_cell(stack_for("impatient"));
+  cell.limits.max_steps = 0;
+  expect_identical(cell, scalar_opts(), batch_opts(8, 1));
+}
+
+TEST(BatchEngine, SingleProcessUnanimous) {
+  trial_grid cell = conciliator_cell(impatience_schedule{}, false);
+  cell.n = 1;
+  cell.trials = 9;
+  cell.base_seed = 2;
+  cell.pattern = input_pattern::unanimous;
+  expect_identical(cell, scalar_opts(), batch_opts(4, 1));
+}
+
+// --- engine selection and gating ----------------------------------------
+
+TEST(BatchEngine, EngineNames) {
+  EXPECT_EQ(engine_from_string("scalar"), engine_kind::scalar);
+  EXPECT_EQ(engine_from_string("batch"), engine_kind::batch);
+  EXPECT_EQ(engine_from_string("auto"), engine_kind::auto_select);
+  EXPECT_FALSE(engine_from_string("vector").has_value());
+  EXPECT_FALSE(engine_from_string("").has_value());
+  EXPECT_STREQ(to_string(engine_kind::scalar), "scalar");
+  EXPECT_STREQ(to_string(engine_kind::batch), "batch");
+  EXPECT_STREQ(to_string(engine_kind::auto_select), "auto");
+}
+
+TEST(BatchEngine, BatchForGating) {
+  EXPECT_TRUE(batch_for(stack_for("impatient")).has_value());
+  stack_spec wide = stack_for("impatient");
+  wide.m = 8;  // binary quorum ratifiers hold {0, 1} only
+  EXPECT_FALSE(batch_for(wide).has_value());
+  stack_spec recoverable = stack_for("impatient");
+  recoverable.recoverable = true;
+  EXPECT_FALSE(batch_for(recoverable).has_value());
+}
+
+TEST(BatchEngine, SupportGating) {
+  trial_grid cell = conciliator_cell(impatience_schedule{}, false);
+  EXPECT_TRUE(batch_supported(cell));
+  trial_grid no_hint = cell;
+  no_hint.batch_hint.reset();
+  EXPECT_FALSE(batch_supported(no_hint));
+  trial_grid faulted = cell;
+  faulted.faults = fault_plan{}.crash(1, 12);
+  EXPECT_FALSE(batch_supported(faulted));
+  trial_grid audited = cell;
+  audited.audit.mode = audit_mode::all;
+  EXPECT_FALSE(batch_supported(audited));
+  trial_grid observed = cell;
+  observed.observe = true;
+  EXPECT_FALSE(batch_supported(observed));
+}
+
+TEST(BatchEngine, AutoFallsBackToScalarOnFaultedCells) {
+  // An unsupported cell under auto/batch runs the scalar oracle: results
+  // must equal a pure scalar run exactly.
+  trial_grid cell = consensus_cell(stack_for("impatient"));
+  cell.trials = 12;
+  cell.faults = fault_plan{}.crash(1, 12).regular_registers(8);
+  ASSERT_FALSE(batch_supported(cell));
+  experiment_options auto_opts;
+  auto_opts.threads = 2;
+  auto_opts.engine = engine_kind::auto_select;
+  expect_identical(cell, scalar_opts(), auto_opts);
+}
+
+// --- deterministic shard merge ------------------------------------------
+
+json shard_doc(const std::vector<trial_grid>& cells, std::size_t index,
+               std::size_t count) {
+  json doc = make_report_skeleton("scratch");
+  doc["shard"] = json::object();
+  doc["shard"]["index"] = json(index);
+  doc["shard"]["count"] = json(count);
+  for (const trial_grid& cell : cells) {
+    experiment_options o;
+    o.threads = 2;
+    o.engine = engine_kind::auto_select;
+    o.batch = 8;
+    o.shard_index = index;
+    o.shard_count = count;
+    summary_stats s = run_experiment(cell, o);
+    clear_timing_measurements(s);
+    doc["experiments"].push_back(shard_cell_to_json(s, meta_of(cell)));
+  }
+  return doc;
+}
+
+TEST(ShardMerge, MergedArtifactMatchesSingleProcessByteForByte) {
+  // One batched cell plus one faulted (scalar-fallback) cell: the merge
+  // must reassemble both kinds of record stream.
+  std::vector<trial_grid> cells;
+  cells.push_back(consensus_cell(stack_for("impatient")));
+  cells[0].trials = 50;
+  cells[0].base_seed = 9;
+  trial_grid faulted = consensus_cell(stack_for("impatient"));
+  faulted.label = "cons-faulted";
+  faulted.trials = 30;
+  faulted.base_seed = 13;
+  faulted.faults = fault_plan{}.crash(1, 12).regular_registers(8);
+  cells.push_back(faulted);
+
+  const std::string reference = shard_doc(cells, 0, 1).dump(2);
+  for (std::size_t ways : {2u, 4u, 8u}) {
+    std::vector<json> shards;
+    for (std::size_t i = 0; i < ways; ++i)
+      shards.push_back(shard_doc(cells, i, ways));
+    EXPECT_EQ(merge_shard_reports(shards).dump(2), reference)
+        << ways << "-way merge";
+  }
+}
+
+TEST(ShardMerge, RejectsMismatchedShardSets) {
+  std::vector<trial_grid> cells = {consensus_cell(stack_for("impatient"))};
+  cells[0].trials = 10;
+  std::vector<json> shards;
+  shards.push_back(shard_doc(cells, 0, 2));
+  // Missing shard 1/2: counts disagree with the artifact count.
+  EXPECT_THROW(merge_shard_reports(shards), json_error);
+  // Duplicate index.
+  shards.push_back(shard_doc(cells, 0, 2));
+  EXPECT_THROW(merge_shard_reports(shards), json_error);
+}
+
+}  // namespace
+}  // namespace modcon::analysis

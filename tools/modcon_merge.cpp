@@ -1,0 +1,93 @@
+// modcon-merge — deterministic merge of sharded bench artifacts.
+//
+//   modcon-merge [-o OUT.json] SHARD0.json SHARD1.json ...
+//
+// The inputs are the --shard I/N artifacts of one bench invocation
+// (scripts/grid_runner.py writes one per shard process); the output is
+// the single-process document: every sharded cell is rebuilt from the
+// union of the per-trial records (analysis/shard.h), so an N-way merge
+// is byte-identical to the same bench run with --shard 0/1.  Shards may
+// be given in any order; the headers carry their indices.
+//
+// Exit codes: 0 on success, 1 on malformed/mismatched artifacts or I/O
+// failure, 2 on bad usage.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/json_writer.h"
+#include "analysis/shard.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [-o OUT.json] SHARD.json...\n"
+            << "  merges --shard I/N bench artifacts into the\n"
+            << "  single-process document (stdout unless -o is given)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" || arg == "--out") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  try {
+    std::vector<modcon::analysis::json> shards;
+    shards.reserve(inputs.size());
+    for (const std::string& path : inputs) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "modcon-merge: cannot read " << path << "\n";
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      shards.push_back(modcon::analysis::json::parse(text.str()));
+    }
+    const modcon::analysis::json merged =
+        modcon::analysis::merge_shard_reports(shards);
+    // Same serialization as bench_harness::finish, so the artifact can be
+    // diffed byte for byte against a --shard 0/1 run.
+    const std::string doc = merged.dump(2) + "\n";
+    if (out_path.empty()) {
+      std::cout << doc;
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "modcon-merge: cannot write " << out_path << "\n";
+        return 1;
+      }
+      out << doc;
+      if (!out) {
+        std::cerr << "modcon-merge: error writing " << out_path << "\n";
+        return 1;
+      }
+      std::cout << "wrote " << out_path << " (" << inputs.size()
+                << " shard" << (inputs.size() == 1 ? "" : "s") << ")\n";
+    }
+  } catch (const modcon::analysis::json_error& e) {
+    std::cerr << "modcon-merge: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
