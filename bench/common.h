@@ -19,6 +19,14 @@
 //                 (trial 0 of the first cell) to F; single-threaded only
 //   --progress    live progress on stderr (trials/sec, ETA, fault and
 //                 audit counts) — reporting only, results unaffected
+//   --telemetry-out F
+//                 install the fleet telemetry bus (obs/telemetry.h) and
+//                 append cumulative modcon-telemetry v1 JSONL snapshots
+//                 to F while the bench runs; artifacts are unaffected
+//                 (byte-identical with the bus on or off)
+//   --telemetry-interval MS
+//                 snapshot cadence for --telemetry-out (default 1000;
+//                 0 = only the final line)
 //   --engine E    trial engine: scalar | batch | auto (default auto —
 //                 cells that qualify for the lockstep batch interpreter
 //                 use it, everything else keeps the scalar oracle;
@@ -47,6 +55,7 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -56,6 +65,7 @@
 #include "analysis/multi.h"
 #include "analysis/shard.h"
 #include "obs/perfetto.h"
+#include "obs/telemetry.h"
 #include "sim/adversaries/adversaries.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -69,7 +79,9 @@ struct cli_options {
   std::size_t threads = 0;  // 0 = one worker per hardware thread
   std::size_t seeds = 0;    // 0 = keep each cell's default trial count
   std::string json_path;
-  std::string trace_out;  // Perfetto trace of one trial; "" = off
+  std::string trace_out;      // Perfetto trace of one trial; "" = off
+  std::string telemetry_out;  // fleet telemetry JSONL; "" = off
+  std::uint32_t telemetry_interval_ms = 1000;  // --telemetry-out cadence
   bool observe = false;   // per-trial obs counters + "obs" JSON block
   bool progress = false;  // live stderr progress from the engine
   analysis::audit_mode audit = analysis::audit_mode::off;
@@ -119,6 +131,12 @@ struct cli_options {
         cli.json_path = next_value("--json");
       } else if (arg == "--trace-out") {
         cli.trace_out = next_value("--trace-out");
+      } else if (arg == "--telemetry-out") {
+        cli.telemetry_out = next_value("--telemetry-out");
+      } else if (arg == "--telemetry-interval") {
+        cli.telemetry_interval_ms = static_cast<std::uint32_t>(
+            std::strtoul(next_value("--telemetry-interval").c_str(), nullptr,
+                         10));
       } else if (arg == "--obs") {
         cli.observe = true;
       } else if (arg == "--progress") {
@@ -175,6 +193,10 @@ struct cli_options {
                      "schema v3.2 \"obs\" block to --json\n"
                   << "  --trace-out F  write a Perfetto trace_event JSON of "
                      "one trial (requires --threads 1)\n"
+                  << "  --telemetry-out F  append live modcon-telemetry v1 "
+                     "JSONL snapshots to F\n"
+                  << "  --telemetry-interval MS  telemetry snapshot cadence "
+                     "(default 1000; 0 = final line only)\n"
                   << "  --progress   live trial progress on stderr\n"
                   << "  --engine E   trial engine: scalar|batch|auto "
                      "(default auto; results byte-identical)\n"
@@ -225,6 +247,23 @@ class bench_harness {
       sh["index"] = analysis::json(cli_.shard_index);
       sh["count"] = analysis::json(cli_.shard_count);
       report_["shard"] = std::move(sh);
+    }
+    if (!cli_.telemetry_out.empty()) {
+      telemetry_bus_ = std::make_unique<obs::telemetry_bus>();
+      telemetry_install_.emplace(*telemetry_bus_);
+      obs::telemetry_writer_options wo;
+      wo.path = cli_.telemetry_out;
+      wo.interval_ms = cli_.telemetry_interval_ms;
+      wo.source = name_;
+      if (cli_.shard_mode) {
+        wo.shard_index = cli_.shard_index;
+        wo.shard_count = cli_.shard_count;
+      }
+      telemetry_writer_.emplace(*telemetry_bus_, wo);
+      if (!telemetry_writer_->ok()) {
+        std::cerr << "cannot write " << cli_.telemetry_out << "\n";
+        std::exit(1);
+      }
     }
   }
 
@@ -361,6 +400,10 @@ class bench_harness {
                 << " trial(s) violated checked properties (see above)\n";
       rc = 1;
     }
+    if (telemetry_writer_) {
+      telemetry_writer_->close();
+      std::cout << "wrote " << cli_.telemetry_out << " (telemetry)\n";
+    }
     return rc;
   }
 
@@ -466,6 +509,12 @@ class bench_harness {
   analysis::json report_;
   std::size_t audit_violations_ = 0;
   bool traced_ = false;
+  // Declaration order matters: the writer is destroyed first (emitting the
+  // final cumulative line while the bus is still installed), then the
+  // install is torn down, then the bus itself.
+  std::unique_ptr<obs::telemetry_bus> telemetry_bus_;
+  std::optional<obs::telemetry_install> telemetry_install_;
+  std::optional<obs::telemetry_writer> telemetry_writer_;
 };
 
 // Factory helpers for the adversaries every bench sweeps.

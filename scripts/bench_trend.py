@@ -1,0 +1,290 @@
+#!/usr/bin/env python3
+"""Bench trend pipeline: per-cell metric series over K historical artifacts.
+
+Takes an ordered run of BENCH_*.json artifacts (schema modcon-bench) —
+oldest first — and builds one series per (cell, metric), classifying the
+newest point against the history:
+
+  * steady              within threshold of the history's median
+  * improving           better than the median by more than threshold
+  * regression-one-off  worse than the median, but the history itself
+                        was stable — a single bad run (noise, a cold
+                        machine) rather than a trend
+  * regression-drift    worse than the median AND the history was
+                        already declining — sustained erosion that a
+                        pairwise baseline diff misreads as a small,
+                        tolerable step each time
+
+Three metrics are tracked per cell, matched by experiment label:
+
+  * perf.steps_per_sec_p50  (higher is better; timing measurement)
+  * rates.agreement         (higher is better; deterministic)
+  * multi.slot_ops.p50      (lower is better; deterministic cost)
+
+Usage:
+    scripts/bench_trend.py ART1.json ART2.json ... [options]
+    scripts/bench_trend.py --history DIR [options]
+
+With --history, every ``*.json`` directly in DIR is used, ordered by
+file modification time (oldest first) — the natural shape of a CI cache
+directory that each run appends its artifact to.
+
+Options:
+    --threshold F    fractional band around the median (default 0.10)
+    --out-json F     write the series + classifications as JSON
+    --markdown F     write the trend table as markdown ("-" = stdout)
+    --step-summary   append the markdown table to $GITHUB_STEP_SUMMARY
+    --fail-on-drift  exit 1 when any cell classifies regression-drift
+
+The classify/series helpers are importable (compare_bench.py --history
+reuses them to tell a one-off regression from drift).
+
+Exit codes: 0 ok, 1 drift with --fail-on-drift, 2 bad invocation or
+unreadable artifacts.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+SCHEMA = "modcon-bench-trend"
+VERSION = 1
+
+# (name, extractor, higher_is_better)
+METRICS = (
+    (
+        "steps_per_sec_p50",
+        lambda exp: exp.get("perf", {}).get("steps_per_sec_p50"),
+        True,
+    ),
+    (
+        "agreement",
+        lambda exp: exp.get("rates", {}).get("agreement"),
+        True,
+    ),
+    (
+        "slot_ops_p50",
+        lambda exp: exp.get("multi", {}).get("slot_ops", {}).get("p50"),
+        False,
+    ),
+)
+
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def die(message):
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
+def load_artifact(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        die(f"bench_trend: cannot read {path}: {err}")
+    if doc.get("schema") != "modcon-bench":
+        die(f"bench_trend: {path} is not a modcon-bench artifact "
+            f"(schema={doc.get('schema')!r})")
+    return doc
+
+
+def history_paths(directory):
+    """``*.json`` directly in ``directory``, oldest mtime first."""
+    try:
+        names = [
+            n for n in os.listdir(directory) if n.endswith(".json")
+        ]
+    except OSError as err:
+        die(f"bench_trend: cannot list {directory}: {err}")
+    paths = [os.path.join(directory, n) for n in names]
+    return sorted(paths, key=lambda p: (os.path.getmtime(p), p))
+
+
+def build_series(docs):
+    """{label: {metric: {"values": [...], "higher_is_better": bool}}} over
+    the artifact run.  A cell absent from one artifact simply skips that
+    point (series lengths may differ — classification only needs order)."""
+    series = {}
+    for doc in docs:
+        for exp in doc.get("experiments", []):
+            label = exp.get("label")
+            if not label:
+                continue
+            for name, extract, higher in METRICS:
+                value = extract(exp)
+                if isinstance(value, (int, float)) and value > 0:
+                    entry = series.setdefault(label, {}).setdefault(
+                        name, {"values": [], "higher_is_better": higher}
+                    )
+                    entry["values"].append(float(value))
+    return series
+
+
+def _ratio(new, old, higher_is_better):
+    """> 1 always means "got better", whichever way the metric points."""
+    if old <= 0 or new <= 0:
+        return 1.0
+    return new / old if higher_is_better else old / new
+
+
+def classify(values, threshold=0.10, higher_is_better=True):
+    """Classification of the newest point against its history.
+
+    Returns one of: "insufficient", "steady", "improving",
+    "regression-one-off", "regression-drift".
+    """
+    if len(values) < 2:
+        return "insufficient"
+    prev, last = values[:-1], values[-1]
+    baseline = statistics.median(prev)
+    r = _ratio(last, baseline, higher_is_better)
+    if r >= 1 + threshold:
+        return "improving"
+    if r < 1 - threshold:
+        # Worse than the history's median.  Drift if the history was
+        # already eroding before this point; one-off if it was stable.
+        if len(prev) >= 2:
+            prior = _ratio(
+                prev[-1], statistics.median(prev[:-1]), higher_is_better
+            )
+            if prior < 1 - threshold / 2:
+                return "regression-drift"
+        return "regression-one-off"
+    # Within the band of the median — but a slow, monotone-ish slide can
+    # stay within it every single run while losing a lot end to end.
+    if len(values) >= 4:
+        if _ratio(last, values[0], higher_is_better) < 1 - threshold:
+            return "regression-drift"
+    return "steady"
+
+
+def sparkline(values):
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK_GLYPHS[0] * len(values)
+    scale = (len(SPARK_GLYPHS) - 1) / (hi - lo)
+    return "".join(
+        SPARK_GLYPHS[int((v - lo) * scale)] for v in values
+    )
+
+
+def trend_rows(series, threshold):
+    """[(label, metric, values, classification)] sorted for the table."""
+    rows = []
+    for label in sorted(series):
+        for name, _, higher in METRICS:
+            entry = series[label].get(name)
+            if not entry:
+                continue
+            rows.append(
+                (
+                    label,
+                    name,
+                    entry["values"],
+                    classify(entry["values"], threshold, higher),
+                )
+            )
+    return rows
+
+
+def markdown_table(rows, threshold, artifact_count):
+    lines = [
+        f"### Bench trend — {artifact_count} artifact(s), "
+        f"threshold {threshold:.0%}",
+        "",
+        "| cell | metric | runs | oldest | newest | delta | trend | series |",
+        "| --- | --- | ---: | ---: | ---: | ---: | --- | --- |",
+    ]
+    for label, metric, values, verdict in rows:
+        oldest, newest = values[0], values[-1]
+        delta = f"{newest / oldest - 1:+.1%}" if oldest else "—"
+        marker = {"regression-drift": " ⚠️", "regression-one-off": " ❗"}.get(
+            verdict, ""
+        )
+        lines.append(
+            f"| `{label}` | {metric} | {len(values)} | {oldest:,.1f} "
+            f"| {newest:,.1f} | {delta} | {verdict}{marker} "
+            f"| `{sparkline(values)}` |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="per-cell metric trends over historical bench artifacts"
+    )
+    parser.add_argument("artifacts", nargs="*", help="oldest first")
+    parser.add_argument(
+        "--history", help="directory of artifacts, ordered by mtime"
+    )
+    parser.add_argument("--threshold", type=float, default=0.10)
+    parser.add_argument("--out-json")
+    parser.add_argument("--markdown")
+    parser.add_argument("--step-summary", action="store_true")
+    parser.add_argument("--fail-on-drift", action="store_true")
+    args = parser.parse_args(argv)
+    if not 0 <= args.threshold < 1:
+        parser.error("--threshold must be in [0, 1)")
+
+    paths = list(args.artifacts)
+    if args.history:
+        paths = history_paths(args.history) + paths
+    if not paths:
+        parser.error("no artifacts (pass paths or --history DIR)")
+
+    docs = [load_artifact(p) for p in paths]
+    series = build_series(docs)
+    if not series:
+        die("bench_trend: no gated cells in any artifact")
+    rows = trend_rows(series, args.threshold)
+    table = markdown_table(rows, args.threshold, len(paths))
+
+    if args.markdown == "-" or (
+        args.markdown is None and args.out_json is None
+    ):
+        sys.stdout.write(table)
+    elif args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(table)
+    if args.step_summary:
+        summary = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary:
+            with open(summary, "a", encoding="utf-8") as fh:
+                fh.write(table + "\n")
+    if args.out_json:
+        doc = {
+            "schema": SCHEMA,
+            "version": VERSION,
+            "threshold": args.threshold,
+            "artifacts": paths,
+            "cells": {
+                label: {
+                    metric: {
+                        "values": series[label][metric]["values"],
+                        "classification": verdict,
+                    }
+                    for lab2, metric, values, verdict in rows
+                    if lab2 == label
+                }
+                for label in sorted(series)
+            },
+        }
+        with open(args.out_json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+
+    drifts = [r for r in rows if r[3] == "regression-drift"]
+    if drifts:
+        detail = ", ".join(f"{label}/{metric}" for label, metric, _, _ in drifts)
+        print(f"bench_trend: drift in {len(drifts)} series: {detail}",
+              file=sys.stderr)
+        if args.fail_on_drift:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

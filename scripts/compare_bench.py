@@ -32,6 +32,15 @@ Options:
                     (default: missing cells are reported but tolerated, so
                     a bench can drop a cell in the same PR that refreshes
                     the baseline)
+    --history DIR   directory of prior artifacts (mtime-ordered, e.g. a CI
+                    cache each run appends to).  Each regression is then
+                    classified against that history with bench_trend.py's
+                    classifier: "one-off" (the history was stable — likely
+                    noise or a cold machine) vs "drift" (the metric was
+                    already eroding — the pairwise diff is catching a
+                    sustained decline, not a step).  Classification only
+                    annotates the report; the exit code still follows the
+                    baseline diff.
 
 When $GITHUB_STEP_SUMMARY is set (GitHub Actions exports it per step),
 the per-cell comparison is also appended there as a markdown table, so
@@ -78,6 +87,56 @@ def load_cells(path, key):
     return cells
 
 
+def load_history_series(directory, key):
+    """{gated label: [value, ...]} over the directory's artifacts, oldest
+    mtime first.  Non-bench or unreadable files are skipped (a history
+    cache may hold logs or trend JSON next to the artifacts)."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import bench_trend
+
+    series = {}
+    for path in bench_trend.history_paths(directory):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if doc.get("schema") != "modcon-bench":
+            continue
+        for exp in doc.get("experiments", []):
+            label = exp.get("label")
+            if not label:
+                continue
+            value = exp.get("perf", {}).get(key)
+            if isinstance(value, (int, float)) and value > 0:
+                series.setdefault(label, []).append(float(value))
+            slot = exp.get("multi", {}).get("slot_ops", {}).get("p50")
+            if isinstance(slot, (int, float)) and slot > 0:
+                series.setdefault(f"{label} [slot_ops_p50]", []).append(
+                    float(slot))
+    return series
+
+
+def classify_regression(history_series, label, new, threshold,
+                        higher_is_better):
+    """"one-off" / "drift" verdict for a regressed cell, or None when the
+    history has too few points to say."""
+    import bench_trend
+
+    values = history_series.get(label, [])
+    if len(values) < 2:
+        return None
+    verdict = bench_trend.classify(
+        values + [new], threshold, higher_is_better)
+    if verdict == "regression-drift":
+        return "drift"
+    if verdict == "regression-one-off":
+        return "one-off"
+    # The baseline diff flagged it but the history median tolerates it
+    # (e.g. the baseline was a high-water mark): still a one-off signal.
+    return "one-off"
+
+
 def write_step_summary(key, threshold, rows, verdict):
     """Appends the per-cell table as markdown to $GITHUB_STEP_SUMMARY.
 
@@ -111,10 +170,16 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.10)
     parser.add_argument("--key", default="steps_per_sec_p50")
     parser.add_argument("--require-all", action="store_true")
+    parser.add_argument("--history")
     args = parser.parse_args()
     if not 0 <= args.threshold < 1:
         parser.error("--threshold must be in [0, 1)")
+    if args.history and not os.path.isdir(args.history):
+        die(f"compare_bench: --history {args.history} is not a directory")
 
+    history_series = (
+        load_history_series(args.history, args.key) if args.history else None
+    )
     base = load_cells(args.baseline, args.key)
     cand = {}
     for path in args.candidates:
@@ -139,7 +204,19 @@ def main():
         # metric points.
         ratio = new / old if higher_is_better else old / new
         flag = "" if ratio >= 1 - args.threshold else "  << REGRESSION"
-        rows.append((label, old, new, "regression ❌" if flag else "ok"))
+        status = "ok"
+        if flag:
+            kind = None
+            if history_series is not None:
+                kind = classify_regression(
+                    history_series, label, new, args.threshold,
+                    higher_is_better)
+            if kind:
+                flag = f"  << REGRESSION ({kind})"
+                status = f"regression ({kind}) ❌"
+            else:
+                status = "regression ❌"
+        rows.append((label, old, new, status))
         print(f"  {label:<{width}}  {old:14.1f} -> {new:14.1f}  "
               f"({new / old - 1:+7.1%}){flag}")
         if flag:

@@ -13,14 +13,30 @@ CI diffs exactly that.
         --shards 4 --out /tmp/e16-shards --merge /tmp/BENCH_e16.json \
         -- --seeds 200 --threads 1 --deterministic
 
+With ``--telemetry-merge FILE`` each shard also gets a
+``--telemetry-out`` stream (``<out>/<bench>.shardIofN.telemetry.jsonl``)
+and the runner live-merges the fleet: every poll it sums the newest
+complete line of every shard stream (counters and histogram buckets add;
+cells merge by label; elapsed is the max) and appends one cumulative
+``modcon-telemetry`` line to FILE, so ``tools/modcon-top FILE`` — or the
+per-shard files themselves — shows the whole grid while it runs.
+
+If a shard fails, the runner terminates the remaining shards, prints the
+tail of the failing shard's log, removes the partial shard artifacts
+(the logs and telemetry streams are kept for debugging), and exits with
+the failing shard's exit code.
+
 Everything after ``--`` is passed to every shard process verbatim (do
-not pass --shard or --json yourself; the runner owns both).
+not pass --shard, --json, or --telemetry-out yourself; the runner owns
+them).
 """
 
 import argparse
+import json
 import os
 import subprocess
 import sys
+import time
 
 
 def parse_args(argv):
@@ -49,6 +65,18 @@ def parse_args(argv):
         "the bench's build directory)",
     )
     parser.add_argument(
+        "--telemetry-merge",
+        help="give every shard a --telemetry-out stream and append the "
+        "live fleet-merged modcon-telemetry lines here",
+    )
+    parser.add_argument(
+        "--telemetry-interval",
+        type=int,
+        default=1000,
+        help="shard snapshot cadence in ms (with --telemetry-merge; "
+        "default 1000)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=0,
@@ -70,7 +98,7 @@ def parse_args(argv):
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
     forwarded = args.bench_args
-    for banned in ("--shard", "--json"):
+    for banned in ("--shard", "--json", "--telemetry-out"):
         if any(a == banned or a.startswith(banned + "=") for a in forwarded):
             parser.error(f"{banned} is owned by the runner; do not pass it")
     return args
@@ -82,6 +110,106 @@ def default_merge_tool(bench_path):
     return os.path.join(os.path.dirname(bench_dir), "tools", "modcon-merge")
 
 
+def tail_lines(path, count=20):
+    """Last ``count`` lines of a file, or [] if unreadable."""
+    try:
+        with open(path, "r", errors="replace") as fh:
+            return fh.readlines()[-count:]
+    except OSError:
+        return []
+
+
+def latest_snapshot(path):
+    """Newest complete modcon-telemetry line of ``path``, or None.
+
+    A line mid-write fails to parse; the previous line (cumulative, so
+    still correct) is used instead.
+    """
+    try:
+        with open(path, "r") as fh:
+            lines = fh.read().splitlines()
+    except OSError:
+        return None
+    for line in reversed(lines):
+        try:
+            snap = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(snap, dict) and snap.get("schema") == "modcon-telemetry":
+            return snap
+    return None
+
+
+def merge_snapshots(snaps, source, tick):
+    """Fleet-merge: counters and histogram buckets sum, cells merge by
+    label, elapsed is the max — order-independent because every input is
+    cumulative-from-start."""
+    counters = {}
+    hists = {}
+    cells = {}
+    elapsed = 0.0
+    final = bool(snaps)
+    for snap in snaps:
+        elapsed = max(elapsed, float(snap.get("elapsed_ms", 0.0)))
+        final = final and bool(snap.get("final", False))
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, hist in snap.get("hists", {}).items():
+            merged = hists.setdefault(
+                name, {"count": 0, "sum": 0, "max": 0, "buckets": {}}
+            )
+            merged["count"] += int(hist.get("count", 0))
+            merged["sum"] += int(hist.get("sum", 0))
+            merged["max"] = max(merged["max"], int(hist.get("max", 0)))
+            for idx, cnt in hist.get("buckets", []):
+                merged["buckets"][idx] = merged["buckets"].get(idx, 0) + cnt
+        for label, cell in snap.get("cells", {}).items():
+            acc = cells.setdefault(label, {"trials": 0, "steps": 0})
+            acc["trials"] += int(cell.get("trials", 0))
+            acc["steps"] += int(cell.get("steps", 0))
+    return {
+        "schema": "modcon-telemetry",
+        "version": 1,
+        "tick": tick,
+        "elapsed_ms": elapsed,
+        "final": final,
+        "source": source,
+        "shard": 0,
+        "shard_count": 1,
+        "counters": counters,
+        "hists": {
+            name: {
+                "count": h["count"],
+                "sum": h["sum"],
+                "max": h["max"],
+                "buckets": [
+                    [i, h["buckets"][i]] for i in sorted(h["buckets"])
+                ],
+            }
+            for name, h in hists.items()
+        },
+        "cells": {label: cells[label] for label in sorted(cells)},
+    }
+
+
+def emit_merged_telemetry(telemetry_paths, out_fh, source, tick):
+    snaps = [latest_snapshot(p) for p in telemetry_paths]
+    snaps = [s for s in snaps if s is not None]
+    if not snaps:
+        return False
+    merged = merge_snapshots(snaps, source, tick)
+    out_fh.write(json.dumps(merged, separators=(",", ":")) + "\n")
+    out_fh.flush()
+    return merged["final"]
+
+
+def remove_quietly(path):
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
 def main(argv):
     args = parse_args(argv)
     bench_name = os.path.basename(args.bench)
@@ -89,11 +217,32 @@ def main(argv):
         os.path.join(args.out, f"{bench_name}.shard{i}of{args.shards}.json")
         for i in range(args.shards)
     ]
-    commands = [
-        [args.bench, "--shard", f"{i}/{args.shards}", "--json", shard_paths[i]]
-        + args.bench_args
-        for i in range(args.shards)
-    ]
+    telemetry_paths = []
+    if args.telemetry_merge:
+        telemetry_paths = [
+            os.path.join(
+                args.out,
+                f"{bench_name}.shard{i}of{args.shards}.telemetry.jsonl",
+            )
+            for i in range(args.shards)
+        ]
+    commands = []
+    for i in range(args.shards):
+        cmd = [
+            args.bench,
+            "--shard",
+            f"{i}/{args.shards}",
+            "--json",
+            shard_paths[i],
+        ]
+        if telemetry_paths:
+            cmd += [
+                "--telemetry-out",
+                telemetry_paths[i],
+                "--telemetry-interval",
+                str(args.telemetry_interval),
+            ]
+        commands.append(cmd + args.bench_args)
     merge_tool = args.merge_tool or default_merge_tool(args.bench)
     merge_cmd = None
     if args.merge:
@@ -107,40 +256,108 @@ def main(argv):
         return 0
 
     os.makedirs(args.out, exist_ok=True)
+    # Stale streams from a previous run would pollute the live merge.
+    for path in telemetry_paths:
+        remove_quietly(path)
+    telemetry_fh = None
+    telemetry_tick = 0
+    if args.telemetry_merge:
+        telemetry_fh = open(args.telemetry_merge, "w")
+
     jobs = args.jobs or args.shards
     pending = list(enumerate(commands))
     running = []
-    failed = False
-    while pending or running:
-        while pending and len(running) < jobs and not failed:
-            index, cmd = pending.pop(0)
-            log_path = shard_paths[index] + ".log"
-            log = open(log_path, "w")
-            print(f"[grid_runner] shard {index}/{args.shards}: {' '.join(cmd)}")
-            running.append(
-                (index, subprocess.Popen(cmd, stdout=log, stderr=log), log)
-            )
-        if not running:
-            break
-        index, proc, log = running.pop(0)
-        rc = proc.wait()
-        log.close()
-        if rc != 0:
-            print(
-                f"[grid_runner] shard {index} failed (exit {rc}); "
-                f"see {shard_paths[index]}.log",
-                file=sys.stderr,
-            )
-            failed = True
-    if failed:
-        return 1
+    failed_rc = 0
+    failed_index = None
+    try:
+        while pending or running:
+            while pending and len(running) < jobs and failed_rc == 0:
+                index, cmd = pending.pop(0)
+                log_path = shard_paths[index] + ".log"
+                log = open(log_path, "w")
+                print(
+                    f"[grid_runner] shard {index}/{args.shards}: "
+                    f"{' '.join(cmd)}"
+                )
+                running.append(
+                    (index, subprocess.Popen(cmd, stdout=log, stderr=log), log)
+                )
+            if not running:
+                break
+            # Poll instead of blocking on one shard: the telemetry merge
+            # must tick while every shard is mid-flight.
+            finished = None
+            while finished is None:
+                for slot, (index, proc, log) in enumerate(running):
+                    if proc.poll() is not None:
+                        finished = slot
+                        break
+                if finished is None:
+                    if telemetry_fh is not None:
+                        telemetry_tick += 1
+                        emit_merged_telemetry(
+                            telemetry_paths,
+                            telemetry_fh,
+                            bench_name,
+                            telemetry_tick,
+                        )
+                    time.sleep(
+                        min(0.5, args.telemetry_interval / 1000.0)
+                        if telemetry_fh is not None
+                        else 0.2
+                    )
+            index, proc, log = running.pop(finished)
+            rc = proc.returncode
+            log.close()
+            if rc != 0 and failed_rc == 0:
+                failed_rc = rc
+                failed_index = index
+                log_path = shard_paths[index] + ".log"
+                print(
+                    f"[grid_runner] shard {index} failed (exit {rc}); "
+                    f"log tail ({log_path}):",
+                    file=sys.stderr,
+                )
+                for line in tail_lines(log_path):
+                    sys.stderr.write("  | " + line)
+                # Wind down the rest of the fleet; their artifacts are
+                # partial by construction.
+                for _, other, _ in running:
+                    other.terminate()
+    finally:
+        for _, proc, log in running:
+            proc.wait()
+            log.close()
+
+    if failed_rc != 0:
+        print(
+            f"[grid_runner] aborted by shard {failed_index}; removing "
+            "partial shard artifacts (logs kept)",
+            file=sys.stderr,
+        )
+        for path in shard_paths:
+            remove_quietly(path)
+        if telemetry_fh is not None:
+            telemetry_fh.close()
+            remove_quietly(args.telemetry_merge)
+        return failed_rc
+
+    if telemetry_fh is not None:
+        # Final fleet line: every shard has flushed its "final" snapshot.
+        telemetry_tick += 1
+        emit_merged_telemetry(
+            telemetry_paths, telemetry_fh, bench_name, telemetry_tick
+        )
+        telemetry_fh.close()
+        print(f"[grid_runner] telemetry merge: {args.telemetry_merge}")
 
     if merge_cmd:
         print(f"[grid_runner] merge: {' '.join(merge_cmd)}")
         rc = subprocess.call(merge_cmd)
         if rc != 0:
             print(f"[grid_runner] merge failed (exit {rc})", file=sys.stderr)
-            return 1
+            remove_quietly(args.merge)
+            return rc
     return 0
 
 

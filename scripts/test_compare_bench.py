@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Unit tests for compare_bench.py (exit codes, merged artifacts, and the
-$GITHUB_STEP_SUMMARY markdown table).
+"""Unit tests for compare_bench.py (exit codes, merged artifacts, the
+$GITHUB_STEP_SUMMARY markdown table, and --history drift/one-off
+classification) plus bench_trend.py (classify() and the CLI).
 
 Run directly or via ctest (registered as compare_bench_py in
-tests/CMakeLists.txt).  The script under test is exercised the way CI
-uses it: as a subprocess over artifact files on disk.
+tests/CMakeLists.txt).  The scripts under test are exercised the way CI
+uses them: as subprocesses over artifact files on disk; classify() is
+also imported and unit-tested directly.
 """
 
 import json
@@ -14,8 +16,12 @@ import sys
 import tempfile
 import unittest
 
-SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                      "compare_bench.py")
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+SCRIPT = os.path.join(SCRIPTS_DIR, "compare_bench.py")
+TREND_SCRIPT = os.path.join(SCRIPTS_DIR, "bench_trend.py")
+
+sys.path.insert(0, SCRIPTS_DIR)
+import bench_trend  # noqa: E402
 
 
 def artifact(cells, shard=None):
@@ -134,6 +140,156 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(self.run_compare(base, cand).returncode, 0)
         self.assertFalse(
             os.path.exists(os.path.join(self.tmp.name, "summary.md")))
+
+    def write_history(self, values, label="cell/a"):
+        """A history dir of one-cell artifacts with increasing mtimes."""
+        hist = os.path.join(self.tmp.name, "history")
+        os.makedirs(hist, exist_ok=True)
+        t0 = 1_000_000_000
+        for i, value in enumerate(values):
+            path = os.path.join(hist, f"run{i}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(artifact({label: value}), fh)
+            os.utime(path, (t0 + i, t0 + i))
+        return hist
+
+    def test_history_one_off_vs_drift(self):
+        base = self.write("base.json", artifact({"cell/a": 100.0}))
+        bad = self.write("bad.json", artifact({"cell/a": 60.0}))
+        # Stable history: the bad candidate is a one-off.
+        hist = self.write_history([100.0, 101.0, 99.0, 100.0])
+        result = self.run_compare(base, bad, "--history", hist)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION (one-off)", result.stdout)
+        # Eroding history: the same candidate is drift.
+        hist = self.write_history([100.0, 92.0, 84.0, 76.0])
+        result = self.run_compare(base, bad, "--history", hist)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION (drift)", result.stdout)
+
+    def test_history_does_not_change_exit_code(self):
+        base = self.write("base.json", artifact({"cell/a": 100.0}))
+        good = self.write("good.json", artifact({"cell/a": 97.0}))
+        hist = self.write_history([100.0, 92.0, 84.0, 76.0])
+        # Still within the pairwise threshold: OK regardless of history.
+        self.assertEqual(
+            self.run_compare(base, good, "--history", hist).returncode, 0)
+
+    def test_history_skips_non_bench_files(self):
+        base = self.write("base.json", artifact({"cell/a": 100.0}))
+        bad = self.write("bad.json", artifact({"cell/a": 60.0}))
+        hist = self.write_history([100.0, 100.0, 100.0])
+        with open(os.path.join(hist, "trend.json"), "w") as fh:
+            json.dump({"schema": "modcon-bench-trend"}, fh)
+        with open(os.path.join(hist, "notes.json"), "w") as fh:
+            fh.write("not json at all")
+        result = self.run_compare(base, bad, "--history", hist)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION (one-off)", result.stdout)
+
+    def test_history_must_be_directory(self):
+        base = self.write("base.json", artifact({"cell/a": 100.0}))
+        result = self.run_compare(
+            base, base, "--history", os.path.join(self.tmp.name, "nope"))
+        self.assertEqual(result.returncode, 2)
+
+
+class BenchTrendClassifyTest(unittest.TestCase):
+    def test_insufficient_and_steady(self):
+        self.assertEqual(bench_trend.classify([100.0]), "insufficient")
+        self.assertEqual(
+            bench_trend.classify([100.0, 99.0, 101.0, 100.0]), "steady")
+
+    def test_one_off_vs_drift(self):
+        self.assertEqual(
+            bench_trend.classify([100.0, 101.0, 99.0, 60.0]),
+            "regression-one-off")
+        self.assertEqual(
+            bench_trend.classify([100.0, 92.0, 84.0, 60.0]),
+            "regression-drift")
+
+    def test_slow_drift_within_band_each_step(self):
+        # Each step is < 10% down but the run loses > 10% end to end.
+        self.assertEqual(
+            bench_trend.classify([100.0, 96.0, 92.0, 88.0]),
+            "regression-drift")
+
+    def test_improving(self):
+        self.assertEqual(
+            bench_trend.classify([100.0, 101.0, 99.0, 130.0]), "improving")
+
+    def test_lower_is_better(self):
+        # slot_ops rising = worse.
+        self.assertEqual(
+            bench_trend.classify(
+                [40.0, 41.0, 39.0, 60.0], higher_is_better=False),
+            "regression-one-off")
+        self.assertEqual(
+            bench_trend.classify(
+                [40.0, 41.0, 39.0, 20.0], higher_is_better=False),
+            "improving")
+
+
+class BenchTrendCliTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write_run(self, name, cells, mtime):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(artifact(cells), fh)
+        os.utime(path, (mtime, mtime))
+        return path
+
+    def run_trend(self, *argv):
+        env = dict(os.environ)
+        env.pop("GITHUB_STEP_SUMMARY", None)
+        return subprocess.run(
+            [sys.executable, TREND_SCRIPT, *argv],
+            capture_output=True, text=True, env=env,
+        )
+
+    def test_markdown_table_and_json(self):
+        t0 = 1_000_000_000
+        for i, v in enumerate([100.0, 92.0, 84.0, 76.0]):
+            self.write_run(f"run{i}.json", {"cell/a": v}, t0 + i)
+        out_json = os.path.join(self.tmp.name, "trend-out.json")
+        result = self.run_trend(
+            "--history", self.tmp.name, "--markdown", "-",
+            "--out-json", out_json)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("| cell | metric |", result.stdout)
+        self.assertIn("regression-drift", result.stdout)
+        with open(out_json, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        self.assertEqual(doc["schema"], "modcon-bench-trend")
+        cell = doc["cells"]["cell/a"]["steps_per_sec_p50"]
+        self.assertEqual(cell["values"], [100.0, 92.0, 84.0, 76.0])
+        self.assertEqual(cell["classification"], "regression-drift")
+
+    def test_fail_on_drift(self):
+        t0 = 1_000_000_000
+        for i, v in enumerate([100.0, 92.0, 84.0, 76.0]):
+            self.write_run(f"run{i}.json", {"cell/a": v}, t0 + i)
+        self.assertEqual(
+            self.run_trend("--history", self.tmp.name).returncode, 0)
+        self.assertEqual(
+            self.run_trend(
+                "--history", self.tmp.name, "--fail-on-drift").returncode, 1)
+
+    def test_explicit_artifact_order(self):
+        a = self.write_run("a.json", {"cell/a": 100.0}, 1_000_000_000)
+        b = self.write_run("b.json", {"cell/a": 100.0}, 1_000_000_001)
+        result = self.run_trend(a, b, "--markdown", "-")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("steady", result.stdout)
+
+    def test_bad_artifact_exits_2(self):
+        bad = os.path.join(self.tmp.name, "bad.json")
+        with open(bad, "w") as fh:
+            fh.write("{\"schema\": \"other\"}")
+        self.assertEqual(self.run_trend(bad).returncode, 2)
 
 
 if __name__ == "__main__":

@@ -50,6 +50,7 @@
 #include "analysis/metrics.h"
 #include "analysis/perf.h"
 #include "core/types.h"
+#include "obs/telemetry.h"
 #include "sim/batch_soa.h"
 #include "util/assertx.h"
 #include "util/prob.h"
@@ -182,7 +183,7 @@ class batch_interpreter {
  public:
   batch_interpreter(const trial_grid& cell, const batch_program& prog,
                     const std::uint64_t* trial_indices, trial_record* out,
-                    std::size_t count)
+                    std::size_t count, std::atomic<std::size_t>* retired)
       : cell_(cell),
         prog_(prog),
         idx_(trial_indices),
@@ -190,7 +191,8 @@ class batch_interpreter {
         lanes_(count),
         n_(static_cast<std::uint32_t>(cell.n)),
         max_steps_(cell.limits.max_steps),
-        table_stepper_(prog.schedule, cell.n) {}
+        table_stepper_(prog.schedule, cell.n),
+        retired_(retired) {}
 
   void run() {
     init();
@@ -474,6 +476,12 @@ class batch_interpreter {
     coin_table_view tv = table_view();
     static_assert(kGroup == 4);
     while (active_.size() > 0) {
+      // Divergence-mask occupancy, one sample per sweep over the active
+      // set: how full the lockstep lanes still are.  Sweeps are an
+      // engine-layout metric (they follow the chunking), not a
+      // deterministic per-trial quantity.
+      ++sweeps_;
+      occupancy_.record(active_.size());
       for (std::size_t pos = 0; pos < active_.size(); pos += kGroup) {
         const std::size_t g =
             std::min<std::size_t>(kGroup, active_.size() - pos);
@@ -540,9 +548,13 @@ class batch_interpreter {
             // even when quiescence lands on the last budgeted step.
             status_[lane] = sim::run_status::all_halted;
             active_.deactivate(pos + j);
+            if (retired_)
+              retired_->fetch_add(1, std::memory_order_relaxed);
           } else if (steps_[lane] >= max_steps_) {
             status_[lane] = sim::run_status::step_limit;
             active_.deactivate(pos + j);
+            if (retired_)
+              retired_->fetch_add(1, std::memory_order_relaxed);
           }
         }
       }
@@ -712,6 +724,21 @@ class batch_interpreter {
     std::uint64_t total_steps = 0;
     for (std::size_t lane = 0; lane < lanes_; ++lane)
       total_steps += steps_[lane];
+    // Batched trials bypass run_object_trial, so their share of the
+    // fleet counters is recorded here (the experiment worker adds only
+    // the per-record measurement histograms + cell accounting, for both
+    // engines uniformly — no double counting).
+    if (obs::telemetry_sink* ts = obs::tl_sink()) {
+      ts->add(obs::tcounter::trials_completed, lanes_);
+      ts->add(obs::tcounter::batch_trials, lanes_);
+      ts->add(obs::tcounter::batch_lanes_retired, lanes_);
+      ts->add(obs::tcounter::batch_sweeps, sweeps_);
+      ts->add(obs::tcounter::steps, total_steps);
+      ts->add(obs::tcounter::total_ops, total_steps);
+      for (std::size_t lane = 0; lane < lanes_; ++lane)
+        ts->record(obs::thist::trial_steps, steps_[lane]);
+      ts->merge(obs::thist::batch_occupancy, occupancy_);
+    }
     std::vector<value_t> sorted_inputs(n_);
     for (std::size_t lane = 0; lane < lanes_; ++lane) {
       trial_record& rec = out_[lane];
@@ -799,6 +826,9 @@ class batch_interpreter {
   sim::lane_mask active_;
   std::vector<std::uint32_t> part_base_;  // shared part -> register base
 
+  std::atomic<std::size_t>* retired_ = nullptr;  // live progress, optional
+  std::uint64_t sweeps_ = 0;
+  obs::log_histogram occupancy_;
   std::uint64_t loop_ns_ = 0;
 };
 
@@ -806,12 +836,12 @@ class batch_interpreter {
 
 void run_batch_trials(const trial_grid& cell, const batch_program& prog,
                       const std::uint64_t* trial_indices, trial_record* out,
-                      std::size_t count) {
+                      std::size_t count, std::atomic<std::size_t>* retired) {
   if (count == 0) return;
   MODCON_CHECK_MSG(batch_supported(cell),
                    "run_batch_trials on an unsupported cell '" << cell.label
                                                               << "'");
-  batch_interpreter interp(cell, prog, trial_indices, out, count);
+  batch_interpreter interp(cell, prog, trial_indices, out, count, retired);
   interp.run();
 }
 

@@ -24,6 +24,8 @@
 // keep the claim honest.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string_view>
@@ -96,8 +98,15 @@ bool batch_supported(const trial_grid& cell);
 // what run_experiment's scalar path produces for the same indices
 // (timing fields excepted — those are measurements).  Thread-safe across
 // disjoint chunks: all state is local to the call.
+//
+// `retired`, when non-null, is incremented once per lane as it leaves
+// the active set (halt or step limit) — live progress accounting for
+// chunked cells, reporting only.  The interpreter also feeds the
+// telemetry bus (obs/telemetry.h) when one is installed: lane
+// retirements, sweep count, and the divergence-mask occupancy histogram.
 void run_batch_trials(const trial_grid& cell, const batch_program& prog,
                       const std::uint64_t* trial_indices, trial_record* out,
-                      std::size_t count);
+                      std::size_t count,
+                      std::atomic<std::size_t>* retired = nullptr);
 
 }  // namespace modcon::analysis

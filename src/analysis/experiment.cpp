@@ -4,14 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <sstream>
 #include <thread>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>  // isatty, for the --progress carriage-return mode
-#endif
-
+#include "analysis/progress.h"
+#include "obs/telemetry.h"
 #include "sim/adversaries/adversaries.h"
 #include "util/assertx.h"
 
@@ -366,27 +363,39 @@ std::vector<summary_stats> run_experiment_grid(
   std::atomic<bool> failed{false};
   // Progress accounting (relaxed: the monitor tolerates slightly stale
   // values; the final line prints after every worker has joined).
-  std::atomic<std::size_t> done{0};
-  std::atomic<std::uint64_t> fault_events{0};
-  std::atomic<std::uint64_t> audit_violations{0};
+  progress_counters progress;
   std::vector<std::exception_ptr> errors(workers);
+  // The fleet learns the denominator up front: each shard plans only its
+  // own slice, so trials_planned sums across shards to the grid total
+  // and modcon-top's ETA is planned - completed over the live rate.
+  if (obs::telemetry_sink* ts = obs::tl_sink())
+    ts->add(obs::tcounter::trials_planned, total_trials);
   auto worker = [&](std::size_t wid) {
     try {
       while (!failed.load(std::memory_order_relaxed)) {
         std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= tasks.size()) break;
         const task& tk = tasks[i];
+        if (obs::telemetry_sink* ts = obs::tl_sink())
+          ts->add(obs::tcounter::trials_started, tk.count);
         if (batched[tk.cell]) {
           std::vector<std::uint64_t> idxs(tk.count);
           for (std::uint64_t k = 0; k < tk.count; ++k)
             idxs[k] = offset + (tk.slot + k) * stride;
+          // The interpreter retires lanes one by one into the progress
+          // counter, so a wide chunk advances the live line smoothly
+          // instead of landing as one lump at chunk completion.
           run_batch_trials(grid[tk.cell], *grid[tk.cell].batch_hint,
                            idxs.data(), &records[tk.cell][tk.slot],
-                           tk.count);
+                           tk.count,
+                           opts.progress ? &progress.done : nullptr);
         } else {
-          for (std::uint64_t k = 0; k < tk.count; ++k)
+          for (std::uint64_t k = 0; k < tk.count; ++k) {
             records[tk.cell][tk.slot + k] =
                 run_one_trial(grid[tk.cell], offset + (tk.slot + k) * stride);
+            if (opts.progress)
+              progress.done.fetch_add(1, std::memory_order_relaxed);
+          }
         }
         if (opts.progress) {
           std::uint64_t faults = 0, violations = 0;
@@ -397,9 +406,29 @@ std::vector<summary_stats> run_experiment_grid(
                 r.result.audit->status == check::audit_status::violated)
               ++violations;
           }
-          fault_events.fetch_add(faults, std::memory_order_relaxed);
-          audit_violations.fetch_add(violations, std::memory_order_relaxed);
-          done.fetch_add(tk.count, std::memory_order_relaxed);
+          progress.fault_events.fetch_add(faults, std::memory_order_relaxed);
+          progress.audit_violations.fetch_add(violations,
+                                              std::memory_order_relaxed);
+        }
+        if (obs::telemetry_sink* ts = obs::tl_sink()) {
+          // Measurement histograms and per-cell totals, engine-uniform.
+          // The deterministic per-trial counters were already recorded
+          // at trial level (run_object_trial, or the batch finalizer).
+          std::uint64_t cell_steps = 0;
+          for (std::uint64_t k = 0; k < tk.count; ++k) {
+            const trial_record& r = records[tk.cell][tk.slot + k];
+            cell_steps += r.result.steps;
+            ts->record(obs::thist::trial_latency_us,
+                       static_cast<std::uint64_t>(r.wall_ms * 1000.0));
+            const std::uint64_t step_ns =
+                r.perf.ns[static_cast<std::size_t>(perf_phase::step)];
+            if (step_ns > 0)
+              ts->record(obs::thist::steps_per_sec,
+                         static_cast<std::uint64_t>(
+                             static_cast<double>(r.result.steps) * 1e9 /
+                             static_cast<double>(step_ns)));
+          }
+          ts->cell(grid[tk.cell].label, tk.count, cell_steps);
         }
       }
     } catch (...) {
@@ -408,59 +437,10 @@ std::vector<summary_stats> run_experiment_grid(
     }
   };
 
-  // Live progress (stderr, reporting only).  On a terminal the line
-  // redraws in place; piped output gets a full line at a slower cadence
-  // so logs stay readable.
-  std::jthread monitor;
-  if (opts.progress && !tasks.empty()) {
-    monitor = std::jthread([&](std::stop_token st) {
-#if defined(__unix__) || defined(__APPLE__)
-      const bool tty = isatty(fileno(stderr)) != 0;
-#else
-      const bool tty = false;
-#endif
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto cadence = tty ? std::chrono::milliseconds(250)
-                               : std::chrono::milliseconds(2000);
-      auto next = t0 + cadence;
-      auto emit = [&](bool final_line) {
-        const std::size_t d = done.load(std::memory_order_relaxed);
-        const double secs =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0)
-                .count();
-        const double rate = secs > 0.0 ? static_cast<double>(d) / secs : 0.0;
-        const std::size_t left = total_trials - d;
-        std::ostringstream os;
-        os << "[experiment] " << d << "/" << total_trials << " trials  "
-           << std::fixed;
-        os.precision(1);
-        os << rate << " trials/s";
-        if (!final_line && rate > 0.0)
-          os << "  ETA " << static_cast<double>(left) / rate << "s";
-        os << "  faults " << fault_events.load(std::memory_order_relaxed)
-           << "  audit-violations "
-           << audit_violations.load(std::memory_order_relaxed);
-        if (final_line)
-          os << "  done in " << secs << "s";
-        std::string line = os.str();
-        if (tty && !final_line)
-          std::fprintf(stderr, "\r\x1b[2K%s", line.c_str());
-        else if (tty)
-          std::fprintf(stderr, "\r\x1b[2K%s\n", line.c_str());
-        else
-          std::fprintf(stderr, "%s\n", line.c_str());
-        std::fflush(stderr);
-      };
-      while (!st.stop_requested()) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        if (std::chrono::steady_clock::now() < next) continue;
-        next += cadence;
-        emit(false);
-      }
-      emit(true);
-    });
-  }
+  // Live progress (stderr, reporting only — analysis/progress.h).
+  progress_monitor monitor;
+  if (opts.progress && !tasks.empty())
+    monitor.start("experiment", total_trials, progress);
 
   if (workers <= 1) {
     worker(0);
@@ -470,10 +450,7 @@ std::vector<summary_stats> run_experiment_grid(
     for (std::size_t w = 0; w < workers; ++w)
       pool.emplace_back(worker, w);
   }
-  if (monitor.joinable()) {
-    monitor.request_stop();
-    monitor.join();
-  }
+  monitor.stop();
   for (auto& e : errors)
     if (e) std::rethrow_exception(e);
 

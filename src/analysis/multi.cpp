@@ -7,8 +7,10 @@
 #include <optional>
 #include <thread>
 
+#include "analysis/progress.h"
 #include "multi/slot_log.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "sim/adversaries/adversaries.h"
 #include "util/assertx.h"
 #include "util/rng.h"
@@ -595,21 +597,84 @@ std::vector<summary_stats> run_multi_grid(const std::vector<multi_grid>& grid,
 
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
+  progress_counters progress;
   std::vector<std::exception_ptr> errors(workers);
+  if (obs::telemetry_sink* ts = obs::tl_sink())
+    ts->add(obs::tcounter::trials_planned, tasks.size());
   auto worker = [&](std::size_t wid) {
     try {
       while (!failed.load(std::memory_order_relaxed)) {
         std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= tasks.size()) break;
         const task& tk = tasks[i];
-        records[tk.cell][tk.trial] =
+        if (obs::telemetry_sink* ts = obs::tl_sink())
+          ts->add(obs::tcounter::trials_started);
+        const multi_record& r = records[tk.cell][tk.trial] =
             run_one_multi_trial(grid[tk.cell], tk.trial);
+        const trial_result& base = r.result.base;
+        if (opts.progress) {
+          progress.fault_events.fetch_add(
+              base.crashed_pids.size() + base.restarts,
+              std::memory_order_relaxed);
+          if (base.audit &&
+              base.audit->status == check::audit_status::violated)
+            progress.audit_violations.fetch_add(1, std::memory_order_relaxed);
+          progress.done.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Multi trials drive the world directly (no run_object_trial),
+        // so the whole fleet-telemetry contribution is recorded here.
+        if (obs::telemetry_sink* ts = obs::tl_sink()) {
+          ts->add(obs::tcounter::trials_completed);
+          ts->add(obs::tcounter::steps, base.steps);
+          ts->add(obs::tcounter::total_ops, base.total_ops);
+          if (!base.crashed_pids.empty())
+            ts->add(obs::tcounter::crashes, base.crashed_pids.size());
+          if (base.restarts) ts->add(obs::tcounter::restarts, base.restarts);
+          if (base.recoveries)
+            ts->add(obs::tcounter::recoveries, base.recoveries);
+          if (base.stale_reads)
+            ts->add(obs::tcounter::stale_reads, base.stale_reads);
+          if (base.omitted_writes)
+            ts->add(obs::tcounter::omitted_writes, base.omitted_writes);
+          if (base.volatile_wipes)
+            ts->add(obs::tcounter::volatile_wipes, base.volatile_wipes);
+          if (base.timed_out()) ts->add(obs::tcounter::trials_timed_out);
+          if (base.audit) {
+            ts->add(obs::tcounter::audits);
+            if (base.audit->status == check::audit_status::violated)
+              ts->add(obs::tcounter::audit_violations);
+          }
+          ts->add(obs::tcounter::slot_proposals, r.result.proposals);
+          ts->add(obs::tcounter::slot_decisions, r.result.decisions);
+          ts->add(obs::tcounter::slot_fast_path_hits,
+                  r.result.fast_path_hits);
+          ts->record(obs::thist::trial_steps, base.steps);
+          for (double ops : r.result.slot_ops)
+            ts->record(obs::thist::slot_ops,
+                       static_cast<std::uint64_t>(ops));
+          ts->record(obs::thist::trial_latency_us,
+                     static_cast<std::uint64_t>(r.wall_ms * 1000.0));
+          const std::uint64_t step_ns =
+              r.perf.ns[static_cast<std::size_t>(perf_phase::step)];
+          if (step_ns > 0)
+            ts->record(obs::thist::steps_per_sec,
+                       static_cast<std::uint64_t>(
+                           static_cast<double>(base.steps) * 1e9 /
+                           static_cast<double>(step_ns)));
+          ts->cell(grid[tk.cell].label, 1, base.steps);
+        }
       }
     } catch (...) {
       errors[wid] = std::current_exception();
       failed.store(true, std::memory_order_relaxed);
     }
   };
+
+  // Live --progress, same line format as the one-shot engine's
+  // (analysis/progress.h) with a "multi" tag.
+  progress_monitor monitor;
+  if (opts.progress && !tasks.empty())
+    monitor.start("multi", tasks.size(), progress);
 
   if (workers <= 1) {
     worker(0);
@@ -618,6 +683,7 @@ std::vector<summary_stats> run_multi_grid(const std::vector<multi_grid>& grid,
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
   }
+  monitor.stop();
   for (auto& e : errors)
     if (e) std::rethrow_exception(e);
 

@@ -1,0 +1,72 @@
+#include "analysis/progress.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>  // isatty, for the carriage-return mode
+#endif
+
+namespace modcon::analysis {
+
+void progress_monitor::start(std::string tag, std::size_t total,
+                             const progress_counters& counters) {
+  stop();
+  thread_ = std::jthread([tag = std::move(tag), total,
+                          &counters](std::stop_token st) {
+#if defined(__unix__) || defined(__APPLE__)
+    const bool tty = isatty(fileno(stderr)) != 0;
+#else
+    const bool tty = false;
+#endif
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto cadence = tty ? std::chrono::milliseconds(250)
+                             : std::chrono::milliseconds(2000);
+    auto next = t0 + cadence;
+    auto emit = [&](bool final_line) {
+      const std::size_t d = counters.done.load(std::memory_order_relaxed);
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double rate = secs > 0.0 ? static_cast<double>(d) / secs : 0.0;
+      const std::size_t left = total > d ? total - d : 0;
+      std::ostringstream os;
+      os << "[" << tag << "] " << d << "/" << total << " trials  "
+         << std::fixed;
+      os.precision(1);
+      os << rate << " trials/s";
+      if (!final_line && rate > 0.0)
+        os << "  ETA " << static_cast<double>(left) / rate << "s";
+      os << "  faults "
+         << counters.fault_events.load(std::memory_order_relaxed)
+         << "  audit-violations "
+         << counters.audit_violations.load(std::memory_order_relaxed);
+      if (final_line) os << "  done in " << secs << "s";
+      std::string line = os.str();
+      if (tty && !final_line)
+        std::fprintf(stderr, "\r\x1b[2K%s", line.c_str());
+      else if (tty)
+        std::fprintf(stderr, "\r\x1b[2K%s\n", line.c_str());
+      else
+        std::fprintf(stderr, "%s\n", line.c_str());
+      std::fflush(stderr);
+    };
+    while (!st.stop_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (std::chrono::steady_clock::now() < next) continue;
+      next += cadence;
+      emit(false);
+    }
+    emit(true);
+  });
+}
+
+void progress_monitor::stop() {
+  if (!thread_.joinable()) return;
+  thread_.request_stop();
+  thread_.join();
+}
+
+}  // namespace modcon::analysis

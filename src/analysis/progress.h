@@ -1,0 +1,49 @@
+// Live progress reporting shared by the experiment engines.
+//
+// One monitor thread per grid run, stderr only, reporting only — results
+// are unaffected.  The engines bump the relaxed atomics in
+// progress_counters as work retires (per trial on the scalar and multi
+// paths, per *lane* inside the batch interpreter, so chunked cells
+// advance smoothly); the monitor folds them into a trials/sec + ETA +
+// fault/audit line.  On a terminal the line redraws in place; piped
+// output gets a full line at a slower cadence so logs stay readable.
+//
+// Extracted from run_experiment_grid so run_multi_grid (and anything
+// else that pools trials) reports identically.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace modcon::analysis {
+
+struct progress_counters {
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::uint64_t> fault_events{0};
+  std::atomic<std::uint64_t> audit_violations{0};
+};
+
+class progress_monitor {
+ public:
+  progress_monitor() = default;
+  ~progress_monitor() { stop(); }
+  progress_monitor(const progress_monitor&) = delete;
+  progress_monitor& operator=(const progress_monitor&) = delete;
+
+  // Starts the reporting thread.  `tag` brands the line ("experiment",
+  // "multi"); `counters` must outlive the monitor.
+  void start(std::string tag, std::size_t total,
+             const progress_counters& counters);
+
+  // Emits the final "done in" line and joins.  Idempotent; safe when
+  // start was never called.
+  void stop();
+
+ private:
+  std::jthread thread_;
+};
+
+}  // namespace modcon::analysis

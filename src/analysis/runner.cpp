@@ -3,11 +3,42 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/telemetry.h"
 #include "util/rng.h"
 
 namespace modcon::analysis {
 
 namespace {
+
+// Fleet telemetry for one finished trial (obs/telemetry.h).  This is the
+// single accounting point for scalar trials on both backends — the
+// experiment worker adds only measurement histograms and per-cell
+// totals, and the batch interpreter does its own equivalent in
+// finalize() — so every counter is bumped exactly once per trial.
+void note_trial_telemetry(const trial_result& res) {
+  obs::telemetry_sink* ts = obs::tl_sink();
+  if (!ts) return;
+  ts->add(obs::tcounter::trials_completed);
+  ts->add(obs::tcounter::steps, res.steps);
+  ts->add(obs::tcounter::total_ops, res.total_ops);
+  if (!res.crashed_pids.empty())
+    ts->add(obs::tcounter::crashes, res.crashed_pids.size());
+  if (res.restarts) ts->add(obs::tcounter::restarts, res.restarts);
+  if (res.recoveries) ts->add(obs::tcounter::recoveries, res.recoveries);
+  if (res.stale_reads)
+    ts->add(obs::tcounter::stale_reads, res.stale_reads);
+  if (res.omitted_writes)
+    ts->add(obs::tcounter::omitted_writes, res.omitted_writes);
+  if (res.volatile_wipes)
+    ts->add(obs::tcounter::volatile_wipes, res.volatile_wipes);
+  if (res.timed_out()) ts->add(obs::tcounter::trials_timed_out);
+  if (res.audit) {
+    ts->add(obs::tcounter::audits);
+    if (res.audit->status == check::audit_status::violated)
+      ts->add(obs::tcounter::audit_violations);
+  }
+  ts->record(obs::thist::trial_steps, res.steps);
+}
 
 // Derives what the auditor may assume from the trial configuration: the
 // §3 property checks presume the model's guarantees, which register
@@ -168,6 +199,7 @@ trial_result run_object_trial(const sim_object_builder& build,
   }
   if (opts.inspect) opts.inspect(world);
   if (opts.inspect_object) opts.inspect_object(world, *obj);
+  note_trial_telemetry(res);
   return res;
 }
 
@@ -305,6 +337,7 @@ trial_result run_rt_object_trial(const rt_object_builder& build,
     }
     res.audit = std::move(rep);
   }
+  note_trial_telemetry(res);
   return res;
 }
 

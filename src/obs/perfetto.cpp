@@ -112,4 +112,38 @@ void write_perfetto(std::ostream& os, const trial_obs& obs,
   os << "\n  ]\n}\n";
 }
 
+void write_telemetry_perfetto(std::ostream& os,
+                              const std::vector<telemetry_track>& tracks) {
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (std::size_t t = 0; t < tracks.size(); ++t) {
+    const telemetry_track& track = tracks[t];
+    // pid per source keeps each bench/shard on its own process row.
+    const std::size_t pid = t + 1;
+    sep();
+    os << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+       << ", \"tid\": 0, \"args\": {\"name\": ";
+    write_escaped(os, track.source.empty() ? std::string("telemetry")
+                                           : track.source);
+    os << "}}";
+    for (const telemetry_point& p : track.points) {
+      // Counter events share a ts; Perfetto plots each args key as its
+      // own series within the named track.
+      const auto ts = static_cast<std::uint64_t>(p.elapsed_ms * 1000.0);
+      for (const auto& [name, value] : p.counters) {
+        sep();
+        os << "    {\"name\": ";
+        write_escaped(os, name);
+        os << ", \"ph\": \"C\", \"ts\": " << ts << ", \"pid\": " << pid
+           << ", \"args\": {\"value\": " << value << "}}";
+      }
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
 }  // namespace modcon::obs

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -31,5 +33,27 @@ struct perfetto_meta {
 
 void write_perfetto(std::ostream& os, const trial_obs& obs,
                     const perfetto_meta& meta);
+
+// ---- Telemetry time-series export ---------------------------------------
+//
+// A fleet telemetry stream (obs/telemetry.h JSONL) re-plotted as Perfetto
+// counter ("C") tracks: one process row per source (bench / shard), one
+// counter track per metric, one sample per snapshot tick.  Timestamps are
+// the snapshot's elapsed_ms converted to microseconds.
+
+// One snapshot tick, already reduced to the metrics worth plotting.
+struct telemetry_point {
+  double elapsed_ms = 0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+// One source's series (typically one JSONL file).
+struct telemetry_track {
+  std::string source;
+  std::vector<telemetry_point> points;
+};
+
+void write_telemetry_perfetto(std::ostream& os,
+                              const std::vector<telemetry_track>& tracks);
 
 }  // namespace modcon::obs

@@ -1,0 +1,324 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/assertx.h"
+
+namespace modcon::obs {
+
+const char* to_string(tcounter c) {
+  switch (c) {
+    case tcounter::trials_planned: return "trials_planned";
+    case tcounter::trials_started: return "trials_started";
+    case tcounter::trials_completed: return "trials_completed";
+    case tcounter::trials_timed_out: return "trials_timed_out";
+    case tcounter::steps: return "steps";
+    case tcounter::total_ops: return "total_ops";
+    case tcounter::crashes: return "crashes";
+    case tcounter::restarts: return "restarts";
+    case tcounter::recoveries: return "recoveries";
+    case tcounter::stale_reads: return "stale_reads";
+    case tcounter::omitted_writes: return "omitted_writes";
+    case tcounter::volatile_wipes: return "volatile_wipes";
+    case tcounter::audits: return "audits";
+    case tcounter::audit_violations: return "audit_violations";
+    case tcounter::slot_proposals: return "slot_proposals";
+    case tcounter::slot_decisions: return "slot_decisions";
+    case tcounter::slot_fast_path_hits: return "slot_fast_path_hits";
+    case tcounter::batch_trials: return "batch_trials";
+    case tcounter::batch_lanes_retired: return "batch_lanes_retired";
+    case tcounter::batch_sweeps: return "batch_sweeps";
+  }
+  return "?";
+}
+
+const char* to_string(thist h) {
+  switch (h) {
+    case thist::trial_steps: return "trial_steps";
+    case thist::trial_latency_us: return "trial_latency_us";
+    case thist::steps_per_sec: return "steps_per_sec";
+    case thist::slot_ops: return "slot_ops";
+    case thist::batch_occupancy: return "batch_occupancy";
+  }
+  return "?";
+}
+
+std::uint64_t log_histogram::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest rank: ceil(q * count), clamped to [1, count].
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return hist_bucket_lo(b);
+  }
+  return hist_bucket_lo(kHistBuckets - 1);
+}
+
+void telemetry_sink::merge(thist h, const log_histogram& local) {
+  if (local.count == 0) return;
+  hist_slots& s = hists_[static_cast<std::size_t>(h)];
+  for (std::size_t b = 0; b < kHistBuckets; ++b)
+    if (local.buckets[b])
+      s.buckets[b].fetch_add(local.buckets[b], std::memory_order_relaxed);
+  s.count.fetch_add(local.count, std::memory_order_relaxed);
+  s.sum.fetch_add(local.sum, std::memory_order_relaxed);
+  std::uint64_t prev = s.max.load(std::memory_order_relaxed);
+  while (prev < local.max && !s.max.compare_exchange_weak(
+                                 prev, local.max, std::memory_order_relaxed)) {
+  }
+}
+
+void telemetry_sink::cell(std::string_view label, std::uint64_t trials,
+                          std::uint64_t steps) {
+  std::lock_guard<std::mutex> lock(cells_mu_);
+  for (auto& [name, totals] : cells_) {
+    if (name == label) {
+      totals.trials += trials;
+      totals.steps += steps;
+      return;
+    }
+  }
+  cells_.emplace_back(std::string(label), cell_totals{trials, steps});
+}
+
+telemetry_bus::telemetry_bus(std::size_t slots) {
+  if (slots == 0) {
+    slots = std::thread::hardware_concurrency();
+    if (slots == 0) slots = 4;
+    slots = std::min<std::size_t>(slots, 64);
+  }
+  sinks_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i)
+    sinks_.push_back(std::make_unique<telemetry_sink>());
+}
+
+telemetry_sink& telemetry_bus::local() {
+  const std::size_t slot =
+      next_.fetch_add(1, std::memory_order_relaxed) % sinks_.size();
+  return *sinks_[slot];
+}
+
+telemetry_snapshot telemetry_bus::snapshot() const {
+  telemetry_snapshot snap;
+  for (const auto& sink : sinks_) {
+    for (std::size_t c = 0; c < kTCounterCount; ++c)
+      snap.counters[c] += sink->counters_[c].load(std::memory_order_relaxed);
+    for (std::size_t h = 0; h < kTHistCount; ++h) {
+      const telemetry_sink::hist_slots& src = sink->hists_[h];
+      log_histogram& dst = snap.hists[h];
+      for (std::size_t b = 0; b < kHistBuckets; ++b)
+        dst.buckets[b] += src.buckets[b].load(std::memory_order_relaxed);
+      dst.count += src.count.load(std::memory_order_relaxed);
+      dst.sum += src.sum.load(std::memory_order_relaxed);
+      dst.max = std::max(dst.max, src.max.load(std::memory_order_relaxed));
+    }
+    {
+      std::lock_guard<std::mutex> lock(sink->cells_mu_);
+      for (const auto& [label, totals] : sink->cells_) {
+        bool found = false;
+        for (auto& [name, merged] : snap.cells) {
+          if (name == label) {
+            merged.trials += totals.trials;
+            merged.steps += totals.steps;
+            found = true;
+            break;
+          }
+        }
+        if (!found) snap.cells.emplace_back(label, totals);
+      }
+    }
+  }
+  std::sort(snap.cells.begin(), snap.cells.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snap;
+}
+
+namespace detail {
+std::atomic<telemetry_bus*> g_bus{nullptr};
+std::atomic<std::uint64_t> g_epoch{0};
+}  // namespace detail
+
+telemetry_install::telemetry_install(telemetry_bus& bus) {
+  telemetry_bus* expected = nullptr;
+  const bool installed = detail::g_bus.compare_exchange_strong(
+      expected, &bus, std::memory_order_release);
+  MODCON_CHECK_MSG(installed, "a telemetry bus is already installed");
+  detail::g_epoch.fetch_add(1, std::memory_order_release);
+}
+
+telemetry_install::~telemetry_install() {
+  detail::g_bus.store(nullptr, std::memory_order_release);
+  detail::g_epoch.fetch_add(1, std::memory_order_release);
+}
+
+// --------------------------------------------------------------------
+// JSONL emission (hand-written, like obs/perfetto.cpp — see the header
+// on why analysis::json is off limits here).
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_hist(std::string& out, const log_histogram& h) {
+  out += "{\"count\":";
+  append_u64(out, h.count);
+  out += ",\"sum\":";
+  append_u64(out, h.sum);
+  out += ",\"max\":";
+  append_u64(out, h.max);
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    append_u64(out, b);
+    out += ',';
+    append_u64(out, h.buckets[b]);
+    out += ']';
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+telemetry_writer::telemetry_writer(telemetry_bus& bus,
+                                   telemetry_writer_options opts)
+    : bus_(bus),
+      opts_(std::move(opts)),
+      out_(opts_.path),
+      t0_(std::chrono::steady_clock::now()) {
+  if (!out_) return;
+  if (opts_.interval_ms > 0) {
+    sampler_ = std::jthread([this](std::stop_token st) {
+      const auto interval = std::chrono::milliseconds(opts_.interval_ms);
+      auto next = t0_ + interval;
+      while (!st.stop_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += interval;
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_) return;
+        emit_locked(false);
+      }
+    });
+  }
+}
+
+telemetry_writer::~telemetry_writer() { close(); }
+
+void telemetry_writer::sample_now() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || !out_) return;
+  emit_locked(false);
+}
+
+void telemetry_writer::close() {
+  if (sampler_.joinable()) {
+    sampler_.request_stop();
+    sampler_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  closed_ = true;
+  if (!out_) return;
+  emit_locked(true);
+  out_.flush();
+}
+
+void telemetry_writer::emit_locked(bool final_line) {
+  const telemetry_snapshot snap = bus_.snapshot();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0_)
+          .count();
+  std::string line;
+  line.reserve(2048);
+  line += "{\"schema\":\"";
+  line += kTelemetrySchemaName;
+  line += "\",\"version\":";
+  append_u64(line, kTelemetrySchemaVersion);
+  line += ",\"tick\":";
+  append_u64(line, ++tick_);  // first line is tick 1: strictly monotone
+  line += ",\"elapsed_ms\":";
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", elapsed_ms);
+    line += buf;
+  }
+  line += ",\"final\":";
+  line += final_line ? "true" : "false";
+  line += ",\"source\":\"";
+  append_escaped(line, opts_.source);
+  line += "\",\"shard\":";
+  append_u64(line, opts_.shard_index);
+  line += ",\"shard_count\":";
+  append_u64(line, opts_.shard_count);
+  line += ",\"counters\":{";
+  for (std::size_t c = 0; c < kTCounterCount; ++c) {
+    if (c) line += ',';
+    line += '"';
+    line += to_string(static_cast<tcounter>(c));
+    line += "\":";
+    append_u64(line, snap.counters[c]);
+  }
+  line += "},\"hists\":{";
+  for (std::size_t h = 0; h < kTHistCount; ++h) {
+    if (h) line += ',';
+    line += '"';
+    line += to_string(static_cast<thist>(h));
+    line += "\":";
+    append_hist(line, snap.hists[h]);
+  }
+  line += "},\"cells\":{";
+  for (std::size_t i = 0; i < snap.cells.size(); ++i) {
+    if (i) line += ',';
+    line += '"';
+    append_escaped(line, snap.cells[i].first);
+    line += "\":{\"trials\":";
+    append_u64(line, snap.cells[i].second.trials);
+    line += ",\"steps\":";
+    append_u64(line, snap.cells[i].second.steps);
+    line += '}';
+  }
+  line += "}}\n";
+  out_ << line;
+  out_.flush();  // tailers see whole lines promptly
+}
+
+}  // namespace modcon::obs

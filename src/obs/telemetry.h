@@ -1,0 +1,316 @@
+// Grid-scale telemetry bus: always-cheap fleet counters, sampled into a
+// versioned JSONL time-series.
+//
+// Where obs/metrics.h sees inside *one trial* (span trees, register
+// stats), this bus sees across the *fleet*: every execution path — the
+// scalar trial runner, the lockstep batch interpreter, the multi-shot
+// slot engine — bumps per-worker cache-line-padded atomic counters and
+// log-bucketed (HDR-style) histograms, and a sampler thread
+// (telemetry_writer) periodically folds every sink into one cumulative
+// snapshot and appends it as a `modcon-telemetry` v1 JSONL line.  Tools
+// downstream (scripts/grid_runner.py, tools/modcon-top,
+// obs/perfetto.h's counter-track export) tail and merge those files.
+//
+// Contract:
+//   * Cumulative, monotone counters + a writer-owned monotone tick, so
+//     merging shard files is order-independent: the fleet total at any
+//     instant is the sum of each shard's latest line.
+//   * Counters and histograms of deterministic quantities (trials,
+//     steps, ops, faults, audits, slot ops) are thread-count invariant,
+//     and sum across shards to the single-process totals.  Timing
+//     histograms (trial_latency_us, steps_per_sec) and engine-layout
+//     metrics (batch sweeps/occupancy, which follow chunk packing) are
+//     measurements, excluded from that invariance.
+//   * Recording is wait-free per event (relaxed atomics into a
+//     per-worker sink; the only lock guards the per-cell label table,
+//     touched once per completed *task*, not per trial).
+//   * Artifacts (BENCH_*.json) are untouched: telemetry is a side
+//     channel, so artifacts stay byte-identical with the bus on or off.
+//   * Compile-time kill switch: under MODCON_OBS_DISABLED, tl_sink()
+//     constant-folds to nullptr and every instrumentation site dead-code
+//     eliminates, like obs/obs.h's has_obs_v gate.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace modcon::obs {
+
+// ---------------------------------------------------------------------
+// Counter and histogram registries.  Adding an entry is additive for the
+// JSONL schema (consumers key by name); removing or renaming one bumps
+// kTelemetrySchemaVersion.
+
+inline constexpr const char* kTelemetrySchemaName = "modcon-telemetry";
+inline constexpr std::uint32_t kTelemetrySchemaVersion = 1;
+
+enum class tcounter : std::uint32_t {
+  // Fleet progress (trials_planned is bumped once per grid launch, so
+  // remaining = planned - completed is an ETA numerator).
+  trials_planned,
+  trials_started,
+  trials_completed,
+  trials_timed_out,
+  // Work volume.
+  steps,
+  total_ops,
+  // Fault / recovery events (crash-restart pipeline, runner.h).
+  crashes,
+  restarts,
+  recoveries,
+  stale_reads,
+  omitted_writes,
+  volatile_wipes,
+  // Property-audit outcomes (check/auditor.h).
+  audits,
+  audit_violations,
+  // Multi-shot slot engine (analysis/multi.h).
+  slot_proposals,
+  slot_decisions,
+  slot_fast_path_hits,
+  // Lockstep batch engine (analysis/batch_engine.h).
+  batch_trials,
+  batch_lanes_retired,
+  batch_sweeps,
+};
+inline constexpr std::size_t kTCounterCount =
+    static_cast<std::size_t>(tcounter::batch_sweeps) + 1;
+
+const char* to_string(tcounter c);
+
+enum class thist : std::uint32_t {
+  trial_steps,      // deterministic: sums across shards
+  trial_latency_us, // measurement
+  steps_per_sec,    // measurement
+  slot_ops,         // deterministic: per-proposal individual ops
+  batch_occupancy,  // engine layout: live lanes per interpreter sweep
+};
+inline constexpr std::size_t kTHistCount =
+    static_cast<std::size_t>(thist::batch_occupancy) + 1;
+
+const char* to_string(thist h);
+
+// ---------------------------------------------------------------------
+// Log-bucketed histogram (HDR-style): power-of-two octaves split into 4
+// sub-buckets, so every bucket's lower bound is within ~25% of any value
+// it holds.  Buckets are serialized sparsely as [index, count] pairs and
+// merge by per-bucket addition — the property the shard merge needs.
+
+inline constexpr std::size_t kHistBuckets = 256;
+
+// Values 0..3 map to exact buckets 0..3; larger values land in bucket
+// 4*(e-1)+sub where e = floor(log2 v) and sub is the next 2 bits.
+constexpr std::uint32_t hist_bucket(std::uint64_t v) {
+  if (v < 4) return static_cast<std::uint32_t>(v);
+  const int e = std::bit_width(v) - 1;  // floor(log2 v) >= 2
+  const std::uint32_t sub = static_cast<std::uint32_t>((v >> (e - 2)) & 3);
+  const std::uint32_t b = 4u * static_cast<std::uint32_t>(e - 1) + sub;
+  return b < kHistBuckets ? b : kHistBuckets - 1;
+}
+
+// Smallest value that maps to bucket b (for quantile estimation).
+constexpr std::uint64_t hist_bucket_lo(std::uint32_t b) {
+  if (b < 4) return b;
+  const std::uint32_t e = b / 4 + 1;
+  const std::uint32_t sub = b % 4;
+  return (4ull + sub) << (e - 2);
+}
+
+struct log_histogram {
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void record(std::uint64_t v) {
+    ++buckets[hist_bucket(v)];
+    ++count;
+    sum += v;
+    if (v > max) max = v;
+  }
+  log_histogram& operator+=(const log_histogram& o) {
+    for (std::size_t i = 0; i < kHistBuckets; ++i) buckets[i] += o.buckets[i];
+    count += o.count;
+    sum += o.sum;
+    if (o.max > max) max = o.max;
+    return *this;
+  }
+  double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+  // Nearest-rank quantile estimated at the holding bucket's lower bound.
+  std::uint64_t quantile(double q) const;
+};
+
+struct cell_totals {
+  std::uint64_t trials = 0;
+  std::uint64_t steps = 0;
+};
+
+// ---------------------------------------------------------------------
+// Per-worker sink: relaxed atomics written by one worker thread, read
+// concurrently by the sampler.  Padded so neighbouring sinks never share
+// a line on the counter front.
+
+class alignas(64) telemetry_sink {
+ public:
+  void add(tcounter c, std::uint64_t delta = 1) {
+    counters_[static_cast<std::size_t>(c)].fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void record(thist h, std::uint64_t v) {
+    hist_slots& s = hists_[static_cast<std::size_t>(h)];
+    s.buckets[hist_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t prev = s.max.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !s.max.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  // Folds a locally-accumulated histogram in (the batch interpreter
+  // records occupancy per sweep into a plain local histogram and merges
+  // once per chunk).
+  void merge(thist h, const log_histogram& local);
+  // Per-cell accounting, keyed by the cell label; once per completed
+  // task, so the mutex is uncontended in practice.
+  void cell(std::string_view label, std::uint64_t trials,
+            std::uint64_t steps);
+
+ private:
+  friend class telemetry_bus;
+  struct hist_slots {
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  std::array<std::atomic<std::uint64_t>, kTCounterCount> counters_{};
+  std::array<hist_slots, kTHistCount> hists_{};
+  mutable std::mutex cells_mu_;
+  std::vector<std::pair<std::string, cell_totals>> cells_;
+};
+
+// One cumulative fold of every sink, taken by the sampler (and by tests
+// directly).  Plain data: merge with += / std::map as needed downstream.
+struct telemetry_snapshot {
+  std::array<std::uint64_t, kTCounterCount> counters{};
+  std::array<log_histogram, kTHistCount> hists{};
+  std::vector<std::pair<std::string, cell_totals>> cells;  // label-sorted
+};
+
+// ---------------------------------------------------------------------
+// The bus: a fixed array of sinks; threads are assigned round-robin on
+// first use (cached thread-locally, re-resolved when the installed bus
+// changes).  Counts stay exact however threads map to sinks — the
+// snapshot is the sum over all of them.
+
+class telemetry_bus {
+ public:
+  // slots = 0: one sink per hardware thread (capped at 64).
+  explicit telemetry_bus(std::size_t slots = 0);
+
+  std::size_t slots() const { return sinks_.size(); }
+  telemetry_sink& sink(std::size_t i) { return *sinks_[i]; }
+
+  // The calling thread's sink (round-robin assignment).
+  telemetry_sink& local();
+
+  telemetry_snapshot snapshot() const;
+
+ private:
+  std::vector<std::unique_ptr<telemetry_sink>> sinks_;
+  std::atomic<std::size_t> next_{0};
+};
+
+namespace detail {
+extern std::atomic<telemetry_bus*> g_bus;
+extern std::atomic<std::uint64_t> g_epoch;
+}  // namespace detail
+
+// The installed bus's sink for this thread, or nullptr when no bus is
+// installed (the default: benches without --telemetry-out, all tests).
+// Under MODCON_OBS_DISABLED this folds to `return nullptr` and every
+// `if (auto* ts = obs::tl_sink())` instrumentation block compiles out.
+inline telemetry_sink* tl_sink() {
+#ifdef MODCON_OBS_DISABLED
+  return nullptr;
+#else
+  thread_local telemetry_sink* cached = nullptr;
+  thread_local std::uint64_t cached_epoch = 0;
+  const std::uint64_t epoch = detail::g_epoch.load(std::memory_order_acquire);
+  if (cached_epoch != epoch) {
+    telemetry_bus* bus = detail::g_bus.load(std::memory_order_acquire);
+    cached = bus ? &bus->local() : nullptr;
+    cached_epoch = epoch;
+  }
+  return cached;
+#endif
+}
+
+// RAII global install.  Exactly one bus may be installed at a time
+// (nesting is a bug in the caller; the constructor checks).
+class telemetry_install {
+ public:
+  explicit telemetry_install(telemetry_bus& bus);
+  ~telemetry_install();
+  telemetry_install(const telemetry_install&) = delete;
+  telemetry_install& operator=(const telemetry_install&) = delete;
+};
+
+// ---------------------------------------------------------------------
+// JSONL writer: samples the bus every interval_ms onto one line of
+// `path`, plus a final line (flagged "final": true) at close.  Lines are
+// cumulative-from-start, each with a writer-owned monotone tick, so a
+// consumer may join mid-stream and only ever needs the latest line.
+//
+// JSON is emitted by hand (like obs/perfetto.cpp): the analysis library
+// links against this one, so obs cannot use analysis::json.
+
+struct telemetry_writer_options {
+  std::string path;
+  std::uint32_t interval_ms = 1000;  // 0 = manual sample_now() only
+  std::string source;                // bench name, echoed per line
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+};
+
+class telemetry_writer {
+ public:
+  telemetry_writer(telemetry_bus& bus, telemetry_writer_options opts);
+  ~telemetry_writer();  // close() if the caller didn't
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  // Appends one snapshot line now (tests and manual cadences).
+  void sample_now();
+
+  // Stops the sampler, appends the final line, flushes.  Idempotent.
+  void close();
+
+ private:
+  void emit_locked(bool final_line);
+
+  telemetry_bus& bus_;
+  telemetry_writer_options opts_;
+  std::ofstream out_;
+  std::chrono::steady_clock::time_point t0_;
+  std::mutex mu_;  // serializes sampler / sample_now / close
+  std::uint64_t tick_ = 0;
+  bool closed_ = false;
+  std::jthread sampler_;  // last member: joins before the rest unwind
+};
+
+}  // namespace modcon::obs

@@ -1,0 +1,453 @@
+// The grid-scale telemetry bus (obs/telemetry.h): bucketing, sink/bus
+// folding, the JSONL writer's schema, thread-count invariance and the
+// shard-sum contract, artifact byte-identity with the bus on vs off,
+// exact batch-interpreter accounting on a hand-scheduled cell, multi
+// slot counters, and the Perfetto counter-track export.
+#include "obs/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/batch_engine.h"
+#include "analysis/experiment.h"
+#include "analysis/json_writer.h"
+#include "analysis/multi.h"
+#include "core/conciliator/impatient.h"
+#include "core/consensus/stack_spec.h"
+#include "obs/perfetto.h"
+
+namespace modcon::obs {
+namespace {
+
+using analysis::engine_kind;
+using analysis::experiment_options;
+using analysis::summary_stats;
+using analysis::trial_grid;
+using sim::sim_env;
+
+std::uint64_t get(const telemetry_snapshot& snap, tcounter c) {
+  return snap.counters[static_cast<std::size_t>(c)];
+}
+
+const log_histogram& hist(const telemetry_snapshot& snap, thist h) {
+  return snap.hists[static_cast<std::size_t>(h)];
+}
+
+trial_grid conciliator_cell(impatience_schedule sched = {},
+                            std::size_t n = 8, std::size_t trials = 25) {
+  return {
+      .label = "telemetry_cell",
+      .build =
+          [sched](address_space& mem, std::size_t) {
+            return std::make_unique<impatient_conciliator<sim_env>>(
+                mem, sched, /*detect=*/false);
+          },
+      .n = n,
+      .trials = trials,
+      .base_seed = 17,
+      .keep_records = true,
+      .batch_hint = analysis::batch_impatient(sched, false),
+  };
+}
+
+std::uint64_t total_record_steps(const summary_stats& s) {
+  std::uint64_t steps = 0;
+  for (const auto& rec : s.records) steps += rec.result.steps;
+  return steps;
+}
+
+// --- bucketing -----------------------------------------------------------
+
+TEST(HistBucket, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < 4; ++v)
+    EXPECT_EQ(hist_bucket(v), v) << v;
+}
+
+TEST(HistBucket, LowerBoundRoundTrips) {
+  for (std::uint32_t b = 0; b < 200; ++b)
+    EXPECT_EQ(hist_bucket(hist_bucket_lo(b)), b) << b;
+}
+
+TEST(HistBucket, MonotoneAndWithinQuarter) {
+  std::uint32_t prev = 0;
+  for (std::uint64_t v = 0; v < 100000; ++v) {
+    const std::uint32_t b = hist_bucket(v);
+    EXPECT_GE(b, prev);
+    prev = b;
+    // The bucket's lower bound is never more than ~25% below the value.
+    EXPECT_LE(hist_bucket_lo(b), v);
+    if (v >= 4) {
+      EXPECT_GE(hist_bucket_lo(b) * 5 / 4 + 1, v * 4 / 5);
+    }
+  }
+}
+
+TEST(LogHistogram, RecordMergeQuantile) {
+  log_histogram a;
+  for (std::uint64_t v : {1ull, 2ull, 100ull, 100ull, 5000ull}) a.record(v);
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_EQ(a.sum, 5203u);
+  EXPECT_EQ(a.max, 5000u);
+  log_histogram b;
+  b.record(7);
+  b += a;
+  EXPECT_EQ(b.count, 6u);
+  EXPECT_EQ(b.sum, 5210u);
+  EXPECT_EQ(b.max, 5000u);
+  // Nearest-rank at the bucket's lower bound: the median of a lands in
+  // 100's bucket.
+  EXPECT_EQ(a.quantile(0.5), hist_bucket_lo(hist_bucket(100)));
+  EXPECT_EQ(a.quantile(1.0), hist_bucket_lo(hist_bucket(5000)));
+}
+
+// --- sink / bus / install ------------------------------------------------
+
+TEST(TelemetryBus, SnapshotFoldsEverySink) {
+  telemetry_bus bus(4);
+  ASSERT_EQ(bus.slots(), 4u);
+  bus.sink(0).add(tcounter::trials_completed, 3);
+  bus.sink(2).add(tcounter::trials_completed, 4);
+  bus.sink(1).record(thist::trial_steps, 10);
+  bus.sink(3).record(thist::trial_steps, 20);
+  bus.sink(0).cell("cell/a", 2, 100);
+  bus.sink(3).cell("cell/a", 1, 50);
+  bus.sink(3).cell("cell/b", 5, 500);
+  const telemetry_snapshot snap = bus.snapshot();
+  EXPECT_EQ(get(snap, tcounter::trials_completed), 7u);
+  EXPECT_EQ(hist(snap, thist::trial_steps).count, 2u);
+  EXPECT_EQ(hist(snap, thist::trial_steps).sum, 30u);
+  ASSERT_EQ(snap.cells.size(), 2u);  // label-sorted, merged
+  EXPECT_EQ(snap.cells[0].first, "cell/a");
+  EXPECT_EQ(snap.cells[0].second.trials, 3u);
+  EXPECT_EQ(snap.cells[0].second.steps, 150u);
+  EXPECT_EQ(snap.cells[1].first, "cell/b");
+}
+
+TEST(TelemetryBus, SinkMergeFoldsLocalHistogram) {
+  telemetry_bus bus(1);
+  log_histogram local;
+  local.record(4);
+  local.record(4);
+  local.record(9);
+  bus.sink(0).merge(thist::batch_occupancy, local);
+  const telemetry_snapshot snap = bus.snapshot();
+  EXPECT_EQ(hist(snap, thist::batch_occupancy).count, 3u);
+  EXPECT_EQ(hist(snap, thist::batch_occupancy).sum, 17u);
+  EXPECT_EQ(hist(snap, thist::batch_occupancy).max, 9u);
+}
+
+TEST(TelemetryInstall, TlSinkResolvesOnlyWhileInstalled) {
+  EXPECT_EQ(tl_sink(), nullptr);
+  telemetry_bus bus(2);
+  {
+    telemetry_install install(bus);
+    telemetry_sink* ts = tl_sink();
+    ASSERT_NE(ts, nullptr);
+    ts->add(tcounter::steps, 42);
+  }
+  EXPECT_EQ(tl_sink(), nullptr);
+  EXPECT_EQ(get(bus.snapshot(), tcounter::steps), 42u);
+}
+
+// --- engine instrumentation ---------------------------------------------
+
+TEST(TelemetryEngine, ScalarRunCountsTrialsStepsAndCells) {
+  const trial_grid cell = conciliator_cell();
+  telemetry_bus bus;
+  summary_stats s;
+  {
+    telemetry_install install(bus);
+    s = analysis::run_experiment(cell, {});
+  }
+  const telemetry_snapshot snap = bus.snapshot();
+  EXPECT_EQ(get(snap, tcounter::trials_planned), cell.trials);
+  EXPECT_EQ(get(snap, tcounter::trials_started), cell.trials);
+  EXPECT_EQ(get(snap, tcounter::trials_completed), cell.trials);
+  EXPECT_EQ(get(snap, tcounter::steps), total_record_steps(s));
+  EXPECT_EQ(hist(snap, thist::trial_steps).count, cell.trials);
+  EXPECT_EQ(hist(snap, thist::trial_steps).sum, total_record_steps(s));
+  ASSERT_EQ(snap.cells.size(), 1u);
+  EXPECT_EQ(snap.cells[0].first, cell.label);
+  EXPECT_EQ(snap.cells[0].second.trials, cell.trials);
+  EXPECT_EQ(snap.cells[0].second.steps, total_record_steps(s));
+}
+
+// Deterministic counters must not depend on how trials land on worker
+// threads (timing histograms are excluded from this contract).
+TEST(TelemetryEngine, DeterministicCountersAreThreadCountInvariant) {
+  const trial_grid cell = conciliator_cell();
+  telemetry_snapshot snaps[2];
+  const std::size_t threads[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    telemetry_bus bus;
+    telemetry_install install(bus);
+    experiment_options opts;
+    opts.threads = threads[i];
+    analysis::run_experiment(cell, opts);
+    snaps[i] = bus.snapshot();
+  }
+  for (tcounter c : {tcounter::trials_planned, tcounter::trials_completed,
+                     tcounter::steps, tcounter::total_ops})
+    EXPECT_EQ(get(snaps[0], c), get(snaps[1], c)) << to_string(c);
+  EXPECT_EQ(hist(snaps[0], thist::trial_steps).sum,
+            hist(snaps[1], thist::trial_steps).sum);
+  EXPECT_EQ(hist(snaps[0], thist::trial_steps).buckets,
+            hist(snaps[1], thist::trial_steps).buckets);
+  ASSERT_EQ(snaps[0].cells.size(), snaps[1].cells.size());
+  EXPECT_EQ(snaps[0].cells[0].second.steps, snaps[1].cells[0].second.steps);
+}
+
+// Two shard slices of the same cell must sum to the single-process
+// totals — the property grid_runner.py's live merge relies on.
+TEST(TelemetryEngine, ShardCountersSumToSingleProcessTotals) {
+  const trial_grid cell = conciliator_cell();
+  telemetry_bus whole_bus;
+  {
+    telemetry_install install(whole_bus);
+    analysis::run_experiment(cell, {});
+  }
+  telemetry_snapshot shard_snaps[2];
+  for (std::size_t i = 0; i < 2; ++i) {
+    telemetry_bus bus;
+    telemetry_install install(bus);
+    experiment_options opts;
+    opts.shard_index = i;
+    opts.shard_count = 2;
+    analysis::run_experiment(cell, opts);
+    shard_snaps[i] = bus.snapshot();
+  }
+  const telemetry_snapshot whole = whole_bus.snapshot();
+  for (tcounter c : {tcounter::trials_planned, tcounter::trials_completed,
+                     tcounter::steps, tcounter::total_ops}) {
+    EXPECT_EQ(get(whole, c), get(shard_snaps[0], c) + get(shard_snaps[1], c))
+        << to_string(c);
+  }
+  const log_histogram& w = hist(whole, thist::trial_steps);
+  log_histogram merged = hist(shard_snaps[0], thist::trial_steps);
+  merged += hist(shard_snaps[1], thist::trial_steps);
+  EXPECT_EQ(w.count, merged.count);
+  EXPECT_EQ(w.sum, merged.sum);
+  EXPECT_EQ(w.max, merged.max);
+  EXPECT_EQ(w.buckets, merged.buckets);
+}
+
+// Telemetry is a side channel: the artifact JSON must be byte-identical
+// with the bus installed or absent (the --deterministic CI diff).
+TEST(TelemetryEngine, ArtifactBytesUnchangedByTelemetry) {
+  const trial_grid cell = conciliator_cell();
+  summary_stats without = analysis::run_experiment(cell, {});
+  summary_stats with;
+  {
+    telemetry_bus bus;
+    telemetry_install install(bus);
+    with = analysis::run_experiment(cell, {});
+  }
+  analysis::clear_timing_measurements(without);
+  analysis::clear_timing_measurements(with);
+  EXPECT_EQ(analysis::to_json(without).dump(2),
+            analysis::to_json(with).dump(2));
+}
+
+// --- batch interpreter ---------------------------------------------------
+
+// Hand-scheduled exactness: n = 1 with a certain schedule (numer ==
+// denom) halts every lane deterministically within the first interpreter
+// sweep, so every batch metric is predictable: four lanes retire, one
+// sweep runs, and the occupancy histogram holds exactly one sample of 4.
+TEST(TelemetryBatch, HandScheduledCellHasExactAccounting) {
+  const impatience_schedule certain{1, 1};
+  trial_grid cell = conciliator_cell(certain, /*n=*/1, /*trials=*/4);
+  std::vector<analysis::trial_record> records(4);
+  const std::uint64_t indices[4] = {0, 1, 2, 3};
+  std::atomic<std::size_t> retired{0};
+  telemetry_bus bus;
+  {
+    telemetry_install install(bus);
+    analysis::run_batch_trials(cell, *cell.batch_hint, indices,
+                               records.data(), 4, &retired);
+  }
+  EXPECT_EQ(retired.load(), 4u);
+  std::uint64_t steps = 0;
+  for (const auto& rec : records) steps += rec.result.steps;
+  const telemetry_snapshot snap = bus.snapshot();
+  EXPECT_EQ(get(snap, tcounter::batch_trials), 4u);
+  EXPECT_EQ(get(snap, tcounter::batch_lanes_retired), 4u);
+  EXPECT_EQ(get(snap, tcounter::batch_sweeps), 1u);
+  EXPECT_EQ(get(snap, tcounter::trials_completed), 4u);
+  EXPECT_EQ(get(snap, tcounter::steps), steps);
+  const log_histogram& occ = hist(snap, thist::batch_occupancy);
+  EXPECT_EQ(occ.count, 1u);
+  EXPECT_EQ(occ.sum, 4u);
+  EXPECT_EQ(occ.max, 4u);
+  EXPECT_EQ(hist(snap, thist::trial_steps).count, 4u);
+  EXPECT_EQ(hist(snap, thist::trial_steps).sum, steps);
+}
+
+// The batch engine's deterministic counters agree with the scalar
+// engine's for the same cell (sweeps/occupancy excepted: engine layout).
+TEST(TelemetryBatch, DeterministicCountersMatchScalarEngine) {
+  const trial_grid cell = conciliator_cell();
+  telemetry_snapshot snaps[2];
+  const engine_kind engines[2] = {engine_kind::scalar, engine_kind::batch};
+  for (int i = 0; i < 2; ++i) {
+    telemetry_bus bus;
+    telemetry_install install(bus);
+    experiment_options opts;
+    opts.engine = engines[i];
+    analysis::run_experiment(cell, opts);
+    snaps[i] = bus.snapshot();
+  }
+  for (tcounter c : {tcounter::trials_completed, tcounter::steps,
+                     tcounter::total_ops})
+    EXPECT_EQ(get(snaps[0], c), get(snaps[1], c)) << to_string(c);
+  EXPECT_EQ(hist(snaps[0], thist::trial_steps).buckets,
+            hist(snaps[1], thist::trial_steps).buckets);
+  EXPECT_EQ(get(snaps[1], tcounter::batch_trials), cell.trials);
+  EXPECT_EQ(get(snaps[0], tcounter::batch_trials), 0u);
+}
+
+// --- multi-shot engine ---------------------------------------------------
+
+TEST(TelemetryMulti, SlotCountersMatchSummary) {
+  analysis::multi_grid cell;
+  cell.label = "telemetry_multi";
+  cell.spec = stack_for("impatient");
+  cell.n = 4;
+  cell.shards = 2;
+  cell.slots = 4;
+  cell.trials = 3;
+  cell.extent_words = 32;
+  telemetry_bus bus;
+  summary_stats s;
+  {
+    telemetry_install install(bus);
+    s = analysis::run_multi_experiment(cell, {});
+  }
+  const telemetry_snapshot snap = bus.snapshot();
+  EXPECT_EQ(get(snap, tcounter::trials_completed), cell.trials);
+  EXPECT_EQ(get(snap, tcounter::slot_proposals), s.multi.proposals);
+  EXPECT_EQ(get(snap, tcounter::slot_decisions), s.multi.decisions);
+  EXPECT_EQ(get(snap, tcounter::slot_fast_path_hits),
+            s.multi.fast_path_hits);
+  EXPECT_GT(hist(snap, thist::slot_ops).count, 0u);
+  ASSERT_EQ(snap.cells.size(), 1u);
+  EXPECT_EQ(snap.cells[0].first, cell.label);
+  EXPECT_EQ(snap.cells[0].second.trials, cell.trials);
+}
+
+// --- writer --------------------------------------------------------------
+
+TEST(TelemetryWriter, EmitsValidCumulativeJsonl) {
+  const std::string path =
+      testing::TempDir() + "/telemetry_writer_test.jsonl";
+  telemetry_bus bus(2);
+  {
+    telemetry_install install(bus);
+    telemetry_writer_options wopts;
+    wopts.path = path;
+    wopts.interval_ms = 0;  // manual sampling only
+    wopts.source = "telemetry_test";
+    wopts.shard_index = 1;
+    wopts.shard_count = 4;
+    telemetry_writer writer(bus, wopts);
+    ASSERT_TRUE(writer.ok());
+    bus.sink(0).add(tcounter::trials_completed, 5);
+    bus.sink(0).record(thist::trial_steps, 100);
+    writer.sample_now();
+    bus.sink(1).add(tcounter::trials_completed, 7);
+    bus.sink(1).cell("cell/x", 7, 700);
+    writer.sample_now();
+    writer.close();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in);
+  std::vector<analysis::json> lines;
+  std::string line;
+  while (std::getline(in, line))
+    lines.push_back(analysis::json::parse(line));
+  ASSERT_EQ(lines.size(), 3u);  // two samples + the final line
+  std::uint64_t prev_tick = 0;
+  std::uint64_t prev_done = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const analysis::json& doc = lines[i];
+    EXPECT_EQ(doc.find("schema")->as_string(), kTelemetrySchemaName);
+    EXPECT_EQ(doc.find("version")->as_uint(), kTelemetrySchemaVersion);
+    EXPECT_EQ(doc.find("source")->as_string(), "telemetry_test");
+    EXPECT_EQ(doc.find("shard")->as_uint(), 1u);
+    EXPECT_EQ(doc.find("shard_count")->as_uint(), 4u);
+    const std::uint64_t tick = doc.find("tick")->as_uint();
+    EXPECT_GT(tick, prev_tick);  // writer-owned monotone tick
+    prev_tick = tick;
+    const std::uint64_t done =
+        doc.find("counters")->find("trials_completed")->as_uint();
+    EXPECT_GE(done, prev_done);  // cumulative-from-start
+    prev_done = done;
+    EXPECT_EQ(doc.find("final")->as_bool(), i + 1 == lines.size());
+  }
+  EXPECT_EQ(prev_done, 12u);
+  // Histogram serialization is sparse [bucket, count] pairs.
+  const analysis::json& steps_hist =
+      *lines.back().find("hists")->find("trial_steps");
+  EXPECT_EQ(steps_hist.find("count")->as_uint(), 1u);
+  EXPECT_EQ(steps_hist.find("sum")->as_uint(), 100u);
+  const analysis::json& buckets = *steps_hist.find("buckets");
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets.at(0).at(0).as_uint(), hist_bucket(100));
+  EXPECT_EQ(buckets.at(0).at(1).as_uint(), 1u);
+  // Cells echo per-label totals.
+  const analysis::json& cells = *lines.back().find("cells");
+  EXPECT_EQ(cells.find("cell/x")->find("trials")->as_uint(), 7u);
+  EXPECT_EQ(cells.find("cell/x")->find("steps")->as_uint(), 700u);
+}
+
+TEST(TelemetryWriter, CloseIsIdempotent) {
+  const std::string path = testing::TempDir() + "/telemetry_close_test.jsonl";
+  telemetry_bus bus(1);
+  telemetry_writer_options wopts;
+  wopts.path = path;
+  wopts.interval_ms = 0;
+  telemetry_writer writer(bus, wopts);
+  writer.close();
+  writer.close();  // no-op; the destructor's close() is too
+  std::ifstream in(path);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) ++count;
+  EXPECT_EQ(count, 1u);  // exactly one final line
+}
+
+// --- perfetto export -----------------------------------------------------
+
+TEST(TelemetryPerfetto, CounterTracksParseAndCarryValues) {
+  telemetry_track track;
+  track.source = "bench_x";
+  telemetry_point p0;
+  p0.elapsed_ms = 100.0;
+  p0.counters.emplace_back("trials_completed", 10.0);
+  telemetry_point p1;
+  p1.elapsed_ms = 200.0;
+  p1.counters.emplace_back("trials_completed", 30.0);
+  track.points = {p0, p1};
+  std::ostringstream out;
+  write_telemetry_perfetto(out, {track});
+  const analysis::json doc = analysis::json::parse(out.str());
+  const analysis::json& events = *doc.find("traceEvents");
+  ASSERT_EQ(events.size(), 3u);  // process_name meta + two samples
+  EXPECT_EQ(events.at(0).find("ph")->as_string(), "M");
+  EXPECT_EQ(events.at(0).find("args")->find("name")->as_string(), "bench_x");
+  EXPECT_EQ(events.at(1).find("ph")->as_string(), "C");
+  EXPECT_EQ(events.at(1).find("ts")->as_uint(), 100000u);  // ms -> us
+  EXPECT_EQ(events.at(1).find("args")->find("value")->as_double(), 10.0);
+  EXPECT_EQ(events.at(2).find("args")->find("value")->as_double(), 30.0);
+}
+
+}  // namespace
+}  // namespace modcon::obs

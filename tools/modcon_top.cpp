@@ -1,0 +1,382 @@
+// modcon-top — live fleet view over modcon-telemetry JSONL streams.
+//
+//   modcon-top [--once] [--interval MS] [--perfetto-out F] TELEMETRY.jsonl...
+//
+// The inputs are --telemetry-out files from any mix of bench processes
+// (scripts/grid_runner.py --telemetry-merge writes one per shard).  Each
+// refresh re-reads every file, takes its latest complete line (lines are
+// cumulative, so only the newest matters), sums counters and merges
+// histograms across files, and redraws one screen: fleet trials/sec,
+// ETA, fault/audit/slot counters, batch lane occupancy, and a per-cell
+// heat table.  Files that do not exist yet are treated as empty (their
+// shard has not started); partial trailing lines are skipped and picked
+// up on the next refresh.
+//
+//   --once          render a single frame and exit (CI, scripts)
+//   --interval MS   refresh cadence (default 1000)
+//   --perfetto-out F  on exit, export every snapshot of every file as
+//                     Perfetto counter tracks (one process row per file)
+//
+// Exits 0 once every input's stream is final (or after one frame with
+// --once), 1 when --once finds no parsable telemetry, 2 on bad usage.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/json_writer.h"
+#include "obs/perfetto.h"
+#include "obs/telemetry.h"
+
+namespace {
+
+using modcon::analysis::json;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--once] [--interval MS] [--perfetto-out F] "
+               "TELEMETRY.jsonl...\n"
+            << "  live fleet view over modcon-telemetry JSONL streams\n";
+  return 2;
+}
+
+// One parsed telemetry line, reduced to what the view needs.
+struct snapshot {
+  double elapsed_ms = 0;
+  bool final_line = false;
+  std::string source;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, modcon::obs::log_histogram> hists;
+  std::vector<std::pair<std::string, modcon::obs::cell_totals>> cells;
+};
+
+bool parse_snapshot(const std::string& line, snapshot& out) {
+  json doc;
+  try {
+    doc = json::parse(line);
+  } catch (...) {
+    return false;  // partial trailing line mid-write; next refresh gets it
+  }
+  if (!doc.is_object()) return false;
+  const json* schema = doc.find("schema");
+  if (!schema || schema->as_string() != modcon::obs::kTelemetrySchemaName)
+    return false;
+  if (const json* v = doc.find("elapsed_ms")) out.elapsed_ms = v->as_double();
+  if (const json* v = doc.find("final")) out.final_line = v->as_bool();
+  if (const json* v = doc.find("source")) out.source = v->as_string();
+  if (const json* v = doc.find("shard")) out.shard_index = v->as_uint();
+  if (const json* v = doc.find("shard_count")) out.shard_count = v->as_uint();
+  if (const json* c = doc.find("counters"); c && c->is_object())
+    for (const auto& [name, val] : c->members())
+      out.counters[name] = val.as_uint();
+  if (const json* hs = doc.find("hists"); hs && hs->is_object()) {
+    for (const auto& [name, h] : hs->members()) {
+      modcon::obs::log_histogram lh;
+      if (const json* v = h.find("count")) lh.count = v->as_uint();
+      if (const json* v = h.find("sum")) lh.sum = v->as_uint();
+      if (const json* v = h.find("max")) lh.max = v->as_uint();
+      if (const json* bs = h.find("buckets"); bs && bs->is_array())
+        for (std::size_t i = 0; i < bs->size(); ++i) {
+          const json& pair = bs->at(i);
+          if (!pair.is_array() || pair.size() != 2) continue;
+          const std::uint64_t idx = pair.at(0).as_uint();
+          if (idx < modcon::obs::kHistBuckets)
+            lh.buckets[idx] = pair.at(1).as_uint();
+        }
+      out.hists[name] = lh;
+    }
+  }
+  if (const json* cs = doc.find("cells"); cs && cs->is_object())
+    for (const auto& [label, cell] : cs->members()) {
+      modcon::obs::cell_totals t;
+      if (const json* v = cell.find("trials")) t.trials = v->as_uint();
+      if (const json* v = cell.find("steps")) t.steps = v->as_uint();
+      out.cells.emplace_back(label, t);
+    }
+  return true;
+}
+
+// All parsed lines of one file, newest last.
+struct stream_state {
+  std::string path;
+  std::vector<snapshot> lines;
+  bool has_data() const { return !lines.empty(); }
+  const snapshot& latest() const { return lines.back(); }
+  // Trials/sec over the newest interval this stream covers.
+  double rate() const {
+    if (lines.size() < 2) return 0;
+    const snapshot& a = lines[lines.size() - 2];
+    const snapshot& b = lines.back();
+    const double dt = b.elapsed_ms - a.elapsed_ms;
+    if (dt <= 0) return 0;
+    const auto get = [](const snapshot& s) {
+      const auto it = s.counters.find("trials_completed");
+      return it == s.counters.end() ? std::uint64_t{0} : it->second;
+    };
+    return static_cast<double>(get(b) - get(a)) * 1000.0 / dt;
+  }
+};
+
+void reload(stream_state& st) {
+  st.lines.clear();
+  std::ifstream in(st.path);
+  if (!in) return;  // shard not started yet
+  std::string line;
+  while (std::getline(in, line)) {
+    snapshot s;
+    if (parse_snapshot(line, s)) st.lines.push_back(std::move(s));
+  }
+}
+
+std::string commas(std::uint64_t v) {
+  std::string s = std::to_string(v);
+  for (std::size_t i = s.size(); i > 3; i -= 3) s.insert(i - 3, 1, ',');
+  return s;
+}
+
+std::uint64_t counter(const snapshot& s, const char* name) {
+  const auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
+
+// The merged fleet view: counters summed, histograms merged per bucket,
+// cells merged by label — the same reduction grid_runner.py applies.
+struct fleet_view {
+  double elapsed_ms = 0;
+  bool all_final = true;
+  std::size_t sources_reporting = 0;
+  snapshot merged;
+
+  void fold(const stream_state& st) {
+    if (!st.has_data()) {
+      all_final = false;
+      return;
+    }
+    ++sources_reporting;
+    const snapshot& s = st.latest();
+    elapsed_ms = std::max(elapsed_ms, s.elapsed_ms);
+    if (!s.final_line) all_final = false;
+    for (const auto& [name, v] : s.counters) merged.counters[name] += v;
+    for (const auto& [name, h] : s.hists) merged.hists[name] += h;
+    for (const auto& [label, t] : s.cells) {
+      auto it = std::find_if(
+          merged.cells.begin(), merged.cells.end(),
+          [&](const auto& e) { return e.first == label; });
+      if (it == merged.cells.end()) {
+        merged.cells.emplace_back(label, t);
+      } else {
+        it->second.trials += t.trials;
+        it->second.steps += t.steps;
+      }
+    }
+  }
+};
+
+void render(std::ostream& os, const fleet_view& fleet,
+            const std::vector<stream_state>& streams, double fleet_rate) {
+  const snapshot& m = fleet.merged;
+  const std::uint64_t planned = counter(m, "trials_planned");
+  const std::uint64_t done = counter(m, "trials_completed");
+  os << "modcon-top — " << fleet.sources_reporting << "/" << streams.size()
+     << " source(s) reporting    elapsed "
+     << static_cast<std::uint64_t>(fleet.elapsed_ms / 1000.0) << "s    "
+     << (fleet.all_final ? "[FINAL]" : "[LIVE]") << "\n\n";
+  os << "  trials " << commas(done);
+  if (planned) {
+    os << " / " << commas(planned);
+    char pct[16];
+    std::snprintf(pct, sizeof pct, " (%.1f%%)",
+                  100.0 * static_cast<double>(done) /
+                      static_cast<double>(planned));
+    os << pct;
+  }
+  char rate_buf[32];
+  std::snprintf(rate_buf, sizeof rate_buf, "%.1f", fleet_rate);
+  os << "    rate " << rate_buf << " trials/s";
+  if (planned > done && fleet_rate > 0) {
+    os << "    ETA "
+       << static_cast<std::uint64_t>(
+              static_cast<double>(planned - done) / fleet_rate)
+       << "s";
+  }
+  os << "\n";
+  os << "  steps " << commas(counter(m, "steps")) << "    ops "
+     << commas(counter(m, "total_ops")) << "    timed-out "
+     << commas(counter(m, "trials_timed_out")) << "\n";
+  os << "  faults: crashes " << counter(m, "crashes") << "  restarts "
+     << counter(m, "restarts") << "  recoveries " << counter(m, "recoveries")
+     << "  stale-reads " << counter(m, "stale_reads") << "  omitted-writes "
+     << counter(m, "omitted_writes") << "  wipes "
+     << counter(m, "volatile_wipes") << "\n";
+  os << "  audits: " << counter(m, "audits") << " run, "
+     << counter(m, "audit_violations") << " violation(s)\n";
+  os << "  multi: proposals " << commas(counter(m, "slot_proposals"))
+     << "  decisions " << commas(counter(m, "slot_decisions"))
+     << "  fast-path " << commas(counter(m, "slot_fast_path_hits")) << "\n";
+  os << "  batch: trials " << commas(counter(m, "batch_trials")) << "  lanes "
+     << commas(counter(m, "batch_lanes_retired")) << "  sweeps "
+     << commas(counter(m, "batch_sweeps"));
+  if (const auto it = m.hists.find("batch_occupancy");
+      it != m.hists.end() && it->second.count) {
+    char occ[32];
+    std::snprintf(occ, sizeof occ, "%.1f", it->second.mean());
+    os << "  occupancy avg " << occ << " (max " << it->second.max << ")";
+  }
+  os << "\n";
+  if (const auto it = m.hists.find("trial_latency_us");
+      it != m.hists.end() && it->second.count) {
+    os << "  latency p50 ~" << commas(it->second.quantile(0.5)) << "us  p99 ~"
+       << commas(it->second.quantile(0.99)) << "us";
+    if (const auto sp = m.hists.find("steps_per_sec");
+        sp != m.hists.end() && sp->second.count)
+      os << "    steps/s p50 ~" << commas(sp->second.quantile(0.5));
+    os << "\n";
+  }
+
+  os << "\n  sources:\n";
+  for (const stream_state& st : streams) {
+    if (!st.has_data()) {
+      os << "    " << st.path << "  (no data yet)\n";
+      continue;
+    }
+    const snapshot& s = st.latest();
+    char rbuf[32];
+    std::snprintf(rbuf, sizeof rbuf, "%.1f", st.rate());
+    os << "    " << s.source;
+    if (s.shard_count > 1)
+      os << " [shard " << s.shard_index << "/" << s.shard_count << "]";
+    os << "  trials " << commas(counter(s, "trials_completed")) << "  rate "
+       << rbuf << "/s" << (s.final_line ? "  (final)" : "") << "\n";
+  }
+
+  if (!m.cells.empty()) {
+    auto cells = m.cells;
+    std::sort(cells.begin(), cells.end(), [](const auto& a, const auto& b) {
+      return a.second.trials > b.second.trials;
+    });
+    std::uint64_t max_trials = 1;
+    for (const auto& [label, t] : cells)
+      max_trials = std::max(max_trials, t.trials);
+    const std::size_t shown = std::min<std::size_t>(cells.size(), 12);
+    os << "\n  cells (top " << shown << " of " << cells.size()
+       << " by trials):\n";
+    for (std::size_t i = 0; i < shown; ++i) {
+      const auto& [label, t] = cells[i];
+      const auto bar = static_cast<std::size_t>(
+          24.0 * static_cast<double>(t.trials) /
+          static_cast<double>(max_trials));
+      os << "    " << std::string(bar ? bar : 1, '#')
+         << std::string(24 - (bar ? bar : 1), ' ') << "  " << label << "  "
+       << commas(t.trials) << " trials, " << commas(t.steps) << " steps\n";
+    }
+  }
+  os.flush();
+}
+
+int write_perfetto_export(const std::string& path,
+                          const std::vector<stream_state>& streams) {
+  std::vector<modcon::obs::telemetry_track> tracks;
+  for (const stream_state& st : streams) {
+    if (!st.has_data()) continue;
+    modcon::obs::telemetry_track track;
+    const snapshot& latest = st.latest();
+    track.source = latest.source;
+    if (latest.shard_count > 1)
+      track.source += " shard " + std::to_string(latest.shard_index) + "/" +
+                      std::to_string(latest.shard_count);
+    std::uint64_t prev_done = 0;
+    double prev_ms = 0;
+    for (const snapshot& s : st.lines) {
+      modcon::obs::telemetry_point p;
+      p.elapsed_ms = s.elapsed_ms;
+      for (const char* name :
+           {"trials_completed", "steps", "crashes", "audit_violations",
+            "batch_lanes_retired"})
+        p.counters.emplace_back(
+            name, static_cast<double>(counter(s, name)));
+      const std::uint64_t done = counter(s, "trials_completed");
+      const double dt = s.elapsed_ms - prev_ms;
+      p.counters.emplace_back(
+          "trials_per_sec",
+          dt > 0 ? static_cast<double>(done - prev_done) * 1000.0 / dt : 0.0);
+      prev_done = done;
+      prev_ms = s.elapsed_ms;
+      track.points.push_back(std::move(p));
+    }
+    tracks.push_back(std::move(track));
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "modcon-top: cannot write " << path << "\n";
+    return 1;
+  }
+  modcon::obs::write_telemetry_perfetto(out, tracks);
+  if (!out) {
+    std::cerr << "modcon-top: error writing " << path << "\n";
+    return 1;
+  }
+  std::cerr << "modcon-top: wrote " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  std::uint32_t interval_ms = 1000;
+  std::string perfetto_out;
+  std::vector<stream_state> streams;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      interval_ms = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--perfetto-out") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      perfetto_out = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return usage(argv[0]);
+    } else {
+      streams.push_back(stream_state{arg, {}});
+    }
+  }
+  if (streams.empty()) return usage(argv[0]);
+
+  for (;;) {
+    for (stream_state& st : streams) reload(st);
+    fleet_view fleet;
+    for (const stream_state& st : streams) fleet.fold(st);
+    double fleet_rate = 0;
+    for (const stream_state& st : streams) fleet_rate += st.rate();
+    if (!once) std::cout << "\x1b[2J\x1b[H";  // clear + home
+    render(std::cout, fleet, streams, fleet_rate);
+    if (once) {
+      if (!perfetto_out.empty() &&
+          write_perfetto_export(perfetto_out, streams) != 0)
+        return 1;
+      return fleet.sources_reporting ? 0 : 1;
+    }
+    if (fleet.all_final && fleet.sources_reporting == streams.size()) {
+      if (!perfetto_out.empty() &&
+          write_perfetto_export(perfetto_out, streams) != 0)
+        return 1;
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
